@@ -1,0 +1,8 @@
+package tvgwait_test
+
+import "math/rand"
+
+// newBenchRNG returns the deterministic RNG used by benchmark workloads.
+func newBenchRNG() *rand.Rand {
+	return rand.New(rand.NewSource(2012))
+}

@@ -1,0 +1,299 @@
+// Benchmarks regenerating the paper's artifacts, one group per experiment
+// id from DESIGN.md §3. Absolute numbers depend on the host; the shapes
+// that must hold are recorded in EXPERIMENTS.md.
+package tvgwait_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/automata"
+	"tvgwait/internal/construct"
+	"tvgwait/internal/core"
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/turing"
+	"tvgwait/internal/tvg"
+	"tvgwait/internal/wqo"
+)
+
+// mustFig1Decider builds a Figure-1 decider able to handle words of the
+// given length.
+func mustFig1Decider(b *testing.B, mode journey.Mode, maxLen int) *core.Decider {
+	b.Helper()
+	params := anbn.DefaultParams()
+	a, err := anbn.New(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon, err := anbn.HorizonForLength(params, maxLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, mode, horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dec
+}
+
+// BenchmarkE1Fig1Membership measures no-wait membership on the Figure 1
+// automaton as n grows (the time encoding grows as p^n q^(n-1)).
+func BenchmarkE1Fig1Membership(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		word := strings.Repeat("a", n) + strings.Repeat("b", n)
+		dec := mustFig1Decider(b, journey.NoWait(), 2*n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !dec.Accepts(word) {
+					b.Fatalf("must accept %q", word)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE1Table1Schedule measures compiling the Table 1 schedule.
+func BenchmarkE1Table1Schedule(b *testing.B) {
+	a, err := anbn.New(anbn.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 3000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tvg.Compile(a.Graph(), horizon); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2DeciderTVG measures the Theorem 2.1 pipeline: TM-backed
+// oracle → TVG → no-wait membership.
+func BenchmarkE2DeciderTVG(b *testing.B) {
+	l := construct.TMLanguage(turing.NewAnBnCn(), turing.QuadraticFuel(10))
+	a, err := construct.FromDecider(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon, err := construct.DeciderHorizon(l, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !dec.Accepts("aabbcc") || dec.Accepts("aabbc") {
+			b.Fatal("membership broken")
+		}
+	}
+}
+
+// BenchmarkE2TMDirect measures the underlying Turing machine alone, for
+// comparison with the TVG-mediated decision.
+func BenchmarkE2TMDirect(b *testing.B) {
+	tm := turing.NewAnBnCn()
+	fuel := turing.QuadraticFuel(10)(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := tm.Decide("aabbcc", fuel)
+		if err != nil || !ok {
+			b.Fatal("TM broken")
+		}
+	}
+}
+
+// BenchmarkE3RegularToTVG measures the easy half of Theorem 2.2: deciding
+// via a static TVG built from a regex.
+func BenchmarkE3RegularToTVG(b *testing.B) {
+	a, err := construct.FromRegex("(a|b)*abb", []rune{'a', 'b'})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.Wait(), construct.StaticHorizonForLength(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !dec.Accepts("abababbabb") {
+			b.Fatal("membership broken")
+		}
+	}
+}
+
+// BenchmarkE3WaitNFAExtraction measures the hard half of Theorem 2.2:
+// extracting and minimizing the wait-language DFA of a periodic TVG.
+func BenchmarkE3WaitNFAExtraction(b *testing.B) {
+	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+		Nodes: 4, Edges: 7, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.NewAutomaton(g)
+	a.AddInitial(0)
+	a.AddAccepting(tvg.Node(g.NumNodes() - 1))
+	period, _ := g.Period()
+	horizon := construct.RecurrentWaitHorizon(a, period, 2, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dfa, err := construct.LanguageDFA(a, journey.Wait(), horizon, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = dfa.NumStates()
+	}
+}
+
+// BenchmarkE4Dilation measures the Theorem 2.3 construction: dilating the
+// Figure 1 automaton and deciding under bounded waiting.
+func BenchmarkE4Dilation(b *testing.B) {
+	params := anbn.DefaultParams()
+	a, err := anbn.New(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	horizon, err := anbn.HorizonForLength(params, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range []tvg.Time{1, 2} {
+		da, err := construct.DilateAutomaton(a, d+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := core.NewDecider(da, journey.BoundedWait(d), construct.DilatedHorizon(horizon, d+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !dec.Accepts("aaabbb") || dec.Accepts("b") {
+					b.Fatal("dilated language broken")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5DTNSweep measures the store-carry-forward sweep across
+// waiting budgets on an edge-Markovian network.
+func BenchmarkE5DTNSweep(b *testing.B) {
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: 16, PBirth: 0.03, PDeath: 0.5, Horizon: 80, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tvg.Compile(g, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(4), journey.Wait()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtn.Sweep(c, modes, 20, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5SingleDelivery measures one epidemic flood.
+func BenchmarkE5SingleDelivery(b *testing.B) {
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: 32, PBirth: 0.02, PDeath: 0.5, Horizon: 100, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tvg.Compile(g, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := dtn.Message{Src: 0, Dst: 31, Created: 0}
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dtn.Simulate(c, mode, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Closures measures the Haines closure computation on slices
+// of the non-regular aⁿbⁿ.
+func BenchmarkE6Closures(b *testing.B) {
+	members := lang.MembersUpTo(lang.AnBn(), 16)
+	alphabet := []rune{'a', 'b'}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		down := wqo.ClosureOfFinite(members, alphabet, false)
+		up := wqo.ClosureOfFinite(members, alphabet, true)
+		_ = down.NumStates() + up.NumStates()
+	}
+}
+
+// BenchmarkE6Higman measures dominating-pair search over random word
+// sequences (the empirical Higman's-lemma workload).
+func BenchmarkE6Higman(b *testing.B) {
+	rng := newBenchRNG()
+	seq := make([]string, 200)
+	for i := range seq {
+		seq[i] = automata.RandomWord(rng, []rune{'a', 'b'}, rng.Intn(13))
+	}
+	sub := wqo.Subword{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := wqo.FindDominatingPair(sub, seq); !ok {
+			b.Fatal("expected a dominating pair")
+		}
+	}
+}
+
+// BenchmarkJourneyForemost measures the foremost-journey search on a
+// mobility trace (supporting workload for E5's ground-truth cross-check).
+func BenchmarkJourneyForemost(b *testing.B) {
+	g, err := gen.GridMobility(gen.MobilityParams{
+		Width: 6, Height: 6, Nodes: 12, Horizon: 100, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tvg.Compile(g, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				journey.Foremost(c, mode, 0, 11, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAutomataPipeline measures the determinize+minimize pipeline
+// used by every regularity witness.
+func BenchmarkAutomataPipeline(b *testing.B) {
+	nfa := automata.MustCompileRegex("((a|b)(a|b)(a|b))*(ab|ba)+")
+	alphabet := []rune{'a', 'b'}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := nfa.Determinize(alphabet).Minimize()
+		_ = d.NumStates()
+	}
+}

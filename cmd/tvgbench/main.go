@@ -1,0 +1,41 @@
+// Command tvgbench regenerates every paper artifact: Table 1 and the
+// Figure 1 language check (E1), the Theorem 2.1/2.2/2.3 validation suites
+// (E2–E4), the quantitative power-of-waiting sweep (E5) and the WQO
+// machinery report (E6). EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	tvgbench [-quick] [-seed N] [-maxlen N] [e1|e2|e3|e4|e5|e6|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tvgwait/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tvgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tvgbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := fs.Int64("seed", 2012, "seed for randomized workloads")
+	maxLen := fs.Int("maxlen", 10, "word-length bound for exhaustive language checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := "all"
+	if fs.NArg() > 0 {
+		id = fs.Arg(0)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, MaxLen: *maxLen}
+	return experiments.Run(id, w, opts)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "e1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E1") || !strings.Contains(b.String(), "PASS") {
+		t.Errorf("e1 output wrong:\n%s", b.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"e42"}, &b); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestFlagError(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogusflag"}, &b); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	var b strings.Builder
+	if err := run([]string{"-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
+		if !strings.Contains(out, "== "+want) {
+			t.Errorf("missing section %s", want)
+		}
+	}
+}

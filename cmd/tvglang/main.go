@@ -1,0 +1,240 @@
+// Command tvglang builds a TVG-automaton and answers language queries:
+// membership of individual words, bounded enumeration of the accepted
+// language, witness journeys and DOT export, under each waiting semantics.
+//
+// Automaton specs (-tvg):
+//
+//	anbn               the paper's Figure 1 automaton (flags -p, -q)
+//	regex:PATTERN      static TVG for a regular expression (Theorem 2.2)
+//	decider:NAME       Theorem 2.1 TVG for NAME in {anbn, anbncn,
+//	                   palindrome, primes, squares}
+//	file:PATH          custom automaton in the tvgtext format
+//
+// Examples:
+//
+//	tvglang -tvg anbn -mode nowait -words ab,aabb,abb
+//	tvglang -tvg anbn -mode wait -enum 4
+//	tvglang -tvg "regex:(a|b)*abb" -mode wait -words abb,babb
+//	tvglang -tvg decider:anbncn -mode nowait -words abc,aabbcc -witness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/construct"
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/turing"
+	"tvgwait/internal/tvg"
+	"tvgwait/internal/tvgtext"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tvglang:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	spec    string
+	mode    string
+	p, q    int64
+	horizon int64
+	enum    int
+	words   string
+	witness bool
+	dot     bool
+	maxLen  int
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tvglang", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.spec, "tvg", "anbn", "automaton spec: anbn | regex:PATTERN | decider:NAME")
+	fs.StringVar(&cfg.mode, "mode", "nowait", "waiting semantics: nowait | wait | wait:D")
+	fs.Int64Var(&cfg.p, "p", 2, "prime p for the anbn automaton")
+	fs.Int64Var(&cfg.q, "q", 3, "prime q for the anbn automaton")
+	fs.Int64Var(&cfg.horizon, "horizon", 0, "time horizon (0 = derive from -maxlen)")
+	fs.IntVar(&cfg.maxLen, "maxlen", 10, "word-length bound used to derive the horizon")
+	fs.IntVar(&cfg.enum, "enum", 0, "enumerate accepted words up to this length")
+	fs.StringVar(&cfg.words, "words", "", "comma-separated words to test")
+	fs.BoolVar(&cfg.witness, "witness", false, "print a witness journey for accepted words")
+	fs.BoolVar(&cfg.dot, "dot", false, "print the TVG in Graphviz DOT format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mode, err := parseMode(cfg.mode)
+	if err != nil {
+		return err
+	}
+	a, horizon, err := buildAutomaton(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.horizon > 0 {
+		horizon = cfg.horizon
+	}
+
+	if cfg.dot {
+		initial := map[tvg.Node]bool{}
+		for _, n := range a.Initial() {
+			initial[n] = true
+		}
+		accepting := map[tvg.Node]bool{}
+		for _, n := range a.Accepting() {
+			accepting[n] = true
+		}
+		return a.Graph().WriteDOT(w, tvg.DOTOptions{
+			Name: cfg.spec, Initial: initial, Accepting: accepting, ShowSchedules: true,
+		})
+	}
+
+	dec, err := core.NewDecider(a, mode, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "automaton %s  mode=%s  horizon=%d  alphabet=%q\n",
+		cfg.spec, mode, horizon, string(a.Alphabet()))
+
+	if cfg.words != "" {
+		for _, word := range strings.Split(cfg.words, ",") {
+			word = strings.TrimSpace(word)
+			accepted := dec.Accepts(word)
+			fmt.Fprintf(w, "  %-16q %v\n", word, accepted)
+			if accepted && cfg.witness {
+				if j, ok := dec.Witness(word); ok {
+					fmt.Fprintf(w, "    witness: %s\n", j)
+				}
+			}
+		}
+	}
+	if cfg.enum > 0 {
+		words := dec.AcceptedWords(cfg.enum)
+		fmt.Fprintf(w, "  accepted words up to length %d (%d):\n", cfg.enum, len(words))
+		for _, word := range words {
+			fmt.Fprintf(w, "    %q\n", word)
+		}
+	}
+	if cfg.words == "" && cfg.enum == 0 {
+		fmt.Fprintln(w, "  (use -words or -enum to query the language)")
+	}
+	return nil
+}
+
+func parseMode(s string) (journey.Mode, error) {
+	switch {
+	case s == "nowait":
+		return journey.NoWait(), nil
+	case s == "wait":
+		return journey.Wait(), nil
+	case strings.HasPrefix(s, "wait:"):
+		d, err := strconv.ParseInt(strings.TrimPrefix(s, "wait:"), 10, 64)
+		if err != nil || d < 0 {
+			return journey.Mode{}, fmt.Errorf("invalid wait bound in %q", s)
+		}
+		return journey.BoundedWait(d), nil
+	default:
+		return journey.Mode{}, fmt.Errorf("unknown mode %q (want nowait | wait | wait:D)", s)
+	}
+}
+
+func buildAutomaton(cfg config) (*core.Automaton, tvg.Time, error) {
+	switch {
+	case cfg.spec == "anbn":
+		params := anbn.Params{P: cfg.p, Q: cfg.q}
+		a, err := anbn.New(params)
+		if err != nil {
+			return nil, 0, err
+		}
+		h, err := anbn.HorizonForLength(params, cfg.maxLen)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, h, nil
+	case strings.HasPrefix(cfg.spec, "regex:"):
+		pattern := strings.TrimPrefix(cfg.spec, "regex:")
+		a, err := construct.FromRegex(pattern, alphabetOf(pattern))
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, construct.StaticHorizonForLength(cfg.maxLen), nil
+	case strings.HasPrefix(cfg.spec, "decider:"):
+		l, err := namedLanguage(strings.TrimPrefix(cfg.spec, "decider:"))
+		if err != nil {
+			return nil, 0, err
+		}
+		a, err := construct.FromDecider(l)
+		if err != nil {
+			return nil, 0, err
+		}
+		h, err := construct.DeciderHorizon(l, cfg.maxLen)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, h, nil
+	case strings.HasPrefix(cfg.spec, "file:"):
+		path := strings.TrimPrefix(cfg.spec, "file:")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		a, err := tvgtext.ParseAutomaton(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		// No schedule-specific horizon is derivable for arbitrary files;
+		// default to a generous multiple of the requested word length.
+		return a, a.StartTime() + 16*tvg.Time(cfg.maxLen+1), nil
+	default:
+		return nil, 0, fmt.Errorf("unknown automaton spec %q", cfg.spec)
+	}
+}
+
+func namedLanguage(name string) (lang.Language, error) {
+	switch name {
+	case "anbn":
+		return lang.AnBn(), nil
+	case "anbncn":
+		return construct.TMLanguage(turing.NewAnBnCn(), turing.QuadraticFuel(10)), nil
+	case "palindrome":
+		return construct.TMLanguage(turing.NewPalindrome(), turing.QuadraticFuel(10)), nil
+	case "primes":
+		return lang.PrimeLength(), nil
+	case "squares":
+		return lang.Squares(), nil
+	default:
+		return nil, fmt.Errorf("unknown decider language %q", name)
+	}
+}
+
+// alphabetOf extracts the literal symbols of a regex pattern.
+func alphabetOf(pattern string) []rune {
+	var letters []rune
+	for _, r := range pattern {
+		if !strings.ContainsRune("|*+?()\\", r) {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		letters = []rune{'a'}
+	}
+	seen := map[rune]bool{}
+	var out []rune
+	for _, r := range letters {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

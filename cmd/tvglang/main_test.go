@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestAnBnWords(t *testing.T) {
+	out := runCLI(t, "-tvg", "anbn", "-mode", "nowait", "-maxlen", "8", "-words", "ab,aabb,abb")
+	if !strings.Contains(out, "\"ab\"             true") {
+		t.Errorf("ab should be accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "\"abb\"            false") {
+		t.Errorf("abb should be rejected:\n%s", out)
+	}
+}
+
+func TestWitnessFlag(t *testing.T) {
+	out := runCLI(t, "-tvg", "anbn", "-mode", "nowait", "-maxlen", "6", "-words", "aabb", "-witness")
+	if !strings.Contains(out, "witness:") || !strings.Contains(out, "e4@12") {
+		t.Errorf("witness journey missing:\n%s", out)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	out := runCLI(t, "-tvg", "anbn", "-mode", "nowait", "-maxlen", "6", "-enum", "4")
+	if !strings.Contains(out, "\"ab\"") || !strings.Contains(out, "\"aabb\"") {
+		t.Errorf("enumeration missing members:\n%s", out)
+	}
+	if strings.Contains(out, "\"abb\"") {
+		t.Errorf("enumeration has a non-member:\n%s", out)
+	}
+}
+
+func TestRegexSpec(t *testing.T) {
+	out := runCLI(t, "-tvg", "regex:(a|b)*abb", "-mode", "wait", "-words", "abb,ab")
+	if !strings.Contains(out, "\"abb\"            true") || !strings.Contains(out, "\"ab\"             false") {
+		t.Errorf("regex spec wrong:\n%s", out)
+	}
+}
+
+func TestDeciderSpec(t *testing.T) {
+	out := runCLI(t, "-tvg", "decider:anbncn", "-mode", "nowait", "-maxlen", "6", "-words", "abc,ab")
+	if !strings.Contains(out, "\"abc\"            true") || !strings.Contains(out, "\"ab\"             false") {
+		t.Errorf("decider spec wrong:\n%s", out)
+	}
+	// All named deciders build.
+	for _, name := range []string{"anbn", "palindrome", "primes", "squares"} {
+		runCLI(t, "-tvg", "decider:"+name, "-mode", "nowait", "-maxlen", "4", "-enum", "2")
+	}
+}
+
+func TestWaitModes(t *testing.T) {
+	// wait:1 on anbn accepts "b" (pause 1 at v0 for p=2).
+	out := runCLI(t, "-tvg", "anbn", "-mode", "wait:1", "-maxlen", "6", "-words", "b")
+	if !strings.Contains(out, "\"b\"              true") {
+		t.Errorf("wait:1 should accept b:\n%s", out)
+	}
+	out = runCLI(t, "-tvg", "anbn", "-mode", "wait", "-maxlen", "6", "-words", "b")
+	if !strings.Contains(out, "true") {
+		t.Errorf("wait should accept b:\n%s", out)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := runCLI(t, "-tvg", "anbn", "-dot")
+	for _, want := range []string{"digraph", "doublecircle", "e0: a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultHint(t *testing.T) {
+	out := runCLI(t, "-tvg", "anbn", "-maxlen", "4")
+	if !strings.Contains(out, "use -words or -enum") {
+		t.Errorf("hint missing:\n%s", out)
+	}
+}
+
+func TestFileSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ferry.tvg")
+	spec := `node port
+node island
+node mainland
+edge port island a presence=at:5 latency=const:1
+edge island mainland b presence=at:2,8 latency=const:1
+initial port
+accepting mainland
+`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-tvg", "file:"+path, "-mode", "wait", "-words", "ab")
+	if !strings.Contains(out, "true") {
+		t.Errorf("file spec wait should accept ab:\n%s", out)
+	}
+	out = runCLI(t, "-tvg", "file:"+path, "-mode", "nowait", "-words", "ab")
+	if !strings.Contains(out, "false") {
+		t.Errorf("file spec nowait should reject ab:\n%s", out)
+	}
+	// Missing file and malformed file fail.
+	var b strings.Builder
+	if err := run([]string{"-tvg", "file:/does/not/exist"}, &b); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(dir, "bad.tvg")
+	if err := os.WriteFile(bad, []byte("bogus line"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-tvg", "file:" + bad}, &b); err == nil {
+		t.Error("malformed file should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-tvg", "bogus"},
+		{"-tvg", "decider:bogus"},
+		{"-tvg", "regex:("},
+		{"-mode", "bogus"},
+		{"-mode", "wait:-1"},
+		{"-tvg", "anbn", "-p", "4"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestHorizonOverride(t *testing.T) {
+	// A tiny explicit horizon makes even "ab" undecidable-within-horizon.
+	out := runCLI(t, "-tvg", "anbn", "-horizon", "2", "-words", "aabb")
+	if !strings.Contains(out, "false") {
+		t.Errorf("tiny horizon should reject:\n%s", out)
+	}
+}
+
+func TestAlphabetOf(t *testing.T) {
+	got := string(alphabetOf("(a|b)*c"))
+	if got != "abc" {
+		t.Errorf("alphabetOf = %q", got)
+	}
+	if got := string(alphabetOf("()*")); got != "a" {
+		t.Errorf("empty pattern fallback = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestMarkovSweep(t *testing.T) {
+	out := runSim(t, "-model", "markov", "-nodes", "8", "-horizon", "40", "-messages", "10",
+		"-modes", "nowait,wait")
+	for _, want := range []string{"model=markov", "nowait", "wait", "delivery"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBernoulliModel(t *testing.T) {
+	out := runSim(t, "-model", "bernoulli", "-nodes", "6", "-p", "0.2", "-horizon", "30",
+		"-messages", "5", "-modes", "wait")
+	if !strings.Contains(out, "model=bernoulli") {
+		t.Errorf("output missing model line:\n%s", out)
+	}
+}
+
+func TestMobilityModel(t *testing.T) {
+	out := runSim(t, "-model", "mobility", "-nodes", "6", "-width", "3", "-height", "3",
+		"-horizon", "40", "-messages", "5", "-modes", "nowait,wait:2")
+	if !strings.Contains(out, "model=mobility") || !strings.Contains(out, "wait[2]") {
+		t.Errorf("mobility output wrong:\n%s", out)
+	}
+}
+
+func TestBroadcastMode(t *testing.T) {
+	out := runSim(t, "-model", "markov", "-nodes", "8", "-horizon", "50",
+		"-modes", "nowait,wait", "-broadcast", "0")
+	for _, want := range []string{"broadcast from node 0", "reached", "transmissions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("broadcast output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiameterFlag(t *testing.T) {
+	out := runSim(t, "-model", "markov", "-nodes", "6", "-birth", "0.3", "-death", "0.1",
+		"-horizon", "40", "-messages", "5", "-modes", "nowait,wait", "-diameter")
+	if !strings.Contains(out, "temporal diameter") {
+		t.Errorf("diameter section missing:\n%s", out)
+	}
+	// Dense network: the wait diameter should be reported as connected.
+	if !strings.Contains(out, "ticks") {
+		t.Errorf("no connected diameter reported:\n%s", out)
+	}
+	// Sparse network: expect "not temporally connected" under nowait.
+	out = runSim(t, "-model", "markov", "-nodes", "8", "-birth", "0.01", "-death", "0.8",
+		"-horizon", "30", "-messages", "5", "-modes", "nowait", "-diameter")
+	if !strings.Contains(out, "not temporally connected") {
+		t.Errorf("sparse nowait should be disconnected:\n%s", out)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "bogus"},
+		{"-modes", "bogus"},
+		{"-modes", ""},
+		{"-model", "markov", "-nodes", "1"},
+		{"-modes", "wait:-2"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	modes, err := parseModes("nowait, wait:3 ,wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(modes) != 3 || modes[1].String() != "wait[3]" {
+		t.Errorf("parseModes = %v", modes)
+	}
+}

@@ -1,0 +1,26 @@
+// Package tvgwait is a Go reproduction of "Brief Announcement: Waiting in
+// Dynamic Networks" (Casteigts, Flocchini, Godard, Santoro, Yamashita,
+// PODC 2012): time-varying graphs (TVGs) as language acceptors, and the
+// computational power of waiting.
+//
+// The paper's results, each executable in this library:
+//
+//   - Theorem 2.1: L_nowait contains all computable languages
+//     (construct.FromDecider builds a TVG with L_nowait(G) = L from any
+//     membership oracle, including Turing machines from internal/turing).
+//   - Theorem 2.2: L_wait is exactly the regular languages
+//     (construct.FromDFA embeds any regular language; construct.ConfigNFA
+//     and construct.FootprintNFA extract finite automata recognizing TVG
+//     wait languages).
+//   - Theorem 2.3: L_wait[d] = L_nowait for every fixed waiting bound d
+//     (construct.Dilate time-expands schedules so bounded waiting becomes
+//     useless).
+//   - Figure 1 / Table 1: internal/anbn builds the concrete deterministic
+//     TVG-automaton recognizing {aⁿbⁿ : n ≥ 1} without waiting.
+//
+// This package is the public facade: it re-exports the user-facing types
+// and constructors from the internal packages so that downstream code
+// needs a single import. Advanced functionality (grammar tools, WQO
+// machinery, generators, the DTN simulator) lives in the internal
+// packages and is exercised by the cmd/ tools and examples/.
+package tvgwait

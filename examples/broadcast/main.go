@@ -1,0 +1,80 @@
+// Example broadcast measures the power of waiting in the paper's
+// motivating setting: store-carry-forward message delivery in a sparse,
+// highly dynamic (edge-Markovian) network that is disconnected at every
+// instant. Without buffering almost nothing is deliverable; with buffers
+// the same contact trace delivers everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		nodes   = 16
+		horizon = 120
+		seed    = 7
+	)
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: nodes, PBirth: 0.02, PDeath: 0.6, Horizon: horizon, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	c, err := tvg.Compile(g, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge-Markovian network: %d nodes, %d contacts over %d ticks\n",
+		nodes, c.TotalContacts(), horizon)
+
+	// Instantaneous snapshots are tiny — the network is never connected.
+	maxSnapshot := 0
+	for t := tvg.Time(0); t <= horizon; t++ {
+		if s := len(g.SnapshotAt(t)); s > maxSnapshot {
+			maxSnapshot = s
+		}
+	}
+	fmt.Printf("largest instantaneous snapshot: %d of %d possible edges\n\n", maxSnapshot, nodes*(nodes-1))
+
+	// Unicast sweep across waiting budgets.
+	modes := []journey.Mode{
+		journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(2),
+		journey.BoundedWait(4), journey.BoundedWait(8), journey.Wait(),
+	}
+	rows, err := dtn.Sweep(c, modes, 60, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dtn.FormatSweep(rows))
+
+	// Broadcast from node 0.
+	fmt.Println("\nbroadcast from node 0:")
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		r, err := dtn.Broadcast(c, mode, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s reached %.0f%% of nodes (%d transmissions)\n",
+			mode, 100*r.Ratio, r.Transmissions)
+	}
+
+	// The simulation agrees with the formal journey model.
+	_, arr, ok := journey.Foremost(c, journey.Wait(), 0, tvg.Node(nodes-1), 0)
+	if ok {
+		fmt.Printf("\nformal check: foremost wait-journey 0 → %d arrives at t=%d\n", nodes-1, arr)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package tvgwait_test
+
+import (
+	"testing"
+
+	"tvgwait"
+)
+
+// TestFacadeQuickstart exercises the README quickstart path through the
+// public facade.
+func TestFacadeQuickstart(t *testing.T) {
+	g := tvgwait.NewGraph()
+	port := g.AddNode("port")
+	island := g.AddNode("island")
+	if _, err := g.AddEdge(tvgwait.Edge{
+		From: port, To: island, Label: 'a',
+		Presence: tvgwait.At(5), Latency: tvgwait.ConstLatency(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := tvgwait.NewAutomaton(g)
+	a.AddInitial(port)
+	a.AddAccepting(island)
+
+	dec, err := tvgwait.NewDecider(a, tvgwait.Wait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("a") {
+		t.Error("wait should accept \"a\"")
+	}
+	j, ok := dec.Witness("a")
+	if !ok || j.Len() != 1 || j.Hops[0].Depart != 5 {
+		t.Errorf("witness = %v, %v", j, ok)
+	}
+	noDec, err := tvgwait.NewDecider(a, tvgwait.NoWait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noDec.Accepts("a") {
+		t.Error("nowait should reject \"a\" from t=0")
+	}
+	bdec, err := tvgwait.NewDecider(a, tvgwait.BoundedWait(5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bdec.Accepts("a") {
+		t.Error("wait[5] should accept \"a\"")
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	if !tvgwait.Always().Present(123) {
+		t.Error("Always")
+	}
+	if tvgwait.Never().Present(0) {
+		t.Error("Never")
+	}
+	if !tvgwait.At(3, 7).Present(7) || tvgwait.At(3, 7).Present(5) {
+		t.Error("At")
+	}
+	d := tvgwait.During(2, 5)
+	if !d.Present(2) || !d.Present(4) || d.Present(5) {
+		t.Error("During")
+	}
+	p, err := tvgwait.Periodic([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Present(0) || p.Present(1) || !p.Present(2) {
+		t.Error("Periodic")
+	}
+	if _, err := tvgwait.Periodic(nil); err == nil {
+		t.Error("empty Periodic should fail")
+	}
+	if tvgwait.ConstLatency(4).Crossing(9) != 4 {
+		t.Error("ConstLatency")
+	}
+}
+
+func TestFacadeJourneyMetrics(t *testing.T) {
+	g := tvgwait.NewGraph()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	w := g.AddNode("w")
+	for _, e := range []tvgwait.Edge{
+		{From: u, To: v, Label: 'a', Presence: tvgwait.Always(), Latency: tvgwait.ConstLatency(1)},
+		{From: v, To: w, Label: 'a', Presence: tvgwait.Always(), Latency: tvgwait.ConstLatency(1)},
+		{From: w, To: u, Label: 'a', Presence: tvgwait.Always(), Latency: tvgwait.ConstLatency(1)},
+	} {
+		if _, err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := tvgwait.Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, arr, ok := tvgwait.Foremost(c, tvgwait.NoWait(), u, w, 0); !ok || arr != 2 {
+		t.Errorf("Foremost = %d, %v", arr, ok)
+	}
+	if _, hops, ok := tvgwait.MinHop(c, tvgwait.Wait(), u, w, 0); !ok || hops != 2 {
+		t.Errorf("MinHop = %d, %v", hops, ok)
+	}
+	if _, span, ok := tvgwait.Fastest(c, tvgwait.Wait(), u, w, 0); !ok || span != 2 {
+		t.Errorf("Fastest = %d, %v", span, ok)
+	}
+	if !tvgwait.TemporallyConnected(c, tvgwait.NoWait(), 0) {
+		t.Error("ring should be temporally connected")
+	}
+}
+
+func TestFacadeConstructions(t *testing.T) {
+	// Figure 1.
+	a, err := tvgwait.Figure1(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tvgwait.Figure1Horizon(2, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := tvgwait.NewDecider(a, tvgwait.NoWait(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("aabb") || dec.Accepts("ab"+"b") {
+		t.Error("Figure1 language wrong")
+	}
+	if _, err := tvgwait.Figure1(4, 6); err == nil {
+		t.Error("non-prime parameters should fail")
+	}
+	if _, err := tvgwait.Figure1Horizon(4, 6, 4); err == nil {
+		t.Error("non-prime horizon parameters should fail")
+	}
+
+	// Regex embedding.
+	ra, err := tvgwait.FromRegex("(ab)*", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdec, err := tvgwait.NewDecider(ra, tvgwait.Wait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rdec.Accepts("abab") || rdec.Accepts("aba") {
+		t.Error("FromRegex language wrong")
+	}
+
+	// Regularity witness.
+	dfa, err := tvgwait.LanguageDFA(ra, tvgwait.Wait(), 10, []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dfa.Accepts("ab") || dfa.Accepts("b") {
+		t.Error("LanguageDFA wrong")
+	}
+
+	// Dilation.
+	da, err := tvgwait.Dilate(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddec, err := tvgwait.NewDecider(da, tvgwait.BoundedWait(1), 2*h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ddec.Accepts("aabb") || ddec.Accepts("b") {
+		t.Error("dilated language wrong")
+	}
+	if _, err := tvgwait.Dilate(a, 0); err == nil {
+		t.Error("dilation factor 0 should fail")
+	}
+}
+
+func TestFacadeDeciderConstruction(t *testing.T) {
+	// FromDecider via the facade needs a Language; use the decider of a
+	// regex automaton as the oracle for a round trip.
+	ra, err := tvgwait.FromRegex("ab*", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdec, err := tvgwait.NewDecider(ra, tvgwait.NoWait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := rdec.Language("ab*")
+	ta, err := tvgwait.FromDecider(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdec, err := tvgwait.NewDecider(ta, tvgwait.NoWait(), 3*3*3*3*3*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"a", "ab", "abb", "", "b", "ba"} {
+		if tdec.Accepts(w) != oracle.Contains(w) {
+			t.Errorf("round trip differs at %q", w)
+		}
+	}
+}
+
+func TestFacadeDelivery(t *testing.T) {
+	g := tvgwait.NewGraph()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	if _, err := g.AddEdge(tvgwait.Edge{
+		From: u, To: v, Label: 'c', Presence: tvgwait.At(4), Latency: tvgwait.ConstLatency(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tvgwait.Compile(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tvgwait.Deliver(c, tvgwait.Wait(), tvgwait.Message{Src: u, Dst: v, Created: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered || r.DeliveredAt != 5 {
+		t.Errorf("Deliver = %+v", r)
+	}
+	r, err = tvgwait.Deliver(c, tvgwait.NoWait(), tvgwait.Message{Src: u, Dst: v, Created: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered {
+		t.Error("nowait delivery should fail")
+	}
+}

@@ -1,0 +1,185 @@
+// Package anbn implements the concrete TVG-automaton of Figure 1 / Table 1
+// of the paper: a deterministic time-varying graph G on three nodes whose
+// no-wait language is the context-free, non-regular {aⁿbⁿ : n ≥ 1}.
+//
+// The construction uses two distinct primes p, q > 1 and encodes the
+// numbers of a's and b's read so far into the current time:
+//
+//	after reading aᵏ            the time is pᵏ          (e0 multiplies by p)
+//	after reading aⁿbʲ (j ≥ 1)  the time is pⁿqʲ        (e1, e2 multiply by q)
+//
+// and the accepting edges e3/e4 are present exactly at the times
+// t = p (word "ab") and t = pⁱq^(i-1), i > 1 (words aⁱbⁱ), which by unique
+// prime factorization pins the word to aⁿbⁿ. Table 1:
+//
+//	e  | presence ρ(e,t)=1 iff     | latency ζ(e,t)
+//	e0 | always (t ≥ 1)            | (p−1)t
+//	e1 | t > p                     | (q−1)t
+//	e2 | t ≠ pⁱq^(i−1), i > 1      | (q−1)t
+//	e3 | t = p                     | any (1 here)
+//	e4 | t = pⁱq^(i−1), i > 1      | any (1 here)
+//
+// Reading starts at time t = 1, v0 is initial, v2 is accepting. The
+// "t ≥ 1" qualifier makes the schedule well-formed at t = 0 (this repo
+// requires latency ≥ 1, and ζ(e0, 0) would be 0); it does not affect the
+// language since reading starts at 1.
+package anbn
+
+import (
+	"fmt"
+	"strings"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/numth"
+	"tvgwait/internal/tvg"
+)
+
+// Params selects the two distinct primes of the construction.
+type Params struct {
+	P, Q int64
+}
+
+// DefaultParams returns the smallest instance, p = 2 and q = 3.
+func DefaultParams() Params { return Params{P: 2, Q: 3} }
+
+// Validate checks that P and Q are distinct primes greater than 1.
+func (p Params) Validate() error {
+	if !numth.IsPrime(p.P) || !numth.IsPrime(p.Q) {
+		return fmt.Errorf("anbn: p=%d and q=%d must both be prime", p.P, p.Q)
+	}
+	if p.P == p.Q {
+		return fmt.Errorf("anbn: p and q must be distinct, got %d", p.P)
+	}
+	return nil
+}
+
+// New builds the Figure 1 TVG-automaton for the given primes.
+func New(params Params) (*core.Automaton, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	p, q := params.P, params.Q
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+
+	// e0: v0 -a-> v0, always present (t >= 1), arrival p·t.
+	g.MustAddEdge(tvg.Edge{
+		From: v0, To: v0, Label: 'a', Name: "e0",
+		Presence: tvg.PresenceFunc(func(t tvg.Time) bool { return t >= 1 }),
+		Latency:  tvg.ScaleLatency{Factor: p},
+	})
+	// e1: v0 -b-> v1, present for t > p, arrival q·t.
+	g.MustAddEdge(tvg.Edge{
+		From: v0, To: v1, Label: 'b', Name: "e1",
+		Presence: tvg.PresenceFunc(func(t tvg.Time) bool { return t > p }),
+		Latency:  tvg.ScaleLatency{Factor: q},
+	})
+	// e2: v1 -b-> v1, present unless t = p^i q^(i-1) for some i > 1,
+	// arrival q·t.
+	g.MustAddEdge(tvg.Edge{
+		From: v1, To: v1, Label: 'b', Name: "e2",
+		Presence: tvg.PresenceFunc(func(t tvg.Time) bool {
+			return t >= 1 && !numth.IsPQPower(t, p, q)
+		}),
+		Latency: tvg.ScaleLatency{Factor: q},
+	})
+	// e3: v0 -b-> v2, present exactly at t = p; latency "any" (1).
+	g.MustAddEdge(tvg.Edge{
+		From: v0, To: v2, Label: 'b', Name: "e3",
+		Presence: tvg.NewTimeSet(p),
+		Latency:  tvg.ConstLatency(1),
+	})
+	// e4: v1 -b-> v2, present exactly at t = p^i q^(i-1), i > 1;
+	// latency "any" (1).
+	g.MustAddEdge(tvg.Edge{
+		From: v1, To: v2, Label: 'b', Name: "e4",
+		Presence: tvg.PresenceFunc(func(t tvg.Time) bool {
+			return numth.IsPQPower(t, p, q)
+		}),
+		Latency: tvg.ConstLatency(1),
+	})
+
+	a := core.NewAutomaton(g)
+	a.AddInitial(v0)
+	a.AddAccepting(v2)
+	a.SetStartTime(1)
+	return a, nil
+}
+
+// HorizonForLength returns a horizon sufficient for exact no-wait
+// membership decisions on all words of length at most maxLen: every direct
+// journey reading k ≤ maxLen symbols visits times bounded by
+// max(p,q)^maxLen, since each symbol multiplies the current time by p or
+// q (the accepting hops add 1). An error is returned if the bound
+// overflows int64.
+func HorizonForLength(params Params, maxLen int) (tvg.Time, error) {
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	base := params.P
+	if params.Q > base {
+		base = params.Q
+	}
+	h, err := numth.CheckedPow(base, maxLen)
+	if err != nil {
+		return 0, fmt.Errorf("anbn: horizon for maxLen %d: %w", maxLen, err)
+	}
+	h, err = numth.CheckedAdd(h, 2)
+	if err != nil {
+		return 0, fmt.Errorf("anbn: horizon for maxLen %d: %w", maxLen, err)
+	}
+	return h, nil
+}
+
+// Reference returns the reference language {aⁿbⁿ : n ≥ 1} that the
+// construction must match under no-wait semantics.
+func Reference() lang.Language { return lang.AnBn() }
+
+// Table1 renders the presence/latency table of the paper's Table 1 for the
+// given parameters.
+func Table1(params Params) string {
+	p, q := params.P, params.Q
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 (p=%d, q=%d): presence and latency of the edges of G\n", p, q)
+	b.WriteString("  e  | Presence ρ(e,t)=1 iff      | Latency ζ(e,t)\n")
+	b.WriteString("  ---+----------------------------+----------------\n")
+	fmt.Fprintf(&b, "  e0 | always true                | (%d-1)t = %dt\n", p, p-1)
+	fmt.Fprintf(&b, "  e1 | t > %-22d | (%d-1)t = %dt\n", p, q, q-1)
+	fmt.Fprintf(&b, "  e2 | t != %d^i*%d^(i-1), i>1      | (%d-1)t = %dt\n", p, q, q, q-1)
+	fmt.Fprintf(&b, "  e3 | t = %-23d | any (1)\n", p)
+	fmt.Fprintf(&b, "  e4 | t = %d^i*%d^(i-1), i>1       | any (1)\n", p, q)
+	return b.String()
+}
+
+// AcceptingTimes returns the times at which the accepting edges fire for
+// word lengths n = 1..maxN: t = p for n = 1 and t = pⁿq^(n-1) for n ≥ 2.
+// It is used by the experiment harness to print the time encoding.
+func AcceptingTimes(params Params, maxN int) ([]tvg.Time, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]tvg.Time, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		pn, err := numth.CheckedPow(params.P, n)
+		if err != nil {
+			return nil, fmt.Errorf("anbn: accepting time for n=%d: %w", n, err)
+		}
+		if n == 1 {
+			out = append(out, pn)
+			continue
+		}
+		qn, err := numth.CheckedPow(params.Q, n-1)
+		if err != nil {
+			return nil, fmt.Errorf("anbn: accepting time for n=%d: %w", n, err)
+		}
+		t, err := numth.CheckedMul(pn, qn)
+		if err != nil {
+			return nil, fmt.Errorf("anbn: accepting time for n=%d: %w", n, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

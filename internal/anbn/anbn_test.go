@@ -1,0 +1,238 @@
+package anbn
+
+import (
+	"strings"
+	"testing"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/tvg"
+)
+
+func mustDecider(t *testing.T, params Params, mode journey.Mode, maxLen int) *core.Decider {
+	t.Helper()
+	a, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HorizonForLength(params, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDecider(a, mode, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params: %v", err)
+	}
+	for _, bad := range []Params{{P: 4, Q: 3}, {P: 2, Q: 2}, {P: 0, Q: 3}, {P: 2, Q: 9}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("params %+v should be invalid", bad)
+		}
+	}
+	if _, err := New(Params{P: 6, Q: 3}); err == nil {
+		t.Error("New should reject invalid params")
+	}
+	if _, err := HorizonForLength(Params{P: 6, Q: 3}, 4); err == nil {
+		t.Error("HorizonForLength should reject invalid params")
+	}
+}
+
+// TestFigure1LanguageExact is the headline E1 check: the no-wait language
+// of the Figure 1 automaton equals {aⁿbⁿ : n ≥ 1} on every word of length
+// at most 10, for two different prime pairs.
+func TestFigure1LanguageExact(t *testing.T) {
+	for _, params := range []Params{{P: 2, Q: 3}, {P: 3, Q: 5}} {
+		const maxLen = 10
+		d := mustDecider(t, params, journey.NoWait(), maxLen)
+		ref := Reference()
+		eq, witness := lang.EqualUpTo(d.Language("fig1-nowait"), ref, maxLen)
+		if !eq {
+			t.Errorf("p=%d q=%d: L_nowait(G) differs from a^n b^n at %q",
+				params.P, params.Q, witness)
+		}
+	}
+}
+
+func TestFigure1AcceptsExamples(t *testing.T) {
+	d := mustDecider(t, DefaultParams(), journey.NoWait(), 12)
+	for _, w := range []string{"ab", "aabb", "aaabbb", "aaaabbbb", "aaaaabbbbb", "aaaaaabbbbbb"} {
+		if !d.Accepts(w) {
+			t.Errorf("should accept %q", w)
+		}
+	}
+	for _, w := range []string{"", "a", "b", "ba", "aab", "abb", "abab", "aabbb", "aaabb", "bbaa"} {
+		if d.Accepts(w) {
+			t.Errorf("should reject %q", w)
+		}
+	}
+}
+
+func TestFigure1WitnessTimes(t *testing.T) {
+	// The witness journey for aabb must follow the time encoding
+	// 1 -a-> 2 -a-> 4 -b-> 12 -b-> accept (p=2, q=3: e4 fires at 12 = 2²·3).
+	d := mustDecider(t, DefaultParams(), journey.NoWait(), 8)
+	j, ok := d.Witness("aabb")
+	if !ok {
+		t.Fatal("aabb should have a witness")
+	}
+	deps := make([]tvg.Time, j.Len())
+	for i, h := range j.Hops {
+		deps[i] = h.Depart
+	}
+	want := []tvg.Time{1, 2, 4, 12}
+	for i := range want {
+		if deps[i] != want[i] {
+			t.Fatalf("witness departures = %v, want %v", deps, want)
+		}
+	}
+	if err := j.Validate(d.Compiled(), journey.NoWait()); err != nil {
+		t.Errorf("witness invalid: %v", err)
+	}
+	w, err := j.Word(d.Automaton().Graph())
+	if err != nil || w != "aabb" {
+		t.Errorf("witness word = %q, %v", w, err)
+	}
+}
+
+func TestFigure1IsDeterministic(t *testing.T) {
+	a, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper calls A(G) deterministic: from v0, labels a (e0) and b
+	// (e1 xor e3 — presence disjoint: t>p vs t=p); from v1, b via e2 xor
+	// e4 (complementary presence).
+	det, err := a.IsDeterministic(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Error("Figure 1 automaton should be deterministic")
+	}
+}
+
+// TestWaitingCollapsesLanguage shows the qualitative content of
+// Theorem 2.2 on Figure 1: once waiting is allowed, the language is no
+// longer {aⁿbⁿ} — e.g. "b" becomes acceptable by waiting at v0 until t=p
+// — and the wait language contains words of unbalanced shape.
+func TestWaitingCollapsesLanguage(t *testing.T) {
+	const maxLen = 6
+	dWait := mustDecider(t, DefaultParams(), journey.Wait(), maxLen)
+	if !dWait.Accepts("b") {
+		t.Error("wait semantics should accept \"b\" (wait at v0 until t=p, then e3)")
+	}
+	if !dWait.Accepts("ab") {
+		t.Error("wait language contains the no-wait language")
+	}
+	// a^n b^n still accepted (inclusion), plus strictly more words.
+	dNo := mustDecider(t, DefaultParams(), journey.NoWait(), maxLen)
+	nowaitWords := dNo.AcceptedWords(maxLen)
+	waitWords := dWait.AcceptedWords(maxLen)
+	if len(waitWords) <= len(nowaitWords) {
+		t.Errorf("wait language (%d words) should strictly contain nowait language (%d words)",
+			len(waitWords), len(nowaitWords))
+	}
+	waitSet := make(map[string]bool, len(waitWords))
+	for _, w := range waitWords {
+		waitSet[w] = true
+	}
+	for _, w := range nowaitWords {
+		if !waitSet[w] {
+			t.Errorf("inclusion violated: %q in L_nowait but not L_wait", w)
+		}
+	}
+}
+
+func TestBoundedWaitStillRestricted(t *testing.T) {
+	// With a small bound d, waiting cannot bridge the gap from t=1 to
+	// t=p^2 q - ... : check that wait[1] changes little for short words:
+	// "b" requires waiting p-1 ticks at v0 (p=2: 1 tick), so wait[1]
+	// accepts it, but wait[0] ≡ nowait does not.
+	d0 := mustDecider(t, DefaultParams(), journey.BoundedWait(0), 6)
+	d1 := mustDecider(t, DefaultParams(), journey.BoundedWait(1), 6)
+	if d0.Accepts("b") {
+		t.Error("wait[0] should behave like nowait and reject b")
+	}
+	if !d1.Accepts("b") {
+		t.Error("wait[1] should accept b for p=2 (pause exactly 1 at v0)")
+	}
+	// wait[0] equals nowait on all short words.
+	dNo := mustDecider(t, DefaultParams(), journey.NoWait(), 6)
+	eq, w := lang.EqualUpTo(d0.Language("wait0"), dNo.Language("nowait"), 6)
+	if !eq {
+		t.Errorf("wait[0] and nowait differ at %q", w)
+	}
+}
+
+func TestHorizonForLength(t *testing.T) {
+	h, err := HorizonForLength(DefaultParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 81+2 { // max(2,3)^4 + 2
+		t.Errorf("HorizonForLength(4) = %d, want 83", h)
+	}
+	if _, err := HorizonForLength(DefaultParams(), 1000); err == nil {
+		t.Error("huge maxLen should overflow")
+	}
+}
+
+func TestAcceptingTimes(t *testing.T) {
+	times, err := AcceptingTimes(DefaultParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tvg.Time{2, 12, 72, 432}
+	if len(times) != len(want) {
+		t.Fatalf("AcceptingTimes = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("AcceptingTimes[%d] = %d, want %d", i, times[i], want[i])
+		}
+	}
+	if _, err := AcceptingTimes(Params{P: 4, Q: 3}, 3); err == nil {
+		t.Error("invalid params should fail")
+	}
+	if _, err := AcceptingTimes(DefaultParams(), 100); err == nil {
+		t.Error("overflow should fail")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	s := Table1(DefaultParams())
+	for _, want := range []string{"e0", "e1", "e2", "e3", "e4", "p=2, q=3", "always true", "t > 2", "any (1)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestEncodingMatchesAcceptingTimes cross-checks that the decider's
+// accepting edge really fires at the predicted times pⁿq^(n-1).
+func TestEncodingMatchesAcceptingTimes(t *testing.T) {
+	params := DefaultParams()
+	d := mustDecider(t, params, journey.NoWait(), 10)
+	times, err := AcceptingTimes(params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		w := strings.Repeat("a", n) + strings.Repeat("b", n)
+		j, ok := d.Witness(w)
+		if !ok {
+			t.Fatalf("no witness for n=%d", n)
+		}
+		last := j.Hops[j.Len()-1]
+		if last.Depart != times[n-1] {
+			t.Errorf("n=%d: accepting hop departs at %d, predicted %d", n, last.Depart, times[n-1])
+		}
+	}
+}

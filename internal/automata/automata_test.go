@@ -1,0 +1,639 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// evenAs is a DFA over {a,b} accepting words with an even number of a's.
+func evenAs(t *testing.T) *DFA {
+	t.Helper()
+	d, err := NewDFA([]rune{'a', 'b'}, [][]State{
+		{1, 0}, // state 0: even
+		{0, 1}, // state 1: odd
+	}, 0, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// endsInB is a DFA over {a,b} accepting words ending in b.
+func endsInB(t *testing.T) *DFA {
+	t.Helper()
+	d, err := NewDFA([]rune{'a', 'b'}, [][]State{
+		{0, 1},
+		{0, 1},
+	}, 0, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDFAValidation(t *testing.T) {
+	if _, err := NewDFA([]rune{'a'}, nil, 0, nil); err == nil {
+		t.Error("empty DFA should fail")
+	}
+	if _, err := NewDFA([]rune{'a'}, [][]State{{0}}, 5, []bool{true}); err == nil {
+		t.Error("bad start should fail")
+	}
+	if _, err := NewDFA([]rune{'a'}, [][]State{{0}}, 0, []bool{true, false}); err == nil {
+		t.Error("accept length mismatch should fail")
+	}
+	if _, err := NewDFA([]rune{'a'}, [][]State{{0, 1}}, 0, []bool{true}); err == nil {
+		t.Error("row width mismatch should fail")
+	}
+	if _, err := NewDFA([]rune{'a'}, [][]State{{7}}, 0, []bool{true}); err == nil {
+		t.Error("invalid target should fail")
+	}
+	if _, err := NewDFA([]rune{'a', 'a'}, [][]State{{0, 0}}, 0, []bool{true}); err == nil {
+		t.Error("duplicate symbol should fail")
+	}
+}
+
+func TestDFAAccepts(t *testing.T) {
+	d := evenAs(t)
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"", true}, {"a", false}, {"aa", true}, {"ab", false}, {"ba", false},
+		{"bb", true}, {"abab", true}, {"aaab", false}, {"c", false},
+	}
+	for _, c := range cases {
+		if got := d.Accepts(c.w); got != c.want {
+			t.Errorf("Accepts(%q) = %v, want %v", c.w, got, c.want)
+		}
+	}
+	if d.Step(0, 'z') != -1 {
+		t.Error("Step on foreign symbol should be -1")
+	}
+}
+
+func TestNFABasics(t *testing.T) {
+	// NFA for (a|b)*abb — classic example; 4 states after manual build.
+	a := NewNFA(4)
+	a.SetStart(0)
+	a.AddTransition(0, 'a', 0)
+	a.AddTransition(0, 'b', 0)
+	a.AddTransition(0, 'a', 1)
+	a.AddTransition(1, 'b', 2)
+	a.AddTransition(2, 'b', 3)
+	a.SetAccept(3, true)
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"abb", true}, {"aabb", true}, {"babb", true}, {"ab", false},
+		{"", false}, {"abba", false}, {"abbabb", true},
+	}
+	for _, c := range cases {
+		if got := a.Accepts(c.w); got != c.want {
+			t.Errorf("NFA.Accepts(%q) = %v, want %v", c.w, got, c.want)
+		}
+	}
+	if a.NumStates() != 4 {
+		t.Errorf("NumStates = %d", a.NumStates())
+	}
+	if got := a.Alphabet(); string(got) != "ab" {
+		t.Errorf("Alphabet = %q", string(got))
+	}
+	if starts := a.Starts(); len(starts) != 1 || starts[0] != 0 {
+		t.Errorf("Starts = %v", starts)
+	}
+	// SetStart is idempotent.
+	a.SetStart(0)
+	if len(a.Starts()) != 1 {
+		t.Errorf("SetStart should deduplicate")
+	}
+}
+
+func TestEpsilonClosureChains(t *testing.T) {
+	// 0 -ε-> 1 -ε-> 2 -a-> 3(accept), plus ε-cycle 2 -ε-> 0.
+	a := NewNFA(4)
+	a.SetStart(0)
+	a.AddEpsilon(0, 1)
+	a.AddEpsilon(1, 2)
+	a.AddEpsilon(2, 0)
+	a.AddTransition(2, 'a', 3)
+	a.SetAccept(3, true)
+	if !a.Accepts("a") {
+		t.Error("should accept via epsilon chain")
+	}
+	if a.Accepts("") {
+		t.Error("empty word should be rejected")
+	}
+	a.SetAccept(1, true)
+	if !a.Accepts("") {
+		t.Error("empty word should be accepted once a closure state accepts")
+	}
+}
+
+func TestDeterminizeAgainstNFA(t *testing.T) {
+	a := NewNFA(4)
+	a.SetStart(0)
+	a.AddTransition(0, 'a', 0)
+	a.AddTransition(0, 'b', 0)
+	a.AddTransition(0, 'a', 1)
+	a.AddTransition(1, 'b', 2)
+	a.AddTransition(2, 'b', 3)
+	a.SetAccept(3, true)
+	d := a.Determinize(nil)
+	for _, w := range AllWords([]rune{'a', 'b'}, 8) {
+		if a.Accepts(w) != d.Accepts(w) {
+			t.Fatalf("NFA and DFA disagree on %q", w)
+		}
+	}
+	// The minimal DFA for (a|b)*abb has 4 states.
+	if m := d.Minimize(); m.NumStates() != 4 {
+		t.Errorf("minimal DFA has %d states, want 4", m.NumStates())
+	}
+}
+
+func TestDeterminizeEmptyNFA(t *testing.T) {
+	a := NewNFA(0)
+	d := a.Determinize([]rune{'a'})
+	if d.NumStates() < 1 {
+		t.Fatal("empty determinization must keep a sink state")
+	}
+	if d.Accepts("") || d.Accepts("a") {
+		t.Error("empty NFA should accept nothing")
+	}
+}
+
+func TestMinimizeKnownSizes(t *testing.T) {
+	// Words over {a,b} whose number of a's is divisible by 3: minimal 3 states.
+	d, err := NewDFA([]rune{'a', 'b'}, [][]State{
+		{1, 0}, {2, 1}, {0, 2},
+	}, 0, []bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Minimize(); m.NumStates() != 3 {
+		t.Errorf("mod-3 DFA minimal size = %d, want 3", m.NumStates())
+	}
+	// A DFA with two redundant copies of the even-a automaton.
+	big, err := NewDFA([]rune{'a', 'b'}, [][]State{
+		{1, 0}, {0, 1}, {3, 2}, {2, 3},
+	}, 0, []bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := big.Minimize()
+	if m.NumStates() != 2 {
+		t.Errorf("redundant DFA minimal size = %d, want 2", m.NumStates())
+	}
+	if !m.Equal(evenAs(t)) {
+		t.Error("minimized redundant DFA should equal evenAs")
+	}
+}
+
+func TestMinimizeAllAccepting(t *testing.T) {
+	d, err := NewDFA([]rune{'a'}, [][]State{{1}, {0}}, 0, []bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Minimize(); m.NumStates() != 1 {
+		t.Errorf("Σ* DFA minimal size = %d, want 1", m.NumStates())
+	}
+	none, err := NewDFA([]rune{'a'}, [][]State{{1}, {0}}, 0, []bool{false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := none.Minimize(); m.NumStates() != 1 {
+		t.Errorf("∅ DFA minimal size = %d, want 1", m.NumStates())
+	}
+}
+
+func TestEqualAndExplain(t *testing.T) {
+	a := evenAs(t)
+	if !a.Equal(a.Minimize()) {
+		t.Error("DFA should equal its minimization")
+	}
+	b := endsInB(t)
+	eq, witness := a.EqualExplain(b)
+	if eq {
+		t.Fatal("evenAs and endsInB should differ")
+	}
+	if a.Accepts(witness) == b.Accepts(witness) {
+		t.Errorf("witness %q does not separate the languages", witness)
+	}
+	// Alphabet mismatch.
+	c, err := NewDFA([]rune{'a'}, [][]State{{0}}, 0, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, reason := a.EqualExplain(c); eq || reason == "" {
+		t.Error("alphabet mismatch should be reported")
+	}
+}
+
+func TestComplementAndEmptiness(t *testing.T) {
+	a := evenAs(t)
+	comp := a.Complement()
+	for _, w := range AllWords([]rune{'a', 'b'}, 6) {
+		if a.Accepts(w) == comp.Accepts(w) {
+			t.Fatalf("complement agrees with original on %q", w)
+		}
+	}
+	// L ∩ ¬L = ∅.
+	inter, err := Intersect(a, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty, _ := inter.IsEmpty(); !empty {
+		t.Error("L ∩ ¬L should be empty")
+	}
+	// L ∪ ¬L = Σ*.
+	uni, err := Union(a, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty, w := uni.Complement().IsEmpty(); !empty {
+		t.Errorf("L ∪ ¬L should be Σ*; missing %q", w)
+	}
+	if empty, w := a.IsEmpty(); empty || w != "" {
+		t.Errorf("evenAs IsEmpty = %v, witness %q; want shortest witness \"\"", empty, w)
+	}
+}
+
+func TestProductOps(t *testing.T) {
+	a, b := evenAs(t), endsInB(t)
+	inter, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := SymmetricDifference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range AllWords([]rune{'a', 'b'}, 6) {
+		x, y := a.Accepts(w), b.Accepts(w)
+		if inter.Accepts(w) != (x && y) {
+			t.Fatalf("Intersect wrong on %q", w)
+		}
+		if uni.Accepts(w) != (x || y) {
+			t.Fatalf("Union wrong on %q", w)
+		}
+		if diff.Accepts(w) != (x && !y) {
+			t.Fatalf("Difference wrong on %q", w)
+		}
+		if sym.Accepts(w) != (x != y) {
+			t.Fatalf("SymmetricDifference wrong on %q", w)
+		}
+	}
+	mismatched, err := NewDFA([]rune{'z'}, [][]State{{0}}, 0, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Intersect(a, mismatched); err == nil {
+		t.Error("product with mismatched alphabets should fail")
+	}
+}
+
+func TestToNFARoundTrip(t *testing.T) {
+	d := evenAs(t)
+	back := d.ToNFA().Determinize(d.Alphabet())
+	if !d.Equal(back.Minimize()) && !d.Minimize().Equal(back.Minimize()) {
+		t.Error("DFA -> NFA -> DFA should preserve the language")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	a := NewNFA(5)
+	a.SetStart(0)
+	a.AddTransition(0, 'a', 1)
+	a.SetAccept(1, true)
+	// States 2,3,4 unreachable; 3 has transitions.
+	a.AddTransition(3, 'b', 4)
+	a.AddEpsilon(2, 3)
+	tr := a.Trim()
+	if tr.NumStates() != 2 {
+		t.Errorf("Trim kept %d states, want 2", tr.NumStates())
+	}
+	if !tr.Accepts("a") || tr.Accepts("b") {
+		t.Error("Trim changed the language")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := MustCompileRegex("ab*")
+	c := a.Clone()
+	// Mutating the clone must not affect the original.
+	extra := c.AddState()
+	c.SetAccept(extra, true)
+	c.AddTransition(c.Starts()[0], 'z', extra)
+	if a.Accepts("z") {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Accepts("z") || !c.Accepts("abb") {
+		t.Error("clone lost behaviour")
+	}
+}
+
+func TestRegexCases(t *testing.T) {
+	cases := []struct {
+		pattern string
+		yes     []string
+		no      []string
+	}{
+		{"", []string{""}, []string{"a"}},
+		{"a", []string{"a"}, []string{"", "b", "aa"}},
+		{"ab", []string{"ab"}, []string{"a", "b", "ba"}},
+		{"a|b", []string{"a", "b"}, []string{"", "ab"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+", []string{"a", "aa"}, []string{"", "b"}},
+		{"a?", []string{"", "a"}, []string{"aa"}},
+		{"(ab)*", []string{"", "ab", "abab"}, []string{"a", "aba"}},
+		{"(a|b)*abb", []string{"abb", "aabb", "babb"}, []string{"", "ab", "abba"}},
+		{"a|", []string{"", "a"}, []string{"b", "aa"}},
+		{"\\*", []string{"*"}, []string{"", "a"}},
+		{"(a|b)(a|b)", []string{"aa", "ab", "ba", "bb"}, []string{"a", "aab"}},
+		{"a**", []string{"", "a", "aa"}, []string{"b"}},
+	}
+	for _, c := range cases {
+		a, err := CompileRegex(c.pattern)
+		if err != nil {
+			t.Errorf("CompileRegex(%q): %v", c.pattern, err)
+			continue
+		}
+		for _, w := range c.yes {
+			if !a.Accepts(w) {
+				t.Errorf("regex %q should accept %q", c.pattern, w)
+			}
+		}
+		for _, w := range c.no {
+			if a.Accepts(w) {
+				t.Errorf("regex %q should reject %q", c.pattern, w)
+			}
+		}
+	}
+}
+
+func TestRegexErrors(t *testing.T) {
+	for _, pattern := range []string{"(", ")", "(a", "a)", "*", "+a", "?", "\\", "\\q", "a(b"} {
+		if _, err := CompileRegex(pattern); err == nil {
+			t.Errorf("CompileRegex(%q) should fail", pattern)
+		}
+	}
+}
+
+func TestMustCompileRegexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompileRegex should panic on bad pattern")
+		}
+	}()
+	MustCompileRegex("(")
+}
+
+func TestAcceptedWords(t *testing.T) {
+	d := MustCompileRegex("ab*").Determinize([]rune{'a', 'b'})
+	got := d.AcceptedWords(3)
+	want := []string{"a", "ab", "abb"}
+	if len(got) != len(want) {
+		t.Fatalf("AcceptedWords(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AcceptedWords(3)[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountAccepted(t *testing.T) {
+	// (a|b)* over {a,b}: 2^l words of each length l.
+	d := MustCompileRegex("(a|b)*").Determinize([]rune{'a', 'b'})
+	counts := d.CountAccepted(10)
+	for l, c := range counts {
+		if want := int64(1) << l; c != want {
+			t.Errorf("CountAccepted[%d] = %d, want %d", l, c, want)
+		}
+	}
+	// Counting agrees with enumeration for a nontrivial language.
+	d2 := MustCompileRegex("(a|b)*abb").Determinize([]rune{'a', 'b'})
+	counts2 := d2.CountAccepted(7)
+	byLen := make([]int64, 8)
+	for _, w := range d2.AcceptedWords(7) {
+		byLen[len(w)]++
+	}
+	for l := 0; l <= 7; l++ {
+		if counts2[l] != byLen[l] {
+			t.Errorf("length %d: CountAccepted=%d enumeration=%d", l, counts2[l], byLen[l])
+		}
+	}
+}
+
+func TestRandomAcceptedWord(t *testing.T) {
+	d := MustCompileRegex("(a|b)*abb").Determinize([]rune{'a', 'b'})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		w, ok := d.RandomAcceptedWord(rng, 6)
+		if !ok {
+			t.Fatal("language has length-6 words")
+		}
+		if !d.Accepts(w) {
+			t.Fatalf("sampled word %q not accepted", w)
+		}
+		if len(w) != 6 {
+			t.Fatalf("sampled word %q has wrong length", w)
+		}
+	}
+	if _, ok := d.RandomAcceptedWord(rng, 2); ok {
+		t.Error("no length-2 words in (a|b)*abb")
+	}
+}
+
+func TestAllWordsAndRandomWord(t *testing.T) {
+	words := AllWords([]rune{'a', 'b'}, 3)
+	if len(words) != 1+2+4+8 {
+		t.Errorf("AllWords count = %d, want 15", len(words))
+	}
+	if words[0] != "" || words[1] != "a" || words[2] != "b" {
+		t.Errorf("AllWords order wrong: %v", words[:3])
+	}
+	rng := rand.New(rand.NewSource(7))
+	w := RandomWord(rng, []rune{'x', 'y'}, 5)
+	if len(w) != 5 {
+		t.Errorf("RandomWord length = %d", len(w))
+	}
+	for _, r := range w {
+		if r != 'x' && r != 'y' {
+			t.Errorf("RandomWord produced foreign symbol %q", r)
+		}
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	words := []string{"", "ab", "abc", "ba", "ab"} // duplicate on purpose
+	a := FromWords(words)
+	for _, w := range words {
+		if !a.Accepts(w) {
+			t.Errorf("should accept %q", w)
+		}
+	}
+	for _, w := range []string{"a", "b", "abca", "bab", "c"} {
+		if a.Accepts(w) {
+			t.Errorf("should reject %q", w)
+		}
+	}
+	// Trie sharing: "ab" and "abc" share a prefix, so the automaton has
+	// fewer states than the total input length.
+	if a.NumStates() > 1+2+1+2 { // root + a,b(+c) + b,a
+		t.Errorf("trie not shared: %d states", a.NumStates())
+	}
+	// Empty set accepts nothing.
+	empty := FromWords(nil)
+	if empty.Accepts("") || empty.Accepts("a") {
+		t.Error("empty FromWords should reject everything")
+	}
+	// Agreement with the DFA pipeline on an exhaustive domain.
+	d := a.Determinize([]rune{'a', 'b', 'c'}).Minimize()
+	for _, w := range AllWords([]rune{'a', 'b', 'c'}, 4) {
+		if a.Accepts(w) != d.Accepts(w) {
+			t.Fatalf("trie vs DFA disagree at %q", w)
+		}
+	}
+}
+
+func TestSortedRunes(t *testing.T) {
+	got := SortedRunes("banana")
+	if string(got) != "abn" {
+		t.Errorf("SortedRunes = %q", string(got))
+	}
+}
+
+// Property: determinization and minimization preserve the language of
+// random regexes, and minimization is idempotent.
+func TestMinimizePreservesLanguageProperty(t *testing.T) {
+	patterns := []string{
+		"(a|b)*abb", "a*b*", "(ab|ba)*", "a(a|b)*b", "(a|b)(a|b)(a|b)",
+		"(aa|bb)*", "a|b|ab|ba", "((a|b)(a|b))*", "a*|b*", "(a|)b*",
+	}
+	alphabet := []rune{'a', 'b'}
+	words := AllWords(alphabet, 7)
+	for _, p := range patterns {
+		nfa := MustCompileRegex(p)
+		d := nfa.Determinize(alphabet)
+		m := d.Minimize()
+		mm := m.Minimize()
+		if m.NumStates() != mm.NumStates() {
+			t.Errorf("minimize not idempotent for %q: %d vs %d", p, m.NumStates(), mm.NumStates())
+		}
+		for _, w := range words {
+			want := nfa.Accepts(w)
+			if d.Accepts(w) != want || m.Accepts(w) != want {
+				t.Fatalf("pattern %q: language changed on %q", p, w)
+			}
+		}
+		if !d.Equal(m) {
+			t.Errorf("pattern %q: Equal(d, minimized) = false", p)
+		}
+	}
+}
+
+// Property: random DFAs equal themselves after minimize, minimization is
+// idempotent, and complement twice is identity. Run over a deterministic
+// seed sweep plus quick.Check's randomized seeds; seed
+// -249430997665500804 is the regression input that exposed a
+// missed-refinement bug in the original Hopcroft-style minimizer.
+func TestRandomDFAProperties(t *testing.T) {
+	check := func(seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		alphabet := []rune{'a', 'b'}
+		trans := make([][]State, n)
+		accept := make([]bool, n)
+		for s := 0; s < n; s++ {
+			trans[s] = []State{State(rng.Intn(n)), State(rng.Intn(n))}
+			accept[s] = rng.Intn(2) == 0
+		}
+		d, err := NewDFA(alphabet, trans, State(rng.Intn(n)), accept)
+		if err != nil {
+			return err
+		}
+		m := d.Minimize()
+		if eq, w := d.EqualExplain(m); !eq {
+			return fmt.Errorf("seed %d: minimize changed the language at %q", seed, w)
+		}
+		if m.NumStates() > d.NumStates() {
+			return fmt.Errorf("seed %d: minimize grew %d -> %d", seed, d.NumStates(), m.NumStates())
+		}
+		if mm := m.Minimize(); mm.NumStates() != m.NumStates() {
+			return fmt.Errorf("seed %d: not idempotent", seed)
+		}
+		if !d.Complement().Complement().Equal(d) {
+			return fmt.Errorf("seed %d: double complement differs", seed)
+		}
+		return nil
+	}
+	// Regression seed plus a deterministic sweep.
+	seeds := []int64{-249430997665500804}
+	for s := int64(0); s < 300; s++ {
+		seeds = append(seeds, s)
+	}
+	for _, seed := range seeds {
+		if err := check(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(seed int64) bool { return check(seed) == nil }
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the minimal DFA is a correct quotient — exhaustively compare
+// random DFAs against their minimizations on all words up to length 8.
+func TestMinimizeExhaustiveAgreement(t *testing.T) {
+	words := AllWords([]rune{'a', 'b'}, 8)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		trans := make([][]State, n)
+		accept := make([]bool, n)
+		for s := 0; s < n; s++ {
+			trans[s] = []State{State(rng.Intn(n)), State(rng.Intn(n))}
+			accept[s] = rng.Intn(3) == 0
+		}
+		d, err := NewDFA([]rune{'a', 'b'}, trans, State(rng.Intn(n)), accept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.Minimize()
+		for _, w := range words {
+			if d.Accepts(w) != m.Accepts(w) {
+				t.Fatalf("seed %d: disagree at %q", seed, w)
+			}
+		}
+	}
+}
+
+// Property: Hopcroft-minimal DFAs of two equivalent automata have the same
+// number of states (Myhill–Nerode canonicality).
+func TestMinimalCanonicalProperty(t *testing.T) {
+	// Build the same language two ways: regex and manual DFA.
+	viaRegex := MustCompileRegex("(a|b)*b").Determinize([]rune{'a', 'b'}).Minimize()
+	manual, err := NewDFA([]rune{'a', 'b'}, [][]State{{0, 1}, {0, 1}}, 0, []bool{false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := manual.Minimize()
+	if viaRegex.NumStates() != m.NumStates() {
+		t.Errorf("canonical sizes differ: %d vs %d", viaRegex.NumStates(), m.NumStates())
+	}
+	if !viaRegex.Equal(m) {
+		t.Error("equivalent automata reported unequal")
+	}
+}

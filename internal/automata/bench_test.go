@@ -1,0 +1,99 @@
+package automata
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRegexCompile(b *testing.B) {
+	const pattern = "((a|b)*abb|ba(ab)*)+(a|b)?"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileRegex(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeterminize(b *testing.B) {
+	nfa := MustCompileRegex("((a|b)(a|b)(a|b)(a|b))*abb")
+	alphabet := []rune{'a', 'b'}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := nfa.Determinize(alphabet)
+		_ = d.NumStates()
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	d := MustCompileRegex("((a|b)(a|b)(a|b)(a|b))*abb").Determinize([]rune{'a', 'b'})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := d.Minimize()
+		_ = m.NumStates()
+	}
+}
+
+func BenchmarkProductIntersect(b *testing.B) {
+	x := MustCompileRegex("(a|b)*abb").Determinize([]rune{'a', 'b'}).Minimize()
+	y := MustCompileRegex("a(a|b)*").Determinize([]rune{'a', 'b'}).Minimize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Intersect(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDFAAccepts(b *testing.B) {
+	d := MustCompileRegex("(a|b)*abb").Determinize([]rune{'a', 'b'}).Minimize()
+	word := ""
+	for i := 0; i < 64; i++ {
+		word += "ab"
+	}
+	word += "abb"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Accepts(word) {
+			b.Fatal("must accept")
+		}
+	}
+}
+
+// Ablation: NFA acceptance (subset simulation per word) vs compiled DFA.
+func BenchmarkNFAvsDFAAccepts(b *testing.B) {
+	nfa := MustCompileRegex("(a|b)*abb")
+	dfa := nfa.Determinize([]rune{'a', 'b'}).Minimize()
+	word := ""
+	for i := 0; i < 32; i++ {
+		word += "ba"
+	}
+	word += "abb"
+	b.Run("nfa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !nfa.Accepts(word) {
+				b.Fatal("must accept")
+			}
+		}
+	})
+	b.Run("dfa", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !dfa.Accepts(word) {
+				b.Fatal("must accept")
+			}
+		}
+	})
+}
+
+func BenchmarkCountAccepted(b *testing.B) {
+	d := MustCompileRegex("(a|b)*abb").Determinize([]rune{'a', 'b'}).Minimize()
+	for _, maxLen := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("len=%d", maxLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = d.CountAccepted(maxLen)
+			}
+		})
+	}
+}

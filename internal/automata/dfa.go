@@ -1,0 +1,422 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DFA is a complete deterministic finite automaton: every state has exactly
+// one successor per alphabet symbol. Words containing symbols outside the
+// alphabet are rejected.
+type DFA struct {
+	alphabet []rune
+	symIdx   map[rune]int
+	trans    [][]State // [state][symbol index]
+	start    State
+	accept   []bool
+}
+
+// NewDFA builds a complete DFA from explicit tables. trans must have one
+// row per state and one column per alphabet symbol; entries must be valid
+// states.
+func NewDFA(alphabet []rune, trans [][]State, start State, accept []bool) (*DFA, error) {
+	n := len(trans)
+	if len(accept) != n {
+		return nil, fmt.Errorf("automata: accept has %d entries for %d states", len(accept), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("automata: DFA must have at least one state")
+	}
+	if start < 0 || int(start) >= n {
+		return nil, fmt.Errorf("automata: start state %d out of range", start)
+	}
+	symIdx := make(map[rune]int, len(alphabet))
+	for i, sym := range alphabet {
+		if _, dup := symIdx[sym]; dup {
+			return nil, fmt.Errorf("automata: duplicate alphabet symbol %q", sym)
+		}
+		symIdx[sym] = i
+	}
+	rows := make([][]State, n)
+	for s, row := range trans {
+		if len(row) != len(alphabet) {
+			return nil, fmt.Errorf("automata: state %d has %d transitions for %d symbols", s, len(row), len(alphabet))
+		}
+		for _, t := range row {
+			if t < 0 || int(t) >= n {
+				return nil, fmt.Errorf("automata: state %d has transition to invalid state %d", s, t)
+			}
+		}
+		rows[s] = append([]State(nil), row...)
+	}
+	return &DFA{
+		alphabet: append([]rune(nil), alphabet...),
+		symIdx:   symIdx,
+		trans:    rows,
+		start:    start,
+		accept:   append([]bool(nil), accept...),
+	}, nil
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Start returns the initial state.
+func (d *DFA) Start() State { return d.start }
+
+// IsAccept reports whether s is accepting.
+func (d *DFA) IsAccept(s State) bool { return d.accept[s] }
+
+// Alphabet returns a copy of the alphabet.
+func (d *DFA) Alphabet() []rune { return append([]rune(nil), d.alphabet...) }
+
+// Step returns the successor of s on sym, or -1 if sym is outside the
+// alphabet.
+func (d *DFA) Step(s State, sym rune) State {
+	i, ok := d.symIdx[sym]
+	if !ok {
+		return -1
+	}
+	return d.trans[s][i]
+}
+
+// Accepts reports whether the DFA accepts the word.
+func (d *DFA) Accepts(word string) bool {
+	s := d.start
+	for _, sym := range word {
+		s = d.Step(s, sym)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.accept[s]
+}
+
+// Complement returns a DFA accepting exactly the words over the same
+// alphabet that d rejects.
+func (d *DFA) Complement() *DFA {
+	out := d.clone()
+	for i := range out.accept {
+		out.accept[i] = !out.accept[i]
+	}
+	return out
+}
+
+func (d *DFA) clone() *DFA {
+	rows := make([][]State, len(d.trans))
+	for i, row := range d.trans {
+		rows[i] = append([]State(nil), row...)
+	}
+	symIdx := make(map[rune]int, len(d.symIdx))
+	for k, v := range d.symIdx {
+		symIdx[k] = v
+	}
+	return &DFA{
+		alphabet: append([]rune(nil), d.alphabet...),
+		symIdx:   symIdx,
+		trans:    rows,
+		start:    d.start,
+		accept:   append([]bool(nil), d.accept...),
+	}
+}
+
+// Minimize returns the canonical minimal DFA equivalent to d, computed by
+// Moore partition refinement on the reachable part: states start
+// partitioned by acceptance and are repeatedly split by the partition of
+// their successors until stable. O(n²·|Σ|) worst case, which is ample for
+// the automata sizes this repository produces, and straightforwardly
+// correct (a Hopcroft worklist variant was abandoned after a property
+// test found a missed-refinement bug).
+func (d *DFA) Minimize() *DFA {
+	r := d.trimReachable()
+	n := r.NumStates()
+	k := len(r.alphabet)
+
+	// part[s] is the current block id of state s; blocks are refined by
+	// the signature (own block, blocks of successors) until stable.
+	part := make([]int, n)
+	for s := 0; s < n; s++ {
+		if r.accept[s] {
+			part[s] = 1
+		}
+	}
+	numParts := 0
+	for {
+		index := make(map[string]int, numParts)
+		newPart := make([]int, n)
+		buf := make([]byte, 0, (k+1)*4)
+		for s := 0; s < n; s++ {
+			buf = buf[:0]
+			buf = appendInt(buf, part[s])
+			for c := 0; c < k; c++ {
+				buf = appendInt(buf, part[r.trans[s][c]])
+			}
+			key := string(buf)
+			id, ok := index[key]
+			if !ok {
+				id = len(index)
+				index[key] = id
+			}
+			newPart[s] = id
+		}
+		part = newPart
+		if len(index) == numParts {
+			break
+		}
+		numParts = len(index)
+	}
+
+	// Build the quotient automaton with stable state numbering (BFS from
+	// the start block) so minimal DFAs get a canonical layout.
+	rep := make([]State, numParts)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for s := n - 1; s >= 0; s-- {
+		rep[part[s]] = State(s)
+	}
+	order := make([]int, 0, numParts)
+	seen := make([]bool, numParts)
+	queue := []int{part[r.start]}
+	seen[part[r.start]] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		order = append(order, p)
+		for c := 0; c < k; c++ {
+			q := part[r.trans[rep[p]][c]]
+			if !seen[q] {
+				seen[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	newID := make([]State, numParts)
+	for i, p := range order {
+		newID[p] = State(i)
+	}
+	out := &DFA{
+		alphabet: append([]rune(nil), r.alphabet...),
+		symIdx:   make(map[rune]int, k),
+		trans:    make([][]State, len(order)),
+		accept:   make([]bool, len(order)),
+	}
+	for i, sym := range out.alphabet {
+		out.symIdx[sym] = i
+	}
+	for i, p := range order {
+		out.accept[i] = r.accept[rep[p]]
+		row := make([]State, k)
+		for c := 0; c < k; c++ {
+			row[c] = newID[part[r.trans[rep[p]][c]]]
+		}
+		out.trans[i] = row
+	}
+	out.start = newID[part[r.start]]
+	return out
+}
+
+// appendInt appends a fixed-width little-endian encoding of v, used to
+// build partition signatures.
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// trimReachable returns an equivalent complete DFA restricted to states
+// reachable from the start state.
+func (d *DFA) trimReachable() *DFA {
+	n := d.NumStates()
+	reach := make([]bool, n)
+	var order []State
+	reach[d.start] = true
+	queue := []State{d.start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		order = append(order, s)
+		for _, t := range d.trans[s] {
+			if !reach[t] {
+				reach[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) == n {
+		return d.clone()
+	}
+	remap := make([]State, n)
+	for i, s := range order {
+		remap[s] = State(i)
+	}
+	out := &DFA{
+		alphabet: append([]rune(nil), d.alphabet...),
+		symIdx:   make(map[rune]int, len(d.alphabet)),
+		trans:    make([][]State, len(order)),
+		accept:   make([]bool, len(order)),
+	}
+	for i, sym := range out.alphabet {
+		out.symIdx[sym] = i
+	}
+	for i, s := range order {
+		out.accept[i] = d.accept[s]
+		row := make([]State, len(d.alphabet))
+		for c := range d.alphabet {
+			row[c] = remap[d.trans[s][c]]
+		}
+		out.trans[i] = row
+	}
+	out.start = remap[d.start]
+	return out
+}
+
+// Equal reports whether d and o accept the same language. Both automata
+// must share the same alphabet (otherwise false is returned, with a
+// mismatch reason available via EqualExplain).
+func (d *DFA) Equal(o *DFA) bool {
+	eq, _ := d.EqualExplain(o)
+	return eq
+}
+
+// EqualExplain is Equal with a counterexample or reason: if the automata
+// differ, witness is a word accepted by exactly one of them, or a
+// description of an alphabet mismatch.
+func (d *DFA) EqualExplain(o *DFA) (bool, string) {
+	if string(d.alphabet) != string(o.alphabet) {
+		return false, fmt.Sprintf("alphabet mismatch: %q vs %q", string(d.alphabet), string(o.alphabet))
+	}
+	type pair struct{ a, b State }
+	seen := map[pair]bool{{d.start, o.start}: true}
+	type item struct {
+		p    pair
+		word string
+	}
+	queue := []item{{pair{d.start, o.start}, ""}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if d.accept[it.p.a] != o.accept[it.p.b] {
+			return false, it.word
+		}
+		for i, sym := range d.alphabet {
+			np := pair{d.trans[it.p.a][i], o.trans[it.p.b][i]}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, item{np, it.word + string(sym)})
+			}
+		}
+	}
+	return true, ""
+}
+
+// IsEmpty reports whether the DFA accepts no word, and if non-empty returns
+// a shortest accepted word as witness.
+func (d *DFA) IsEmpty() (bool, string) {
+	type item struct {
+		s    State
+		word string
+	}
+	seen := make([]bool, d.NumStates())
+	seen[d.start] = true
+	queue := []item{{d.start, ""}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if d.accept[it.s] {
+			return false, it.word
+		}
+		for i, sym := range d.alphabet {
+			t := d.trans[it.s][i]
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, item{t, it.word + string(sym)})
+			}
+		}
+	}
+	return true, ""
+}
+
+// ToNFA converts the DFA into an equivalent NFA.
+func (d *DFA) ToNFA() *NFA {
+	a := NewNFA(d.NumStates())
+	a.SetStart(d.start)
+	for s := 0; s < d.NumStates(); s++ {
+		a.SetAccept(State(s), d.accept[s])
+		for i, sym := range d.alphabet {
+			a.AddTransition(State(s), sym, d.trans[s][i])
+		}
+	}
+	return a
+}
+
+// Product returns the complete product DFA whose accepting set is defined
+// by combine(aAccepts, bAccepts). Both inputs must share an alphabet.
+func Product(a, b *DFA, combine func(bool, bool) bool) (*DFA, error) {
+	if string(a.alphabet) != string(b.alphabet) {
+		return nil, fmt.Errorf("automata: product of DFAs with different alphabets %q and %q",
+			string(a.alphabet), string(b.alphabet))
+	}
+	type pair struct{ x, y State }
+	index := map[pair]State{}
+	var pairs []pair
+	intern := func(p pair) State {
+		if s, ok := index[p]; ok {
+			return s
+		}
+		s := State(len(pairs))
+		index[p] = s
+		pairs = append(pairs, p)
+		return s
+	}
+	start := intern(pair{a.start, b.start})
+	var trans [][]State
+	var accept []bool
+	for i := 0; i < len(pairs); i++ {
+		p := pairs[i]
+		accept = append(accept, combine(a.accept[p.x], b.accept[p.y]))
+		row := make([]State, len(a.alphabet))
+		for c := range a.alphabet {
+			row[c] = intern(pair{a.trans[p.x][c], b.trans[p.y][c]})
+		}
+		trans = append(trans, row)
+	}
+	return NewDFA(a.alphabet, trans, start, accept)
+}
+
+// Intersect returns a DFA for L(a) ∩ L(b).
+func Intersect(a, b *DFA) (*DFA, error) {
+	return Product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns a DFA for L(a) ∪ L(b).
+func Union(a, b *DFA) (*DFA, error) {
+	return Product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a DFA for L(a) \ L(b).
+func Difference(a, b *DFA) (*DFA, error) {
+	return Product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// SymmetricDifference returns a DFA for L(a) Δ L(b).
+func SymmetricDifference(a, b *DFA) (*DFA, error) {
+	return Product(a, b, func(x, y bool) bool { return x != y })
+}
+
+// SortedRunes returns a sorted copy of the runes in s, deduplicated.
+// It is a convenience for building alphabets.
+func SortedRunes(s string) []rune {
+	seen := make(map[rune]bool)
+	for _, r := range s {
+		seen[r] = true
+	}
+	out := make([]rune, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *DFA) String() string {
+	return fmt.Sprintf("DFA(states=%d, alphabet=%q)", d.NumStates(), string(d.alphabet))
+}

@@ -1,0 +1,174 @@
+package automata
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// AcceptedWords returns every word of length at most maxLen accepted by the
+// DFA, in length-then-lexicographic order. It explores the complete word
+// tree, so it is intended for the small alphabets and lengths used in
+// language-equality experiments (|Σ|^maxLen words).
+func (d *DFA) AcceptedWords(maxLen int) []string {
+	var out []string
+	type item struct {
+		s    State
+		word string
+	}
+	frontier := []item{{d.start, ""}}
+	if d.accept[d.start] {
+		out = append(out, "")
+	}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []item
+		for _, it := range frontier {
+			for i, sym := range d.alphabet {
+				t := d.trans[it.s][i]
+				w := it.word + string(sym)
+				if d.accept[t] {
+					out = append(out, w)
+				}
+				next = append(next, item{t, w})
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// CountAccepted returns, for each length 0..maxLen, how many words of that
+// length the DFA accepts. It runs the standard dynamic program over state
+// occupancy counts, so it is exact and fast even for large maxLen.
+func (d *DFA) CountAccepted(maxLen int) []int64 {
+	counts := make([]int64, maxLen+1)
+	occ := make([]int64, d.NumStates())
+	occ[d.start] = 1
+	for l := 0; l <= maxLen; l++ {
+		var acc int64
+		for s, c := range occ {
+			if c > 0 && d.accept[s] {
+				acc += c
+			}
+		}
+		counts[l] = acc
+		if l == maxLen {
+			break
+		}
+		next := make([]int64, d.NumStates())
+		for s, c := range occ {
+			if c == 0 {
+				continue
+			}
+			for i := range d.alphabet {
+				next[d.trans[s][i]] += c
+			}
+		}
+		occ = next
+	}
+	return counts
+}
+
+// RandomAcceptedWord samples a uniformly random accepted word of exactly
+// length n, or returns false if the DFA accepts no word of that length.
+// The rng must be non-nil.
+func (d *DFA) RandomAcceptedWord(rng *rand.Rand, n int) (string, bool) {
+	// ways[l][s] = number of accepted completions of length l from state s.
+	ways := make([][]int64, n+1)
+	ways[0] = make([]int64, d.NumStates())
+	for s := 0; s < d.NumStates(); s++ {
+		if d.accept[s] {
+			ways[0][s] = 1
+		}
+	}
+	for l := 1; l <= n; l++ {
+		ways[l] = make([]int64, d.NumStates())
+		for s := 0; s < d.NumStates(); s++ {
+			var total int64
+			for i := range d.alphabet {
+				total += ways[l-1][d.trans[s][i]]
+			}
+			ways[l][s] = total
+		}
+	}
+	if ways[n][d.start] == 0 {
+		return "", false
+	}
+	var b []rune
+	s := d.start
+	for l := n; l > 0; l-- {
+		pick := rng.Int63n(ways[l][s])
+		for i, sym := range d.alphabet {
+			t := d.trans[s][i]
+			if pick < ways[l-1][t] {
+				b = append(b, sym)
+				s = t
+				break
+			}
+			pick -= ways[l-1][t]
+		}
+	}
+	return string(b), true
+}
+
+// AllWords enumerates every word over the alphabet with length at most
+// maxLen, in length-then-lexicographic order. It is the exhaustive test
+// domain for bounded language-equality checks.
+func AllWords(alphabet []rune, maxLen int) []string {
+	words := []string{""}
+	frontier := []string{""}
+	for l := 0; l < maxLen; l++ {
+		next := make([]string, 0, len(frontier)*len(alphabet))
+		for _, w := range frontier {
+			for _, sym := range alphabet {
+				next = append(next, w+string(sym))
+			}
+		}
+		words = append(words, next...)
+		frontier = next
+	}
+	return words
+}
+
+// RandomWord returns a uniformly random word of exactly length n over the
+// alphabet.
+func RandomWord(rng *rand.Rand, alphabet []rune, n int) string {
+	b := make([]rune, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// FromWords builds an NFA accepting exactly the given finite word set,
+// as a prefix tree (trie) of the words.
+func FromWords(words []string) *NFA {
+	a := NewNFA(0)
+	root := a.AddState()
+	a.SetStart(root)
+	type key struct {
+		s   State
+		sym rune
+	}
+	children := make(map[key]State)
+	for _, w := range words {
+		cur := root
+		for _, sym := range w {
+			k := key{cur, sym}
+			next, ok := children[k]
+			if !ok {
+				next = a.AddState()
+				children[k] = next
+				a.AddTransition(cur, sym, next)
+			}
+			cur = next
+		}
+		a.SetAccept(cur, true)
+	}
+	return a
+}

@@ -1,0 +1,65 @@
+package automata
+
+import "testing"
+
+// FuzzRegexCompile checks that the regex compiler never panics and that a
+// successfully compiled pattern yields an automaton whose membership
+// queries are well-behaved. Run with `go test -fuzz FuzzRegexCompile` for
+// exploration; the seed corpus runs on every ordinary `go test`.
+func FuzzRegexCompile(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "(a|b)*abb", "a**", "((((", "a|", "\\\\", "\\*",
+		"(ab|ba)+c?", "a+b+c+", "()", "(|)", "x(y(z)*)?",
+	} {
+		f.Add(seed, "abab")
+	}
+	f.Fuzz(func(t *testing.T, pattern, word string) {
+		nfa, err := CompileRegex(pattern)
+		if err != nil {
+			return // invalid patterns simply error
+		}
+		// Membership must not panic, and determinization must agree.
+		got := nfa.Accepts(word)
+		d := nfa.Determinize(SortedRunes(pattern + word))
+		if d.Accepts(word) != got {
+			t.Fatalf("pattern %q: NFA=%v, DFA=%v on %q", pattern, got, d.Accepts(word), word)
+		}
+		m := d.Minimize()
+		if m.Accepts(word) != got {
+			t.Fatalf("pattern %q: minimized DFA disagrees on %q", pattern, word)
+		}
+	})
+}
+
+// FuzzMinimizeAgreement drives random DFAs from raw bytes and checks the
+// quotient construction on the given word.
+func FuzzMinimizeAgreement(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0, 1, 2, 0}, "abba")
+	f.Add([]byte{3, 3, 2, 1, 0}, "bb")
+	f.Fuzz(func(t *testing.T, raw []byte, word string) {
+		if len(raw) < 4 {
+			return
+		}
+		n := 1 + int(raw[0])%6
+		trans := make([][]State, n)
+		accept := make([]bool, n)
+		idx := 1
+		next := func() byte {
+			b := raw[idx%len(raw)]
+			idx++
+			return b
+		}
+		for s := 0; s < n; s++ {
+			trans[s] = []State{State(int(next()) % n), State(int(next()) % n)}
+			accept[s] = next()%2 == 0
+		}
+		d, err := NewDFA([]rune{'a', 'b'}, trans, State(int(next())%n), accept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.Minimize()
+		if d.Accepts(word) != m.Accepts(word) {
+			t.Fatalf("minimize changed membership of %q", word)
+		}
+	})
+}

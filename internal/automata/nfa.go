@@ -1,0 +1,323 @@
+// Package automata implements the classical finite-automata substrate used
+// throughout the reproduction: nondeterministic finite automata with
+// ε-transitions, deterministic finite automata, subset construction,
+// Moore partition-refinement minimization, product constructions,
+// equivalence checking,
+// bounded language enumeration and a small regular-expression compiler.
+//
+// Theorem 2.2 of the paper states that the languages of TVG-automata with
+// waiting are exactly the regular languages; the constructions in
+// internal/construct produce NFAs from TVGs (regularity witnesses) and
+// TVGs from DFAs (the converse inclusion), and this package supplies the
+// algorithms that compare those languages.
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State identifies a state of an NFA or DFA.
+type State int
+
+// NFA is a nondeterministic finite automaton with ε-transitions.
+//
+// States are 0..NumStates()-1. The zero value is an empty automaton with no
+// states; use NewNFA or the builder methods.
+type NFA struct {
+	trans  []map[rune][]State // per state: symbol -> successors
+	eps    [][]State          // per state: ε-successors
+	start  []State
+	accept []bool
+}
+
+// NewNFA returns an NFA with n states and no transitions.
+func NewNFA(n int) *NFA {
+	a := &NFA{
+		trans:  make([]map[rune][]State, n),
+		eps:    make([][]State, n),
+		accept: make([]bool, n),
+	}
+	return a
+}
+
+// NumStates returns the number of states.
+func (a *NFA) NumStates() int { return len(a.trans) }
+
+// AddState appends a fresh state and returns it.
+func (a *NFA) AddState() State {
+	a.trans = append(a.trans, nil)
+	a.eps = append(a.eps, nil)
+	a.accept = append(a.accept, false)
+	return State(len(a.trans) - 1)
+}
+
+// SetStart marks s as an initial state.
+func (a *NFA) SetStart(s State) {
+	for _, existing := range a.start {
+		if existing == s {
+			return
+		}
+	}
+	a.start = append(a.start, s)
+}
+
+// SetAccept marks s as accepting (or not).
+func (a *NFA) SetAccept(s State, accepting bool) { a.accept[s] = accepting }
+
+// IsAccept reports whether s is accepting.
+func (a *NFA) IsAccept(s State) bool { return a.accept[s] }
+
+// Starts returns a copy of the initial-state set.
+func (a *NFA) Starts() []State {
+	out := make([]State, len(a.start))
+	copy(out, a.start)
+	return out
+}
+
+// AddTransition adds a transition from -sym-> to.
+func (a *NFA) AddTransition(from State, sym rune, to State) {
+	if a.trans[from] == nil {
+		a.trans[from] = make(map[rune][]State)
+	}
+	a.trans[from][sym] = append(a.trans[from][sym], to)
+}
+
+// AddEpsilon adds an ε-transition from -> to.
+func (a *NFA) AddEpsilon(from, to State) {
+	a.eps[from] = append(a.eps[from], to)
+}
+
+// TransitionsFrom returns a copy of the direct successors of s on sym
+// (ε-transitions are not followed).
+func (a *NFA) TransitionsFrom(s State, sym rune) []State {
+	ts := a.trans[s][sym]
+	if len(ts) == 0 {
+		return nil
+	}
+	return append([]State(nil), ts...)
+}
+
+// EpsilonsFrom returns a copy of the direct ε-successors of s.
+func (a *NFA) EpsilonsFrom(s State) []State {
+	if len(a.eps[s]) == 0 {
+		return nil
+	}
+	return append([]State(nil), a.eps[s]...)
+}
+
+// Alphabet returns the sorted set of symbols with at least one transition.
+func (a *NFA) Alphabet() []rune {
+	seen := make(map[rune]bool)
+	for _, m := range a.trans {
+		for sym := range m {
+			seen[sym] = true
+		}
+	}
+	out := make([]rune, 0, len(seen))
+	for sym := range seen {
+		out = append(out, sym)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// epsClosure expands the set (given as a sorted slice) with everything
+// reachable via ε-transitions, returning a sorted, deduplicated slice.
+func (a *NFA) epsClosure(set []State) []State {
+	seen := make(map[State]bool, len(set))
+	stack := make([]State, 0, len(set))
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]State, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// step returns the ε-closed successor set of the ε-closed set on sym.
+func (a *NFA) step(set []State, sym rune) []State {
+	var next []State
+	for _, s := range set {
+		next = append(next, a.trans[s][sym]...)
+	}
+	return a.epsClosure(next)
+}
+
+// Accepts reports whether the NFA accepts the word.
+func (a *NFA) Accepts(word string) bool {
+	cur := a.epsClosure(a.start)
+	for _, sym := range word {
+		cur = a.step(cur, sym)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if a.accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// stateSetKey builds a map key for a sorted state set.
+func stateSetKey(set []State) string {
+	b := make([]byte, 0, len(set)*3)
+	for _, s := range set {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// Determinize runs the subset construction and returns an equivalent,
+// complete DFA over the given alphabet. If alphabet is nil, the NFA's own
+// alphabet is used. The resulting DFA always has at least one state (a sink
+// if the NFA is empty).
+func (a *NFA) Determinize(alphabet []rune) *DFA {
+	if alphabet == nil {
+		alphabet = a.Alphabet()
+	}
+	symIdx := make(map[rune]int, len(alphabet))
+	for i, sym := range alphabet {
+		symIdx[sym] = i
+	}
+	d := &DFA{alphabet: append([]rune(nil), alphabet...), symIdx: symIdx}
+
+	startSet := a.epsClosure(a.start)
+	index := map[string]State{}
+	var sets [][]State
+
+	intern := func(set []State) State {
+		key := stateSetKey(set)
+		if s, ok := index[key]; ok {
+			return s
+		}
+		s := State(len(sets))
+		index[key] = s
+		sets = append(sets, set)
+		acc := false
+		for _, q := range set {
+			if a.accept[q] {
+				acc = true
+				break
+			}
+		}
+		d.accept = append(d.accept, acc)
+		d.trans = append(d.trans, make([]State, len(alphabet)))
+		return s
+	}
+
+	d.start = intern(startSet)
+	for work := 0; work < len(sets); work++ {
+		set := sets[work]
+		for i, sym := range alphabet {
+			next := a.step(set, sym)
+			d.trans[work][i] = intern(next)
+		}
+	}
+	return d
+}
+
+// Trim returns an equivalent NFA containing only states reachable from an
+// initial state. (Co-reachability is handled by DFA minimization.)
+func (a *NFA) Trim() *NFA {
+	reach := make([]bool, a.NumStates())
+	var stack []State
+	for _, s := range a.start {
+		if !reach[s] {
+			reach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(t State) {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for _, t := range a.eps[s] {
+			visit(t)
+		}
+		for _, ts := range a.trans[s] {
+			for _, t := range ts {
+				visit(t)
+			}
+		}
+	}
+	remap := make([]State, a.NumStates())
+	n := 0
+	for s := range remap {
+		if reach[s] {
+			remap[s] = State(n)
+			n++
+		} else {
+			remap[s] = -1
+		}
+	}
+	out := NewNFA(n)
+	for s := 0; s < a.NumStates(); s++ {
+		if !reach[s] {
+			continue
+		}
+		ns := remap[s]
+		out.accept[ns] = a.accept[s]
+		for sym, ts := range a.trans[s] {
+			for _, t := range ts {
+				if reach[t] {
+					out.AddTransition(ns, sym, remap[t])
+				}
+			}
+		}
+		for _, t := range a.eps[s] {
+			if reach[t] {
+				out.AddEpsilon(ns, remap[t])
+			}
+		}
+	}
+	for _, s := range a.start {
+		out.SetStart(remap[s])
+	}
+	return out
+}
+
+// Clone returns a deep copy of the NFA.
+func (a *NFA) Clone() *NFA {
+	out := NewNFA(a.NumStates())
+	copy(out.accept, a.accept)
+	out.start = append([]State(nil), a.start...)
+	for s := range a.trans {
+		for sym, ts := range a.trans[s] {
+			for _, t := range ts {
+				out.AddTransition(State(s), sym, t)
+			}
+		}
+		for _, t := range a.eps[s] {
+			out.AddEpsilon(State(s), t)
+		}
+	}
+	return out
+}
+
+func (a *NFA) String() string {
+	return fmt.Sprintf("NFA(states=%d, starts=%d, alphabet=%q)", a.NumStates(), len(a.start), string(a.Alphabet()))
+}

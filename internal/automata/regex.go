@@ -1,0 +1,205 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompileRegex compiles a small regular-expression dialect into an NFA via
+// the Thompson construction. Supported syntax:
+//
+//	literal runes   any rune except the metacharacters below
+//	\x              escaped literal (for metacharacters)
+//	e1 e2           concatenation (juxtaposition)
+//	e1 | e2         alternation; an empty branch denotes ε ("a|" = a or ε)
+//	e*  e+  e?      Kleene star, plus, optional
+//	( e )           grouping
+//
+// The empty pattern denotes the language {ε}.
+func CompileRegex(pattern string) (*NFA, error) {
+	p := &regexParser{input: []rune(pattern)}
+	frag, err := p.parseAlt()
+	if err != nil {
+		return nil, fmt.Errorf("automata: regex %q: %w", pattern, err)
+	}
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("automata: regex %q: unexpected %q at position %d", pattern, p.input[p.pos], p.pos)
+	}
+	a := p.nfa
+	a.SetStart(frag.in)
+	a.SetAccept(frag.out, true)
+	return a, nil
+}
+
+// MustCompileRegex is CompileRegex but panics on error; for tests and
+// statically-known patterns.
+func MustCompileRegex(pattern string) *NFA {
+	a, err := CompileRegex(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+const regexMeta = "|*+?()\\"
+
+type regexFrag struct {
+	in, out State
+}
+
+type regexParser struct {
+	input []rune
+	pos   int
+	nfa   *NFA
+}
+
+func (p *regexParser) ensureNFA() {
+	if p.nfa == nil {
+		p.nfa = NewNFA(0)
+	}
+}
+
+func (p *regexParser) newFragEps() regexFrag {
+	p.ensureNFA()
+	in := p.nfa.AddState()
+	out := p.nfa.AddState()
+	p.nfa.AddEpsilon(in, out)
+	return regexFrag{in, out}
+}
+
+func (p *regexParser) newFragSym(sym rune) regexFrag {
+	p.ensureNFA()
+	in := p.nfa.AddState()
+	out := p.nfa.AddState()
+	p.nfa.AddTransition(in, sym, out)
+	return regexFrag{in, out}
+}
+
+// parseAlt parses e1 | e2 | ...
+func (p *regexParser) parseAlt() (regexFrag, error) {
+	frags := []regexFrag{}
+	f, err := p.parseCat()
+	if err != nil {
+		return regexFrag{}, err
+	}
+	frags = append(frags, f)
+	for p.pos < len(p.input) && p.input[p.pos] == '|' {
+		p.pos++
+		f, err := p.parseCat()
+		if err != nil {
+			return regexFrag{}, err
+		}
+		frags = append(frags, f)
+	}
+	if len(frags) == 1 {
+		return frags[0], nil
+	}
+	in := p.nfa.AddState()
+	out := p.nfa.AddState()
+	for _, f := range frags {
+		p.nfa.AddEpsilon(in, f.in)
+		p.nfa.AddEpsilon(f.out, out)
+	}
+	return regexFrag{in, out}, nil
+}
+
+// parseCat parses a (possibly empty) concatenation of repeated atoms.
+func (p *regexParser) parseCat() (regexFrag, error) {
+	var frags []regexFrag
+	for p.pos < len(p.input) {
+		r := p.input[p.pos]
+		if r == '|' || r == ')' {
+			break
+		}
+		f, err := p.parseRep()
+		if err != nil {
+			return regexFrag{}, err
+		}
+		frags = append(frags, f)
+	}
+	if len(frags) == 0 {
+		return p.newFragEps(), nil
+	}
+	for i := 1; i < len(frags); i++ {
+		p.nfa.AddEpsilon(frags[i-1].out, frags[i].in)
+	}
+	return regexFrag{frags[0].in, frags[len(frags)-1].out}, nil
+}
+
+// parseRep parses an atom followed by any number of *, +, ? operators.
+func (p *regexParser) parseRep() (regexFrag, error) {
+	f, err := p.parseAtom()
+	if err != nil {
+		return regexFrag{}, err
+	}
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case '*':
+			p.pos++
+			in := p.nfa.AddState()
+			out := p.nfa.AddState()
+			p.nfa.AddEpsilon(in, f.in)
+			p.nfa.AddEpsilon(in, out)
+			p.nfa.AddEpsilon(f.out, f.in)
+			p.nfa.AddEpsilon(f.out, out)
+			f = regexFrag{in, out}
+		case '+':
+			p.pos++
+			in := p.nfa.AddState()
+			out := p.nfa.AddState()
+			p.nfa.AddEpsilon(in, f.in)
+			p.nfa.AddEpsilon(f.out, f.in)
+			p.nfa.AddEpsilon(f.out, out)
+			f = regexFrag{in, out}
+		case '?':
+			p.pos++
+			in := p.nfa.AddState()
+			out := p.nfa.AddState()
+			p.nfa.AddEpsilon(in, f.in)
+			p.nfa.AddEpsilon(in, out)
+			p.nfa.AddEpsilon(f.out, out)
+			f = regexFrag{in, out}
+		default:
+			return f, nil
+		}
+	}
+	return f, nil
+}
+
+// parseAtom parses a literal, an escape, or a parenthesized group.
+func (p *regexParser) parseAtom() (regexFrag, error) {
+	if p.pos >= len(p.input) {
+		return regexFrag{}, fmt.Errorf("unexpected end of pattern")
+	}
+	r := p.input[p.pos]
+	switch r {
+	case '(':
+		p.pos++
+		f, err := p.parseAlt()
+		if err != nil {
+			return regexFrag{}, err
+		}
+		if p.pos >= len(p.input) || p.input[p.pos] != ')' {
+			return regexFrag{}, fmt.Errorf("missing closing parenthesis")
+		}
+		p.pos++
+		return f, nil
+	case ')':
+		return regexFrag{}, fmt.Errorf("unexpected ')' at position %d", p.pos)
+	case '*', '+', '?':
+		return regexFrag{}, fmt.Errorf("repetition operator %q with nothing to repeat at position %d", r, p.pos)
+	case '\\':
+		if p.pos+1 >= len(p.input) {
+			return regexFrag{}, fmt.Errorf("trailing backslash")
+		}
+		esc := p.input[p.pos+1]
+		if !strings.ContainsRune(regexMeta, esc) {
+			return regexFrag{}, fmt.Errorf("unknown escape \\%c", esc)
+		}
+		p.pos += 2
+		return p.newFragSym(esc), nil
+	default:
+		p.pos++
+		return p.newFragSym(r), nil
+	}
+}

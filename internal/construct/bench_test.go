@@ -1,0 +1,95 @@
+package construct
+
+import (
+	"fmt"
+	"testing"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/tvg"
+)
+
+// Ablation: ConfigNFA extraction cost and size as the horizon grows — the
+// price of the effective Theorem 2.2 witness.
+func BenchmarkConfigNFAHorizonSweep(b *testing.B) {
+	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+		Nodes: 4, Edges: 7, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 13,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.NewAutomaton(g)
+	a.AddInitial(0)
+	a.AddAccepting(tvg.Node(g.NumNodes() - 1))
+	for _, horizon := range []tvg.Time{10, 40, 160} {
+		b.Run(fmt.Sprintf("h=%d", horizon), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nfa, err := ConfigNFA(a, journey.Wait(), horizon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = nfa.NumStates()
+			}
+		})
+	}
+}
+
+func BenchmarkFromDecider(b *testing.B) {
+	l := lang.AnBn()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromDecider(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWordCode(b *testing.B) {
+	code, err := NewWordCode([]rune{'a', 'b', 'c'})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := code.Encode("abcabcabc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := code.Encode("abcabcabc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := code.Decode(t); !ok {
+				b.Fatal("must decode")
+			}
+		}
+	})
+}
+
+func BenchmarkDilateCompile(b *testing.B) {
+	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+		Nodes: 4, Edges: 8, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []tvg.Time{2, 5} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dg, err := Dilate(g, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tvg.Compile(dg, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

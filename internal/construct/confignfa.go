@@ -1,0 +1,133 @@
+package construct
+
+import (
+	"fmt"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// ConfigNFA builds a nondeterministic finite automaton over the reachable
+// configurations (node, time) of the TVG-automaton: there is a transition
+//
+//	(v, t) --a--> (v', t'+ζ)
+//
+// for every edge (v, v', a) present at a departure time t' in the waiting
+// window [t, mode.WindowEnd(t, horizon)]. A configuration accepts iff its
+// node is an accepting state.
+//
+// By construction, the NFA's language is exactly the horizon-bounded
+// language decided by core.NewDecider(a, mode, horizon): this is the
+// regularity witness of Theorem 2.2 made effective — for any finite
+// lifetime, L_f(G) is regular, and an explicit automaton for it can be
+// computed, determinized and minimized.
+func ConfigNFA(a *core.Automaton, mode journey.Mode, horizon tvg.Time) (*automata.NFA, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !mode.IsValid() {
+		return nil, fmt.Errorf("construct: invalid mode")
+	}
+	if horizon < a.StartTime() {
+		return nil, fmt.Errorf("construct: horizon %d precedes start time %d", horizon, a.StartTime())
+	}
+	c, err := tvg.Compile(a.Graph(), horizon)
+	if err != nil {
+		return nil, err
+	}
+
+	type config struct {
+		node tvg.Node
+		t    tvg.Time
+	}
+	nfa := automata.NewNFA(0)
+	index := map[config]automata.State{}
+	var worklist []config
+	intern := func(cfg config) automata.State {
+		if s, ok := index[cfg]; ok {
+			return s
+		}
+		s := nfa.AddState()
+		index[cfg] = s
+		nfa.SetAccept(s, a.IsAccepting(cfg.node))
+		worklist = append(worklist, cfg)
+		return s
+	}
+	for _, n := range a.Initial() {
+		nfa.SetStart(intern(config{n, a.StartTime()}))
+	}
+	g := a.Graph()
+	for i := 0; i < len(worklist); i++ {
+		cfg := worklist[i]
+		from := index[cfg]
+		if cfg.t > horizon {
+			continue // terminal configuration
+		}
+		end := mode.WindowEnd(cfg.t, horizon)
+		for _, id := range c.OutEdges(cfg.node) {
+			e, _ := g.Edge(id)
+			c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
+				to := intern(config{e.To, arr})
+				nfa.AddTransition(from, e.Label, to)
+				return true
+			})
+		}
+	}
+	return nfa, nil
+}
+
+// LanguageDFA is the end-to-end regularity witness: it extracts the
+// ConfigNFA and returns the minimal DFA of the automaton's
+// horizon-bounded language over the given alphabet (defaulting to the
+// automaton's own alphabet).
+func LanguageDFA(a *core.Automaton, mode journey.Mode, horizon tvg.Time, alphabet []rune) (*automata.DFA, error) {
+	nfa, err := ConfigNFA(a, mode, horizon)
+	if err != nil {
+		return nil, err
+	}
+	if alphabet == nil {
+		alphabet = a.Alphabet()
+	}
+	return nfa.Determinize(alphabet).Minimize(), nil
+}
+
+// FootprintNFA builds the footprint automaton: states are the nodes and
+// there is a transition v --a--> v' for every edge (v, v', a) that is
+// present at least once in [0, probe].
+//
+// For a recurrent TVG (every edge that ever appears keeps reappearing —
+// in particular any periodic schedule probed over at least one full
+// period) the footprint automaton recognizes exactly the wait language
+// L_wait(G) over an infinite lifetime: with unbounded waiting, a journey
+// can traverse any footprint path by pausing at each node until the next
+// occurrence of the required edge. This is the structural reason behind
+// Theorem 2.2: waiting erases all timing information except the footprint,
+// whose language is regular.
+func FootprintNFA(a *core.Automaton, probe tvg.Time) (*automata.NFA, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	g := a.Graph()
+	nfa := automata.NewNFA(g.NumNodes())
+	for n := tvg.Node(0); int(n) < g.NumNodes(); n++ {
+		nfa.SetAccept(automata.State(n), a.IsAccepting(n))
+	}
+	for _, n := range a.Initial() {
+		nfa.SetStart(automata.State(n))
+	}
+	for _, id := range g.Footprint(probe) {
+		e, _ := g.Edge(id)
+		nfa.AddTransition(automata.State(e.From), e.Label, automata.State(e.To))
+	}
+	return nfa, nil
+}
+
+// RecurrentWaitHorizon returns a horizon sufficient for the wait-mode
+// ConfigNFA of a periodic TVG to agree with the FootprintNFA on all words
+// of length at most maxLen: each of the maxLen hops needs at most one full
+// period of waiting plus its latency.
+func RecurrentWaitHorizon(a *core.Automaton, period, maxLatency tvg.Time, maxLen int) tvg.Time {
+	return a.StartTime() + tvg.Time(maxLen+1)*(period+maxLatency)
+}

@@ -1,0 +1,78 @@
+// Package construct implements the constructions behind the paper's three
+// theorems, in both directions where both exist:
+//
+//   - Theorem 2.2, easy half (regular ⊆ L_wait): FromDFA/FromRegex build a
+//     static TVG whose language equals a given regular language under every
+//     waiting semantics.
+//   - Theorem 2.2, hard half (L_wait ⊆ regular): ConfigNFA extracts a
+//     finite automaton recognizing the horizon-bounded language of any
+//     TVG-automaton (the regularity witness), and FootprintNFA recognizes
+//     the exact wait language of recurrent (e.g. periodic) TVGs.
+//   - Theorem 2.3 (L_wait[d] = L_nowait): Dilate time-expands a schedule
+//     by a factor k; with k = d+1 bounded waiting becomes useless, so
+//     L_wait[d](Dilate(G, d+1)) = L_nowait(G).
+//   - Theorem 2.1 (L_nowait ⊇ computable): FromDecider encodes words into
+//     times and drives edge presence with an arbitrary membership oracle
+//     (e.g. a Turing machine), yielding L_nowait(G) = L for any decidable
+//     L; FromTM specializes it to the turing package's machines.
+package construct
+
+import (
+	"fmt"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/core"
+	"tvgwait/internal/tvg"
+)
+
+// FromDFA builds a static TVG-automaton (every edge always present,
+// latency 1) whose language under every waiting semantics equals the
+// DFA's language: since the schedule never changes, waiting cannot enable
+// or disable anything. This is the easy inclusion of Theorem 2.2
+// (every regular language is in L_wait — and in L_nowait and L_wait[d]).
+//
+// Words of length at most maxLen are decided exactly with horizon
+// StaticHorizonForLength(maxLen).
+func FromDFA(d *automata.DFA) *core.Automaton {
+	g := tvg.New()
+	n := d.NumStates()
+	for s := 0; s < n; s++ {
+		g.AddNode(fmt.Sprintf("q%d", s))
+	}
+	for s := 0; s < n; s++ {
+		for _, sym := range d.Alphabet() {
+			to := d.Step(automata.State(s), sym)
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(s),
+				To:       tvg.Node(to),
+				Label:    sym,
+				Presence: tvg.Always{},
+				Latency:  tvg.ConstLatency(1),
+			})
+		}
+	}
+	a := core.NewAutomaton(g)
+	a.AddInitial(tvg.Node(d.Start()))
+	for s := 0; s < n; s++ {
+		if d.IsAccept(automata.State(s)) {
+			a.AddAccepting(tvg.Node(s))
+		}
+	}
+	return a
+}
+
+// FromRegex is FromDFA over the compiled, minimized regex.
+func FromRegex(pattern string, alphabet []rune) (*core.Automaton, error) {
+	nfa, err := automata.CompileRegex(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("construct: %w", err)
+	}
+	return FromDFA(nfa.Determinize(alphabet).Minimize()), nil
+}
+
+// StaticHorizonForLength returns a horizon sufficient for exact decisions
+// on words of length at most maxLen in a FromDFA automaton: each symbol
+// advances time by exactly 1.
+func StaticHorizonForLength(maxLen int) tvg.Time {
+	return tvg.Time(maxLen) + 1
+}

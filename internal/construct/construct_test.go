@@ -1,0 +1,598 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/automata"
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/turing"
+	"tvgwait/internal/tvg"
+)
+
+// randomPeriodicAutomaton builds a small random TVG-automaton with
+// periodic schedules, for cross-checking constructions against the
+// reference decider.
+func randomPeriodicAutomaton(rng *rand.Rand) (*core.Automaton, tvg.Time, tvg.Time) {
+	g := tvg.New()
+	n := 2 + rng.Intn(3)
+	g.AddNodes(n)
+	period := tvg.Time(1)
+	maxLat := tvg.Time(1)
+	for i := 0; i < n+2; i++ {
+		pattern := make([]bool, 1+rng.Intn(4))
+		for j := range pattern {
+			pattern[j] = rng.Intn(2) == 0
+		}
+		pattern[rng.Intn(len(pattern))] = true
+		pres, err := tvg.NewPeriodicPresence(pattern)
+		if err != nil {
+			panic(err)
+		}
+		lat := tvg.Time(1 + rng.Intn(2))
+		if lat > maxLat {
+			maxLat = lat
+		}
+		if p := tvg.Time(len(pattern)); p > period {
+			period = p
+		}
+		g.MustAddEdge(tvg.Edge{
+			From:     tvg.Node(rng.Intn(n)),
+			To:       tvg.Node(rng.Intn(n)),
+			Label:    tvg.Symbol('a' + rune(rng.Intn(2))),
+			Presence: pres,
+			Latency:  tvg.ConstLatency(lat),
+		})
+	}
+	a := core.NewAutomaton(g)
+	a.AddInitial(0)
+	a.AddAccepting(tvg.Node(rng.Intn(n)))
+	return a, period, maxLat
+}
+
+func deciderWords(t *testing.T, a *core.Automaton, mode journey.Mode, horizon tvg.Time, maxLen int) map[string]bool {
+	t.Helper()
+	d, err := core.NewDecider(a, mode, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, w := range d.AcceptedWords(maxLen) {
+		out[w] = true
+	}
+	return out
+}
+
+func TestWordCodeRoundTrip(t *testing.T) {
+	code, err := NewWordCode([]rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.Base() != 3 {
+		t.Errorf("Base = %d", code.Base())
+	}
+	if string(code.Alphabet()) != "ab" {
+		t.Errorf("Alphabet = %q", string(code.Alphabet()))
+	}
+	known := map[string]tvg.Time{
+		"": 1, "a": 4, "b": 5, "aa": 13, "ab": 14, "ba": 16, "bb": 17,
+	}
+	for w, want := range known {
+		got, err := code.Encode(w)
+		if err != nil || got != want {
+			t.Errorf("Encode(%q) = %d, %v; want %d", w, got, err, want)
+		}
+		back, ok := code.Decode(want)
+		if !ok || back != w {
+			t.Errorf("Decode(%d) = %q, %v; want %q", want, back, ok, w)
+		}
+	}
+	// All words up to length 6 round-trip and get distinct times.
+	seen := map[tvg.Time]string{}
+	for _, w := range automata.AllWords([]rune{'a', 'b'}, 6) {
+		tm, err := code.Encode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[tm]; dup {
+			t.Fatalf("encoding collision: %q and %q -> %d", prev, w, tm)
+		}
+		seen[tm] = w
+		back, ok := code.Decode(tm)
+		if !ok || back != w {
+			t.Fatalf("round trip failed for %q", w)
+		}
+	}
+	// Invalid times decode to nothing.
+	for _, bad := range []tvg.Time{0, -3, 2, 3, 6, 9, 12} {
+		if w, ok := code.Decode(bad); ok {
+			t.Errorf("Decode(%d) = %q should be invalid", bad, w)
+		}
+	}
+	// MaxTimeForLength dominates all encodings of that length.
+	maxT, err := code.MaxTimeForLength(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := range seen {
+		if tm > maxT {
+			t.Errorf("encoding %d exceeds MaxTimeForLength %d", tm, maxT)
+		}
+	}
+}
+
+func TestWordCodeErrors(t *testing.T) {
+	if _, err := NewWordCode(nil); err == nil {
+		t.Error("empty alphabet should fail")
+	}
+	if _, err := NewWordCode([]rune{'a', 'a'}); err == nil {
+		t.Error("duplicate symbols should fail")
+	}
+	code, err := NewWordCode([]rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := code.Encode("az"); err == nil {
+		t.Error("foreign symbol should fail")
+	}
+	long := ""
+	for i := 0; i < 60; i++ {
+		long += "b"
+	}
+	if _, err := code.Encode(long); err == nil {
+		t.Error("overflow should fail")
+	}
+	if _, err := code.MaxTimeForLength(80); err == nil {
+		t.Error("MaxTimeForLength overflow should fail")
+	}
+}
+
+func TestFromDFAAllModes(t *testing.T) {
+	patterns := []string{"(a|b)*abb", "a*b*", "(ab)*", "a|b|", "(aa|bb)*"}
+	alphabet := []rune{'a', 'b'}
+	const maxLen = 7
+	for _, p := range patterns {
+		d := automata.MustCompileRegex(p).Determinize(alphabet).Minimize()
+		a := FromDFA(d)
+		ref := lang.NewRegular(p, d)
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(3), journey.Wait()} {
+			dec, err := core.NewDecider(a, mode, StaticHorizonForLength(maxLen))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, w := lang.EqualUpTo(dec.Language(p), ref, maxLen)
+			if !eq {
+				t.Errorf("pattern %q mode %s: differs at %q", p, mode, w)
+			}
+		}
+	}
+}
+
+func TestFromRegex(t *testing.T) {
+	a, err := FromRegex("ab*", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.Wait(), StaticHorizonForLength(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("abb") || dec.Accepts("ba") {
+		t.Error("FromRegex language wrong")
+	}
+	if _, err := FromRegex("(", []rune{'a'}); err == nil {
+		t.Error("bad pattern should fail")
+	}
+}
+
+func TestConfigNFAMatchesDecider(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()}
+	const horizon = 10
+	const maxLen = 5
+	for trial := 0; trial < 12; trial++ {
+		a, _, _ := randomPeriodicAutomaton(rng)
+		for _, mode := range modes {
+			nfa, err := ConfigNFA(a, mode, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := core.NewDecider(a, mode, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range automata.AllWords(a.Alphabet(), maxLen) {
+				if nfa.Accepts(w) != dec.Accepts(w) {
+					t.Fatalf("trial %d mode %s: ConfigNFA and decider disagree on %q", trial, mode, w)
+				}
+			}
+			// The minimized DFA agrees as well.
+			dfa, err := LanguageDFA(a, mode, horizon, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range automata.AllWords(a.Alphabet(), maxLen) {
+				if dfa.Accepts(w) != dec.Accepts(w) {
+					t.Fatalf("trial %d mode %s: LanguageDFA disagrees on %q", trial, mode, w)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigNFAErrors(t *testing.T) {
+	g := tvg.New()
+	g.AddNode("u")
+	a := core.NewAutomaton(g)
+	if _, err := ConfigNFA(a, journey.Wait(), 5); err == nil {
+		t.Error("no initial state should fail")
+	}
+	a.AddInitial(0)
+	var invalid journey.Mode
+	if _, err := ConfigNFA(a, invalid, 5); err == nil {
+		t.Error("invalid mode should fail")
+	}
+	a.SetStartTime(9)
+	if _, err := ConfigNFA(a, journey.Wait(), 5); err == nil {
+		t.Error("horizon before start time should fail")
+	}
+	if _, err := LanguageDFA(a, journey.Wait(), 5, nil); err == nil {
+		t.Error("LanguageDFA should propagate errors")
+	}
+}
+
+func TestLanguageDFAOnFigure1(t *testing.T) {
+	a, err := anbn.New(anbn.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 8
+	horizon, err := anbn.HorizonForLength(anbn.DefaultParams(), maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfa, err := LanguageDFA(a, journey.NoWait(), horizon, []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := anbn.Reference()
+	for _, w := range automata.AllWords([]rune{'a', 'b'}, maxLen) {
+		if dfa.Accepts(w) != ref.Contains(w) {
+			t.Fatalf("Figure-1 LanguageDFA disagrees with a^n b^n at %q", w)
+		}
+	}
+	// The horizon-bounded language is finite, so the DFA is a finite-union
+	// automaton — its size grows with the horizon. Sanity: > 2 states.
+	if dfa.NumStates() <= 2 {
+		t.Errorf("suspiciously small DFA: %d states", dfa.NumStates())
+	}
+}
+
+func TestFootprintNFAOnPeriodic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const maxLen = 4
+	for trial := 0; trial < 12; trial++ {
+		a, period, maxLat := randomPeriodicAutomaton(rng)
+		foot, err := FootprintNFA(a, period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := RecurrentWaitHorizon(a, period, maxLat, maxLen)
+		dec, err := core.NewDecider(a, journey.Wait(), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range automata.AllWords(a.Alphabet(), maxLen) {
+			if foot.Accepts(w) != dec.Accepts(w) {
+				t.Fatalf("trial %d: footprint (%v) and wait decider (%v) disagree on %q (period %d, horizon %d)",
+					trial, foot.Accepts(w), dec.Accepts(w), w, period, horizon)
+			}
+		}
+	}
+}
+
+func TestFootprintOverApproximatesFiniteLifetime(t *testing.T) {
+	// b-edge present only before the a-edge: the footprint path a·b exists
+	// but no wait journey realizes it.
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+	g.MustAddEdge(tvg.Edge{From: v0, To: v1, Label: 'a', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: v1, To: v2, Label: 'b', Presence: tvg.NewTimeSet(2), Latency: tvg.ConstLatency(1)})
+	a := core.NewAutomaton(g)
+	a.AddInitial(v0)
+	a.AddAccepting(v2)
+	foot, err := FootprintNFA(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !foot.Accepts("ab") {
+		t.Error("footprint automaton should accept ab")
+	}
+	dec, err := core.NewDecider(a, journey.Wait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Accepts("ab") {
+		t.Error("wait decider should reject ab (b-contact is gone)")
+	}
+	// FootprintNFA validation error path.
+	if _, err := FootprintNFA(core.NewAutomaton(tvg.New()), 5); err == nil {
+		t.Error("no initial state should fail")
+	}
+}
+
+func TestDilatePreservesNoWait(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const horizon = 8
+	const maxLen = 4
+	for trial := 0; trial < 10; trial++ {
+		a, _, _ := randomPeriodicAutomaton(rng)
+		base := deciderWords(t, a, journey.NoWait(), horizon, maxLen)
+		for _, k := range []tvg.Time{1, 2, 3} {
+			da, err := DilateAutomaton(a, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := deciderWords(t, da, journey.NoWait(), DilatedHorizon(horizon, k), maxLen)
+			if len(got) != len(base) {
+				t.Fatalf("trial %d k=%d: |L| changed from %d to %d", trial, k, len(base), len(got))
+			}
+			for w := range base {
+				if !got[w] {
+					t.Fatalf("trial %d k=%d: lost word %q", trial, k, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDilationCollapsesBoundedWait is the Theorem 2.3 check:
+// L_wait[d](Dilate(G, d+1)) = L_nowait(G), even on graphs where
+// L_wait[d](G) is strictly larger than L_nowait(G).
+func TestDilationCollapsesBoundedWait(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const horizon = 8
+	const maxLen = 4
+	strictlyLargerSeen := false
+	for trial := 0; trial < 15; trial++ {
+		a, _, _ := randomPeriodicAutomaton(rng)
+		nowait := deciderWords(t, a, journey.NoWait(), horizon, maxLen)
+		for _, d := range []tvg.Time{1, 2} {
+			bounded := deciderWords(t, a, journey.BoundedWait(d), horizon, maxLen)
+			if len(bounded) > len(nowait) {
+				strictlyLargerSeen = true
+			}
+			da, err := DilateAutomaton(a, d+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			collapsed := deciderWords(t, da, journey.BoundedWait(d), DilatedHorizon(horizon, d+1), maxLen)
+			if len(collapsed) != len(nowait) {
+				t.Fatalf("trial %d d=%d: |L_wait[d](dilated)| = %d, |L_nowait| = %d",
+					trial, d, len(collapsed), len(nowait))
+			}
+			for w := range nowait {
+				if !collapsed[w] {
+					t.Fatalf("trial %d d=%d: dilated language missing %q", trial, d, w)
+				}
+			}
+		}
+	}
+	if !strictlyLargerSeen {
+		t.Error("expected at least one instance where bounded waiting strictly enlarges the language")
+	}
+}
+
+func TestDilationOnFigure1(t *testing.T) {
+	// The headline Theorem 2.3 instance: dilating the Figure-1 automaton
+	// by d+1 makes its wait[d] language exactly {aⁿbⁿ} again.
+	params := anbn.DefaultParams()
+	a, err := anbn.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 6
+	horizon, err := anbn.HorizonForLength(params, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []tvg.Time{1, 2} {
+		// Undilated: wait[d] accepts extra words (e.g. "b" for d >= 1).
+		dec, err := core.NewDecider(a, journey.BoundedWait(d), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Accepts("b") {
+			t.Errorf("wait[%d] on Figure 1 should accept \"b\"", d)
+		}
+		// Dilated: exactly {aⁿbⁿ}.
+		da, err := DilateAutomaton(a, d+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ddec, err := core.NewDecider(da, journey.BoundedWait(d), DilatedHorizon(horizon, d+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, w := lang.EqualUpTo(ddec.Language("dilated"), anbn.Reference(), maxLen)
+		if !eq {
+			t.Errorf("d=%d: dilated wait[%d] language differs from aⁿbⁿ at %q", d, d, w)
+		}
+	}
+}
+
+func TestDilateErrorsAndPeriod(t *testing.T) {
+	if _, err := Dilate(tvg.New(), 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	g := tvg.New()
+	u := g.AddNode("u")
+	p, _ := tvg.NewPeriodicPresence([]bool{true, false})
+	g.MustAddEdge(tvg.Edge{From: u, To: u, Label: 'a', Presence: p, Latency: tvg.ConstLatency(1)})
+	dg, err := Dilate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Periodicity is propagated: inner period 2 × factor 3 = 6 (latency
+	// keeps period 1 via ConstLatency, but dilated latency drops it, so
+	// the graph period may be unknown; check the presence directly).
+	e, _ := dg.Edge(0)
+	if pr, ok := e.Presence.(tvg.Periodicity); ok {
+		if per, ok := pr.Period(); !ok || per != 6 {
+			t.Errorf("dilated presence period = %d, %v; want 6", per, ok)
+		}
+	} else {
+		t.Error("dilated presence should declare periodicity")
+	}
+	// Presence/latency mapping: original present at 0,2,4..; dilated at 0,6,12...
+	if !e.Presence.Present(0) || e.Presence.Present(3) || !e.Presence.Present(6) {
+		t.Error("dilated presence wrong")
+	}
+	if e.Latency.Crossing(6) != 3 {
+		t.Errorf("dilated latency = %d, want 3", e.Latency.Crossing(6))
+	}
+	if DilatedHorizon(10, 3) != 30 {
+		t.Error("DilatedHorizon wrong")
+	}
+	if _, err := DilateAutomaton(core.NewAutomaton(g), 0); err == nil {
+		t.Error("DilateAutomaton factor 0 should fail")
+	}
+}
+
+func TestFromDeciderAnBn(t *testing.T) {
+	l := lang.AnBn()
+	a, err := FromDecider(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 8
+	horizon, err := DeciderHorizon(l, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, w := lang.EqualUpTo(dec.Language("decider-anbn"), l, maxLen)
+	if !eq {
+		t.Errorf("FromDecider(aⁿbⁿ) no-wait language differs at %q", w)
+	}
+}
+
+func TestFromDeciderPalindromesWithEpsilon(t *testing.T) {
+	l := lang.Palindromes()
+	a, err := FromDecider(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 7
+	horizon, err := DeciderHorizon(l, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("") {
+		t.Error("ε is a palindrome; the reader node must be accepting")
+	}
+	eq, w := lang.EqualUpTo(dec.Language("decider-palin"), l, maxLen)
+	if !eq {
+		t.Errorf("FromDecider(palindromes) differs at %q", w)
+	}
+}
+
+// TestFromTuringMachinePipeline is the full Theorem 2.1 statement made
+// executable: a Turing machine deciding the non-context-free aⁿbⁿcⁿ is
+// turned into a TVG whose no-wait language equals the machine's language.
+func TestFromTuringMachinePipeline(t *testing.T) {
+	tm := construct21TM(t)
+	l := TMLanguage(tm, turing.QuadraticFuel(10))
+	a, err := FromDecider(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 6
+	horizon, err := DeciderHorizon(l, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, w := lang.EqualUpTo(dec.Language("decider-tm"), lang.AnBnCn(), maxLen)
+	if !eq {
+		t.Errorf("TM→TVG pipeline differs from aⁿbⁿcⁿ at %q", w)
+	}
+}
+
+func construct21TM(t *testing.T) *turing.Machine {
+	t.Helper()
+	tm := turing.NewAnBnCn()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestFromDeciderWaitCollapses(t *testing.T) {
+	// With waiting, the time encoding is subverted: "b" becomes acceptable
+	// by pausing at the reader node from enc(ε)=1 to enc("a")=4 and then
+	// taking the accept edge for b (since "ab" ∈ L).
+	l := lang.AnBn()
+	a, err := FromDecider(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon, err := DeciderHorizon(l, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.Wait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("b") {
+		t.Error("wait semantics should accept \"b\" on the decider TVG")
+	}
+	if l.Contains("b") {
+		t.Fatal("sanity: b is not in aⁿbⁿ")
+	}
+}
+
+func TestTMLanguageFuel(t *testing.T) {
+	tm := turing.NewAnBn()
+	// Starvation fuel: everything is reported out of the language.
+	starved := TMLanguage(tm, func(int) int { return 1 })
+	if starved.Contains("ab") {
+		t.Error("starved TM language should be empty on nontrivial words")
+	}
+	healthy := TMLanguage(tm, turing.QuadraticFuel(10))
+	if !healthy.Contains("ab") || healthy.Contains("ba") {
+		t.Error("healthy TM language wrong")
+	}
+	if healthy.Name() == "" {
+		t.Error("TM language should carry the machine name")
+	}
+}
+
+func TestDeciderHorizonErrors(t *testing.T) {
+	if _, err := DeciderHorizon(lang.AnBn(), 80); err == nil {
+		t.Error("huge maxLen should overflow")
+	}
+	empty := lang.Func{LangName: "empty-alphabet", Sigma: nil, Member: func(string) bool { return false }}
+	if _, err := DeciderHorizon(empty, 3); err == nil {
+		t.Error("empty alphabet should fail")
+	}
+	if _, err := FromDecider(empty); err == nil {
+		t.Error("FromDecider with empty alphabet should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package construct
+
+import (
+	"fmt"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/tvg"
+)
+
+// dilatedPresence makes the original presence schedule live only on
+// multiples of the factor: ρ'(e, t) = 1 iff k | t and ρ(e, t/k) = 1.
+type dilatedPresence struct {
+	inner  tvg.Presence
+	factor tvg.Time
+}
+
+func (p dilatedPresence) Present(t tvg.Time) bool {
+	if t < 0 || t%p.factor != 0 {
+		return false
+	}
+	return p.inner.Present(t / p.factor)
+}
+
+// Period declares periodicity when the inner schedule declares it:
+// the dilated period is factor times the inner period.
+func (p dilatedPresence) Period() (tvg.Time, bool) {
+	if pr, ok := p.inner.(tvg.Periodicity); ok {
+		if inner, ok := pr.Period(); ok {
+			return inner * p.factor, true
+		}
+	}
+	return 0, false
+}
+
+// dilatedLatency scales crossing times: ζ'(e, t) = k·ζ(e, t/k), so a
+// traversal departing at k·t arrives at k·(t + ζ(e, t)).
+type dilatedLatency struct {
+	inner  tvg.Latency
+	factor tvg.Time
+}
+
+func (l dilatedLatency) Crossing(t tvg.Time) tvg.Time {
+	return l.factor * l.inner.Crossing(t/l.factor)
+}
+
+// Dilate time-expands a graph by the integer factor k >= 1: every event of
+// G at time t happens in the dilated graph at time k·t, and nothing
+// happens strictly between multiples of k.
+//
+// This is the Theorem 2.3 construction: in Dilate(G, d+1), a pause of at
+// most d ticks never reaches the next multiple of d+1, so a bounded-wait
+// journey can never use a transition that a direct journey could not —
+// hence L_wait[d](Dilate(G, d+1)) = L_nowait(Dilate(G, d+1)) =
+// L_nowait(G), proving L_nowait ⊆ L_wait[d]. Together with the converse
+// inclusion (a wait[d] TVG can be simulated without waiting, see the
+// paper) this gives L_wait[d] = L_nowait.
+func Dilate(g *tvg.Graph, k tvg.Time) (*tvg.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("construct: dilation factor must be >= 1, got %d", k)
+	}
+	out := tvg.New()
+	for n := tvg.Node(0); int(n) < g.NumNodes(); n++ {
+		out.AddNode(g.NodeName(n))
+	}
+	for _, e := range g.Edges() {
+		out.MustAddEdge(tvg.Edge{
+			From:     e.From,
+			To:       e.To,
+			Label:    e.Label,
+			Name:     e.Name,
+			Presence: dilatedPresence{inner: e.Presence, factor: k},
+			Latency:  dilatedLatency{inner: e.Latency, factor: k},
+		})
+	}
+	return out, nil
+}
+
+// DilateAutomaton dilates the underlying graph by factor k and scales the
+// start time accordingly, preserving initial and accepting states.
+func DilateAutomaton(a *core.Automaton, k tvg.Time) (*core.Automaton, error) {
+	dg, err := Dilate(a.Graph(), k)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewAutomaton(dg)
+	for _, n := range a.Initial() {
+		out.AddInitial(n)
+	}
+	for _, n := range a.Accepting() {
+		out.AddAccepting(n)
+	}
+	out.SetStartTime(a.StartTime() * k)
+	return out, nil
+}
+
+// DilatedHorizon maps a horizon of the original graph to the dilated one.
+func DilatedHorizon(horizon, k tvg.Time) tvg.Time { return horizon * k }

@@ -1,0 +1,214 @@
+package construct
+
+import (
+	"fmt"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/numth"
+	"tvgwait/internal/turing"
+	"tvgwait/internal/tvg"
+)
+
+// WordCode is the injective word↦time encoding behind the Theorem 2.1
+// construction: words over a k-symbol alphabet are read as base-(k+1)
+// numbers with digits 1..k and an implicit leading 1, so
+//
+//	enc(ε) = 1,  enc(w·aᵢ) = enc(w)·(k+1) + (i+1).
+//
+// Every word gets a distinct positive time, ε gets the start time 1, and
+// decoding is exact: a time is a valid encoding iff its base-(k+1)
+// expansion ends in a leading 1 with no 0 digits below it.
+type WordCode struct {
+	alphabet []rune
+	index    map[rune]int
+}
+
+// NewWordCode builds the encoding for a non-empty alphabet of distinct
+// symbols.
+func NewWordCode(alphabet []rune) (*WordCode, error) {
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("construct: word code requires a non-empty alphabet")
+	}
+	index := make(map[rune]int, len(alphabet))
+	for i, r := range alphabet {
+		if _, dup := index[r]; dup {
+			return nil, fmt.Errorf("construct: duplicate alphabet symbol %q", r)
+		}
+		index[r] = i
+	}
+	return &WordCode{alphabet: append([]rune(nil), alphabet...), index: index}, nil
+}
+
+// Base returns k+1, the arithmetic base of the encoding.
+func (c *WordCode) Base() tvg.Time { return tvg.Time(len(c.alphabet)) + 1 }
+
+// Alphabet returns a copy of the alphabet.
+func (c *WordCode) Alphabet() []rune { return append([]rune(nil), c.alphabet...) }
+
+// Encode maps a word to its time. It fails on foreign symbols or int64
+// overflow.
+func (c *WordCode) Encode(word string) (tvg.Time, error) {
+	t := tvg.Time(1)
+	b := c.Base()
+	for _, r := range word {
+		i, ok := c.index[r]
+		if !ok {
+			return 0, fmt.Errorf("construct: symbol %q not in alphabet", r)
+		}
+		var err error
+		t, err = numth.CheckedMul(t, b)
+		if err != nil {
+			return 0, fmt.Errorf("construct: encoding %q: %w", word, err)
+		}
+		t, err = numth.CheckedAdd(t, tvg.Time(i)+1)
+		if err != nil {
+			return 0, fmt.Errorf("construct: encoding %q: %w", word, err)
+		}
+	}
+	return t, nil
+}
+
+// Decode inverts Encode: it returns the word encoded by t, or ok = false
+// if t is not a valid encoding.
+func (c *WordCode) Decode(t tvg.Time) (string, bool) {
+	if t < 1 {
+		return "", false
+	}
+	b := c.Base()
+	var rev []rune
+	for t > 1 {
+		d := t % b
+		if d == 0 {
+			return "", false
+		}
+		rev = append(rev, c.alphabet[d-1])
+		t /= b
+	}
+	if t != 1 {
+		return "", false
+	}
+	word := make([]rune, len(rev))
+	for i := range rev {
+		word[i] = rev[len(rev)-1-i]
+	}
+	return string(word), true
+}
+
+// MaxTimeForLength returns the largest encoding of any word of length at
+// most maxLen, or an overflow error.
+func (c *WordCode) MaxTimeForLength(maxLen int) (tvg.Time, error) {
+	t := tvg.Time(1)
+	b := c.Base()
+	for i := 0; i < maxLen; i++ {
+		var err error
+		t, err = numth.CheckedMul(t, b)
+		if err != nil {
+			return 0, err
+		}
+		t, err = numth.CheckedAdd(t, b-1)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return t, nil
+}
+
+// FromDecider is the Theorem 2.1 construction: given any decidable
+// language L (a membership oracle over a finite alphabet), it builds a
+// two-node TVG-automaton G with L_nowait(G) = L.
+//
+// Node u ("reader") carries one self-loop per symbol a, present exactly at
+// the valid encodings t = enc(w) with latency enc(w·a) − enc(w), so a
+// direct journey reading w sits at u at time enc(w) — the timeline is the
+// computation. Node f ("accept") receives one edge per symbol a, present
+// at t = enc(w) iff w·a ∈ L. Reading starts at t = enc(ε) = 1. The empty
+// word is handled by an isolated second initial node s ("eps"), accepting
+// iff ε ∈ L: it has no edges, so it decides exactly ε and nothing else
+// (making u itself accepting would wrongly accept every readable word).
+//
+// Because direct journeys admit no waiting, no other timeline is
+// reachable, and L_nowait(G) = L exactly (Theorem 2.1; the proof is this
+// construction). The presence functions are computable because L is —
+// deciding membership of any word of length ≤ maxLen only explores times
+// up to DeciderHorizon(code, maxLen).
+//
+// With waiting allowed the encoding collapses: an entity may pause at u
+// from enc(w) to any later valid encoding, so L_wait(G) is in general a
+// strict superset of L (and, per Theorem 2.2, a regular one).
+func FromDecider(l lang.Language) (*core.Automaton, error) {
+	code, err := NewWordCode(l.Alphabet())
+	if err != nil {
+		return nil, err
+	}
+	g := tvg.New()
+	u := g.AddNode("u")
+	f := g.AddNode("f")
+	s := g.AddNode("eps")
+	b := code.Base()
+	for i, sym := range code.alphabet {
+		idx := tvg.Time(i)
+		// Reader self-loop: follow the encoding.
+		g.MustAddEdge(tvg.Edge{
+			From: u, To: u, Label: sym, Name: fmt.Sprintf("read_%c", sym),
+			Presence: tvg.PresenceFunc(func(t tvg.Time) bool {
+				_, ok := code.Decode(t)
+				return ok
+			}),
+			Latency: tvg.LatencyFunc(func(t tvg.Time) tvg.Time {
+				return t*(b-1) + idx + 1
+			}),
+		})
+		// Accept edge: present iff appending sym lands in L.
+		symLocal := sym
+		g.MustAddEdge(tvg.Edge{
+			From: u, To: f, Label: sym, Name: fmt.Sprintf("acc_%c", sym),
+			Presence: tvg.PresenceFunc(func(t tvg.Time) bool {
+				w, ok := code.Decode(t)
+				return ok && l.Contains(w+string(symLocal))
+			}),
+			Latency: tvg.ConstLatency(1),
+		})
+	}
+	a := core.NewAutomaton(g)
+	a.AddInitial(u)
+	a.AddInitial(s)
+	a.AddAccepting(f)
+	if l.Contains("") {
+		a.AddAccepting(s)
+	}
+	a.SetStartTime(1)
+	return a, nil
+}
+
+// DeciderHorizon returns a horizon sufficient for the FromDecider
+// automaton to decide all words of length at most maxLen exactly: every
+// direct journey reading ≤ maxLen symbols only departs at valid encodings
+// of words of length < maxLen, all bounded by MaxTimeForLength.
+func DeciderHorizon(l lang.Language, maxLen int) (tvg.Time, error) {
+	code, err := NewWordCode(l.Alphabet())
+	if err != nil {
+		return 0, err
+	}
+	t, err := code.MaxTimeForLength(maxLen)
+	if err != nil {
+		return 0, fmt.Errorf("construct: decider horizon for maxLen %d: %w", maxLen, err)
+	}
+	return t + 2, nil
+}
+
+// TMLanguage adapts a Turing machine to the lang.Language interface with
+// the given fuel policy, completing the Theorem 2.1 pipeline
+// TM → oracle → TVG. Inputs on which the machine exceeds its fuel are
+// reported as non-members (the fuel policies in the turing package are
+// chosen so this does not happen for the packaged machines).
+func TMLanguage(m *turing.Machine, fuel func(n int) int) lang.Language {
+	return lang.Func{
+		LangName: m.Name,
+		Sigma:    append([]rune(nil), m.InputAlphabet...),
+		Member: func(w string) bool {
+			ok, err := m.Decide(w, fuel(len(w)))
+			return err == nil && ok
+		},
+	}
+}

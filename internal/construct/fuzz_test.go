@@ -1,0 +1,34 @@
+package construct
+
+import (
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// FuzzWordCodeRoundTrip checks Encode/Decode inversion and rejection of
+// invalid times over arbitrary inputs.
+func FuzzWordCodeRoundTrip(f *testing.F) {
+	f.Add("ab", int64(14))
+	f.Add("", int64(1))
+	f.Add("bbbbbb", int64(0))
+	f.Fuzz(func(t *testing.T, word string, probe int64) {
+		code, err := NewWordCode([]rune{'a', 'b'})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc, err := code.Encode(word); err == nil {
+			back, ok := code.Decode(enc)
+			if !ok || back != word {
+				t.Fatalf("round trip failed for %q: enc=%d back=%q ok=%v", word, enc, back, ok)
+			}
+		}
+		// Decode must never panic and, when it succeeds, re-encode exactly.
+		if w, ok := code.Decode(tvg.Time(probe)); ok {
+			enc, err := code.Encode(w)
+			if err != nil || enc != tvg.Time(probe) {
+				t.Fatalf("decode(%d)=%q does not re-encode: %d, %v", probe, w, enc, err)
+			}
+		}
+	})
+}

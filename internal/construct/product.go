@@ -1,0 +1,72 @@
+package construct
+
+import (
+	"fmt"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/core"
+	"tvgwait/internal/tvg"
+)
+
+// IntersectDFA builds the product TVG-automaton of a TVG-automaton and a
+// DFA: states are pairs (v, q), and every TVG edge (v, v', sym) induces an
+// edge ((v, q), (v', δ(q, sym)), sym) carrying the ORIGINAL presence and
+// latency schedules. Since the DFA component is schedule-free, journeys in
+// the product correspond exactly to journeys in the original graph paired
+// with DFA runs on the spelled word, so for every waiting semantics
+//
+//	L_mode(IntersectDFA(A, D)) = L_mode(A) ∩ L(D).
+//
+// This makes regular filtering compositional: e.g. intersecting the
+// Figure 1 automaton with (aa)*(bb)* yields a TVG whose no-wait language
+// is {aⁿbⁿ : n even} — TVG languages are effectively closed under
+// intersection with regular languages, a corollary the paper's framework
+// supports but does not state.
+//
+// TVG edges labeled with symbols outside the DFA's alphabet are dropped
+// (the DFA rejects any word containing them).
+func IntersectDFA(a *core.Automaton, d *automata.DFA) (*core.Automaton, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	g := a.Graph()
+	m := d.NumStates()
+	pg := tvg.New()
+	for v := tvg.Node(0); int(v) < g.NumNodes(); v++ {
+		for q := 0; q < m; q++ {
+			pg.AddNode(fmt.Sprintf("%s|q%d", g.NodeName(v), q))
+		}
+	}
+	pair := func(v tvg.Node, q automata.State) tvg.Node {
+		return tvg.Node(int(v)*m + int(q))
+	}
+	for _, e := range g.Edges() {
+		for q := 0; q < m; q++ {
+			to := d.Step(automata.State(q), e.Label)
+			if to < 0 {
+				continue // symbol outside the DFA alphabet
+			}
+			pg.MustAddEdge(tvg.Edge{
+				From:     pair(e.From, automata.State(q)),
+				To:       pair(e.To, to),
+				Label:    e.Label,
+				Name:     fmt.Sprintf("%s|q%d", e.Name, q),
+				Presence: e.Presence,
+				Latency:  e.Latency,
+			})
+		}
+	}
+	out := core.NewAutomaton(pg)
+	for _, i := range a.Initial() {
+		out.AddInitial(pair(i, d.Start()))
+	}
+	for _, f := range a.Accepting() {
+		for q := 0; q < m; q++ {
+			if d.IsAccept(automata.State(q)) {
+				out.AddAccepting(pair(f, automata.State(q)))
+			}
+		}
+	}
+	out.SetStartTime(a.StartTime())
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package construct
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/automata"
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// TestIntersectFigure1WithRegular: Figure 1 ∩ (aa)*(bb)* = {aⁿbⁿ : n even}.
+func TestIntersectFigure1WithRegular(t *testing.T) {
+	a, err := anbn.New(anbn.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := automata.MustCompileRegex("(aa)*(bb)*").Determinize([]rune{'a', 'b'}).Minimize()
+	prod, err := IntersectDFA(a, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxLen = 8
+	horizon, err := anbn.HorizonForLength(anbn.DefaultParams(), maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(prod, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range automata.AllWords([]rune{'a', 'b'}, maxLen) {
+		n := len(w) / 2
+		want := anbn.Reference().Contains(w) && n%2 == 0
+		if got := dec.Accepts(w); got != want {
+			t.Errorf("product accepts(%q) = %v, want %v", w, got, want)
+		}
+	}
+	if !dec.Accepts("aabb") || dec.Accepts("ab") || dec.Accepts("aaabbb") {
+		t.Error("even-n filter not applied")
+	}
+}
+
+// TestIntersectDFAAllModes: the product law holds word-for-word under all
+// three semantics on random periodic automata.
+func TestIntersectDFAAllModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	filters := []string{"a*b*", "(ab|ba)*", "(a|b)(a|b)*"}
+	for trial := 0; trial < 6; trial++ {
+		a, _, _ := randomPeriodicAutomaton(rng)
+		filter := automata.MustCompileRegex(filters[trial%len(filters)]).
+			Determinize([]rune{'a', 'b'}).Minimize()
+		prod, err := IntersectDFA(a, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+			const horizon = 10
+			base, err := core.NewDecider(a, mode, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pd, err := core.NewDecider(prod, mode, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range automata.AllWords([]rune{'a', 'b'}, 4) {
+				want := base.Accepts(w) && filter.Accepts(w)
+				if got := pd.Accepts(w); got != want {
+					t.Fatalf("trial %d mode %s: product law fails at %q: got %v want %v",
+						trial, mode, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectDFAForeignSymbols(t *testing.T) {
+	// TVG over {a,b}, DFA over {a} only: b-edges are dropped.
+	g := tvg.New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	g.MustAddEdge(tvg.Edge{From: u, To: v, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: u, To: v, Label: 'b', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	a := core.NewAutomaton(g)
+	a.AddInitial(u)
+	a.AddAccepting(v)
+	aStar, err := automata.NewDFA([]rune{'a'}, [][]automata.State{{0}}, 0, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := IntersectDFA(a, aStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(prod, journey.Wait(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("a") || dec.Accepts("b") {
+		t.Error("foreign-symbol filtering wrong")
+	}
+	if prod.Graph().NumEdges() != 1 {
+		t.Errorf("b-edge should be dropped, have %d edges", prod.Graph().NumEdges())
+	}
+}
+
+func TestIntersectDFAErrors(t *testing.T) {
+	noInit := core.NewAutomaton(tvg.New())
+	d, err := automata.NewDFA([]rune{'a'}, [][]automata.State{{0}}, 0, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IntersectDFA(noInit, d); err == nil {
+		t.Error("automaton without initial state should fail")
+	}
+}
+
+func TestIntersectPreservesStartTime(t *testing.T) {
+	a, err := anbn.New(anbn.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := automata.MustCompileRegex("(a|b)*").Determinize([]rune{'a', 'b'}).Minimize()
+	prod, err := IntersectDFA(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.StartTime() != a.StartTime() {
+		t.Errorf("start time = %d, want %d", prod.StartTime(), a.StartTime())
+	}
+	// Σ* filter is a no-op on the language.
+	horizon, err := anbn.HorizonForLength(anbn.DefaultParams(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := core.NewDecider(prod, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 3; n++ {
+		w := strings.Repeat("a", n) + strings.Repeat("b", n)
+		if base.Accepts(w) != pd.Accepts(w) {
+			t.Errorf("Σ* filter changed membership of %q", w)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package core implements TVG-automata, the central object of the paper
+// "Waiting in Dynamic Networks" (PODC 2012).
+//
+// A TVG-automaton A(G) = (Σ, S, I, E, F) is a time-varying graph G whose
+// labeled edges are read as input symbols: S = V is the state set, I ⊆ S
+// the initial states, F ⊆ S the accepting states, and there is a
+// transition (s, t, a, s', t') whenever an edge (s, s', a) is present at
+// time t with latency t' − t. A word w is accepted iff some feasible
+// journey starting in an initial state at the automaton's start time
+// spells w and ends in an accepting state. Which journeys are feasible —
+// direct only, bounded pauses, or arbitrary pauses — is the waiting
+// semantics (journey.Mode), and the three languages
+// L_nowait(G), L_wait[d](G), L_wait(G) are the subject of the paper's
+// three theorems.
+//
+// Membership in a TVG language is undecidable in general (Theorem 2.1
+// makes TVGs Turing-powerful), so every decision procedure here explores a
+// caller-supplied finite time horizon. The constructions in
+// internal/construct document the horizons that make them exact.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/tvg"
+)
+
+// Automaton is a TVG-automaton: a time-varying graph with initial and
+// accepting states and a start time for reading.
+type Automaton struct {
+	g         *tvg.Graph
+	initial   []tvg.Node
+	accepting map[tvg.Node]bool
+	startTime tvg.Time
+}
+
+// NewAutomaton wraps a graph as a TVG-automaton with no initial or
+// accepting states and start time 0. The graph must not be modified after
+// deciders are created from the automaton.
+func NewAutomaton(g *tvg.Graph) *Automaton {
+	return &Automaton{g: g, accepting: make(map[tvg.Node]bool)}
+}
+
+// AddInitial marks n as an initial state.
+func (a *Automaton) AddInitial(n tvg.Node) {
+	for _, existing := range a.initial {
+		if existing == n {
+			return
+		}
+	}
+	a.initial = append(a.initial, n)
+}
+
+// AddAccepting marks n as an accepting state.
+func (a *Automaton) AddAccepting(n tvg.Node) { a.accepting[n] = true }
+
+// SetStartTime sets the time at which reading starts (the paper's Figure 1
+// starts at t = 1).
+func (a *Automaton) SetStartTime(t tvg.Time) { a.startTime = t }
+
+// Graph returns the underlying time-varying graph.
+func (a *Automaton) Graph() *tvg.Graph { return a.g }
+
+// StartTime returns the reading start time.
+func (a *Automaton) StartTime() tvg.Time { return a.startTime }
+
+// Initial returns a copy of the initial-state set.
+func (a *Automaton) Initial() []tvg.Node {
+	return append([]tvg.Node(nil), a.initial...)
+}
+
+// Accepting returns the sorted accepting-state set.
+func (a *Automaton) Accepting() []tvg.Node {
+	out := make([]tvg.Node, 0, len(a.accepting))
+	for n := range a.accepting {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsAccepting reports whether n is an accepting state.
+func (a *Automaton) IsAccepting(n tvg.Node) bool { return a.accepting[n] }
+
+// Alphabet returns the automaton's input alphabet (the edge labels).
+func (a *Automaton) Alphabet() []tvg.Symbol { return a.g.Alphabet() }
+
+// Validate checks that the automaton has at least one initial state and
+// that all marked states exist in the graph.
+func (a *Automaton) Validate() error {
+	if len(a.initial) == 0 {
+		return fmt.Errorf("core: automaton has no initial state")
+	}
+	for _, n := range a.initial {
+		if !a.g.ValidNode(n) {
+			return fmt.Errorf("core: initial state %d is not a node", n)
+		}
+	}
+	for n := range a.accepting {
+		if !a.g.ValidNode(n) {
+			return fmt.Errorf("core: accepting state %d is not a node", n)
+		}
+	}
+	return nil
+}
+
+// Accepts is a convenience that compiles the schedule and decides one
+// word; for repeated queries build a Decider.
+func (a *Automaton) Accepts(word string, mode journey.Mode, horizon tvg.Time) (bool, error) {
+	d, err := NewDecider(a, mode, horizon)
+	if err != nil {
+		return false, err
+	}
+	return d.Accepts(word), nil
+}
+
+// IsDeterministic reports whether, within the horizon, every configuration
+// (state, time) has at most one outgoing transition per symbol and there
+// is at most one initial state — the sense in which the paper calls the
+// Figure 1 automaton deterministic.
+func (a *Automaton) IsDeterministic(horizon tvg.Time) (bool, error) {
+	if len(a.initial) > 1 {
+		return false, nil
+	}
+	c, err := tvg.Compile(a.g, horizon)
+	if err != nil {
+		return false, err
+	}
+	for n := tvg.Node(0); int(n) < a.g.NumNodes(); n++ {
+		edges := c.OutEdges(n)
+		for t := tvg.Time(0); t <= horizon; t++ {
+			seen := map[tvg.Symbol]bool{}
+			for _, id := range edges {
+				if !c.PresentAt(id, t) {
+					continue
+				}
+				e, _ := a.g.Edge(id)
+				if seen[e.Label] {
+					return false, nil
+				}
+				seen[e.Label] = true
+			}
+		}
+	}
+	return true, nil
+}
+
+// Decider is a compiled decision procedure for one automaton, waiting
+// semantics and horizon. It answers membership queries, produces witness
+// journeys and enumerates the accepted language up to a length bound.
+type Decider struct {
+	a    *Automaton
+	c    *tvg.Compiled
+	mode journey.Mode
+}
+
+// NewDecider compiles the automaton's schedule over [0, horizon] for the
+// given waiting semantics.
+func NewDecider(a *Automaton, mode journey.Mode, horizon tvg.Time) (*Decider, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !mode.IsValid() {
+		return nil, fmt.Errorf("core: invalid mode")
+	}
+	if horizon < a.startTime {
+		return nil, fmt.Errorf("core: horizon %d precedes start time %d", horizon, a.startTime)
+	}
+	c, err := tvg.Compile(a.g, horizon)
+	if err != nil {
+		return nil, err
+	}
+	return &Decider{a: a, c: c, mode: mode}, nil
+}
+
+// Automaton returns the underlying automaton.
+func (d *Decider) Automaton() *Automaton { return d.a }
+
+// Mode returns the waiting semantics.
+func (d *Decider) Mode() journey.Mode { return d.mode }
+
+// Horizon returns the compiled horizon.
+func (d *Decider) Horizon() tvg.Time { return d.c.Horizon() }
+
+// Compiled returns the compiled schedule (shared; read-only).
+func (d *Decider) Compiled() *tvg.Compiled { return d.c }
+
+// config is a reading configuration: at node, having arrived at time t.
+type config struct {
+	node tvg.Node
+	t    tvg.Time
+}
+
+// Accepts reports whether the automaton accepts the word under the
+// decider's waiting semantics, considering only journeys whose departures
+// lie within the horizon. Words with symbols outside the alphabet are
+// rejected.
+func (d *Decider) Accepts(word string) bool {
+	_, ok := d.run(word, false)
+	return ok
+}
+
+// Witness returns a feasible journey spelling the word and ending in an
+// accepting state, if one exists. For the empty word the empty journey is
+// returned (with ok reporting whether some initial state accepts).
+func (d *Decider) Witness(word string) (journey.Journey, bool) {
+	return d.run(word, true)
+}
+
+// run is the configuration-space BFS behind Accepts and Witness.
+func (d *Decider) run(word string, witness bool) (journey.Journey, bool) {
+	type key struct {
+		pos int
+		cfg config
+	}
+	type back struct {
+		prev config
+		hop  journey.Hop
+	}
+	var parents map[key]back
+	if witness {
+		parents = make(map[key]back)
+	}
+
+	frontier := make(map[config]bool)
+	for _, n := range d.a.initial {
+		frontier[config{n, d.a.startTime}] = true
+	}
+	runes := []rune(word)
+	for i, sym := range runes {
+		next := make(map[config]bool)
+		for cfg := range frontier {
+			if cfg.t > d.c.Horizon() {
+				continue
+			}
+			end := d.mode.WindowEnd(cfg.t, d.c.Horizon())
+			for _, id := range d.c.OutEdges(cfg.node) {
+				e, _ := d.a.g.Edge(id)
+				if e.Label != sym {
+					continue
+				}
+				cfgLocal := cfg
+				d.c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
+					nc := config{e.To, arr}
+					if !next[nc] {
+						next[nc] = true
+						if witness {
+							parents[key{i + 1, nc}] = back{prev: cfgLocal, hop: journey.Hop{Edge: id, Depart: dep}}
+						}
+					}
+					return true
+				})
+			}
+		}
+		if len(next) == 0 {
+			return journey.Journey{}, false
+		}
+		frontier = next
+	}
+	// Accept if any frontier configuration is at an accepting state.
+	var acceptCfg config
+	found := false
+	for cfg := range frontier {
+		if d.a.accepting[cfg.node] {
+			// Pick deterministically: smallest (node, t).
+			if !found || cfg.node < acceptCfg.node || (cfg.node == acceptCfg.node && cfg.t < acceptCfg.t) {
+				acceptCfg = cfg
+				found = true
+			}
+		}
+	}
+	if !found {
+		return journey.Journey{}, false
+	}
+	if !witness {
+		return journey.Journey{}, true
+	}
+	var rev []journey.Hop
+	cfg := acceptCfg
+	for i := len(runes); i > 0; i-- {
+		b := parents[key{i, cfg}]
+		rev = append(rev, b.hop)
+		cfg = b.prev
+	}
+	hops := make([]journey.Hop, len(rev))
+	for i := range rev {
+		hops[i] = rev[len(rev)-1-i]
+	}
+	return journey.Journey{Hops: hops}, true
+}
+
+// AcceptedWords enumerates every accepted word of length at most maxLen,
+// in length-then-lexicographic order, by breadth-first search over
+// configuration sets indexed by word prefix.
+func (d *Decider) AcceptedWords(maxLen int) []string {
+	alphabet := d.a.Alphabet()
+	type entry struct {
+		word string
+		cfgs map[config]bool
+	}
+	start := make(map[config]bool)
+	for _, n := range d.a.initial {
+		start[config{n, d.a.startTime}] = true
+	}
+	var out []string
+	accepts := func(cfgs map[config]bool) bool {
+		for cfg := range cfgs {
+			if d.a.accepting[cfg.node] {
+				return true
+			}
+		}
+		return false
+	}
+	if accepts(start) {
+		out = append(out, "")
+	}
+	frontier := []entry{{word: "", cfgs: start}}
+	for depth := 0; depth < maxLen; depth++ {
+		var next []entry
+		for _, en := range frontier {
+			for _, sym := range alphabet {
+				cfgs := d.stepConfigs(en.cfgs, sym)
+				if len(cfgs) == 0 {
+					continue
+				}
+				w := en.word + string(sym)
+				if accepts(cfgs) {
+					out = append(out, w)
+				}
+				next = append(next, entry{word: w, cfgs: cfgs})
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// stepConfigs advances a configuration set by one input symbol.
+func (d *Decider) stepConfigs(cfgs map[config]bool, sym tvg.Symbol) map[config]bool {
+	next := make(map[config]bool)
+	for cfg := range cfgs {
+		if cfg.t > d.c.Horizon() {
+			continue
+		}
+		end := d.mode.WindowEnd(cfg.t, d.c.Horizon())
+		for _, id := range d.c.OutEdges(cfg.node) {
+			e, _ := d.a.g.Edge(id)
+			if e.Label != sym {
+				continue
+			}
+			d.c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
+				next[config{e.To, arr}] = true
+				return true
+			})
+		}
+	}
+	return next
+}
+
+// CountAccepted returns, for each length 0..maxLen, how many words of
+// that length the decider accepts — the language's growth profile, used
+// by the experiment harness to compare languages at a glance.
+func (d *Decider) CountAccepted(maxLen int) []int {
+	counts := make([]int, maxLen+1)
+	for _, w := range d.AcceptedWords(maxLen) {
+		counts[len([]rune(w))]++
+	}
+	return counts
+}
+
+// Language wraps the decider as a lang.Language with the given name.
+// Membership is horizon-bounded: words requiring journeys beyond the
+// compiled horizon are reported as non-members, so choose the horizon to
+// cover the word lengths being compared.
+func (d *Decider) Language(name string) lang.Language {
+	return lang.Func{
+		LangName: name,
+		Sigma:    d.a.Alphabet(),
+		Member:   d.Accepts,
+	}
+}

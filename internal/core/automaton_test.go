@@ -1,0 +1,526 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// staticA builds v0 --a--> v1 (always present, latency 1), v0 initial,
+// v1 accepting. Its language is {"a"} under every waiting semantics.
+func staticA(t *testing.T) *Automaton {
+	t.Helper()
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	g.MustAddEdge(tvg.Edge{From: v0, To: v1, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	a := NewAutomaton(g)
+	a.AddInitial(v0)
+	a.AddAccepting(v1)
+	return a
+}
+
+// ferryAuto builds the waiting-sensitive automaton:
+//
+//	v0 --a@{5}--> v1 --b@{2,8}--> v2, v0 initial, v2 accepting.
+func ferryAuto(t *testing.T) *Automaton {
+	t.Helper()
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+	g.MustAddEdge(tvg.Edge{From: v0, To: v1, Label: 'a', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: v1, To: v2, Label: 'b', Presence: tvg.NewTimeSet(2, 8), Latency: tvg.ConstLatency(1)})
+	a := NewAutomaton(g)
+	a.AddInitial(v0)
+	a.AddAccepting(v2)
+	return a
+}
+
+func TestAutomatonAccessors(t *testing.T) {
+	a := staticA(t)
+	if len(a.Initial()) != 1 || a.Initial()[0] != 0 {
+		t.Errorf("Initial = %v", a.Initial())
+	}
+	if len(a.Accepting()) != 1 || a.Accepting()[0] != 1 {
+		t.Errorf("Accepting = %v", a.Accepting())
+	}
+	if !a.IsAccepting(1) || a.IsAccepting(0) {
+		t.Error("IsAccepting wrong")
+	}
+	if a.StartTime() != 0 {
+		t.Error("default start time should be 0")
+	}
+	a.SetStartTime(3)
+	if a.StartTime() != 3 {
+		t.Error("SetStartTime broken")
+	}
+	if string(a.Alphabet()) != "a" {
+		t.Errorf("Alphabet = %q", string(a.Alphabet()))
+	}
+	if a.Graph() == nil {
+		t.Error("Graph accessor nil")
+	}
+	// AddInitial deduplicates.
+	a.AddInitial(0)
+	a.AddInitial(0)
+	if len(a.Initial()) != 1 {
+		t.Error("AddInitial should deduplicate")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := tvg.New()
+	g.AddNode("v0")
+	a := NewAutomaton(g)
+	if err := a.Validate(); err == nil {
+		t.Error("no initial state should fail")
+	}
+	a.AddInitial(tvg.Node(7))
+	if err := a.Validate(); err == nil {
+		t.Error("invalid initial state should fail")
+	}
+	b := NewAutomaton(g)
+	b.AddInitial(0)
+	b.AddAccepting(tvg.Node(9))
+	if err := b.Validate(); err == nil {
+		t.Error("invalid accepting state should fail")
+	}
+}
+
+func TestNewDeciderErrors(t *testing.T) {
+	a := staticA(t)
+	var invalid journey.Mode
+	if _, err := NewDecider(a, invalid, 10); err == nil {
+		t.Error("invalid mode should fail")
+	}
+	a.SetStartTime(5)
+	if _, err := NewDecider(a, journey.Wait(), 3); err == nil {
+		t.Error("horizon before start time should fail")
+	}
+	g := tvg.New()
+	u := g.AddNode("u")
+	g.MustAddEdge(tvg.Edge{From: u, To: u, Label: 'a', Presence: tvg.Always{},
+		Latency: tvg.LatencyFunc(func(tvg.Time) tvg.Time { return 0 })})
+	bad := NewAutomaton(g)
+	bad.AddInitial(u)
+	if _, err := NewDecider(bad, journey.Wait(), 10); err == nil {
+		t.Error("zero latency should fail compilation")
+	}
+	noInit := NewAutomaton(tvg.New())
+	if _, err := NewDecider(noInit, journey.Wait(), 10); err == nil {
+		t.Error("no initial state should fail")
+	}
+}
+
+func TestStaticLanguage(t *testing.T) {
+	a := staticA(t)
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+		d, err := NewDecider(a, mode, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Accepts("a") {
+			t.Errorf("%s: should accept \"a\"", mode)
+		}
+		for _, w := range []string{"", "aa", "b", "ab"} {
+			if d.Accepts(w) {
+				t.Errorf("%s: should reject %q", mode, w)
+			}
+		}
+		words := d.AcceptedWords(4)
+		if len(words) != 1 || words[0] != "a" {
+			t.Errorf("%s: AcceptedWords = %v", mode, words)
+		}
+	}
+}
+
+func TestFerrySemantics(t *testing.T) {
+	a := ferryAuto(t)
+	const horizon = 12
+	wait, err := NewDecider(a, journey.Wait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowait, err := NewDecider(a, journey.NoWait(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wait.Accepts("ab") {
+		t.Error("wait should accept ab (a@5, pause, b@8)")
+	}
+	if nowait.Accepts("ab") {
+		t.Error("nowait should reject ab from start time 0")
+	}
+	// Bounded wait from start time 0 needs a pause of 5 at v0.
+	for d, want := range map[tvg.Time]bool{4: false, 5: true, 7: true} {
+		dec, err := NewDecider(a, journey.BoundedWait(d), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := dec.Accepts("ab"); got != want {
+			t.Errorf("wait[%d] accepts ab = %v, want %v", d, got, want)
+		}
+	}
+	// From start time 3, pauses are 2 and 2.
+	a2 := ferryAuto(t)
+	a2.SetStartTime(3)
+	dec2, err := NewDecider(a2, journey.BoundedWait(2), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec2.Accepts("ab") {
+		t.Error("wait[2] from start 3 should accept ab")
+	}
+	dec1, err := NewDecider(a2, journey.BoundedWait(1), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec1.Accepts("ab") {
+		t.Error("wait[1] from start 3 should reject ab")
+	}
+	// Under wait, "b" alone is not accepted (b edge leaves v1, not v0).
+	if wait.Accepts("b") || wait.Accepts("a") || wait.Accepts("") {
+		t.Error("wait should accept only ab")
+	}
+	words := wait.AcceptedWords(3)
+	if len(words) != 1 || words[0] != "ab" {
+		t.Errorf("wait AcceptedWords = %v", words)
+	}
+}
+
+func TestWitness(t *testing.T) {
+	a := ferryAuto(t)
+	d, err := NewDecider(a, journey.Wait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := d.Witness("ab")
+	if !ok {
+		t.Fatal("witness should exist for ab")
+	}
+	if err := j.Validate(d.Compiled(), journey.Wait()); err != nil {
+		t.Errorf("witness journey invalid: %v", err)
+	}
+	w, err := j.Word(a.Graph())
+	if err != nil || w != "ab" {
+		t.Errorf("witness word = %q, %v", w, err)
+	}
+	if j.Hops[0].Depart != 5 || j.Hops[1].Depart != 8 {
+		t.Errorf("witness departures = %v", j.Hops)
+	}
+	if _, ok := d.Witness("ba"); ok {
+		t.Error("no witness for ba")
+	}
+	// Empty-word witness.
+	g := tvg.New()
+	v := g.AddNode("v")
+	auto := NewAutomaton(g)
+	auto.AddInitial(v)
+	auto.AddAccepting(v)
+	de, err := NewDecider(auto, journey.Wait(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := de.Witness(""); !ok || j.Len() != 0 {
+		t.Error("empty word should have the empty journey as witness")
+	}
+	if !de.Accepts("") {
+		t.Error("automaton with accepting initial state accepts ε")
+	}
+}
+
+func TestForeignSymbolsRejected(t *testing.T) {
+	a := staticA(t)
+	d, err := NewDecider(a, journey.Wait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Accepts("z") || d.Accepts("az") {
+		t.Error("foreign symbols should be rejected")
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	// Two a-edges from v0 present at the same time: nondeterministic.
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+	g.MustAddEdge(tvg.Edge{From: v0, To: v1, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: v0, To: v2, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	a := NewAutomaton(g)
+	a.AddInitial(v0)
+	det, err := a.IsDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("overlapping a-edges should be nondeterministic")
+	}
+	// Disjoint presence times: deterministic.
+	g2 := tvg.New()
+	u0 := g2.AddNode("u0")
+	u1 := g2.AddNode("u1")
+	u2 := g2.AddNode("u2")
+	g2.MustAddEdge(tvg.Edge{From: u0, To: u1, Label: 'a', Presence: tvg.NewTimeSet(1, 3), Latency: tvg.ConstLatency(1)})
+	g2.MustAddEdge(tvg.Edge{From: u0, To: u2, Label: 'a', Presence: tvg.NewTimeSet(2, 4), Latency: tvg.ConstLatency(1)})
+	b := NewAutomaton(g2)
+	b.AddInitial(u0)
+	det, err = b.IsDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Error("time-disjoint a-edges should be deterministic")
+	}
+	// Two initial states: nondeterministic by definition.
+	b.AddInitial(u1)
+	det, err = b.IsDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("two initial states should be nondeterministic")
+	}
+	// Different labels never conflict.
+	g3 := tvg.New()
+	w0 := g3.AddNode("w0")
+	w1 := g3.AddNode("w1")
+	g3.MustAddEdge(tvg.Edge{From: w0, To: w1, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	g3.MustAddEdge(tvg.Edge{From: w0, To: w1, Label: 'b', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	cAuto := NewAutomaton(g3)
+	cAuto.AddInitial(w0)
+	det, err = cAuto.IsDeterministic(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Error("different labels should not break determinism")
+	}
+	// Compile error propagates.
+	g4 := tvg.New()
+	x := g4.AddNode("x")
+	g4.MustAddEdge(tvg.Edge{From: x, To: x, Label: 'a', Presence: tvg.Always{},
+		Latency: tvg.LatencyFunc(func(tvg.Time) tvg.Time { return 0 })})
+	e := NewAutomaton(g4)
+	e.AddInitial(x)
+	if _, err := e.IsDeterministic(5); err == nil {
+		t.Error("compile failure should propagate")
+	}
+}
+
+func TestAcceptsConvenience(t *testing.T) {
+	a := staticA(t)
+	got, err := a.Accepts("a", journey.Wait(), 10)
+	if err != nil || !got {
+		t.Errorf("Accepts convenience = %v, %v", got, err)
+	}
+	if _, err := a.Accepts("a", journey.Mode{}, 10); err == nil {
+		t.Error("invalid mode should error")
+	}
+}
+
+func TestAcceptedWordsMatchesAccepts(t *testing.T) {
+	// Random periodic automaton: AcceptedWords must agree word-for-word
+	// with individual Accepts calls.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := tvg.New()
+		n := 2 + rng.Intn(3)
+		g.AddNodes(n)
+		for i := 0; i < n+2; i++ {
+			pattern := make([]bool, 1+rng.Intn(4))
+			for j := range pattern {
+				pattern[j] = rng.Intn(2) == 0
+			}
+			pattern[rng.Intn(len(pattern))] = true
+			pres, err := tvg.NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := tvg.Symbol('a' + rune(rng.Intn(2)))
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(rng.Intn(n)),
+				To:       tvg.Node(rng.Intn(n)),
+				Label:    label,
+				Presence: pres,
+				Latency:  tvg.ConstLatency(tvg.Time(1 + rng.Intn(2))),
+			})
+		}
+		a := NewAutomaton(g)
+		a.AddInitial(tvg.Node(rng.Intn(n)))
+		a.AddAccepting(tvg.Node(rng.Intn(n)))
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+			d, err := NewDecider(a, mode, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const maxLen = 5
+			wordSet := make(map[string]bool)
+			for _, w := range d.AcceptedWords(maxLen) {
+				wordSet[w] = true
+			}
+			for _, w := range automata.AllWords(g.Alphabet(), maxLen) {
+				if d.Accepts(w) != wordSet[w] {
+					t.Fatalf("trial %d mode %s: AcceptedWords and Accepts disagree on %q", trial, mode, w)
+				}
+			}
+		}
+	}
+}
+
+// TestInclusionChain verifies the paper's basic inclusion
+// L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait (d ≤ d') on random automata.
+func TestInclusionChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	chain := []journey.Mode{
+		journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(3), journey.Wait(),
+	}
+	for trial := 0; trial < 15; trial++ {
+		g := tvg.New()
+		n := 2 + rng.Intn(3)
+		g.AddNodes(n)
+		for i := 0; i < n+3; i++ {
+			pattern := make([]bool, 1+rng.Intn(5))
+			for j := range pattern {
+				pattern[j] = rng.Intn(3) == 0
+			}
+			pattern[rng.Intn(len(pattern))] = true
+			pres, err := tvg.NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(rng.Intn(n)),
+				To:       tvg.Node(rng.Intn(n)),
+				Label:    tvg.Symbol('a' + rune(rng.Intn(2))),
+				Presence: pres,
+				Latency:  tvg.ConstLatency(1),
+			})
+		}
+		a := NewAutomaton(g)
+		a.AddInitial(0)
+		a.AddAccepting(tvg.Node(n - 1))
+		var prev map[string]bool
+		for _, mode := range chain {
+			d, err := NewDecider(a, mode, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := make(map[string]bool)
+			for _, w := range d.AcceptedWords(5) {
+				cur[w] = true
+			}
+			for w := range prev {
+				if !cur[w] {
+					t.Fatalf("trial %d: inclusion violated at %q under %s", trial, w, mode)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestHorizonMonotonicity: shrinking the horizon can only lose journeys,
+// so the accepted set grows monotonically with the horizon and every
+// acceptance at a small horizon persists at a larger one. This is the
+// soundness guarantee behind all bounded-domain checks in this repo.
+func TestHorizonMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		g := tvg.New()
+		n := 2 + rng.Intn(3)
+		g.AddNodes(n)
+		for i := 0; i < n+2; i++ {
+			pattern := make([]bool, 1+rng.Intn(4))
+			for j := range pattern {
+				pattern[j] = rng.Intn(2) == 0
+			}
+			pattern[rng.Intn(len(pattern))] = true
+			pres, err := tvg.NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(rng.Intn(n)),
+				To:       tvg.Node(rng.Intn(n)),
+				Label:    tvg.Symbol('a' + rune(rng.Intn(2))),
+				Presence: pres,
+				Latency:  tvg.ConstLatency(tvg.Time(1 + rng.Intn(2))),
+			})
+		}
+		a := NewAutomaton(g)
+		a.AddInitial(0)
+		a.AddAccepting(tvg.Node(n - 1))
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+			var prev map[string]bool
+			for _, horizon := range []tvg.Time{2, 5, 9, 14} {
+				d, err := NewDecider(a, mode, horizon)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := make(map[string]bool)
+				for _, w := range d.AcceptedWords(4) {
+					cur[w] = true
+				}
+				for w := range prev {
+					if !cur[w] {
+						t.Fatalf("trial %d mode %s: %q accepted at smaller horizon but lost at %d",
+							trial, mode, w, horizon)
+					}
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestCountAccepted(t *testing.T) {
+	a := ferryAuto(t)
+	d, err := NewDecider(a, journey.Wait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := d.CountAccepted(4)
+	// Only "ab" is accepted: one word of length 2.
+	want := []int{0, 0, 1, 0, 0}
+	if len(counts) != len(want) {
+		t.Fatalf("CountAccepted = %v", counts)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("CountAccepted[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	// Counts sum to the enumeration size.
+	words := d.AcceptedWords(4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(words) {
+		t.Errorf("counts sum %d, enumeration %d", total, len(words))
+	}
+}
+
+func TestLanguageWrapper(t *testing.T) {
+	a := staticA(t)
+	d, err := NewDecider(a, journey.Wait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Language("just-a")
+	if l.Name() != "just-a" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if !l.Contains("a") || l.Contains("b") || l.Contains("") {
+		t.Error("language wrapper membership wrong")
+	}
+}

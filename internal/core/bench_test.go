@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// benchAutomaton is a 4-node periodic automaton with both labels.
+func benchAutomaton(b *testing.B) *Automaton {
+	b.Helper()
+	g := tvg.New()
+	g.AddNodes(4)
+	patterns := [][]bool{
+		{true, false, true}, {false, true}, {true}, {true, false, false, true},
+		{false, false, true}, {true, true, false},
+	}
+	edges := []struct {
+		from, to int
+		label    rune
+	}{
+		{0, 1, 'a'}, {1, 2, 'b'}, {2, 3, 'a'}, {3, 0, 'b'}, {0, 2, 'b'}, {1, 3, 'a'},
+	}
+	for i, e := range edges {
+		pres, err := tvg.NewPeriodicPresence(patterns[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(e.from), To: tvg.Node(e.to), Label: e.label,
+			Presence: pres, Latency: tvg.ConstLatency(1),
+		})
+	}
+	a := NewAutomaton(g)
+	a.AddInitial(0)
+	a.AddAccepting(3)
+	return a
+}
+
+// Ablation: membership cost as the horizon grows, per waiting semantics.
+// Wait mode scans full departure windows, so it is the most
+// horizon-sensitive — this quantifies the cost of the waiting adversary.
+func BenchmarkAcceptsHorizonSweep(b *testing.B) {
+	a := benchAutomaton(b)
+	for _, horizon := range []tvg.Time{20, 80, 320} {
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(4), journey.Wait()} {
+			dec, err := NewDecider(a, mode, horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("h=%d/%s", horizon, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					dec.Accepts("abab")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAcceptedWords(b *testing.B) {
+	a := benchAutomaton(b)
+	dec, err := NewDecider(a, journey.Wait(), 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dec.AcceptedWords(6)
+	}
+}
+
+func BenchmarkWitness(b *testing.B) {
+	a := benchAutomaton(b)
+	dec, err := NewDecider(a, journey.Wait(), 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := dec.AcceptedWords(6)
+	if len(words) == 0 {
+		b.Fatal("no accepted words")
+	}
+	word := words[len(words)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := dec.Witness(word); !ok {
+			b.Fatal("witness must exist")
+		}
+	}
+}
+
+func BenchmarkConfigInclusion(b *testing.B) {
+	a := benchAutomaton(b)
+	dec, err := NewDecider(a, journey.Wait(), 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewConfigInclusion(dec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.LE("ab", "abab")
+	}
+}

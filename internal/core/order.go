@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tvgwait/internal/tvg"
+)
+
+// Config is a reading configuration of a TVG-automaton: the automaton is
+// at Node, having arrived (or started) at time At.
+type Config struct {
+	Node tvg.Node
+	At   tvg.Time
+}
+
+// Configs returns the sorted set of configurations reachable by reading
+// the word from the initial configurations under the decider's waiting
+// semantics and horizon. An empty result means the word cannot be read at
+// all (within the horizon).
+func (d *Decider) Configs(word string) []Config {
+	frontier := make(map[config]bool)
+	for _, n := range d.a.initial {
+		frontier[config{n, d.a.startTime}] = true
+	}
+	for _, sym := range word {
+		frontier = d.stepConfigs(frontier, sym)
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	out := make([]Config, 0, len(frontier))
+	for cfg := range frontier {
+		out = append(out, Config{Node: cfg.node, At: cfg.t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].At < out[j].At
+	})
+	return out
+}
+
+// ConfigInclusion is this repository's reconstruction of the paper's
+// quasi-order on words ("based upon the possibility of inclusion for
+// corresponding journeys" — the exact order is defined only in the arXiv
+// version): u ≼ v iff every configuration reachable by reading u is also
+// reachable by reading v.
+//
+// It is reflexive and transitive by construction, monotone under
+// right-concatenation (configs(u) ⊆ configs(v) implies
+// configs(uw) ⊆ configs(vw), since stepping is monotone in the
+// configuration set), and the decider's language is upward closed with
+// respect to it: if u is accepted, some reachable configuration of u is
+// accepting, and v reaches a superset. These are exactly the structural
+// properties the Harju–Ilie criterion consumes (see internal/wqo); the
+// order therefore lets the regularity argument be *exercised* on concrete
+// TVGs even though the full proof lives in the arXiv version.
+type ConfigInclusion struct {
+	dec *Decider
+}
+
+// NewConfigInclusion builds the order induced by a decider.
+func NewConfigInclusion(d *Decider) *ConfigInclusion {
+	return &ConfigInclusion{dec: d}
+}
+
+// Name implements the wqo.QuasiOrder interface (structurally).
+func (o *ConfigInclusion) Name() string {
+	return fmt.Sprintf("config-inclusion(%s)", o.dec.Mode())
+}
+
+// LE reports configs(u) ⊆ configs(v).
+func (o *ConfigInclusion) LE(u, v string) bool {
+	cu := o.dec.Configs(u)
+	if len(cu) == 0 {
+		// Unreadable words are below everything (vacuous inclusion).
+		return true
+	}
+	cv := o.dec.Configs(v)
+	set := make(map[Config]bool, len(cv))
+	for _, c := range cv {
+		set[c] = true
+	}
+	for _, c := range cu {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+	"tvgwait/internal/wqo"
+)
+
+// The order must satisfy the wqo.QuasiOrder interface structurally.
+var _ wqo.QuasiOrder = (*ConfigInclusion)(nil)
+
+func TestConfigsBasics(t *testing.T) {
+	a := ferryAuto(t)
+	d, err := NewDecider(a, journey.Wait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε: the single initial configuration.
+	cfgs := d.Configs("")
+	if len(cfgs) != 1 || cfgs[0] != (Config{Node: 0, At: 0}) {
+		t.Fatalf("Configs(ε) = %v", cfgs)
+	}
+	// "a": v1 at time 6 (e0 departs at 5, latency 1).
+	cfgs = d.Configs("a")
+	if len(cfgs) != 1 || cfgs[0] != (Config{Node: 1, At: 6}) {
+		t.Fatalf("Configs(a) = %v", cfgs)
+	}
+	// "ab": v2 at 9.
+	cfgs = d.Configs("ab")
+	if len(cfgs) != 1 || cfgs[0] != (Config{Node: 2, At: 9}) {
+		t.Fatalf("Configs(ab) = %v", cfgs)
+	}
+	// Unreadable word.
+	if got := d.Configs("ba"); got != nil {
+		t.Fatalf("Configs(ba) = %v, want nil", got)
+	}
+}
+
+func TestConfigsSortedAndDeduped(t *testing.T) {
+	// Nondeterministic graph: two a-edges to different nodes.
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	v1 := g.AddNode("v1")
+	v2 := g.AddNode("v2")
+	g.MustAddEdge(tvg.Edge{From: v0, To: v2, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(2)})
+	g.MustAddEdge(tvg.Edge{From: v0, To: v1, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	a := NewAutomaton(g)
+	a.AddInitial(v0)
+	d, err := NewDecider(a, journey.NoWait(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := d.Configs("a")
+	if len(cfgs) != 2 {
+		t.Fatalf("Configs(a) = %v", cfgs)
+	}
+	if !(cfgs[0].Node < cfgs[1].Node) {
+		t.Errorf("configs not sorted: %v", cfgs)
+	}
+}
+
+// randomAutomaton builds a small periodic automaton for order tests.
+func randomOrderAutomaton(t *testing.T, rng *rand.Rand) *Automaton {
+	t.Helper()
+	g := tvg.New()
+	n := 2 + rng.Intn(3)
+	g.AddNodes(n)
+	for i := 0; i < n+2; i++ {
+		pattern := make([]bool, 1+rng.Intn(4))
+		for j := range pattern {
+			pattern[j] = rng.Intn(2) == 0
+		}
+		pattern[rng.Intn(len(pattern))] = true
+		pres, err := tvg.NewPeriodicPresence(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MustAddEdge(tvg.Edge{
+			From:     tvg.Node(rng.Intn(n)),
+			To:       tvg.Node(rng.Intn(n)),
+			Label:    tvg.Symbol('a' + rune(rng.Intn(2))),
+			Presence: pres,
+			Latency:  tvg.ConstLatency(1),
+		})
+	}
+	a := NewAutomaton(g)
+	a.AddInitial(0)
+	a.AddAccepting(tvg.Node(n - 1))
+	return a
+}
+
+// TestConfigInclusionQuasiOrder checks reflexivity and transitivity on
+// exhaustive small word domains over random automata and modes.
+func TestConfigInclusionQuasiOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		a := randomOrderAutomaton(t, rng)
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+			d, err := NewDecider(a, mode, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := NewConfigInclusion(d)
+			words := automata.AllWords(a.Alphabet(), 3)
+			for _, u := range words {
+				if !o.LE(u, u) {
+					t.Fatalf("not reflexive at %q", u)
+				}
+			}
+			for _, u := range words {
+				for _, v := range words {
+					if !o.LE(u, v) {
+						continue
+					}
+					for _, w := range words {
+						if o.LE(v, w) && !o.LE(u, w) {
+							t.Fatalf("not transitive: %q ≼ %q ≼ %q", u, v, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConfigInclusionMonotoneAndUpwardClosed checks the two properties
+// the Harju–Ilie argument needs: monotonicity under right-concatenation,
+// and upward-closedness of the accepted language.
+func TestConfigInclusionMonotoneAndUpwardClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 6; trial++ {
+		a := randomOrderAutomaton(t, rng)
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+			d, err := NewDecider(a, mode, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := NewConfigInclusion(d)
+			words := automata.AllWords(a.Alphabet(), 3)
+			exts := automata.AllWords(a.Alphabet(), 2)
+			for _, u := range words {
+				for _, v := range words {
+					if !o.LE(u, v) {
+						continue
+					}
+					// Upward closure of the language.
+					if d.Accepts(u) && !d.Accepts(v) {
+						t.Fatalf("mode %s: language not upward closed: %q accepted, %q ≽ it rejected",
+							mode, u, v)
+					}
+					// Monotone under right-concatenation.
+					for _, w := range exts {
+						if !o.LE(u+w, v+w) {
+							t.Fatalf("mode %s: not monotone: %q ≼ %q but %q ⋠ %q",
+								mode, u, v, u+w, v+w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestConfigInclusionName(t *testing.T) {
+	a := staticA(t)
+	d, err := NewDecider(a, journey.Wait(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewConfigInclusion(d)
+	if !strings.Contains(o.Name(), "wait") {
+		t.Errorf("Name = %q", o.Name())
+	}
+}
+
+// TestConfigInclusionOnFigure1 exercises the order on the paper's own
+// automaton: under nowait, distinct readable prefixes reach distinct
+// times, so the order is (almost) trivial; under wait it coarsens — the
+// structural reason the wait language collapses to regular.
+func TestConfigInclusionOnFigure1(t *testing.T) {
+	g := tvg.New()
+	v0 := g.AddNode("v0")
+	g.MustAddEdge(tvg.Edge{
+		From: v0, To: v0, Label: 'a',
+		Presence: tvg.PresenceFunc(func(tt tvg.Time) bool { return tt >= 1 }),
+		Latency:  tvg.ScaleLatency{Factor: 2},
+	})
+	a := NewAutomaton(g)
+	a.AddInitial(v0)
+	a.SetStartTime(1)
+
+	no, err := NewDecider(a, journey.NoWait(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oNo := NewConfigInclusion(no)
+	// Under nowait, "a" reaches {(v0, 2)} and "aa" reaches {(v0, 4)}:
+	// incomparable in both directions.
+	if oNo.LE("a", "aa") || oNo.LE("aa", "a") {
+		t.Error("nowait: distinct powers of the loop should be incomparable")
+	}
+	wait, err := NewDecider(a, journey.Wait(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oW := NewConfigInclusion(wait)
+	// Under wait, configs("a") = {(v0, 2t) : 1 ≤ t ≤ horizon} — every even
+	// time — while configs("aa") = {(v0, 2t') : t' ≥ 2}: a strict subset.
+	// Waiting coarsens the order: "aa" ≼ "a" even though they are
+	// incomparable without waiting.
+	if !oW.LE("aa", "a") {
+		t.Error("wait: configs(aa) should be included in configs(a)")
+	}
+	if oW.LE("a", "aa") {
+		t.Error("wait: configs(a) reaches time 2, configs(aa) cannot")
+	}
+}

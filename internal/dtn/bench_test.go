@@ -1,0 +1,52 @@
+package dtn
+
+import (
+	"fmt"
+	"testing"
+
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+func benchNetwork(b *testing.B, nodes int) *tvg.Compiled {
+	b.Helper()
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: nodes, PBirth: 0.03, PDeath: 0.5, Horizon: 80, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tvg.Compile(g, 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// Ablation: flood cost by network size and waiting budget.
+func BenchmarkSimulateScale(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		c := benchNetwork(b, n)
+		msg := Message{Src: 0, Dst: tvg.Node(n - 1), Created: 0}
+		for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Simulate(c, mode, msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	c := benchNetwork(b, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Broadcast(c, journey.Wait(), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package dtn is a store-carry-forward network simulator — the paper's
+// motivating setting made executable. Messages are flooded epidemically
+// over a compiled contact schedule; the waiting semantics (journey.Mode)
+// is the buffering policy:
+//
+//   - NoWait: nodes have no buffers — a copy arriving at time t can only
+//     be forwarded on a contact departing exactly at t;
+//   - BoundedWait(d): a copy can sit in a buffer for at most d ticks
+//     before each forwarding;
+//   - Wait: full store-carry-forward with unbounded buffering.
+//
+// A message is deliverable iff a feasible journey (under the same mode)
+// exists from its source at its creation time to its destination — the
+// simulator and the journey search are cross-checked in the tests. The
+// delivery-ratio gap between modes is the quantitative "power of waiting"
+// the paper's introduction asks about.
+package dtn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// Message is a unicast payload to be carried from Src to Dst.
+type Message struct {
+	// ID identifies the message in reports.
+	ID int
+	// Src and Dst are the endpoints.
+	Src, Dst tvg.Node
+	// Created is the time the message enters Src's buffer.
+	Created tvg.Time
+}
+
+// Result describes one simulated message.
+type Result struct {
+	// Delivered reports whether a copy reached Dst within the horizon.
+	Delivered bool
+	// DeliveredAt is the earliest arrival time at Dst (valid if Delivered).
+	DeliveredAt tvg.Time
+	// Latency is DeliveredAt - Created (valid if Delivered).
+	Latency tvg.Time
+	// Transmissions counts every copy transmission performed by the
+	// epidemic flood (a measure of overhead).
+	Transmissions int
+	// NodesReached counts the nodes that ever held a copy (incl. Src).
+	NodesReached int
+}
+
+// Simulate floods one message over the compiled schedule under the given
+// buffering policy and returns delivery statistics.
+//
+// The flood is exact: a node may hold several copies with different
+// arrival times (a later copy has a fresher waiting budget), and every
+// (contact, copy) pair within budget is used. Consequently Delivered
+// matches the existence of a feasible journey and DeliveredAt matches the
+// foremost arrival.
+func Simulate(c *tvg.Compiled, mode journey.Mode, msg Message) (Result, error) {
+	g := c.Graph()
+	if !g.ValidNode(msg.Src) || !g.ValidNode(msg.Dst) {
+		return Result{}, fmt.Errorf("dtn: message %d references unknown node", msg.ID)
+	}
+	if !mode.IsValid() {
+		return Result{}, fmt.Errorf("dtn: invalid mode")
+	}
+	if msg.Created < 0 {
+		return Result{}, fmt.Errorf("dtn: message %d created at negative time %d", msg.ID, msg.Created)
+	}
+
+	// copies[n] = set of arrival times of distinct copies held by n.
+	copies := make([]map[tvg.Time]bool, g.NumNodes())
+	for i := range copies {
+		copies[i] = make(map[tvg.Time]bool)
+	}
+	copies[msg.Src][msg.Created] = true
+
+	res := Result{}
+	if msg.Src == msg.Dst {
+		res.Delivered = true
+		res.DeliveredAt = msg.Created
+		res.NodesReached = 1
+		return res, nil
+	}
+
+	// Round loop: at each tick, every present contact forwards every
+	// in-budget copy of its tail node. New arrivals land at t + latency
+	// and are processed when the loop reaches that tick.
+	for t := msg.Created; t <= c.Horizon(); t++ {
+		for _, id := range c.ContactsAt(t) {
+			e, _ := g.Edge(id)
+			if len(copies[e.From]) == 0 {
+				continue
+			}
+			arr, _ := c.ArrivalAt(id, t)
+			forward := false
+			for got := range copies[e.From] {
+				if got <= t && t <= mode.WindowEnd(got, c.Horizon()) {
+					forward = true
+					break
+				}
+			}
+			if !forward {
+				continue
+			}
+			if !copies[e.To][arr] {
+				copies[e.To][arr] = true
+				res.Transmissions++
+			}
+		}
+	}
+
+	best := tvg.Time(-1)
+	for got := range copies[msg.Dst] {
+		if best < 0 || got < best {
+			best = got
+		}
+	}
+	if best >= 0 {
+		res.Delivered = true
+		res.DeliveredAt = best
+		res.Latency = best - msg.Created
+	}
+	for _, set := range copies {
+		if len(set) > 0 {
+			res.NodesReached++
+		}
+	}
+	return res, nil
+}
+
+// BroadcastResult describes one source flooding to all nodes.
+type BroadcastResult struct {
+	// Reached[n] reports whether node n ever held a copy.
+	Reached []bool
+	// Arrival[n] is the earliest arrival at node n (-1 if not reached).
+	Arrival []tvg.Time
+	// Ratio is the fraction of nodes reached (including the source).
+	Ratio float64
+	// Transmissions counts all copy transmissions.
+	Transmissions int
+}
+
+// Broadcast floods from src at time t0 and reports per-node reachability —
+// the broadcast primitive the paper cites as fundamental for dynamic
+// networks.
+func Broadcast(c *tvg.Compiled, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
+	g := c.Graph()
+	if !g.ValidNode(src) {
+		return BroadcastResult{}, fmt.Errorf("dtn: unknown source %d", src)
+	}
+	if !mode.IsValid() {
+		return BroadcastResult{}, fmt.Errorf("dtn: invalid mode")
+	}
+	copies := make([]map[tvg.Time]bool, g.NumNodes())
+	for i := range copies {
+		copies[i] = make(map[tvg.Time]bool)
+	}
+	copies[src][t0] = true
+	res := BroadcastResult{
+		Reached: make([]bool, g.NumNodes()),
+		Arrival: make([]tvg.Time, g.NumNodes()),
+	}
+	for t := t0; t <= c.Horizon(); t++ {
+		for _, id := range c.ContactsAt(t) {
+			e, _ := g.Edge(id)
+			if len(copies[e.From]) == 0 {
+				continue
+			}
+			arr, _ := c.ArrivalAt(id, t)
+			forward := false
+			for got := range copies[e.From] {
+				if got <= t && t <= mode.WindowEnd(got, c.Horizon()) {
+					forward = true
+					break
+				}
+			}
+			if !forward {
+				continue
+			}
+			if !copies[e.To][arr] {
+				copies[e.To][arr] = true
+				res.Transmissions++
+			}
+		}
+	}
+	reached := 0
+	for n := range copies {
+		res.Arrival[n] = -1
+		for got := range copies[n] {
+			if res.Arrival[n] < 0 || got < res.Arrival[n] {
+				res.Arrival[n] = got
+			}
+		}
+		if res.Arrival[n] >= 0 {
+			res.Reached[n] = true
+			reached++
+		}
+	}
+	res.Ratio = float64(reached) / float64(g.NumNodes())
+	return res, nil
+}
+
+// CoverageCurve floods from src at t0 and returns, for every tick in
+// [t0, horizon], how many nodes hold a copy at or before that tick — the
+// epidemic growth curve. The curve is nondecreasing and its final value
+// equals the number of nodes the broadcast reaches.
+func CoverageCurve(c *tvg.Compiled, mode journey.Mode, src tvg.Node, t0 tvg.Time) ([]int, error) {
+	br, err := Broadcast(c, mode, src, t0)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Horizon() - t0 + 1
+	curve := make([]int, n)
+	for _, arr := range br.Arrival {
+		if arr < 0 {
+			continue
+		}
+		idx := arr - t0
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			continue // reached only after the horizon tick window
+		}
+		curve[idx]++
+	}
+	running := 0
+	for i := range curve {
+		running += curve[i]
+		curve[i] = running
+	}
+	return curve, nil
+}
+
+// SweepRow is one aggregated line of a delivery experiment.
+type SweepRow struct {
+	// Mode is the buffering policy of this row.
+	Mode journey.Mode
+	// Messages is the number of simulated messages.
+	Messages int
+	// DeliveryRatio is the fraction delivered.
+	DeliveryRatio float64
+	// MeanLatency is the average latency over delivered messages
+	// (0 if none were delivered).
+	MeanLatency float64
+	// MeanTransmissions is the average flood overhead per message.
+	MeanTransmissions float64
+}
+
+// Sweep simulates the same random message workload under every mode and
+// returns one row per mode. The workload is `messages` random (src, dst)
+// pairs with src ≠ dst, created at time 0, drawn deterministically from
+// the seed.
+func Sweep(c *tvg.Compiled, modes []journey.Mode, messages int, seed int64) ([]SweepRow, error) {
+	n := c.Graph().NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("dtn: sweep needs at least 2 nodes")
+	}
+	if messages < 1 {
+		return nil, fmt.Errorf("dtn: sweep needs at least 1 message")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]Message, messages)
+	for i := range msgs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = Message{ID: i, Src: tvg.Node(src), Dst: tvg.Node(dst)}
+	}
+	rows := make([]SweepRow, 0, len(modes))
+	for _, mode := range modes {
+		row := SweepRow{Mode: mode, Messages: messages}
+		delivered := 0
+		var latencySum, txSum float64
+		for _, m := range msgs {
+			r, err := Simulate(c, mode, m)
+			if err != nil {
+				return nil, err
+			}
+			if r.Delivered {
+				delivered++
+				latencySum += float64(r.Latency)
+			}
+			txSum += float64(r.Transmissions)
+		}
+		row.DeliveryRatio = float64(delivered) / float64(messages)
+		if delivered > 0 {
+			row.MeanLatency = latencySum / float64(delivered)
+		}
+		row.MeanTransmissions = txSum / float64(messages)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSweep renders sweep rows as an aligned text table.
+func FormatSweep(rows []SweepRow) string {
+	out := fmt.Sprintf("%-10s %9s %10s %12s %14s\n", "mode", "messages", "delivery", "mean-latency", "transmissions")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s %9d %9.1f%% %12.2f %14.2f\n",
+			r.Mode, r.Messages, 100*r.DeliveryRatio, r.MeanLatency, r.MeanTransmissions)
+	}
+	return out
+}
+
+// SortModes orders modes from least to most permissive, for stable tables.
+func SortModes(modes []journey.Mode) []journey.Mode {
+	out := append([]journey.Mode(nil), modes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[j].AtLeastAsPermissive(out[i]) && !out[i].AtLeastAsPermissive(out[j])
+	})
+	return out
+}

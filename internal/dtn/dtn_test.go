@@ -1,0 +1,347 @@
+package dtn
+
+import (
+	"strings"
+	"testing"
+
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// ferry: a --@5--> b --@{2,8}--> c (latency 1). Delivery a→c requires
+// buffering at b from 6 to 8.
+func ferry(t *testing.T) *tvg.Compiled {
+	t.Helper()
+	g := tvg.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	cNode := g.AddNode("c")
+	g.MustAddEdge(tvg.Edge{From: a, To: b, Label: 'c', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: b, To: cNode, Label: 'c', Presence: tvg.NewTimeSet(2, 8), Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSimulateFerry(t *testing.T) {
+	c := ferry(t)
+	msg := Message{ID: 1, Src: 0, Dst: 2, Created: 0}
+
+	r, err := Simulate(c, journey.Wait(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered || r.DeliveredAt != 9 || r.Latency != 9 {
+		t.Errorf("wait: %+v; want delivery at 9", r)
+	}
+	if r.NodesReached != 3 {
+		t.Errorf("wait: reached %d nodes, want 3", r.NodesReached)
+	}
+	if r.Transmissions != 2 {
+		t.Errorf("wait: %d transmissions, want 2", r.Transmissions)
+	}
+
+	r, err = Simulate(c, journey.NoWait(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered {
+		t.Errorf("nowait should fail: %+v", r)
+	}
+
+	// wait[2]: pause 5 at source is too long from t=0.
+	r, err = Simulate(c, journey.BoundedWait(2), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered {
+		t.Errorf("wait[2] from t=0 should fail: %+v", r)
+	}
+	// From t=3 the pauses are 2 and 2.
+	msg3 := Message{ID: 2, Src: 0, Dst: 2, Created: 3}
+	r, err = Simulate(c, journey.BoundedWait(2), msg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered || r.DeliveredAt != 9 {
+		t.Errorf("wait[2] from t=3: %+v; want delivery at 9", r)
+	}
+}
+
+func TestSimulateTrivialAndErrors(t *testing.T) {
+	c := ferry(t)
+	r, err := Simulate(c, journey.Wait(), Message{Src: 1, Dst: 1, Created: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Delivered || r.DeliveredAt != 4 || r.NodesReached != 1 {
+		t.Errorf("self delivery: %+v", r)
+	}
+	if _, err := Simulate(c, journey.Wait(), Message{Src: 0, Dst: 99}); err == nil {
+		t.Error("unknown node should fail")
+	}
+	var invalid journey.Mode
+	if _, err := Simulate(c, invalid, Message{Src: 0, Dst: 1}); err == nil {
+		t.Error("invalid mode should fail")
+	}
+	if _, err := Simulate(c, journey.Wait(), Message{Src: 0, Dst: 1, Created: -2}); err == nil {
+		t.Error("negative creation time should fail")
+	}
+}
+
+// TestSimulateMatchesJourneySearch is the ground-truth cross-check: the
+// epidemic simulation delivers iff a feasible journey exists, at exactly
+// the foremost arrival time.
+func TestSimulateMatchesJourneySearch(t *testing.T) {
+	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(3), journey.Wait()}
+	for seed := int64(0); seed < 12; seed++ {
+		g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+			Nodes: 5, PBirth: 0.08, PDeath: 0.5, Horizon: 25, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tvg.Compile(g, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes {
+			for src := tvg.Node(0); src < 5; src++ {
+				for dst := tvg.Node(0); dst < 5; dst++ {
+					if src == dst {
+						continue
+					}
+					r, err := Simulate(c, mode, Message{Src: src, Dst: dst, Created: 0})
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, arr, ok := journey.Foremost(c, mode, src, dst, 0)
+					if r.Delivered != ok {
+						t.Fatalf("seed %d mode %s %d->%d: sim=%v journey=%v",
+							seed, mode, src, dst, r.Delivered, ok)
+					}
+					if ok && r.DeliveredAt != arr {
+						t.Fatalf("seed %d mode %s %d->%d: sim at %d, foremost %d",
+							seed, mode, src, dst, r.DeliveredAt, arr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	// Always-present ring: everything reached quickly under any mode.
+	g := tvg.New()
+	g.AddNodes(4)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(i), To: tvg.Node((i + 1) % 4), Label: 'c',
+			Presence: tvg.Always{}, Latency: tvg.ConstLatency(1),
+		})
+	}
+	c, err := tvg.Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Broadcast(c, journey.NoWait(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ratio != 1 {
+		t.Errorf("ring broadcast ratio = %g", r.Ratio)
+	}
+	for n, arr := range r.Arrival {
+		if arr != tvg.Time(n) { // node i reached at time i around the ring
+			t.Errorf("node %d reached at %d, want %d", n, arr, n)
+		}
+	}
+	// Broadcast agrees with ReachableSet on the ferry graph.
+	fc := ferry(t)
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		br, err := Broadcast(fc, mode, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := journey.ReachableSet(fc, mode, 0, 0)
+		for n := range reach {
+			if br.Reached[n] != reach[n] {
+				t.Errorf("mode %s node %d: broadcast %v, reachable %v", mode, n, br.Reached[n], reach[n])
+			}
+		}
+	}
+	// Errors.
+	if _, err := Broadcast(fc, journey.Wait(), 99, 0); err == nil {
+		t.Error("unknown source should fail")
+	}
+	var invalid journey.Mode
+	if _, err := Broadcast(fc, invalid, 0, 0); err == nil {
+		t.Error("invalid mode should fail")
+	}
+}
+
+func TestCoverageCurve(t *testing.T) {
+	// Always-present ring of 4: coverage 1, 2, 3, 4 at ticks 0..3.
+	g := tvg.New()
+	g.AddNodes(4)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(i), To: tvg.Node((i + 1) % 4), Label: 'c',
+			Presence: tvg.Always{}, Latency: tvg.ConstLatency(1),
+		})
+	}
+	c, err := tvg.Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := CoverageCurve(c, journey.NoWait(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i, wv := range want {
+		if curve[i] != wv {
+			t.Fatalf("curve = %v, want prefix %v", curve[:4], want)
+		}
+	}
+	// Nondecreasing and saturating.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve decreases at %d: %v", i, curve)
+		}
+	}
+	if curve[len(curve)-1] != 4 {
+		t.Errorf("final coverage = %d", curve[len(curve)-1])
+	}
+	// Curve final value matches broadcast reach on the ferry graph.
+	fc := ferry(t)
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		curve, err := CoverageCurve(fc, mode, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := Broadcast(fc, mode, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reached := 0
+		for _, r := range br.Reached {
+			if r {
+				reached++
+			}
+		}
+		if curve[len(curve)-1] != reached {
+			t.Errorf("mode %s: curve end %d, broadcast reach %d", mode, curve[len(curve)-1], reached)
+		}
+	}
+	// Error paths.
+	if _, err := CoverageCurve(c, journey.Wait(), tvg.Node(99), 0); err == nil {
+		t.Error("invalid source should fail")
+	}
+}
+
+// TestSweepMonotoneInMode is the E5 shape check: delivery ratio never
+// decreases as the buffering budget grows.
+func TestSweepMonotoneInMode(t *testing.T) {
+	modes := []journey.Mode{
+		journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(2),
+		journey.BoundedWait(4), journey.Wait(),
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+			Nodes: 8, PBirth: 0.03, PDeath: 0.4, Horizon: 40, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tvg.Compile(g, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Sweep(c, modes, 30, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(modes) {
+			t.Fatalf("got %d rows", len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].DeliveryRatio < rows[i-1].DeliveryRatio {
+				t.Errorf("seed %d: delivery ratio decreased from %s (%.2f) to %s (%.2f)",
+					seed, rows[i-1].Mode, rows[i-1].DeliveryRatio, rows[i].Mode, rows[i].DeliveryRatio)
+			}
+		}
+	}
+}
+
+// TestSweepWaitBeatsNoWait checks the headline quantitative gap on a
+// sparse dynamic network: store-carry-forward delivers strictly more.
+func TestSweepWaitBeatsNoWait(t *testing.T) {
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: 10, PBirth: 0.02, PDeath: 0.6, Horizon: 60, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tvg.Compile(g, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Sweep(c, []journey.Mode{journey.NoWait(), journey.Wait()}, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].DeliveryRatio <= rows[0].DeliveryRatio {
+		t.Errorf("wait (%.2f) should beat nowait (%.2f) on a sparse network",
+			rows[1].DeliveryRatio, rows[0].DeliveryRatio)
+	}
+	if rows[1].DeliveryRatio < 0.5 {
+		t.Errorf("wait delivery suspiciously low: %.2f", rows[1].DeliveryRatio)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	c := ferry(t)
+	if _, err := Sweep(c, []journey.Mode{journey.Wait()}, 0, 1); err == nil {
+		t.Error("zero messages should fail")
+	}
+	g := tvg.New()
+	g.AddNode("only")
+	single, err := tvg.Compile(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(single, []journey.Mode{journey.Wait()}, 5, 1); err == nil {
+		t.Error("single node should fail")
+	}
+	var invalid journey.Mode
+	if _, err := Sweep(c, []journey.Mode{invalid}, 5, 1); err == nil {
+		t.Error("invalid mode should propagate")
+	}
+}
+
+func TestFormatSweepAndSortModes(t *testing.T) {
+	c := ferry(t)
+	rows, err := Sweep(c, []journey.Mode{journey.Wait(), journey.NoWait()}, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSweep(rows)
+	for _, want := range []string{"mode", "delivery", "wait", "nowait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSweep missing %q:\n%s", want, out)
+		}
+	}
+	sorted := SortModes([]journey.Mode{
+		journey.Wait(), journey.BoundedWait(2), journey.NoWait(), journey.BoundedWait(7),
+	})
+	want := []string{"nowait", "wait[2]", "wait[7]", "wait"}
+	for i, m := range sorted {
+		if m.String() != want[i] {
+			t.Fatalf("SortModes = %v, want %v", sorted, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/construct"
+	"tvgwait/internal/core"
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// Ablations measures the design choices DESIGN.md calls out, complementing
+// the E1–E6 correctness experiments with scaling behaviour:
+//
+//	(a) the regularity witness under growing horizons — Theorem 2.2
+//	    guarantees a finite automaton at every horizon, and this table
+//	    shows how the configuration space and its minimal DFA grow on the
+//	    Figure 1 graph;
+//	(b) the cost of the waiting adversary — reachable configurations per
+//	    waiting semantics at increasing horizons (the wait window scan is
+//	    the dominant cost, bounded waiting is nearly free);
+//	(c) the delivery-vs-budget trade-off at fixed contact density, the
+//	    ablation slice of E5.
+func Ablations(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== Ablations: scaling behaviour of the constructions ==")
+	fmt.Fprintln(w)
+
+	a, err := anbn.New(anbn.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	// (a) Regularity witness growth on Figure 1 under wait semantics.
+	fmt.Fprintln(w, "  (a) Figure 1, wait semantics: ConfigNFA and minimal DFA vs horizon")
+	fmt.Fprintf(w, "  %-10s %-12s %-12s %-16s\n", "horizon", "NFA states", "min-DFA", "|L∩Σ≤6|")
+	horizons := []tvg.Time{50, 200, 800}
+	if !opts.Quick {
+		horizons = append(horizons, 3200)
+	}
+	for _, h := range horizons {
+		nfa, err := construct.ConfigNFA(a, journey.Wait(), h)
+		if err != nil {
+			return err
+		}
+		dfa := nfa.Determinize(a.Alphabet()).Minimize()
+		dec, err := core.NewDecider(a, journey.Wait(), h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10d %-12d %-12d %-16d\n",
+			h, nfa.NumStates(), dfa.NumStates(), len(dec.AcceptedWords(6)))
+	}
+	fmt.Fprintln(w, "  (finite at every horizon — the Theorem 2.2 witness — and growing with it,")
+	fmt.Fprintln(w, "   since the horizon-bounded language itself grows)")
+	fmt.Fprintln(w)
+
+	// (b) Search-space size per waiting semantics.
+	fmt.Fprintln(w, "  (b) Figure 1: reachable configurations by mode (cost of the adversary)")
+	fmt.Fprintf(w, "  %-10s %-10s %-10s %-10s %-10s\n", "horizon", "nowait", "wait[1]", "wait[4]", "wait")
+	for _, h := range horizons {
+		row := fmt.Sprintf("  %-10d", h)
+		for _, mode := range []journey.Mode{
+			journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(4), journey.Wait(),
+		} {
+			nfa, err := construct.ConfigNFA(a, mode, h)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-10d", nfa.NumStates())
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintln(w)
+
+	// (c) Delivery vs budget at fixed density.
+	fmt.Fprintln(w, "  (c) delivery ratio vs waiting budget (edge-Markovian n=16, birth=0.02, death=0.5)")
+	horizon := tvg.Time(100)
+	messages := 40
+	if opts.Quick {
+		horizon = 40
+		messages = 10
+	}
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: 16, PBirth: 0.02, PDeath: 0.5, Horizon: horizon, Seed: opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	c, err := tvg.Compile(g, horizon)
+	if err != nil {
+		return err
+	}
+	var modes []journey.Mode
+	for _, d := range []tvg.Time{0, 1, 2, 4, 8, 16, 32} {
+		modes = append(modes, journey.BoundedWait(d))
+	}
+	modes = append(modes, journey.Wait())
+	rows, err := dtn.Sweep(c, modes, messages, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+	fmt.Fprintln(w, "  (diminishing returns: most of the waiting benefit arrives by d ≈ contact gap)")
+	fmt.Fprintln(w)
+	return nil
+}

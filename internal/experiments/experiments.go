@@ -1,0 +1,566 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment id from DESIGN.md §3 (E1–E6), each regenerating a paper
+// artifact or validating a theorem's construction and writing a
+// human-readable report. cmd/tvgbench is a thin wrapper around this
+// package; EXPERIMENTS.md records the outputs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/automata"
+	"tvgwait/internal/construct"
+	"tvgwait/internal/core"
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/turing"
+	"tvgwait/internal/tvg"
+	"tvgwait/internal/wqo"
+)
+
+// Options tunes experiment sizes. The zero value selects the defaults used
+// in EXPERIMENTS.md.
+type Options struct {
+	// MaxLen bounds exhaustive word-domain checks (default 10).
+	MaxLen int
+	// Seed drives all randomized workloads (default 2012).
+	Seed int64
+	// Quick shrinks the workloads for smoke tests.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLen == 0 {
+		o.MaxLen = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	if o.Quick && o.MaxLen > 6 {
+		o.MaxLen = 6
+	}
+	return o
+}
+
+// verdict renders a pass/fail marker.
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+// E1 regenerates Figure 1 / Table 1 and checks
+// L_nowait(G) = {aⁿbⁿ : n ≥ 1} exhaustively up to the word-length bound.
+func E1(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E1: Figure 1 / Table 1 — the a^n b^n TVG-automaton ==")
+	fmt.Fprintln(w)
+	for _, params := range []anbn.Params{{P: 2, Q: 3}, {P: 3, Q: 5}} {
+		fmt.Fprint(w, anbn.Table1(params))
+		a, err := anbn.New(params)
+		if err != nil {
+			return err
+		}
+		maxLen := opts.MaxLen
+		if params.P == 3 { // larger primes explode the horizon; trim a little
+			maxLen = min(maxLen, 8)
+		}
+		horizon, err := anbn.HorizonForLength(params, maxLen)
+		if err != nil {
+			return err
+		}
+		det, err := a.IsDeterministic(min64(horizon, 500))
+		if err != nil {
+			return err
+		}
+		dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+		if err != nil {
+			return err
+		}
+		eq, witness := lang.EqualUpTo(dec.Language("fig1"), anbn.Reference(), maxLen)
+		fmt.Fprintf(w, "  deterministic (paper: yes): %v\n", det)
+		fmt.Fprintf(w, "  L_nowait(G) == {a^n b^n} on all %d words of length <= %d: %s",
+			countWords(2, maxLen), maxLen, verdict(eq))
+		if !eq {
+			fmt.Fprintf(w, "  (first difference: %q)", witness)
+		}
+		fmt.Fprintln(w)
+		// The time encoding of accepted words.
+		times, err := anbn.AcceptingTimes(params, min(maxLen/2, 6))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  accepting-edge firing times (t = p^n q^(n-1)): %v\n", times)
+		// Witness journey for n=3.
+		if j, ok := dec.Witness("aaabbb"); ok {
+			fmt.Fprintf(w, "  witness for aaabbb: %s\n", j)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// E2 validates Theorem 2.1: for each computable witness language, the
+// FromDecider TVG has L_nowait(G) = L on the exhaustive bounded domain.
+func E2(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E2: Theorem 2.1 — L_nowait contains all computable languages ==")
+	fmt.Fprintln(w)
+	cases := []struct {
+		l      lang.Language
+		maxLen int
+		class  string
+	}{
+		{lang.AnBn(), min(opts.MaxLen, 8), "context-free, non-regular"},
+		{construct.TMLanguage(turing.NewAnBnCn(), turing.QuadraticFuel(10)), min(opts.MaxLen, 6), "context-sensitive (via Turing machine)"},
+		{construct.TMLanguage(turing.NewPalindrome(), turing.QuadraticFuel(10)), min(opts.MaxLen, 7), "context-free (via Turing machine)"},
+		{lang.PrimeLength(), min(opts.MaxLen, 16), "non-context-free (unary primes)"},
+		{lang.Squares(), min(opts.MaxLen, 6), "non-context-free (copy language ww)"},
+	}
+	fmt.Fprintf(w, "  %-28s %-38s %6s %8s %s\n", "language", "class", "maxLen", "|L∩Σ≤n|", "L_nowait(G)=L")
+	for _, c := range cases {
+		a, err := construct.FromDecider(c.l)
+		if err != nil {
+			return err
+		}
+		horizon, err := construct.DeciderHorizon(c.l, c.maxLen)
+		if err != nil {
+			return err
+		}
+		dec, err := core.NewDecider(a, journey.NoWait(), horizon)
+		if err != nil {
+			return err
+		}
+		eq, witness := lang.EqualUpTo(dec.Language(c.l.Name()), c.l, c.maxLen)
+		members := len(lang.MembersUpTo(c.l, c.maxLen))
+		line := fmt.Sprintf("  %-28s %-38s %6d %8d %s", c.l.Name(), c.class, c.maxLen, members, verdict(eq))
+		if !eq {
+			line += fmt.Sprintf(" (diff at %q)", witness)
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  With waiting allowed the encoding collapses (cf. Thm 2.2):")
+	l := lang.AnBn()
+	a, err := construct.FromDecider(l)
+	if err != nil {
+		return err
+	}
+	horizon, err := construct.DeciderHorizon(l, 6)
+	if err != nil {
+		return err
+	}
+	waitDec, err := core.NewDecider(a, journey.Wait(), horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  \"b\" ∈ L_wait(G_anbn)? %v (not in a^n b^n — waiting subverts the timeline)\n",
+		waitDec.Accepts("b"))
+	fmt.Fprintln(w)
+	return nil
+}
+
+// E3 validates Theorem 2.2 in both directions: regular languages embed
+// into TVGs (any semantics), and TVG wait languages are recognized by
+// explicitly constructed finite automata.
+func E3(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E3: Theorem 2.2 — L_wait is exactly the regular languages ==")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  (a) regular → TVG (easy half): static TVG matches the regex under all modes")
+	patterns := []string{"(a|b)*abb", "a*b*", "(ab|ba)*", "a(a|b)*b", "(aa|bb)*"}
+	maxLen := min(opts.MaxLen, 7)
+	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(3), journey.Wait()}
+	fmt.Fprintf(w, "  %-14s %-8s %-8s %-8s\n", "pattern", "nowait", "wait[3]", "wait")
+	for _, p := range patterns {
+		a, err := construct.FromRegex(p, []rune{'a', 'b'})
+		if err != nil {
+			return err
+		}
+		ref, err := lang.FromRegex(p, p, []rune{'a', 'b'})
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("  %-14s", p)
+		for _, mode := range modes {
+			dec, err := core.NewDecider(a, mode, construct.StaticHorizonForLength(maxLen))
+			if err != nil {
+				return err
+			}
+			eq, _ := lang.EqualUpTo(dec.Language(p), ref, maxLen)
+			row += fmt.Sprintf(" %-8s", verdict(eq))
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  (b) TVG → regular (hard half): extracted minimal DFAs recognize L_wait")
+	trials := 6
+	if opts.Quick {
+		trials = 3
+	}
+	fmt.Fprintf(w, "  %-8s %-7s %-7s %-10s %-10s %-14s %s\n",
+		"seed", "nodes", "edges", "cfg-states", "min-DFA", "foot-agrees", "lang-agrees")
+	for i := 0; i < trials; i++ {
+		seed := opts.Seed + int64(i)
+		g, err := gen.RandomPeriodic(gen.PeriodicParams{
+			Nodes: 3, Edges: 5, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		a := core.NewAutomaton(g)
+		a.AddInitial(0)
+		a.AddAccepting(tvg.Node(g.NumNodes() - 1))
+		period, _ := g.Period()
+		horizon := construct.RecurrentWaitHorizon(a, period, 2, 4)
+		nfa, err := construct.ConfigNFA(a, journey.Wait(), horizon)
+		if err != nil {
+			return err
+		}
+		dfa := nfa.Determinize(a.Alphabet()).Minimize()
+		dec, err := core.NewDecider(a, journey.Wait(), horizon)
+		if err != nil {
+			return err
+		}
+		foot, err := construct.FootprintNFA(a, period)
+		if err != nil {
+			return err
+		}
+		langAgrees, footAgrees := true, true
+		for _, word := range automata.AllWords(a.Alphabet(), 4) {
+			if dfa.Accepts(word) != dec.Accepts(word) {
+				langAgrees = false
+			}
+			if foot.Accepts(word) != dec.Accepts(word) {
+				footAgrees = false
+			}
+		}
+		fmt.Fprintf(w, "  %-8d %-7d %-7d %-10d %-10d %-14s %s\n",
+			seed, g.NumNodes(), g.NumEdges(), nfa.NumStates(), dfa.NumStates(),
+			verdict(footAgrees), verdict(langAgrees))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// E4 validates Theorem 2.3: dilation by d+1 collapses wait[d] to nowait,
+// on the Figure 1 automaton and on random periodic TVGs.
+func E4(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E4: Theorem 2.3 — L_wait[d] = L_nowait (via time dilation) ==")
+	fmt.Fprintln(w)
+	params := anbn.DefaultParams()
+	a, err := anbn.New(params)
+	if err != nil {
+		return err
+	}
+	maxLen := min(opts.MaxLen, 6)
+	horizon, err := anbn.HorizonForLength(params, maxLen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  Figure-1 automaton, words of length <= %d:\n", maxLen)
+	fmt.Fprintf(w, "  %-6s %-18s %-22s %s\n", "d", "|L_wait[d](G)|", "|L_wait[d](Dilate)|", "equals L_nowait")
+	noWords, err := acceptedSet(a, journey.NoWait(), horizon, maxLen)
+	if err != nil {
+		return err
+	}
+	for _, d := range []tvg.Time{1, 2, 4} {
+		bounded, err := acceptedSet(a, journey.BoundedWait(d), horizon, maxLen)
+		if err != nil {
+			return err
+		}
+		da, err := construct.DilateAutomaton(a, d+1)
+		if err != nil {
+			return err
+		}
+		collapsed, err := acceptedSet(da, journey.BoundedWait(d), construct.DilatedHorizon(horizon, d+1), maxLen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-6d %-18d %-22d %s\n", d, len(bounded), len(collapsed),
+			verdict(sameSet(collapsed, noWords)))
+	}
+	fmt.Fprintf(w, "  (|L_nowait| = %d; undilated wait[d] is strictly larger — the dilation removes exactly that slack)\n", len(noWords))
+	fmt.Fprintln(w)
+
+	trials := 8
+	if opts.Quick {
+		trials = 3
+	}
+	okAll := true
+	for i := 0; i < trials; i++ {
+		g, err := gen.RandomPeriodic(gen.PeriodicParams{
+			Nodes: 3, Edges: 5, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2,
+			Seed: opts.Seed + int64(100+i),
+		})
+		if err != nil {
+			return err
+		}
+		ra := core.NewAutomaton(g)
+		ra.AddInitial(0)
+		ra.AddAccepting(tvg.Node(g.NumNodes() - 1))
+		base, err := acceptedSet(ra, journey.NoWait(), 8, 4)
+		if err != nil {
+			return err
+		}
+		for _, d := range []tvg.Time{1, 2} {
+			da, err := construct.DilateAutomaton(ra, d+1)
+			if err != nil {
+				return err
+			}
+			collapsed, err := acceptedSet(da, journey.BoundedWait(d), construct.DilatedHorizon(8, d+1), 4)
+			if err != nil {
+				return err
+			}
+			if !sameSet(base, collapsed) {
+				okAll = false
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %d random periodic TVGs, d ∈ {1,2}: L_wait[d](Dilate(G,d+1)) = L_nowait(G): %s\n",
+		trials, verdict(okAll))
+	fmt.Fprintln(w)
+	return nil
+}
+
+// E5 runs the quantitative corroboration: delivery ratio and latency of
+// store-carry-forward flooding as a function of the waiting budget, on
+// edge-Markovian networks and a grid mobility trace.
+func E5(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E5: The power of waiting, quantitatively (store-carry-forward delivery) ==")
+	fmt.Fprintln(w)
+	modes := []journey.Mode{
+		journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(2),
+		journey.BoundedWait(4), journey.BoundedWait(8), journey.Wait(),
+	}
+	nodes := []int{16, 32}
+	horizon := tvg.Time(100)
+	messages := 60
+	if opts.Quick {
+		nodes = []int{8}
+		horizon = 40
+		messages = 15
+	}
+	for _, n := range nodes {
+		for _, cfg := range []struct{ birth, death float64 }{
+			{0.01, 0.5}, {0.03, 0.5}, {0.10, 0.5},
+		} {
+			g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+				Nodes: n, PBirth: cfg.birth, PDeath: cfg.death,
+				Horizon: horizon, Seed: opts.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			c, err := tvg.Compile(g, horizon)
+			if err != nil {
+				return err
+			}
+			rows, err := dtn.Sweep(c, modes, messages, opts.Seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  edge-Markovian n=%d birth=%.2f death=%.2f horizon=%d (%d contacts)\n",
+				n, cfg.birth, cfg.death, horizon, c.TotalContacts())
+			fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+			fmt.Fprintln(w)
+		}
+	}
+	// Mobility trace.
+	mg, err := gen.GridMobility(gen.MobilityParams{
+		Width: 6, Height: 6, Nodes: 12, Horizon: horizon, Seed: opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	mc, err := tvg.Compile(mg, horizon)
+	if err != nil {
+		return err
+	}
+	rows, err := dtn.Sweep(mc, modes, messages, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  grid mobility 6x6, 12 walkers, horizon=%d (%d contacts)\n", horizon, mc.TotalContacts())
+	fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+	fmt.Fprintln(w)
+	return nil
+}
+
+// E6 exercises the WQO machinery behind Theorem 2.2's proof: Higman
+// dominating pairs, minimal elements, Haines closures and closedness.
+func E6(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	fmt.Fprintln(w, "== E6: WQO machinery (Higman order, Haines closures, Harju–Ilie hypothesis) ==")
+	fmt.Fprintln(w)
+	sub := wqo.Subword{}
+	// Dominating pairs in random sequences (Higman's lemma, empirically).
+	seqLens := []int{50, 100, 200, 400}
+	fmt.Fprintf(w, "  %-12s %-16s\n", "sequence", "dominating pair")
+	rngWords := randomWordSequence(opts.Seed, 400, 12)
+	for _, n := range seqLens {
+		i, j, ok := wqo.FindDominatingPair(sub, rngWords[:n])
+		res := "none"
+		if ok {
+			res = fmt.Sprintf("(%d, %d)", i, j)
+		}
+		fmt.Fprintf(w, "  %-12d %-16s\n", n, res)
+	}
+	// Prefix order antichain: the non-WQO contrast.
+	anti := []string{"a", "ba", "bba", "bbba", "bbbba", "bbbbba"}
+	_, _, prefixOK := wqo.FindDominatingPair(wqo.Prefix{}, anti)
+	_, _, subOK := wqo.FindDominatingPair(sub, anti)
+	fmt.Fprintf(w, "  antichain {b^k a}: prefix order pair=%v (not a WQO), subword pair=%v (WQO)\n",
+		prefixOK, subOK)
+	fmt.Fprintln(w)
+	// Minimal elements and closures of a^n b^n.
+	members := lang.MembersUpTo(lang.AnBn(), 12)
+	mins := wqo.MinimalElements(sub, members)
+	fmt.Fprintf(w, "  minimal elements of {a^n b^n} (n <= 6): %v\n", mins)
+	alphabet := []rune{'a', 'b'}
+	down := wqo.ClosureOfFinite(members, alphabet, false)
+	up := wqo.ClosureOfFinite(members, alphabet, true)
+	astarbstar := automata.MustCompileRegex("a*b*").Determinize(alphabet).Minimize()
+	fmt.Fprintf(w, "  ↓{a^n b^n} minimal DFA: %d states; equals a*b* on len<=6: %s (Haines: closure of a non-regular language is regular)\n",
+		down.NumStates(), verdict(agreeUpTo(down, astarbstar, alphabet, 6)))
+	upAB := wqo.ClosureOfFinite([]string{"ab"}, alphabet, true)
+	fmt.Fprintf(w, "  ↑{a^n b^n} minimal DFA: %d states; equals ↑{ab}: %s\n",
+		up.NumStates(), verdict(up.Equal(upAB)))
+	fmt.Fprintln(w)
+	// Closedness table (the Harju–Ilie hypothesis).
+	fmt.Fprintf(w, "  %-22s %-18s %-18s\n", "language", "downward closed", "upward closed")
+	regASBS, err := lang.FromRegex("a*b*", "a*b*", alphabet)
+	if err != nil {
+		return err
+	}
+	rows := []lang.Language{regASBS, lang.NewRegular("↑{ab}", upAB), lang.AnBn(), lang.Palindromes()}
+	for _, l := range rows {
+		dOK, _ := wqo.IsDownwardClosed(l, sub, 6)
+		uOK, _ := wqo.IsUpwardClosed(l, sub, 6)
+		fmt.Fprintf(w, "  %-22s %-18v %-18v\n", l.Name(), dOK, uOK)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunAll executes E1–E6 in order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, e := range []struct {
+		name string
+		fn   func(io.Writer, Options) error
+	}{
+		{"e1", E1}, {"e2", E2}, {"e3", E3}, {"e4", E4}, {"e5", E5}, {"e6", E6},
+	} {
+		if err := e.fn(w, opts); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.name, err)
+		}
+	}
+	return nil
+}
+
+// Run dispatches one experiment by id ("e1".."e6" or "all").
+func Run(id string, w io.Writer, opts Options) error {
+	switch strings.ToLower(id) {
+	case "e1":
+		return E1(w, opts)
+	case "e2":
+		return E2(w, opts)
+	case "e3":
+		return E3(w, opts)
+	case "e4":
+		return E4(w, opts)
+	case "e5":
+		return E5(w, opts)
+	case "e6":
+		return E6(w, opts)
+	case "ablate":
+		return Ablations(w, opts)
+	case "all", "":
+		return RunAll(w, opts)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (want e1..e6, ablate or all)", id)
+	}
+}
+
+// Helpers.
+
+func acceptedSet(a *core.Automaton, mode journey.Mode, horizon tvg.Time, maxLen int) (map[string]bool, error) {
+	dec, err := core.NewDecider(a, mode, horizon)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, w := range dec.AcceptedWords(maxLen) {
+		out[w] = true
+	}
+	return out, nil
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func agreeUpTo(a, b *automata.DFA, alphabet []rune, maxLen int) bool {
+	for _, w := range automata.AllWords(alphabet, maxLen) {
+		if a.Accepts(w) != b.Accepts(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomWordSequence(seed int64, n, maxLen int) []string {
+	rng := newRNG(seed)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = automata.RandomWord(rng, []rune{'a', 'b'}, rng.Intn(maxLen+1))
+	}
+	return out
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func countWords(alphabetSize, maxLen int) int {
+	total, pow := 0, 1
+	for l := 0; l <= maxLen; l++ {
+		total += pow
+		pow *= alphabetSize
+	}
+	return total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b tvg.Time) tvg.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps the smoke runs fast.
+func quickOpts() Options { return Options{Quick: true, MaxLen: 6, Seed: 2012} }
+
+func TestE1Report(t *testing.T) {
+	var b strings.Builder
+	if err := E1(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "Table 1", "PASS", "deterministic", "witness for aaabbb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E1 reported a failure:\n%s", out)
+	}
+}
+
+func TestE2Report(t *testing.T) {
+	var b strings.Builder
+	if err := E2(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E2", "Turing machine", "a^n b^n c^n", "PASS", "L_wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E2 reported a failure:\n%s", out)
+	}
+}
+
+func TestE3Report(t *testing.T) {
+	var b strings.Builder
+	if err := E3(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E3", "regular → TVG", "min-DFA", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E3 reported a failure:\n%s", out)
+	}
+}
+
+func TestE4Report(t *testing.T) {
+	var b strings.Builder
+	if err := E4(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E4", "Dilate", "random periodic", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E4 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E4 reported a failure:\n%s", out)
+	}
+}
+
+func TestE5Report(t *testing.T) {
+	var b strings.Builder
+	if err := E5(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E5", "edge-Markovian", "delivery", "grid mobility", "nowait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E5 output missing %q", want)
+		}
+	}
+}
+
+func TestE6Report(t *testing.T) {
+	var b strings.Builder
+	if err := E6(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E6", "Higman", "minimal elements", "[ab]", "Haines", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E6 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E6 reported a failure:\n%s", out)
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	var b strings.Builder
+	if err := Ablations(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Ablations", "min-DFA", "cost of the adversary", "delivery ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations output missing %q", want)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var b strings.Builder
+	if err := Run("E1", &b, quickOpts()); err != nil {
+		t.Errorf("case-insensitive dispatch failed: %v", err)
+	}
+	if err := Run("e9", &b, quickOpts()); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := Run("e6", &b, quickOpts()); err != nil {
+		t.Errorf("e6 dispatch: %v", err)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	var b strings.Builder
+	if err := RunAll(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
+		if !strings.Contains(out, "== "+want) {
+			t.Errorf("RunAll missing section %s", want)
+		}
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxLen != 10 || o.Seed != 2012 {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.MaxLen > 6 {
+		t.Errorf("quick should trim MaxLen: %+v", q)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if countWords(2, 3) != 15 {
+		t.Errorf("countWords(2,3) = %d", countWords(2, 3))
+	}
+	if indent("x\ny\n", "> ") != "> x\n> y\n" {
+		t.Errorf("indent wrong: %q", indent("x\ny\n", "> "))
+	}
+	a := map[string]bool{"x": true}
+	b := map[string]bool{"x": true}
+	if !sameSet(a, b) || sameSet(a, map[string]bool{"y": true}) || sameSet(a, map[string]bool{}) {
+		t.Error("sameSet wrong")
+	}
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import "math/rand"
+
+// newRNG returns a deterministic RNG for the given seed. Centralized so
+// every experiment draws from the same source kind.
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

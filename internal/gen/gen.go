@@ -1,0 +1,243 @@
+// Package gen provides deterministic random generators for time-varying
+// graphs and contact traces: edge-Markovian dynamic graphs (the standard
+// model for highly dynamic networks), i.i.d. Bernoulli presence, random
+// periodic schedules, and a grid mobility model. All generators take an
+// explicit seed and are reproducible across runs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tvgwait/internal/tvg"
+)
+
+// EdgeMarkovianParams configures the edge-Markovian generator: each
+// ordered node pair carries an independent two-state Markov chain; an
+// absent edge appears with probability PBirth per tick, a present edge
+// disappears with probability PDeath per tick.
+type EdgeMarkovianParams struct {
+	// Nodes is the number of nodes (>= 2).
+	Nodes int
+	// PBirth and PDeath are the per-tick transition probabilities in [0,1].
+	PBirth, PDeath float64
+	// Horizon is the last tick for which presence is generated.
+	Horizon tvg.Time
+	// Latency is the constant edge latency (>= 1; 0 defaults to 1).
+	Latency tvg.Time
+	// Label is the symbol put on every edge (0 defaults to 'c').
+	Label tvg.Symbol
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+func (p EdgeMarkovianParams) validate() error {
+	if p.Nodes < 2 {
+		return fmt.Errorf("gen: need at least 2 nodes, got %d", p.Nodes)
+	}
+	if p.PBirth < 0 || p.PBirth > 1 || p.PDeath < 0 || p.PDeath > 1 {
+		return fmt.Errorf("gen: probabilities must be in [0,1], got birth=%g death=%g", p.PBirth, p.PDeath)
+	}
+	if p.Horizon < 0 {
+		return fmt.Errorf("gen: negative horizon %d", p.Horizon)
+	}
+	return nil
+}
+
+// EdgeMarkovian generates an edge-Markovian TVG. The initial state of each
+// chain is drawn from the stationary distribution
+// PBirth/(PBirth+PDeath) (all-absent when both probabilities are 0).
+func EdgeMarkovian(p EdgeMarkovianParams) (*tvg.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	latency := p.Latency
+	if latency == 0 {
+		latency = 1
+	}
+	if latency < 1 {
+		return nil, fmt.Errorf("gen: latency must be >= 1, got %d", latency)
+	}
+	label := p.Label
+	if label == 0 {
+		label = 'c'
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := tvg.New()
+	g.AddNodes(p.Nodes)
+	stationary := 0.0
+	if p.PBirth+p.PDeath > 0 {
+		stationary = p.PBirth / (p.PBirth + p.PDeath)
+	}
+	for u := 0; u < p.Nodes; u++ {
+		for v := 0; v < p.Nodes; v++ {
+			if u == v {
+				continue
+			}
+			var times []tvg.Time
+			present := rng.Float64() < stationary
+			for t := tvg.Time(0); t <= p.Horizon; t++ {
+				if present {
+					times = append(times, t)
+					if rng.Float64() < p.PDeath {
+						present = false
+					}
+				} else if rng.Float64() < p.PBirth {
+					present = true
+				}
+			}
+			if len(times) == 0 {
+				continue
+			}
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(u),
+				To:       tvg.Node(v),
+				Label:    label,
+				Presence: tvg.NewTimeSet(times...),
+				Latency:  tvg.ConstLatency(latency),
+			})
+		}
+	}
+	return g, nil
+}
+
+// Bernoulli generates a TVG in which every ordered node pair is present at
+// each tick independently with probability p.
+func Bernoulli(nodes int, p float64, horizon tvg.Time, seed int64) (*tvg.Graph, error) {
+	return EdgeMarkovian(EdgeMarkovianParams{
+		Nodes:   nodes,
+		PBirth:  p,
+		PDeath:  1 - p,
+		Horizon: horizon,
+		Seed:    seed,
+	})
+}
+
+// PeriodicParams configures RandomPeriodic.
+type PeriodicParams struct {
+	// Nodes and Edges size the graph.
+	Nodes, Edges int
+	// MaxPeriod bounds each edge's presence pattern length (>= 1).
+	MaxPeriod int
+	// AlphabetSize draws edge labels from 'a', 'b', ... (>= 1).
+	AlphabetSize int
+	// MaxLatency bounds the constant latency per edge (>= 1).
+	MaxLatency tvg.Time
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// RandomPeriodic generates a TVG whose edges carry random periodic
+// presence patterns (each with at least one presence per period) and
+// random constant latencies. Such graphs are recurrent, so the footprint
+// automaton recognizes their exact wait language (see construct).
+func RandomPeriodic(p PeriodicParams) (*tvg.Graph, error) {
+	if p.Nodes < 1 || p.Edges < 0 {
+		return nil, fmt.Errorf("gen: invalid sizes nodes=%d edges=%d", p.Nodes, p.Edges)
+	}
+	if p.MaxPeriod < 1 || p.AlphabetSize < 1 || p.MaxLatency < 1 {
+		return nil, fmt.Errorf("gen: invalid parameters period=%d alphabet=%d latency=%d",
+			p.MaxPeriod, p.AlphabetSize, p.MaxLatency)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := tvg.New()
+	g.AddNodes(p.Nodes)
+	for i := 0; i < p.Edges; i++ {
+		pattern := make([]bool, 1+rng.Intn(p.MaxPeriod))
+		for j := range pattern {
+			pattern[j] = rng.Intn(2) == 0
+		}
+		pattern[rng.Intn(len(pattern))] = true
+		pres, err := tvg.NewPeriodicPresence(pattern)
+		if err != nil {
+			return nil, err
+		}
+		g.MustAddEdge(tvg.Edge{
+			From:     tvg.Node(rng.Intn(p.Nodes)),
+			To:       tvg.Node(rng.Intn(p.Nodes)),
+			Label:    tvg.Symbol('a' + rune(rng.Intn(p.AlphabetSize))),
+			Presence: pres,
+			Latency:  tvg.ConstLatency(1 + tvg.Time(rng.Int63n(int64(p.MaxLatency)))),
+		})
+	}
+	return g, nil
+}
+
+// MobilityParams configures GridMobility.
+type MobilityParams struct {
+	// Width and Height size the grid (>= 1 each).
+	Width, Height int
+	// Nodes is the number of walkers (>= 2).
+	Nodes int
+	// Horizon is the number of simulated ticks.
+	Horizon tvg.Time
+	// Latency is the constant contact latency (0 defaults to 1).
+	Latency tvg.Time
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// GridMobility simulates independent random walkers on a torus grid and
+// produces the contact TVG: a bidirectional pair of edges (u, v) and
+// (v, u) is present at tick t whenever walkers u and v share a cell. This
+// is the synthetic stand-in for the wireless ad hoc mobility traces the
+// paper's introduction motivates.
+func GridMobility(p MobilityParams) (*tvg.Graph, error) {
+	if p.Width < 1 || p.Height < 1 {
+		return nil, fmt.Errorf("gen: invalid grid %dx%d", p.Width, p.Height)
+	}
+	if p.Nodes < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 walkers, got %d", p.Nodes)
+	}
+	if p.Horizon < 0 {
+		return nil, fmt.Errorf("gen: negative horizon %d", p.Horizon)
+	}
+	latency := p.Latency
+	if latency == 0 {
+		latency = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	type pos struct{ x, y int }
+	cur := make([]pos, p.Nodes)
+	for i := range cur {
+		cur[i] = pos{rng.Intn(p.Width), rng.Intn(p.Height)}
+	}
+	contacts := make(map[[2]int][]tvg.Time)
+	for t := tvg.Time(0); t <= p.Horizon; t++ {
+		// Record contacts of the current placement.
+		for u := 0; u < p.Nodes; u++ {
+			for v := u + 1; v < p.Nodes; v++ {
+				if cur[u] == cur[v] {
+					contacts[[2]int{u, v}] = append(contacts[[2]int{u, v}], t)
+				}
+			}
+		}
+		// Move every walker one step (or stay) on the torus.
+		for i := range cur {
+			switch rng.Intn(5) {
+			case 0:
+				cur[i].x = (cur[i].x + 1) % p.Width
+			case 1:
+				cur[i].x = (cur[i].x - 1 + p.Width) % p.Width
+			case 2:
+				cur[i].y = (cur[i].y + 1) % p.Height
+			case 3:
+				cur[i].y = (cur[i].y - 1 + p.Height) % p.Height
+			}
+		}
+	}
+	g := tvg.New()
+	g.AddNodes(p.Nodes)
+	for pair, times := range contacts {
+		for _, dir := range [][2]int{{pair[0], pair[1]}, {pair[1], pair[0]}} {
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(dir[0]),
+				To:       tvg.Node(dir[1]),
+				Label:    'c',
+				Presence: tvg.NewTimeSet(times...),
+				Latency:  tvg.ConstLatency(latency),
+			})
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,86 @@
+package journey
+
+import (
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// benchSchedule builds an 8-node graph with staggered periodic contacts.
+func benchSchedule(b *testing.B) *tvg.Compiled {
+	b.Helper()
+	g := tvg.New()
+	const n = 8
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		pattern := make([]bool, 5)
+		pattern[i%5] = true
+		pres, err := tvg.NewPeriodicPresence(pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(i), To: tvg.Node((i + 1) % n), Label: 'a',
+			Presence: pres, Latency: tvg.ConstLatency(1),
+		})
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(i), To: tvg.Node((i + 3) % n), Label: 'b',
+			Presence: pres, Latency: tvg.ConstLatency(2),
+		})
+	}
+	c, err := tvg.Compile(g, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkForemostModes(b *testing.B) {
+	c := benchSchedule(b)
+	for _, mode := range []Mode{NoWait(), BoundedWait(3), Wait()} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Foremost(c, mode, 0, 5, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkMinHop(b *testing.B) {
+	c := benchSchedule(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MinHop(c, Wait(), 0, 5, 0)
+	}
+}
+
+func BenchmarkFastest(b *testing.B) {
+	c := benchSchedule(b)
+	for i := 0; i < b.N; i++ {
+		Fastest(c, Wait(), 0, 5, 0)
+	}
+}
+
+func BenchmarkTemporalDiameter(b *testing.B) {
+	c := benchSchedule(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := TemporalDiameter(c, Wait(), 0); !ok {
+			b.Fatal("ring-like schedule should be connected under wait")
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	c := benchSchedule(b)
+	j, _, ok := Foremost(c, Wait(), 0, 5, 0)
+	if !ok {
+		b.Fatal("no journey")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Validate(c, Wait()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

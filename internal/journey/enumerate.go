@@ -1,0 +1,41 @@
+package journey
+
+import "tvgwait/internal/tvg"
+
+// Enumerate returns every feasible journey from src departing no earlier
+// than t0 with at most maxHops hops, including the empty journey. The
+// result is ordered depth-first with deterministic edge and departure
+// order.
+//
+// The number of feasible journeys grows combinatorially; limit caps the
+// result (limit <= 0 means unlimited) and the second return value reports
+// whether the enumeration was truncated. Intended for small instances —
+// analysis tooling, tests, and exhaustive cross-checks.
+func Enumerate(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time, maxHops, limit int) ([]Journey, bool) {
+	if !c.Graph().ValidNode(src) || !mode.IsValid() || maxHops < 0 {
+		return nil, false
+	}
+	var out []Journey
+	truncated := false
+	var rec func(cfg config, hops []Hop) bool // returns false to stop
+	rec = func(cfg config, hops []Hop) bool {
+		if limit > 0 && len(out) >= limit {
+			truncated = true
+			return false
+		}
+		out = append(out, Journey{Hops: append([]Hop(nil), hops...)})
+		if len(hops) == maxHops {
+			return true
+		}
+		cont := true
+		expand(c, mode, cfg, func(hp Hop, next config) {
+			if !cont {
+				return
+			}
+			cont = rec(next, append(hops, hp))
+		})
+		return cont
+	}
+	rec(config{src, t0}, nil)
+	return out, truncated
+}

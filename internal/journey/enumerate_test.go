@@ -1,0 +1,103 @@
+package journey
+
+import (
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+func TestEnumerateFerry(t *testing.T) {
+	c, a, _, _ := ferry(t)
+	all, truncated := Enumerate(c, Wait(), a, 0, 2, 0)
+	if truncated {
+		t.Fatal("should not truncate")
+	}
+	// Journeys from a: empty, ⟨e0@5⟩, ⟨e0@5, e1@8⟩.
+	if len(all) != 3 {
+		t.Fatalf("Enumerate = %v", all)
+	}
+	for _, j := range all {
+		if err := j.Validate(c, Wait()); err != nil {
+			t.Errorf("enumerated journey invalid: %v", err)
+		}
+	}
+	// NoWait from t0=0: only the empty journey.
+	all, _ = Enumerate(c, NoWait(), a, 0, 2, 0)
+	if len(all) != 1 || all[0].Len() != 0 {
+		t.Fatalf("NoWait Enumerate = %v", all)
+	}
+	// NoWait from t0=5: empty + one hop.
+	all, _ = Enumerate(c, NoWait(), a, 5, 2, 0)
+	if len(all) != 2 {
+		t.Fatalf("NoWait@5 Enumerate = %v", all)
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	// Self-loop always present: unbounded journeys; the limit must bite.
+	g := tvg.New()
+	u := g.AddNode("u")
+	g.MustAddEdge(tvg.Edge{From: u, To: u, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, truncated := Enumerate(c, Wait(), u, 0, 5, 10)
+	if !truncated {
+		t.Error("expected truncation")
+	}
+	if len(all) != 10 {
+		t.Errorf("limit produced %d journeys", len(all))
+	}
+	// Without a limit but with maxHops, enumeration terminates.
+	all, truncated = Enumerate(c, NoWait(), u, 0, 3, 0)
+	if truncated || len(all) != 4 { // hops 0..3, single choice each step
+		t.Errorf("NoWait self-loop = %d journeys, truncated=%v", len(all), truncated)
+	}
+}
+
+func TestEnumerateDegenerate(t *testing.T) {
+	c, a, _, _ := ferry(t)
+	if all, _ := Enumerate(c, Wait(), tvg.Node(99), 0, 3, 0); all != nil {
+		t.Error("invalid src should return nil")
+	}
+	var invalid Mode
+	if all, _ := Enumerate(c, invalid, a, 0, 3, 0); all != nil {
+		t.Error("invalid mode should return nil")
+	}
+	if all, _ := Enumerate(c, Wait(), a, 0, -1, 0); all != nil {
+		t.Error("negative maxHops should return nil")
+	}
+	// maxHops 0: just the empty journey.
+	all, _ := Enumerate(c, Wait(), a, 0, 0, 0)
+	if len(all) != 1 || all[0].Len() != 0 {
+		t.Errorf("maxHops=0 = %v", all)
+	}
+}
+
+// Enumerate agrees with Foremost: the best arrival among enumerated
+// journeys to dst equals the foremost arrival.
+func TestEnumerateAgreesWithForemost(t *testing.T) {
+	c, a, _, dst := ferry(t)
+	all, _ := Enumerate(c, Wait(), a, 0, 4, 0)
+	best := tvg.Time(-1)
+	for _, j := range all {
+		if j.Len() == 0 {
+			continue
+		}
+		if _, to, ok := j.Endpoints(c.Graph()); !ok || to != dst {
+			continue
+		}
+		arr, err := j.Arrival(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best < 0 || arr < best {
+			best = arr
+		}
+	}
+	_, arr, ok := Foremost(c, Wait(), a, dst, 0)
+	if !ok || best != arr {
+		t.Errorf("enumerated best %d, foremost %d (%v)", best, arr, ok)
+	}
+}

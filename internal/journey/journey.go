@@ -1,0 +1,141 @@
+package journey
+
+import (
+	"fmt"
+	"strings"
+
+	"tvgwait/internal/tvg"
+)
+
+// Hop is one edge traversal of a journey: the edge and its departure time.
+// The arrival time is determined by the schedule (departure + latency).
+type Hop struct {
+	Edge   tvg.EdgeID
+	Depart tvg.Time
+}
+
+// Journey is a walk over time: a sequence of hops whose edges are
+// consecutive in the underlying graph and whose times respect the
+// presence function. Whether the pauses between hops are feasible depends
+// on the waiting semantics (Mode) it is validated against.
+//
+// The zero value is the empty journey, which trivially stays at a node.
+type Journey struct {
+	Hops []Hop
+}
+
+// Len returns the number of hops.
+func (j Journey) Len() int { return len(j.Hops) }
+
+// Word returns the word spelled by the journey: the concatenation of the
+// labels of its edges. This is the central object of the paper — the
+// language of a TVG is the set of words spelled by its feasible journeys.
+func (j Journey) Word(g *tvg.Graph) (string, error) {
+	var b strings.Builder
+	for i, h := range j.Hops {
+		e, ok := g.Edge(h.Edge)
+		if !ok {
+			return "", fmt.Errorf("journey: hop %d references unknown edge %d", i, h.Edge)
+		}
+		b.WriteRune(e.Label)
+	}
+	return b.String(), nil
+}
+
+// Endpoints returns the start and end nodes of the journey. ok is false
+// for the empty journey (which has no intrinsic endpoints) and for
+// journeys referencing unknown edges.
+func (j Journey) Endpoints(g *tvg.Graph) (from, to tvg.Node, ok bool) {
+	if len(j.Hops) == 0 {
+		return 0, 0, false
+	}
+	first, ok1 := g.Edge(j.Hops[0].Edge)
+	last, ok2 := g.Edge(j.Hops[len(j.Hops)-1].Edge)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return first.From, last.To, true
+}
+
+// Departure returns the departure time of the first hop; ok is false for
+// the empty journey.
+func (j Journey) Departure() (tvg.Time, bool) {
+	if len(j.Hops) == 0 {
+		return 0, false
+	}
+	return j.Hops[0].Depart, true
+}
+
+// Arrival returns the arrival time of the journey's last hop according to
+// the compiled schedule.
+func (j Journey) Arrival(c *tvg.Compiled) (tvg.Time, error) {
+	if len(j.Hops) == 0 {
+		return 0, fmt.Errorf("journey: empty journey has no arrival")
+	}
+	last := j.Hops[len(j.Hops)-1]
+	arr, ok := c.ArrivalAt(last.Edge, last.Depart)
+	if !ok {
+		return 0, fmt.Errorf("journey: last hop departs at %d when edge %d is absent", last.Depart, last.Edge)
+	}
+	return arr, nil
+}
+
+// Validate checks that the journey is feasible under the given waiting
+// semantics within the compiled schedule: every hop departs while its edge
+// is present, consecutive hops share a node, departures never precede the
+// previous arrival, and every pause is allowed by the mode.
+func (j Journey) Validate(c *tvg.Compiled, mode Mode) error {
+	if !mode.IsValid() {
+		return fmt.Errorf("journey: invalid mode")
+	}
+	g := c.Graph()
+	var prevTo tvg.Node
+	var prevArr tvg.Time
+	for i, h := range j.Hops {
+		e, ok := g.Edge(h.Edge)
+		if !ok {
+			return fmt.Errorf("journey: hop %d references unknown edge %d", i, h.Edge)
+		}
+		if h.Depart < 0 || h.Depart > c.Horizon() {
+			return fmt.Errorf("journey: hop %d departs at %d, outside horizon [0,%d]", i, h.Depart, c.Horizon())
+		}
+		arr, present := c.ArrivalAt(h.Edge, h.Depart)
+		if !present {
+			return fmt.Errorf("journey: hop %d departs at %d but edge %s is absent", i, h.Depart, e.Name)
+		}
+		if i > 0 {
+			if e.From != prevTo {
+				return fmt.Errorf("journey: hop %d starts at node %s but previous hop ended at %s",
+					i, g.NodeName(e.From), g.NodeName(prevTo))
+			}
+			pause := h.Depart - prevArr
+			if pause < 0 {
+				return fmt.Errorf("journey: hop %d departs at %d before previous arrival %d", i, h.Depart, prevArr)
+			}
+			if !mode.AllowsPause(pause) {
+				return fmt.Errorf("journey: hop %d pauses %d ticks, not allowed under %s", i, pause, mode)
+			}
+		}
+		prevTo = e.To
+		prevArr = arr
+	}
+	return nil
+}
+
+// IsDirect reports whether the journey is direct (every pause is zero),
+// i.e. feasible under NoWait (assuming it validates under Wait).
+func (j Journey) IsDirect(c *tvg.Compiled) bool {
+	return j.Validate(c, NoWait()) == nil
+}
+
+// String renders the journey compactly for logs and error messages.
+func (j Journey) String() string {
+	if len(j.Hops) == 0 {
+		return "⟨empty journey⟩"
+	}
+	parts := make([]string, len(j.Hops))
+	for i, h := range j.Hops {
+		parts[i] = fmt.Sprintf("e%d@%d", h.Edge, h.Depart)
+	}
+	return "⟨" + strings.Join(parts, " → ") + "⟩"
+}

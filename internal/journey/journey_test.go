@@ -1,0 +1,561 @@
+package journey
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// ferry builds the three-node graph used across the tests:
+//
+//	a --e0--> b   present only at t=5, latency 1
+//	b --e1--> c   present at t=2 and t=8, latency 1
+//
+// From a at t0=0, c is reachable only by waiting: depart 5, arrive 6,
+// pause 2, depart 8, arrive 9.
+func ferry(t *testing.T) (*tvg.Compiled, tvg.Node, tvg.Node, tvg.Node) {
+	t.Helper()
+	g := tvg.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	cNode := g.AddNode("c")
+	g.MustAddEdge(tvg.Edge{From: a, To: b, Label: 'x', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: b, To: cNode, Label: 'y', Presence: tvg.NewTimeSet(2, 8), Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b, cNode
+}
+
+func TestModeBasics(t *testing.T) {
+	if NoWait().String() != "nowait" || Wait().String() != "wait" || BoundedWait(3).String() != "wait[3]" {
+		t.Error("mode strings wrong")
+	}
+	var invalid Mode
+	if invalid.IsValid() || invalid.String() != "invalid-mode" {
+		t.Error("zero mode should be invalid")
+	}
+	if d, fin := NoWait().Bound(); d != 0 || !fin {
+		t.Error("NoWait bound wrong")
+	}
+	if _, fin := Wait().Bound(); fin {
+		t.Error("Wait should be unbounded")
+	}
+	if d, fin := BoundedWait(4).Bound(); d != 4 || !fin {
+		t.Error("BoundedWait bound wrong")
+	}
+	if d, _ := BoundedWait(-3).Bound(); d != 0 {
+		t.Error("negative bound should clamp to 0")
+	}
+	if !NoWait().AllowsPause(0) || NoWait().AllowsPause(1) {
+		t.Error("NoWait pauses wrong")
+	}
+	if !Wait().AllowsPause(1 << 40) {
+		t.Error("Wait should allow any pause")
+	}
+	if Wait().AllowsPause(-1) || BoundedWait(2).AllowsPause(-1) {
+		t.Error("negative pauses are never allowed")
+	}
+	if !BoundedWait(2).AllowsPause(2) || BoundedWait(2).AllowsPause(3) {
+		t.Error("BoundedWait pauses wrong")
+	}
+	if NoWait().WindowEnd(7, 100) != 7 {
+		t.Error("NoWait window wrong")
+	}
+	if Wait().WindowEnd(7, 100) != 100 {
+		t.Error("Wait window wrong")
+	}
+	if BoundedWait(5).WindowEnd(7, 100) != 12 || BoundedWait(5).WindowEnd(98, 100) != 100 {
+		t.Error("BoundedWait window wrong")
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	modes := []Mode{NoWait(), BoundedWait(0), BoundedWait(2), BoundedWait(5), Wait()}
+	for i, lo := range modes {
+		for j, hi := range modes {
+			want := true
+			loD, loFin := lo.Bound()
+			hiD, hiFin := hi.Bound()
+			switch {
+			case !hiFin:
+				want = true
+			case !loFin:
+				want = false
+			default:
+				want = hiD >= loD
+			}
+			if got := hi.AtLeastAsPermissive(lo); got != want {
+				t.Errorf("modes[%d].AtLeastAsPermissive(modes[%d]) = %v, want %v", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestJourneyWordAndEndpoints(t *testing.T) {
+	c, a, _, cNode := ferry(t)
+	j := Journey{Hops: []Hop{{Edge: 0, Depart: 5}, {Edge: 1, Depart: 8}}}
+	w, err := j.Word(c.Graph())
+	if err != nil || w != "xy" {
+		t.Errorf("Word = %q, %v", w, err)
+	}
+	from, to, ok := j.Endpoints(c.Graph())
+	if !ok || from != a || to != cNode {
+		t.Errorf("Endpoints = %d, %d, %v", from, to, ok)
+	}
+	if dep, ok := j.Departure(); !ok || dep != 5 {
+		t.Errorf("Departure = %d, %v", dep, ok)
+	}
+	arr, err := j.Arrival(c)
+	if err != nil || arr != 9 {
+		t.Errorf("Arrival = %d, %v", arr, err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("Len = %d", j.Len())
+	}
+	// Empty journey.
+	var empty Journey
+	if _, _, ok := empty.Endpoints(c.Graph()); ok {
+		t.Error("empty journey has no endpoints")
+	}
+	if _, ok := empty.Departure(); ok {
+		t.Error("empty journey has no departure")
+	}
+	if _, err := empty.Arrival(c); err == nil {
+		t.Error("empty journey has no arrival")
+	}
+	if empty.String() != "⟨empty journey⟩" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+	if j.String() == "" {
+		t.Error("String should render hops")
+	}
+	// Unknown edge.
+	bad := Journey{Hops: []Hop{{Edge: 99, Depart: 0}}}
+	if _, err := bad.Word(c.Graph()); err == nil {
+		t.Error("unknown edge should fail Word")
+	}
+	if _, _, ok := bad.Endpoints(c.Graph()); ok {
+		t.Error("unknown edge should fail Endpoints")
+	}
+}
+
+func TestValidateSemantics(t *testing.T) {
+	c, _, _, _ := ferry(t)
+	good := Journey{Hops: []Hop{{Edge: 0, Depart: 5}, {Edge: 1, Depart: 8}}}
+	if err := good.Validate(c, Wait()); err != nil {
+		t.Errorf("wait journey should validate: %v", err)
+	}
+	if err := good.Validate(c, BoundedWait(2)); err != nil {
+		t.Errorf("pause 2 should validate under wait[2]: %v", err)
+	}
+	if err := good.Validate(c, BoundedWait(1)); err == nil {
+		t.Error("pause 2 should fail under wait[1]")
+	}
+	if err := good.Validate(c, NoWait()); err == nil {
+		t.Error("pause 2 should fail under nowait")
+	}
+	if good.IsDirect(c) {
+		t.Error("journey with pause is not direct")
+	}
+	// Direct journey.
+	direct := Journey{Hops: []Hop{{Edge: 1, Depart: 2}}}
+	if !direct.IsDirect(c) {
+		t.Error("single-hop journey is direct")
+	}
+	// Absent edge.
+	absent := Journey{Hops: []Hop{{Edge: 0, Depart: 4}}}
+	if err := absent.Validate(c, Wait()); err == nil {
+		t.Error("absent departure should fail")
+	}
+	// Discontinuous walk: e1 then e0 (c -> nothing).
+	disc := Journey{Hops: []Hop{{Edge: 1, Depart: 2}, {Edge: 0, Depart: 5}}}
+	if err := disc.Validate(c, Wait()); err == nil {
+		t.Error("discontinuous journey should fail")
+	}
+	// Time travel: second hop before first arrival.
+	g2 := tvg.New()
+	u := g2.AddNode("u")
+	g2.MustAddEdge(tvg.Edge{From: u, To: u, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(5)})
+	c2, err := tvg.Compile(g2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := Journey{Hops: []Hop{{Edge: 0, Depart: 3}, {Edge: 0, Depart: 4}}}
+	if err := tt.Validate(c2, Wait()); err == nil {
+		t.Error("departing before previous arrival should fail")
+	}
+	// Outside horizon.
+	oob := Journey{Hops: []Hop{{Edge: 0, Depart: 25}}}
+	if err := oob.Validate(c2, Wait()); err == nil {
+		t.Error("departure past horizon should fail")
+	}
+	// Unknown edge and invalid mode.
+	if err := (Journey{Hops: []Hop{{Edge: 9, Depart: 0}}}).Validate(c, Wait()); err == nil {
+		t.Error("unknown edge should fail Validate")
+	}
+	var invalid Mode
+	if err := good.Validate(c, invalid); err == nil {
+		t.Error("invalid mode should fail Validate")
+	}
+}
+
+func TestFerryReachability(t *testing.T) {
+	c, a, b, dst := ferry(t)
+	// Wait: reachable.
+	j, arr, ok := Foremost(c, Wait(), a, dst, 0)
+	if !ok || arr != 9 {
+		t.Fatalf("Foremost wait = %v, %d, %v; want arrival 9", j, arr, ok)
+	}
+	if err := j.Validate(c, Wait()); err != nil {
+		t.Errorf("witness journey invalid: %v", err)
+	}
+	// NoWait: unreachable (must depart a at exactly 0).
+	if _, _, ok := Foremost(c, NoWait(), a, dst, 0); ok {
+		t.Error("nowait should not reach c from a at t0=0")
+	}
+	// NoWait departing exactly at 5 reaches b but not c (pause needed).
+	if _, arr, ok := Foremost(c, NoWait(), a, b, 5); !ok || arr != 6 {
+		t.Errorf("nowait a->b at t0=5: %d, %v", arr, ok)
+	}
+	if _, _, ok := Foremost(c, NoWait(), a, dst, 5); ok {
+		t.Error("nowait a->c should fail even from t0=5")
+	}
+	// Bounded: wait[2] suffices (pause 5 at a... no: pause at a is 5).
+	// From t0=0 the entity must pause 5 ticks at a before e0; so wait[2]
+	// fails from t0=0 but succeeds from t0=3 (pause 2 at a, pause 2 at b).
+	if _, _, ok := Foremost(c, BoundedWait(2), a, dst, 0); ok {
+		t.Error("wait[2] from t0=0 should fail: needs pause 5 at source")
+	}
+	if _, arr, ok := Foremost(c, BoundedWait(2), a, dst, 3); !ok || arr != 9 {
+		t.Errorf("wait[2] from t0=3: %d, %v; want 9, true", arr, ok)
+	}
+	if _, _, ok := Foremost(c, BoundedWait(1), a, dst, 3); ok {
+		t.Error("wait[1] from t0=3 should fail: needs pause 2 at b")
+	}
+	// Reachable sets.
+	reach := ReachableSet(c, Wait(), a, 0)
+	if !reach[a] || !reach[b] || !reach[dst] {
+		t.Errorf("wait reach = %v", reach)
+	}
+	reach = ReachableSet(c, NoWait(), a, 0)
+	if !reach[a] || reach[b] || reach[dst] {
+		t.Errorf("nowait reach = %v", reach)
+	}
+}
+
+func TestForemostMinHopFastestDisagree(t *testing.T) {
+	// Two routes from s to d:
+	//   direct:  s --D--> d present at t=0, latency 10 (arrive 10)
+	//   relayed: s --E1--> m present at t=5, latency 1;
+	//            m --E2--> d present at t=6, latency 1 (arrive 7)
+	g := tvg.New()
+	s := g.AddNode("s")
+	m := g.AddNode("m")
+	d := g.AddNode("d")
+	g.MustAddEdge(tvg.Edge{From: s, To: d, Label: 'D', Presence: tvg.NewTimeSet(0), Latency: tvg.ConstLatency(10)})
+	g.MustAddEdge(tvg.Edge{From: s, To: m, Label: 'a', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: m, To: d, Label: 'b', Presence: tvg.NewTimeSet(6), Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foremost: relayed route arriving at 7.
+	j, arr, ok := Foremost(c, Wait(), s, d, 0)
+	if !ok || arr != 7 || j.Len() != 2 {
+		t.Errorf("Foremost = %v arr=%d ok=%v; want 2-hop arrival 7", j, arr, ok)
+	}
+	// MinHop: direct route, 1 hop.
+	j, hops, ok := MinHop(c, Wait(), s, d, 0)
+	if !ok || hops != 1 || j.Len() != 1 {
+		t.Errorf("MinHop = %v hops=%d ok=%v; want 1 hop", j, hops, ok)
+	}
+	// Fastest: relayed route departing 5 arriving 7, span 2.
+	j, span, ok := Fastest(c, Wait(), s, d, 0)
+	if !ok || span != 2 {
+		t.Errorf("Fastest = %v span=%d ok=%v; want span 2", j, span, ok)
+	}
+	if err := j.Validate(c, Wait()); err != nil {
+		t.Errorf("fastest witness invalid: %v", err)
+	}
+	// Under NoWait from t0=0 only the direct route exists.
+	j, arr, ok = Foremost(c, NoWait(), s, d, 0)
+	if !ok || arr != 10 || j.Len() != 1 {
+		t.Errorf("NoWait foremost = %v arr=%d ok=%v", j, arr, ok)
+	}
+	if _, span, ok := Fastest(c, NoWait(), s, d, 0); !ok || span != 10 {
+		t.Errorf("NoWait fastest span = %d, %v", span, ok)
+	}
+}
+
+func TestTrivialCases(t *testing.T) {
+	c, a, _, _ := ferry(t)
+	if j, arr, ok := Foremost(c, Wait(), a, a, 4); !ok || arr != 4 || j.Len() != 0 {
+		t.Error("src==dst foremost should be the empty journey at t0")
+	}
+	if _, hops, ok := MinHop(c, Wait(), a, a, 0); !ok || hops != 0 {
+		t.Error("src==dst minhop should be 0")
+	}
+	if _, span, ok := Fastest(c, Wait(), a, a, 0); !ok || span != 0 {
+		t.Error("src==dst fastest should be 0")
+	}
+	// Invalid nodes and modes.
+	var invalid Mode
+	if _, _, ok := Foremost(c, invalid, a, a, 0); ok {
+		t.Error("invalid mode should fail")
+	}
+	if _, _, ok := Foremost(c, Wait(), tvg.Node(99), a, 0); ok {
+		t.Error("invalid node should fail")
+	}
+	if _, _, ok := MinHop(c, Wait(), tvg.Node(99), a, 0); ok {
+		t.Error("invalid node should fail MinHop")
+	}
+	if _, _, ok := Fastest(c, Wait(), tvg.Node(99), a, 0); ok {
+		t.Error("invalid node should fail Fastest")
+	}
+	if reach := ReachableSet(c, Wait(), tvg.Node(99), 0); len(reach) != 3 {
+		t.Error("invalid src should return all-false set")
+	}
+}
+
+func TestArrivalTimes(t *testing.T) {
+	c, a, b, dst := ferry(t)
+	times := ArrivalTimes(c, Wait(), a, dst, 0)
+	if len(times) != 1 || times[0] != 9 {
+		t.Errorf("ArrivalTimes a->c = %v, want [9]", times)
+	}
+	times = ArrivalTimes(c, Wait(), a, b, 0)
+	if len(times) != 1 || times[0] != 6 {
+		t.Errorf("ArrivalTimes a->b = %v, want [6]", times)
+	}
+	times = ArrivalTimes(c, Wait(), a, a, 7)
+	if len(times) != 1 || times[0] != 7 {
+		t.Errorf("ArrivalTimes a->a = %v, want [7]", times)
+	}
+	if times := ArrivalTimes(c, Wait(), tvg.Node(99), a, 0); times != nil {
+		t.Errorf("invalid src: %v", times)
+	}
+}
+
+func TestTemporallyConnected(t *testing.T) {
+	// Ring over 3 nodes with always-present edges: connected under any mode.
+	g := tvg.New()
+	n0 := g.AddNode("n0")
+	n1 := g.AddNode("n1")
+	n2 := g.AddNode("n2")
+	g.MustAddEdge(tvg.Edge{From: n0, To: n1, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n1, To: n2, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n2, To: n0, Label: 'a', Presence: tvg.Always{}, Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TemporallyConnected(c, NoWait(), 0) {
+		t.Error("always-present ring should be connected under nowait")
+	}
+	// Ferry graph is not temporally connected (c has no out-edges).
+	fc, _, _, _ := ferry(t)
+	if TemporallyConnected(fc, Wait(), 0) {
+		t.Error("ferry graph should not be temporally connected")
+	}
+}
+
+// bruteJourneys enumerates all feasible journeys from src departing >= t0
+// with at most maxHops hops, independently of the search code (it walks the
+// raw graph presence/latency functions directly).
+func bruteJourneys(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time, maxHops int) []Journey {
+	g := c.Graph()
+	var out []Journey
+	var rec func(node tvg.Node, arrived tvg.Time, hops []Hop)
+	rec = func(node tvg.Node, arrived tvg.Time, hops []Hop) {
+		out = append(out, Journey{Hops: append([]Hop(nil), hops...)})
+		if len(hops) == maxHops || arrived > c.Horizon() {
+			return
+		}
+		for id := tvg.EdgeID(0); int(id) < g.NumEdges(); id++ {
+			e, _ := g.Edge(id)
+			if e.From != node {
+				continue
+			}
+			for dep := arrived; dep <= c.Horizon(); dep++ {
+				if !mode.AllowsPause(dep - arrived) {
+					break
+				}
+				if !g.Present(id, dep) {
+					continue
+				}
+				rec(e.To, g.Arrival(id, dep), append(hops, Hop{Edge: id, Depart: dep}))
+			}
+		}
+	}
+	rec(src, t0, nil)
+	return out
+}
+
+// TestSearchAgainstBruteForce cross-checks Foremost and MinHop against an
+// independent exhaustive enumeration on random periodic graphs.
+func TestSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	modes := []Mode{NoWait(), BoundedWait(1), BoundedWait(3), Wait()}
+	for trial := 0; trial < 30; trial++ {
+		g := tvg.New()
+		n := 2 + rng.Intn(3)
+		g.AddNodes(n)
+		edges := 2 + rng.Intn(4)
+		for i := 0; i < edges; i++ {
+			pattern := make([]bool, 1+rng.Intn(4))
+			nonEmpty := false
+			for j := range pattern {
+				pattern[j] = rng.Intn(2) == 0
+				nonEmpty = nonEmpty || pattern[j]
+			}
+			if !nonEmpty {
+				pattern[0] = true
+			}
+			pres, err := tvg.NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(rng.Intn(n)),
+				To:       tvg.Node(rng.Intn(n)),
+				Label:    'a',
+				Presence: pres,
+				Latency:  tvg.ConstLatency(tvg.Time(1 + rng.Intn(2))),
+			})
+		}
+		const horizon = 8
+		c, err := tvg.Compile(g, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes {
+			src := tvg.Node(rng.Intn(n))
+			dst := tvg.Node(rng.Intn(n))
+			if src == dst {
+				continue
+			}
+			all := bruteJourneys(c, mode, src, 0, 9)
+			bestArr := tvg.Time(-1)
+			bestHops := -1
+			for _, j := range all {
+				if j.Len() == 0 {
+					continue
+				}
+				to := mustEndpointTo(t, c, j)
+				if to != dst {
+					continue
+				}
+				arr, err := j.Arrival(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bestArr < 0 || arr < bestArr {
+					bestArr = arr
+				}
+				if bestHops < 0 || j.Len() < bestHops {
+					bestHops = j.Len()
+				}
+			}
+			j, arr, ok := Foremost(c, mode, src, dst, 0)
+			if ok != (bestArr >= 0) {
+				t.Fatalf("trial %d mode %s: Foremost ok=%v, brute force=%v", trial, mode, ok, bestArr >= 0)
+			}
+			if ok {
+				if arr != bestArr {
+					t.Fatalf("trial %d mode %s: Foremost arrival %d, brute force %d", trial, mode, arr, bestArr)
+				}
+				if err := j.Validate(c, mode); err != nil {
+					t.Fatalf("trial %d mode %s: witness invalid: %v", trial, mode, err)
+				}
+			}
+			j2, hops, ok2 := MinHop(c, mode, src, dst, 0)
+			if ok2 != (bestHops >= 0) {
+				t.Fatalf("trial %d mode %s: MinHop ok=%v, brute=%v", trial, mode, ok2, bestHops >= 0)
+			}
+			if ok2 {
+				if hops != bestHops {
+					t.Fatalf("trial %d mode %s: MinHop %d, brute force %d", trial, mode, hops, bestHops)
+				}
+				if err := j2.Validate(c, mode); err != nil {
+					t.Fatalf("trial %d mode %s: minhop witness invalid: %v", trial, mode, err)
+				}
+			}
+		}
+	}
+}
+
+func mustEndpointTo(t *testing.T, c *tvg.Compiled, j Journey) tvg.Node {
+	t.Helper()
+	_, to, ok := j.Endpoints(c.Graph())
+	if !ok {
+		t.Fatal("journey without endpoints")
+	}
+	return to
+}
+
+// TestMonotoneInWaitBudget checks the inclusion chain: anything reachable
+// under a stricter mode is reachable under a more permissive one, and
+// foremost arrivals never get worse.
+func TestMonotoneInWaitBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	modes := []Mode{NoWait(), BoundedWait(1), BoundedWait(2), BoundedWait(5), Wait()}
+	for trial := 0; trial < 25; trial++ {
+		g := tvg.New()
+		n := 3 + rng.Intn(3)
+		g.AddNodes(n)
+		for i := 0; i < n+2; i++ {
+			pattern := make([]bool, 1+rng.Intn(5))
+			for j := range pattern {
+				pattern[j] = rng.Intn(3) == 0
+			}
+			pattern[rng.Intn(len(pattern))] = true
+			pres, err := tvg.NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.MustAddEdge(tvg.Edge{
+				From:     tvg.Node(rng.Intn(n)),
+				To:       tvg.Node(rng.Intn(n)),
+				Label:    'a',
+				Presence: pres,
+				Latency:  tvg.ConstLatency(1),
+			})
+		}
+		c, err := tvg.Compile(g, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := tvg.Node(rng.Intn(n))
+		prevReach := make([]bool, n)
+		prevArr := make([]tvg.Time, n)
+		for i := range prevArr {
+			prevArr[i] = -1
+		}
+		for mi, mode := range modes {
+			reach := ReachableSet(c, mode, src, 0)
+			for node := 0; node < n; node++ {
+				if prevReach[node] && !reach[node] {
+					t.Fatalf("trial %d: node %d reachable under %s but not %s",
+						trial, node, modes[mi-1], mode)
+				}
+				_, arr, ok := Foremost(c, mode, src, tvg.Node(node), 0)
+				if prevArr[node] >= 0 {
+					if !ok {
+						t.Fatalf("trial %d: foremost lost under more permissive mode", trial)
+					}
+					if arr > prevArr[node] {
+						t.Fatalf("trial %d: foremost arrival worsened from %d to %d under %s",
+							trial, prevArr[node], arr, mode)
+					}
+				}
+				if ok {
+					prevArr[node] = arr
+				}
+				prevReach[node] = prevReach[node] || reach[node]
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package journey
+
+import "tvgwait/internal/tvg"
+
+// TemporalEccentricity returns the worst foremost delay from src: the
+// maximum over all nodes of (foremost arrival − t0) for journeys departing
+// no earlier than t0. ok is false if some node is unreachable within the
+// horizon (the eccentricity is then undefined).
+func TemporalEccentricity(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time) (tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !mode.IsValid() {
+		return 0, false
+	}
+	var worst tvg.Time
+	for dst := tvg.Node(0); int(dst) < c.Graph().NumNodes(); dst++ {
+		_, arr, ok := Foremost(c, mode, src, dst, t0)
+		if !ok {
+			return 0, false
+		}
+		if d := arr - t0; d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+// TemporalDiameter returns the maximum temporal eccentricity over all
+// sources: the worst-case foremost delay between any ordered pair of
+// nodes. ok is false if the graph is not temporally connected from t0
+// within the horizon.
+//
+// Together with TemporallyConnected this quantifies how "usable" a
+// dynamic network is under each waiting semantics — on sparse TVGs the
+// diameter is typically finite under Wait and undefined under NoWait,
+// which is the journey-level face of the paper's expressivity gap.
+func TemporalDiameter(c *tvg.Compiled, mode Mode, t0 tvg.Time) (tvg.Time, bool) {
+	var worst tvg.Time
+	for src := tvg.Node(0); int(src) < c.Graph().NumNodes(); src++ {
+		ecc, ok := TemporalEccentricity(c, mode, src, t0)
+		if !ok {
+			return 0, false
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	return worst, true
+}

@@ -1,0 +1,107 @@
+package journey
+
+import (
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+func ringGraph(t *testing.T, n int) *tvg.Compiled {
+	t.Helper()
+	g := tvg.New()
+	g.AddNodes(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(tvg.Edge{
+			From: tvg.Node(i), To: tvg.Node((i + 1) % n), Label: 'a',
+			Presence: tvg.Always{}, Latency: tvg.ConstLatency(1),
+		})
+	}
+	c, err := tvg.Compile(g, 3*tvg.Time(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTemporalEccentricityRing(t *testing.T) {
+	c := ringGraph(t, 5)
+	for _, mode := range []Mode{NoWait(), Wait()} {
+		ecc, ok := TemporalEccentricity(c, mode, 0, 0)
+		if !ok || ecc != 4 {
+			t.Errorf("mode %s: eccentricity = %d, %v; want 4", mode, ecc, ok)
+		}
+	}
+	// Eccentricity is shift-invariant on an always-present graph.
+	ecc, ok := TemporalEccentricity(c, Wait(), 0, 3)
+	if !ok || ecc != 4 {
+		t.Errorf("shifted eccentricity = %d, %v; want 4", ecc, ok)
+	}
+}
+
+func TestTemporalDiameterRing(t *testing.T) {
+	c := ringGraph(t, 4)
+	d, ok := TemporalDiameter(c, NoWait(), 0)
+	if !ok || d != 3 {
+		t.Errorf("diameter = %d, %v; want 3", d, ok)
+	}
+}
+
+func TestTemporalMetricsDisconnected(t *testing.T) {
+	// Ferry graph: node c has no out-edges, so no eccentricity from it and
+	// no diameter.
+	g := tvg.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddNode("c")
+	g.MustAddEdge(tvg.Edge{From: a, To: b, Label: 'x', Presence: tvg.NewTimeSet(5), Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TemporalEccentricity(c, Wait(), a, 0); ok {
+		t.Error("eccentricity should be undefined (c unreachable)")
+	}
+	if _, ok := TemporalDiameter(c, Wait(), 0); ok {
+		t.Error("diameter should be undefined")
+	}
+	// Invalid inputs.
+	if _, ok := TemporalEccentricity(c, Wait(), tvg.Node(9), 0); ok {
+		t.Error("invalid source should fail")
+	}
+	var invalid Mode
+	if _, ok := TemporalEccentricity(c, invalid, a, 0); ok {
+		t.Error("invalid mode should fail")
+	}
+}
+
+// TestDiameterShrinksWithWaiting: on a schedule where edges appear in the
+// "wrong" order for direct traversal, waiting makes the network usable.
+func TestDiameterShrinksWithWaiting(t *testing.T) {
+	// Path 0 -> 1 -> 2 where the second edge appears before the first:
+	// e1: 1->2 at times {1, 9}; e0: 0->1 at time {4}.
+	g := tvg.New()
+	n0 := g.AddNode("n0")
+	n1 := g.AddNode("n1")
+	n2 := g.AddNode("n2")
+	// Backward edges so every node can reach every other eventually.
+	g.MustAddEdge(tvg.Edge{From: n0, To: n1, Label: 'a', Presence: tvg.NewTimeSet(4), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n1, To: n2, Label: 'a', Presence: tvg.NewTimeSet(1, 9), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n2, To: n0, Label: 'a', Presence: tvg.NewTimeSet(0, 2, 5, 11), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n1, To: n0, Label: 'a', Presence: tvg.NewTimeSet(6), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n2, To: n1, Label: 'a', Presence: tvg.NewTimeSet(0, 7), Latency: tvg.ConstLatency(1)})
+	g.MustAddEdge(tvg.Edge{From: n0, To: n2, Label: 'a', Presence: tvg.NewTimeSet(12), Latency: tvg.ConstLatency(1)})
+	c, err := tvg.Compile(g, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dWait, okWait := TemporalDiameter(c, Wait(), 0)
+	if !okWait {
+		t.Fatal("wait diameter should be defined")
+	}
+	if _, okNo := TemporalDiameter(c, NoWait(), 0); okNo {
+		t.Error("nowait diameter should be undefined on this schedule")
+	}
+	if dWait <= 0 {
+		t.Errorf("wait diameter = %d", dWait)
+	}
+}

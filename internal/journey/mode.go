@@ -1,0 +1,119 @@
+// Package journey implements journeys — the paper's "paths over time" —
+// and the three waiting semantics that define which journeys are feasible:
+//
+//   - NoWait: only direct journeys, t_{i+1} = t_i + ζ(e_i, t_i); the
+//     store-carry-forward mechanism is unavailable.
+//   - Wait: indirect journeys, t_{i+1} ≥ t_i + ζ(e_i, t_i); nodes may
+//     buffer indefinitely.
+//   - BoundedWait(d): pauses of at most d ticks between consecutive hops.
+//
+// On top of journey validation the package provides the classical
+// journey metrics over compiled schedules — foremost (earliest arrival),
+// min-hop (fewest edges) and fastest (smallest departure-to-arrival span) —
+// together with temporal reachability, all parameterized by the waiting
+// semantics. These are the network-level counterparts of the paper's
+// language-level results: waiting strictly enlarges the feasible set.
+package journey
+
+import (
+	"fmt"
+
+	"tvgwait/internal/tvg"
+)
+
+type modeKind int
+
+const (
+	kindNoWait modeKind = iota + 1
+	kindWait
+	kindBounded
+)
+
+// Mode is a waiting semantics. The zero value is invalid; use NoWait,
+// Wait or BoundedWait.
+type Mode struct {
+	kind modeKind
+	d    tvg.Time
+}
+
+// NoWait returns the direct-journey semantics: no pausing at nodes.
+func NoWait() Mode { return Mode{kind: kindNoWait} }
+
+// Wait returns the indirect-journey semantics: unbounded pausing.
+func Wait() Mode { return Mode{kind: kindWait} }
+
+// BoundedWait returns the semantics allowing pauses of at most d ticks at
+// each step. BoundedWait(0) is equivalent to NoWait. d must be >= 0.
+func BoundedWait(d tvg.Time) Mode {
+	if d < 0 {
+		d = 0
+	}
+	return Mode{kind: kindBounded, d: d}
+}
+
+// IsValid reports whether m was built by one of the constructors.
+func (m Mode) IsValid() bool { return m.kind != 0 }
+
+// Bound returns the pause bound and whether it is finite: (0, true) for
+// NoWait, (d, true) for BoundedWait(d), and (0, false) for Wait.
+func (m Mode) Bound() (d tvg.Time, finite bool) {
+	switch m.kind {
+	case kindNoWait:
+		return 0, true
+	case kindBounded:
+		return m.d, true
+	default:
+		return 0, false
+	}
+}
+
+// AllowsPause reports whether a pause of p ticks between hops is feasible.
+func (m Mode) AllowsPause(p tvg.Time) bool {
+	if p < 0 {
+		return false
+	}
+	d, finite := m.Bound()
+	return !finite || p <= d
+}
+
+// WindowEnd returns the latest permissible departure time for a hop whose
+// node was reached at time arr, clamped to the horizon.
+func (m Mode) WindowEnd(arr, horizon tvg.Time) tvg.Time {
+	d, finite := m.Bound()
+	if !finite {
+		return horizon
+	}
+	end := arr + d
+	if end > horizon {
+		return horizon
+	}
+	return end
+}
+
+// AtLeastAsPermissive reports whether every pause allowed by o is allowed
+// by m — the ordering behind the inclusion chain
+// L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait (d ≤ d').
+func (m Mode) AtLeastAsPermissive(o Mode) bool {
+	md, mf := m.Bound()
+	od, of := o.Bound()
+	if !mf {
+		return true
+	}
+	if !of {
+		return false
+	}
+	return md >= od
+}
+
+func (m Mode) String() string {
+	switch m.kind {
+	case kindNoWait:
+		return "nowait"
+	case kindWait:
+		return "wait"
+	case kindBounded:
+		return fmt.Sprintf("wait[%d]", m.d)
+	default:
+		return "invalid-mode"
+	}
+}

@@ -1,0 +1,324 @@
+package journey
+
+import (
+	"container/heap"
+	"sort"
+
+	"tvgwait/internal/tvg"
+)
+
+// The searches in this file explore the configuration space of a compiled
+// schedule: a configuration (node, t) means "the entity is at node, having
+// arrived (or started) at time t". From a configuration, each outgoing edge
+// may be taken at any departure time in [t, mode.WindowEnd(t, horizon)] at
+// which the edge is present; the initial configuration is (src, t0), so the
+// pause before the first hop is governed by the same waiting budget as
+// every later pause (the paper's "reading starts at time t" convention).
+//
+// Departures always lie within the horizon; arrivals may exceed it, in
+// which case the configuration is terminal (no further hops expand it).
+
+// config is a search state.
+type config struct {
+	node tvg.Node
+	t    tvg.Time
+}
+
+// link records how a configuration was first reached, for witness
+// reconstruction.
+type link struct {
+	prev config
+	hop  Hop
+	hops int
+	root bool
+}
+
+// timeItem is a heap entry ordered by time (then insertion order, for
+// determinism).
+type timeItem struct {
+	cfg config
+	seq int
+}
+
+type timeHeap []timeItem
+
+func (h timeHeap) Len() int { return len(h) }
+func (h timeHeap) Less(i, j int) bool {
+	if h[i].cfg.t != h[j].cfg.t {
+		return h[i].cfg.t < h[j].cfg.t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)   { *h = append(*h, x.(timeItem)) }
+func (h *timeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// expand enumerates the successor configurations of cfg and calls visit
+// with the hop taken and the successor.
+func expand(c *tvg.Compiled, mode Mode, cfg config, visit func(Hop, config)) {
+	if cfg.t > c.Horizon() {
+		return // terminal: arrived past the horizon
+	}
+	end := mode.WindowEnd(cfg.t, c.Horizon())
+	for _, id := range c.OutEdges(cfg.node) {
+		e, _ := c.Graph().Edge(id)
+		c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
+			visit(Hop{Edge: id, Depart: dep}, config{node: e.To, t: arr})
+			return true
+		})
+	}
+}
+
+// reconstruct rebuilds the witness journey ending at cfg from the parent
+// links.
+func reconstruct(parents map[config]link, cfg config) Journey {
+	var rev []Hop
+	for {
+		l := parents[cfg]
+		if l.root {
+			break
+		}
+		rev = append(rev, l.hop)
+		cfg = l.prev
+	}
+	hops := make([]Hop, len(rev))
+	for i := range rev {
+		hops[i] = rev[len(rev)-1-i]
+	}
+	return Journey{Hops: hops}
+}
+
+// Foremost returns a journey from src to dst departing no earlier than t0
+// that arrives as early as possible under the mode, together with its
+// arrival time. If src == dst the empty journey with arrival t0 is
+// returned. ok is false if dst is unreachable within the horizon.
+func Foremost(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, t0, true
+	}
+	parents := map[config]link{{src, t0}: {root: true}}
+	h := &timeHeap{{cfg: config{src, t0}}}
+	seq := 1
+	for h.Len() > 0 {
+		it := heap.Pop(h).(timeItem)
+		if it.cfg.node == dst {
+			return reconstruct(parents, it.cfg), it.cfg.t, true
+		}
+		expand(c, mode, it.cfg, func(hp Hop, next config) {
+			if _, ok := parents[next]; ok {
+				return
+			}
+			parents[next] = link{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
+			heap.Push(h, timeItem{cfg: next, seq: seq})
+			seq++
+		})
+	}
+	return Journey{}, 0, false
+}
+
+// MinHop returns a journey from src to dst departing no earlier than t0
+// with as few hops as possible under the mode, together with the hop
+// count. ok is false if dst is unreachable within the horizon.
+func MinHop(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, int, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, 0, true
+	}
+	parents := map[config]link{{src, t0}: {root: true}}
+	frontier := []config{{src, t0}}
+	for hops := 1; len(frontier) > 0; hops++ {
+		var next []config
+		for _, cfg := range frontier {
+			expand(c, mode, cfg, func(hp Hop, nc config) {
+				if _, ok := parents[nc]; ok {
+					return
+				}
+				parents[nc] = link{prev: cfg, hop: hp, hops: hops}
+				next = append(next, nc)
+			})
+		}
+		// Scan this layer for the destination before going deeper.
+		for _, nc := range next {
+			if nc.node == dst {
+				return reconstruct(parents, nc), hops, true
+			}
+		}
+		frontier = next
+	}
+	return Journey{}, 0, false
+}
+
+// Fastest returns a journey from src to dst departing no earlier than t0
+// that minimizes the span from its first departure to its arrival, under
+// the mode. The returned time is that minimal span (duration). If
+// src == dst the empty journey with duration 0 is returned. ok is false if
+// dst is unreachable within the horizon.
+func Fastest(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, 0, true
+	}
+	// Candidate first-departure times: departures of src's out-edges within
+	// the initial waiting window.
+	end := mode.WindowEnd(t0, c.Horizon())
+	candSet := map[tvg.Time]bool{}
+	for _, id := range c.OutEdges(src) {
+		c.EachDeparture(id, t0, end, func(dep, _ tvg.Time) bool {
+			candSet[dep] = true
+			return true
+		})
+	}
+	cands := make([]tvg.Time, 0, len(candSet))
+	for t := range candSet {
+		cands = append(cands, t)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	var best Journey
+	var bestSpan tvg.Time
+	found := false
+	for _, ts := range cands {
+		// Force the journey to actually depart at ts: run a foremost search
+		// whose initial configuration admits no pause before the first hop.
+		j, arr, ok := foremostDepartingAt(c, mode, src, dst, ts)
+		if !ok {
+			continue
+		}
+		span := arr - ts
+		if !found || span < bestSpan {
+			found = true
+			bestSpan = span
+			best = j
+		}
+	}
+	if !found {
+		return Journey{}, 0, false
+	}
+	return best, bestSpan, true
+}
+
+// foremostDepartingAt is Foremost restricted to journeys whose first hop
+// departs exactly at ts.
+func foremostDepartingAt(c *tvg.Compiled, mode Mode, src, dst tvg.Node, ts tvg.Time) (Journey, tvg.Time, bool) {
+	parents := map[config]link{{src, ts}: {root: true}}
+	h := &timeHeap{}
+	seq := 0
+	// Seed with exactly the hops departing at ts.
+	for _, id := range c.OutEdges(src) {
+		e, _ := c.Graph().Edge(id)
+		if arr, ok := c.ArrivalAt(id, ts); ok {
+			next := config{e.To, arr}
+			if _, dup := parents[next]; dup {
+				continue
+			}
+			parents[next] = link{prev: config{src, ts}, hop: Hop{Edge: id, Depart: ts}, hops: 1}
+			heap.Push(h, timeItem{cfg: next, seq: seq})
+			seq++
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(timeItem)
+		if it.cfg.node == dst {
+			return reconstruct(parents, it.cfg), it.cfg.t, true
+		}
+		expand(c, mode, it.cfg, func(hp Hop, next config) {
+			if _, ok := parents[next]; ok {
+				return
+			}
+			parents[next] = link{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
+			heap.Push(h, timeItem{cfg: next, seq: seq})
+			seq++
+		})
+	}
+	return Journey{}, 0, false
+}
+
+// ReachableSet returns, per node, whether it is reachable from src by a
+// feasible journey departing no earlier than t0 (src itself is reachable).
+func ReachableSet(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time) []bool {
+	out := make([]bool, c.Graph().NumNodes())
+	if !c.Graph().ValidNode(src) || !mode.IsValid() {
+		return out
+	}
+	out[src] = true
+	seen := map[config]bool{{src, t0}: true}
+	stack := []config{{src, t0}}
+	for len(stack) > 0 {
+		cfg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		expand(c, mode, cfg, func(_ Hop, next config) {
+			if seen[next] {
+				return
+			}
+			seen[next] = true
+			out[next.node] = true
+			stack = append(stack, next)
+		})
+	}
+	return out
+}
+
+// ArrivalTimes returns the sorted set of times at which dst can be reached
+// from src by feasible journeys departing no earlier than t0. If
+// src == dst, t0 is included (the empty journey).
+func ArrivalTimes(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) []tvg.Time {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return nil
+	}
+	times := map[tvg.Time]bool{}
+	if src == dst {
+		times[t0] = true
+	}
+	seen := map[config]bool{{src, t0}: true}
+	stack := []config{{src, t0}}
+	for len(stack) > 0 {
+		cfg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		expand(c, mode, cfg, func(_ Hop, next config) {
+			if seen[next] {
+				return
+			}
+			seen[next] = true
+			if next.node == dst {
+				times[next.t] = true
+			}
+			stack = append(stack, next)
+		})
+	}
+	out := make([]tvg.Time, 0, len(times))
+	for t := range times {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TemporallyConnected reports whether every ordered pair of nodes is
+// connected by a feasible journey departing no earlier than t0 — the
+// temporal connectivity property that underpins broadcast and routing in
+// the paper's motivating setting.
+func TemporallyConnected(c *tvg.Compiled, mode Mode, t0 tvg.Time) bool {
+	n := c.Graph().NumNodes()
+	for src := tvg.Node(0); int(src) < n; src++ {
+		reach := ReachableSet(c, mode, src, t0)
+		for _, r := range reach {
+			if !r {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,374 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sym is a grammar symbol: either a terminal rune or a nonterminal name.
+type Sym struct {
+	// Term is true for terminal symbols.
+	Term bool
+	// R is the terminal rune (valid when Term).
+	R rune
+	// NT is the nonterminal name (valid when !Term).
+	NT string
+}
+
+// T returns a terminal symbol.
+func T(r rune) Sym { return Sym{Term: true, R: r} }
+
+// N returns a nonterminal symbol.
+func N(name string) Sym { return Sym{NT: name} }
+
+func (s Sym) String() string {
+	if s.Term {
+		return fmt.Sprintf("%q", s.R)
+	}
+	return s.NT
+}
+
+// CFG is a context-free grammar. Productions map each nonterminal to a set
+// of right-hand sides; the empty right-hand side denotes ε.
+//
+// Membership queries convert the grammar to Chomsky normal form once
+// (lazily, guarded by a sync.Once), so a CFG must not gain rules after its
+// first Contains call.
+type CFG struct {
+	name  string
+	start string
+	rules map[string][][]Sym
+
+	cnfOnce   sync.Once
+	cnfCached *cnfForm
+}
+
+var _ Language = (*CFG)(nil)
+
+// NewCFG builds a grammar with the given start symbol. Rules are added
+// with AddRule.
+func NewCFG(name, start string) *CFG {
+	return &CFG{name: name, start: start, rules: make(map[string][][]Sym)}
+}
+
+// AddRule adds the production head -> rhs. An empty rhs is ε.
+func (g *CFG) AddRule(head string, rhs ...Sym) {
+	cp := make([]Sym, len(rhs))
+	copy(cp, rhs)
+	g.rules[head] = append(g.rules[head], cp)
+}
+
+// Name implements Language.
+func (g *CFG) Name() string { return g.name }
+
+// Start returns the start nonterminal.
+func (g *CFG) Start() string { return g.start }
+
+// Alphabet implements Language: the sorted set of terminals appearing in
+// productions.
+func (g *CFG) Alphabet() []rune {
+	seen := make(map[rune]bool)
+	for _, prods := range g.rules {
+		for _, rhs := range prods {
+			for _, s := range rhs {
+				if s.Term {
+					seen[s.R] = true
+				}
+			}
+		}
+	}
+	out := make([]rune, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains implements Language via CYK on the Chomsky-normal-form
+// conversion of the grammar. The CNF is computed once and cached.
+func (g *CFG) Contains(word string) bool {
+	if !overAlphabet(word, g.Alphabet()) {
+		return false
+	}
+	return g.cnf().member(word)
+}
+
+// cnfForm is a grammar in Chomsky normal form: every production is either
+// A -> BC or A -> a; S -> ε is tracked by the epsilon flag.
+type cnfForm struct {
+	start   int
+	epsilon bool           // start derives ε
+	unary   map[rune][]int // terminal -> heads of A -> a
+	binary  [][][2]int     // per head: list of (B, C) bodies
+	n       int            // number of nonterminals
+}
+
+func (g *CFG) cnf() *cnfForm {
+	g.cnfOnce.Do(func() { g.cnfCached = g.toCNF() })
+	return g.cnfCached
+}
+
+// toCNF converts the grammar to Chomsky normal form via the standard
+// pipeline: START wrapping, TERM (terminals in long rules), BIN
+// (binarization), DEL (ε-elimination), UNIT (unit-production elimination).
+func (g *CFG) toCNF() *cnfForm {
+	fresh := 0
+	gensym := func(prefix string) string {
+		fresh++
+		return fmt.Sprintf("_%s%d", prefix, fresh)
+	}
+
+	// Copy rules into a mutable working set, wrapping the start symbol.
+	rules := make(map[string][][]Sym)
+	for head, prods := range g.rules {
+		for _, rhs := range prods {
+			rules[head] = append(rules[head], append([]Sym(nil), rhs...))
+		}
+	}
+	start := gensym("S")
+	rules[start] = [][]Sym{{N(g.start)}}
+
+	// TERM: replace terminals in productions of length >= 2.
+	termNT := map[rune]string{}
+	for head, prods := range rules {
+		for pi, rhs := range prods {
+			if len(rhs) < 2 {
+				continue
+			}
+			for si, s := range rhs {
+				if !s.Term {
+					continue
+				}
+				nt, ok := termNT[s.R]
+				if !ok {
+					nt = gensym("T")
+					termNT[s.R] = nt
+					rules[nt] = append(rules[nt], []Sym{T(s.R)})
+				}
+				rules[head][pi][si] = N(nt)
+			}
+		}
+	}
+
+	// BIN: binarize productions of length > 2.
+	for head := range rules {
+		var newProds [][]Sym
+		for _, rhs := range rules[head] {
+			for len(rhs) > 2 {
+				nt := gensym("B")
+				rules[nt] = append(rules[nt], []Sym{rhs[len(rhs)-2], rhs[len(rhs)-1]})
+				rhs = append(rhs[:len(rhs)-2], N(nt))
+			}
+			newProds = append(newProds, rhs)
+		}
+		rules[head] = newProds
+	}
+
+	// DEL: compute nullable nonterminals, then expand productions.
+	nullable := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for head, prods := range rules {
+			if nullable[head] {
+				continue
+			}
+			for _, rhs := range prods {
+				all := true
+				for _, s := range rhs {
+					if s.Term || !nullable[s.NT] {
+						all = false
+						break
+					}
+				}
+				if all {
+					nullable[head] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for head, prods := range rules {
+		seen := map[string]bool{}
+		var out [][]Sym
+		add := func(rhs []Sym) {
+			key := fmt.Sprint(rhs)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, rhs)
+			}
+		}
+		for _, rhs := range prods {
+			switch len(rhs) {
+			case 0:
+				if head == start {
+					add(rhs)
+				}
+			case 1:
+				add(rhs)
+			case 2:
+				add(rhs)
+				if !rhs[0].Term && nullable[rhs[0].NT] {
+					add([]Sym{rhs[1]})
+				}
+				if !rhs[1].Term && nullable[rhs[1].NT] {
+					add([]Sym{rhs[0]})
+				}
+			}
+		}
+		if head == start && nullable[g.start] {
+			add(nil)
+		}
+		rules[head] = out
+	}
+
+	// UNIT: eliminate A -> B chains by transitive closure.
+	unitReach := map[string]map[string]bool{}
+	heads := make([]string, 0, len(rules))
+	for head := range rules {
+		heads = append(heads, head)
+	}
+	sort.Strings(heads)
+	for _, head := range heads {
+		reach := map[string]bool{head: true}
+		frontier := []string{head}
+		for len(frontier) > 0 {
+			h := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			for _, rhs := range rules[h] {
+				if len(rhs) == 1 && !rhs[0].Term && !reach[rhs[0].NT] {
+					reach[rhs[0].NT] = true
+					frontier = append(frontier, rhs[0].NT)
+				}
+			}
+		}
+		unitReach[head] = reach
+	}
+
+	// Index nonterminals and assemble the CNF tables.
+	ntID := map[string]int{}
+	id := func(nt string) int {
+		if i, ok := ntID[nt]; ok {
+			return i
+		}
+		i := len(ntID)
+		ntID[nt] = i
+		return i
+	}
+	c := &cnfForm{unary: make(map[rune][]int)}
+	c.start = id(start)
+	type binRule struct {
+		head, b, cNT int
+	}
+	var bins []binRule
+	for _, head := range heads {
+		hid := id(head)
+		for target := range unitReach[head] {
+			for _, rhs := range rules[target] {
+				switch len(rhs) {
+				case 0:
+					if head == start {
+						c.epsilon = true
+					}
+				case 1:
+					if rhs[0].Term {
+						c.unary[rhs[0].R] = append(c.unary[rhs[0].R], hid)
+					}
+					// Unit nonterminal productions handled by closure.
+				case 2:
+					bins = append(bins, binRule{hid, id(rhs[0].NT), id(rhs[1].NT)})
+				}
+			}
+		}
+	}
+	c.n = len(ntID)
+	c.binary = make([][][2]int, c.n)
+	for _, b := range bins {
+		c.binary[b.head] = append(c.binary[b.head], [2]int{b.b, b.cNT})
+	}
+	// Deduplicate unary lists.
+	for r, list := range c.unary {
+		sort.Ints(list)
+		out := list[:0]
+		for i, v := range list {
+			if i == 0 || v != out[len(out)-1] {
+				out = append(out, v)
+			}
+		}
+		c.unary[r] = out
+	}
+	return c
+}
+
+// member runs CYK over the CNF form.
+func (c *cnfForm) member(word string) bool {
+	runes := []rune(word)
+	n := len(runes)
+	if n == 0 {
+		return c.epsilon
+	}
+	// table[i][j][A]: A derives runes[i:i+j+1].
+	table := make([][][]bool, n)
+	for i := range table {
+		table[i] = make([][]bool, n)
+		for j := range table[i] {
+			table[i][j] = make([]bool, c.n)
+		}
+	}
+	for i, r := range runes {
+		for _, a := range c.unary[r] {
+			table[i][0][a] = true
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			cell := table[i][span-1]
+			for split := 1; split < span; split++ {
+				left := table[i][split-1]
+				right := table[i+split][span-split-1]
+				for a := 0; a < c.n; a++ {
+					if cell[a] {
+						continue
+					}
+					for _, bc := range c.binary[a] {
+						if left[bc[0]] && right[bc[1]] {
+							cell[a] = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return table[0][n-1][c.start]
+}
+
+// AnBnGrammar returns the CFG S -> aSb | ab for {aⁿbⁿ : n ≥ 1}.
+func AnBnGrammar() *CFG {
+	g := NewCFG("CFG a^n b^n", "S")
+	g.AddRule("S", T('a'), N("S"), T('b'))
+	g.AddRule("S", T('a'), T('b'))
+	return g
+}
+
+// PalindromeGrammar returns a CFG for palindromes over {a,b}, ε included.
+func PalindromeGrammar() *CFG {
+	g := NewCFG("CFG palindromes", "S")
+	g.AddRule("S")
+	g.AddRule("S", T('a'))
+	g.AddRule("S", T('b'))
+	g.AddRule("S", T('a'), N("S"), T('a'))
+	g.AddRule("S", T('b'), N("S"), T('b'))
+	return g
+}
+
+// DyckGrammar returns a CFG for the Dyck language of balanced brackets
+// over {(,)} (ε included): S -> (S)S | ε.
+func DyckGrammar() *CFG {
+	g := NewCFG("CFG Dyck", "S")
+	g.AddRule("S")
+	g.AddRule("S", T('('), N("S"), T(')'), N("S"))
+	return g
+}

@@ -1,0 +1,247 @@
+// Package lang provides the formal-language toolkit for the reproduction:
+// a Language is an alphabet plus a decidable membership predicate. The
+// package supplies regular languages (wrapping DFAs), context-free
+// languages (grammars in Chomsky normal form decided by CYK), and the
+// oracle languages the paper's discussion revolves around — {aⁿbⁿ},
+// {aⁿbⁿcⁿ}, palindromes, squares (ww) and prime-length words — together
+// with bounded language comparison utilities.
+package lang
+
+import (
+	"fmt"
+	"sort"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/numth"
+)
+
+// Language is a decidable formal language: an alphabet and a total
+// membership predicate over words drawn from it.
+type Language interface {
+	// Name identifies the language in reports and error messages.
+	Name() string
+	// Alphabet returns the sorted alphabet the language is defined over.
+	Alphabet() []rune
+	// Contains reports whether the word belongs to the language. Words
+	// using symbols outside the alphabet are never members.
+	Contains(word string) bool
+}
+
+// Func is a Language defined by a name, alphabet and predicate.
+type Func struct {
+	LangName string
+	Sigma    []rune
+	Member   func(string) bool
+}
+
+var _ Language = Func{}
+
+// Name implements Language.
+func (f Func) Name() string { return f.LangName }
+
+// Alphabet implements Language.
+func (f Func) Alphabet() []rune { return append([]rune(nil), f.Sigma...) }
+
+// Contains implements Language.
+func (f Func) Contains(word string) bool {
+	if !overAlphabet(word, f.Sigma) {
+		return false
+	}
+	return f.Member(word)
+}
+
+func overAlphabet(word string, sigma []rune) bool {
+	for _, r := range word {
+		found := false
+		for _, s := range sigma {
+			if r == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Regular wraps a DFA as a Language.
+type Regular struct {
+	name string
+	dfa  *automata.DFA
+}
+
+var _ Language = (*Regular)(nil)
+
+// NewRegular builds a regular Language from a DFA.
+func NewRegular(name string, d *automata.DFA) *Regular {
+	return &Regular{name: name, dfa: d}
+}
+
+// FromRegex compiles the pattern (see automata.CompileRegex) over the given
+// alphabet into a regular Language.
+func FromRegex(name, pattern string, alphabet []rune) (*Regular, error) {
+	nfa, err := automata.CompileRegex(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("lang: %w", err)
+	}
+	return &Regular{name: name, dfa: nfa.Determinize(alphabet).Minimize()}, nil
+}
+
+// Name implements Language.
+func (r *Regular) Name() string { return r.name }
+
+// Alphabet implements Language.
+func (r *Regular) Alphabet() []rune { return r.dfa.Alphabet() }
+
+// Contains implements Language.
+func (r *Regular) Contains(word string) bool { return r.dfa.Accepts(word) }
+
+// DFA returns the underlying automaton.
+func (r *Regular) DFA() *automata.DFA { return r.dfa }
+
+// AnBn is the context-free language {aⁿbⁿ : n ≥ 1} recognized by the
+// paper's Figure 1 TVG-automaton. Note n ≥ 1: the empty word is excluded,
+// matching the paper.
+func AnBn() Language {
+	return Func{
+		LangName: "a^n b^n (n>=1)",
+		Sigma:    []rune{'a', 'b'},
+		Member: func(w string) bool {
+			n := len(w) / 2
+			if n < 1 || len(w) != 2*n {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if w[i] != 'a' || w[n+i] != 'b' {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// AnBnCn is the context-sensitive (non-context-free) language
+// {aⁿbⁿcⁿ : n ≥ 1}.
+func AnBnCn() Language {
+	return Func{
+		LangName: "a^n b^n c^n (n>=1)",
+		Sigma:    []rune{'a', 'b', 'c'},
+		Member: func(w string) bool {
+			n := len(w) / 3
+			if n < 1 || len(w) != 3*n {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if w[i] != 'a' || w[n+i] != 'b' || w[2*n+i] != 'c' {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Palindromes is the context-free language of palindromes over {a,b}
+// (including the empty word).
+func Palindromes() Language {
+	return Func{
+		LangName: "palindromes over {a,b}",
+		Sigma:    []rune{'a', 'b'},
+		Member: func(w string) bool {
+			for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+				if w[i] != w[j] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Squares is the non-context-free copy language {ww : w ∈ {a,b}*}.
+func Squares() Language {
+	return Func{
+		LangName: "ww over {a,b}",
+		Sigma:    []rune{'a', 'b'},
+		Member: func(w string) bool {
+			if len(w)%2 != 0 {
+				return false
+			}
+			h := len(w) / 2
+			return w[:h] == w[h:]
+		},
+	}
+}
+
+// PrimeLength is the non-context-free language of words over {a} whose
+// length is prime.
+func PrimeLength() Language {
+	return Func{
+		LangName: "a^p, p prime",
+		Sigma:    []rune{'a'},
+		Member:   func(w string) bool { return numth.IsPrime(int64(len(w))) },
+	}
+}
+
+// WordsUpTo enumerates every word over the language's alphabet with length
+// at most maxLen, in length-then-lexicographic order.
+func WordsUpTo(l Language, maxLen int) []string {
+	return automata.AllWords(l.Alphabet(), maxLen)
+}
+
+// MembersUpTo returns the members of l with length at most maxLen.
+func MembersUpTo(l Language, maxLen int) []string {
+	var out []string
+	for _, w := range WordsUpTo(l, maxLen) {
+		if l.Contains(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Diff compares two languages on every word up to maxLen over the union of
+// their alphabets and returns the words where they disagree (capped at
+// limit; limit <= 0 means no cap).
+func Diff(a, b Language, maxLen, limit int) []string {
+	alphabet := unionAlphabet(a.Alphabet(), b.Alphabet())
+	var out []string
+	for _, w := range automata.AllWords(alphabet, maxLen) {
+		if a.Contains(w) != b.Contains(w) {
+			out = append(out, w)
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EqualUpTo reports whether two languages agree on every word of length at
+// most maxLen, returning the first disagreement as witness otherwise.
+func EqualUpTo(a, b Language, maxLen int) (bool, string) {
+	d := Diff(a, b, maxLen, 1)
+	if len(d) == 0 {
+		return true, ""
+	}
+	return false, d[0]
+}
+
+func unionAlphabet(a, b []rune) []rune {
+	seen := make(map[rune]bool)
+	for _, r := range a {
+		seen[r] = true
+	}
+	for _, r := range b {
+		seen[r] = true
+	}
+	out := make([]rune, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

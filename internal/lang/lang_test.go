@@ -1,0 +1,302 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tvgwait/internal/automata"
+)
+
+func TestAnBn(t *testing.T) {
+	l := AnBn()
+	yes := []string{"ab", "aabb", "aaabbb", "aaaabbbb"}
+	no := []string{"", "a", "b", "ba", "aab", "abb", "abab", "aabbb", "c", "ac"}
+	for _, w := range yes {
+		if !l.Contains(w) {
+			t.Errorf("%s should contain %q", l.Name(), w)
+		}
+	}
+	for _, w := range no {
+		if l.Contains(w) {
+			t.Errorf("%s should not contain %q", l.Name(), w)
+		}
+	}
+	if string(l.Alphabet()) != "ab" {
+		t.Errorf("alphabet = %q", string(l.Alphabet()))
+	}
+}
+
+func TestAnBnCn(t *testing.T) {
+	l := AnBnCn()
+	yes := []string{"abc", "aabbcc", "aaabbbccc"}
+	no := []string{"", "ab", "abcc", "aabc", "acb", "abcabc", "aabbc"}
+	for _, w := range yes {
+		if !l.Contains(w) {
+			t.Errorf("should contain %q", w)
+		}
+	}
+	for _, w := range no {
+		if l.Contains(w) {
+			t.Errorf("should not contain %q", w)
+		}
+	}
+}
+
+func TestPalindromes(t *testing.T) {
+	l := Palindromes()
+	yes := []string{"", "a", "b", "aa", "aba", "abba", "ababa"}
+	no := []string{"ab", "ba", "aab", "abab", "x"}
+	for _, w := range yes {
+		if !l.Contains(w) {
+			t.Errorf("should contain %q", w)
+		}
+	}
+	for _, w := range no {
+		if l.Contains(w) {
+			t.Errorf("should not contain %q", w)
+		}
+	}
+}
+
+func TestSquares(t *testing.T) {
+	l := Squares()
+	yes := []string{"", "aa", "bb", "abab", "baba", "aabaab"}
+	no := []string{"a", "ab", "aba", "abba", "aab"}
+	for _, w := range yes {
+		if !l.Contains(w) {
+			t.Errorf("should contain %q", w)
+		}
+	}
+	for _, w := range no {
+		if l.Contains(w) {
+			t.Errorf("should not contain %q", w)
+		}
+	}
+}
+
+func TestPrimeLength(t *testing.T) {
+	l := PrimeLength()
+	for _, n := range []int{2, 3, 5, 7, 11} {
+		w := ""
+		for i := 0; i < n; i++ {
+			w += "a"
+		}
+		if !l.Contains(w) {
+			t.Errorf("a^%d should be in the language", n)
+		}
+	}
+	for _, n := range []int{0, 1, 4, 6, 9} {
+		w := ""
+		for i := 0; i < n; i++ {
+			w += "a"
+		}
+		if l.Contains(w) {
+			t.Errorf("a^%d should not be in the language", n)
+		}
+	}
+	if l.Contains("ab") {
+		t.Error("foreign symbols should be rejected")
+	}
+}
+
+func TestRegularAndFromRegex(t *testing.T) {
+	r, err := FromRegex("ends-in-b", "(a|b)*b", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ends-in-b" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if !r.Contains("ab") || r.Contains("ba") || r.Contains("") {
+		t.Error("regex language wrong")
+	}
+	if r.DFA() == nil || r.DFA().NumStates() != 2 {
+		t.Errorf("minimal DFA for (a|b)*b should have 2 states, got %d", r.DFA().NumStates())
+	}
+	if _, err := FromRegex("bad", "(", []rune{'a'}); err == nil {
+		t.Error("bad regex should fail")
+	}
+	wrapped := NewRegular("wrapped", r.DFA())
+	if !wrapped.Contains("b") {
+		t.Error("NewRegular broken")
+	}
+}
+
+func TestFuncAlphabetGuard(t *testing.T) {
+	l := Func{LangName: "anything", Sigma: []rune{'a'}, Member: func(string) bool { return true }}
+	if !l.Contains("aaa") || l.Contains("ab") {
+		t.Error("alphabet guard broken")
+	}
+}
+
+func TestMembersUpToAndDiff(t *testing.T) {
+	members := MembersUpTo(AnBn(), 4)
+	want := []string{"ab", "aabb"}
+	if len(members) != len(want) || members[0] != want[0] || members[1] != want[1] {
+		t.Errorf("MembersUpTo = %v, want %v", members, want)
+	}
+	eq, witness := EqualUpTo(AnBn(), AnBnGrammar(), 8)
+	if !eq {
+		t.Errorf("AnBn oracle and grammar differ at %q", witness)
+	}
+	d := Diff(AnBn(), Palindromes(), 3, 0)
+	if len(d) == 0 {
+		t.Error("AnBn and palindromes should differ")
+	}
+	// Diff cap.
+	d1 := Diff(AnBn(), Palindromes(), 4, 1)
+	if len(d1) != 1 {
+		t.Errorf("Diff limit broken: %v", d1)
+	}
+}
+
+func TestCFGAnBn(t *testing.T) {
+	g := AnBnGrammar()
+	eq, w := EqualUpTo(g, AnBn(), 10)
+	if !eq {
+		t.Fatalf("grammar disagrees with oracle at %q", w)
+	}
+	if g.Contains("") {
+		t.Error("grammar should reject empty word")
+	}
+	if g.Start() != "S" {
+		t.Errorf("Start = %q", g.Start())
+	}
+}
+
+func TestCFGPalindromes(t *testing.T) {
+	g := PalindromeGrammar()
+	eq, w := EqualUpTo(g, Palindromes(), 9)
+	if !eq {
+		t.Fatalf("palindrome grammar disagrees with oracle at %q", w)
+	}
+	if !g.Contains("") {
+		t.Error("ε should be a palindrome")
+	}
+}
+
+func TestCFGDyck(t *testing.T) {
+	g := DyckGrammar()
+	oracle := Func{
+		LangName: "dyck oracle",
+		Sigma:    []rune{'(', ')'},
+		Member: func(w string) bool {
+			depth := 0
+			for _, r := range w {
+				if r == '(' {
+					depth++
+				} else {
+					depth--
+				}
+				if depth < 0 {
+					return false
+				}
+			}
+			return depth == 0
+		},
+	}
+	eq, w := EqualUpTo(g, oracle, 10)
+	if !eq {
+		t.Fatalf("Dyck grammar disagrees with oracle at %q", w)
+	}
+}
+
+func TestCFGEpsilonOnly(t *testing.T) {
+	g := NewCFG("eps", "S")
+	g.AddRule("S")
+	if !g.Contains("") {
+		t.Error("ε grammar should accept ε")
+	}
+	if g.Contains("a") {
+		t.Error("ε grammar accepts only ε")
+	}
+}
+
+func TestCFGUnitChains(t *testing.T) {
+	// S -> A, A -> B, B -> 'a' — pure unit chain.
+	g := NewCFG("unit-chain", "S")
+	g.AddRule("S", N("A"))
+	g.AddRule("A", N("B"))
+	g.AddRule("B", T('a'))
+	if !g.Contains("a") || g.Contains("") || g.Contains("aa") {
+		t.Error("unit chain grammar wrong")
+	}
+}
+
+func TestCFGNullableMix(t *testing.T) {
+	// S -> A B; A -> 'a' | ε; B -> 'b'. Language: {b, ab}.
+	g := NewCFG("nullable", "S")
+	g.AddRule("S", N("A"), N("B"))
+	g.AddRule("A", T('a'))
+	g.AddRule("A")
+	g.AddRule("B", T('b'))
+	for _, w := range []string{"b", "ab"} {
+		if !g.Contains(w) {
+			t.Errorf("should contain %q", w)
+		}
+	}
+	for _, w := range []string{"", "a", "ba", "abb"} {
+		if g.Contains(w) {
+			t.Errorf("should not contain %q", w)
+		}
+	}
+}
+
+func TestCFGLongRule(t *testing.T) {
+	// S -> a b c d — binarization exercise.
+	g := NewCFG("long", "S")
+	g.AddRule("S", T('a'), T('b'), T('c'), T('d'))
+	if !g.Contains("abcd") {
+		t.Error("should contain abcd")
+	}
+	for _, w := range []string{"", "abc", "abcdd", "abdc"} {
+		if g.Contains(w) {
+			t.Errorf("should not contain %q", w)
+		}
+	}
+}
+
+func TestSymString(t *testing.T) {
+	if T('a').String() != "'a'" {
+		t.Errorf("T('a').String() = %q", T('a').String())
+	}
+	if N("S").String() != "S" {
+		t.Errorf("N(S).String() = %q", N("S").String())
+	}
+}
+
+// Property: the CFG for a^n b^n agrees with the oracle on random words.
+func TestCFGOracleAgreementProperty(t *testing.T) {
+	g := AnBnGrammar()
+	oracle := AnBn()
+	f := func(raw []byte) bool {
+		if len(raw) > 14 {
+			raw = raw[:14]
+		}
+		b := make([]byte, len(raw))
+		for i, x := range raw {
+			if x%2 == 0 {
+				b[i] = 'a'
+			} else {
+				b[i] = 'b'
+			}
+		}
+		w := string(b)
+		return g.Contains(w) == oracle.Contains(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regular language wrapping and exhaustive word generation agree with the
+// underlying DFA.
+func TestRegularAgainstDFAProperty(t *testing.T) {
+	d := automata.MustCompileRegex("(ab|ba)*").Determinize([]rune{'a', 'b'}).Minimize()
+	r := NewRegular("alt", d)
+	for _, w := range automata.AllWords([]rune{'a', 'b'}, 7) {
+		if r.Contains(w) != d.Accepts(w) {
+			t.Fatalf("Regular wrapper disagrees on %q", w)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package numth provides the small number-theoretic helpers used by the
+// time-encoding constructions of the paper: primality testing, prime
+// generation, overflow-safe integer arithmetic, and unique decomposition of
+// integers of the form p^i * q^j for distinct primes p and q (the shape of
+// the times used by the Figure 1 automaton).
+package numth
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverflow is returned by the checked arithmetic helpers when the exact
+// mathematical result does not fit in an int64.
+var ErrOverflow = errors.New("numth: int64 overflow")
+
+// IsPrime reports whether n is a prime number. It runs deterministic trial
+// division, which is ample for the small primes used by TVG schedules.
+func IsPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	if n%3 == 0 {
+		return n == 3
+	}
+	for f := int64(5); f*f <= n; f += 6 {
+		if n%f == 0 || n%(f+2) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime strictly greater than n.
+func NextPrime(n int64) int64 {
+	for c := n + 1; ; c++ {
+		if IsPrime(c) {
+			return c
+		}
+	}
+}
+
+// PrimesUpTo returns all primes p with p <= n in increasing order.
+func PrimesUpTo(n int64) []int64 {
+	if n < 2 {
+		return nil
+	}
+	sieve := make([]bool, n+1)
+	var primes []int64
+	for p := int64(2); p <= n; p++ {
+		if sieve[p] {
+			continue
+		}
+		primes = append(primes, p)
+		for m := p * p; m <= n; m += p {
+			sieve[m] = true
+		}
+	}
+	return primes
+}
+
+// CheckedMul returns a*b, or ErrOverflow if the product overflows int64.
+// Both operands must be non-negative.
+func CheckedMul(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("numth: CheckedMul requires non-negative operands, got %d and %d", a, b)
+	}
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a {
+		return 0, ErrOverflow
+	}
+	return p, nil
+}
+
+// CheckedAdd returns a+b, or ErrOverflow if the sum overflows int64.
+// Both operands must be non-negative.
+func CheckedAdd(a, b int64) (int64, error) {
+	if a < 0 || b < 0 {
+		return 0, fmt.Errorf("numth: CheckedAdd requires non-negative operands, got %d and %d", a, b)
+	}
+	s := a + b
+	if s < a {
+		return 0, ErrOverflow
+	}
+	return s, nil
+}
+
+// CheckedPow returns base^exp, or ErrOverflow if it overflows int64.
+// base must be non-negative and exp must be non-negative.
+func CheckedPow(base int64, exp int) (int64, error) {
+	if base < 0 || exp < 0 {
+		return 0, fmt.Errorf("numth: CheckedPow requires non-negative operands, got %d^%d", base, exp)
+	}
+	result := int64(1)
+	for i := 0; i < exp; i++ {
+		var err error
+		result, err = CheckedMul(result, base)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return result, nil
+}
+
+// Valuation returns the largest k such that p^k divides n, together with
+// n / p^k. It requires n >= 1 and p >= 2.
+func Valuation(n, p int64) (k int, rest int64) {
+	rest = n
+	for rest%p == 0 && rest > 0 {
+		rest /= p
+		k++
+	}
+	return k, rest
+}
+
+// DecomposePQ decomposes t as p^i * q^j for the distinct primes p and q.
+// The decomposition, when it exists, is unique by the fundamental theorem
+// of arithmetic. ok is false if t has any other prime factor or t < 1.
+func DecomposePQ(t, p, q int64) (i, j int, ok bool) {
+	if t < 1 || p == q || !IsPrime(p) || !IsPrime(q) {
+		return 0, 0, false
+	}
+	i, rest := Valuation(t, p)
+	j, rest = Valuation(rest, q)
+	if rest != 1 {
+		return 0, 0, false
+	}
+	return i, j, true
+}
+
+// IsPQPower reports whether t = p^i * q^(i-1) for some i > 1, the presence
+// condition of edge e4 in Table 1 of the paper.
+func IsPQPower(t, p, q int64) bool {
+	i, j, ok := DecomposePQ(t, p, q)
+	return ok && i > 1 && j == i-1
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative result).
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or ErrOverflow if it
+// does not fit in an int64. Both operands must be positive.
+func LCM(a, b int64) (int64, error) {
+	if a <= 0 || b <= 0 {
+		return 0, fmt.Errorf("numth: LCM requires positive operands, got %d and %d", a, b)
+	}
+	return CheckedMul(a/GCD(a, b), b)
+}

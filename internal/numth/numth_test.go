@@ -1,0 +1,264 @@
+package numth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want bool
+	}{
+		{-7, false}, {0, false}, {1, false}, {2, true}, {3, true}, {4, false},
+		{5, true}, {9, false}, {25, false}, {29, true}, {97, true}, {91, false},
+		{7919, true}, {7917, false}, {1000003, true}, {1000001, false},
+	}
+	for _, c := range cases {
+		if got := IsPrime(c.n); got != c.want {
+			t.Errorf("IsPrime(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{0, 2}, {1, 2}, {2, 3}, {3, 5}, {13, 17}, {89, 97}, {7901, 7907},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.n); got != c.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPrimesUpTo(t *testing.T) {
+	got := PrimesUpTo(30)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("PrimesUpTo(30) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimesUpTo(30)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if PrimesUpTo(1) != nil {
+		t.Errorf("PrimesUpTo(1) should be nil")
+	}
+}
+
+func TestPrimesUpToAgreesWithIsPrime(t *testing.T) {
+	primes := PrimesUpTo(2000)
+	set := make(map[int64]bool, len(primes))
+	for _, p := range primes {
+		set[p] = true
+	}
+	for n := int64(0); n <= 2000; n++ {
+		if set[n] != IsPrime(n) {
+			t.Fatalf("sieve and trial division disagree at %d", n)
+		}
+	}
+}
+
+func TestCheckedMul(t *testing.T) {
+	if got, err := CheckedMul(6, 7); err != nil || got != 42 {
+		t.Errorf("CheckedMul(6,7) = %d, %v", got, err)
+	}
+	if _, err := CheckedMul(math.MaxInt64, 2); err != ErrOverflow {
+		t.Errorf("CheckedMul overflow: err = %v, want ErrOverflow", err)
+	}
+	if got, err := CheckedMul(0, math.MaxInt64); err != nil || got != 0 {
+		t.Errorf("CheckedMul(0,max) = %d, %v", got, err)
+	}
+	if _, err := CheckedMul(-1, 3); err == nil {
+		t.Errorf("CheckedMul(-1,3) should fail")
+	}
+}
+
+func TestCheckedAdd(t *testing.T) {
+	if got, err := CheckedAdd(40, 2); err != nil || got != 42 {
+		t.Errorf("CheckedAdd(40,2) = %d, %v", got, err)
+	}
+	if _, err := CheckedAdd(math.MaxInt64, 1); err != ErrOverflow {
+		t.Errorf("CheckedAdd overflow: err = %v, want ErrOverflow", err)
+	}
+	if _, err := CheckedAdd(-1, 1); err == nil {
+		t.Errorf("CheckedAdd(-1,1) should fail")
+	}
+}
+
+func TestCheckedPow(t *testing.T) {
+	cases := []struct {
+		base int64
+		exp  int
+		want int64
+	}{
+		{2, 0, 1}, {2, 10, 1024}, {3, 4, 81}, {10, 18, 1000000000000000000},
+		{0, 0, 1}, {0, 5, 0}, {1, 62, 1},
+	}
+	for _, c := range cases {
+		got, err := CheckedPow(c.base, c.exp)
+		if err != nil || got != c.want {
+			t.Errorf("CheckedPow(%d,%d) = %d, %v; want %d", c.base, c.exp, got, err, c.want)
+		}
+	}
+	if _, err := CheckedPow(2, 63); err != ErrOverflow {
+		t.Errorf("CheckedPow(2,63): err = %v, want ErrOverflow", err)
+	}
+	if _, err := CheckedPow(-2, 2); err == nil {
+		t.Errorf("CheckedPow(-2,2) should fail")
+	}
+}
+
+func TestValuation(t *testing.T) {
+	cases := []struct {
+		n, p     int64
+		wantK    int
+		wantRest int64
+	}{
+		{12, 2, 2, 3}, {81, 3, 4, 1}, {7, 2, 0, 7}, {1, 5, 0, 1}, {200, 5, 2, 8},
+	}
+	for _, c := range cases {
+		k, rest := Valuation(c.n, c.p)
+		if k != c.wantK || rest != c.wantRest {
+			t.Errorf("Valuation(%d,%d) = (%d,%d), want (%d,%d)", c.n, c.p, k, rest, c.wantK, c.wantRest)
+		}
+	}
+}
+
+func TestDecomposePQ(t *testing.T) {
+	cases := []struct {
+		t, p, q int64
+		i, j    int
+		ok      bool
+	}{
+		{1, 2, 3, 0, 0, true},
+		{2, 2, 3, 1, 0, true},
+		{12, 2, 3, 2, 1, true},
+		{72, 2, 3, 3, 2, true},
+		{10, 2, 3, 0, 0, false}, // factor 5
+		{0, 2, 3, 0, 0, false},  // below 1
+		{12, 2, 2, 0, 0, false}, // p == q
+		{12, 4, 3, 0, 0, false}, // p not prime
+		{375, 3, 5, 1, 3, true}, // 3 * 125
+		{-6, 2, 3, 0, 0, false}, // negative
+	}
+	for _, c := range cases {
+		i, j, ok := DecomposePQ(c.t, c.p, c.q)
+		if ok != c.ok || (ok && (i != c.i || j != c.j)) {
+			t.Errorf("DecomposePQ(%d,%d,%d) = (%d,%d,%v), want (%d,%d,%v)",
+				c.t, c.p, c.q, i, j, ok, c.i, c.j, c.ok)
+		}
+	}
+}
+
+func TestDecomposePQRoundTrip(t *testing.T) {
+	// Every p^i * q^j decomposes back to (i, j).
+	for i := 0; i <= 12; i++ {
+		for j := 0; j <= 12; j++ {
+			pi, err := CheckedPow(2, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qj, err := CheckedPow(3, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := CheckedMul(pi, qj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gi, gj, ok := DecomposePQ(n, 2, 3)
+			if !ok || gi != i || gj != j {
+				t.Fatalf("DecomposePQ(%d,2,3) = (%d,%d,%v), want (%d,%d,true)", n, gi, gj, ok, i, j)
+			}
+		}
+	}
+}
+
+func TestIsPQPower(t *testing.T) {
+	// t = p^i q^{i-1}, i > 1: for p=2, q=3 the first few are 12, 72, 432.
+	cases := []struct {
+		t    int64
+		want bool
+	}{
+		{12, true}, {72, true}, {432, true}, {2592, true},
+		{2, false},  // i=1, j=0: i not > 1
+		{6, false},  // 2*3 = p^1 q^1
+		{24, false}, // 2^3*3
+		{1, false},  // i=0
+		{36, false}, // 2^2 3^2
+	}
+	for _, c := range cases {
+		if got := IsPQPower(c.t, 2, 3); got != c.want {
+			t.Errorf("IsPQPower(%d,2,3) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if g := GCD(12, 18); g != 6 {
+		t.Errorf("GCD(12,18) = %d, want 6", g)
+	}
+	if g := GCD(-12, 18); g != 6 {
+		t.Errorf("GCD(-12,18) = %d, want 6", g)
+	}
+	if g := GCD(0, 5); g != 5 {
+		t.Errorf("GCD(0,5) = %d, want 5", g)
+	}
+	l, err := LCM(4, 6)
+	if err != nil || l != 12 {
+		t.Errorf("LCM(4,6) = %d, %v; want 12", l, err)
+	}
+	if _, err := LCM(0, 3); err == nil {
+		t.Errorf("LCM(0,3) should fail")
+	}
+	if _, err := LCM(math.MaxInt64, math.MaxInt64-1); err == nil {
+		t.Errorf("LCM overflow should fail")
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		ax, ay := x, y
+		if ax < 0 {
+			ax = -ax
+		}
+		if ay < 0 {
+			ay = -ay
+		}
+		return ax%g == 0 && ay%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValuationProperty(t *testing.T) {
+	f := func(n uint16, pIdx uint8) bool {
+		if n == 0 {
+			return true
+		}
+		primes := []int64{2, 3, 5, 7, 11}
+		p := primes[int(pIdx)%len(primes)]
+		k, rest := Valuation(int64(n), p)
+		back := rest
+		for i := 0; i < k; i++ {
+			back *= p
+		}
+		return back == int64(n) && rest%p != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

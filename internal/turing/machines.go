@@ -1,0 +1,118 @@
+package turing
+
+// This file defines the concrete decider machines used as "computable
+// language" witnesses for Theorem 2.1. All use the classic marking
+// technique and run in O(n²) steps, so QuadraticFuel provides a sound
+// budget.
+
+// NewAnBn returns a decider for {aⁿbⁿ : n ≥ 1} over {a,b}.
+//
+// Algorithm: repeatedly cross off the leftmost 'a' (as X) and the leftmost
+// 'b' (as Y); accept when only X's and Y's remain in the right shape.
+func NewAnBn() *Machine {
+	d := map[Key]Action{
+		// q0: at the leftmost unprocessed cell.
+		{State: "q0", Read: 'a'}: {Next: "q1", Write: 'X', Move: Right},
+		{State: "q0", Read: 'Y'}: {Next: "q3", Write: 'Y', Move: Right},
+		// q1: scan right over a's and Y's to the first b.
+		{State: "q1", Read: 'a'}: {Next: "q1", Write: 'a', Move: Right},
+		{State: "q1", Read: 'Y'}: {Next: "q1", Write: 'Y', Move: Right},
+		{State: "q1", Read: 'b'}: {Next: "q2", Write: 'Y', Move: Left},
+		// q2: scan left back to the X boundary.
+		{State: "q2", Read: 'a'}: {Next: "q2", Write: 'a', Move: Left},
+		{State: "q2", Read: 'Y'}: {Next: "q2", Write: 'Y', Move: Left},
+		{State: "q2", Read: 'X'}: {Next: "q0", Write: 'X', Move: Right},
+		// q3: verify only Y's remain.
+		{State: "q3", Read: 'Y'}: {Next: "q3", Write: 'Y', Move: Right},
+		{State: "q3", Read: '_'}: {Next: "acc", Write: '_', Move: Stay},
+	}
+	return &Machine{
+		Name:          "TM a^n b^n",
+		Start:         "q0",
+		Accept:        "acc",
+		Reject:        "rej",
+		Blank:         '_',
+		Delta:         d,
+		InputAlphabet: []rune{'a', 'b'},
+	}
+}
+
+// NewAnBnCn returns a decider for the non-context-free {aⁿbⁿcⁿ : n ≥ 1}
+// over {a,b,c}.
+//
+// Algorithm: each sweep crosses one 'a' (X), one 'b' (Y) and one 'c' (Z);
+// accept when the tape is exactly X..XY..YZ..Z.
+func NewAnBnCn() *Machine {
+	d := map[Key]Action{
+		// q0: at the leftmost unprocessed cell.
+		{State: "q0", Read: 'a'}: {Next: "q1", Write: 'X', Move: Right},
+		{State: "q0", Read: 'Y'}: {Next: "q4", Write: 'Y', Move: Right},
+		// q1: scan right over a's and Y's to the first b.
+		{State: "q1", Read: 'a'}: {Next: "q1", Write: 'a', Move: Right},
+		{State: "q1", Read: 'Y'}: {Next: "q1", Write: 'Y', Move: Right},
+		{State: "q1", Read: 'b'}: {Next: "q2", Write: 'Y', Move: Right},
+		// q2: scan right over b's and Z's to the first c.
+		{State: "q2", Read: 'b'}: {Next: "q2", Write: 'b', Move: Right},
+		{State: "q2", Read: 'Z'}: {Next: "q2", Write: 'Z', Move: Right},
+		{State: "q2", Read: 'c'}: {Next: "q3", Write: 'Z', Move: Left},
+		// q3: scan left back to the X boundary.
+		{State: "q3", Read: 'a'}: {Next: "q3", Write: 'a', Move: Left},
+		{State: "q3", Read: 'b'}: {Next: "q3", Write: 'b', Move: Left},
+		{State: "q3", Read: 'Y'}: {Next: "q3", Write: 'Y', Move: Left},
+		{State: "q3", Read: 'Z'}: {Next: "q3", Write: 'Z', Move: Left},
+		{State: "q3", Read: 'X'}: {Next: "q0", Write: 'X', Move: Right},
+		// q4: verify the remainder is Y*Z*.
+		{State: "q4", Read: 'Y'}: {Next: "q4", Write: 'Y', Move: Right},
+		{State: "q4", Read: 'Z'}: {Next: "q5", Write: 'Z', Move: Right},
+		// q5: verify the tail is Z*.
+		{State: "q5", Read: 'Z'}: {Next: "q5", Write: 'Z', Move: Right},
+		{State: "q5", Read: '_'}: {Next: "acc", Write: '_', Move: Stay},
+	}
+	return &Machine{
+		Name:          "TM a^n b^n c^n",
+		Start:         "q0",
+		Accept:        "acc",
+		Reject:        "rej",
+		Blank:         '_',
+		Delta:         d,
+		InputAlphabet: []rune{'a', 'b', 'c'},
+	}
+}
+
+// NewPalindrome returns a decider for palindromes over {a,b} (ε included).
+//
+// Algorithm: erase the first symbol, run to the last symbol, check it
+// matches, erase it, and repeat inward.
+func NewPalindrome() *Machine {
+	d := map[Key]Action{
+		// q0: look at the leftmost remaining symbol.
+		{State: "q0", Read: 'a'}: {Next: "ra", Write: '_', Move: Right},
+		{State: "q0", Read: 'b'}: {Next: "rb", Write: '_', Move: Right},
+		{State: "q0", Read: '_'}: {Next: "acc", Write: '_', Move: Stay},
+		// ra/rb: run right to the end of the word.
+		{State: "ra", Read: 'a'}: {Next: "ra", Write: 'a', Move: Right},
+		{State: "ra", Read: 'b'}: {Next: "ra", Write: 'b', Move: Right},
+		{State: "ra", Read: '_'}: {Next: "ca", Write: '_', Move: Left},
+		{State: "rb", Read: 'a'}: {Next: "rb", Write: 'a', Move: Right},
+		{State: "rb", Read: 'b'}: {Next: "rb", Write: 'b', Move: Right},
+		{State: "rb", Read: '_'}: {Next: "cb", Write: '_', Move: Left},
+		// ca/cb: check the last symbol matches the erased first one.
+		{State: "ca", Read: 'a'}: {Next: "back", Write: '_', Move: Left},
+		{State: "ca", Read: '_'}: {Next: "acc", Write: '_', Move: Stay}, // odd center
+		{State: "cb", Read: 'b'}: {Next: "back", Write: '_', Move: Left},
+		{State: "cb", Read: '_'}: {Next: "acc", Write: '_', Move: Stay},
+		// back: run left to the start of the remaining word.
+		{State: "back", Read: 'a'}: {Next: "back", Write: 'a', Move: Left},
+		{State: "back", Read: 'b'}: {Next: "back", Write: 'b', Move: Left},
+		{State: "back", Read: '_'}: {Next: "q0", Write: '_', Move: Right},
+	}
+	return &Machine{
+		Name:          "TM palindromes",
+		Start:         "q0",
+		Accept:        "acc",
+		Reject:        "rej",
+		Blank:         '_',
+		Delta:         d,
+		InputAlphabet: []rune{'a', 'b'},
+	}
+}

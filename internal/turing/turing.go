@@ -1,0 +1,276 @@
+// Package turing implements a deterministic single-tape Turing machine
+// substrate. Theorem 2.1 of the paper states that every computable language
+// is the no-wait language of some time-varying graph; the machines in this
+// package are the concrete "computable language" witnesses that the
+// construct package turns into TVGs, and the fuel-bounded runner is the
+// decision procedure driving those TVGs' presence functions.
+package turing
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Move is a head movement direction.
+type Move int8
+
+// Head movements. Stay is permitted (it does not affect decidability).
+const (
+	Left  Move = -1
+	Stay  Move = 0
+	Right Move = 1
+)
+
+func (m Move) String() string {
+	switch m {
+	case Left:
+		return "L"
+	case Stay:
+		return "S"
+	case Right:
+		return "R"
+	default:
+		return fmt.Sprintf("Move(%d)", int8(m))
+	}
+}
+
+// Key indexes the transition function: the current state and read symbol.
+type Key struct {
+	State string
+	Read  rune
+}
+
+// Action is the effect of a transition: next state, symbol written, and
+// head movement.
+type Action struct {
+	Next  string
+	Write rune
+	Move  Move
+}
+
+// Machine is a deterministic single-tape Turing machine. A missing
+// transition on (state, symbol) halts and rejects, so Delta only needs the
+// productive transitions. Accept and Reject are halting states.
+type Machine struct {
+	// Name identifies the machine in reports.
+	Name string
+	// Start, Accept and Reject are the distinguished states.
+	Start, Accept, Reject string
+	// Blank is the blank tape symbol; it must not appear in inputs.
+	Blank rune
+	// Delta is the transition function.
+	Delta map[Key]Action
+	// InputAlphabet lists the symbols valid in inputs.
+	InputAlphabet []rune
+}
+
+// Validate checks structural sanity: non-empty states, blank not in the
+// input alphabet, and transitions only mentioning declared behaviour.
+func (m *Machine) Validate() error {
+	if m.Start == "" || m.Accept == "" || m.Reject == "" {
+		return errors.New("turing: machine must declare start, accept and reject states")
+	}
+	if m.Accept == m.Reject {
+		return errors.New("turing: accept and reject states must differ")
+	}
+	for _, r := range m.InputAlphabet {
+		if r == m.Blank {
+			return fmt.Errorf("turing: blank symbol %q appears in the input alphabet", r)
+		}
+	}
+	for k, a := range m.Delta {
+		if k.State == m.Accept || k.State == m.Reject {
+			return fmt.Errorf("turing: transition out of halting state %q", k.State)
+		}
+		if a.Move != Left && a.Move != Right && a.Move != Stay {
+			return fmt.Errorf("turing: invalid move %d in transition from %q", a.Move, k.State)
+		}
+	}
+	return nil
+}
+
+// ErrOutOfFuel is returned by Run when the machine did not halt within the
+// step budget.
+var ErrOutOfFuel = errors.New("turing: out of fuel")
+
+// Result describes a halted run.
+type Result struct {
+	// Accepted is true if the machine halted in the accept state.
+	Accepted bool
+	// Steps is the number of transitions taken.
+	Steps int
+	// Tape is the final tape contents with leading/trailing blanks trimmed.
+	Tape string
+}
+
+// Run executes the machine on the input with at most fuel steps. It
+// returns ErrOutOfFuel if the machine does not halt in time, and an input
+// error if the input contains symbols outside the input alphabet.
+func (m *Machine) Run(input string, fuel int) (Result, error) {
+	for _, r := range input {
+		if !contains(m.InputAlphabet, r) {
+			return Result{}, fmt.Errorf("turing: input symbol %q not in alphabet of %s", r, m.Name)
+		}
+	}
+	t := newTape(input, m.Blank)
+	state := m.Start
+	steps := 0
+	for state != m.Accept && state != m.Reject {
+		if steps >= fuel {
+			return Result{}, ErrOutOfFuel
+		}
+		act, ok := m.Delta[Key{State: state, Read: t.read()}]
+		if !ok {
+			state = m.Reject
+			break
+		}
+		t.write(act.Write)
+		t.move(act.Move)
+		state = act.Next
+		steps++
+	}
+	return Result{Accepted: state == m.Accept, Steps: steps, Tape: t.trimmed()}, nil
+}
+
+// Decide runs the machine and reports acceptance; inputs with foreign
+// symbols are rejected (not an error), matching the Language convention.
+func (m *Machine) Decide(input string, fuel int) (bool, error) {
+	for _, r := range input {
+		if !contains(m.InputAlphabet, r) {
+			return false, nil
+		}
+	}
+	res, err := m.Run(input, fuel)
+	if err != nil {
+		return false, err
+	}
+	return res.Accepted, nil
+}
+
+// QuadraticFuel returns a fuel policy of the form c·(n+2)² steps for
+// inputs of length n, ample for the marking-style deciders in this package.
+func QuadraticFuel(c int) func(n int) int {
+	return func(n int) int { return c * (n + 2) * (n + 2) }
+}
+
+// Trace runs the machine and returns the sequence of configurations
+// rendered as "state | tape-with-head", capped at fuel steps. It is a
+// debugging and documentation aid.
+func (m *Machine) Trace(input string, fuel int) ([]string, error) {
+	t := newTape(input, m.Blank)
+	state := m.Start
+	out := []string{render(state, t)}
+	for steps := 0; state != m.Accept && state != m.Reject; steps++ {
+		if steps >= fuel {
+			return out, ErrOutOfFuel
+		}
+		act, ok := m.Delta[Key{State: state, Read: t.read()}]
+		if !ok {
+			state = m.Reject
+			out = append(out, render(state, t))
+			break
+		}
+		t.write(act.Write)
+		t.move(act.Move)
+		state = act.Next
+		out = append(out, render(state, t))
+	}
+	return out, nil
+}
+
+func render(state string, t *tape) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s |", state)
+	lo, hi := t.bounds()
+	for i := lo; i <= hi; i++ {
+		if i == t.pos {
+			fmt.Fprintf(&b, "[%c]", t.at(i))
+		} else {
+			fmt.Fprintf(&b, " %c ", t.at(i))
+		}
+	}
+	return b.String()
+}
+
+func contains(rs []rune, r rune) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// tape is a two-way infinite tape implemented as two stacks around an
+// origin, with the head position tracked as an integer offset.
+type tape struct {
+	right []rune // cells 0, 1, 2, ...
+	left  []rune // cells -1, -2, ...
+	pos   int
+	blank rune
+}
+
+func newTape(input string, blank rune) *tape {
+	return &tape{right: []rune(input), blank: blank}
+}
+
+func (t *tape) at(i int) rune {
+	if i >= 0 {
+		if i < len(t.right) {
+			return t.right[i]
+		}
+		return t.blank
+	}
+	j := -i - 1
+	if j < len(t.left) {
+		return t.left[j]
+	}
+	return t.blank
+}
+
+func (t *tape) read() rune { return t.at(t.pos) }
+
+func (t *tape) write(r rune) {
+	if t.pos >= 0 {
+		for t.pos >= len(t.right) {
+			t.right = append(t.right, t.blank)
+		}
+		t.right[t.pos] = r
+		return
+	}
+	j := -t.pos - 1
+	for j >= len(t.left) {
+		t.left = append(t.left, t.blank)
+	}
+	t.left[j] = r
+}
+
+func (t *tape) move(m Move) { t.pos += int(m) }
+
+func (t *tape) bounds() (lo, hi int) {
+	lo = -len(t.left)
+	hi = len(t.right) - 1
+	if t.pos < lo {
+		lo = t.pos
+	}
+	if t.pos > hi {
+		hi = t.pos
+	}
+	return lo, hi
+}
+
+func (t *tape) trimmed() string {
+	lo, hi := t.bounds()
+	for lo <= hi && t.at(lo) == t.blank {
+		lo++
+	}
+	for hi >= lo && t.at(hi) == t.blank {
+		hi--
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		b.WriteRune(t.at(i))
+	}
+	return b.String()
+}

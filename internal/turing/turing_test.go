@@ -1,0 +1,230 @@
+package turing
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tvgwait/internal/lang"
+)
+
+func TestValidate(t *testing.T) {
+	for _, m := range []*Machine{NewAnBn(), NewAnBnCn(), NewPalindrome()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := &Machine{Start: "q0", Accept: "acc", Reject: "acc", Blank: '_'}
+	if err := bad.Validate(); err == nil {
+		t.Error("accept == reject should fail validation")
+	}
+	bad2 := &Machine{Start: "q0", Accept: "a", Reject: "r", Blank: 'x', InputAlphabet: []rune{'x'}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("blank in input alphabet should fail validation")
+	}
+	bad3 := &Machine{
+		Start: "q0", Accept: "a", Reject: "r", Blank: '_',
+		Delta: map[Key]Action{{State: "a", Read: 'x'}: {Next: "a", Write: 'x', Move: Stay}},
+	}
+	if err := bad3.Validate(); err == nil {
+		t.Error("transition out of halting state should fail validation")
+	}
+	bad4 := &Machine{
+		Start: "q0", Accept: "a", Reject: "r", Blank: '_',
+		Delta: map[Key]Action{{State: "q0", Read: 'x'}: {Next: "a", Write: 'x', Move: Move(5)}},
+	}
+	if err := bad4.Validate(); err == nil {
+		t.Error("invalid move should fail validation")
+	}
+	var missing Machine
+	if err := missing.Validate(); err == nil {
+		t.Error("missing states should fail validation")
+	}
+}
+
+func TestAnBnMachine(t *testing.T) {
+	m := NewAnBn()
+	fuel := QuadraticFuel(10)
+	oracle := lang.AnBn()
+	for _, w := range lang.WordsUpTo(oracle, 10) {
+		got, err := m.Decide(w, fuel(len(w)))
+		if err != nil {
+			t.Fatalf("Decide(%q): %v", w, err)
+		}
+		if got != oracle.Contains(w) {
+			t.Errorf("TM disagrees with oracle on %q: got %v", w, got)
+		}
+	}
+}
+
+func TestAnBnCnMachine(t *testing.T) {
+	m := NewAnBnCn()
+	fuel := QuadraticFuel(10)
+	oracle := lang.AnBnCn()
+	for _, w := range lang.WordsUpTo(oracle, 9) {
+		got, err := m.Decide(w, fuel(len(w)))
+		if err != nil {
+			t.Fatalf("Decide(%q): %v", w, err)
+		}
+		if got != oracle.Contains(w) {
+			t.Errorf("TM disagrees with oracle on %q: got %v", w, got)
+		}
+	}
+}
+
+func TestPalindromeMachine(t *testing.T) {
+	m := NewPalindrome()
+	fuel := QuadraticFuel(10)
+	oracle := lang.Palindromes()
+	for _, w := range lang.WordsUpTo(oracle, 9) {
+		got, err := m.Decide(w, fuel(len(w)))
+		if err != nil {
+			t.Fatalf("Decide(%q): %v", w, err)
+		}
+		if got != oracle.Contains(w) {
+			t.Errorf("TM disagrees with oracle on %q: got %v", w, got)
+		}
+	}
+}
+
+func TestRunDetails(t *testing.T) {
+	m := NewAnBn()
+	res, err := m.Run("aabb", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Error("aabb should be accepted")
+	}
+	if res.Steps <= 0 {
+		t.Error("steps should be positive")
+	}
+	if !strings.Contains(res.Tape, "X") || !strings.Contains(res.Tape, "Y") {
+		t.Errorf("final tape %q should contain markers", res.Tape)
+	}
+	// Rejection through missing transition.
+	res, err = m.Run("ba", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Error("ba should be rejected")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	m := NewAnBn()
+	if _, err := m.Run("axb", 100); err == nil {
+		t.Error("foreign input symbol should be an error for Run")
+	}
+	// Decide treats foreign symbols as non-membership.
+	ok, err := m.Decide("axb", 100)
+	if err != nil || ok {
+		t.Errorf("Decide(axb) = %v, %v; want false, nil", ok, err)
+	}
+}
+
+func TestOutOfFuel(t *testing.T) {
+	m := NewAnBn()
+	_, err := m.Run("aaaabbbb", 3)
+	if !errors.Is(err, ErrOutOfFuel) {
+		t.Errorf("err = %v, want ErrOutOfFuel", err)
+	}
+}
+
+func TestQuadraticFuel(t *testing.T) {
+	f := QuadraticFuel(2)
+	if f(0) != 8 || f(3) != 50 {
+		t.Errorf("QuadraticFuel values wrong: f(0)=%d f(3)=%d", f(0), f(3))
+	}
+	// The fuel bound is actually sufficient for the largest tested word.
+	m := NewAnBnCn()
+	w := strings.Repeat("a", 20) + strings.Repeat("b", 20) + strings.Repeat("c", 20)
+	res, err := m.Run(w, QuadraticFuel(10)(len(w)))
+	if err != nil || !res.Accepted {
+		t.Errorf("long aⁿbⁿcⁿ: %v, %v", res, err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := NewAnBn()
+	tr, err := m.Trace("ab", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) < 3 {
+		t.Fatalf("trace too short: %v", tr)
+	}
+	if !strings.HasPrefix(tr[0], "q0") {
+		t.Errorf("trace should start in q0: %q", tr[0])
+	}
+	last := tr[len(tr)-1]
+	if !strings.HasPrefix(last, "acc") {
+		t.Errorf("trace should end in acc: %q", last)
+	}
+	// Trace of a rejected word ends in rej.
+	tr, err = m.Trace("b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tr[len(tr)-1], "rej") {
+		t.Errorf("rejected trace should end in rej: %q", tr[len(tr)-1])
+	}
+	// Out-of-fuel trace reports the error.
+	if _, err := m.Trace("aabb", 2); !errors.Is(err, ErrOutOfFuel) {
+		t.Errorf("Trace fuel: %v", err)
+	}
+}
+
+func TestTapeLeftExpansion(t *testing.T) {
+	// A machine that walks left and writes, exercising the negative tape.
+	m := &Machine{
+		Name: "left-walker", Start: "q0", Accept: "acc", Reject: "rej", Blank: '_',
+		InputAlphabet: []rune{'a'},
+		Delta: map[Key]Action{
+			{State: "q0", Read: 'a'}: {Next: "q1", Write: 'a', Move: Left},
+			{State: "q1", Read: '_'}: {Next: "q2", Write: 'x', Move: Left},
+			{State: "q2", Read: '_'}: {Next: "acc", Write: 'y', Move: Stay},
+		},
+	}
+	res, err := m.Run("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.Tape != "yxa" {
+		t.Errorf("left expansion: %+v", res)
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if Left.String() != "L" || Right.String() != "R" || Stay.String() != "S" {
+		t.Error("Move.String wrong")
+	}
+	if Move(9).String() != "Move(9)" {
+		t.Errorf("unknown move formatting: %q", Move(9).String())
+	}
+}
+
+func TestStepCountsAreQuadratic(t *testing.T) {
+	// Sanity-check the documented complexity: steps for a^n b^n grow
+	// sub-cubically (well within the quadratic fuel budget).
+	m := NewAnBn()
+	prev := 0
+	for n := 1; n <= 12; n++ {
+		w := strings.Repeat("a", n) + strings.Repeat("b", n)
+		res, err := m.Run(w, QuadraticFuel(10)(len(w)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("n=%d should accept", n)
+		}
+		if res.Steps <= prev {
+			t.Fatalf("steps should grow with n: %d then %d", prev, res.Steps)
+		}
+		if res.Steps > 10*(2*n+2)*(2*n+2) {
+			t.Fatalf("steps %d exceed quadratic budget at n=%d", res.Steps, n)
+		}
+		prev = res.Steps
+	}
+}

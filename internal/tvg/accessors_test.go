@@ -1,0 +1,114 @@
+package tvg
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests cover the small accessor and Stringer surfaces directly in
+// this package (they are otherwise exercised only by dependent packages).
+func TestGraphScheduleAccessors(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: NewTimeSet(3), Latency: ConstLatency(2)})
+
+	if !g.Present(0, 3) || g.Present(0, 4) {
+		t.Error("Present wrong")
+	}
+	if g.Present(EdgeID(9), 3) || g.Present(EdgeID(-1), 3) {
+		t.Error("Present on invalid edge should be false")
+	}
+	if g.Crossing(0, 3) != 2 {
+		t.Error("Crossing wrong")
+	}
+	if g.Arrival(0, 3) != 5 {
+		t.Error("Arrival wrong")
+	}
+	edges := g.Edges()
+	if len(edges) != 1 || edges[0].Label != 'a' {
+		t.Errorf("Edges() = %v", edges)
+	}
+	// The returned slice is a copy: mutating it must not affect the graph.
+	edges[0].Label = 'z'
+	if e, _ := g.Edge(0); e.Label != 'a' {
+		t.Error("Edges() leaked internal state")
+	}
+}
+
+func TestScheduleStringers(t *testing.T) {
+	cases := []struct {
+		s    any
+		want string
+	}{
+		{Always{}, "always"},
+		{Never{}, "never"},
+		{ConstLatency(3), "ζ=3"},
+		{ScaleLatency{Factor: 2}, "ζ=(2-1)t"},
+		{ScaleLatency{Factor: 3, Offset: 1}, "ζ=(3-1)t+1"},
+	}
+	for _, c := range cases {
+		str, ok := c.s.(interface{ String() string })
+		if !ok {
+			t.Fatalf("%T has no String", c.s)
+		}
+		if got := str.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSchedulePeriodDeclarations(t *testing.T) {
+	for _, s := range []any{Always{}, Never{}, ConstLatency(5)} {
+		p, ok := s.(Periodicity)
+		if !ok {
+			t.Fatalf("%T does not declare periodicity", s)
+		}
+		if per, ok := p.Period(); !ok || per != 1 {
+			t.Errorf("%T.Period() = %d, %v; want 1, true", s, per, ok)
+		}
+	}
+}
+
+func TestCompiledOutOfRangeQueries(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{}, Latency: ConstLatency(1)})
+	c, err := Compile(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Departures(EdgeID(7)); got != nil {
+		t.Error("Departures on bad id should be nil")
+	}
+	if got := c.NumDepartures(EdgeID(-2)); got != 0 {
+		t.Error("NumDepartures on bad id should be 0")
+	}
+	if _, ok := c.NextDeparture(EdgeID(7), 0); ok {
+		t.Error("NextDeparture on bad id should fail")
+	}
+	var visited int
+	c.EachDeparture(EdgeID(7), 0, 5, func(Time, Time) bool { visited++; return true })
+	if visited != 0 {
+		t.Error("EachDeparture on bad id should not visit")
+	}
+	if c.PresentAt(EdgeID(7), 0) {
+		t.Error("PresentAt on bad id should be false")
+	}
+}
+
+func TestDOTSchedulerStringFallback(t *testing.T) {
+	// A schedule without a String method falls back to its type name.
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a',
+		Presence: PresenceFunc(func(Time) bool { return true }),
+		Latency:  ConstLatency(1)})
+	var b strings.Builder
+	if err := g.WriteDOT(&b, DOTOptions{ShowSchedules: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "PresenceFunc") {
+		t.Errorf("fallback type name missing:\n%s", b.String())
+	}
+}

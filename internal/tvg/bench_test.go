@@ -1,0 +1,90 @@
+package tvg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Ablation: compile cost by schedule kind — function-backed schedules pay
+// a call per tick, TimeSets pay a search, periodic pays an index.
+func BenchmarkCompileScheduleKinds(b *testing.B) {
+	const horizon = 5000
+	mk := func(p Presence) *Graph {
+		g := New()
+		u := g.AddNode("u")
+		v := g.AddNode("v")
+		g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: p, Latency: ConstLatency(1)})
+		return g
+	}
+	periodic, err := NewPeriodicPresence([]bool{true, false, false, true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	times := make([]Time, 0, horizon/3)
+	for t := Time(0); t <= horizon; t += 3 {
+		times = append(times, t)
+	}
+	kinds := []struct {
+		name string
+		g    *Graph
+	}{
+		{"always", mk(Always{})},
+		{"periodic", mk(periodic)},
+		{"timeset", mk(NewTimeSet(times...))},
+		{"func", mk(PresenceFunc(func(t Time) bool { return t%3 == 0 }))},
+	}
+	for _, k := range kinds {
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(k.g, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompileHorizonSweep(b *testing.B) {
+	g := New()
+	g.AddNodes(8)
+	for i := 0; i < 16; i++ {
+		p, err := NewPeriodicPresence([]bool{i%2 == 0, true, false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.MustAddEdge(Edge{
+			From: Node(i % 8), To: Node((i + 1) % 8), Label: 'a',
+			Presence: p, Latency: ConstLatency(1),
+		})
+	}
+	for _, horizon := range []Time{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("h=%d", horizon), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(g, horizon); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNextDeparture(b *testing.B) {
+	g := New()
+	u := g.AddNode("u")
+	p, err := NewPeriodicPresence([]bool{true, false, false, false, true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: p, Latency: ConstLatency(1)})
+	c, err := Compile(g, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.NextDeparture(0, Time(i%9000)); !ok {
+			b.Fatal("departure must exist")
+		}
+	}
+}

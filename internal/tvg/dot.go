@@ -1,0 +1,58 @@
+package tvg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls WriteDOT rendering.
+type DOTOptions struct {
+	// Name is the graph name in the DOT output. Defaults to "tvg".
+	Name string
+	// Initial and Accepting mark automaton roles for node styling; both may
+	// be nil for a plain TVG rendering.
+	Initial, Accepting map[Node]bool
+	// ShowSchedules appends each edge's presence/latency description (via
+	// fmt.Stringer when implemented) to its label.
+	ShowSchedules bool
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. It is a debugging and
+// documentation aid: the output mirrors Figure 1 of the paper when applied
+// to the anbn construction.
+func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "tvg"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		shape := "circle"
+		if opts.Accepting[n] {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n, g.NodeName(n), shape)
+		if opts.Initial[n] {
+			fmt.Fprintf(&b, "  start%d [shape=point style=invis];\n  start%d -> n%d;\n", n, n, n)
+		}
+	}
+	for i, e := range g.edges {
+		label := fmt.Sprintf("%s: %c", e.Name, e.Label)
+		if opts.ShowSchedules {
+			label += "\\n" + scheduleString(e.Presence) + " " + scheduleString(e.Latency)
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q]; // edge %d\n", e.From, e.To, label, i)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func scheduleString(s any) string {
+	if str, ok := s.(fmt.Stringer); ok {
+		return str.String()
+	}
+	return fmt.Sprintf("%T", s)
+}

@@ -1,0 +1,76 @@
+package tvg
+
+import "fmt"
+
+// ConstLatency is a latency schedule with a fixed crossing time.
+type ConstLatency Time
+
+// Crossing implements Latency.
+func (c ConstLatency) Crossing(Time) Time { return Time(c) }
+
+// Period implements Periodicity with period 1.
+func (ConstLatency) Period() (Time, bool) { return 1, true }
+
+func (c ConstLatency) String() string { return fmt.Sprintf("ζ=%d", Time(c)) }
+
+// ScaleLatency is the latency schedule ζ(t) = (Factor-1)·t + Offset, so a
+// traversal departing at time t arrives at Factor·t + Offset. Table 1 of
+// the paper uses ζ(e0, t) = (p-1)t (arrival p·t) and ζ(e1, t) = (q-1)t
+// (arrival q·t): these are ScaleLatency{Factor: p} and {Factor: q}.
+type ScaleLatency struct {
+	// Factor is the multiplicative arrival factor; must be >= 1.
+	Factor Time
+	// Offset is added to the crossing time.
+	Offset Time
+}
+
+// Crossing implements Latency.
+func (s ScaleLatency) Crossing(t Time) Time { return (s.Factor-1)*t + s.Offset }
+
+func (s ScaleLatency) String() string {
+	if s.Offset == 0 {
+		return fmt.Sprintf("ζ=(%d-1)t", s.Factor)
+	}
+	return fmt.Sprintf("ζ=(%d-1)t+%d", s.Factor, s.Offset)
+}
+
+// PeriodicLatency repeats a fixed pattern of crossing times forever:
+// the latency at time t is the pattern value at t mod period.
+type PeriodicLatency struct {
+	pattern []Time
+}
+
+// NewPeriodicLatency builds a periodic latency schedule. The pattern must
+// be non-empty and every entry must be >= 1.
+func NewPeriodicLatency(pattern []Time) (*PeriodicLatency, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("tvg: periodic latency requires a non-empty pattern")
+	}
+	for i, l := range pattern {
+		if l < 1 {
+			return nil, fmt.Errorf("tvg: periodic latency entry %d is %d, must be >= 1", i, l)
+		}
+	}
+	cp := make([]Time, len(pattern))
+	copy(cp, pattern)
+	return &PeriodicLatency{pattern: cp}, nil
+}
+
+// Crossing implements Latency.
+func (s *PeriodicLatency) Crossing(t Time) Time {
+	if t < 0 {
+		t = 0
+	}
+	return s.pattern[int(t%Time(len(s.pattern)))]
+}
+
+// Period implements Periodicity.
+func (s *PeriodicLatency) Period() (Time, bool) { return Time(len(s.pattern)), true }
+
+// LatencyFunc adapts an arbitrary function to the Latency interface.
+// It is the escape hatch used by the Theorem 2.1 construction, where the
+// latency is chosen so that the arrival time encodes the word read so far.
+type LatencyFunc func(t Time) Time
+
+// Crossing implements Latency.
+func (f LatencyFunc) Crossing(t Time) Time { return f(t) }

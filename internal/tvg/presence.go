@@ -1,0 +1,176 @@
+package tvg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Always is a presence schedule that is available at every time.
+type Always struct{}
+
+// Present implements Presence; it is always true.
+func (Always) Present(Time) bool { return true }
+
+// Period implements Periodicity with period 1.
+func (Always) Period() (Time, bool) { return 1, true }
+
+func (Always) String() string { return "always" }
+
+// Never is a presence schedule that is never available.
+type Never struct{}
+
+// Present implements Presence; it is always false.
+func (Never) Present(Time) bool { return false }
+
+// Period implements Periodicity with period 1.
+func (Never) Period() (Time, bool) { return 1, true }
+
+func (Never) String() string { return "never" }
+
+// TimeSet is a finite set of instants at which the edge is present.
+type TimeSet struct {
+	times []Time // sorted, deduplicated
+}
+
+// NewTimeSet builds a TimeSet from the given instants.
+func NewTimeSet(times ...Time) *TimeSet {
+	ts := make([]Time, len(times))
+	copy(ts, times)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	dedup := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return &TimeSet{times: dedup}
+}
+
+// Present implements Presence by binary search.
+func (s *TimeSet) Present(t Time) bool {
+	i := sort.Search(len(s.times), func(i int) bool { return s.times[i] >= t })
+	return i < len(s.times) && s.times[i] == t
+}
+
+// Times returns a copy of the sorted instants.
+func (s *TimeSet) Times() []Time {
+	out := make([]Time, len(s.times))
+	copy(out, s.times)
+	return out
+}
+
+func (s *TimeSet) String() string {
+	parts := make([]string, len(s.times))
+	for i, t := range s.times {
+		parts[i] = fmt.Sprintf("%d", t)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Interval is a half-open time interval [Start, End).
+type Interval struct {
+	Start, End Time
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t Time) bool { return t >= iv.Start && t < iv.End }
+
+// Intervals is a presence schedule given by a union of half-open intervals.
+type Intervals struct {
+	ivs []Interval // sorted by Start, non-overlapping
+}
+
+// NewIntervals builds an Intervals schedule. Overlapping or touching
+// intervals are merged; empty intervals are dropped.
+func NewIntervals(ivs ...Interval) *Intervals {
+	cp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.End > iv.Start {
+			cp = append(cp, iv)
+		}
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Start < cp[j].Start })
+	merged := cp[:0]
+	for _, iv := range cp {
+		if n := len(merged); n > 0 && iv.Start <= merged[n-1].End {
+			if iv.End > merged[n-1].End {
+				merged[n-1].End = iv.End
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return &Intervals{ivs: merged}
+}
+
+// Present implements Presence by binary search over the intervals.
+func (s *Intervals) Present(t Time) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// Spans returns a copy of the merged intervals.
+func (s *Intervals) Spans() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+func (s *Intervals) String() string {
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+	}
+	return strings.Join(parts, "∪")
+}
+
+// PeriodicPresence repeats a fixed pattern of length Period() forever:
+// the edge is present at time t iff the pattern bit at t mod period is set.
+// Negative times are never present.
+type PeriodicPresence struct {
+	pattern []bool
+}
+
+// NewPeriodicPresence builds a periodic presence schedule from the pattern.
+// The pattern must be non-empty.
+func NewPeriodicPresence(pattern []bool) (*PeriodicPresence, error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("tvg: periodic presence requires a non-empty pattern")
+	}
+	cp := make([]bool, len(pattern))
+	copy(cp, pattern)
+	return &PeriodicPresence{pattern: cp}, nil
+}
+
+// Present implements Presence.
+func (s *PeriodicPresence) Present(t Time) bool {
+	if t < 0 {
+		return false
+	}
+	return s.pattern[int(t%Time(len(s.pattern)))]
+}
+
+// Period implements Periodicity.
+func (s *PeriodicPresence) Period() (Time, bool) { return Time(len(s.pattern)), true }
+
+func (s *PeriodicPresence) String() string {
+	var b strings.Builder
+	for _, p := range s.pattern {
+		if p {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return "periodic:" + b.String()
+}
+
+// PresenceFunc adapts an arbitrary function to the Presence interface.
+// It is the escape hatch used by the Theorem 2.1 construction, where
+// presence is computed by running a decision procedure on the word encoded
+// by the current time.
+type PresenceFunc func(t Time) bool
+
+// Present implements Presence.
+func (f PresenceFunc) Present(t Time) bool { return f(t) }

@@ -1,0 +1,68 @@
+package tvg
+
+// SnapshotAt returns the ids of the edges present at time t: the static
+// graph G_t in the snapshot view of the TVG.
+func (g *Graph) SnapshotAt(t Time) []EdgeID {
+	var out []EdgeID
+	for i := range g.edges {
+		if g.edges[i].Presence.Present(t) {
+			out = append(out, EdgeID(i))
+		}
+	}
+	return out
+}
+
+// Footprint returns the ids of the edges present at least once in
+// [0, horizon]: the footprint (underlying) graph of the TVG restricted to
+// that window. For a graph whose schedules all declare a period P (see
+// Period), the footprint over one period equals the footprint over any
+// horizon >= P-1.
+func (g *Graph) Footprint(horizon Time) []EdgeID {
+	var out []EdgeID
+	for i := range g.edges {
+		for t := Time(0); t <= horizon; t++ {
+			if g.edges[i].Presence.Present(t) {
+				out = append(out, EdgeID(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsRecurrent reports whether, for every edge that is present at least once
+// in [0, probe], the edge is present at some time in every window of length
+// window within [0, probe]. Periodic graphs with window >= period are
+// recurrent; recurrence is the condition under which the footprint
+// automaton recognizes exactly L_wait (see construct.FootprintNFA).
+func (g *Graph) IsRecurrent(window, probe Time) bool {
+	if window <= 0 || probe < window {
+		return false
+	}
+	for i := range g.edges {
+		pres := g.edges[i].Presence
+		everPresent := false
+		for t := Time(0); t <= probe; t++ {
+			if pres.Present(t) {
+				everPresent = true
+				break
+			}
+		}
+		if !everPresent {
+			continue
+		}
+		for start := Time(0); start+window-1 <= probe; start++ {
+			found := false
+			for t := start; t < start+window; t++ {
+				if pres.Present(t) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}

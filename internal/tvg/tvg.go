@@ -1,0 +1,298 @@
+// Package tvg implements the time-varying graph (TVG) model of
+// Casteigts, Flocchini, Quattrociocchi and Santoro ("Time-varying graphs
+// and dynamic networks", ADHOC-NOW 2011), which the paper "Waiting in
+// Dynamic Networks" (PODC 2012) builds on.
+//
+// A TVG is a quintuple G = (V, E, T, ρ, ζ) where V is a finite set of
+// nodes, E ⊆ V×V×Σ a finite set of edges labeled over an alphabet Σ,
+// ρ : E×T → {0,1} the presence function and ζ : E×T → T the latency
+// function. This package uses discrete time (T = ℕ, represented as int64)
+// and requires latencies to be at least 1, which guarantees that every
+// journey makes progress; see DESIGN.md §4 for the rationale.
+//
+// The package provides the graph representation, a library of presence and
+// latency schedules (always, never, finite sets, intervals, periodic,
+// function-backed), per-time snapshots, the footprint graph, and compiled
+// schedules: the per-edge list of (departure, arrival) pairs over a finite
+// horizon that all decision procedures in this repository operate on.
+package tvg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a discrete instant or duration, measured in ticks from 0.
+type Time = int64
+
+// Symbol is an edge label drawn from the TVG's alphabet Σ.
+type Symbol = rune
+
+// Node identifies a vertex of a Graph. Valid nodes are 0..NumNodes()-1.
+type Node int
+
+// EdgeID identifies an edge of a Graph. Valid ids are 0..NumEdges()-1.
+type EdgeID int
+
+// Presence is the presence function ρ restricted to a single edge:
+// Present(t) reports whether the edge is available at time t.
+type Presence interface {
+	Present(t Time) bool
+}
+
+// Latency is the latency function ζ restricted to a single edge:
+// Crossing(t) is the time it takes to cross the edge when starting the
+// traversal at time t. Implementations must return values >= 1 for every
+// time at which the edge is present.
+type Latency interface {
+	Crossing(t Time) Time
+}
+
+// Periodicity is an optional interface implemented by schedules that repeat
+// with a fixed period. Graph.Period uses it to decide whether a phase
+// (mod-period) analysis is exact for the graph.
+type Periodicity interface {
+	Period() (Time, bool)
+}
+
+// Edge is a labeled, directed, time-varying edge.
+type Edge struct {
+	// From and To are the endpoints. Self-loops (From == To) are allowed
+	// and are essential to the paper's constructions.
+	From, To Node
+	// Label is the symbol this edge contributes to a journey's word.
+	Label Symbol
+	// Presence is the edge's availability schedule (ρ restricted to it).
+	Presence Presence
+	// Latency is the edge's crossing time schedule (ζ restricted to it).
+	Latency Latency
+	// Name is an optional human-readable identifier used in rendering and
+	// error messages (e.g. "e0" in the paper's Table 1).
+	Name string
+}
+
+// Graph is a time-varying graph over discrete time.
+//
+// The zero value is an empty graph ready for use. Graphs are not safe for
+// concurrent mutation; all read-only methods are safe to call concurrently
+// once construction is complete (provided the presence and latency
+// implementations are).
+type Graph struct {
+	nodeNames []string
+	nodeIndex map[string]Node
+	edges     []Edge
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodeIndex: make(map[string]Node)}
+}
+
+// AddNode adds a node with the given name and returns its id. Adding a name
+// that already exists returns the existing node.
+func (g *Graph) AddNode(name string) Node {
+	if g.nodeIndex == nil {
+		g.nodeIndex = make(map[string]Node)
+	}
+	if n, ok := g.nodeIndex[name]; ok {
+		return n
+	}
+	n := Node(len(g.nodeNames))
+	g.nodeNames = append(g.nodeNames, name)
+	g.nodeIndex[name] = n
+	return n
+}
+
+// AddNodes adds count anonymous nodes named "v0", "v1", ... starting from
+// the current size, and returns the id of the first one.
+func (g *Graph) AddNodes(count int) Node {
+	first := Node(len(g.nodeNames))
+	for i := 0; i < count; i++ {
+		g.AddNode(fmt.Sprintf("v%d", len(g.nodeNames)))
+	}
+	return first
+}
+
+// AddEdge appends an edge and returns its id. The endpoints must already
+// exist and the schedules must be non-nil.
+func (g *Graph) AddEdge(e Edge) (EdgeID, error) {
+	if !g.ValidNode(e.From) || !g.ValidNode(e.To) {
+		return 0, fmt.Errorf("tvg: edge %q references unknown node (from=%d, to=%d, have %d nodes)",
+			e.Name, e.From, e.To, len(g.nodeNames))
+	}
+	if e.Presence == nil {
+		return 0, fmt.Errorf("tvg: edge %q has nil presence", e.Name)
+	}
+	if e.Latency == nil {
+		return 0, fmt.Errorf("tvg: edge %q has nil latency", e.Name)
+	}
+	if e.Name == "" {
+		e.Name = fmt.Sprintf("e%d", len(g.edges))
+	}
+	g.edges = append(g.edges, e)
+	return EdgeID(len(g.edges) - 1), nil
+}
+
+// MustAddEdge is AddEdge but panics on error. It is intended for
+// statically-known constructions (package-internal builders and tests).
+func (g *Graph) MustAddEdge(e Edge) EdgeID {
+	id, err := g.AddEdge(e)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeNames) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// ValidNode reports whether n is a node of g.
+func (g *Graph) ValidNode(n Node) bool { return n >= 0 && int(n) < len(g.nodeNames) }
+
+// NodeName returns the name of node n, or "" if n is not a valid node.
+func (g *Graph) NodeName(n Node) string {
+	if !g.ValidNode(n) {
+		return ""
+	}
+	return g.nodeNames[n]
+}
+
+// NodeByName returns the node with the given name.
+func (g *Graph) NodeByName(name string) (Node, bool) {
+	n, ok := g.nodeIndex[name]
+	return n, ok
+}
+
+// Edge returns a copy of the edge with the given id.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	if id < 0 || int(id) >= len(g.edges) {
+		return Edge{}, false
+	}
+	return g.edges[id], true
+}
+
+// Edges returns a copy of the edge list.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// OutEdges returns the ids of edges leaving node n.
+func (g *Graph) OutEdges(n Node) []EdgeID {
+	var out []EdgeID
+	for i, e := range g.edges {
+		if e.From == n {
+			out = append(out, EdgeID(i))
+		}
+	}
+	return out
+}
+
+// Alphabet returns the sorted set of symbols appearing on edges.
+func (g *Graph) Alphabet() []Symbol {
+	seen := make(map[Symbol]bool)
+	for _, e := range g.edges {
+		seen[e.Label] = true
+	}
+	out := make([]Symbol, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Present reports whether edge id is present at time t.
+func (g *Graph) Present(id EdgeID, t Time) bool {
+	if id < 0 || int(id) >= len(g.edges) {
+		return false
+	}
+	return g.edges[id].Presence.Present(t)
+}
+
+// Crossing returns the latency of edge id at time t.
+func (g *Graph) Crossing(id EdgeID, t Time) Time {
+	return g.edges[id].Latency.Crossing(t)
+}
+
+// Arrival returns the arrival time of a traversal of edge id departing at
+// time t, i.e. t + ζ(e, t). It does not check presence.
+func (g *Graph) Arrival(id EdgeID, t Time) Time {
+	return t + g.Crossing(id, t)
+}
+
+// errNotPeriodic is a sentinel used internally by Period.
+var errNotPeriodic = errors.New("tvg: graph has a non-periodic schedule")
+
+// Period returns the least common period of all edge schedules, if every
+// presence and latency schedule declares one via the Periodicity interface.
+// A graph with no edges has period 1.
+func (g *Graph) Period() (Time, bool) {
+	period := Time(1)
+	for _, e := range g.edges {
+		for _, s := range []any{e.Presence, e.Latency} {
+			p, ok := schedulePeriod(s)
+			if !ok {
+				return 0, false
+			}
+			l, err := lcm(period, p)
+			if err != nil {
+				return 0, false
+			}
+			period = l
+		}
+	}
+	return period, true
+}
+
+func schedulePeriod(s any) (Time, bool) {
+	pr, ok := s.(Periodicity)
+	if !ok {
+		return 0, false
+	}
+	return pr.Period()
+}
+
+func lcm(a, b Time) (Time, error) {
+	if a <= 0 || b <= 0 {
+		return 0, errNotPeriodic
+	}
+	g := a
+	x := b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	l := (a / g) * b
+	if l <= 0 {
+		return 0, errNotPeriodic
+	}
+	return l, nil
+}
+
+// Validate checks structural well-formedness: every edge references valid
+// nodes and has non-nil schedules, and — on the sampled time range
+// [0, sampleHorizon] — every present time has latency >= 1. A zero or
+// negative sampleHorizon skips the latency sampling.
+func (g *Graph) Validate(sampleHorizon Time) error {
+	for i, e := range g.edges {
+		if !g.ValidNode(e.From) || !g.ValidNode(e.To) {
+			return fmt.Errorf("tvg: edge %d (%q) references unknown node", i, e.Name)
+		}
+		if e.Presence == nil || e.Latency == nil {
+			return fmt.Errorf("tvg: edge %d (%q) has nil schedule", i, e.Name)
+		}
+		for t := Time(0); t <= sampleHorizon; t++ {
+			if e.Presence.Present(t) {
+				if l := e.Latency.Crossing(t); l < 1 {
+					return fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, e.Name, l, t)
+				}
+			}
+		}
+	}
+	return nil
+}

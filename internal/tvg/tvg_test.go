@@ -1,0 +1,494 @@
+package tvg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph builds u --a--> v --b--> w with the given schedules.
+func lineGraph(t *testing.T, pres Presence, lat Latency) (*Graph, Node, Node, Node) {
+	t.Helper()
+	g := New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	w := g.AddNode("w")
+	if _, err := g.AddEdge(Edge{From: u, To: v, Label: 'a', Presence: pres, Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(Edge{From: v, To: w, Label: 'b', Presence: pres, Latency: lat}); err != nil {
+		t.Fatal(err)
+	}
+	return g, u, v, w
+}
+
+func TestGraphBasics(t *testing.T) {
+	g, u, v, w := lineGraph(t, Always{}, ConstLatency(1))
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes, %d edges; want 3, 2", g.NumNodes(), g.NumEdges())
+	}
+	if g.NodeName(u) != "u" || g.NodeName(v) != "v" || g.NodeName(w) != "w" {
+		t.Errorf("node names wrong: %q %q %q", g.NodeName(u), g.NodeName(v), g.NodeName(w))
+	}
+	if g.NodeName(Node(99)) != "" {
+		t.Errorf("invalid node should have empty name")
+	}
+	if n, ok := g.NodeByName("v"); !ok || n != v {
+		t.Errorf("NodeByName(v) = %d, %v", n, ok)
+	}
+	if _, ok := g.NodeByName("zzz"); ok {
+		t.Errorf("NodeByName(zzz) should not exist")
+	}
+	// Duplicate names return the same node.
+	if again := g.AddNode("u"); again != u {
+		t.Errorf("AddNode(u) again = %d, want %d", again, u)
+	}
+	alpha := g.Alphabet()
+	if len(alpha) != 2 || alpha[0] != 'a' || alpha[1] != 'b' {
+		t.Errorf("Alphabet() = %q", string(alpha))
+	}
+	out := g.OutEdges(u)
+	if len(out) != 1 || out[0] != 0 {
+		t.Errorf("OutEdges(u) = %v", out)
+	}
+	if e, ok := g.Edge(0); !ok || e.Label != 'a' || e.Name != "e0" {
+		t.Errorf("Edge(0) = %+v, %v", e, ok)
+	}
+	if _, ok := g.Edge(5); ok {
+		t.Errorf("Edge(5) should not exist")
+	}
+	if err := g.Validate(10); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if w == u {
+		t.Errorf("nodes should be distinct")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	if _, err := g.AddEdge(Edge{From: u, To: Node(7), Label: 'a', Presence: Always{}, Latency: ConstLatency(1)}); err == nil {
+		t.Errorf("edge to unknown node should fail")
+	}
+	if _, err := g.AddEdge(Edge{From: u, To: u, Label: 'a', Latency: ConstLatency(1)}); err == nil {
+		t.Errorf("nil presence should fail")
+	}
+	if _, err := g.AddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{}}); err == nil {
+		t.Errorf("nil latency should fail")
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustAddEdge should panic on invalid edge")
+		}
+	}()
+	g := New()
+	g.MustAddEdge(Edge{From: 0, To: 0, Label: 'a'})
+}
+
+func TestAddNodes(t *testing.T) {
+	g := New()
+	first := g.AddNodes(4)
+	if first != 0 || g.NumNodes() != 4 {
+		t.Fatalf("AddNodes: first=%d nodes=%d", first, g.NumNodes())
+	}
+	second := g.AddNodes(2)
+	if second != 4 || g.NumNodes() != 6 {
+		t.Fatalf("AddNodes again: first=%d nodes=%d", second, g.NumNodes())
+	}
+}
+
+func TestZeroValueGraph(t *testing.T) {
+	var g Graph
+	n := g.AddNode("only")
+	if !g.ValidNode(n) || g.NumNodes() != 1 {
+		t.Fatalf("zero-value graph unusable")
+	}
+}
+
+func TestTimeSet(t *testing.T) {
+	s := NewTimeSet(5, 1, 3, 3, 1)
+	want := []Time{1, 3, 5}
+	got := s.Times()
+	if len(got) != len(want) {
+		t.Fatalf("Times() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Times()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{{0, false}, {1, true}, {2, false}, {3, true}, {5, true}, {6, false}} {
+		if s.Present(c.t) != c.want {
+			t.Errorf("Present(%d) = %v, want %v", c.t, s.Present(c.t), c.want)
+		}
+	}
+	if s.String() != "{1,3,5}" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	s := NewIntervals(Interval{5, 8}, Interval{1, 3}, Interval{2, 4}, Interval{9, 9})
+	// {1,3} and {2,4} merge to [1,4); [9,9) is empty and dropped.
+	spans := s.Spans()
+	if len(spans) != 2 || spans[0] != (Interval{1, 4}) || spans[1] != (Interval{5, 8}) {
+		t.Fatalf("Spans() = %v", spans)
+	}
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{{0, false}, {1, true}, {3, true}, {4, false}, {5, true}, {7, true}, {8, false}} {
+		if s.Present(c.t) != c.want {
+			t.Errorf("Present(%d) = %v, want %v", c.t, s.Present(c.t), c.want)
+		}
+	}
+	if !strings.Contains(s.String(), "[1,4)") {
+		t.Errorf("String() = %q", s.String())
+	}
+	// Touching intervals merge.
+	s2 := NewIntervals(Interval{0, 2}, Interval{2, 4})
+	if len(s2.Spans()) != 1 {
+		t.Errorf("touching intervals should merge: %v", s2.Spans())
+	}
+}
+
+func TestPeriodicPresence(t *testing.T) {
+	if _, err := NewPeriodicPresence(nil); err == nil {
+		t.Fatalf("empty pattern should fail")
+	}
+	s, err := NewPeriodicPresence([]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		t    Time
+		want bool
+	}{{0, true}, {1, false}, {2, false}, {3, true}, {6, true}, {7, false}, {-1, false}} {
+		if s.Present(c.t) != c.want {
+			t.Errorf("Present(%d) = %v, want %v", c.t, s.Present(c.t), c.want)
+		}
+	}
+	if p, ok := s.Period(); !ok || p != 3 {
+		t.Errorf("Period() = %d, %v", p, ok)
+	}
+	if s.String() != "periodic:100" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestPresenceFunc(t *testing.T) {
+	even := PresenceFunc(func(t Time) bool { return t%2 == 0 })
+	if !even.Present(4) || even.Present(5) {
+		t.Errorf("PresenceFunc broken")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if ConstLatency(3).Crossing(100) != 3 {
+		t.Errorf("ConstLatency")
+	}
+	// ScaleLatency{Factor:p}: arrival p*t.
+	s := ScaleLatency{Factor: 2}
+	if s.Crossing(5) != 5 { // (2-1)*5
+		t.Errorf("ScaleLatency.Crossing(5) = %d", s.Crossing(5))
+	}
+	s2 := ScaleLatency{Factor: 3, Offset: 1}
+	if s2.Crossing(4) != 9 { // 2*4+1
+		t.Errorf("ScaleLatency offset: %d", s2.Crossing(4))
+	}
+	if _, err := NewPeriodicLatency(nil); err == nil {
+		t.Errorf("empty periodic latency should fail")
+	}
+	if _, err := NewPeriodicLatency([]Time{1, 0}); err == nil {
+		t.Errorf("zero latency entry should fail")
+	}
+	pl, err := NewPeriodicLatency([]Time{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Crossing(0) != 1 || pl.Crossing(4) != 2 || pl.Crossing(-5) != 1 {
+		t.Errorf("PeriodicLatency values wrong")
+	}
+	if p, ok := pl.Period(); !ok || p != 3 {
+		t.Errorf("PeriodicLatency.Period() = %d, %v", p, ok)
+	}
+	lf := LatencyFunc(func(t Time) Time { return t + 1 })
+	if lf.Crossing(9) != 10 {
+		t.Errorf("LatencyFunc")
+	}
+}
+
+func TestGraphPeriod(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	p2, _ := NewPeriodicPresence([]bool{true, false})
+	p3, _ := NewPeriodicPresence([]bool{true, false, false})
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: p2, Latency: ConstLatency(1)})
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'b', Presence: p3, Latency: ConstLatency(1)})
+	if p, ok := g.Period(); !ok || p != 6 {
+		t.Errorf("Period() = %d, %v; want 6, true", p, ok)
+	}
+	// A function-backed schedule has no declared period.
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'c',
+		Presence: PresenceFunc(func(t Time) bool { return t == 7 }), Latency: ConstLatency(1)})
+	if _, ok := g.Period(); ok {
+		t.Errorf("Period() should be unknown with a PresenceFunc edge")
+	}
+	// Empty graph has period 1.
+	if p, ok := New().Period(); !ok || p != 1 {
+		t.Errorf("empty graph Period() = %d, %v", p, ok)
+	}
+}
+
+func TestValidateLatencyViolation(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{},
+		Latency: LatencyFunc(func(t Time) Time { return 0 })})
+	if err := g.Validate(3); err == nil {
+		t.Errorf("Validate should reject latency 0")
+	}
+}
+
+func TestCompile(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: NewTimeSet(2, 5, 9), Latency: ConstLatency(2)})
+	g.MustAddEdge(Edge{From: v, To: u, Label: 'b', Presence: Always{}, Latency: ConstLatency(1)})
+	c, err := Compile(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Horizon() != 10 || c.Graph() != g {
+		t.Errorf("Horizon/Graph accessors wrong")
+	}
+	if got := c.Departures(0); len(got) != 3 || got[0] != 2 || got[2] != 9 {
+		t.Errorf("Departures(0) = %v", got)
+	}
+	if got := c.NumDepartures(1); got != 11 {
+		t.Errorf("NumDepartures(1) = %d, want 11", got)
+	}
+	if !c.PresentAt(0, 5) || c.PresentAt(0, 4) {
+		t.Errorf("PresentAt wrong")
+	}
+	if a, ok := c.ArrivalAt(0, 5); !ok || a != 7 {
+		t.Errorf("ArrivalAt(0,5) = %d, %v", a, ok)
+	}
+	if _, ok := c.ArrivalAt(0, 3); ok {
+		t.Errorf("ArrivalAt(0,3) should be absent")
+	}
+	if d, ok := c.NextDeparture(0, 3); !ok || d != 5 {
+		t.Errorf("NextDeparture(0,3) = %d, %v", d, ok)
+	}
+	if _, ok := c.NextDeparture(0, 10); ok {
+		t.Errorf("NextDeparture past last should fail")
+	}
+	var seen []Time
+	c.EachDeparture(0, 0, 10, func(dep, arr Time) bool {
+		if arr != dep+2 {
+			t.Errorf("arrival mismatch at %d", dep)
+		}
+		seen = append(seen, dep)
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("EachDeparture visited %v", seen)
+	}
+	// Early stop.
+	count := 0
+	c.EachDeparture(0, 0, 10, func(dep, arr Time) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("EachDeparture early stop visited %d", count)
+	}
+	if got := c.ContactsAt(5); len(got) != 2 {
+		t.Errorf("ContactsAt(5) = %v", got)
+	}
+	if got := c.ContactsAt(4); len(got) != 1 || got[0] != 1 {
+		t.Errorf("ContactsAt(4) = %v", got)
+	}
+	if got := c.TotalContacts(); got != 14 {
+		t.Errorf("TotalContacts() = %d, want 14", got)
+	}
+	if got := c.OutEdges(u); len(got) != 1 || got[0] != 0 {
+		t.Errorf("OutEdges(u) = %v", got)
+	}
+	if got := c.OutEdges(Node(42)); got != nil {
+		t.Errorf("OutEdges(invalid) = %v", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{},
+		Latency: LatencyFunc(func(t Time) Time { return 0 })})
+	if _, err := Compile(g, 5); err == nil {
+		t.Errorf("Compile should reject latency < 1")
+	}
+	if _, err := Compile(New(), -1); err == nil {
+		t.Errorf("Compile should reject negative horizon")
+	}
+}
+
+func TestSnapshotAndFootprint(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: NewTimeSet(3), Latency: ConstLatency(1)})
+	g.MustAddEdge(Edge{From: v, To: u, Label: 'b', Presence: Never{}, Latency: ConstLatency(1)})
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'c', Presence: Always{}, Latency: ConstLatency(1)})
+	if snap := g.SnapshotAt(3); len(snap) != 2 {
+		t.Errorf("SnapshotAt(3) = %v", snap)
+	}
+	if snap := g.SnapshotAt(0); len(snap) != 1 || snap[0] != 2 {
+		t.Errorf("SnapshotAt(0) = %v", snap)
+	}
+	fp := g.Footprint(10)
+	if len(fp) != 2 || fp[0] != 0 || fp[1] != 2 {
+		t.Errorf("Footprint(10) = %v", fp)
+	}
+	if fp := g.Footprint(2); len(fp) != 1 {
+		t.Errorf("Footprint(2) = %v", fp)
+	}
+}
+
+func TestIsRecurrent(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	p, _ := NewPeriodicPresence([]bool{false, true, false})
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: p, Latency: ConstLatency(1)})
+	if !g.IsRecurrent(3, 30) {
+		t.Errorf("period-3 schedule should be recurrent with window 3")
+	}
+	if g.IsRecurrent(2, 30) {
+		t.Errorf("period-3 schedule with one presence should not be recurrent with window 2")
+	}
+	if g.IsRecurrent(0, 30) || g.IsRecurrent(5, 3) {
+		t.Errorf("degenerate windows should report false")
+	}
+	// A one-shot edge is not recurrent.
+	g2 := New()
+	w := g2.AddNode("w")
+	g2.MustAddEdge(Edge{From: w, To: w, Label: 'a', Presence: NewTimeSet(1), Latency: ConstLatency(1)})
+	if g2.IsRecurrent(5, 20) {
+		t.Errorf("one-shot edge should not be recurrent")
+	}
+	// An edge never present within the probe does not block recurrence.
+	g3 := New()
+	x := g3.AddNode("x")
+	g3.MustAddEdge(Edge{From: x, To: x, Label: 'a', Presence: Never{}, Latency: ConstLatency(1)})
+	if !g3.IsRecurrent(5, 20) {
+		t.Errorf("absent edge should be ignored by recurrence")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	u := g.AddNode("v0")
+	v := g.AddNode("v1")
+	g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: Always{}, Latency: ConstLatency(1), Name: "e0"})
+	var b strings.Builder
+	err := g.WriteDOT(&b, DOTOptions{
+		Name:          "fig1",
+		Initial:       map[Node]bool{u: true},
+		Accepting:     map[Node]bool{v: true},
+		ShowSchedules: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph \"fig1\"", "doublecircle", "e0: a", "always", "start0 -> n0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Default name.
+	var b2 strings.Builder
+	if err := g.WriteDOT(&b2, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "digraph \"tvg\"") {
+		t.Errorf("default DOT name missing")
+	}
+}
+
+// Property: compiled presence matches the raw presence function everywhere
+// within the horizon, for periodic schedules.
+func TestCompileMatchesPresenceProperty(t *testing.T) {
+	f := func(patternBits uint8, latRaw uint8) bool {
+		pattern := make([]bool, 4)
+		any := false
+		for i := range pattern {
+			pattern[i] = patternBits&(1<<i) != 0
+			any = any || pattern[i]
+		}
+		_ = any
+		pres, err := NewPeriodicPresence(pattern)
+		if err != nil {
+			return false
+		}
+		lat := ConstLatency(Time(latRaw%5) + 1)
+		g := New()
+		u := g.AddNode("u")
+		g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: pres, Latency: lat})
+		const horizon = 40
+		c, err := Compile(g, horizon)
+		if err != nil {
+			return false
+		}
+		for tt := Time(0); tt <= horizon; tt++ {
+			if c.PresentAt(0, tt) != pres.Present(tt) {
+				return false
+			}
+			if pres.Present(tt) {
+				a, ok := c.ArrivalAt(0, tt)
+				if !ok || a != tt+lat.Crossing(tt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intervals membership agrees with a brute-force scan of the
+// original (unmerged) interval list.
+func TestIntervalsProperty(t *testing.T) {
+	f := func(raw [6]uint8) bool {
+		ivs := make([]Interval, 0, 3)
+		for i := 0; i+1 < len(raw); i += 2 {
+			a := Time(raw[i] % 20)
+			b := Time(raw[i+1] % 20)
+			ivs = append(ivs, Interval{Start: a, End: b})
+		}
+		s := NewIntervals(ivs...)
+		for t := Time(0); t < 22; t++ {
+			want := false
+			for _, iv := range ivs {
+				if iv.Contains(t) {
+					want = true
+					break
+				}
+			}
+			if s.Present(t) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package tvgtext
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAutomaton checks that the parser never panics on arbitrary
+// input and that everything it accepts round-trips through the formatter.
+func FuzzParseAutomaton(f *testing.F) {
+	f.Add(ferrySpec)
+	f.Add("node u\ninitial u\naccepting u\n")
+	f.Add("edge a b c presence=always latency=const:1")
+	f.Add("node u\nnode v\nedge u v a presence=periodic:10 latency=scale:2+3\ninitial u\naccepting v\nstart 7")
+	f.Add("# only a comment")
+	f.Add("node \x00weird\ninitial \x00weird")
+	f.Fuzz(func(t *testing.T, input string) {
+		a, err := ParseAutomaton(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var b strings.Builder
+		if err := FormatAutomaton(a, &b); err != nil {
+			// Parsed automata contain only serializable schedules.
+			t.Fatalf("parsed automaton failed to format: %v", err)
+		}
+		if _, err := ParseAutomaton(strings.NewReader(b.String())); err != nil {
+			t.Fatalf("round trip failed: %v\nserialized:\n%s", err, b.String())
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Package tvgtext implements a small line-oriented text format for
+// TVG-automata, so that custom graphs can be written by hand, stored in
+// files and loaded by the command-line tools. The format covers every
+// concrete schedule kind of the tvg package (function-backed schedules
+// are code, not data, and cannot be serialized).
+//
+// Syntax (one directive per line; '#' starts a comment):
+//
+//	node NAME
+//	edge FROM TO LABEL presence=SPEC latency=SPEC [name=NAME]
+//	initial NAME
+//	accepting NAME
+//	start TIME
+//
+// Presence specs:
+//
+//	always               every time
+//	never                no time
+//	at:3,7,12            exactly the listed times
+//	during:2-5,9-11      half-open intervals [start,end)
+//	periodic:10110       repeating bit pattern
+//
+// Latency specs:
+//
+//	const:2              fixed crossing time
+//	periodic:1,2,3       repeating crossing times
+//	scale:3              ζ(t) = (3-1)·t  (arrival 3·t, cf. Table 1)
+//	scale:3+1            ζ(t) = (3-1)·t + 1
+package tvgtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/tvg"
+)
+
+// ParseAutomaton reads the text format and builds a TVG-automaton.
+func ParseAutomaton(r io.Reader) (*core.Automaton, error) {
+	g := tvg.New()
+	var initials, acceptings []string
+	startTime := tvg.Time(0)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tvgtext: line %d: want \"node NAME\"", lineNo)
+			}
+			g.AddNode(fields[1])
+		case "edge":
+			if err := parseEdge(g, fields[1:]); err != nil {
+				return nil, fmt.Errorf("tvgtext: line %d: %w", lineNo, err)
+			}
+		case "initial":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tvgtext: line %d: want \"initial NAME\"", lineNo)
+			}
+			initials = append(initials, fields[1])
+		case "accepting":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tvgtext: line %d: want \"accepting NAME\"", lineNo)
+			}
+			acceptings = append(acceptings, fields[1])
+		case "start":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tvgtext: line %d: want \"start TIME\"", lineNo)
+			}
+			t, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tvgtext: line %d: bad start time %q", lineNo, fields[1])
+			}
+			startTime = t
+		default:
+			return nil, fmt.Errorf("tvgtext: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tvgtext: %w", err)
+	}
+	a := core.NewAutomaton(g)
+	for _, name := range initials {
+		n, ok := g.NodeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("tvgtext: initial node %q not declared", name)
+		}
+		a.AddInitial(n)
+	}
+	for _, name := range acceptings {
+		n, ok := g.NodeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("tvgtext: accepting node %q not declared", name)
+		}
+		a.AddAccepting(n)
+	}
+	a.SetStartTime(startTime)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func parseEdge(g *tvg.Graph, fields []string) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("want \"edge FROM TO LABEL presence=SPEC latency=SPEC\"")
+	}
+	from, ok := g.NodeByName(fields[0])
+	if !ok {
+		return fmt.Errorf("unknown node %q", fields[0])
+	}
+	to, ok := g.NodeByName(fields[1])
+	if !ok {
+		return fmt.Errorf("unknown node %q", fields[1])
+	}
+	label := []rune(fields[2])
+	if len(label) != 1 {
+		return fmt.Errorf("label must be a single symbol, got %q", fields[2])
+	}
+	e := tvg.Edge{From: from, To: to, Label: label[0]}
+	for _, kv := range fields[3:] {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return fmt.Errorf("want key=value, got %q", kv)
+		}
+		switch key {
+		case "presence":
+			p, err := parsePresence(val)
+			if err != nil {
+				return err
+			}
+			e.Presence = p
+		case "latency":
+			l, err := parseLatency(val)
+			if err != nil {
+				return err
+			}
+			e.Latency = l
+		case "name":
+			e.Name = val
+		default:
+			return fmt.Errorf("unknown attribute %q", key)
+		}
+	}
+	if e.Presence == nil || e.Latency == nil {
+		return fmt.Errorf("edge needs both presence= and latency=")
+	}
+	_, err := g.AddEdge(e)
+	return err
+}
+
+func parsePresence(spec string) (tvg.Presence, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "always":
+		return tvg.Always{}, nil
+	case "never":
+		return tvg.Never{}, nil
+	case "at":
+		times, err := parseTimes(arg)
+		if err != nil {
+			return nil, fmt.Errorf("at: %w", err)
+		}
+		return tvg.NewTimeSet(times...), nil
+	case "during":
+		var ivs []tvg.Interval
+		for _, part := range strings.Split(arg, ",") {
+			lo, hi, found := strings.Cut(part, "-")
+			if !found {
+				return nil, fmt.Errorf("during: want START-END, got %q", part)
+			}
+			s, err1 := strconv.ParseInt(lo, 10, 64)
+			e, err2 := strconv.ParseInt(hi, 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("during: bad interval %q", part)
+			}
+			ivs = append(ivs, tvg.Interval{Start: s, End: e})
+		}
+		return tvg.NewIntervals(ivs...), nil
+	case "periodic":
+		pattern := make([]bool, 0, len(arg))
+		for _, c := range arg {
+			switch c {
+			case '0':
+				pattern = append(pattern, false)
+			case '1':
+				pattern = append(pattern, true)
+			default:
+				return nil, fmt.Errorf("periodic: pattern must be bits, got %q", arg)
+			}
+		}
+		return tvg.NewPeriodicPresence(pattern)
+	default:
+		return nil, fmt.Errorf("unknown presence kind %q", kind)
+	}
+}
+
+func parseLatency(spec string) (tvg.Latency, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "const":
+		k, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("const: want a positive integer, got %q", arg)
+		}
+		return tvg.ConstLatency(k), nil
+	case "periodic":
+		times, err := parseTimes(arg)
+		if err != nil {
+			return nil, fmt.Errorf("periodic: %w", err)
+		}
+		return tvg.NewPeriodicLatency(times)
+	case "scale":
+		factorStr, offsetStr, hasOffset := strings.Cut(arg, "+")
+		factor, err := strconv.ParseInt(factorStr, 10, 64)
+		if err != nil || factor < 1 {
+			return nil, fmt.Errorf("scale: want a positive factor, got %q", arg)
+		}
+		offset := int64(0)
+		if hasOffset {
+			offset, err = strconv.ParseInt(offsetStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("scale: bad offset %q", offsetStr)
+			}
+		}
+		return tvg.ScaleLatency{Factor: factor, Offset: offset}, nil
+	default:
+		return nil, fmt.Errorf("unknown latency kind %q", kind)
+	}
+}
+
+func parseTimes(arg string) ([]tvg.Time, error) {
+	if arg == "" {
+		return nil, fmt.Errorf("empty time list")
+	}
+	parts := strings.Split(arg, ",")
+	out := make([]tvg.Time, 0, len(parts))
+	for _, p := range parts {
+		t, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time %q", p)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// FormatAutomaton serializes an automaton back to the text format. It
+// fails if any schedule is function-backed (not representable as data).
+func FormatAutomaton(a *core.Automaton, w io.Writer) error {
+	g := a.Graph()
+	var b strings.Builder
+	for n := tvg.Node(0); int(n) < g.NumNodes(); n++ {
+		fmt.Fprintf(&b, "node %s\n", g.NodeName(n))
+	}
+	for i, e := range g.Edges() {
+		p, err := formatPresence(e.Presence)
+		if err != nil {
+			return fmt.Errorf("tvgtext: edge %d (%q): %w", i, e.Name, err)
+		}
+		l, err := formatLatency(e.Latency)
+		if err != nil {
+			return fmt.Errorf("tvgtext: edge %d (%q): %w", i, e.Name, err)
+		}
+		fmt.Fprintf(&b, "edge %s %s %c presence=%s latency=%s name=%s\n",
+			g.NodeName(e.From), g.NodeName(e.To), e.Label, p, l, e.Name)
+	}
+	for _, n := range a.Initial() {
+		fmt.Fprintf(&b, "initial %s\n", g.NodeName(n))
+	}
+	accepting := a.Accepting()
+	sort.Slice(accepting, func(i, j int) bool { return accepting[i] < accepting[j] })
+	for _, n := range accepting {
+		fmt.Fprintf(&b, "accepting %s\n", g.NodeName(n))
+	}
+	if a.StartTime() != 0 {
+		fmt.Fprintf(&b, "start %d\n", a.StartTime())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatPresence(p tvg.Presence) (string, error) {
+	switch s := p.(type) {
+	case tvg.Always:
+		return "always", nil
+	case tvg.Never:
+		return "never", nil
+	case *tvg.TimeSet:
+		return "at:" + joinTimes(s.Times()), nil
+	case *tvg.Intervals:
+		parts := make([]string, 0, len(s.Spans()))
+		for _, iv := range s.Spans() {
+			parts = append(parts, fmt.Sprintf("%d-%d", iv.Start, iv.End))
+		}
+		return "during:" + strings.Join(parts, ","), nil
+	case *tvg.PeriodicPresence:
+		period, _ := s.Period()
+		var bits strings.Builder
+		for t := tvg.Time(0); t < period; t++ {
+			if s.Present(t) {
+				bits.WriteByte('1')
+			} else {
+				bits.WriteByte('0')
+			}
+		}
+		return "periodic:" + bits.String(), nil
+	default:
+		return "", fmt.Errorf("presence %T is not serializable", p)
+	}
+}
+
+func formatLatency(l tvg.Latency) (string, error) {
+	switch s := l.(type) {
+	case tvg.ConstLatency:
+		return fmt.Sprintf("const:%d", tvg.Time(s)), nil
+	case *tvg.PeriodicLatency:
+		period, _ := s.Period()
+		times := make([]tvg.Time, 0, period)
+		for t := tvg.Time(0); t < period; t++ {
+			times = append(times, s.Crossing(t))
+		}
+		return "periodic:" + joinTimes(times), nil
+	case tvg.ScaleLatency:
+		if s.Offset != 0 {
+			return fmt.Sprintf("scale:%d+%d", s.Factor, s.Offset), nil
+		}
+		return fmt.Sprintf("scale:%d", s.Factor), nil
+	default:
+		return "", fmt.Errorf("latency %T is not serializable", l)
+	}
+}
+
+func joinTimes(ts []tvg.Time) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = strconv.FormatInt(t, 10)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,250 @@
+package tvgtext
+
+import (
+	"strings"
+	"testing"
+
+	"tvgwait/internal/core"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+const ferrySpec = `
+# Two-hop ferry network: the trip needs buffering at the island.
+node port
+node island
+node mainland
+edge port island a presence=at:5 latency=const:1 name=ferryA
+edge island mainland b presence=at:2,8 latency=const:1 name=ferryB
+initial port
+accepting mainland
+`
+
+func TestParseFerry(t *testing.T) {
+	a, err := ParseAutomaton(strings.NewReader(ferrySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.Graph()
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	e, _ := g.Edge(0)
+	if e.Name != "ferryA" || e.Label != 'a' {
+		t.Errorf("edge 0 = %+v", e)
+	}
+	wait, err := core.NewDecider(a, journey.Wait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wait.Accepts("ab") {
+		t.Error("parsed automaton should accept ab under wait")
+	}
+	no, err := core.NewDecider(a, journey.NoWait(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no.Accepts("ab") {
+		t.Error("parsed automaton should reject ab under nowait")
+	}
+}
+
+func TestParseAllScheduleKinds(t *testing.T) {
+	spec := `
+node u
+node v
+edge u v a presence=always latency=const:1
+edge u v b presence=never latency=const:1
+edge u u c presence=periodic:101 latency=periodic:1,2,3
+edge u v d presence=during:2-5,8-9 latency=scale:3
+edge v u e presence=at:4 latency=scale:2+1
+initial u
+accepting v
+start 1
+`
+	a, err := ParseAutomaton(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StartTime() != 1 {
+		t.Errorf("start time = %d", a.StartTime())
+	}
+	g := a.Graph()
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Spot-check schedules.
+	e0, _ := g.Edge(0)
+	if !e0.Presence.Present(99) {
+		t.Error("always wrong")
+	}
+	e1, _ := g.Edge(1)
+	if e1.Presence.Present(0) {
+		t.Error("never wrong")
+	}
+	e2, _ := g.Edge(2)
+	if !e2.Presence.Present(0) || e2.Presence.Present(1) || !e2.Presence.Present(2) {
+		t.Error("periodic presence wrong")
+	}
+	if e2.Latency.Crossing(1) != 2 {
+		t.Error("periodic latency wrong")
+	}
+	e3, _ := g.Edge(3)
+	if !e3.Presence.Present(3) || e3.Presence.Present(5) || !e3.Presence.Present(8) {
+		t.Error("during wrong")
+	}
+	if e3.Latency.Crossing(4) != 8 { // (3-1)*4
+		t.Error("scale latency wrong")
+	}
+	e4, _ := g.Edge(4)
+	if e4.Latency.Crossing(4) != 5 { // (2-1)*4+1
+		t.Error("scale+offset latency wrong")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	a, err := ParseAutomaton(strings.NewReader(ferrySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := FormatAutomaton(a, &b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAutomaton(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nserialized:\n%s", err, b.String())
+	}
+	// Same language under both semantics.
+	for _, mode := range []journey.Mode{journey.NoWait(), journey.Wait()} {
+		d1, err := core.NewDecider(a, mode, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := core.NewDecider(back, mode, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []string{"", "a", "b", "ab", "ba", "aab"} {
+			if d1.Accepts(w) != d2.Accepts(w) {
+				t.Errorf("mode %s: round trip changed membership of %q", mode, w)
+			}
+		}
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	spec := `
+node u
+node v
+edge u v a presence=during:2-5 latency=scale:3 name=x
+edge u u b presence=periodic:110 latency=periodic:2,1 name=y
+edge v u c presence=at:1,9 latency=const:4 name=z
+edge v v d presence=never latency=const:1 name=w
+initial u
+accepting v
+start 2
+`
+	a, err := ParseAutomaton(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := FormatAutomaton(a, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"during:2-5", "periodic:110", "periodic:2,1", "at:1,9", "const:4", "never", "scale:3", "start 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialization missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseAutomaton(strings.NewReader(out)); err != nil {
+		t.Errorf("re-parse: %v", err)
+	}
+}
+
+func TestFormatRejectsFunctions(t *testing.T) {
+	g := tvg.New()
+	u := g.AddNode("u")
+	g.MustAddEdge(tvg.Edge{
+		From: u, To: u, Label: 'a',
+		Presence: tvg.PresenceFunc(func(tvg.Time) bool { return true }),
+		Latency:  tvg.ConstLatency(1),
+	})
+	a := core.NewAutomaton(g)
+	a.AddInitial(u)
+	var b strings.Builder
+	if err := FormatAutomaton(a, &b); err == nil {
+		t.Error("function-backed presence should not serialize")
+	}
+	g2 := tvg.New()
+	w := g2.AddNode("w")
+	g2.MustAddEdge(tvg.Edge{
+		From: w, To: w, Label: 'a',
+		Presence: tvg.Always{},
+		Latency:  tvg.LatencyFunc(func(tvg.Time) tvg.Time { return 1 }),
+	})
+	a2 := core.NewAutomaton(g2)
+	a2.AddInitial(w)
+	if err := FormatAutomaton(a2, &b); err == nil {
+		t.Error("function-backed latency should not serialize")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus directive",
+		"node",
+		"edge u v a presence=always latency=const:1", // nodes not declared
+		"node u\nedge u",
+		"node u\nnode v\nedge u v ab presence=always latency=const:1",     // long label
+		"node u\nnode v\nedge u v a presence=always",                      // missing latency
+		"node u\nnode v\nedge u v a presence=bogus latency=const:1",       // bad presence
+		"node u\nnode v\nedge u v a presence=at: latency=const:1",         // empty times
+		"node u\nnode v\nedge u v a presence=at:x latency=const:1",        // bad time
+		"node u\nnode v\nedge u v a presence=during:3 latency=const:1",    // bad interval
+		"node u\nnode v\nedge u v a presence=during:a-b latency=const:1",  // bad bounds
+		"node u\nnode v\nedge u v a presence=periodic:12 latency=const:1", // bad bits
+		"node u\nnode v\nedge u v a presence=always latency=const:0",      // zero latency
+		"node u\nnode v\nedge u v a presence=always latency=bogus:1",      // bad latency kind
+		"node u\nnode v\nedge u v a presence=always latency=periodic:0",   // zero periodic latency
+		"node u\nnode v\nedge u v a presence=always latency=scale:0",      // zero factor
+		"node u\nnode v\nedge u v a presence=always latency=scale:2+x",    // bad offset
+		"node u\nnode v\nedge u v a presence=always latency=const:1 junk", // bare attribute
+		"node u\nnode v\nedge u v a presence=always latency=const:1 k=v",  // unknown attribute
+		"initial ghost",
+		"node u\naccepting ghost",
+		"node u\nstart abc",
+		"node u\nstart",
+		"node u\ninitial u\ninitial", // malformed initial
+		"node u\naccepting",
+		"node u", // no initial state
+	}
+	for _, spec := range cases {
+		if _, err := ParseAutomaton(strings.NewReader(spec)); err == nil {
+			t.Errorf("spec should fail:\n%s", spec)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	spec := `
+# leading comment
+
+node u   # trailing comment
+initial u
+accepting u
+`
+	a, err := ParseAutomaton(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecider(a, journey.Wait(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Accepts("") {
+		t.Error("single accepting initial node should accept ε")
+	}
+}

@@ -1,0 +1,62 @@
+package wqo
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/lang"
+)
+
+func BenchmarkSubwordLE(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	u := automata.RandomWord(rng, []rune{'a', 'b'}, 40)
+	v := automata.RandomWord(rng, []rune{'a', 'b'}, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Subword{}.LE(u, v)
+	}
+}
+
+func BenchmarkMinimalElements(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	words := make([]string, 200)
+	for i := range words {
+		words[i] = automata.RandomWord(rng, []rune{'a', 'b'}, rng.Intn(10))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinimalElements(Subword{}, words)
+	}
+}
+
+func BenchmarkClosureOfFinite(b *testing.B) {
+	members := lang.MembersUpTo(lang.AnBn(), 16)
+	alphabet := []rune{'a', 'b'}
+	b.Run("down", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ClosureOfFinite(members, alphabet, false)
+		}
+	})
+	b.Run("up", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ClosureOfFinite(members, alphabet, true)
+		}
+	})
+}
+
+func BenchmarkIsDownwardClosed(b *testing.B) {
+	l, err := lang.FromRegex("a*b*", "a*b*", []rune{'a', 'b'})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := IsDownwardClosed(l, Subword{}, 6); !ok {
+			b.Fatal("a*b* is downward closed")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package wqo implements the well-quasi-order machinery behind the proof
+// of Theorem 2.2. The paper proves L_wait regular by introducing a
+// quasi-order on words ("possibility of inclusion for corresponding
+// journeys"), showing it is a well quasi-order with a Higman-style
+// argument, and applying the Harju–Ilie regularity criterion (closure
+// under a monotone WQO implies regularity).
+//
+// This package provides the checkable side of that technique:
+//
+//   - the scattered-subword (Higman) order and a generic QuasiOrder
+//     interface, with the prefix order as a non-WQO counterexample;
+//   - dominating-pair search (the finite trace of Higman's lemma);
+//   - minimal elements / antichain extraction;
+//   - upward and downward closures of regular languages under the subword
+//     order, computed on NFAs (Haines' theorem: both are always regular);
+//   - closedness tests of a language with respect to a quasi-order (the
+//     hypothesis of the Harju–Ilie criterion), with witnesses.
+//
+// The specific journey-inclusion order is defined only in the arXiv
+// version of the paper (arXiv:1205.1975); the generic toolkit here is the
+// faithful substrate for the announced proof technique (see DESIGN.md §5).
+package wqo
+
+import (
+	"tvgwait/internal/automata"
+	"tvgwait/internal/lang"
+)
+
+// QuasiOrder is a reflexive, transitive relation on words.
+type QuasiOrder interface {
+	// Name identifies the order in reports.
+	Name() string
+	// LE reports whether u is below v in the order.
+	LE(u, v string) bool
+}
+
+// Subword is the scattered-subword (Higman) order: u ≤ v iff u can be
+// obtained from v by deleting letters. Over any finite alphabet it is a
+// well quasi-order (Higman 1952), the engine of the paper's Theorem 2.2.
+type Subword struct{}
+
+var _ QuasiOrder = Subword{}
+
+// Name implements QuasiOrder.
+func (Subword) Name() string { return "subword (Higman)" }
+
+// LE implements QuasiOrder by greedy embedding, which is exact for the
+// subword order.
+func (Subword) LE(u, v string) bool {
+	ru, rv := []rune(u), []rune(v)
+	i := 0
+	for _, r := range rv {
+		if i < len(ru) && ru[i] == r {
+			i++
+		}
+	}
+	return i == len(ru)
+}
+
+// Prefix is the prefix order: u ≤ v iff v = u·w for some w. It is a
+// partial order but NOT a well quasi-order (e.g. {a, ba, bba, ...} is an
+// infinite antichain); it serves as the counterexample showing that the
+// WQO property, not mere transitivity, powers the Harju–Ilie criterion.
+type Prefix struct{}
+
+var _ QuasiOrder = Prefix{}
+
+// Name implements QuasiOrder.
+func (Prefix) Name() string { return "prefix" }
+
+// LE implements QuasiOrder.
+func (Prefix) LE(u, v string) bool {
+	return len(u) <= len(v) && v[:len(u)] == u
+}
+
+// FindDominatingPair returns the first (in lexicographic (j, i) order of
+// discovery) pair of indices i < j with seq[i] ≤ seq[j], or ok = false if
+// the sequence is an antichain-with-descents (no such pair). For a WQO,
+// every infinite sequence contains such a pair; finite sequences may not.
+func FindDominatingPair(qo QuasiOrder, seq []string) (i, j int, ok bool) {
+	for jj := 1; jj < len(seq); jj++ {
+		for ii := 0; ii < jj; ii++ {
+			if qo.LE(seq[ii], seq[jj]) {
+				return ii, jj, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// MinimalElements returns the minimal elements of the word set under the
+// order: every word of the set is above some returned word, and no
+// returned word is strictly above another. For a WQO the result is always
+// finite, and for the subword order it generates the upward closure of
+// the set.
+func MinimalElements(qo QuasiOrder, words []string) []string {
+	var mins []string
+	for _, w := range words {
+		dominated := false
+		for _, m := range mins {
+			if qo.LE(m, w) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Remove previous minima that w is below.
+		keep := mins[:0]
+		for _, m := range mins {
+			if !qo.LE(w, m) {
+				keep = append(keep, m)
+			}
+		}
+		mins = append(keep, w)
+	}
+	return mins
+}
+
+// DownwardClosureNFA returns an NFA for the downward closure of the NFA's
+// language under the subword order: every word obtained by deleting
+// letters from an accepted word. The construction adds an ε-bypass for
+// every labeled transition (skip the letter instead of reading it); by
+// Haines' theorem the result — like the downward closure of ANY language
+// — is regular.
+func DownwardClosureNFA(a *automata.NFA) *automata.NFA {
+	out := a.Clone()
+	alphabet := a.Alphabet()
+	for s := 0; s < a.NumStates(); s++ {
+		for _, sym := range alphabet {
+			for _, t := range a.TransitionsFrom(automata.State(s), sym) {
+				out.AddEpsilon(automata.State(s), t)
+			}
+		}
+	}
+	return out
+}
+
+// UpwardClosureNFA returns an NFA for the upward closure of the NFA's
+// language under the subword order, over the given alphabet: every word
+// containing an accepted word as a scattered subword. The construction
+// adds a self-loop on every alphabet symbol at every state (insertions are
+// ignored). If alphabet is nil, the NFA's own alphabet is used.
+func UpwardClosureNFA(a *automata.NFA, alphabet []rune) *automata.NFA {
+	if alphabet == nil {
+		alphabet = a.Alphabet()
+	}
+	out := a.Clone()
+	for s := 0; s < out.NumStates(); s++ {
+		for _, sym := range alphabet {
+			out.AddTransition(automata.State(s), sym, automata.State(s))
+		}
+	}
+	return out
+}
+
+// ClosureOfFinite builds the minimal DFA of the upward or downward closure
+// of a finite word set over the alphabet.
+func ClosureOfFinite(words []string, alphabet []rune, upward bool) *automata.DFA {
+	a := automata.FromWords(words)
+	var closed *automata.NFA
+	if upward {
+		closed = UpwardClosureNFA(a, alphabet)
+	} else {
+		closed = DownwardClosureNFA(a)
+	}
+	return closed.Determinize(alphabet).Minimize()
+}
+
+// Violation is a witness that a language is not closed under an order.
+type Violation struct {
+	// Lower ≤ Upper in the order, with exactly one of them in the language
+	// against the closure direction.
+	Lower, Upper string
+}
+
+// IsDownwardClosed checks, over every pair of words of length at most
+// maxLen, that v ∈ L and u ≤ v imply u ∈ L. It returns a violation
+// witness otherwise.
+func IsDownwardClosed(l lang.Language, qo QuasiOrder, maxLen int) (bool, *Violation) {
+	words := automata.AllWords(l.Alphabet(), maxLen)
+	members := make([]bool, len(words))
+	for i, w := range words {
+		members[i] = l.Contains(w)
+	}
+	for i, u := range words {
+		if members[i] {
+			continue
+		}
+		for j, v := range words {
+			if members[j] && qo.LE(u, v) {
+				return false, &Violation{Lower: u, Upper: v}
+			}
+		}
+	}
+	return true, nil
+}
+
+// IsUpwardClosed checks, over every pair of words of length at most
+// maxLen, that u ∈ L and u ≤ v imply v ∈ L. It returns a violation
+// witness otherwise.
+func IsUpwardClosed(l lang.Language, qo QuasiOrder, maxLen int) (bool, *Violation) {
+	words := automata.AllWords(l.Alphabet(), maxLen)
+	members := make([]bool, len(words))
+	for i, w := range words {
+		members[i] = l.Contains(w)
+	}
+	for i, u := range words {
+		if !members[i] {
+			continue
+		}
+		for j, v := range words {
+			if !members[j] && qo.LE(u, v) {
+				return false, &Violation{Lower: u, Upper: v}
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,356 @@
+package wqo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tvgwait/internal/automata"
+	"tvgwait/internal/lang"
+)
+
+func TestSubwordLE(t *testing.T) {
+	s := Subword{}
+	cases := []struct {
+		u, v string
+		want bool
+	}{
+		{"", "", true}, {"", "abc", true}, {"a", "", false},
+		{"ab", "ab", true}, {"ab", "aXbY", true}, {"ab", "ba", false},
+		{"aba", "abba", true}, {"aab", "aba", false}, {"abc", "aabbcc", true},
+		{"bb", "abab", true}, {"bbb", "abab", false},
+	}
+	for _, c := range cases {
+		if got := s.LE(c.u, c.v); got != c.want {
+			t.Errorf("Subword.LE(%q, %q) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if s.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+// Subword embedding agrees with an independent dynamic-programming
+// implementation on random pairs.
+func TestSubwordLEProperty(t *testing.T) {
+	dp := func(u, v string) bool {
+		// Classic subsequence DP.
+		i := 0
+		for j := 0; j < len(v) && i < len(u); j++ {
+			if u[i] == v[j] {
+				i++
+			}
+		}
+		return i == len(u)
+	}
+	f := func(a, b []byte) bool {
+		u := binWord(a, 10)
+		v := binWord(b, 14)
+		return Subword{}.LE(u, v) == dp(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func binWord(raw []byte, maxLen int) string {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	var b strings.Builder
+	for _, x := range raw {
+		if x%2 == 0 {
+			b.WriteByte('a')
+		} else {
+			b.WriteByte('b')
+		}
+	}
+	return b.String()
+}
+
+func TestSubwordIsQuasiOrderProperty(t *testing.T) {
+	s := Subword{}
+	// Reflexivity and monotonicity under concatenation.
+	f := func(a, b, c []byte) bool {
+		u := binWord(a, 8)
+		v := binWord(b, 8)
+		w := binWord(c, 4)
+		if !s.LE(u, u) {
+			return false
+		}
+		// u ≤ v implies wu ≤ wv and uw ≤ vw.
+		if s.LE(u, v) {
+			if !s.LE(w+u, w+v) || !s.LE(u+w, v+w) {
+				return false
+			}
+		}
+		// u ≤ u·w and u ≤ w·u always.
+		return s.LE(u, u+w) && s.LE(u, w+u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Transitivity on exhaustive small words.
+	words := automata.AllWords([]rune{'a', 'b'}, 4)
+	for _, u := range words {
+		for _, v := range words {
+			if !s.LE(u, v) {
+				continue
+			}
+			for _, w := range words {
+				if s.LE(v, w) && !s.LE(u, w) {
+					t.Fatalf("transitivity violated: %q ≤ %q ≤ %q", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixOrder(t *testing.T) {
+	p := Prefix{}
+	if !p.LE("", "abc") || !p.LE("ab", "abc") || !p.LE("abc", "abc") {
+		t.Error("prefix positives wrong")
+	}
+	if p.LE("b", "abc") || p.LE("abcd", "abc") || p.LE("ac", "abc") {
+		t.Error("prefix negatives wrong")
+	}
+	if p.Name() == "" {
+		t.Error("name empty")
+	}
+	// {a, ba, bba, bbba, ...} is an antichain for prefix but not for
+	// subword: the non-WQO counterexample.
+	anti := []string{"a", "ba", "bba", "bbba", "bbbba"}
+	if _, _, ok := FindDominatingPair(p, anti); ok {
+		t.Error("prefix order should see no dominating pair in the antichain")
+	}
+	if i, j, ok := FindDominatingPair(Subword{}, anti); !ok || !(Subword{}).LE(anti[i], anti[j]) {
+		t.Error("subword order must find a dominating pair in the same sequence")
+	}
+}
+
+func TestFindDominatingPair(t *testing.T) {
+	s := Subword{}
+	// Increasing chain: first pair is (0, 1).
+	i, j, ok := FindDominatingPair(s, []string{"a", "ab", "abb"})
+	if !ok || i != 0 || j != 1 {
+		t.Errorf("chain: got (%d,%d,%v)", i, j, ok)
+	}
+	// Equal-length distinct words are incomparable.
+	if _, _, ok := FindDominatingPair(s, []string{"aab", "aba", "baa"}); ok {
+		t.Error("equal-length antichain should have no pair")
+	}
+	// Empty and singleton sequences.
+	if _, _, ok := FindDominatingPair(s, nil); ok {
+		t.Error("empty sequence")
+	}
+	if _, _, ok := FindDominatingPair(s, []string{"ab"}); ok {
+		t.Error("singleton sequence")
+	}
+}
+
+// TestHigmanOnRandomSequences is the empirical trace of Higman's lemma:
+// long random sequences over a fixed alphabet (deterministic seed) always
+// contain a dominating pair, and the pair returned is genuinely ordered.
+func TestHigmanOnRandomSequences(t *testing.T) {
+	s := Subword{}
+	rng := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < 20; trial++ {
+		seq := make([]string, 400)
+		for k := range seq {
+			seq[k] = automata.RandomWord(rng, []rune{'a', 'b'}, rng.Intn(13))
+		}
+		i, j, ok := FindDominatingPair(s, seq)
+		if !ok {
+			t.Fatalf("trial %d: no dominating pair in 400 random words", trial)
+		}
+		if i >= j || !s.LE(seq[i], seq[j]) {
+			t.Fatalf("trial %d: returned pair (%d, %d) is not ordered", trial, i, j)
+		}
+	}
+}
+
+func TestMinimalElements(t *testing.T) {
+	s := Subword{}
+	mins := MinimalElements(s, []string{"aabb", "ab", "abab", "ba", "bbaa"})
+	// ab ≤ aabb, abab; ba ≤ bbaa... ba ≤ bbaa? b,a in b,b,a,a: yes.
+	want := map[string]bool{"ab": true, "ba": true}
+	if len(mins) != len(want) {
+		t.Fatalf("MinimalElements = %v, want ab and ba", mins)
+	}
+	for _, m := range mins {
+		if !want[m] {
+			t.Errorf("unexpected minimal element %q", m)
+		}
+	}
+	// Minimality invariants on random sets: every input word dominates
+	// some minimal element; minimal elements are pairwise incomparable.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var words []string
+		for k := 0; k < 30; k++ {
+			words = append(words, automata.RandomWord(rng, []rune{'a', 'b'}, rng.Intn(7)))
+		}
+		mins := MinimalElements(s, words)
+		for _, w := range words {
+			found := false
+			for _, m := range mins {
+				if s.LE(m, w) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("word %q dominates no minimal element %v", w, mins)
+			}
+		}
+		for a := range mins {
+			for b := range mins {
+				if a != b && s.LE(mins[a], mins[b]) {
+					t.Fatalf("minimal elements %q ≤ %q are comparable", mins[a], mins[b])
+				}
+			}
+		}
+	}
+}
+
+func TestDownwardClosureNFA(t *testing.T) {
+	// L = (ab)*; ↓L must contain exactly the scattered subwords of (ab)^n.
+	nfa := automata.MustCompileRegex("(ab)*")
+	down := DownwardClosureNFA(nfa)
+	s := Subword{}
+	alphabet := []rune{'a', 'b'}
+	for _, w := range automata.AllWords(alphabet, 6) {
+		// Brute force: w ∈ ↓L iff w embeds in (ab)^k for k = len(w)
+		// (if w embeds in any (ab)^n it embeds in (ab)^{len(w)}).
+		target := strings.Repeat("ab", len(w)+1)
+		want := s.LE(w, target)
+		if got := down.Accepts(w); got != want {
+			t.Errorf("↓(ab)* on %q = %v, want %v", w, got, want)
+		}
+	}
+	// Downward closure contains the original language and ε.
+	if !down.Accepts("") || !down.Accepts("abab") {
+		t.Error("closure must contain ε and L")
+	}
+}
+
+func TestUpwardClosureNFA(t *testing.T) {
+	// L = {ab}; ↑L = words with an a somewhere before a b.
+	nfa := automata.MustCompileRegex("ab")
+	up := UpwardClosureNFA(nfa, []rune{'a', 'b'})
+	s := Subword{}
+	for _, w := range automata.AllWords([]rune{'a', 'b'}, 7) {
+		want := s.LE("ab", w)
+		if got := up.Accepts(w); got != want {
+			t.Errorf("↑{ab} on %q = %v, want %v", w, got, want)
+		}
+	}
+	// Default alphabet variant.
+	up2 := UpwardClosureNFA(nfa, nil)
+	if !up2.Accepts("aabb") || up2.Accepts("ba") {
+		t.Error("default-alphabet upward closure wrong")
+	}
+}
+
+// TestClosuresAreIdempotentAndMonotone checks closure algebra on random
+// regular languages: L ⊆ ↑L, L ⊆ ↓L, and both operations are idempotent.
+func TestClosuresAreIdempotentAndMonotone(t *testing.T) {
+	patterns := []string{"(ab)*", "a*b", "(a|b)b*", "ab|ba", "(aa)*b?"}
+	alphabet := []rune{'a', 'b'}
+	words := automata.AllWords(alphabet, 6)
+	for _, p := range patterns {
+		nfa := automata.MustCompileRegex(p)
+		down := DownwardClosureNFA(nfa)
+		downTwice := DownwardClosureNFA(down)
+		up := UpwardClosureNFA(nfa, alphabet)
+		upTwice := UpwardClosureNFA(up, alphabet)
+		for _, w := range words {
+			if nfa.Accepts(w) && !down.Accepts(w) {
+				t.Fatalf("%q: L ⊄ ↓L at %q", p, w)
+			}
+			if nfa.Accepts(w) && !up.Accepts(w) {
+				t.Fatalf("%q: L ⊄ ↑L at %q", p, w)
+			}
+			if down.Accepts(w) != downTwice.Accepts(w) {
+				t.Fatalf("%q: ↓ not idempotent at %q", p, w)
+			}
+			if up.Accepts(w) != upTwice.Accepts(w) {
+				t.Fatalf("%q: ↑ not idempotent at %q", p, w)
+			}
+		}
+	}
+}
+
+// TestHainesOnAnBn computes closures of the non-regular {aⁿbⁿ} from its
+// finite slices and checks the expected regular limits: ↓{aⁿbⁿ} = a*b*
+// and ↑{aⁿbⁿ} = ↑{ab}.
+func TestHainesOnAnBn(t *testing.T) {
+	members := lang.MembersUpTo(lang.AnBn(), 12)
+	alphabet := []rune{'a', 'b'}
+	down := ClosureOfFinite(members, alphabet, false)
+	astarbstar := automata.MustCompileRegex("a*b*").Determinize(alphabet).Minimize()
+	// ↓ of the slice agrees with a*b* on words short enough to embed into
+	// the slice: a^i b^j embeds into a^n b^n iff n ≥ max(i, j), and the
+	// slice holds n ≤ 6, so compare on words of length ≤ 6.
+	for _, w := range automata.AllWords(alphabet, 6) {
+		if down.Accepts(w) != astarbstar.Accepts(w) {
+			t.Errorf("↓aⁿbⁿ vs a*b* differ at %q", w)
+		}
+	}
+	up := ClosureOfFinite(members, alphabet, true)
+	upAB := ClosureOfFinite([]string{"ab"}, alphabet, true)
+	if !up.Equal(upAB) {
+		t.Error("↑{aⁿbⁿ} should equal ↑{ab} (ab is the unique minimal element)")
+	}
+	// And the minimal-element machinery agrees.
+	mins := MinimalElements(Subword{}, members)
+	if len(mins) != 1 || mins[0] != "ab" {
+		t.Errorf("MinimalElements(aⁿbⁿ slice) = %v, want [ab]", mins)
+	}
+}
+
+func TestClosednessChecks(t *testing.T) {
+	s := Subword{}
+	// a*b* is downward closed but not upward closed.
+	astarbstar, err := lang.FromRegex("a*b*", "a*b*", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := IsDownwardClosed(astarbstar, s, 6); !ok {
+		t.Errorf("a*b* should be downward closed; violation %+v", v)
+	}
+	if ok, _ := IsUpwardClosed(astarbstar, s, 6); ok {
+		t.Error("a*b* should not be upward closed (ab ≤ aba ∉ L)")
+	}
+	// ↑{ab} is upward closed but not downward closed.
+	upAB := lang.NewRegular("up-ab", ClosureOfFinite([]string{"ab"}, []rune{'a', 'b'}, true))
+	if ok, v := IsUpwardClosed(upAB, s, 6); !ok {
+		t.Errorf("↑{ab} should be upward closed; violation %+v", v)
+	}
+	ok, v := IsDownwardClosed(upAB, s, 6)
+	if ok {
+		t.Error("↑{ab} should not be downward closed")
+	}
+	if v == nil || !s.LE(v.Lower, v.Upper) {
+		t.Errorf("violation witness not ordered: %+v", v)
+	}
+	// Σ* is closed both ways; ∅ likewise.
+	sigma, err := lang.FromRegex("Σ*", "(a|b)*", []rune{'a', 'b'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := IsDownwardClosed(sigma, s, 5); !ok {
+		t.Error("Σ* downward closed")
+	}
+	if ok, _ := IsUpwardClosed(sigma, s, 5); !ok {
+		t.Error("Σ* upward closed")
+	}
+	// {aⁿbⁿ} is closed neither way (the paper's non-regular example).
+	if ok, _ := IsDownwardClosed(lang.AnBn(), s, 6); ok {
+		t.Error("aⁿbⁿ should not be downward closed")
+	}
+	if ok, _ := IsUpwardClosed(lang.AnBn(), s, 6); ok {
+		t.Error("aⁿbⁿ should not be upward closed")
+	}
+}

@@ -1,0 +1,195 @@
+package tvgwait
+
+import (
+	"tvgwait/internal/anbn"
+	"tvgwait/internal/automata"
+	"tvgwait/internal/construct"
+	"tvgwait/internal/core"
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/lang"
+	"tvgwait/internal/tvg"
+)
+
+// Core model types, re-exported for single-import use.
+type (
+	// Time is a discrete instant (ticks from 0).
+	Time = tvg.Time
+	// Symbol is an edge label.
+	Symbol = tvg.Symbol
+	// Node identifies a vertex of a Graph.
+	Node = tvg.Node
+	// EdgeID identifies an edge of a Graph.
+	EdgeID = tvg.EdgeID
+	// Edge is a labeled, directed, time-varying edge.
+	Edge = tvg.Edge
+	// Graph is a time-varying graph G = (V, E, T, ρ, ζ).
+	Graph = tvg.Graph
+	// Compiled is a finite-horizon compiled schedule.
+	Compiled = tvg.Compiled
+	// Presence is an edge availability schedule (ρ restricted to an edge).
+	Presence = tvg.Presence
+	// Latency is an edge crossing-time schedule (ζ restricted to an edge).
+	Latency = tvg.Latency
+
+	// Mode is a waiting semantics: NoWait, Wait or BoundedWait(d).
+	Mode = journey.Mode
+	// Journey is a path over time (a walk plus departure times).
+	Journey = journey.Journey
+	// Hop is one edge traversal of a Journey.
+	Hop = journey.Hop
+
+	// Automaton is a TVG-automaton A(G) = (Σ, S, I, E, F).
+	Automaton = core.Automaton
+	// Decider is a compiled membership decision procedure.
+	Decider = core.Decider
+
+	// Language is a decidable formal language (alphabet + membership).
+	Language = lang.Language
+
+	// NFA and DFA are the classical automata used as regularity witnesses.
+	NFA = automata.NFA
+	DFA = automata.DFA
+
+	// Message and DeliveryResult belong to the store-carry-forward
+	// simulator (the paper's motivating setting).
+	Message = dtn.Message
+	// DeliveryResult describes one simulated message.
+	DeliveryResult = dtn.Result
+)
+
+// Graph construction.
+
+// NewGraph returns an empty time-varying graph.
+func NewGraph() *Graph { return tvg.New() }
+
+// Compile scans a graph's schedules over [0, horizon]; all decision
+// procedures operate on the compiled form.
+func Compile(g *Graph, horizon Time) (*Compiled, error) { return tvg.Compile(g, horizon) }
+
+// Schedule helpers.
+
+// Always returns a presence schedule that is available at every time.
+func Always() Presence { return tvg.Always{} }
+
+// Never returns a presence schedule that is never available.
+func Never() Presence { return tvg.Never{} }
+
+// At returns a presence schedule available exactly at the given instants.
+func At(times ...Time) Presence { return tvg.NewTimeSet(times...) }
+
+// During returns a presence schedule available on [start, end).
+func During(start, end Time) Presence {
+	return tvg.NewIntervals(tvg.Interval{Start: start, End: end})
+}
+
+// Periodic returns a presence schedule repeating the pattern forever.
+func Periodic(pattern []bool) (Presence, error) { return tvg.NewPeriodicPresence(pattern) }
+
+// ConstLatency returns a fixed crossing time.
+func ConstLatency(d Time) Latency { return tvg.ConstLatency(d) }
+
+// Waiting semantics.
+
+// NoWait returns the direct-journey semantics (no buffering).
+func NoWait() Mode { return journey.NoWait() }
+
+// Wait returns the indirect-journey semantics (unbounded buffering).
+func Wait() Mode { return journey.Wait() }
+
+// BoundedWait returns the semantics allowing pauses of at most d ticks.
+func BoundedWait(d Time) Mode { return journey.BoundedWait(d) }
+
+// Automata over TVGs.
+
+// NewAutomaton wraps a graph as a TVG-automaton.
+func NewAutomaton(g *Graph) *Automaton { return core.NewAutomaton(g) }
+
+// NewDecider compiles a membership decision procedure for the automaton
+// under the given waiting semantics and horizon.
+func NewDecider(a *Automaton, mode Mode, horizon Time) (*Decider, error) {
+	return core.NewDecider(a, mode, horizon)
+}
+
+// Journey metrics.
+
+// Foremost returns an earliest-arrival journey from src to dst departing
+// no earlier than t0.
+func Foremost(c *Compiled, mode Mode, src, dst Node, t0 Time) (Journey, Time, bool) {
+	return journey.Foremost(c, mode, src, dst, t0)
+}
+
+// MinHop returns a fewest-hops journey from src to dst.
+func MinHop(c *Compiled, mode Mode, src, dst Node, t0 Time) (Journey, int, bool) {
+	return journey.MinHop(c, mode, src, dst, t0)
+}
+
+// Fastest returns a journey minimizing departure-to-arrival span.
+func Fastest(c *Compiled, mode Mode, src, dst Node, t0 Time) (Journey, Time, bool) {
+	return journey.Fastest(c, mode, src, dst, t0)
+}
+
+// TemporallyConnected reports whether every ordered node pair is joined by
+// a feasible journey.
+func TemporallyConnected(c *Compiled, mode Mode, t0 Time) bool {
+	return journey.TemporallyConnected(c, mode, t0)
+}
+
+// TemporalDiameter returns the worst foremost delay between any ordered
+// node pair, or ok=false if the graph is not temporally connected.
+func TemporalDiameter(c *Compiled, mode Mode, t0 Time) (Time, bool) {
+	return journey.TemporalDiameter(c, mode, t0)
+}
+
+// EnumerateJourneys lists every feasible journey from src (departing no
+// earlier than t0) with at most maxHops hops, up to limit entries
+// (limit <= 0 means unlimited); the bool reports truncation.
+func EnumerateJourneys(c *Compiled, mode Mode, src Node, t0 Time, maxHops, limit int) ([]Journey, bool) {
+	return journey.Enumerate(c, mode, src, t0, maxHops, limit)
+}
+
+// Paper constructions.
+
+// Figure1 builds the paper's Figure 1 / Table 1 automaton for primes p, q:
+// L_nowait(G) = {aⁿbⁿ : n ≥ 1}.
+func Figure1(p, q int64) (*Automaton, error) { return anbn.New(anbn.Params{P: p, Q: q}) }
+
+// Figure1Horizon returns a horizon deciding all words of length ≤ maxLen
+// exactly on the Figure 1 automaton.
+func Figure1Horizon(p, q int64, maxLen int) (Time, error) {
+	return anbn.HorizonForLength(anbn.Params{P: p, Q: q}, maxLen)
+}
+
+// FromRegex builds a static TVG-automaton recognizing the regular pattern
+// under every waiting semantics (Theorem 2.2, easy half).
+func FromRegex(pattern string, alphabet []rune) (*Automaton, error) {
+	return construct.FromRegex(pattern, alphabet)
+}
+
+// FromDecider builds a TVG-automaton with L_nowait(G) = L for any
+// decidable language L (Theorem 2.1).
+func FromDecider(l Language) (*Automaton, error) { return construct.FromDecider(l) }
+
+// LanguageDFA extracts the minimal DFA of the automaton's horizon-bounded
+// language (Theorem 2.2, hard half: the regularity witness).
+func LanguageDFA(a *Automaton, mode Mode, horizon Time, alphabet []rune) (*DFA, error) {
+	return construct.LanguageDFA(a, mode, horizon, alphabet)
+}
+
+// Dilate time-expands an automaton by factor k; Dilate(a, d+1) makes
+// wait[d] equivalent to nowait (Theorem 2.3).
+func Dilate(a *Automaton, k Time) (*Automaton, error) { return construct.DilateAutomaton(a, k) }
+
+// IntersectDFA builds the product automaton with L_mode(result) =
+// L_mode(a) ∩ L(d) for every waiting semantics — regular filtering of TVG
+// languages.
+func IntersectDFA(a *Automaton, d *DFA) (*Automaton, error) {
+	return construct.IntersectDFA(a, d)
+}
+
+// Store-carry-forward simulation.
+
+// Deliver floods one message under the buffering policy given by mode.
+func Deliver(c *Compiled, mode Mode, msg Message) (DeliveryResult, error) {
+	return dtn.Simulate(c, mode, msg)
+}
