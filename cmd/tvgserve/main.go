@@ -1,0 +1,187 @@
+// Command tvgserve serves the batch-simulation engine over HTTP: a
+// long-running, multi-user entry point to the store-carry-forward
+// workloads that cmd/tvgsim runs one-shot.
+//
+// Endpoints (request/response bodies are JSON):
+//
+//	POST /simulate  — engine.ScenarioSpec  → engine.Report
+//	POST /journey   — engine.JourneyRequest → engine.JourneyReport
+//	GET  /healthz   — liveness probe ("ok")
+//
+// Every request runs under a server-side timeout, and the number of
+// simulations in flight is bounded; excess requests are rejected with
+// 429 rather than queued, so a burst cannot exhaust the host.
+//
+// Example:
+//
+//	tvgserve -addr :8080 &
+//	curl -s localhost:8080/simulate -d '{
+//	  "graph": {"model": "markov", "nodes": 16, "birth": 0.03,
+//	            "death": 0.5, "horizon": 100},
+//	  "modes": ["nowait", "wait:4", "wait"],
+//	  "messages": 50, "replicates": 4, "seed": 1}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"tvgwait/internal/engine"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tvgserve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request simulation timeout")
+	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max simulations in flight (excess gets 429)")
+	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 256, "compiled-schedule cache entries")
+	fs.Parse(os.Args[1:])
+
+	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize}),
+		*timeout, *inflight)
+	log.Printf("tvgserve: listening on %s (timeout=%s, inflight=%d)", *addr, *timeout, *inflight)
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound slow-body reads and slow-reader writes too: request
+		// bodies are small specs, so anything that takes longer than
+		// the simulation budget is a stalled client holding a
+		// connection, not a legitimate request.
+		ReadTimeout:  *timeout + 30*time.Second,
+		WriteTimeout: *timeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}
+
+// maxBodyBytes bounds request bodies; specs are small.
+const maxBodyBytes = 1 << 20
+
+// server wires the engine to HTTP with admission control.
+type server struct {
+	eng     *engine.Engine
+	timeout time.Duration
+	sem     chan struct{} // counting semaphore: one slot per in-flight run
+}
+
+func newServer(eng *engine.Engine, timeout time.Duration, inflight int) *server {
+	if inflight < 1 {
+		inflight = 1
+	}
+	return &server{eng: eng, timeout: timeout, sem: make(chan struct{}, inflight)}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /simulate", s.handleSimulate)
+	mux.HandleFunc("POST /journey", s.handleJourney)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// admit claims an in-flight slot without blocking. The returned release
+// is nil when the server is saturated (the caller has already been sent
+// a 429).
+func (s *server) admit(w http.ResponseWriter) (release func()) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }
+	default:
+		http.Error(w, "too many simulations in flight, retry later", http.StatusTooManyRequests)
+		return nil
+	}
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var spec engine.ScenarioSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	started := time.Now()
+	report, err := s.eng.Run(ctx, spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		*engine.Report
+		ElapsedMS int64 `json:"elapsedMs"`
+	}{report, time.Since(started).Milliseconds()})
+}
+
+func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
+	var req engine.JourneyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	report, err := s.eng.Journey(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, report)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeError maps engine failures onto HTTP statuses: spec mistakes are
+// the client's (400), exceeded deadlines are reported as such (504), and
+// anything else is a server fault (500).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, engine.ErrInvalidSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("tvgserve: encode response: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tvgwait/internal/engine"
+)
+
+func testServer(t *testing.T, timeout time.Duration, inflight int) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(engine.New(engine.Options{}), timeout, inflight)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+const simBody = `{
+	"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.5, "horizon": 50},
+	"modes": ["nowait", "wait:2", "wait"],
+	"messages": 10,
+	"seed": 7
+}`
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status = %d, want 200", resp.StatusCode)
+	}
+	var got struct {
+		engine.Report
+		ElapsedMS *int64 `json:"elapsedMs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Unicast) != 3 || got.ElapsedMS == nil {
+		t.Errorf("report shape wrong: %+v", got)
+	}
+	for _, mr := range got.Unicast {
+		if mr.Messages != 10 {
+			t.Errorf("mode %s simulated %d messages, want 10", mr.Mode, mr.Messages)
+		}
+	}
+	// Waiting can only help: the wait row must deliver at least as much
+	// as the nowait row.
+	if got.Unicast[2].DeliveryRatio < got.Unicast[0].DeliveryRatio {
+		t.Errorf("wait delivery %.3f below nowait %.3f",
+			got.Unicast[2].DeliveryRatio, got.Unicast[0].DeliveryRatio)
+	}
+}
+
+func TestSimulateBroadcast(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	body := `{
+		"graph": {"model": "markov", "nodes": 10, "birth": 0.05, "death": 0.5, "horizon": 40},
+		"modes": ["nowait", "wait"], "broadcast": 0, "replicates": 2, "seed": 3
+	}`
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got engine.Report
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(got.Broadcast) != 2 || len(got.Unicast) != 0 {
+		t.Errorf("broadcast response wrong (status %d): %+v", resp.StatusCode, got)
+	}
+}
+
+func TestJourneyEndpoint(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	body := `{
+		"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.4, "horizon": 80},
+		"seed": 7, "mode": "wait", "kind": "foremost", "src": 0, "dst": 5
+	}`
+	resp, err := http.Post(ts.URL+"/journey", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got engine.JourneyReport
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !got.Found || got.Hops < 1 {
+		t.Errorf("journey response wrong (status %d): %+v", resp.StatusCode, got)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/simulate", `not json`, http.StatusBadRequest},
+		{"/simulate", `{"graph": {"model": "bogus", "nodes": 8, "horizon": 10}}`, http.StatusBadRequest},
+		{"/simulate", `{"graph": {"model": "markov", "nodes": 8, "horizon": 10}, "bogusField": 1}`, http.StatusBadRequest},
+		{"/journey", `{"graph": {"model": "markov", "nodes": 8, "horizon": 10}, "mode": "wait", "src": 0, "dst": 99}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %q: status = %d, want %d", c.path, c.body, resp.StatusCode, c.want)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /simulate status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestInflightLimit saturates the admission semaphore and checks that the
+// next request is rejected rather than queued.
+func TestInflightLimit(t *testing.T) {
+	srv, ts := testServer(t, time.Minute, 1)
+	srv.sem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sem }()
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated simulate status = %d, want 429", resp.StatusCode)
+	}
+	// Health stays green while simulations are saturated.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("healthz under load = %d, want 200", hresp.StatusCode)
+	}
+}
+
+// TestRequestTimeout gives a heavyweight spec a tiny deadline and expects
+// a gateway-timeout response.
+func TestRequestTimeout(t *testing.T) {
+	_, ts := testServer(t, time.Millisecond, 2)
+	body := `{
+		"graph": {"model": "markov", "nodes": 64, "birth": 0.05, "death": 0.5, "horizon": 400},
+		"modes": ["wait"], "messages": 500, "replicates": 4, "seed": 1
+	}`
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timeout status = %d, want 504", resp.StatusCode)
+	}
+}

@@ -1,24 +1,27 @@
 // Command tvgsim runs store-carry-forward delivery experiments on
 // generated dynamic networks, comparing waiting budgets — the paper's
-// "power of waiting" measured as delivery ratio and latency.
+// "power of waiting" measured as delivery ratio and latency. It is a
+// thin CLI over the batch engine (internal/engine): flags declare a
+// ScenarioSpec, the engine fans the simulations out across the worker
+// pool, and the aggregated report is printed.
 //
 // Examples:
 //
 //	tvgsim -model markov -nodes 16 -birth 0.03 -death 0.5 -horizon 100 -messages 50
 //	tvgsim -model mobility -width 6 -height 6 -nodes 12 -horizon 120
 //	tvgsim -model markov -nodes 16 -broadcast 0
+//	tvgsim -model markov -nodes 32 -replicates 16 -quantiles
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"tvgwait/internal/dtn"
-	"tvgwait/internal/gen"
+	"tvgwait/internal/engine"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/tvg"
 )
@@ -32,7 +35,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tvgsim", flag.ContinueOnError)
-	model := fs.String("model", "markov", "network model: markov | bernoulli | mobility")
+	model := fs.String("model", "markov", "network model: markov | bernoulli | mobility | periodic")
 	nodes := fs.Int("nodes", 16, "number of nodes / walkers")
 	birth := fs.Float64("birth", 0.03, "edge birth probability (markov)")
 	death := fs.Float64("death", 0.5, "edge death probability (markov)")
@@ -45,46 +48,59 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator and workload seed")
 	broadcast := fs.Int64("broadcast", -1, "if >= 0: broadcast from this node instead of the unicast sweep")
 	diameter := fs.Bool("diameter", false, "also report the temporal diameter per mode")
+	replicates := fs.Int("replicates", 1, "independent replicates pooled into the report")
+	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
+	quantiles := fs.Bool("quantiles", false, "also print latency quantiles per mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	g, err := buildGraph(*model, *nodes, *birth, *death, *prob, *width, *height, *horizon, *seed)
-	if err != nil {
-		return err
-	}
-	c, err := tvg.Compile(g, *horizon)
-	if err != nil {
-		return err
-	}
 	modes, err := parseModes(*modesFlag)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "model=%s nodes=%d horizon=%d contacts=%d seed=%d\n",
-		*model, g.NumNodes(), *horizon, c.TotalContacts(), *seed)
-
+	spec := engine.ScenarioSpec{
+		Graph: engine.GraphSpec{
+			Model: *model, Nodes: *nodes, Birth: *birth, Death: *death, P: *prob,
+			Width: *width, Height: *height, Horizon: *horizon,
+		},
+		Modes:      engine.ModeStrings(modes),
+		Messages:   *messages,
+		Replicates: *replicates,
+		Seed:       *seed,
+		Workers:    *workers,
+	}
 	if *broadcast >= 0 {
 		src := tvg.Node(*broadcast)
-		fmt.Fprintf(w, "broadcast from node %d at t=0:\n", src)
-		fmt.Fprintf(w, "%-10s %10s %14s\n", "mode", "reached", "transmissions")
-		for _, mode := range modes {
-			r, err := dtn.Broadcast(c, mode, src, 0)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-10s %9.1f%% %14d\n", mode, 100*r.Ratio, r.Transmissions)
-		}
-		return nil
+		spec.Broadcast = &src
 	}
 
-	rows, err := dtn.Sweep(c, modes, *messages, *seed)
+	eng := engine.New(engine.Options{})
+	report, err := eng.Run(context.Background(), spec)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, dtn.FormatSweep(rows))
+	fmt.Fprintf(w, "model=%s nodes=%d horizon=%d contacts=%d seed=%d replicates=%d\n",
+		*model, *nodes, *horizon, report.Contacts, *seed, *replicates)
+
+	if spec.Broadcast != nil {
+		fmt.Fprintf(w, "broadcast from node %d at t=0:\n", *spec.Broadcast)
+		fmt.Fprint(w, report.FormatBroadcast())
+		return nil
+	}
+
+	fmt.Fprint(w, dtn.FormatSweep(report.SweepRows()))
+
+	if *quantiles {
+		fmt.Fprintln(w, "\nlatency quantiles over delivered messages:")
+		fmt.Fprint(w, report.FormatQuantiles())
+	}
 
 	if *diameter {
+		c, err := eng.Compiled(spec.Graph, *seed)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(w, "\ntemporal diameter (worst foremost delay over all ordered pairs):")
 		for _, mode := range modes {
 			if d, ok := journey.TemporalDiameter(c, mode, 0); ok {
@@ -97,44 +113,7 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-func buildGraph(model string, nodes int, birth, death, p float64, width, height int, horizon int64, seed int64) (*tvg.Graph, error) {
-	switch model {
-	case "markov":
-		return gen.EdgeMarkovian(gen.EdgeMarkovianParams{
-			Nodes: nodes, PBirth: birth, PDeath: death, Horizon: horizon, Seed: seed,
-		})
-	case "bernoulli":
-		return gen.Bernoulli(nodes, p, horizon, seed)
-	case "mobility":
-		return gen.GridMobility(gen.MobilityParams{
-			Width: width, Height: height, Nodes: nodes, Horizon: horizon, Seed: seed,
-		})
-	default:
-		return nil, fmt.Errorf("unknown model %q (want markov | bernoulli | mobility)", model)
-	}
-}
-
+// parseModes parses the -modes flag through the engine's mode syntax.
 func parseModes(s string) ([]journey.Mode, error) {
-	var out []journey.Mode
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		switch {
-		case part == "nowait":
-			out = append(out, journey.NoWait())
-		case part == "wait":
-			out = append(out, journey.Wait())
-		case strings.HasPrefix(part, "wait:"):
-			d, err := strconv.ParseInt(strings.TrimPrefix(part, "wait:"), 10, 64)
-			if err != nil || d < 0 {
-				return nil, fmt.Errorf("invalid mode %q", part)
-			}
-			out = append(out, journey.BoundedWait(d))
-		default:
-			return nil, fmt.Errorf("unknown mode %q", part)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no modes given")
-	}
-	return out, nil
+	return engine.ParseModeList(s)
 }

@@ -20,7 +20,9 @@
 //
 // This package is the public facade: it re-exports the user-facing types
 // and constructors from the internal packages so that downstream code
-// needs a single import. Advanced functionality (grammar tools, WQO
-// machinery, generators, the DTN simulator) lives in the internal
-// packages and is exercised by the cmd/ tools and examples/.
+// needs a single import. That includes the concurrent batch-simulation
+// engine (NewEngine, ScenarioSpec, Report) that powers cmd/tvgsim and
+// cmd/tvgserve. Advanced functionality (grammar tools, WQO machinery,
+// generators, the DTN simulator) lives in the internal packages and is
+// exercised by the cmd/ tools and examples/.
 package tvgwait

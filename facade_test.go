@@ -1,6 +1,7 @@
 package tvgwait_test
 
 import (
+	"context"
 	"testing"
 
 	"tvgwait"
@@ -226,5 +227,45 @@ func TestFacadeDelivery(t *testing.T) {
 	}
 	if r.Delivered {
 		t.Error("nowait delivery should fail")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	eng := tvgwait.NewEngine(tvgwait.EngineOptions{})
+	modes, err := tvgwait.ParseModeList("nowait,wait:2,wait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := eng.Run(context.Background(), tvgwait.ScenarioSpec{
+		Graph: tvgwait.GraphSpec{
+			Model: "markov", Nodes: 10, Birth: 0.05, Death: 0.5, Horizon: 50,
+		},
+		Modes:      []string{"nowait", "wait:2", "wait"},
+		Messages:   10,
+		Replicates: 2,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Unicast) != len(modes) {
+		t.Fatalf("report has %d rows, want %d", len(report.Unicast), len(modes))
+	}
+	for i, row := range report.Unicast {
+		if row.Mode != modes[i].String() || row.Messages != 20 {
+			t.Errorf("row %d = %+v", i, row)
+		}
+	}
+	jr, err := eng.Journey(context.Background(), tvgwait.JourneyRequest{
+		Graph: tvgwait.GraphSpec{
+			Model: "markov", Nodes: 10, Birth: 0.05, Death: 0.5, Horizon: 50,
+		},
+		Seed: 42, Mode: "wait", Src: 0, Dst: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Found && jr.Arrival < jr.Departure {
+		t.Errorf("journey report inconsistent: %+v", jr)
 	}
 }

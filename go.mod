@@ -1,0 +1,3 @@
+module tvgwait
+
+go 1.24

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchSpec is a markov sweep sized so one run takes long enough for the
+// pool to matter but short enough to benchmark comfortably.
+func benchSpec(workers int) ScenarioSpec {
+	return ScenarioSpec{
+		Graph: GraphSpec{
+			Model: "markov", Nodes: 32, Birth: 0.02, Death: 0.5, Horizon: 120,
+		},
+		Modes:      []string{"nowait", "wait:2", "wait:8", "wait"},
+		Messages:   48,
+		Replicates: 2,
+		Seed:       2012,
+		Workers:    workers,
+	}
+}
+
+// workerCounts is the deduplicated benchmark grid: sequential, a fixed
+// 4-wide pool (the speedup reference on multi-core hosts) and the full
+// machine width.
+func workerCounts() []int {
+	counts := []int{1}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if w > counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	return counts
+}
+
+// BenchmarkEngineWorkers compares sequential and parallel batch runs of
+// the same markov sweep. The schedule cache is warmed outside the timer
+// so the benchmark isolates the fan-out itself.
+func BenchmarkEngineWorkers(b *testing.B) {
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := New(Options{})
+			spec := benchSpec(workers)
+			if _, err := e.Run(context.Background(), spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineColdCache measures a full run including graph generation
+// and schedule compilation (every iteration misses the cache).
+func BenchmarkEngineColdCache(b *testing.B) {
+	e := New(Options{CacheSize: 1})
+	spec := benchSpec(runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = int64(i + 1)
+		if _, err := e.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"tvgwait/internal/tvg"
+)
+
+// scheduleCache is a bounded LRU of compiled contact schedules keyed by
+// GraphSpec.key. Compiled schedules are read-only after construction, so
+// a cached pointer can be shared by any number of concurrent workers.
+//
+// Each entry owns a sync.Once: concurrent requests for the same key
+// build the schedule exactly once and everyone blocks on that build
+// rather than duplicating it (the map lock is never held while
+// generating or compiling a graph).
+type scheduleCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	c    *tvg.Compiled
+	err  error
+}
+
+func newScheduleCache(capacity int) *scheduleCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &scheduleCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the compiled schedule for key, building it with build on a
+// miss. A failed build is evicted so it does not pin a capacity slot.
+func (sc *scheduleCache) get(key string, build func() (*tvg.Compiled, error)) (*tvg.Compiled, error) {
+	sc.mu.Lock()
+	el, ok := sc.m[key]
+	if ok {
+		sc.ll.MoveToFront(el)
+	} else {
+		el = sc.ll.PushFront(&cacheEntry{key: key})
+		sc.m[key] = el
+		for sc.ll.Len() > sc.cap {
+			oldest := sc.ll.Back()
+			sc.ll.Remove(oldest)
+			delete(sc.m, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	entry := el.Value.(*cacheEntry)
+	sc.mu.Unlock()
+
+	entry.once.Do(func() {
+		entry.c, entry.err = build()
+	})
+	if entry.err != nil {
+		sc.mu.Lock()
+		if el, ok := sc.m[key]; ok && el.Value.(*cacheEntry) == entry {
+			sc.ll.Remove(el)
+			delete(sc.m, key)
+		}
+		sc.mu.Unlock()
+	}
+	return entry.c, entry.err
+}
+
+// len reports the number of cached entries (for tests).
+func (sc *scheduleCache) len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.ll.Len()
+}

@@ -1,0 +1,24 @@
+// Package engine is the concurrent batch-simulation engine: it takes a
+// declarative ScenarioSpec (network model + parameters, waiting modes,
+// unicast workload or broadcast source, replication count, seed) and fans
+// the per-message store-carry-forward simulations out across a worker
+// pool, aggregating the results into a Report.
+//
+// Design goals, in order:
+//
+//   - Determinism: every random choice is drawn from a seed-derived
+//     stream (see rng.go), tasks are indexed up front and results land in
+//     pre-assigned slots, and aggregation walks the slots in order — so a
+//     run with Workers=N is byte-identical to a run with Workers=1.
+//   - Throughput: the expensive part (one epidemic flood per message per
+//     mode per replicate) parallelizes embarrassingly; compiled contact
+//     schedules are shared read-only across workers and cached across
+//     runs in a bounded LRU keyed by the generating spec.
+//   - Serveability: Run takes a context and honours cancellation and
+//     deadlines between tasks, so the engine can sit behind cmd/tvgserve
+//     with per-request timeouts.
+//
+// The engine subsumes the ad-hoc loops that cmd/tvgsim and the E5
+// experiment used to carry: both now declare a ScenarioSpec and format
+// the returned Report.
+package engine

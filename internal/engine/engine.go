@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// Options configures an Engine. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the default worker-pool width (0 = GOMAXPROCS). A
+	// spec's Workers field overrides it per run.
+	Workers int
+	// CacheSize bounds the compiled-schedule LRU (0 = 64 entries).
+	CacheSize int
+}
+
+// Engine runs batch simulations. It is safe for concurrent use: runs
+// share the schedule cache and nothing else.
+type Engine struct {
+	workers int
+	cache   *scheduleCache
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 64
+	}
+	return &Engine{workers: workers, cache: newScheduleCache(cacheSize)}
+}
+
+// Compiled returns the cached compiled schedule of (spec, seed),
+// generating and compiling it on a miss.
+func (e *Engine) Compiled(g GraphSpec, seed int64) (*tvg.Compiled, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return e.cache.get(g.key(seed), func() (*tvg.Compiled, error) {
+		graph, err := g.Build(seed)
+		if err != nil {
+			// A validated spec should never fail generation; if a
+			// generator still rejects it, the spec is to blame.
+			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+		}
+		return tvg.Compile(graph, g.Horizon)
+	})
+}
+
+// Run executes the scenario and aggregates a Report. The run is
+// deterministic in the spec: any Workers value (including the engine
+// default) produces an identical Report for the same spec and seed.
+// Cancellation and deadlines on ctx are honoured between tasks.
+func (e *Engine) Run(ctx context.Context, spec ScenarioSpec) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	modes, err := ParseModes(spec.Modes)
+	if err != nil {
+		return nil, err
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = e.workers
+	}
+
+	// Stage 1: materialize every replicate's compiled schedule, in
+	// parallel across replicates (cache hits are free).
+	compiled := make([]*tvg.Compiled, spec.Replicates)
+	err = forEach(ctx, workers, spec.Replicates, func(r int) error {
+		c, err := e.Compiled(spec.Graph, graphSeed(spec.Seed, r))
+		if err != nil {
+			return fmt.Errorf("replicate %d: %w", r, err)
+		}
+		compiled[r] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2: fan the simulations out and aggregate.
+	if spec.Broadcast != nil {
+		return e.runBroadcast(ctx, spec, modes, compiled, workers)
+	}
+	return e.runUnicast(ctx, spec, modes, compiled, workers)
+}
+
+// runUnicast floods every (replicate, mode, message) task independently.
+// Tasks land in pre-assigned result slots, so aggregation order — and
+// therefore the Report — is independent of scheduling.
+func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.Compiled, workers int) (*Report, error) {
+	workloads := make([][]dtn.Message, spec.Replicates)
+	for r := range workloads {
+		workloads[r] = spec.WorkloadFor(r)
+	}
+	nModes, nMsgs := len(modes), spec.Messages
+	results := make([]dtn.Result, spec.Replicates*nModes*nMsgs)
+	err := forEach(ctx, workers, len(results), func(i int) error {
+		r := i / (nModes * nMsgs)
+		mi := i / nMsgs % nModes
+		k := i % nMsgs
+		msg := workloads[r][k]
+		res, err := dtn.Simulate(compiled[r], modes[mi], msg)
+		if err != nil {
+			return fmt.Errorf("replicate %d mode %s message %d: %w", r, modes[mi], msg.ID, err)
+		}
+		if spec.CrossCheck {
+			if err := crossCheck(compiled[r], modes[mi], msg, res); err != nil {
+				return fmt.Errorf("replicate %d: %w", r, err)
+			}
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := newReport(spec, compiled)
+	for mi, mode := range modes {
+		agg := newModeAggregator(mode, spec.Replicates*nMsgs)
+		for r := 0; r < spec.Replicates; r++ {
+			base := (r*nModes + mi) * nMsgs
+			for k := 0; k < nMsgs; k++ {
+				agg.add(results[base+k])
+			}
+		}
+		report.Unicast = append(report.Unicast, agg.finish())
+	}
+	return report, nil
+}
+
+// crossCheck validates one flood result against an independent foremost-
+// journey search: delivery iff a feasible journey exists, and the flood's
+// earliest arrival equals the foremost arrival (the dtn/journey duality
+// the paper's semantics rest on).
+func crossCheck(c *tvg.Compiled, mode journey.Mode, msg dtn.Message, res dtn.Result) error {
+	_, arrival, ok := journey.Foremost(c, mode, msg.Src, msg.Dst, msg.Created)
+	if ok != res.Delivered {
+		return fmt.Errorf("engine: cross-check failed for message %d under %s: simulate delivered=%v, journey feasible=%v",
+			msg.ID, mode, res.Delivered, ok)
+	}
+	if ok && arrival != res.DeliveredAt {
+		return fmt.Errorf("engine: cross-check failed for message %d under %s: simulate arrival=%d, foremost arrival=%d",
+			msg.ID, mode, res.DeliveredAt, arrival)
+	}
+	return nil
+}
+
+// runBroadcast floods from the broadcast source once per (replicate,
+// mode).
+func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.Compiled, workers int) (*Report, error) {
+	src := *spec.Broadcast
+	nModes := len(modes)
+	results := make([]dtn.BroadcastResult, spec.Replicates*nModes)
+	err := forEach(ctx, workers, len(results), func(i int) error {
+		r, mi := i/nModes, i%nModes
+		res, err := dtn.Broadcast(compiled[r], modes[mi], src, 0)
+		if err != nil {
+			return fmt.Errorf("replicate %d mode %s: %w", r, modes[mi], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := newReport(spec, compiled)
+	for mi, mode := range modes {
+		br := BroadcastModeReport{Mode: mode.String(), Runs: spec.Replicates, MinRatio: 1}
+		var ratioSum, txSum float64
+		for r := 0; r < spec.Replicates; r++ {
+			res := results[r*nModes+mi]
+			ratioSum += res.Ratio
+			txSum += float64(res.Transmissions)
+			if res.Ratio < br.MinRatio {
+				br.MinRatio = res.Ratio
+			}
+			if res.Ratio > br.MaxRatio {
+				br.MaxRatio = res.Ratio
+			}
+		}
+		br.MeanRatio = ratioSum / float64(spec.Replicates)
+		br.MeanTransmissions = txSum / float64(spec.Replicates)
+		report.Broadcast = append(report.Broadcast, br)
+	}
+	return report, nil
+}
+
+// forEach runs fn(0..n-1) across a pool of at most `workers` goroutines.
+// Each index is attempted at most once; errors are recorded per index and
+// the lowest recorded index wins. A failure (or context cancellation)
+// stops the pool from starting new tasks. Success paths are fully
+// deterministic; which error surfaces from a multi-failure run can vary,
+// but whether the run fails cannot.
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() || ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

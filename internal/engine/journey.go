@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"context"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// JourneyRequest asks for one optimal journey on a generated network.
+type JourneyRequest struct {
+	// Graph declares the network generator.
+	Graph GraphSpec `json:"graph"`
+	// Seed is the generator seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Mode is the waiting budget, in ParseMode syntax.
+	Mode string `json:"mode"`
+	// Kind selects the metric: "foremost" (earliest arrival, default),
+	// "minhop" (fewest edges) or "fastest" (smallest span).
+	Kind string `json:"kind,omitempty"`
+	// Src and Dst are the endpoints; T0 is the earliest departure.
+	Src tvg.Node `json:"src"`
+	Dst tvg.Node `json:"dst"`
+	T0  tvg.Time `json:"t0,omitempty"`
+}
+
+// JourneyReport describes the journey found (or its absence).
+type JourneyReport struct {
+	// Kind and Mode echo the request (Kind defaulted).
+	Kind string `json:"kind"`
+	Mode string `json:"mode"`
+	// Found reports whether a feasible journey exists.
+	Found bool `json:"found"`
+	// Journey renders the hop sequence (empty if not found).
+	Journey string `json:"journey,omitempty"`
+	// Hops counts edge traversals.
+	Hops int `json:"hops,omitempty"`
+	// Departure and Arrival bracket the journey in time; Span is their
+	// difference.
+	Departure tvg.Time `json:"departure,omitempty"`
+	Arrival   tvg.Time `json:"arrival,omitempty"`
+	Span      tvg.Time `json:"span,omitempty"`
+}
+
+// Journey resolves one journey request against the (cached) compiled
+// schedule of the request's graph.
+func (e *Engine) Journey(ctx context.Context, req JourneyRequest) (*JourneyReport, error) {
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	kind := req.Kind
+	if kind == "" {
+		kind = "foremost"
+	}
+	switch kind {
+	case "foremost", "minhop", "fastest":
+	default:
+		return nil, specErr("unknown journey kind %q (want foremost | minhop | fastest)", kind)
+	}
+	if req.Src < 0 || int(req.Src) >= req.Graph.Nodes || req.Dst < 0 || int(req.Dst) >= req.Graph.Nodes {
+		return nil, specErr("endpoints (%d, %d) outside [0, %d)", req.Src, req.Dst, req.Graph.Nodes)
+	}
+	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
+		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
+	}
+	c, err := e.Compiled(req.Graph, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var j journey.Journey
+	var ok bool
+	switch kind {
+	case "foremost":
+		j, _, ok = journey.Foremost(c, mode, req.Src, req.Dst, req.T0)
+	case "minhop":
+		j, _, ok = journey.MinHop(c, mode, req.Src, req.Dst, req.T0)
+	case "fastest":
+		j, _, ok = journey.Fastest(c, mode, req.Src, req.Dst, req.T0)
+	}
+	report := &JourneyReport{Kind: kind, Mode: mode.String(), Found: ok}
+	if !ok {
+		return report, nil
+	}
+	report.Journey = j.String()
+	report.Hops = j.Len()
+	if j.Len() == 0 {
+		// Hopless journey (src == dst): departs and arrives at t0.
+		report.Departure, report.Arrival = req.T0, req.T0
+		return report, nil
+	}
+	report.Departure, _ = j.Departure()
+	arr, err := j.Arrival(c)
+	if err != nil {
+		return nil, err
+	}
+	report.Arrival = arr
+	report.Span = report.Arrival - report.Departure
+	return report, nil
+}

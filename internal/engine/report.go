@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tvgwait/internal/dtn"
+	"tvgwait/internal/tvg"
+)
+
+// ModeReport aggregates one waiting mode's unicast workload across all
+// replicates.
+type ModeReport struct {
+	// Mode is the waiting budget, in ParseMode syntax.
+	Mode string `json:"mode"`
+	// Messages is the number of simulated messages (all replicates).
+	Messages int `json:"messages"`
+	// Delivered counts the delivered messages.
+	Delivered int `json:"delivered"`
+	// DeliveryRatio is Delivered / Messages.
+	DeliveryRatio float64 `json:"deliveryRatio"`
+	// MeanLatency averages latency over delivered messages (0 if none).
+	MeanLatency float64 `json:"meanLatency"`
+	// LatencyP50/P90/P99 are nearest-rank latency quantiles over
+	// delivered messages (0 if none).
+	LatencyP50 float64 `json:"latencyP50"`
+	LatencyP90 float64 `json:"latencyP90"`
+	LatencyP99 float64 `json:"latencyP99"`
+	// MeanTransmissions averages flood overhead over all messages.
+	MeanTransmissions float64 `json:"meanTransmissions"`
+}
+
+// BroadcastModeReport aggregates one waiting mode's broadcast floods
+// across all replicates.
+type BroadcastModeReport struct {
+	// Mode is the waiting budget, in ParseMode syntax.
+	Mode string `json:"mode"`
+	// Runs is the number of floods (one per replicate).
+	Runs int `json:"runs"`
+	// MeanRatio / MinRatio / MaxRatio summarize the fraction of nodes
+	// reached.
+	MeanRatio float64 `json:"meanRatio"`
+	MinRatio  float64 `json:"minRatio"`
+	MaxRatio  float64 `json:"maxRatio"`
+	// MeanTransmissions averages flood overhead per run.
+	MeanTransmissions float64 `json:"meanTransmissions"`
+}
+
+// Report is the aggregated outcome of one engine run. It contains no
+// wall-clock or scheduling artifacts: for a fixed spec and seed the
+// report is byte-identical at any worker count (Spec echoes the input
+// with Workers cleared for exactly that reason).
+type Report struct {
+	// Spec echoes the executed scenario (defaults applied, Workers
+	// cleared).
+	Spec ScenarioSpec `json:"spec"`
+	// Contacts sums compiled contacts over all replicate schedules.
+	Contacts int `json:"contacts"`
+	// Unicast holds one row per mode for workload scenarios.
+	Unicast []ModeReport `json:"unicast,omitempty"`
+	// Broadcast holds one row per mode for broadcast scenarios.
+	Broadcast []BroadcastModeReport `json:"broadcast,omitempty"`
+}
+
+func newReport(spec ScenarioSpec, compiled []*tvg.Compiled) *Report {
+	spec.Workers = 0
+	r := &Report{Spec: spec}
+	for _, c := range compiled {
+		r.Contacts += c.TotalContacts()
+	}
+	return r
+}
+
+// modeAggregator streams per-message results into a ModeReport.
+type modeAggregator struct {
+	report    ModeReport
+	latencies []float64
+	txSum     float64
+}
+
+func newModeAggregator(mode fmt.Stringer, messages int) *modeAggregator {
+	return &modeAggregator{report: ModeReport{Mode: mode.String(), Messages: messages}}
+}
+
+func (a *modeAggregator) add(res dtn.Result) {
+	if res.Delivered {
+		a.report.Delivered++
+		a.latencies = append(a.latencies, float64(res.Latency))
+	}
+	a.txSum += float64(res.Transmissions)
+}
+
+func (a *modeAggregator) finish() ModeReport {
+	r := a.report
+	r.DeliveryRatio = float64(r.Delivered) / float64(r.Messages)
+	r.MeanTransmissions = a.txSum / float64(r.Messages)
+	if len(a.latencies) > 0 {
+		sum := 0.0
+		for _, l := range a.latencies {
+			sum += l
+		}
+		r.MeanLatency = sum / float64(len(a.latencies))
+		sort.Float64s(a.latencies)
+		r.LatencyP50 = quantile(a.latencies, 0.50)
+		r.LatencyP90 = quantile(a.latencies, 0.90)
+		r.LatencyP99 = quantile(a.latencies, 0.99)
+	}
+	return r
+}
+
+// quantile is the nearest-rank quantile of an ascending-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SweepRows converts the unicast section to dtn sweep rows, for rendering
+// with dtn.FormatSweep (the historical experiment-table format).
+func (r *Report) SweepRows() []dtn.SweepRow {
+	rows := make([]dtn.SweepRow, 0, len(r.Unicast))
+	for _, mr := range r.Unicast {
+		mode, err := ParseMode(mr.Mode)
+		if err != nil {
+			continue // unreachable: Mode strings round-trip through ParseMode
+		}
+		rows = append(rows, dtn.SweepRow{
+			Mode:              mode,
+			Messages:          mr.Messages,
+			DeliveryRatio:     mr.DeliveryRatio,
+			MeanLatency:       mr.MeanLatency,
+			MeanTransmissions: mr.MeanTransmissions,
+		})
+	}
+	return rows
+}
+
+// FormatUnicast renders the unicast section: the classic sweep table plus
+// a latency-quantile table.
+func (r *Report) FormatUnicast() string {
+	return dtn.FormatSweep(r.SweepRows()) + r.FormatQuantiles()
+}
+
+// FormatQuantiles renders the per-mode latency quantiles as an aligned
+// table.
+func (r *Report) FormatQuantiles() string {
+	out := fmt.Sprintf("%-10s %9s %9s %9s\n", "mode", "lat-p50", "lat-p90", "lat-p99")
+	for _, mr := range r.Unicast {
+		out += fmt.Sprintf("%-10s %9.1f %9.1f %9.1f\n", mr.Mode, mr.LatencyP50, mr.LatencyP90, mr.LatencyP99)
+	}
+	return out
+}
+
+// FormatBroadcast renders the broadcast section as an aligned table.
+func (r *Report) FormatBroadcast() string {
+	out := fmt.Sprintf("%-10s %10s %10s %10s %14s\n", "mode", "reached", "min", "max", "transmissions")
+	for _, br := range r.Broadcast {
+		out += fmt.Sprintf("%-10s %9.1f%% %9.1f%% %9.1f%% %14.2f\n",
+			br.Mode, 100*br.MeanRatio, 100*br.MinRatio, 100*br.MaxRatio, br.MeanTransmissions)
+	}
+	return out
+}

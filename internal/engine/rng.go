@@ -1,0 +1,45 @@
+package engine
+
+// Deterministic stream derivation. Each replicate draws its graph and its
+// message workload from seeds derived with a SplitMix64 finalizer, so the
+// streams are statistically independent while remaining reproducible from
+// the single spec seed. Replicate 0 uses the base seed unchanged: a
+// single-replicate engine run therefore regenerates exactly the graph and
+// workload that dtn.Sweep produced for the same seed, which keeps
+// historical experiment tables stable.
+
+const (
+	streamGraph    = 0x67726170 // "grap"
+	streamWorkload = 0x776b6c64 // "wkld"
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele,
+// Lea & Flood 2014) — a cheap, well-mixed bijection on 64-bit words.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamSeed derives the seed of the (stream, index) RNG stream rooted at
+// base. Distinct (stream, index) pairs map to distinct mix inputs.
+func streamSeed(base int64, stream uint64, index int) int64 {
+	return int64(splitmix64(uint64(base) ^ splitmix64(stream<<20^uint64(index))))
+}
+
+// graphSeed is the generator seed of replicate rep.
+func graphSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	return streamSeed(base, streamGraph, rep)
+}
+
+// workloadSeed is the message-workload seed of replicate rep.
+func workloadSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	return streamSeed(base, streamWorkload, rep)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,7 +9,7 @@ import (
 	"tvgwait/internal/construct"
 	"tvgwait/internal/core"
 	"tvgwait/internal/dtn"
-	"tvgwait/internal/gen"
+	"tvgwait/internal/engine"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/tvg"
 )
@@ -85,26 +86,23 @@ func Ablations(w io.Writer, opts Options) error {
 		horizon = 40
 		messages = 10
 	}
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
-		Nodes: 16, PBirth: 0.02, PDeath: 0.5, Horizon: horizon, Seed: opts.Seed,
-	})
-	if err != nil {
-		return err
-	}
-	c, err := tvg.Compile(g, horizon)
-	if err != nil {
-		return err
-	}
 	var modes []journey.Mode
 	for _, d := range []tvg.Time{0, 1, 2, 4, 8, 16, 32} {
 		modes = append(modes, journey.BoundedWait(d))
 	}
 	modes = append(modes, journey.Wait())
-	rows, err := dtn.Sweep(c, modes, messages, opts.Seed)
+	report, err := batchEngine.Run(context.Background(), engine.ScenarioSpec{
+		Graph: engine.GraphSpec{
+			Model: "markov", Nodes: 16, Birth: 0.02, Death: 0.5, Horizon: horizon,
+		},
+		Modes:    engine.ModeStrings(modes),
+		Messages: messages,
+		Seed:     opts.Seed,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+	fmt.Fprint(w, indent(dtn.FormatSweep(report.SweepRows()), "  "))
 	fmt.Fprintln(w, "  (diminishing returns: most of the waiting benefit arrives by d ≈ contact gap)")
 	fmt.Fprintln(w)
 	return nil

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"tvgwait/internal/construct"
 	"tvgwait/internal/core"
 	"tvgwait/internal/dtn"
+	"tvgwait/internal/engine"
 	"tvgwait/internal/gen"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/lang"
@@ -22,6 +24,11 @@ import (
 	"tvgwait/internal/tvg"
 	"tvgwait/internal/wqo"
 )
+
+// batchEngine runs every DTN-facing experiment (E5 and the ablation's
+// delivery slice). Sharing one engine shares its compiled-schedule cache
+// across experiments in the same process.
+var batchEngine = engine.New(engine.Options{})
 
 // Options tunes experiment sizes. The zero value selects the defaults used
 // in EXPERIMENTS.md.
@@ -353,44 +360,38 @@ func E5(w io.Writer, opts Options) error {
 		for _, cfg := range []struct{ birth, death float64 }{
 			{0.01, 0.5}, {0.03, 0.5}, {0.10, 0.5},
 		} {
-			g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
-				Nodes: n, PBirth: cfg.birth, PDeath: cfg.death,
-				Horizon: horizon, Seed: opts.Seed,
+			report, err := batchEngine.Run(context.Background(), engine.ScenarioSpec{
+				Graph: engine.GraphSpec{
+					Model: "markov", Nodes: n, Birth: cfg.birth, Death: cfg.death,
+					Horizon: horizon,
+				},
+				Modes:    engine.ModeStrings(modes),
+				Messages: messages,
+				Seed:     opts.Seed,
 			})
 			if err != nil {
 				return err
 			}
-			c, err := tvg.Compile(g, horizon)
-			if err != nil {
-				return err
-			}
-			rows, err := dtn.Sweep(c, modes, messages, opts.Seed)
-			if err != nil {
-				return err
-			}
 			fmt.Fprintf(w, "  edge-Markovian n=%d birth=%.2f death=%.2f horizon=%d (%d contacts)\n",
-				n, cfg.birth, cfg.death, horizon, c.TotalContacts())
-			fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+				n, cfg.birth, cfg.death, horizon, report.Contacts)
+			fmt.Fprint(w, indent(dtn.FormatSweep(report.SweepRows()), "  "))
 			fmt.Fprintln(w)
 		}
 	}
 	// Mobility trace.
-	mg, err := gen.GridMobility(gen.MobilityParams{
-		Width: 6, Height: 6, Nodes: 12, Horizon: horizon, Seed: opts.Seed,
+	report, err := batchEngine.Run(context.Background(), engine.ScenarioSpec{
+		Graph: engine.GraphSpec{
+			Model: "mobility", Nodes: 12, Width: 6, Height: 6, Horizon: horizon,
+		},
+		Modes:    engine.ModeStrings(modes),
+		Messages: messages,
+		Seed:     opts.Seed,
 	})
 	if err != nil {
 		return err
 	}
-	mc, err := tvg.Compile(mg, horizon)
-	if err != nil {
-		return err
-	}
-	rows, err := dtn.Sweep(mc, modes, messages, opts.Seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "  grid mobility 6x6, 12 walkers, horizon=%d (%d contacts)\n", horizon, mc.TotalContacts())
-	fmt.Fprint(w, indent(dtn.FormatSweep(rows), "  "))
+	fmt.Fprintf(w, "  grid mobility 6x6, 12 walkers, horizon=%d (%d contacts)\n", horizon, report.Contacts)
+	fmt.Fprint(w, indent(dtn.FormatSweep(report.SweepRows()), "  "))
 	fmt.Fprintln(w)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"tvgwait/internal/construct"
 	"tvgwait/internal/core"
 	"tvgwait/internal/dtn"
+	"tvgwait/internal/engine"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/lang"
 	"tvgwait/internal/tvg"
@@ -56,6 +57,27 @@ type (
 	Message = dtn.Message
 	// DeliveryResult describes one simulated message.
 	DeliveryResult = dtn.Result
+
+	// Engine is the concurrent batch-simulation engine; EngineOptions
+	// configures it.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// ScenarioSpec declares one batch scenario (network model, waiting
+	// modes, workload, replication, seed).
+	ScenarioSpec = engine.ScenarioSpec
+	// GraphSpec declares a generated network inside a ScenarioSpec.
+	GraphSpec = engine.GraphSpec
+	// Report is the deterministic aggregate of one engine run.
+	Report = engine.Report
+	// ModeReport is one waiting mode's aggregated unicast row.
+	ModeReport = engine.ModeReport
+	// BroadcastModeReport is one waiting mode's aggregated broadcast row.
+	BroadcastModeReport = engine.BroadcastModeReport
+	// JourneyRequest asks the engine for one optimal journey.
+	JourneyRequest = engine.JourneyRequest
+	// JourneyReport describes the journey found.
+	JourneyReport = engine.JourneyReport
 )
 
 // Graph construction.
@@ -193,3 +215,17 @@ func IntersectDFA(a *Automaton, d *DFA) (*Automaton, error) {
 func Deliver(c *Compiled, mode Mode, msg Message) (DeliveryResult, error) {
 	return dtn.Simulate(c, mode, msg)
 }
+
+// Batch-simulation engine.
+
+// NewEngine returns a concurrent batch-simulation engine. Run a
+// ScenarioSpec with (*Engine).Run; for a fixed spec and seed the Report
+// is byte-identical at any worker count.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// ParseMode parses a waiting-mode name ("nowait", "wait", "wait:D" or
+// "wait[D]") as used in ScenarioSpec.Modes.
+func ParseMode(s string) (Mode, error) { return engine.ParseMode(s) }
+
+// ParseModeList parses a comma-separated mode list, e.g. "nowait,wait:2,wait".
+func ParseModeList(s string) ([]Mode, error) { return engine.ParseModeList(s) }
