@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/ were captured from the pre-CSR (seed)
+// binary. They pin the flat-core acceptance criterion: tvgsim tables are
+// byte-identical across the contact-set refactor — sweep rows, latency
+// quantiles, broadcast coverage and the temporal-diameter section (which
+// exercises the journey searches end to end).
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"markov_sweep.golden", []string{
+			"-model", "markov", "-nodes", "16", "-birth", "0.03", "-death", "0.5",
+			"-horizon", "100", "-messages", "50", "-seed", "1", "-replicates", "2", "-quantiles",
+		}},
+		{"markov_broadcast.golden", []string{
+			"-model", "markov", "-nodes", "16", "-birth", "0.03", "-death", "0.5",
+			"-horizon", "100", "-seed", "1", "-broadcast", "0",
+		}},
+		{"mobility_diameter.golden", []string{
+			"-model", "mobility", "-width", "5", "-height", "5", "-nodes", "10",
+			"-horizon", "60", "-messages", "20", "-seed", "3", "-diameter",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			var b strings.Builder
+			if err := run(tc.args, &b); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.String() != string(want) {
+				t.Errorf("output diverged from the seed capture.\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+			}
+		})
+	}
+}

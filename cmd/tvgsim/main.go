@@ -97,7 +97,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *diameter {
-		c, err := eng.Compiled(spec.Graph, *seed)
+		c, err := eng.ContactSet(spec.Graph, *seed)
 		if err != nil {
 			return err
 		}

@@ -50,3 +50,21 @@ func BenchmarkBroadcast(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBroadcastContactSet is the headline flood benchmark of the
+// flat-core refactor: the same wait-mode broadcast as BenchmarkBroadcast
+// but with an explicitly held Scratch, i.e. the engine's per-worker
+// usage pattern. The pre-CSR flood was ~561 allocs/op on this network;
+// the contact-set flood's remaining allocations are the returned
+// Reached/Arrival slices.
+func BenchmarkBroadcastContactSet(b *testing.B) {
+	c := benchNetwork(b, 16)
+	s := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Broadcast(c, journey.Wait(), 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

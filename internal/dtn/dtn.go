@@ -50,85 +50,21 @@ type Result struct {
 	NodesReached int
 }
 
-// Simulate floods one message over the compiled schedule under the given
-// buffering policy and returns delivery statistics.
+// Simulate floods one message over the compiled contact set under the
+// given buffering policy and returns delivery statistics.
 //
 // The flood is exact: a node may hold several copies with different
 // arrival times (a later copy has a fresher waiting budget), and every
 // (contact, copy) pair within budget is used. Consequently Delivered
 // matches the existence of a feasible journey and DeliveredAt matches the
 // foremost arrival.
-func Simulate(c *tvg.Compiled, mode journey.Mode, msg Message) (Result, error) {
-	g := c.Graph()
-	if !g.ValidNode(msg.Src) || !g.ValidNode(msg.Dst) {
-		return Result{}, fmt.Errorf("dtn: message %d references unknown node", msg.ID)
-	}
-	if !mode.IsValid() {
-		return Result{}, fmt.Errorf("dtn: invalid mode")
-	}
-	if msg.Created < 0 {
-		return Result{}, fmt.Errorf("dtn: message %d created at negative time %d", msg.ID, msg.Created)
-	}
-
-	// copies[n] = set of arrival times of distinct copies held by n.
-	copies := make([]map[tvg.Time]bool, g.NumNodes())
-	for i := range copies {
-		copies[i] = make(map[tvg.Time]bool)
-	}
-	copies[msg.Src][msg.Created] = true
-
-	res := Result{}
-	if msg.Src == msg.Dst {
-		res.Delivered = true
-		res.DeliveredAt = msg.Created
-		res.NodesReached = 1
-		return res, nil
-	}
-
-	// Round loop: at each tick, every present contact forwards every
-	// in-budget copy of its tail node. New arrivals land at t + latency
-	// and are processed when the loop reaches that tick.
-	for t := msg.Created; t <= c.Horizon(); t++ {
-		for _, id := range c.ContactsAt(t) {
-			e, _ := g.Edge(id)
-			if len(copies[e.From]) == 0 {
-				continue
-			}
-			arr, _ := c.ArrivalAt(id, t)
-			forward := false
-			for got := range copies[e.From] {
-				if got <= t && t <= mode.WindowEnd(got, c.Horizon()) {
-					forward = true
-					break
-				}
-			}
-			if !forward {
-				continue
-			}
-			if !copies[e.To][arr] {
-				copies[e.To][arr] = true
-				res.Transmissions++
-			}
-		}
-	}
-
-	best := tvg.Time(-1)
-	for got := range copies[msg.Dst] {
-		if best < 0 || got < best {
-			best = got
-		}
-	}
-	if best >= 0 {
-		res.Delivered = true
-		res.DeliveredAt = best
-		res.Latency = best - msg.Created
-	}
-	for _, set := range copies {
-		if len(set) > 0 {
-			res.NodesReached++
-		}
-	}
-	return res, nil
+//
+// Simulate rents a pooled Scratch for the flood's working state; callers
+// running many floods on one goroutine can hold their own via NewScratch.
+func Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error) {
+	s := floodPool.Get().(*Scratch)
+	defer floodPool.Put(s)
+	return s.Simulate(c, mode, msg)
 }
 
 // BroadcastResult describes one source flooding to all nodes.
@@ -145,69 +81,18 @@ type BroadcastResult struct {
 
 // Broadcast floods from src at time t0 and reports per-node reachability —
 // the broadcast primitive the paper cites as fundamental for dynamic
-// networks.
-func Broadcast(c *tvg.Compiled, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
-	g := c.Graph()
-	if !g.ValidNode(src) {
-		return BroadcastResult{}, fmt.Errorf("dtn: unknown source %d", src)
-	}
-	if !mode.IsValid() {
-		return BroadcastResult{}, fmt.Errorf("dtn: invalid mode")
-	}
-	copies := make([]map[tvg.Time]bool, g.NumNodes())
-	for i := range copies {
-		copies[i] = make(map[tvg.Time]bool)
-	}
-	copies[src][t0] = true
-	res := BroadcastResult{
-		Reached: make([]bool, g.NumNodes()),
-		Arrival: make([]tvg.Time, g.NumNodes()),
-	}
-	for t := t0; t <= c.Horizon(); t++ {
-		for _, id := range c.ContactsAt(t) {
-			e, _ := g.Edge(id)
-			if len(copies[e.From]) == 0 {
-				continue
-			}
-			arr, _ := c.ArrivalAt(id, t)
-			forward := false
-			for got := range copies[e.From] {
-				if got <= t && t <= mode.WindowEnd(got, c.Horizon()) {
-					forward = true
-					break
-				}
-			}
-			if !forward {
-				continue
-			}
-			if !copies[e.To][arr] {
-				copies[e.To][arr] = true
-				res.Transmissions++
-			}
-		}
-	}
-	reached := 0
-	for n := range copies {
-		res.Arrival[n] = -1
-		for got := range copies[n] {
-			if res.Arrival[n] < 0 || got < res.Arrival[n] {
-				res.Arrival[n] = got
-			}
-		}
-		if res.Arrival[n] >= 0 {
-			res.Reached[n] = true
-			reached++
-		}
-	}
-	res.Ratio = float64(reached) / float64(g.NumNodes())
-	return res, nil
+// networks. Like Simulate, it rents a pooled Scratch.
+func Broadcast(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
+	s := floodPool.Get().(*Scratch)
+	defer floodPool.Put(s)
+	return s.Broadcast(c, mode, src, t0)
 }
 
 // CoverageCurve floods from src at t0 and returns, for every tick in
 // [t0, horizon], how many nodes hold a copy at or before that tick — the
 // epidemic growth curve. The curve is nondecreasing and its final value
 // equals the number of nodes the broadcast reaches.
-func CoverageCurve(c *tvg.Compiled, mode journey.Mode, src tvg.Node, t0 tvg.Time) ([]int, error) {
+func CoverageCurve(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) ([]int, error) {
 	br, err := Broadcast(c, mode, src, t0)
 	if err != nil {
 		return nil, err
@@ -254,7 +139,7 @@ type SweepRow struct {
 // returns one row per mode. The workload is `messages` random (src, dst)
 // pairs with src ≠ dst, created at time 0, drawn deterministically from
 // the seed.
-func Sweep(c *tvg.Compiled, modes []journey.Mode, messages int, seed int64) ([]SweepRow, error) {
+func Sweep(c *tvg.ContactSet, modes []journey.Mode, messages int, seed int64) ([]SweepRow, error) {
 	n := c.Graph().NumNodes()
 	if n < 2 {
 		return nil, fmt.Errorf("dtn: sweep needs at least 2 nodes")
@@ -262,6 +147,7 @@ func Sweep(c *tvg.Compiled, modes []journey.Mode, messages int, seed int64) ([]S
 	if messages < 1 {
 		return nil, fmt.Errorf("dtn: sweep needs at least 1 message")
 	}
+	scratch := NewScratch()
 	rng := rand.New(rand.NewSource(seed))
 	msgs := make([]Message, messages)
 	for i := range msgs {
@@ -278,7 +164,7 @@ func Sweep(c *tvg.Compiled, modes []journey.Mode, messages int, seed int64) ([]S
 		delivered := 0
 		var latencySum, txSum float64
 		for _, m := range msgs {
-			r, err := Simulate(c, mode, m)
+			r, err := scratch.Simulate(c, mode, m)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,231 @@
+package dtn
+
+import (
+	"fmt"
+	"sync"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// denseCellLimit bounds the nodes × span epoch grid a flood will allocate
+// for its (node, arrival) dedup. Above it (huge horizons on many nodes)
+// the flood falls back to a hash set, trading speed for bounded memory.
+const denseCellLimit = 1 << 23
+
+// markKey identifies one copy: node v holding a copy that arrived at arr.
+type markKey struct {
+	node tvg.Node
+	arr  tvg.Time
+}
+
+// Scratch is the reusable state of an epidemic flood. A zero Scratch (or
+// NewScratch()) is ready for use; one Scratch may be reused for any
+// number of sequential Simulate/Broadcast calls on schedules of any size
+// — buffers grow to the high-water mark and marks are invalidated by a
+// generation counter, so reuse is O(horizon), not O(allocated).
+//
+// A Scratch is NOT safe for concurrent use; rent one per goroutine
+// (internal/engine keeps a sync.Pool of them, one rented per worker
+// task). The package-level Simulate/Broadcast helpers do the renting for
+// callers that don't manage workers themselves. See DESIGN.md §2 for the
+// scratch-reuse contract.
+type Scratch struct {
+	// Per-node state, epoch-validated.
+	lastArr  []tvg.Time // latest arrival that has come due (≤ current tick)
+	hasLast  []uint32
+	firstArr []tvg.Time // earliest arrival ever marked
+	hasCopy  []uint32
+
+	// (node, arrival) dedup: dense epoch grid of nodes × span cells, or
+	// the sparse fallback for oversized grids and past-horizon arrivals.
+	seen   []uint32
+	sparse map[markKey]struct{}
+
+	// due[t-startT] lists the nodes whose next copy arrives exactly at t;
+	// draining it at tick t keeps lastArr correct without sorting.
+	due [][]int32
+
+	epoch         uint32
+	reached       int
+	transmissions int
+}
+
+// NewScratch returns an empty flood scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// floodPool backs the package-level Simulate/Broadcast conveniences.
+var floodPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// prepare sizes the buffers for n nodes and a [startT, horizon] window and
+// starts a fresh mark generation. It reports whether the dense dedup grid
+// is in use and the window length.
+func (s *Scratch) prepare(n int, span int64) (dense bool) {
+	if len(s.lastArr) < n {
+		s.lastArr = make([]tvg.Time, n)
+		s.hasLast = make([]uint32, n)
+		s.firstArr = make([]tvg.Time, n)
+		s.hasCopy = make([]uint32, n)
+	}
+	dense = span > 0 && int64(n)*span <= denseCellLimit
+	if dense && int64(len(s.seen)) < int64(n)*span {
+		s.seen = make([]uint32, int64(n)*span)
+	}
+	if span > 0 {
+		if int64(len(s.due)) < span {
+			s.due = make([][]int32, span)
+		}
+		for i := int64(0); i < span; i++ {
+			s.due[i] = s.due[i][:0]
+		}
+	}
+	s.epoch++
+	if s.epoch == 0 { // generation counter wrapped: clear marks for real
+		clear(s.hasLast)
+		clear(s.hasCopy)
+		clear(s.seen)
+		s.epoch = 1
+	}
+	clear(s.sparse) // keep the buckets: sparse floods reuse them like every other buffer
+	s.reached = 0
+	s.transmissions = 0
+	return dense
+}
+
+// mark records that node v holds a copy that arrived at arr. It returns
+// false if that exact copy was already recorded. New copies arriving
+// within the window are scheduled in the due buckets so lastArr picks
+// them up when their tick is processed.
+func (s *Scratch) mark(v tvg.Node, arr, startT, horizon tvg.Time, dense bool) bool {
+	if dense && arr <= horizon {
+		cell := int64(v)*int64(horizon-startT+1) + int64(arr-startT)
+		if s.seen[cell] == s.epoch {
+			return false
+		}
+		s.seen[cell] = s.epoch
+	} else {
+		if s.sparse == nil {
+			s.sparse = make(map[markKey]struct{})
+		}
+		key := markKey{node: v, arr: arr}
+		if _, dup := s.sparse[key]; dup {
+			return false
+		}
+		s.sparse[key] = struct{}{}
+	}
+	if arr <= horizon && arr >= startT {
+		idx := arr - startT
+		s.due[idx] = append(s.due[idx], int32(v))
+	}
+	if s.hasCopy[v] != s.epoch {
+		s.hasCopy[v] = s.epoch
+		s.firstArr[v] = arr
+		s.reached++
+	} else if arr < s.firstArr[v] {
+		s.firstArr[v] = arr
+	}
+	return true
+}
+
+// flood runs the exact epidemic flood from (src, startT): every contact
+// within the waiting budget of some held copy forwards, every new
+// (node, arrival) pair counts one transmission. The result is left in the
+// scratch's per-node state for the caller to extract.
+//
+// The budget test is O(1) per contact: the usable copies of a node u at
+// tick t are exactly those with arrival in [t-d, t], and since arrivals
+// come due in tick order, lastArr[u] — the latest arrival ≤ t — is in
+// that window iff some arrival is.
+func (s *Scratch) flood(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, startT tvg.Time) {
+	n := c.Graph().NumNodes()
+	horizon := c.Horizon()
+	span := int64(horizon - startT + 1)
+	if span < 0 {
+		span = 0
+	}
+	dense := s.prepare(n, span)
+	// Seed the root copy. mark only records and schedules it; only the
+	// contact loop below counts transmissions, so the root is free.
+	s.mark(src, startT, startT, horizon, dense)
+
+	d, finite := mode.Bound()
+	contacts := c.Contacts()
+	for t := startT; t <= horizon; t++ {
+		for _, v := range s.due[t-startT] {
+			s.lastArr[v] = t
+			s.hasLast[v] = s.epoch
+		}
+		for _, k := range c.AtTick(t) {
+			ct := &contacts[k]
+			if s.hasLast[ct.From] != s.epoch {
+				continue // tail holds no copy yet
+			}
+			if finite && s.lastArr[ct.From] < t-d {
+				continue // freshest copy is out of budget
+			}
+			if s.mark(ct.To, ct.Arr, startT, horizon, dense) {
+				s.transmissions++
+			}
+		}
+	}
+}
+
+// Simulate floods msg over the schedule using this scratch's buffers. It
+// is equivalent to the package-level Simulate; use it to amortize one
+// scratch across many sequential floods.
+func (s *Scratch) Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error) {
+	g := c.Graph()
+	if !g.ValidNode(msg.Src) || !g.ValidNode(msg.Dst) {
+		return Result{}, fmt.Errorf("dtn: message %d references unknown node", msg.ID)
+	}
+	if !mode.IsValid() {
+		return Result{}, fmt.Errorf("dtn: invalid mode")
+	}
+	if msg.Created < 0 {
+		return Result{}, fmt.Errorf("dtn: message %d created at negative time %d", msg.ID, msg.Created)
+	}
+	res := Result{}
+	if msg.Src == msg.Dst {
+		res.Delivered = true
+		res.DeliveredAt = msg.Created
+		res.NodesReached = 1
+		return res, nil
+	}
+	s.flood(c, mode, msg.Src, msg.Created)
+	res.Transmissions = s.transmissions
+	res.NodesReached = s.reached
+	if s.hasCopy[msg.Dst] == s.epoch {
+		res.Delivered = true
+		res.DeliveredAt = s.firstArr[msg.Dst]
+		res.Latency = res.DeliveredAt - msg.Created
+	}
+	return res, nil
+}
+
+// Broadcast floods from src at t0 using this scratch's buffers. It is
+// equivalent to the package-level Broadcast.
+func (s *Scratch) Broadcast(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
+	g := c.Graph()
+	if !g.ValidNode(src) {
+		return BroadcastResult{}, fmt.Errorf("dtn: unknown source %d", src)
+	}
+	if !mode.IsValid() {
+		return BroadcastResult{}, fmt.Errorf("dtn: invalid mode")
+	}
+	s.flood(c, mode, src, t0)
+	res := BroadcastResult{
+		Reached:       make([]bool, g.NumNodes()),
+		Arrival:       make([]tvg.Time, g.NumNodes()),
+		Transmissions: s.transmissions,
+	}
+	for n := range res.Arrival {
+		if s.hasCopy[n] == s.epoch {
+			res.Reached[n] = true
+			res.Arrival[n] = s.firstArr[n]
+		} else {
+			res.Arrival[n] = -1
+		}
+	}
+	res.Ratio = float64(s.reached) / float64(g.NumNodes())
+	return res, nil
+}

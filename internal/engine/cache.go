@@ -7,12 +7,12 @@ import (
 	"tvgwait/internal/tvg"
 )
 
-// scheduleCache is a bounded LRU of compiled contact schedules keyed by
-// GraphSpec.key. Compiled schedules are read-only after construction, so
-// a cached pointer can be shared by any number of concurrent workers.
+// scheduleCache is a bounded LRU of compiled contact sets keyed by
+// GraphSpec.key. Contact sets are read-only after construction, so a
+// cached pointer can be shared by any number of concurrent workers.
 //
 // Each entry owns a sync.Once: concurrent requests for the same key
-// build the schedule exactly once and everyone blocks on that build
+// build the contact set exactly once and everyone blocks on that build
 // rather than duplicating it (the map lock is never held while
 // generating or compiling a graph).
 type scheduleCache struct {
@@ -25,7 +25,7 @@ type scheduleCache struct {
 type cacheEntry struct {
 	key  string
 	once sync.Once
-	c    *tvg.Compiled
+	c    *tvg.ContactSet
 	err  error
 }
 
@@ -36,9 +36,9 @@ func newScheduleCache(capacity int) *scheduleCache {
 	return &scheduleCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// get returns the compiled schedule for key, building it with build on a
-// miss. A failed build is evicted so it does not pin a capacity slot.
-func (sc *scheduleCache) get(key string, build func() (*tvg.Compiled, error)) (*tvg.Compiled, error) {
+// get returns the contact set for key, building it with build on a miss.
+// A failed build is evicted so it does not pin a capacity slot.
+func (sc *scheduleCache) get(key string, build func() (*tvg.ContactSet, error)) (*tvg.ContactSet, error) {
 	sc.mu.Lock()
 	el, ok := sc.m[key]
 	if ok {

@@ -22,10 +22,15 @@ type Options struct {
 }
 
 // Engine runs batch simulations. It is safe for concurrent use: runs
-// share the schedule cache and nothing else.
+// share the contact-set cache and the flood-scratch pool and nothing
+// else.
 type Engine struct {
 	workers int
 	cache   *scheduleCache
+	// scratch pools dtn flood state across worker tasks: a worker rents
+	// one Scratch per task, so a run with W workers keeps at most W live
+	// scratches regardless of how many floods it performs.
+	scratch sync.Pool
 }
 
 // New returns an engine with the given options.
@@ -38,16 +43,18 @@ func New(opts Options) *Engine {
 	if cacheSize <= 0 {
 		cacheSize = 64
 	}
-	return &Engine{workers: workers, cache: newScheduleCache(cacheSize)}
+	e := &Engine{workers: workers, cache: newScheduleCache(cacheSize)}
+	e.scratch.New = func() any { return dtn.NewScratch() }
+	return e
 }
 
-// Compiled returns the cached compiled schedule of (spec, seed),
+// ContactSet returns the cached compiled contact set of (spec, seed),
 // generating and compiling it on a miss.
-func (e *Engine) Compiled(g GraphSpec, seed int64) (*tvg.Compiled, error) {
+func (e *Engine) ContactSet(g GraphSpec, seed int64) (*tvg.ContactSet, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
-	return e.cache.get(g.key(seed), func() (*tvg.Compiled, error) {
+	return e.cache.get(g.key(seed), func() (*tvg.ContactSet, error) {
 		graph, err := g.Build(seed)
 		if err != nil {
 			// A validated spec should never fail generation; if a
@@ -56,6 +63,12 @@ func (e *Engine) Compiled(g GraphSpec, seed int64) (*tvg.Compiled, error) {
 		}
 		return tvg.Compile(graph, g.Horizon)
 	})
+}
+
+// Compiled is the pre-CSR name of ContactSet, kept for callers of the
+// historical API.
+func (e *Engine) Compiled(g GraphSpec, seed int64) (*tvg.Compiled, error) {
+	return e.ContactSet(g, seed)
 }
 
 // Run executes the scenario and aggregates a Report. The run is
@@ -76,11 +89,11 @@ func (e *Engine) Run(ctx context.Context, spec ScenarioSpec) (*Report, error) {
 		workers = e.workers
 	}
 
-	// Stage 1: materialize every replicate's compiled schedule, in
-	// parallel across replicates (cache hits are free).
-	compiled := make([]*tvg.Compiled, spec.Replicates)
+	// Stage 1: materialize every replicate's contact set, in parallel
+	// across replicates (cache hits are free).
+	compiled := make([]*tvg.ContactSet, spec.Replicates)
 	err = forEach(ctx, workers, spec.Replicates, func(r int) error {
-		c, err := e.Compiled(spec.Graph, graphSeed(spec.Seed, r))
+		c, err := e.ContactSet(spec.Graph, graphSeed(spec.Seed, r))
 		if err != nil {
 			return fmt.Errorf("replicate %d: %w", r, err)
 		}
@@ -101,7 +114,7 @@ func (e *Engine) Run(ctx context.Context, spec ScenarioSpec) (*Report, error) {
 // runUnicast floods every (replicate, mode, message) task independently.
 // Tasks land in pre-assigned result slots, so aggregation order — and
 // therefore the Report — is independent of scheduling.
-func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.Compiled, workers int) (*Report, error) {
+func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.ContactSet, workers int) (*Report, error) {
 	workloads := make([][]dtn.Message, spec.Replicates)
 	for r := range workloads {
 		workloads[r] = spec.WorkloadFor(r)
@@ -113,7 +126,9 @@ func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []jour
 		mi := i / nMsgs % nModes
 		k := i % nMsgs
 		msg := workloads[r][k]
-		res, err := dtn.Simulate(compiled[r], modes[mi], msg)
+		scratch := e.scratch.Get().(*dtn.Scratch)
+		res, err := scratch.Simulate(compiled[r], modes[mi], msg)
+		e.scratch.Put(scratch)
 		if err != nil {
 			return fmt.Errorf("replicate %d mode %s message %d: %w", r, modes[mi], msg.ID, err)
 		}
@@ -147,7 +162,7 @@ func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []jour
 // journey search: delivery iff a feasible journey exists, and the flood's
 // earliest arrival equals the foremost arrival (the dtn/journey duality
 // the paper's semantics rest on).
-func crossCheck(c *tvg.Compiled, mode journey.Mode, msg dtn.Message, res dtn.Result) error {
+func crossCheck(c *tvg.ContactSet, mode journey.Mode, msg dtn.Message, res dtn.Result) error {
 	_, arrival, ok := journey.Foremost(c, mode, msg.Src, msg.Dst, msg.Created)
 	if ok != res.Delivered {
 		return fmt.Errorf("engine: cross-check failed for message %d under %s: simulate delivered=%v, journey feasible=%v",
@@ -162,13 +177,15 @@ func crossCheck(c *tvg.Compiled, mode journey.Mode, msg dtn.Message, res dtn.Res
 
 // runBroadcast floods from the broadcast source once per (replicate,
 // mode).
-func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.Compiled, workers int) (*Report, error) {
+func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []journey.Mode, compiled []*tvg.ContactSet, workers int) (*Report, error) {
 	src := *spec.Broadcast
 	nModes := len(modes)
 	results := make([]dtn.BroadcastResult, spec.Replicates*nModes)
 	err := forEach(ctx, workers, len(results), func(i int) error {
 		r, mi := i/nModes, i%nModes
-		res, err := dtn.Broadcast(compiled[r], modes[mi], src, 0)
+		scratch := e.scratch.Get().(*dtn.Scratch)
+		res, err := scratch.Broadcast(compiled[r], modes[mi], src, 0)
+		e.scratch.Put(scratch)
 		if err != nil {
 			return fmt.Errorf("replicate %d mode %s: %w", r, modes[mi], err)
 		}

@@ -63,7 +63,7 @@ type Report struct {
 	Broadcast []BroadcastModeReport `json:"broadcast,omitempty"`
 }
 
-func newReport(spec ScenarioSpec, compiled []*tvg.Compiled) *Report {
+func newReport(spec ScenarioSpec, compiled []*tvg.ContactSet) *Report {
 	spec.Workers = 0
 	r := &Report{Spec: spec}
 	for _, c := range compiled {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden files under testdata/ were captured from the pre-CSR (seed)
+// implementation. These tests pin the flat-core refactor's acceptance
+// criterion: experiment output — delivery ratios, latencies and, most
+// sensitively, transmission counts — is byte-identical across the
+// rewrite. Regenerate deliberately (never to paper over a diff) with:
+//
+//	go test ./internal/experiments/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output diverged from the seed capture.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestE5GoldenOutput(t *testing.T) {
+	var b strings.Builder
+	if err := E5(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "e5_quick.golden", b.String())
+}
+
+func TestAblationsGoldenOutput(t *testing.T) {
+	var b strings.Builder
+	if err := Ablations(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ablate_quick.golden", b.String())
+}

@@ -35,10 +35,25 @@ func benchSchedule(b *testing.B) *tvg.Compiled {
 	return c
 }
 
+// BenchmarkForemost is the headline search benchmark of the flat-core
+// refactor: one wait-mode foremost search on the staggered schedule,
+// allocations reported (the pre-CSR map-based search was ~235 allocs/op
+// here; the contact-indexed search should be near zero).
+func BenchmarkForemost(b *testing.B) {
+	c := benchSchedule(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := Foremost(c, Wait(), 0, 5, 0); !ok {
+			b.Fatal("no journey")
+		}
+	}
+}
+
 func BenchmarkForemostModes(b *testing.B) {
 	c := benchSchedule(b)
 	for _, mode := range []Mode{NoWait(), BoundedWait(3), Wait()} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				Foremost(c, mode, 0, 5, 0)
 			}

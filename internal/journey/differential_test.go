@@ -1,0 +1,149 @@
+package journey
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tvgwait/internal/gen"
+	"tvgwait/internal/tvg"
+)
+
+// diffNetworks compiles one schedule per generator model for a seed, so
+// the differential sweep covers every contact texture the repo produces.
+func diffNetworks(tb testing.TB, seed int64, horizon tvg.Time) map[string]*tvg.ContactSet {
+	tb.Helper()
+	out := map[string]*tvg.ContactSet{}
+	add := func(name string, g *tvg.Graph, err error) {
+		if err != nil {
+			tb.Fatalf("%s: %v", name, err)
+		}
+		c, err := tvg.Compile(g, horizon)
+		if err != nil {
+			tb.Fatalf("%s: %v", name, err)
+		}
+		out[name] = c
+	}
+	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		Nodes: 8, PBirth: 0.05, PDeath: 0.4, Horizon: horizon, Seed: seed,
+	})
+	add("markov", g, err)
+	g, err = gen.Bernoulli(8, 0.06, horizon, seed)
+	add("bernoulli", g, err)
+	g, err = gen.GridMobility(gen.MobilityParams{
+		Width: 4, Height: 4, Nodes: 6, Horizon: horizon, Seed: seed,
+	})
+	add("mobility", g, err)
+	g, err = gen.RandomPeriodic(gen.PeriodicParams{
+		Nodes: 6, Edges: 14, MaxPeriod: 5, AlphabetSize: 2, MaxLatency: 3, Seed: seed,
+	})
+	add("periodic", g, err)
+	return out
+}
+
+func diffModes() []Mode {
+	return []Mode{NoWait(), BoundedWait(1), BoundedWait(3), BoundedWait(7), Wait()}
+}
+
+// TestSearchesMatchReference is the quick.Check-style differential
+// harness: across generator models, waiting modes, horizons and random
+// endpoint/start-time draws, the CSR searches must agree with the
+// preserved seed implementations — including witness journeys, which the
+// flat search is expected to reproduce exactly.
+func TestSearchesMatchReference(t *testing.T) {
+	for _, horizon := range []tvg.Time{12, 30, 55} {
+		for seed := int64(1); seed <= 3; seed++ {
+			for name, c := range diffNetworks(t, seed, horizon) {
+				rng := rand.New(rand.NewSource(seed * 1000))
+				n := c.Graph().NumNodes()
+				for trial := 0; trial < 6; trial++ {
+					src := tvg.Node(rng.Intn(n))
+					dst := tvg.Node(rng.Intn(n))
+					t0 := tvg.Time(rng.Intn(int(horizon/2) + 1))
+					for _, mode := range diffModes() {
+						label := fmt.Sprintf("%s/h=%d/seed=%d/%s src=%d dst=%d t0=%d",
+							name, horizon, seed, mode, src, dst, t0)
+
+						j, arr, ok := Foremost(c, mode, src, dst, t0)
+						rj, rarr, rok := refForemost(c, mode, src, dst, t0)
+						if ok != rok || arr != rarr || !reflect.DeepEqual(j, rj) {
+							t.Fatalf("%s: Foremost = (%v, %d, %v), reference (%v, %d, %v)",
+								label, j, arr, ok, rj, rarr, rok)
+						}
+						if ok && len(j.Hops) > 0 {
+							if err := j.Validate(c, mode); err != nil {
+								t.Fatalf("%s: Foremost witness invalid: %v", label, err)
+							}
+						}
+
+						j, hops, ok := MinHop(c, mode, src, dst, t0)
+						rj, rhops, rok := refMinHop(c, mode, src, dst, t0)
+						if ok != rok || hops != rhops || !reflect.DeepEqual(j, rj) {
+							t.Fatalf("%s: MinHop = (%v, %d, %v), reference (%v, %d, %v)",
+								label, j, hops, ok, rj, rhops, rok)
+						}
+
+						j, span, ok := Fastest(c, mode, src, dst, t0)
+						rj, rspan, rok := refFastest(c, mode, src, dst, t0)
+						if ok != rok || span != rspan || !reflect.DeepEqual(j, rj) {
+							t.Fatalf("%s: Fastest = (%v, %d, %v), reference (%v, %d, %v)",
+								label, j, span, ok, rj, rspan, rok)
+						}
+
+						reach := ReachableSet(c, mode, src, t0)
+						rreach := refReachableSet(c, mode, src, t0)
+						if !reflect.DeepEqual(reach, rreach) {
+							t.Fatalf("%s: ReachableSet = %v, reference %v", label, reach, rreach)
+						}
+
+						times := ArrivalTimes(c, mode, src, dst, t0)
+						rtimes := refArrivalTimes(c, mode, src, dst, t0)
+						if !reflect.DeepEqual(times, rtimes) {
+							t.Fatalf("%s: ArrivalTimes = %v, reference %v", label, times, rtimes)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchesMatchReferenceEdgeCases pins the corner inputs the random
+// sweep is unlikely to draw.
+func TestSearchesMatchReferenceEdgeCases(t *testing.T) {
+	c := diffNetworks(t, 7, 20)["markov"]
+	n := tvg.Node(c.Graph().NumNodes())
+	cases := []struct {
+		src, dst tvg.Node
+		t0       tvg.Time
+	}{
+		{0, 0, 5},  // src == dst
+		{0, 1, 20}, // start at the horizon
+		{0, 1, 25}, // start past the horizon
+		{1, 0, 0},  // full window
+		{n - 1, 0, 19},
+	}
+	for _, tc := range cases {
+		for _, mode := range diffModes() {
+			j, arr, ok := Foremost(c, mode, tc.src, tc.dst, tc.t0)
+			rj, rarr, rok := refForemost(c, mode, tc.src, tc.dst, tc.t0)
+			if ok != rok || arr != rarr || !reflect.DeepEqual(j, rj) {
+				t.Fatalf("Foremost(%+v, %s) = (%v, %d, %v), reference (%v, %d, %v)",
+					tc, mode, j, arr, ok, rj, rarr, rok)
+			}
+			times := ArrivalTimes(c, mode, tc.src, tc.dst, tc.t0)
+			rtimes := refArrivalTimes(c, mode, tc.src, tc.dst, tc.t0)
+			if !reflect.DeepEqual(times, rtimes) {
+				t.Fatalf("ArrivalTimes(%+v, %s) = %v, reference %v", tc, mode, times, rtimes)
+			}
+		}
+	}
+	// Invalid inputs answer identically too.
+	if _, _, ok := Foremost(c, Mode{}, 0, 1, 0); ok {
+		t.Error("invalid mode should not find a journey")
+	}
+	if _, _, ok := Foremost(c, Wait(), -1, 1, 0); ok {
+		t.Error("invalid src should not find a journey")
+	}
+}

@@ -11,31 +11,35 @@ import "tvgwait/internal/tvg"
 // result (limit <= 0 means unlimited) and the second return value reports
 // whether the enumeration was truncated. Intended for small instances —
 // analysis tooling, tests, and exhaustive cross-checks.
-func Enumerate(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time, maxHops, limit int) ([]Journey, bool) {
+func Enumerate(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time, maxHops, limit int) ([]Journey, bool) {
 	if !c.Graph().ValidNode(src) || !mode.IsValid() || maxHops < 0 {
 		return nil, false
 	}
+	contacts := c.Contacts()
 	var out []Journey
 	truncated := false
-	var rec func(cfg config, hops []Hop) bool // returns false to stop
-	rec = func(cfg config, hops []Hop) bool {
+	var rec func(node tvg.Node, t tvg.Time, hops []Hop) bool // returns false to stop
+	rec = func(node tvg.Node, t tvg.Time, hops []Hop) bool {
 		if limit > 0 && len(out) >= limit {
 			truncated = true
 			return false
 		}
 		out = append(out, Journey{Hops: append([]Hop(nil), hops...)})
-		if len(hops) == maxHops {
+		if len(hops) == maxHops || t > c.Horizon() {
 			return true
 		}
-		cont := true
-		expand(c, mode, cfg, func(hp Hop, next config) {
-			if !cont {
-				return
+		end := mode.WindowEnd(t, c.Horizon())
+		for _, id := range c.OutEdges(node) {
+			lo, hi := c.EdgeRange(id)
+			for i := c.SearchFrom(lo, hi, t); i < hi && contacts[i].Dep <= end; i++ {
+				hop := Hop{Edge: contacts[i].Edge, Depart: contacts[i].Dep}
+				if !rec(contacts[i].To, contacts[i].Arr, append(hops, hop)) {
+					return false
+				}
 			}
-			cont = rec(next, append(hops, hp))
-		})
-		return cont
+		}
+		return true
 	}
-	rec(config{src, t0}, nil)
+	rec(src, t0, nil)
 	return out, truncated
 }

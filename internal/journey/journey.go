@@ -68,7 +68,7 @@ func (j Journey) Departure() (tvg.Time, bool) {
 
 // Arrival returns the arrival time of the journey's last hop according to
 // the compiled schedule.
-func (j Journey) Arrival(c *tvg.Compiled) (tvg.Time, error) {
+func (j Journey) Arrival(c *tvg.ContactSet) (tvg.Time, error) {
 	if len(j.Hops) == 0 {
 		return 0, fmt.Errorf("journey: empty journey has no arrival")
 	}
@@ -84,7 +84,7 @@ func (j Journey) Arrival(c *tvg.Compiled) (tvg.Time, error) {
 // semantics within the compiled schedule: every hop departs while its edge
 // is present, consecutive hops share a node, departures never precede the
 // previous arrival, and every pause is allowed by the mode.
-func (j Journey) Validate(c *tvg.Compiled, mode Mode) error {
+func (j Journey) Validate(c *tvg.ContactSet, mode Mode) error {
 	if !mode.IsValid() {
 		return fmt.Errorf("journey: invalid mode")
 	}
@@ -124,7 +124,7 @@ func (j Journey) Validate(c *tvg.Compiled, mode Mode) error {
 
 // IsDirect reports whether the journey is direct (every pause is zero),
 // i.e. feasible under NoWait (assuming it validates under Wait).
-func (j Journey) IsDirect(c *tvg.Compiled) bool {
+func (j Journey) IsDirect(c *tvg.ContactSet) bool {
 	return j.Validate(c, NoWait()) == nil
 }
 

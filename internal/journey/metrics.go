@@ -6,7 +6,7 @@ import "tvgwait/internal/tvg"
 // maximum over all nodes of (foremost arrival − t0) for journeys departing
 // no earlier than t0. ok is false if some node is unreachable within the
 // horizon (the eccentricity is then undefined).
-func TemporalEccentricity(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time) (tvg.Time, bool) {
+func TemporalEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) (tvg.Time, bool) {
 	if !c.Graph().ValidNode(src) || !mode.IsValid() {
 		return 0, false
 	}
@@ -32,7 +32,7 @@ func TemporalEccentricity(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time)
 // dynamic network is under each waiting semantics — on sparse TVGs the
 // diameter is typically finite under Wait and undefined under NoWait,
 // which is the journey-level face of the paper's expressivity gap.
-func TemporalDiameter(c *tvg.Compiled, mode Mode, t0 tvg.Time) (tvg.Time, bool) {
+func TemporalDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool) {
 	var worst tvg.Time
 	for src := tvg.Node(0); int(src) < c.Graph().NumNodes(); src++ {
 		ecc, ok := TemporalEccentricity(c, mode, src, t0)

@@ -1,0 +1,270 @@
+package journey
+
+// This file preserves the pre-CSR (seed) search implementations verbatim
+// modulo renaming, as reference oracles for the randomized differential
+// tests in differential_test.go. They run on the compatibility accessors
+// of tvg.ContactSet (OutEdges / EachDeparture / ArrivalAt), which are the
+// exact surface the seed algorithms were written against, and use
+// map-based configuration bookkeeping. Do not "optimize" them: their value
+// is being a faithful copy of the original semantics.
+
+import (
+	"container/heap"
+	"sort"
+
+	"tvgwait/internal/tvg"
+)
+
+type refConfig struct {
+	node tvg.Node
+	t    tvg.Time
+}
+
+type refLink struct {
+	prev refConfig
+	hop  Hop
+	hops int
+	root bool
+}
+
+type refTimeItem struct {
+	cfg refConfig
+	seq int
+}
+
+type refTimeHeap []refTimeItem
+
+func (h refTimeHeap) Len() int { return len(h) }
+func (h refTimeHeap) Less(i, j int) bool {
+	if h[i].cfg.t != h[j].cfg.t {
+		return h[i].cfg.t < h[j].cfg.t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refTimeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refTimeHeap) Push(x any)   { *h = append(*h, x.(refTimeItem)) }
+func (h *refTimeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func refExpand(c *tvg.ContactSet, mode Mode, cfg refConfig, visit func(Hop, refConfig)) {
+	if cfg.t > c.Horizon() {
+		return
+	}
+	end := mode.WindowEnd(cfg.t, c.Horizon())
+	for _, id := range c.OutEdges(cfg.node) {
+		e, _ := c.Graph().Edge(id)
+		c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
+			visit(Hop{Edge: id, Depart: dep}, refConfig{node: e.To, t: arr})
+			return true
+		})
+	}
+}
+
+func refReconstruct(parents map[refConfig]refLink, cfg refConfig) Journey {
+	var rev []Hop
+	for {
+		l := parents[cfg]
+		if l.root {
+			break
+		}
+		rev = append(rev, l.hop)
+		cfg = l.prev
+	}
+	hops := make([]Hop, len(rev))
+	for i := range rev {
+		hops[i] = rev[len(rev)-1-i]
+	}
+	return Journey{Hops: hops}
+}
+
+func refForemost(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, t0, true
+	}
+	parents := map[refConfig]refLink{{src, t0}: {root: true}}
+	h := &refTimeHeap{{cfg: refConfig{src, t0}}}
+	seq := 1
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refTimeItem)
+		if it.cfg.node == dst {
+			return refReconstruct(parents, it.cfg), it.cfg.t, true
+		}
+		refExpand(c, mode, it.cfg, func(hp Hop, next refConfig) {
+			if _, ok := parents[next]; ok {
+				return
+			}
+			parents[next] = refLink{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
+			heap.Push(h, refTimeItem{cfg: next, seq: seq})
+			seq++
+		})
+	}
+	return Journey{}, 0, false
+}
+
+func refMinHop(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, int, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, 0, true
+	}
+	parents := map[refConfig]refLink{{src, t0}: {root: true}}
+	frontier := []refConfig{{src, t0}}
+	for hops := 1; len(frontier) > 0; hops++ {
+		var next []refConfig
+		for _, cfg := range frontier {
+			refExpand(c, mode, cfg, func(hp Hop, nc refConfig) {
+				if _, ok := parents[nc]; ok {
+					return
+				}
+				parents[nc] = refLink{prev: cfg, hop: hp, hops: hops}
+				next = append(next, nc)
+			})
+		}
+		for _, nc := range next {
+			if nc.node == dst {
+				return refReconstruct(parents, nc), hops, true
+			}
+		}
+		frontier = next
+	}
+	return Journey{}, 0, false
+}
+
+func refFastest(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return Journey{}, 0, false
+	}
+	if src == dst {
+		return Journey{}, 0, true
+	}
+	end := mode.WindowEnd(t0, c.Horizon())
+	candSet := map[tvg.Time]bool{}
+	for _, id := range c.OutEdges(src) {
+		c.EachDeparture(id, t0, end, func(dep, _ tvg.Time) bool {
+			candSet[dep] = true
+			return true
+		})
+	}
+	cands := make([]tvg.Time, 0, len(candSet))
+	for t := range candSet {
+		cands = append(cands, t)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+
+	var best Journey
+	var bestSpan tvg.Time
+	found := false
+	for _, ts := range cands {
+		j, arr, ok := refForemostDepartingAt(c, mode, src, dst, ts)
+		if !ok {
+			continue
+		}
+		span := arr - ts
+		if !found || span < bestSpan {
+			found = true
+			bestSpan = span
+			best = j
+		}
+	}
+	if !found {
+		return Journey{}, 0, false
+	}
+	return best, bestSpan, true
+}
+
+func refForemostDepartingAt(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, ts tvg.Time) (Journey, tvg.Time, bool) {
+	parents := map[refConfig]refLink{{src, ts}: {root: true}}
+	h := &refTimeHeap{}
+	seq := 0
+	for _, id := range c.OutEdges(src) {
+		e, _ := c.Graph().Edge(id)
+		if arr, ok := c.ArrivalAt(id, ts); ok {
+			next := refConfig{e.To, arr}
+			if _, dup := parents[next]; dup {
+				continue
+			}
+			parents[next] = refLink{prev: refConfig{src, ts}, hop: Hop{Edge: id, Depart: ts}, hops: 1}
+			heap.Push(h, refTimeItem{cfg: next, seq: seq})
+			seq++
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(refTimeItem)
+		if it.cfg.node == dst {
+			return refReconstruct(parents, it.cfg), it.cfg.t, true
+		}
+		refExpand(c, mode, it.cfg, func(hp Hop, next refConfig) {
+			if _, ok := parents[next]; ok {
+				return
+			}
+			parents[next] = refLink{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
+			heap.Push(h, refTimeItem{cfg: next, seq: seq})
+			seq++
+		})
+	}
+	return Journey{}, 0, false
+}
+
+func refReachableSet(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) []bool {
+	out := make([]bool, c.Graph().NumNodes())
+	if !c.Graph().ValidNode(src) || !mode.IsValid() {
+		return out
+	}
+	out[src] = true
+	seen := map[refConfig]bool{{src, t0}: true}
+	stack := []refConfig{{src, t0}}
+	for len(stack) > 0 {
+		cfg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		refExpand(c, mode, cfg, func(_ Hop, next refConfig) {
+			if seen[next] {
+				return
+			}
+			seen[next] = true
+			out[next.node] = true
+			stack = append(stack, next)
+		})
+	}
+	return out
+}
+
+func refArrivalTimes(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) []tvg.Time {
+	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
+		return nil
+	}
+	times := map[tvg.Time]bool{}
+	if src == dst {
+		times[t0] = true
+	}
+	seen := map[refConfig]bool{{src, t0}: true}
+	stack := []refConfig{{src, t0}}
+	for len(stack) > 0 {
+		cfg := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		refExpand(c, mode, cfg, func(_ Hop, next refConfig) {
+			if seen[next] {
+				return
+			}
+			seen[next] = true
+			if next.node == dst {
+				times[next.t] = true
+			}
+			stack = append(stack, next)
+		})
+	}
+	out := make([]tvg.Time, 0, len(times))
+	for t := range times {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,95 +1,144 @@
 package journey
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"tvgwait/internal/tvg"
 )
 
 // The searches in this file explore the configuration space of a compiled
-// schedule: a configuration (node, t) means "the entity is at node, having
-// arrived (or started) at time t". From a configuration, each outgoing edge
-// may be taken at any departure time in [t, mode.WindowEnd(t, horizon)] at
-// which the edge is present; the initial configuration is (src, t0), so the
-// pause before the first hop is governed by the same waiting budget as
-// every later pause (the paper's "reading starts at time t" convention).
+// contact set: a configuration (node, t) means "the entity is at node,
+// having arrived (or started) at time t". From a configuration, each
+// outgoing edge may be taken at any departure time in
+// [t, mode.WindowEnd(t, horizon)] at which the edge is present; the
+// initial configuration is (src, t0), so the pause before the first hop is
+// governed by the same waiting budget as every later pause (the paper's
+// "reading starts at time t" convention).
 //
 // Departures always lie within the horizon; arrivals may exceed it, in
 // which case the configuration is terminal (no further hops expand it).
+//
+// Since the CSR refactor the searches are flat: every non-root
+// configuration is identified by the contact that reached it (node =
+// contact.To, t = contact.Arr), so visited-set and parent bookkeeping are
+// dense int32 arrays indexed by contact, rented from a sync.Pool, instead
+// of map[config] allocations. Expanding a configuration is a binary
+// search into each out-edge's contiguous contact range. Two contacts that
+// land in the same configuration are both expanded, but over identical
+// windows, so the second pass marks nothing new and search order —
+// including witness selection — matches the pre-CSR implementation.
 
-// config is a search state.
-type config struct {
-	node tvg.Node
-	t    tvg.Time
+// scratch holds the reusable per-search state. The epoch trick makes
+// clearing O(1): a cell is visited iff state[k] == epoch, and bumping
+// epoch invalidates every mark at once.
+type scratch struct {
+	state  []uint32 // per contact: epoch mark
+	parent []int32  // per contact: contact that reached its tail, -1 = root
+	epoch  uint32
+	heap   []heapItem
+	front  []int32 // BFS/DFS worklists
+	next   []int32
+	times  []tvg.Time
 }
 
-// link records how a configuration was first reached, for witness
-// reconstruction.
-type link struct {
-	prev config
-	hop  Hop
-	hops int
-	root bool
-}
+var searchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-// timeItem is a heap entry ordered by time (then insertion order, for
-// determinism).
-type timeItem struct {
-	cfg config
-	seq int
-}
-
-type timeHeap []timeItem
-
-func (h timeHeap) Len() int { return len(h) }
-func (h timeHeap) Less(i, j int) bool {
-	if h[i].cfg.t != h[j].cfg.t {
-		return h[i].cfg.t < h[j].cfg.t
+// getScratch rents a scratch sized for n contacts with a fresh epoch.
+func getScratch(n int) *scratch {
+	s := searchPool.Get().(*scratch)
+	if len(s.state) < n {
+		s.state = make([]uint32, n)
+		s.parent = make([]int32, n)
+		s.epoch = 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h timeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timeHeap) Push(x any)   { *h = append(*h, x.(timeItem)) }
-func (h *timeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	s.reset()
+	return s
 }
 
-// expand enumerates the successor configurations of cfg and calls visit
-// with the hop taken and the successor.
-func expand(c *tvg.Compiled, mode Mode, cfg config, visit func(Hop, config)) {
-	if cfg.t > c.Horizon() {
-		return // terminal: arrived past the horizon
+func putScratch(s *scratch) { searchPool.Put(s) }
+
+// reset starts a fresh visited generation (and clears the worklists).
+func (s *scratch) reset() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale marks could alias, clear for real
+		clear(s.state)
+		s.epoch = 1
 	}
-	end := mode.WindowEnd(cfg.t, c.Horizon())
-	for _, id := range c.OutEdges(cfg.node) {
-		e, _ := c.Graph().Edge(id)
-		c.EachDeparture(id, cfg.t, end, func(dep, arr tvg.Time) bool {
-			visit(Hop{Edge: id, Depart: dep}, config{node: e.To, t: arr})
-			return true
-		})
-	}
+	s.heap = s.heap[:0]
+	s.front = s.front[:0]
+	s.next = s.next[:0]
+	s.times = s.times[:0]
 }
 
-// reconstruct rebuilds the witness journey ending at cfg from the parent
-// links.
-func reconstruct(parents map[config]link, cfg config) Journey {
-	var rev []Hop
-	for {
-		l := parents[cfg]
-		if l.root {
+func (s *scratch) visited(k int32) bool { return s.state[k] == s.epoch }
+func (s *scratch) visit(k, parent int32) {
+	s.state[k] = s.epoch
+	s.parent[k] = parent
+}
+
+// heapItem orders the foremost frontier by time, then insertion order for
+// determinism; k is the contact that produced the configuration.
+type heapItem struct {
+	t   tvg.Time
+	seq int32
+	k   int32
+}
+
+func heapLess(a, b heapItem) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (s *scratch) hpush(it heapItem) {
+	s.heap = append(s.heap, it)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(s.heap[i], s.heap[p]) {
 			break
 		}
-		rev = append(rev, l.hop)
-		cfg = l.prev
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
 	}
-	hops := make([]Hop, len(rev))
-	for i := range rev {
-		hops[i] = rev[len(rev)-1-i]
+}
+
+func (s *scratch) hpop() heapItem {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s.heap) && heapLess(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < len(s.heap) && heapLess(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// reconstruct rebuilds the witness journey ending at contact k from the
+// parent chain.
+func (s *scratch) reconstruct(contacts []tvg.Contact, k int32) Journey {
+	n := 0
+	for i := k; i >= 0; i = s.parent[i] {
+		n++
+	}
+	hops := make([]Hop, n)
+	for i := k; i >= 0; i = s.parent[i] {
+		n--
+		hops[n] = Hop{Edge: contacts[i].Edge, Depart: contacts[i].Dep}
 	}
 	return Journey{Hops: hops}
 }
@@ -98,65 +147,97 @@ func reconstruct(parents map[config]link, cfg config) Journey {
 // that arrives as early as possible under the mode, together with its
 // arrival time. If src == dst the empty journey with arrival t0 is
 // returned. ok is false if dst is unreachable within the horizon.
-func Foremost(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+func Foremost(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
 	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
 		return Journey{}, 0, false
 	}
 	if src == dst {
 		return Journey{}, t0, true
 	}
-	parents := map[config]link{{src, t0}: {root: true}}
-	h := &timeHeap{{cfg: config{src, t0}}}
-	seq := 1
-	for h.Len() > 0 {
-		it := heap.Pop(h).(timeItem)
-		if it.cfg.node == dst {
-			return reconstruct(parents, it.cfg), it.cfg.t, true
+	s := getScratch(c.NumContacts())
+	defer putScratch(s)
+	contacts := c.Contacts()
+	var seq int32
+	s.expandHeap(c, contacts, mode, src, t0, -1, &seq)
+	for len(s.heap) > 0 {
+		it := s.hpop()
+		if contacts[it.k].To == dst {
+			return s.reconstruct(contacts, it.k), it.t, true
 		}
-		expand(c, mode, it.cfg, func(hp Hop, next config) {
-			if _, ok := parents[next]; ok {
-				return
-			}
-			parents[next] = link{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
-			heap.Push(h, timeItem{cfg: next, seq: seq})
-			seq++
-		})
+		if it.t > c.Horizon() {
+			continue // terminal: arrived past the horizon
+		}
+		s.expandHeap(c, contacts, mode, contacts[it.k].To, it.t, it.k, &seq)
 	}
 	return Journey{}, 0, false
+}
+
+// expandHeap pushes every unvisited successor contact of configuration
+// (node, t) onto the time heap, in out-edge then departure order.
+func (s *scratch) expandHeap(c *tvg.ContactSet, contacts []tvg.Contact, mode Mode, node tvg.Node, t tvg.Time, parent int32, seq *int32) {
+	end := mode.WindowEnd(t, c.Horizon())
+	for _, id := range c.OutEdges(node) {
+		lo, hi := c.EdgeRange(id)
+		for i := c.SearchFrom(lo, hi, t); i < hi && contacts[i].Dep <= end; i++ {
+			k := int32(i)
+			if s.visited(k) {
+				continue
+			}
+			s.visit(k, parent)
+			s.hpush(heapItem{t: contacts[i].Arr, seq: *seq, k: k})
+			*seq++
+		}
+	}
 }
 
 // MinHop returns a journey from src to dst departing no earlier than t0
 // with as few hops as possible under the mode, together with the hop
 // count. ok is false if dst is unreachable within the horizon.
-func MinHop(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, int, bool) {
+func MinHop(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, int, bool) {
 	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
 		return Journey{}, 0, false
 	}
 	if src == dst {
 		return Journey{}, 0, true
 	}
-	parents := map[config]link{{src, t0}: {root: true}}
-	frontier := []config{{src, t0}}
-	for hops := 1; len(frontier) > 0; hops++ {
-		var next []config
-		for _, cfg := range frontier {
-			expand(c, mode, cfg, func(hp Hop, nc config) {
-				if _, ok := parents[nc]; ok {
-					return
-				}
-				parents[nc] = link{prev: cfg, hop: hp, hops: hops}
-				next = append(next, nc)
-			})
-		}
+	s := getScratch(c.NumContacts())
+	defer putScratch(s)
+	contacts := c.Contacts()
+	s.next = s.expandList(c, contacts, mode, src, t0, -1, s.next)
+	for hops := 1; len(s.next) > 0; hops++ {
 		// Scan this layer for the destination before going deeper.
-		for _, nc := range next {
-			if nc.node == dst {
-				return reconstruct(parents, nc), hops, true
+		for _, k := range s.next {
+			if contacts[k].To == dst {
+				return s.reconstruct(contacts, k), hops, true
 			}
 		}
-		frontier = next
+		s.front, s.next = s.next, s.front[:0]
+		for _, k := range s.front {
+			if contacts[k].Arr > c.Horizon() {
+				continue
+			}
+			s.next = s.expandList(c, contacts, mode, contacts[k].To, contacts[k].Arr, k, s.next)
+		}
 	}
 	return Journey{}, 0, false
+}
+
+// expandList appends every unvisited successor contact of configuration
+// (node, t) to list, in out-edge then departure order.
+func (s *scratch) expandList(c *tvg.ContactSet, contacts []tvg.Contact, mode Mode, node tvg.Node, t tvg.Time, parent int32, list []int32) []int32 {
+	end := mode.WindowEnd(t, c.Horizon())
+	for _, id := range c.OutEdges(node) {
+		lo, hi := c.EdgeRange(id)
+		for i := c.SearchFrom(lo, hi, t); i < hi && contacts[i].Dep <= end; i++ {
+			k := int32(i)
+			if s.visited(k) {
+				continue
+			}
+			s.visit(k, parent)
+			list = append(list, k)
+		}
+	}
+	return list
 }
 
 // Fastest returns a journey from src to dst departing no earlier than t0
@@ -164,28 +245,32 @@ func MinHop(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey
 // the mode. The returned time is that minimal span (duration). If
 // src == dst the empty journey with duration 0 is returned. ok is false if
 // dst is unreachable within the horizon.
-func Fastest(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
+func Fastest(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journey, tvg.Time, bool) {
 	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
 		return Journey{}, 0, false
 	}
 	if src == dst {
 		return Journey{}, 0, true
 	}
+	s := getScratch(c.NumContacts())
+	defer putScratch(s)
+	contacts := c.Contacts()
 	// Candidate first-departure times: departures of src's out-edges within
-	// the initial waiting window.
+	// the initial waiting window, deduplicated and ascending.
 	end := mode.WindowEnd(t0, c.Horizon())
-	candSet := map[tvg.Time]bool{}
 	for _, id := range c.OutEdges(src) {
-		c.EachDeparture(id, t0, end, func(dep, _ tvg.Time) bool {
-			candSet[dep] = true
-			return true
-		})
+		lo, hi := c.EdgeRange(id)
+		for i := c.SearchFrom(lo, hi, t0); i < hi && contacts[i].Dep <= end; i++ {
+			s.times = append(s.times, contacts[i].Dep)
+		}
 	}
-	cands := make([]tvg.Time, 0, len(candSet))
-	for t := range candSet {
-		cands = append(cands, t)
+	sort.Slice(s.times, func(i, j int) bool { return s.times[i] < s.times[j] })
+	cands := s.times[:0]
+	for _, t := range s.times {
+		if len(cands) == 0 || cands[len(cands)-1] != t {
+			cands = append(cands, t)
+		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 
 	var best Journey
 	var bestSpan tvg.Time
@@ -193,7 +278,7 @@ func Fastest(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journe
 	for _, ts := range cands {
 		// Force the journey to actually depart at ts: run a foremost search
 		// whose initial configuration admits no pause before the first hop.
-		j, arr, ok := foremostDepartingAt(c, mode, src, dst, ts)
+		j, arr, ok := s.foremostDepartingAt(c, contacts, mode, src, dst, ts)
 		if !ok {
 			continue
 		}
@@ -211,62 +296,64 @@ func Fastest(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Journe
 }
 
 // foremostDepartingAt is Foremost restricted to journeys whose first hop
-// departs exactly at ts.
-func foremostDepartingAt(c *tvg.Compiled, mode Mode, src, dst tvg.Node, ts tvg.Time) (Journey, tvg.Time, bool) {
-	parents := map[config]link{{src, ts}: {root: true}}
-	h := &timeHeap{}
-	seq := 0
-	// Seed with exactly the hops departing at ts.
+// departs exactly at ts. It burns a fresh visited generation of s (but
+// not the candidate list in s.times, which Fastest is iterating).
+func (s *scratch) foremostDepartingAt(c *tvg.ContactSet, contacts []tvg.Contact, mode Mode, src, dst tvg.Node, ts tvg.Time) (Journey, tvg.Time, bool) {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.state)
+		s.epoch = 1
+	}
+	s.heap = s.heap[:0]
+	var seq int32
+	// Seed with exactly the contacts departing at ts. An edge has at most
+	// one contact per tick, so this is one lookup per out-edge.
 	for _, id := range c.OutEdges(src) {
-		e, _ := c.Graph().Edge(id)
-		if arr, ok := c.ArrivalAt(id, ts); ok {
-			next := config{e.To, arr}
-			if _, dup := parents[next]; dup {
+		lo, hi := c.EdgeRange(id)
+		i := c.SearchFrom(lo, hi, ts)
+		if i < hi && contacts[i].Dep == ts {
+			k := int32(i)
+			if s.visited(k) {
 				continue
 			}
-			parents[next] = link{prev: config{src, ts}, hop: Hop{Edge: id, Depart: ts}, hops: 1}
-			heap.Push(h, timeItem{cfg: next, seq: seq})
+			s.visit(k, -1)
+			s.hpush(heapItem{t: contacts[i].Arr, seq: seq, k: k})
 			seq++
 		}
 	}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(timeItem)
-		if it.cfg.node == dst {
-			return reconstruct(parents, it.cfg), it.cfg.t, true
+	for len(s.heap) > 0 {
+		it := s.hpop()
+		if contacts[it.k].To == dst {
+			return s.reconstruct(contacts, it.k), it.t, true
 		}
-		expand(c, mode, it.cfg, func(hp Hop, next config) {
-			if _, ok := parents[next]; ok {
-				return
-			}
-			parents[next] = link{prev: it.cfg, hop: hp, hops: parents[it.cfg].hops + 1}
-			heap.Push(h, timeItem{cfg: next, seq: seq})
-			seq++
-		})
+		if it.t > c.Horizon() {
+			continue
+		}
+		s.expandHeap(c, contacts, mode, contacts[it.k].To, it.t, it.k, &seq)
 	}
 	return Journey{}, 0, false
 }
 
 // ReachableSet returns, per node, whether it is reachable from src by a
 // feasible journey departing no earlier than t0 (src itself is reachable).
-func ReachableSet(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time) []bool {
+func ReachableSet(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) []bool {
 	out := make([]bool, c.Graph().NumNodes())
 	if !c.Graph().ValidNode(src) || !mode.IsValid() {
 		return out
 	}
 	out[src] = true
-	seen := map[config]bool{{src, t0}: true}
-	stack := []config{{src, t0}}
-	for len(stack) > 0 {
-		cfg := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		expand(c, mode, cfg, func(_ Hop, next config) {
-			if seen[next] {
-				return
-			}
-			seen[next] = true
-			out[next.node] = true
-			stack = append(stack, next)
-		})
+	s := getScratch(c.NumContacts())
+	defer putScratch(s)
+	contacts := c.Contacts()
+	s.front = s.expandList(c, contacts, mode, src, t0, -1, s.front)
+	for len(s.front) > 0 {
+		k := s.front[len(s.front)-1]
+		s.front = s.front[:len(s.front)-1]
+		out[contacts[k].To] = true
+		if contacts[k].Arr > c.Horizon() {
+			continue
+		}
+		s.front = s.expandList(c, contacts, mode, contacts[k].To, contacts[k].Arr, k, s.front)
 	}
 	return out
 }
@@ -274,35 +361,35 @@ func ReachableSet(c *tvg.Compiled, mode Mode, src tvg.Node, t0 tvg.Time) []bool 
 // ArrivalTimes returns the sorted set of times at which dst can be reached
 // from src by feasible journeys departing no earlier than t0. If
 // src == dst, t0 is included (the empty journey).
-func ArrivalTimes(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) []tvg.Time {
+func ArrivalTimes(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) []tvg.Time {
 	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
 		return nil
 	}
-	times := map[tvg.Time]bool{}
+	s := getScratch(c.NumContacts())
+	defer putScratch(s)
+	contacts := c.Contacts()
 	if src == dst {
-		times[t0] = true
+		s.times = append(s.times, t0)
 	}
-	seen := map[config]bool{{src, t0}: true}
-	stack := []config{{src, t0}}
-	for len(stack) > 0 {
-		cfg := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		expand(c, mode, cfg, func(_ Hop, next config) {
-			if seen[next] {
-				return
-			}
-			seen[next] = true
-			if next.node == dst {
-				times[next.t] = true
-			}
-			stack = append(stack, next)
-		})
+	s.front = s.expandList(c, contacts, mode, src, t0, -1, s.front)
+	for len(s.front) > 0 {
+		k := s.front[len(s.front)-1]
+		s.front = s.front[:len(s.front)-1]
+		if contacts[k].To == dst {
+			s.times = append(s.times, contacts[k].Arr)
+		}
+		if contacts[k].Arr > c.Horizon() {
+			continue
+		}
+		s.front = s.expandList(c, contacts, mode, contacts[k].To, contacts[k].Arr, k, s.front)
 	}
-	out := make([]tvg.Time, 0, len(times))
-	for t := range times {
-		out = append(out, t)
+	sort.Slice(s.times, func(i, j int) bool { return s.times[i] < s.times[j] })
+	out := make([]tvg.Time, 0, len(s.times))
+	for _, t := range s.times {
+		if len(out) == 0 || out[len(out)-1] != t {
+			out = append(out, t)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -310,7 +397,7 @@ func ArrivalTimes(c *tvg.Compiled, mode Mode, src, dst tvg.Node, t0 tvg.Time) []
 // connected by a feasible journey departing no earlier than t0 — the
 // temporal connectivity property that underpins broadcast and routing in
 // the paper's motivating setting.
-func TemporallyConnected(c *tvg.Compiled, mode Mode, t0 tvg.Time) bool {
+func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
 	n := c.Graph().NumNodes()
 	for src := tvg.Node(0); int(src) < n; src++ {
 		reach := ReachableSet(c, mode, src, t0)

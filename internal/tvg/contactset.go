@@ -1,0 +1,246 @@
+package tvg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Contact is one usable (edge, departure) pair of a schedule: edge Edge is
+// present at time Dep and a traversal departing then arrives at Arr.
+// Contacts are the atoms every decision procedure in this repository walks
+// over; From and To are denormalized endpoints so the hot loops never
+// touch the Graph's edge list.
+type Contact struct {
+	Edge     EdgeID
+	From, To Node
+	Dep, Arr Time
+}
+
+// ContactSet is the flat, CSR-style compiled form of a Graph over a finite
+// horizon: one contiguous contact array plus three offset indexes.
+//
+// Layout invariants (see DESIGN.md §1):
+//
+//   - contacts is sorted by (Edge, Dep); within an edge, departures are
+//     strictly increasing, so an edge has at most one contact per tick;
+//   - edgeOff[e] .. edgeOff[e+1] brackets edge e's contacts;
+//   - outEdges, bracketed per node by outOff, lists each node's outgoing
+//     edge ids in ascending id order;
+//   - byTime lists contact indexes sorted by (Dep, Edge), bracketed per
+//     tick by timeOff, so all contacts departing at tick t are
+//     byTime[timeOff[t]:timeOff[t+1]], in ascending edge order.
+//
+// A ContactSet is immutable after construction and safe for unbounded
+// concurrent use; accessors returning slices share the backing arrays and
+// callers must not modify them.
+type ContactSet struct {
+	g        *Graph
+	horizon  Time
+	contacts []Contact
+	edgeOff  []int32 // len NumEdges+1
+	outEdges []EdgeID
+	outOff   []int32 // len NumNodes+1
+	byTime   []int32 // contact indexes ordered by (Dep, Edge)
+	timeOff  []int32 // len horizon+2
+}
+
+// NewContactSet scans every edge over t in [0, horizon] and builds the
+// flat contact representation. It returns an error if the horizon is
+// negative, if any present instant has a latency < 1 (a model violation),
+// or if the schedule has more contacts than the index width supports.
+func NewContactSet(g *Graph, horizon Time) (*ContactSet, error) {
+	if horizon < 0 {
+		return nil, fmt.Errorf("tvg: negative horizon %d", horizon)
+	}
+	cs := &ContactSet{
+		g:       g,
+		horizon: horizon,
+		edgeOff: make([]int32, g.NumEdges()+1),
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.edges[i]
+		for t := Time(0); t <= horizon; t++ {
+			if !e.Presence.Present(t) {
+				continue
+			}
+			l := e.Latency.Crossing(t)
+			if l < 1 {
+				return nil, fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, e.Name, l, t)
+			}
+			cs.contacts = append(cs.contacts, Contact{
+				Edge: EdgeID(i), From: e.From, To: e.To, Dep: t, Arr: t + l,
+			})
+		}
+		if len(cs.contacts) > math.MaxInt32 {
+			return nil, fmt.Errorf("tvg: schedule has more than %d contacts", math.MaxInt32)
+		}
+		cs.edgeOff[i+1] = int32(len(cs.contacts))
+	}
+
+	// Node → outgoing edges, CSR over ascending edge ids.
+	cs.outOff = make([]int32, g.NumNodes()+1)
+	for _, e := range g.edges {
+		cs.outOff[e.From+1]++
+	}
+	for n := 1; n < len(cs.outOff); n++ {
+		cs.outOff[n] += cs.outOff[n-1]
+	}
+	cs.outEdges = make([]EdgeID, g.NumEdges())
+	fill := append([]int32(nil), cs.outOff...)
+	for i, e := range g.edges {
+		cs.outEdges[fill[e.From]] = EdgeID(i)
+		fill[e.From]++
+	}
+
+	// Departure tick → contacts, by counting sort. Filling in contact
+	// order keeps each tick's bucket in ascending edge order.
+	cs.timeOff = make([]int32, horizon+2)
+	for _, c := range cs.contacts {
+		cs.timeOff[c.Dep+1]++
+	}
+	for t := 1; t < len(cs.timeOff); t++ {
+		cs.timeOff[t] += cs.timeOff[t-1]
+	}
+	cs.byTime = make([]int32, len(cs.contacts))
+	fillT := append([]int32(nil), cs.timeOff...)
+	for i, c := range cs.contacts {
+		cs.byTime[fillT[c.Dep]] = int32(i)
+		fillT[c.Dep]++
+	}
+	return cs, nil
+}
+
+// Graph returns the underlying graph.
+func (c *ContactSet) Graph() *Graph { return c.g }
+
+// Horizon returns the inclusive time horizon the schedule was compiled for.
+func (c *ContactSet) Horizon() Time { return c.horizon }
+
+// NumContacts returns the total number of contacts — the size of the
+// time-expanded edge relation.
+func (c *ContactSet) NumContacts() int { return len(c.contacts) }
+
+// Contacts returns the full contact array, sorted by (edge, departure).
+// The slice is shared; callers must not modify it.
+func (c *ContactSet) Contacts() []Contact { return c.contacts }
+
+// EdgeRange returns the index range [lo, hi) of edge id's contacts within
+// Contacts(). An invalid id yields an empty range.
+func (c *ContactSet) EdgeRange(id EdgeID) (lo, hi int) {
+	if id < 0 || int(id) >= c.g.NumEdges() {
+		return 0, 0
+	}
+	return int(c.edgeOff[id]), int(c.edgeOff[id+1])
+}
+
+// EdgeContacts returns edge id's contacts in departure order. The slice is
+// shared; callers must not modify it.
+func (c *ContactSet) EdgeContacts(id EdgeID) []Contact {
+	lo, hi := c.EdgeRange(id)
+	return c.contacts[lo:hi]
+}
+
+// OutEdges returns the ids of edges leaving node n, ascending. The slice
+// is shared; callers must not modify it.
+func (c *ContactSet) OutEdges(n Node) []EdgeID {
+	if !c.g.ValidNode(n) {
+		return nil
+	}
+	return c.outEdges[c.outOff[n]:c.outOff[n+1]]
+}
+
+// AtTick returns the indexes (into Contacts) of every contact departing at
+// tick t, in ascending edge order. The slice is shared; callers must not
+// modify it.
+func (c *ContactSet) AtTick(t Time) []int32 {
+	if t < 0 || t > c.horizon {
+		return nil
+	}
+	return c.byTime[c.timeOff[t]:c.timeOff[t+1]]
+}
+
+// SearchFrom returns the first index in [lo, hi) whose contact departs at
+// or after t, assuming contacts[lo:hi] is departure-sorted (true for any
+// EdgeRange). It is the shared lower-bound primitive behind ArrivalAt,
+// NextDeparture, EachDeparture and the journey searches' window walks.
+func (c *ContactSet) SearchFrom(lo, hi int, t Time) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return c.contacts[lo+i].Dep >= t })
+}
+
+// Departures returns a copy of the departure times of edge id within the
+// horizon.
+func (c *ContactSet) Departures(id EdgeID) []Time {
+	lo, hi := c.EdgeRange(id)
+	if lo == hi {
+		return nil
+	}
+	out := make([]Time, hi-lo)
+	for i := range out {
+		out[i] = c.contacts[lo+i].Dep
+	}
+	return out
+}
+
+// NumDepartures returns how many departures edge id has within the horizon.
+func (c *ContactSet) NumDepartures(id EdgeID) int {
+	lo, hi := c.EdgeRange(id)
+	return hi - lo
+}
+
+// PresentAt reports whether edge id is present at time t (within horizon).
+func (c *ContactSet) PresentAt(id EdgeID, t Time) bool {
+	_, ok := c.ArrivalAt(id, t)
+	return ok
+}
+
+// ArrivalAt returns the arrival time of a traversal of edge id departing
+// exactly at time t, or false if the edge is not present at t.
+func (c *ContactSet) ArrivalAt(id EdgeID, t Time) (Time, bool) {
+	lo, hi := c.EdgeRange(id)
+	i := c.SearchFrom(lo, hi, t)
+	if i < hi && c.contacts[i].Dep == t {
+		return c.contacts[i].Arr, true
+	}
+	return 0, false
+}
+
+// NextDeparture returns the earliest departure time t' >= t of edge id,
+// or false if there is none within the horizon.
+func (c *ContactSet) NextDeparture(id EdgeID, t Time) (Time, bool) {
+	lo, hi := c.EdgeRange(id)
+	i := c.SearchFrom(lo, hi, t)
+	if i == hi {
+		return 0, false
+	}
+	return c.contacts[i].Dep, true
+}
+
+// EachDeparture calls fn(departure, arrival) for every departure time of
+// edge id in [from, to] (inclusive), in increasing order, stopping early if
+// fn returns false.
+func (c *ContactSet) EachDeparture(id EdgeID, from, to Time, fn func(dep, arr Time) bool) {
+	lo, hi := c.EdgeRange(id)
+	for i := c.SearchFrom(lo, hi, from); i < hi && c.contacts[i].Dep <= to; i++ {
+		if !fn(c.contacts[i].Dep, c.contacts[i].Arr) {
+			return
+		}
+	}
+}
+
+// ContactsAt returns the ids of all edges present at time t, ascending.
+func (c *ContactSet) ContactsAt(t Time) []EdgeID {
+	ks := c.AtTick(t)
+	if len(ks) == 0 {
+		return nil
+	}
+	out := make([]EdgeID, len(ks))
+	for i, k := range ks {
+		out[i] = c.contacts[k].Edge
+	}
+	return out
+}
+
+// TotalContacts returns the total number of (edge, departure) pairs within
+// the horizon. It is a synonym of NumContacts kept for the pre-CSR API.
+func (c *ContactSet) TotalContacts() int { return len(c.contacts) }

@@ -1,0 +1,226 @@
+package tvg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomScheduleGraph builds a graph with assorted schedule kinds so the
+// CSR invariants are exercised across presence/latency implementations.
+func randomScheduleGraph(t *testing.T, seed int64, nodes, edges int) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	g.AddNodes(nodes)
+	for i := 0; i < edges; i++ {
+		var pres Presence
+		switch rng.Intn(3) {
+		case 0:
+			pattern := make([]bool, 2+rng.Intn(4))
+			pattern[rng.Intn(len(pattern))] = true
+			p, err := NewPeriodicPresence(pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres = p
+		case 1:
+			var times []Time
+			for t := Time(0); t <= 40; t++ {
+				if rng.Intn(3) == 0 {
+					times = append(times, t)
+				}
+			}
+			pres = NewTimeSet(times...)
+		default:
+			pres = Always{}
+		}
+		g.MustAddEdge(Edge{
+			From: Node(rng.Intn(nodes)), To: Node(rng.Intn(nodes)),
+			Label:    rune('a' + rng.Intn(2)),
+			Presence: pres,
+			Latency:  ConstLatency(Time(1 + rng.Intn(3))),
+		})
+	}
+	return g
+}
+
+// TestContactSetInvariants checks the CSR layout invariants documented in
+// DESIGN.md §1 on randomized schedules.
+func TestContactSetInvariants(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomScheduleGraph(t, seed, 5, 12)
+		const horizon = 40
+		cs, err := NewContactSet(g, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contacts := cs.Contacts()
+		// Sorted by (edge, dep), strictly increasing dep per edge, and
+		// consistent denormalized endpoints.
+		for i := 1; i < len(contacts); i++ {
+			a, b := contacts[i-1], contacts[i]
+			if a.Edge > b.Edge || (a.Edge == b.Edge && a.Dep >= b.Dep) {
+				t.Fatalf("seed %d: contacts not sorted by (edge, dep) at %d: %+v then %+v", seed, i, a, b)
+			}
+		}
+		for i, c := range contacts {
+			e, ok := g.Edge(c.Edge)
+			if !ok || e.From != c.From || e.To != c.To {
+				t.Fatalf("seed %d: contact %d endpoints disagree with edge: %+v", seed, i, c)
+			}
+			if c.Arr <= c.Dep {
+				t.Fatalf("seed %d: contact %d does not make progress: %+v", seed, i, c)
+			}
+		}
+		// Edge ranges partition the contact array and match the brute
+		// per-tick evaluation of the schedules.
+		total := 0
+		for id := EdgeID(0); int(id) < g.NumEdges(); id++ {
+			lo, hi := cs.EdgeRange(id)
+			if lo != total {
+				t.Fatalf("seed %d: edge %d range [%d,%d) does not continue partition at %d", seed, id, lo, hi, total)
+			}
+			total = hi
+			e, _ := g.Edge(id)
+			want := 0
+			for tick := Time(0); tick <= horizon; tick++ {
+				if e.Presence.Present(tick) {
+					want++
+					if arr, ok := cs.ArrivalAt(id, tick); !ok || arr != tick+e.Latency.Crossing(tick) {
+						t.Fatalf("seed %d: ArrivalAt(%d, %d) = %v, %v", seed, id, tick, arr, ok)
+					}
+				} else if cs.PresentAt(id, tick) {
+					t.Fatalf("seed %d: PresentAt(%d, %d) should be false", seed, id, tick)
+				}
+			}
+			if got := cs.NumDepartures(id); got != want {
+				t.Fatalf("seed %d: edge %d has %d departures, want %d", seed, id, got, want)
+			}
+		}
+		if total != cs.NumContacts() {
+			t.Fatalf("seed %d: edge ranges cover %d of %d contacts", seed, total, cs.NumContacts())
+		}
+		// Per-tick index: every contact appears exactly at its departure
+		// tick, in ascending edge order.
+		seen := 0
+		for tick := Time(0); tick <= horizon; tick++ {
+			ks := cs.AtTick(tick)
+			for i, k := range ks {
+				c := contacts[k]
+				if c.Dep != tick {
+					t.Fatalf("seed %d: AtTick(%d) holds contact departing at %d", seed, tick, c.Dep)
+				}
+				if i > 0 && contacts[ks[i-1]].Edge >= c.Edge {
+					t.Fatalf("seed %d: AtTick(%d) not in ascending edge order", seed, tick)
+				}
+			}
+			seen += len(ks)
+		}
+		if seen != cs.NumContacts() {
+			t.Fatalf("seed %d: tick index covers %d of %d contacts", seed, seen, cs.NumContacts())
+		}
+		// Out-edge CSR agrees with the Graph's adjacency.
+		for n := Node(0); int(n) < g.NumNodes(); n++ {
+			got := cs.OutEdges(n)
+			want := g.OutEdges(n)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: OutEdges(%d) = %v, want %v", seed, n, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: OutEdges(%d) = %v, want %v", seed, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestContactSetTickQueriesOutOfRange(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{}, Latency: ConstLatency(1)})
+	cs, err := NewContactSet(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.AtTick(-1) != nil || cs.AtTick(6) != nil {
+		t.Error("AtTick outside [0, horizon] should be nil")
+	}
+	if cs.ContactsAt(9) != nil {
+		t.Error("ContactsAt past horizon should be nil")
+	}
+	if lo, hi := cs.EdgeRange(EdgeID(3)); lo != hi {
+		t.Error("EdgeRange on bad id should be empty")
+	}
+	if got := cs.EdgeContacts(EdgeID(-1)); len(got) != 0 {
+		t.Error("EdgeContacts on bad id should be empty")
+	}
+	if cs.NumContacts() != 6 || cs.TotalContacts() != 6 {
+		t.Errorf("contact count wrong: %d", cs.NumContacts())
+	}
+}
+
+// Regression: Crossing and Arrival must not panic on invalid edge ids.
+func TestGraphCrossingArrivalInvalidEdge(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	g.MustAddEdge(Edge{From: u, To: u, Label: 'a', Presence: Always{}, Latency: ConstLatency(4)})
+	if got := g.Crossing(EdgeID(5), 0); got != 0 {
+		t.Errorf("Crossing on invalid id = %d, want 0", got)
+	}
+	if got := g.Crossing(EdgeID(-1), 0); got != 0 {
+		t.Errorf("Crossing on negative id = %d, want 0", got)
+	}
+	if got := g.Arrival(EdgeID(5), 7); got != 7 {
+		t.Errorf("Arrival on invalid id = %d, want 7", got)
+	}
+	if got := g.Crossing(0, 0); got != 4 {
+		t.Errorf("Crossing on valid id = %d, want 4", got)
+	}
+}
+
+// Regression: AddNodes must not collide with user-added "v<k>" names.
+func TestAddNodesNameCollision(t *testing.T) {
+	g := New()
+	g.AddNode("v1") // node 0, named like an anonymous node
+	first := g.AddNodes(3)
+	if first != 1 {
+		t.Fatalf("AddNodes returned first=%d, want 1", first)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("AddNodes(3) after a colliding name left %d nodes, want 4", g.NumNodes())
+	}
+	names := map[string]bool{}
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		name := g.NodeName(n)
+		if names[name] {
+			t.Fatalf("duplicate node name %q", name)
+		}
+		names[name] = true
+	}
+}
+
+// Regression: the adjacency is maintained incrementally and returns
+// defensive copies.
+func TestGraphOutEdgesIncremental(t *testing.T) {
+	g := New()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	e0 := g.MustAddEdge(Edge{From: u, To: v, Label: 'a', Presence: Always{}, Latency: ConstLatency(1)})
+	e1 := g.MustAddEdge(Edge{From: v, To: u, Label: 'b', Presence: Always{}, Latency: ConstLatency(1)})
+	e2 := g.MustAddEdge(Edge{From: u, To: u, Label: 'c', Presence: Always{}, Latency: ConstLatency(1)})
+	got := g.OutEdges(u)
+	if len(got) != 2 || got[0] != e0 || got[1] != e2 {
+		t.Fatalf("OutEdges(u) = %v, want [%d %d]", got, e0, e2)
+	}
+	got[0] = e1 // must not corrupt the graph
+	if again := g.OutEdges(u); again[0] != e0 {
+		t.Error("OutEdges leaked internal adjacency state")
+	}
+	if g.OutEdges(Node(9)) != nil {
+		t.Error("OutEdges on invalid node should be nil")
+	}
+	if g.OutEdges(v)[0] != e1 {
+		t.Errorf("OutEdges(v) = %v", g.OutEdges(v))
+	}
+}

@@ -1,166 +1,16 @@
 package tvg
 
-import (
-	"fmt"
-	"sort"
-)
+// Compiled is the historical name of the compiled contact schedule. Since
+// the flat-core refactor it is the CSR ContactSet itself: one contiguous
+// contact array with per-edge, per-node and per-tick offset indexes
+// (see contactset.go and DESIGN.md §1). The alias keeps every pre-CSR
+// call site — and the name the rest of the repository's documentation
+// uses — compiling unchanged.
+type Compiled = ContactSet
 
-// Compiled is a time-expanded view of a Graph over a finite horizon: for
-// every edge, the sorted list of departure times in [0, Horizon] at which
-// the edge is present, with the matching arrival times cached. Every
-// algorithm in this repository (membership search, journey metrics, NFA
-// extraction, DTN simulation) runs on a Compiled schedule, so arbitrary
-// function-backed presence schedules are evaluated exactly once per tick.
-type Compiled struct {
-	g       *Graph
-	horizon Time
-	dep     [][]Time   // per edge: sorted departure times
-	arr     [][]Time   // per edge: arrival for each departure
-	out     [][]EdgeID // per node: outgoing edge ids
-}
-
-// Compile scans every edge over t in [0, horizon] and records the presence
-// and arrival structure. It returns an error if the horizon is negative or
-// if any present instant has a latency < 1 (a model violation).
+// Compile scans every edge over t in [0, horizon] and builds the contact
+// set. It returns an error if the horizon is negative or if any present
+// instant has a latency < 1 (a model violation).
 func Compile(g *Graph, horizon Time) (*Compiled, error) {
-	if horizon < 0 {
-		return nil, fmt.Errorf("tvg: negative horizon %d", horizon)
-	}
-	c := &Compiled{
-		g:       g,
-		horizon: horizon,
-		dep:     make([][]Time, g.NumEdges()),
-		arr:     make([][]Time, g.NumEdges()),
-		out:     make([][]EdgeID, g.NumNodes()),
-	}
-	for i := 0; i < g.NumEdges(); i++ {
-		e := g.edges[i]
-		for t := Time(0); t <= horizon; t++ {
-			if !e.Presence.Present(t) {
-				continue
-			}
-			l := e.Latency.Crossing(t)
-			if l < 1 {
-				return nil, fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, e.Name, l, t)
-			}
-			c.dep[i] = append(c.dep[i], t)
-			c.arr[i] = append(c.arr[i], t+l)
-		}
-		c.out[e.From] = append(c.out[e.From], EdgeID(i))
-	}
-	return c, nil
-}
-
-// Graph returns the underlying graph.
-func (c *Compiled) Graph() *Graph { return c.g }
-
-// Horizon returns the inclusive time horizon the schedule was compiled for.
-func (c *Compiled) Horizon() Time { return c.horizon }
-
-// OutEdges returns the ids of edges leaving node n. The returned slice is
-// shared; callers must not modify it.
-func (c *Compiled) OutEdges(n Node) []EdgeID {
-	if !c.g.ValidNode(n) {
-		return nil
-	}
-	return c.out[n]
-}
-
-// Departures returns a copy of the departure times of edge id within the
-// horizon.
-func (c *Compiled) Departures(id EdgeID) []Time {
-	if int(id) >= len(c.dep) || id < 0 {
-		return nil
-	}
-	out := make([]Time, len(c.dep[id]))
-	copy(out, c.dep[id])
-	return out
-}
-
-// NumDepartures returns how many departures edge id has within the horizon.
-func (c *Compiled) NumDepartures(id EdgeID) int {
-	if int(id) >= len(c.dep) || id < 0 {
-		return 0
-	}
-	return len(c.dep[id])
-}
-
-// PresentAt reports whether edge id is present at time t (within horizon).
-func (c *Compiled) PresentAt(id EdgeID, t Time) bool {
-	_, ok := c.departureIndex(id, t)
-	return ok
-}
-
-// ArrivalAt returns the arrival time of a traversal of edge id departing
-// exactly at time t, or false if the edge is not present at t.
-func (c *Compiled) ArrivalAt(id EdgeID, t Time) (Time, bool) {
-	i, ok := c.departureIndex(id, t)
-	if !ok {
-		return 0, false
-	}
-	return c.arr[id][i], true
-}
-
-// departureIndex locates t in the departure list of edge id.
-func (c *Compiled) departureIndex(id EdgeID, t Time) (int, bool) {
-	if int(id) >= len(c.dep) || id < 0 {
-		return 0, false
-	}
-	d := c.dep[id]
-	i := sort.Search(len(d), func(i int) bool { return d[i] >= t })
-	if i < len(d) && d[i] == t {
-		return i, true
-	}
-	return 0, false
-}
-
-// NextDeparture returns the earliest departure time t' >= t of edge id,
-// or false if there is none within the horizon.
-func (c *Compiled) NextDeparture(id EdgeID, t Time) (Time, bool) {
-	if int(id) >= len(c.dep) || id < 0 {
-		return 0, false
-	}
-	d := c.dep[id]
-	i := sort.Search(len(d), func(i int) bool { return d[i] >= t })
-	if i == len(d) {
-		return 0, false
-	}
-	return d[i], true
-}
-
-// EachDeparture calls fn(departure, arrival) for every departure time of
-// edge id in [from, to] (inclusive), in increasing order, stopping early if
-// fn returns false.
-func (c *Compiled) EachDeparture(id EdgeID, from, to Time, fn func(dep, arr Time) bool) {
-	if int(id) >= len(c.dep) || id < 0 {
-		return
-	}
-	d := c.dep[id]
-	i := sort.Search(len(d), func(i int) bool { return d[i] >= from })
-	for ; i < len(d) && d[i] <= to; i++ {
-		if !fn(d[i], c.arr[id][i]) {
-			return
-		}
-	}
-}
-
-// ContactsAt returns the ids of all edges present at time t.
-func (c *Compiled) ContactsAt(t Time) []EdgeID {
-	var out []EdgeID
-	for id := range c.dep {
-		if c.PresentAt(EdgeID(id), t) {
-			out = append(out, EdgeID(id))
-		}
-	}
-	return out
-}
-
-// TotalContacts returns the total number of (edge, departure) pairs within
-// the horizon — the size of the time-expanded edge relation.
-func (c *Compiled) TotalContacts() int {
-	n := 0
-	for _, d := range c.dep {
-		n += len(d)
-	}
-	return n
+	return NewContactSet(g, horizon)
 }

@@ -82,6 +82,7 @@ type Graph struct {
 	nodeNames []string
 	nodeIndex map[string]Node
 	edges     []Edge
+	out       [][]EdgeID // per node: outgoing edge ids, maintained by AddEdge
 }
 
 // New returns an empty graph.
@@ -101,15 +102,24 @@ func (g *Graph) AddNode(name string) Node {
 	n := Node(len(g.nodeNames))
 	g.nodeNames = append(g.nodeNames, name)
 	g.nodeIndex[name] = n
+	g.out = append(g.out, nil)
 	return n
 }
 
 // AddNodes adds count anonymous nodes named "v0", "v1", ... starting from
-// the current size, and returns the id of the first one.
+// the current size, and returns the id of the first one. Names already
+// taken by user-added nodes are skipped, so every call adds exactly count
+// fresh nodes.
 func (g *Graph) AddNodes(count int) Node {
 	first := Node(len(g.nodeNames))
 	for i := 0; i < count; i++ {
-		g.AddNode(fmt.Sprintf("v%d", len(g.nodeNames)))
+		k := len(g.nodeNames)
+		name := fmt.Sprintf("v%d", k)
+		for _, taken := g.nodeIndex[name]; taken; _, taken = g.nodeIndex[name] {
+			k++
+			name = fmt.Sprintf("v%d", k)
+		}
+		g.AddNode(name)
 	}
 	return first
 }
@@ -131,7 +141,9 @@ func (g *Graph) AddEdge(e Edge) (EdgeID, error) {
 		e.Name = fmt.Sprintf("e%d", len(g.edges))
 	}
 	g.edges = append(g.edges, e)
-	return EdgeID(len(g.edges) - 1), nil
+	id := EdgeID(len(g.edges) - 1)
+	g.out[e.From] = append(g.out[e.From], id)
+	return id, nil
 }
 
 // MustAddEdge is AddEdge but panics on error. It is intended for
@@ -182,15 +194,14 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// OutEdges returns the ids of edges leaving node n.
+// OutEdges returns the ids of edges leaving node n. The adjacency is
+// maintained incrementally by AddEdge, so this is O(out-degree), not a
+// scan of the edge list; the result is a fresh copy the caller may keep.
 func (g *Graph) OutEdges(n Node) []EdgeID {
-	var out []EdgeID
-	for i, e := range g.edges {
-		if e.From == n {
-			out = append(out, EdgeID(i))
-		}
+	if !g.ValidNode(n) || len(g.out[n]) == 0 {
+		return nil
 	}
-	return out
+	return append([]EdgeID(nil), g.out[n]...)
 }
 
 // Alphabet returns the sorted set of symbols appearing on edges.
@@ -215,13 +226,19 @@ func (g *Graph) Present(id EdgeID, t Time) bool {
 	return g.edges[id].Presence.Present(t)
 }
 
-// Crossing returns the latency of edge id at time t.
+// Crossing returns the latency of edge id at time t, or 0 if id is not an
+// edge of g (like Present, invalid ids are answered safely — 0 is never a
+// valid latency, so it is unambiguous).
 func (g *Graph) Crossing(id EdgeID, t Time) Time {
+	if id < 0 || int(id) >= len(g.edges) {
+		return 0
+	}
 	return g.edges[id].Latency.Crossing(t)
 }
 
 // Arrival returns the arrival time of a traversal of edge id departing at
-// time t, i.e. t + ζ(e, t). It does not check presence.
+// time t, i.e. t + ζ(e, t). It does not check presence. For an invalid id
+// it returns t (a zero crossing).
 func (g *Graph) Arrival(id EdgeID, t Time) Time {
 	return t + g.Crossing(id, t)
 }

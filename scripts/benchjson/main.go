@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// the JSON benchmark ledger committed as BENCH_contactset.json, so the
+// perf trajectory of the contact-set core is tracked across PRs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/... | go run ./scripts/benchjson -label after > BENCH.json
+//	... | go run ./scripts/benchjson -label seed -in BENCH.json > BENCH.json.new
+//
+// Lines that are not benchmark results (pkg headers aside, which scope
+// the entries) are ignored, so the raw `go test` stream can be piped in
+// unfiltered. -in merges previously captured entries first, letting one
+// ledger accumulate phases (e.g. the pre-refactor seed numbers next to
+// the current ones).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Label       string  `json:"label,omitempty"`
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Ledger is the file format of BENCH_contactset.json.
+type Ledger struct {
+	Note    string  `json:"note,omitempty"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded on every parsed entry (e.g. seed, contactset)")
+	in := flag.String("in", "", "existing ledger to merge entries from")
+	note := flag.String("note", "", "free-form note stored in the ledger")
+	flag.Parse()
+
+	var ledger Ledger
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *in, err))
+		}
+	}
+	if *note != "" {
+		ledger.Note = *note
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		e, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		e.Label = *label
+		e.Pkg = pkg
+		ledger.Entries = append(ledger.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	out, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// parseBenchLine parses one `Benchmark... N ns/op [B/op allocs/op]` line.
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if e.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Entry{}, false
+			}
+		case "B/op":
+			if e.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Entry{}, false
+			}
+		case "allocs/op":
+			if e.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Entry{}, false
+			}
+		}
+	}
+	if e.NsPerOp == 0 && e.BytesPerOp == 0 && e.AllocsPerOp == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

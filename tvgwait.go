@@ -26,7 +26,12 @@ type (
 	Edge = tvg.Edge
 	// Graph is a time-varying graph G = (V, E, T, ρ, ζ).
 	Graph = tvg.Graph
-	// Compiled is a finite-horizon compiled schedule.
+	// ContactSet is a finite-horizon compiled schedule: the flat CSR
+	// contact array every decision procedure runs on.
+	ContactSet = tvg.ContactSet
+	// Contact is one usable (edge, departure) pair of a ContactSet.
+	Contact = tvg.Contact
+	// Compiled is the pre-CSR name of ContactSet, kept as an alias.
 	Compiled = tvg.Compiled
 	// Presence is an edge availability schedule (ρ restricted to an edge).
 	Presence = tvg.Presence
