@@ -6,6 +6,7 @@
 //
 //	POST /simulate  — engine.ScenarioSpec  → engine.Report
 //	POST /journey   — engine.JourneyRequest → engine.JourneyReport
+//	POST /metrics   — engine.MetricsRequest → engine.MetricsReport
 //	GET  /healthz   — liveness probe ("ok")
 //
 // Every request runs under a server-side timeout, and the number of
@@ -86,6 +87,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /journey", s.handleJourney)
+	mux.HandleFunc("POST /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -144,6 +146,26 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	report, err := s.eng.Journey(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, report)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var req engine.MetricsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	report, err := s.eng.Metrics(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -111,6 +111,40 @@ func TestJourneyEndpoint(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	body := `{
+		"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.5, "horizon": 50},
+		"modes": ["nowait", "wait"], "seed": 7
+	}`
+	resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d, want 200", resp.StatusCode)
+	}
+	var got engine.MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != 12 || len(got.Modes) != 2 {
+		t.Fatalf("metrics report shape wrong: %+v", got)
+	}
+	if got.Modes[0].Mode != "nowait" || got.Modes[1].Mode != "wait" {
+		t.Fatalf("mode rows wrong: %+v", got.Modes)
+	}
+	// Waiting can only enlarge the reachable relation.
+	if got.Modes[1].ReachablePairs < got.Modes[0].ReachablePairs {
+		t.Errorf("wait reaches %d pairs, fewer than nowait's %d",
+			got.Modes[1].ReachablePairs, got.Modes[0].ReachablePairs)
+	}
+	if got.Modes[1].Connected && got.Modes[1].Diameter < 0 {
+		t.Errorf("connected wait row has diameter %d", got.Modes[1].Diameter)
+	}
+}
+
 func TestClientErrors(t *testing.T) {
 	_, ts := testServer(t, time.Minute, 2)
 	cases := []struct {

@@ -97,16 +97,21 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *diameter {
-		c, err := eng.ContactSet(spec.Graph, *seed)
+		// One bit-parallel all-pairs sweep per mode via the engine's
+		// cached metrics path (bit-identical to the historical
+		// per-source Foremost loop, as the golden tests pin).
+		metrics, err := eng.Metrics(context.Background(), engine.MetricsRequest{
+			Graph: spec.Graph, Seed: *seed, Modes: engine.ModeStrings(modes),
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, "\ntemporal diameter (worst foremost delay over all ordered pairs):")
-		for _, mode := range modes {
-			if d, ok := journey.TemporalDiameter(c, mode, 0); ok {
-				fmt.Fprintf(w, "  %-10s %d ticks\n", mode, d)
+		for _, mm := range metrics.Modes {
+			if mm.Connected {
+				fmt.Fprintf(w, "  %-10s %d ticks\n", mm.Mode, mm.Diameter)
 			} else {
-				fmt.Fprintf(w, "  %-10s not temporally connected\n", mode)
+				fmt.Fprintf(w, "  %-10s not temporally connected\n", mm.Mode)
 			}
 		}
 	}

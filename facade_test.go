@@ -268,4 +268,61 @@ func TestFacadeEngine(t *testing.T) {
 	if jr.Found && jr.Arrival < jr.Departure {
 		t.Errorf("journey report inconsistent: %+v", jr)
 	}
+	mr, err := eng.Metrics(context.Background(), tvgwait.MetricsRequest{
+		Graph: tvgwait.GraphSpec{
+			Model: "markov", Nodes: 10, Birth: 0.05, Death: 0.5, Horizon: 50,
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Modes) != 2 || mr.Nodes != 10 {
+		t.Fatalf("metrics report shape wrong: %+v", mr)
+	}
+}
+
+// TestFacadeAllPairs smokes the bit-parallel all-pairs surface: the
+// matrix APIs must agree with the single-pair searches they batch.
+func TestFacadeAllPairs(t *testing.T) {
+	g := tvgwait.NewGraph()
+	first := g.AddNodes(3)
+	a, b, c := first, first+1, first+2
+	pres, err := tvgwait.Periodic([]bool{true, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]tvgwait.Node{{a, b}, {b, c}, {c, a}} {
+		if _, err := g.AddEdge(tvgwait.Edge{
+			From: e[0], To: e[1], Label: 'x', Presence: pres, Latency: tvgwait.ConstLatency(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err := tvgwait.Compile(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tvgwait.AllForemost(cs, tvgwait.Wait(), 0)
+	r := tvgwait.ReachabilityMatrix(cs, tvgwait.Wait(), 0)
+	for src := a; src <= c; src++ {
+		for dst := a; dst <= c; dst++ {
+			arr, ok := m.At(src, dst)
+			_, want, wantOK := tvgwait.Foremost(cs, tvgwait.Wait(), src, dst, 0)
+			if ok != wantOK || (ok && arr != want) {
+				t.Errorf("At(%d,%d) = (%d, %v), Foremost (%d, %v)", src, dst, arr, ok, want, wantOK)
+			}
+			if r.Reachable(src, dst) != wantOK {
+				t.Errorf("Reachable(%d,%d) = %v, want %v", src, dst, r.Reachable(src, dst), wantOK)
+			}
+		}
+	}
+	if conn := tvgwait.TemporallyConnected(cs, tvgwait.Wait(), 0); conn != m.Connected() {
+		t.Errorf("TemporallyConnected = %v, matrix says %v", conn, m.Connected())
+	}
+	if d, ok := tvgwait.TemporalDiameter(cs, tvgwait.Wait(), 0); ok {
+		if md, mok := m.Diameter(); !mok || md != d {
+			t.Errorf("TemporalDiameter = %d, matrix says (%d, %v)", d, md, mok)
+		}
+	}
 }

@@ -7,71 +7,79 @@ import (
 	"tvgwait/internal/tvg"
 )
 
-// scheduleCache is a bounded LRU of compiled contact sets keyed by
-// GraphSpec.key. Contact sets are read-only after construction, so a
-// cached pointer can be shared by any number of concurrent workers.
+// onceCache is a bounded LRU of immutable values keyed by string. The
+// engine uses two instances: the compiled-schedule cache (contact sets
+// are read-only after construction, so a cached pointer can be shared
+// by any number of concurrent workers) and the per-mode metrics cache.
 //
 // Each entry owns a sync.Once: concurrent requests for the same key
-// build the contact set exactly once and everyone blocks on that build
-// rather than duplicating it (the map lock is never held while
-// generating or compiling a graph).
-type scheduleCache struct {
+// build the value exactly once and everyone blocks on that build rather
+// than duplicating it (the map lock is never held while building).
+type onceCache[V any] struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recently used; values are *cacheEntry
+	ll  *list.List // front = most recently used; values are *cacheEntry[V]
 	m   map[string]*list.Element
 }
 
-type cacheEntry struct {
+type cacheEntry[V any] struct {
 	key  string
 	once sync.Once
-	c    *tvg.ContactSet
+	v    V
 	err  error
 }
 
-func newScheduleCache(capacity int) *scheduleCache {
+func newOnceCache[V any](capacity int) *onceCache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &scheduleCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &onceCache[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// get returns the contact set for key, building it with build on a miss.
-// A failed build is evicted so it does not pin a capacity slot.
-func (sc *scheduleCache) get(key string, build func() (*tvg.ContactSet, error)) (*tvg.ContactSet, error) {
+// get returns the value for key, building it with build on a miss. A
+// failed build is evicted so it does not pin a capacity slot.
+func (sc *onceCache[V]) get(key string, build func() (V, error)) (V, error) {
 	sc.mu.Lock()
 	el, ok := sc.m[key]
 	if ok {
 		sc.ll.MoveToFront(el)
 	} else {
-		el = sc.ll.PushFront(&cacheEntry{key: key})
+		el = sc.ll.PushFront(&cacheEntry[V]{key: key})
 		sc.m[key] = el
 		for sc.ll.Len() > sc.cap {
 			oldest := sc.ll.Back()
 			sc.ll.Remove(oldest)
-			delete(sc.m, oldest.Value.(*cacheEntry).key)
+			delete(sc.m, oldest.Value.(*cacheEntry[V]).key)
 		}
 	}
-	entry := el.Value.(*cacheEntry)
+	entry := el.Value.(*cacheEntry[V])
 	sc.mu.Unlock()
 
 	entry.once.Do(func() {
-		entry.c, entry.err = build()
+		entry.v, entry.err = build()
 	})
 	if entry.err != nil {
 		sc.mu.Lock()
-		if el, ok := sc.m[key]; ok && el.Value.(*cacheEntry) == entry {
+		if el, ok := sc.m[key]; ok && el.Value.(*cacheEntry[V]) == entry {
 			sc.ll.Remove(el)
 			delete(sc.m, key)
 		}
 		sc.mu.Unlock()
 	}
-	return entry.c, entry.err
+	return entry.v, entry.err
 }
 
 // len reports the number of cached entries (for tests).
-func (sc *scheduleCache) len() int {
+func (sc *onceCache[V]) len() int {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	return sc.ll.Len()
+}
+
+// scheduleCache is the compiled-schedule instance, keyed by
+// GraphSpec.key.
+type scheduleCache = onceCache[*tvg.ContactSet]
+
+func newScheduleCache(capacity int) *scheduleCache {
+	return newOnceCache[*tvg.ContactSet](capacity)
 }

@@ -27,6 +27,10 @@ type Options struct {
 type Engine struct {
 	workers int
 	cache   *scheduleCache
+	// metrics caches the all-pairs metric rows per (spec, seed, t0,
+	// mode): a hot /metrics spec costs one map hit after the first
+	// computation.
+	metrics *onceCache[*ModeMetrics]
 	// scratch pools dtn flood state across worker tasks: a worker rents
 	// one Scratch per task, so a run with W workers keeps at most W live
 	// scratches regardless of how many floods it performs.
@@ -43,7 +47,13 @@ func New(opts Options) *Engine {
 	if cacheSize <= 0 {
 		cacheSize = 64
 	}
-	e := &Engine{workers: workers, cache: newScheduleCache(cacheSize)}
+	e := &Engine{
+		workers: workers,
+		cache:   newScheduleCache(cacheSize),
+		// Metric rows are tiny next to compiled schedules; keep several
+		// modes' worth per cached schedule.
+		metrics: newOnceCache[*ModeMetrics](8 * cacheSize),
+	}
 	e.scratch.New = func() any { return dtn.NewScratch() }
 	return e
 }

@@ -295,7 +295,7 @@ func TestQuantile(t *testing.T) {
 			t.Errorf("quantile(%.2f) = %g, want %g", c.q, got, c.want)
 		}
 	}
-	if quantile(nil, 0.5) != 0 {
+	if quantile[float64](nil, 0.5) != 0 {
 		t.Error("empty quantile should be 0")
 	}
 }

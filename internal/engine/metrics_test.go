@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+func metricsGraph() GraphSpec {
+	return GraphSpec{Model: "markov", Nodes: 14, Birth: 0.05, Death: 0.5, Horizon: 60}
+}
+
+// TestMetricsMatchesJourney pins the engine's metric rows to the
+// journey-level implementations on the same compiled schedule.
+func TestMetricsMatchesJourney(t *testing.T) {
+	e := New(Options{})
+	req := MetricsRequest{Graph: metricsGraph(), Seed: 5, Modes: []string{"nowait", "wait:4", "wait"}}
+	rep, err := e.Metrics(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.ContactSet(req.Graph, req.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 14 || rep.Contacts != c.NumContacts() || len(rep.Modes) != 3 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(4), journey.Wait()}
+	for i, mode := range modes {
+		mm := rep.Modes[i]
+		if mm.Mode != mode.String() {
+			t.Fatalf("mode %d renders %q, want %q", i, mm.Mode, mode.String())
+		}
+		if got := journey.TemporallyConnected(c, mode, 0); got != mm.Connected {
+			t.Errorf("%s: connected = %v, journey says %v", mm.Mode, mm.Connected, got)
+		}
+		d, ok := journey.TemporalDiameter(c, mode, 0)
+		if ok != mm.Connected {
+			t.Errorf("%s: diameter defined = %v, connected = %v", mm.Mode, ok, mm.Connected)
+		}
+		if ok && mm.Diameter != d {
+			t.Errorf("%s: diameter = %d, journey says %d", mm.Mode, mm.Diameter, d)
+		}
+		if !ok && mm.Diameter != -1 {
+			t.Errorf("%s: unconnected diameter = %d, want -1", mm.Mode, mm.Diameter)
+		}
+		am := journey.AllForemost(c, mode, 0)
+		if got := am.ReachablePairs(); got != mm.ReachablePairs {
+			t.Errorf("%s: reachable pairs = %d, journey says %d", mm.Mode, mm.ReachablePairs, got)
+		}
+		if mm.TotalPairs != 14*14 {
+			t.Errorf("%s: total pairs = %d, want %d", mm.Mode, mm.TotalPairs, 14*14)
+		}
+		if !mm.Connected {
+			continue
+		}
+		// Histogram totals the sources; quantiles bracket the diameter.
+		if mm.EccMax != mm.Diameter || mm.EccMin > mm.EccP50 || mm.EccP50 > mm.EccP90 || mm.EccP90 > mm.EccMax {
+			t.Errorf("%s: eccentricity summary out of order: %+v", mm.Mode, mm)
+		}
+		total := 0
+		for _, cnt := range mm.EccHistogram {
+			total += cnt
+		}
+		if total != 14 {
+			t.Errorf("%s: histogram sums to %d sources, want 14", mm.Mode, total)
+		}
+		for src := tvg.Node(0); src < 14; src++ {
+			ecc, ok := journey.TemporalEccentricity(c, mode, src, 0)
+			if !ok {
+				t.Fatalf("%s: connected graph has undefined eccentricity at %d", mm.Mode, src)
+			}
+			if mm.EccHistogram[ecc] == 0 {
+				t.Errorf("%s: histogram missing eccentricity %d of source %d", mm.Mode, ecc, src)
+			}
+		}
+	}
+}
+
+// TestMetricsWaitDominatesNoWait checks the paper-level shape: waiting
+// can only enlarge the reachable relation.
+func TestMetricsWaitDominatesNoWait(t *testing.T) {
+	e := New(Options{})
+	rep, err := e.Metrics(context.Background(), MetricsRequest{Graph: metricsGraph(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Modes) != 2 {
+		t.Fatalf("default modes = %d rows, want 2 (nowait, wait)", len(rep.Modes))
+	}
+	nowait, wait := rep.Modes[0], rep.Modes[1]
+	if nowait.Mode != "nowait" || wait.Mode != "wait" {
+		t.Fatalf("default mode order wrong: %q, %q", nowait.Mode, wait.Mode)
+	}
+	if wait.ReachablePairs < nowait.ReachablePairs {
+		t.Errorf("wait reaches %d pairs, fewer than nowait's %d", wait.ReachablePairs, nowait.ReachablePairs)
+	}
+}
+
+// TestMetricsCaching: a repeated request must hit the metrics LRU, and
+// the cache key must separate seeds, t0 and modes.
+func TestMetricsCaching(t *testing.T) {
+	e := New(Options{})
+	req := MetricsRequest{Graph: metricsGraph(), Seed: 1, Modes: []string{"wait"}}
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.metrics.len(); got != 1 {
+		t.Fatalf("after first request cache holds %d rows, want 1", got)
+	}
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.metrics.len(); got != 1 {
+		t.Fatalf("repeat request grew the cache to %d rows", got)
+	}
+	req.T0 = 3
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	req.Seed = 2
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	req.Modes = []string{"wait", "nowait"}
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.metrics.len(); got != 4 {
+		t.Fatalf("cache holds %d rows, want 4 (wait@t0=0, wait@t0=3, seed2, nowait)", got)
+	}
+}
+
+// TestMetricsValidation: spec mistakes surface as ErrInvalidSpec.
+func TestMetricsValidation(t *testing.T) {
+	e := New(Options{})
+	cases := []MetricsRequest{
+		{Graph: GraphSpec{Model: "nope", Nodes: 8, Horizon: 10}},
+		{Graph: metricsGraph(), Modes: []string{"bogus"}},
+		{Graph: metricsGraph(), T0: -1},
+		{Graph: metricsGraph(), T0: 1000},
+	}
+	for i, req := range cases {
+		if _, err := e.Metrics(context.Background(), req); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("case %d: err = %v, want ErrInvalidSpec", i, err)
+		}
+	}
+}
+
+// TestMetricsHonoursCancellation: a cancelled context aborts between
+// modes.
+func TestMetricsHonoursCancellation(t *testing.T) {
+	e := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Metrics(ctx, MetricsRequest{Graph: metricsGraph()}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -109,8 +109,9 @@ func (a *modeAggregator) finish() ModeReport {
 	return r
 }
 
-// quantile is the nearest-rank quantile of an ascending-sorted sample.
-func quantile(sorted []float64, q float64) float64 {
+// quantile is the nearest-rank quantile of an ascending-sorted sample
+// (shared by the latency and eccentricity summaries).
+func quantile[T float64 | tvg.Time](sorted []T, q float64) T {
 	if len(sorted) == 0 {
 		return 0
 	}

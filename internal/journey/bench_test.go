@@ -86,6 +86,19 @@ func BenchmarkTemporalDiameter(b *testing.B) {
 	}
 }
 
+// BenchmarkArrivalTimes measures enumerating the sorted, deduplicated
+// arrival set of one (src, dst) pair — the slices.Sort + slices.Compact
+// path on the pooled scratch.
+func BenchmarkArrivalTimes(b *testing.B) {
+	c := benchSchedule(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ts := ArrivalTimes(c, Wait(), 0, 5, 0); len(ts) == 0 {
+			b.Fatal("expected arrivals")
+		}
+	}
+}
+
 func BenchmarkValidate(b *testing.B) {
 	c := benchSchedule(b)
 	j, _, ok := Foremost(c, Wait(), 0, 5, 0)

@@ -1,0 +1,533 @@
+package journey
+
+// Bit-parallel multi-source temporal reachability. The all-pairs
+// questions this package answers — "is the TVG temporally connected
+// under this waiting semantics?", "what is its temporal diameter?" —
+// used to be N single-source searches (N² Foremost calls for the
+// diameter). This file replaces those re-traversals with one pass over
+// the contact stream per 64-source block: every node carries a uint64
+// presence mask whose bit j means "a copy originating at source j is
+// usable here now", and contacts are processed in departure-time order,
+// OR-ing whole frontiers at once. The semantics mirror dtn's epidemic
+// flood (whose earliest arrival provably equals the foremost-journey
+// arrival; the engine cross-check asserts it):
+//
+//   - Wait: masks are persistent — once a bit turns on at a node it
+//     stays usable forever.
+//   - NoWait / BoundedWait(d): a bit arriving at time a is usable for
+//     departures in [a, a+d] only. Arrivals are buffered per (node,
+//     arrival-tick) in a pending grid; when tick a is processed the
+//     word comes due (ORed into the live mask) and its expiry is
+//     scheduled d+1 ticks later, where bits refreshed by a newer
+//     arrival — detected via a per-(node, bit) latest-arrival table —
+//     survive the clear. This is the due-bucket idea of dtn.Scratch,
+//     word-packed.
+//
+// Foremost arrivals are recorded per (src, dst) the first time a bit is
+// newly buffered for a node, with a min-update for the rare
+// out-of-order case where a later departure arrives earlier (variable
+// latencies). See DESIGN.md §5 for the layout, the expiry rule and the
+// early-exit contract.
+
+import (
+	"math/bits"
+	"sync"
+
+	"tvgwait/internal/tvg"
+)
+
+// blockBits is the source-block width: one machine word.
+const blockBits = 64
+
+// msDenseCellLimit bounds the nodes × span pending-arrival grid (in
+// uint64 words) a sweep will allocate. Above it (huge horizons on many
+// nodes) the sweep falls back to a hash map, trading speed for bounded
+// memory — the same escape hatch as dtn's denseCellLimit.
+const msDenseCellLimit = 1 << 23
+
+// ArrivalMatrix is the all-pairs foremost-arrival table of a contact
+// set under one waiting semantics: entry (src, dst) is the earliest
+// arrival of a feasible journey from src to dst departing no earlier
+// than t0, or -1 if dst is unreachable from src within the horizon.
+// The diagonal holds t0 (the empty journey). Produced by AllForemost.
+type ArrivalMatrix struct {
+	n   int
+	t0  tvg.Time
+	arr []tvg.Time // row-major [src*n + dst]; -1 = unreachable
+}
+
+// NumNodes returns the node count (the matrix is NumNodes × NumNodes).
+func (m *ArrivalMatrix) NumNodes() int { return m.n }
+
+// T0 returns the earliest-departure time the matrix was computed for.
+func (m *ArrivalMatrix) T0() tvg.Time { return m.t0 }
+
+// At returns the foremost arrival time from src to dst, matching
+// Foremost(c, mode, src, dst, t0) bit for bit. ok is false if dst is
+// unreachable (or either endpoint is invalid).
+func (m *ArrivalMatrix) At(src, dst tvg.Node) (tvg.Time, bool) {
+	if src < 0 || int(src) >= m.n || dst < 0 || int(dst) >= m.n {
+		return 0, false
+	}
+	a := m.arr[int(src)*m.n+int(dst)]
+	if a < 0 {
+		return 0, false
+	}
+	return a, true
+}
+
+// Row returns src's full arrival row; -1 marks unreachable
+// destinations. The slice is shared; callers must not modify it.
+func (m *ArrivalMatrix) Row(src tvg.Node) []tvg.Time {
+	if src < 0 || int(src) >= m.n {
+		return nil
+	}
+	return m.arr[int(src)*m.n : (int(src)+1)*m.n]
+}
+
+// Eccentricity returns src's temporal eccentricity — the worst foremost
+// delay (arrival − t0) over all destinations. ok is false if some node
+// is unreachable from src.
+func (m *ArrivalMatrix) Eccentricity(src tvg.Node) (tvg.Time, bool) {
+	row := m.Row(src)
+	if row == nil {
+		return 0, false
+	}
+	var worst tvg.Time
+	for _, a := range row {
+		if a < 0 {
+			return 0, false
+		}
+		if d := a - m.t0; d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+// Diameter returns the maximum eccentricity over all sources. ok is
+// false if any ordered pair is unreachable.
+func (m *ArrivalMatrix) Diameter() (tvg.Time, bool) {
+	var worst tvg.Time
+	for src := 0; src < m.n; src++ {
+		ecc, ok := m.Eccentricity(tvg.Node(src))
+		if !ok {
+			return 0, false
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	return worst, true
+}
+
+// Connected reports whether every ordered pair has a feasible journey.
+func (m *ArrivalMatrix) Connected() bool {
+	for _, a := range m.arr {
+		if a < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachablePairs counts the ordered (src, dst) pairs with a feasible
+// journey (out of NumNodes², diagonal included).
+func (m *ArrivalMatrix) ReachablePairs() int {
+	count := 0
+	for _, a := range m.arr {
+		if a >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// ReachMatrix is the packed all-pairs temporal reachability relation:
+// one bit per ordered (src, dst) pair, source bits word-packed per
+// destination. Produced by ReachabilityMatrix.
+type ReachMatrix struct {
+	n     int
+	words int      // ⌈n/64⌉ source words per destination row
+	bits  []uint64 // [dst*words + src/64], bit src%64
+}
+
+// NumNodes returns the node count.
+func (m *ReachMatrix) NumNodes() int { return m.n }
+
+// Reachable reports whether a feasible journey from src to dst exists,
+// matching ReachableSet(c, mode, src, t0)[dst].
+func (m *ReachMatrix) Reachable(src, dst tvg.Node) bool {
+	if src < 0 || int(src) >= m.n || dst < 0 || int(dst) >= m.n {
+		return false
+	}
+	return m.bits[int(dst)*m.words+int(src)/blockBits]>>(uint(src)%blockBits)&1 == 1
+}
+
+// ReachablePairs counts the ordered pairs with a feasible journey.
+func (m *ReachMatrix) ReachablePairs() int {
+	count := 0
+	for _, w := range m.bits {
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// AllOnes reports whether every ordered pair is reachable — the
+// temporal-connectivity test, as one popcount.
+func (m *ReachMatrix) AllOnes() bool { return m.ReachablePairs() == m.n*m.n }
+
+// msExpire is one scheduled frontier expiry: the word that came due for
+// node at the tick d+1 before the bucket it sits in.
+type msExpire struct {
+	node int32
+	word uint64
+}
+
+// msScratch is the reusable state of one multi-source sweep block. The
+// pending grid and the due/expire buckets are self-cleaning: every cell
+// written is zeroed when its tick is drained (or by the post-loop
+// cleanup on early exit), so reuse needs no O(nodes × span) clear.
+type msScratch struct {
+	win     []uint64         // per node: sources whose copy is usable this tick
+	reached []uint64         // per node: sources that have ever reached it
+	inHoriz []uint64         // per node: sources whose recorded arrival is ≤ horizon
+	first   []tvg.Time       // [node*64+j]: earliest arrival (valid iff reached bit j)
+	lastArr []tvg.Time       // [node*64+j]: latest due arrival (bounded modes only)
+	grid    []uint64         // dense (node, tick) pending-arrival words
+	sparse  map[int64]uint64 // fallback for oversized grids
+	due     [][]int32        // per tick: nodes with a pending word
+	expire  [][]msExpire     // per tick: words whose window may have ended
+
+	remaining int      // (node, source) pairs not yet reached
+	maxFirst  tvg.Time // upper bound on every recorded first arrival
+}
+
+var msPool = sync.Pool{New: func() any { return new(msScratch) }}
+
+// prepare sizes the buffers for n nodes and a span-tick window and
+// clears the per-node masks. first and lastArr need no clearing: first
+// is only read for bits marked reached this sweep, lastArr only for
+// bits that came due this sweep.
+func (s *msScratch) prepare(n int, span int64, dense bool) {
+	if len(s.win) < n {
+		s.win = make([]uint64, n)
+		s.reached = make([]uint64, n)
+		s.inHoriz = make([]uint64, n)
+		s.first = make([]tvg.Time, n*blockBits)
+		s.lastArr = make([]tvg.Time, n*blockBits)
+	} else {
+		clear(s.win[:n])
+		clear(s.reached[:n])
+		clear(s.inHoriz[:n])
+	}
+	if span > 0 {
+		if int64(len(s.due)) < span {
+			s.due = make([][]int32, span)
+			s.expire = make([][]msExpire, span)
+		}
+		if dense {
+			if int64(len(s.grid)) < int64(n)*span {
+				s.grid = make([]uint64, int64(n)*span)
+			}
+		} else if s.sparse == nil {
+			s.sparse = make(map[int64]uint64)
+		}
+	}
+}
+
+// markPending records "bits w arrive at node v at window tick idx" and
+// returns the bits not already pending there. The first mark of a cell
+// schedules the node in that tick's due bucket.
+func (s *msScratch) markPending(v int32, idx int64, w uint64, span int64, dense bool) uint64 {
+	key := int64(v)*span + idx
+	if dense {
+		old := s.grid[key]
+		nw := w &^ old
+		if nw == 0 {
+			return 0
+		}
+		if old == 0 {
+			s.due[idx] = append(s.due[idx], v)
+		}
+		s.grid[key] = old | nw
+		return nw
+	}
+	old := s.sparse[key]
+	nw := w &^ old
+	if nw == 0 {
+		return 0
+	}
+	if old == 0 {
+		s.due[idx] = append(s.due[idx], v)
+	}
+	s.sparse[key] = old | nw
+	return nw
+}
+
+// takePending reads and clears node v's pending word at window tick idx.
+func (s *msScratch) takePending(v int32, idx int64, span int64, dense bool) uint64 {
+	key := int64(v)*span + idx
+	if dense {
+		w := s.grid[key]
+		s.grid[key] = 0
+		return w
+	}
+	w := s.sparse[key]
+	delete(s.sparse, key)
+	return w
+}
+
+// recordArrivals folds one pending mark (bits w arriving at node v at
+// arr) into the foremost bookkeeping: first-ever bits set their arrival
+// and shrink the remaining count; already-reached bits min-update (a
+// later departure can arrive earlier under variable latencies).
+func (s *msScratch) recordArrivals(v int, w uint64, arr tvg.Time) {
+	fb := v * blockBits
+	newBits := w &^ s.reached[v]
+	s.reached[v] |= w
+	for mw := w; mw != 0; mw &= mw - 1 {
+		j := bits.TrailingZeros64(mw)
+		if newBits>>uint(j)&1 == 1 {
+			s.first[fb+j] = arr
+			s.remaining--
+			if arr > s.maxFirst {
+				s.maxFirst = arr
+			}
+		} else if arr < s.first[fb+j] {
+			s.first[fb+j] = arr
+		}
+	}
+}
+
+// recordReached folds bits w into the reachability-only bookkeeping.
+func (s *msScratch) recordReached(v int, w uint64) {
+	nw := w &^ s.reached[v]
+	if nw != 0 {
+		s.reached[v] |= nw
+		s.remaining -= bits.OnesCount64(nw)
+	}
+}
+
+// sweep floods the source block [base, base+cnt) through the contact
+// stream in one departure-ordered pass. With arrivals set it maintains
+// the per-(node, bit) foremost arrivals in s.first; without it only the
+// reached masks and the remaining count (cheaper, used by the boolean
+// connectivity queries). Results stay in the scratch for the caller to
+// extract before the next sweep.
+//
+// Early exit: once every (node, source) pair is reached the sweep stops
+// — immediately for reachability, and as soon as no future arrival
+// (≥ t+1) can undercut a recorded first (t+1 ≥ maxFirst) for arrivals.
+func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool) {
+	n := c.Graph().NumNodes()
+	horizon := c.Horizon()
+	span := int64(0)
+	if horizon >= t0 {
+		span = int64(horizon-t0) + 1
+	}
+	dense := span > 0 && int64(n)*span <= msDenseCellLimit
+	s.prepare(n, span, dense)
+	d, finite := mode.Bound()
+
+	s.remaining = n * cnt
+	s.maxFirst = t0
+
+	// Seed: source j starts at node base+j holding its own bit, arrival
+	// t0 — the pause before the first hop draws on the same waiting
+	// budget as every later pause.
+	for j := 0; j < cnt; j++ {
+		src := base + j
+		bit := uint64(1) << uint(j)
+		s.reached[src] |= bit
+		s.remaining--
+		if arrivals {
+			s.first[src*blockBits+j] = t0
+			if t0 <= horizon {
+				s.inHoriz[src] |= bit
+			}
+		}
+		if span > 0 {
+			s.markPending(int32(src), 0, bit, span, dense)
+		}
+	}
+	if span == 0 {
+		return
+	}
+
+	contacts := c.Contacts()
+	t := t0
+	for ; t <= horizon; t++ {
+		if s.remaining == 0 && (!arrivals || t+1 >= s.maxFirst) {
+			break
+		}
+		idx := int64(t - t0)
+
+		// 1. Pending arrivals at t come due: fold into the live masks,
+		// stamp the latest-arrival table, and (for finite budgets)
+		// schedule the expiry of this word d+1 ticks out.
+		for _, v := range s.due[idx] {
+			w := s.takePending(v, idx, span, dense)
+			s.win[v] |= w
+			if finite {
+				fb := int(v) * blockBits
+				for mw := w; mw != 0; mw &= mw - 1 {
+					s.lastArr[fb+bits.TrailingZeros64(mw)] = t
+				}
+				if horizon-t > d { // else the window outlives the sweep
+					eidx := idx + int64(d) + 1
+					s.expire[eidx] = append(s.expire[eidx], msExpire{node: v, word: w})
+				}
+			}
+		}
+		s.due[idx] = s.due[idx][:0]
+
+		// 2. Expire words whose window [a, a+d] ended last tick. Bits
+		// refreshed by a newer arrival (lastArr ≥ t−d) survive. Runs
+		// after the due drain so same-tick refreshes are visible.
+		if finite {
+			for _, e := range s.expire[idx] {
+				fb := int(e.node) * blockBits
+				stale := e.word
+				for mw := e.word; mw != 0; mw &= mw - 1 {
+					j := bits.TrailingZeros64(mw)
+					if s.lastArr[fb+j]+d >= t {
+						stale &^= 1 << uint(j)
+					}
+				}
+				s.win[e.node] &^= stale
+			}
+			s.expire[idx] = s.expire[idx][:0]
+		}
+
+		// 3. Contacts departing at t forward every usable copy of their
+		// tail in one word OR. Arrivals within the horizon are buffered
+		// (and may relay further); later arrivals are terminal and only
+		// recorded.
+		for _, k := range c.AtTick(t) {
+			ct := &contacts[k]
+			mfrom := s.win[ct.From]
+			if mfrom == 0 {
+				continue
+			}
+			to := int32(ct.To)
+			if ct.Arr <= horizon {
+				nw := s.markPending(to, int64(ct.Arr-t0), mfrom, span, dense)
+				if nw == 0 {
+					continue
+				}
+				if arrivals {
+					s.recordArrivals(int(to), nw, ct.Arr)
+					s.inHoriz[to] |= nw
+				} else {
+					s.recordReached(int(to), nw)
+				}
+			} else if arrivals {
+				// Terminal, past the horizon: only bits without an
+				// in-horizon arrival can still be improved.
+				if cand := mfrom &^ s.inHoriz[to]; cand != 0 {
+					s.recordArrivals(int(to), cand, ct.Arr)
+				}
+			} else {
+				s.recordReached(int(to), mfrom)
+			}
+		}
+	}
+
+	// Cleanup after an early exit: zero the never-drained pending cells
+	// so the grid is all-zero for the next sweep.
+	for ; t <= horizon; t++ {
+		idx := int64(t - t0)
+		for _, v := range s.due[idx] {
+			s.takePending(v, idx, span, dense)
+		}
+		s.due[idx] = s.due[idx][:0]
+		if finite {
+			s.expire[idx] = s.expire[idx][:0]
+		}
+	}
+}
+
+// AllForemost computes the foremost arrival time of every ordered
+// (src, dst) pair in one bit-parallel contact sweep per 64-source block
+// — the batch equivalent of n² Foremost calls, bit-identical to them
+// (asserted by the randomized differential tests). An invalid mode
+// yields an all-unreachable matrix, matching Foremost's ok=false.
+func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
+	n := c.Graph().NumNodes()
+	m := &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
+	for i := range m.arr {
+		m.arr[i] = -1
+	}
+	if !mode.IsValid() {
+		return m
+	}
+	s := msPool.Get().(*msScratch)
+	defer msPool.Put(s)
+	for base := 0; base < n; base += blockBits {
+		cnt := min(blockBits, n-base)
+		s.sweep(c, mode, base, cnt, t0, true)
+		for v := 0; v < n; v++ {
+			w := s.reached[v]
+			if w == 0 {
+				continue
+			}
+			fb := v * blockBits
+			for mw := w; mw != 0; mw &= mw - 1 {
+				j := bits.TrailingZeros64(mw)
+				m.arr[(base+j)*n+v] = s.first[fb+j]
+			}
+		}
+	}
+	return m
+}
+
+// ReachabilityMatrix computes the packed all-pairs reachability
+// relation — per source, exactly ReachableSet(c, mode, src, t0) — in
+// one reachability-only sweep per 64-source block, with early exit as
+// soon as a block's masks are all ones.
+func ReachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ReachMatrix {
+	n := c.Graph().NumNodes()
+	words := (n + blockBits - 1) / blockBits
+	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
+	if n == 0 || !mode.IsValid() {
+		return m
+	}
+	s := msPool.Get().(*msScratch)
+	defer msPool.Put(s)
+	for base, b := 0, 0; base < n; base, b = base+blockBits, b+1 {
+		cnt := min(blockBits, n-base)
+		s.sweep(c, mode, base, cnt, t0, false)
+		for v := 0; v < n; v++ {
+			m.bits[v*words+b] = s.reached[v]
+		}
+	}
+	return m
+}
+
+// TemporallyConnected reports whether every ordered pair of nodes is
+// connected by a feasible journey departing no earlier than t0 — the
+// temporal connectivity property that underpins broadcast and routing
+// in the paper's motivating setting. It short-circuits inside the
+// bit-parallel sweep: each 64-source block stops at the first tick its
+// masks are all ones, and the first block that ends with an unreached
+// pair answers false without sweeping the rest.
+func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
+	n := c.Graph().NumNodes()
+	if n == 0 {
+		return true
+	}
+	if !mode.IsValid() {
+		return false
+	}
+	s := msPool.Get().(*msScratch)
+	defer msPool.Put(s)
+	for base := 0; base < n; base += blockBits {
+		cnt := min(blockBits, n-base)
+		s.sweep(c, mode, base, cnt, t0, false)
+		if s.remaining > 0 {
+			return false
+		}
+	}
+	return true
+}

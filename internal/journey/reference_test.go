@@ -237,6 +237,56 @@ func refReachableSet(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) []
 	return out
 }
 
+// Single-source metric oracles: the pre-multisource implementations of
+// the all-pairs metrics, preserved verbatim (they loop N single-source
+// searches over the CSR core). The differential tests pin the
+// bit-parallel sweep to them, and multisource_bench_test.go uses them
+// as the speedup baseline.
+
+func singleSourceEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) (tvg.Time, bool) {
+	if !c.Graph().ValidNode(src) || !mode.IsValid() {
+		return 0, false
+	}
+	var worst tvg.Time
+	for dst := tvg.Node(0); int(dst) < c.Graph().NumNodes(); dst++ {
+		_, arr, ok := Foremost(c, mode, src, dst, t0)
+		if !ok {
+			return 0, false
+		}
+		if d := arr - t0; d > worst {
+			worst = d
+		}
+	}
+	return worst, true
+}
+
+func singleSourceDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool) {
+	var worst tvg.Time
+	for src := tvg.Node(0); int(src) < c.Graph().NumNodes(); src++ {
+		ecc, ok := singleSourceEccentricity(c, mode, src, t0)
+		if !ok {
+			return 0, false
+		}
+		if ecc > worst {
+			worst = ecc
+		}
+	}
+	return worst, true
+}
+
+func singleSourceConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
+	n := c.Graph().NumNodes()
+	for src := tvg.Node(0); int(src) < n; src++ {
+		reach := ReachableSet(c, mode, src, t0)
+		for _, r := range reach {
+			if !r {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 func refArrivalTimes(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) []tvg.Time {
 	if !c.Graph().ValidNode(src) || !c.Graph().ValidNode(dst) || !mode.IsValid() {
 		return nil

@@ -1,7 +1,7 @@
 package journey
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"tvgwait/internal/tvg"
@@ -264,13 +264,8 @@ func Fastest(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) (Jour
 			s.times = append(s.times, contacts[i].Dep)
 		}
 	}
-	sort.Slice(s.times, func(i, j int) bool { return s.times[i] < s.times[j] })
-	cands := s.times[:0]
-	for _, t := range s.times {
-		if len(cands) == 0 || cands[len(cands)-1] != t {
-			cands = append(cands, t)
-		}
-	}
+	slices.Sort(s.times)
+	cands := slices.Compact(s.times)
 
 	var best Journey
 	var bestSpan tvg.Time
@@ -383,29 +378,8 @@ func ArrivalTimes(c *tvg.ContactSet, mode Mode, src, dst tvg.Node, t0 tvg.Time) 
 		}
 		s.front = s.expandList(c, contacts, mode, contacts[k].To, contacts[k].Arr, k, s.front)
 	}
-	sort.Slice(s.times, func(i, j int) bool { return s.times[i] < s.times[j] })
+	slices.Sort(s.times)
+	s.times = slices.Compact(s.times)
 	out := make([]tvg.Time, 0, len(s.times))
-	for _, t := range s.times {
-		if len(out) == 0 || out[len(out)-1] != t {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-// TemporallyConnected reports whether every ordered pair of nodes is
-// connected by a feasible journey departing no earlier than t0 — the
-// temporal connectivity property that underpins broadcast and routing in
-// the paper's motivating setting.
-func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
-	n := c.Graph().NumNodes()
-	for src := tvg.Node(0); int(src) < n; src++ {
-		reach := ReachableSet(c, mode, src, t0)
-		for _, r := range reach {
-			if !r {
-				return false
-			}
-		}
-	}
-	return true
+	return append(out, s.times...)
 }

@@ -1,0 +1,178 @@
+package tvg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzContactSetInvariants drives NewContactSet with fuzz-chosen graph
+// shapes and checks the three CSR offset indexes (per-edge, per-node,
+// per-tick) against a plain linear scan of the contact array — the
+// DESIGN.md §1 invariants, with the fuzzer exploring node/edge/horizon
+// combinations (including empty graphs, zero horizons and self-loops)
+// the fixed-seed tests never draw.
+func FuzzContactSetInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(12), uint8(40))
+	f.Add(int64(7), uint8(1), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(2), uint8(30), uint8(3))
+	f.Add(int64(-9), uint8(9), uint8(4), uint8(17))
+	f.Fuzz(func(t *testing.T, seed int64, nodes, edges, horizon uint8) {
+		n := 1 + int(nodes)%10
+		e := int(edges) % 32
+		h := Time(horizon) % 48
+		g := buildFuzzGraph(seed, n, e)
+		cs, err := NewContactSet(g, h)
+		if err != nil {
+			t.Fatalf("NewContactSet(n=%d, e=%d, h=%d): %v", n, e, h, err)
+		}
+		checkContactSetAgainstLinearScan(t, g, cs, h)
+	})
+}
+
+// buildFuzzGraph derives a graph deterministically from the fuzz seed,
+// mixing periodic, time-set and always presences with varying constant
+// latencies (self-loops and parallel edges included).
+func buildFuzzGraph(seed int64, nodes, edges int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	g.AddNodes(nodes)
+	for i := 0; i < edges; i++ {
+		var pres Presence
+		switch rng.Intn(4) {
+		case 0:
+			pattern := make([]bool, 1+rng.Intn(5))
+			pattern[rng.Intn(len(pattern))] = true
+			p, err := NewPeriodicPresence(pattern)
+			if err != nil {
+				panic(err)
+			}
+			pres = p
+		case 1:
+			var times []Time
+			for t := Time(0); t <= 50; t++ {
+				if rng.Intn(4) == 0 {
+					times = append(times, t)
+				}
+			}
+			pres = NewTimeSet(times...)
+		case 2:
+			pres = Never{}
+		default:
+			pres = Always{}
+		}
+		g.MustAddEdge(Edge{
+			From: Node(rng.Intn(nodes)), To: Node(rng.Intn(nodes)),
+			Label:    rune('a' + rng.Intn(3)),
+			Presence: pres,
+			Latency:  ConstLatency(Time(1 + rng.Intn(4))),
+		})
+	}
+	return g
+}
+
+// checkContactSetAgainstLinearScan asserts that every offset index
+// agrees with a brute-force walk of the flat contact array and the
+// graph's schedules.
+func checkContactSetAgainstLinearScan(t *testing.T, g *Graph, cs *ContactSet, horizon Time) {
+	t.Helper()
+	contacts := cs.Contacts()
+
+	// Global ordering: sorted by (edge, dep), strictly increasing dep
+	// per edge, endpoints denormalized correctly, latency ≥ 1.
+	for i, c := range contacts {
+		if i > 0 {
+			prev := contacts[i-1]
+			if prev.Edge > c.Edge || (prev.Edge == c.Edge && prev.Dep >= c.Dep) {
+				t.Fatalf("contacts unsorted at %d: %+v then %+v", i, prev, c)
+			}
+		}
+		e, ok := g.Edge(c.Edge)
+		if !ok || e.From != c.From || e.To != c.To {
+			t.Fatalf("contact %d endpoints disagree with edge table: %+v", i, c)
+		}
+		if c.Dep < 0 || c.Dep > horizon || c.Arr <= c.Dep {
+			t.Fatalf("contact %d outside model: %+v (horizon %d)", i, c, horizon)
+		}
+	}
+
+	// Per-edge index: EdgeRange brackets exactly the linear scan's
+	// contacts of that edge, in order, and the ranges partition the
+	// array.
+	cursor := 0
+	for id := EdgeID(0); int(id) < g.NumEdges(); id++ {
+		lo, hi := cs.EdgeRange(id)
+		if lo != cursor {
+			t.Fatalf("edge %d range [%d,%d) breaks the partition at %d", id, lo, hi, cursor)
+		}
+		cursor = hi
+		e, _ := g.Edge(id)
+		scan := 0
+		for tick := Time(0); tick <= horizon; tick++ {
+			if !e.Presence.Present(tick) {
+				continue
+			}
+			if lo+scan >= hi {
+				t.Fatalf("edge %d: linear scan found more contacts than EdgeRange holds", id)
+			}
+			c := contacts[lo+scan]
+			if c.Dep != tick || c.Arr != tick+e.Latency.Crossing(tick) {
+				t.Fatalf("edge %d contact %d = %+v, scan expects dep %d", id, scan, c, tick)
+			}
+			scan++
+		}
+		if lo+scan != hi {
+			t.Fatalf("edge %d: EdgeRange holds %d contacts, scan found %d", id, hi-lo, scan)
+		}
+	}
+	if cursor != cs.NumContacts() {
+		t.Fatalf("edge ranges cover %d of %d contacts", cursor, cs.NumContacts())
+	}
+
+	// Per-node index: OutEdges agrees with a linear scan of the edge
+	// table, ascending.
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		var want []EdgeID
+		for id := EdgeID(0); int(id) < g.NumEdges(); id++ {
+			if e, _ := g.Edge(id); e.From == n {
+				want = append(want, id)
+			}
+		}
+		got := cs.OutEdges(n)
+		if len(got) != len(want) {
+			t.Fatalf("OutEdges(%d) = %v, scan wants %v", n, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("OutEdges(%d) = %v, scan wants %v", n, got, want)
+			}
+		}
+	}
+
+	// Per-tick index: AtTick(t) lists exactly the contacts with Dep == t
+	// found by a linear scan, in ascending edge order.
+	covered := 0
+	for tick := Time(0); tick <= horizon; tick++ {
+		var want []int32
+		for i, c := range contacts {
+			if c.Dep == tick {
+				want = append(want, int32(i))
+			}
+		}
+		got := cs.AtTick(tick)
+		if len(got) != len(want) {
+			t.Fatalf("AtTick(%d) = %v, scan wants %v", tick, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AtTick(%d) = %v, scan wants %v", tick, got, want)
+			}
+			if i > 0 && contacts[got[i-1]].Edge >= contacts[got[i]].Edge {
+				t.Fatalf("AtTick(%d) not in ascending edge order", tick)
+			}
+		}
+		covered += len(got)
+	}
+	if covered != cs.NumContacts() {
+		t.Fatalf("tick index covers %d of %d contacts", covered, cs.NumContacts())
+	}
+}

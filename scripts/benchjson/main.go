@@ -1,17 +1,27 @@
 // Command benchjson converts `go test -bench -benchmem` text output into
-// the JSON benchmark ledger committed as BENCH_contactset.json, so the
-// perf trajectory of the contact-set core is tracked across PRs.
+// the JSON benchmark ledgers committed as BENCH_contactset.json and
+// BENCH_multisource.json, so the perf trajectory of the contact-set and
+// multi-source cores is tracked across PRs.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/... | go run ./scripts/benchjson -label after > BENCH.json
 //	... | go run ./scripts/benchjson -label seed -in BENCH.json > BENCH.json.new
+//	... | go run ./scripts/benchjson -compare BENCH.json -tolerance 25
 //
 // Lines that are not benchmark results (pkg headers aside, which scope
 // the entries) are ignored, so the raw `go test` stream can be piped in
 // unfiltered. -in merges previously captured entries first, letting one
 // ledger accumulate phases (e.g. the pre-refactor seed numbers next to
 // the current ones).
+//
+// With -compare the parsed entries are checked against a committed
+// ledger instead of printed: each fresh benchmark is matched by name to
+// the most recent ledger entry of the same name (so multi-phase ledgers
+// compare against their newest phase), and the command exits non-zero
+// if any fresh ns/op regresses by more than -tolerance percent — the CI
+// regression gate for the bench ledgers. Benchmarks missing from the
+// ledger are reported but do not fail the gate.
 package main
 
 import (
@@ -45,6 +55,8 @@ func main() {
 	label := flag.String("label", "", "label recorded on every parsed entry (e.g. seed, contactset)")
 	in := flag.String("in", "", "existing ledger to merge entries from")
 	note := flag.String("note", "", "free-form note stored in the ledger")
+	compare := flag.String("compare", "", "committed ledger to compare the parsed entries against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 25, "allowed ns/op regression in percent for -compare")
 	flag.Parse()
 
 	var ledger Ledger
@@ -82,11 +94,76 @@ func main() {
 		fatal(err)
 	}
 
+	if *compare != "" {
+		if !runCompare(*compare, ledger.Entries, *tolerance) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	out, err := json.MarshalIndent(ledger, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(string(out))
+}
+
+// runCompare checks fresh entries against the committed ledger at path
+// and prints one verdict line per benchmark. It returns false if any
+// matched benchmark's ns/op exceeds its ledger value by more than
+// tolerance percent. When a benchmark name occurs several times in the
+// ledger (multi-phase history), the last — most recently appended —
+// entry is the baseline.
+func runCompare(path string, fresh []Entry, tolerance float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var old Ledger
+	if err := json.Unmarshal(data, &old); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	baseline := make(map[string]Entry, len(old.Entries))
+	for _, e := range old.Entries {
+		baseline[trimProcSuffix(e.Name)] = e // later entries win
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin to compare against %s", path))
+	}
+	ok := true
+	for _, e := range fresh {
+		base, found := baseline[trimProcSuffix(e.Name)]
+		if !found {
+			fmt.Printf("NEW        %-60s %12.0f ns/op (not in %s)\n", e.Name, e.NsPerOp, path)
+			continue
+		}
+		delta := 100 * (e.NsPerOp - base.NsPerOp) / base.NsPerOp
+		verdict := "OK"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-10s %-60s %12.0f ns/op vs %12.0f (%+.1f%%, tolerance %.0f%%)\n",
+			verdict, e.Name, e.NsPerOp, base.NsPerOp, delta, tolerance)
+	}
+	if !ok {
+		fmt.Printf("benchjson: regression above %.0f%% against %s\n", tolerance, path)
+	}
+	return ok
+}
+
+// trimProcSuffix drops the trailing -<GOMAXPROCS> that `go test`
+// appends to benchmark names on multi-core hosts, so ledgers recorded
+// on machines with different core counts still match by name.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseBenchLine parses one `Benchmark... N ns/op [B/op allocs/op]` line.

@@ -44,6 +44,12 @@ type (
 	Journey = journey.Journey
 	// Hop is one edge traversal of a Journey.
 	Hop = journey.Hop
+	// ArrivalMatrix is the all-pairs foremost-arrival table computed by
+	// AllForemost in one bit-parallel contact sweep per 64 sources.
+	ArrivalMatrix = journey.ArrivalMatrix
+	// ReachMatrix is the packed all-pairs temporal reachability
+	// relation computed by ReachabilityMatrix.
+	ReachMatrix = journey.ReachMatrix
 
 	// Automaton is a TVG-automaton A(G) = (Σ, S, I, E, F).
 	Automaton = core.Automaton
@@ -83,6 +89,13 @@ type (
 	JourneyRequest = engine.JourneyRequest
 	// JourneyReport describes the journey found.
 	JourneyReport = engine.JourneyReport
+	// MetricsRequest asks the engine for all-pairs journey metrics
+	// (connectivity, diameter, eccentricity distribution) per mode.
+	MetricsRequest = engine.MetricsRequest
+	// MetricsReport aggregates the per-mode metric rows.
+	MetricsReport = engine.MetricsReport
+	// ModeMetrics is one waiting mode's all-pairs metrics row.
+	ModeMetrics = engine.ModeMetrics
 )
 
 // Graph construction.
@@ -157,15 +170,31 @@ func Fastest(c *Compiled, mode Mode, src, dst Node, t0 Time) (Journey, Time, boo
 }
 
 // TemporallyConnected reports whether every ordered node pair is joined by
-// a feasible journey.
+// a feasible journey. It short-circuits inside a bit-parallel
+// multi-source sweep (64 sources per contact pass).
 func TemporallyConnected(c *Compiled, mode Mode, t0 Time) bool {
 	return journey.TemporallyConnected(c, mode, t0)
 }
 
 // TemporalDiameter returns the worst foremost delay between any ordered
-// node pair, or ok=false if the graph is not temporally connected.
+// node pair, or ok=false if the graph is not temporally connected. It
+// runs O(⌈N/64⌉) bit-parallel contact sweeps instead of N² Foremost
+// searches.
 func TemporalDiameter(c *Compiled, mode Mode, t0 Time) (Time, bool) {
 	return journey.TemporalDiameter(c, mode, t0)
+}
+
+// AllForemost computes the all-pairs foremost-arrival matrix — the
+// batch equivalent of N² Foremost calls, bit-identical to them — in one
+// word-packed contact sweep per 64-source block.
+func AllForemost(c *Compiled, mode Mode, t0 Time) *ArrivalMatrix {
+	return journey.AllForemost(c, mode, t0)
+}
+
+// ReachabilityMatrix computes the packed all-pairs temporal
+// reachability relation (per source, exactly ReachableSet).
+func ReachabilityMatrix(c *Compiled, mode Mode, t0 Time) *ReachMatrix {
+	return journey.ReachabilityMatrix(c, mode, t0)
 }
 
 // EnumerateJourneys lists every feasible journey from src (departing no
