@@ -133,7 +133,7 @@ func BenchmarkE3RegularToTVG(b *testing.B) {
 // BenchmarkE3WaitNFAExtraction measures the hard half of Theorem 2.2:
 // extracting and minimizing the wait-language DFA of a periodic TVG.
 func BenchmarkE3WaitNFAExtraction(b *testing.B) {
-	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+	g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 		Nodes: 4, Edges: 7, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 5,
 	})
 	if err != nil {
@@ -189,13 +189,9 @@ func BenchmarkE4Dilation(b *testing.B) {
 // BenchmarkE5DTNSweep measures the store-carry-forward sweep across
 // waiting budgets on an edge-Markovian network.
 func BenchmarkE5DTNSweep(b *testing.B) {
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 16, PBirth: 0.03, PDeath: 0.5, Horizon: 80, Seed: 3,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 80)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,13 +206,9 @@ func BenchmarkE5DTNSweep(b *testing.B) {
 
 // BenchmarkE5SingleDelivery measures one epidemic flood.
 func BenchmarkE5SingleDelivery(b *testing.B) {
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 32, PBirth: 0.02, PDeath: 0.5, Horizon: 100, Seed: 9,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 100)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -266,13 +258,9 @@ func BenchmarkE6Higman(b *testing.B) {
 // BenchmarkJourneyForemost measures the foremost-journey search on a
 // mobility trace (supporting workload for E5's ground-truth cross-check).
 func BenchmarkJourneyForemost(b *testing.B) {
-	g, err := gen.GridMobility(gen.MobilityParams{
+	c, err := gen.GridMobility(gen.MobilityParams{
 		Width: 6, Height: 6, Nodes: 12, Horizon: 100, Seed: 4,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 100)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

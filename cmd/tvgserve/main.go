@@ -13,6 +13,10 @@
 // simulations in flight is bounded; excess requests are rejected with
 // 429 rather than queued, so a burst cannot exhaust the host.
 //
+// With -pprof ADDR the standard net/http/pprof profiler is served on a
+// separate listener (never on the service port); see EXPERIMENTS.md
+// "Profiling tvgserve" for the workflow.
+//
 // Example:
 //
 //	tvgserve -addr :8080 &
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -45,10 +50,20 @@ func main() {
 	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max simulations in flight (excess gets 429)")
 	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 256, "compiled-schedule cache entries")
+	pprofAddr := fs.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
 	fs.Parse(os.Args[1:])
 
 	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize}),
 		*timeout, *inflight)
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so it is never exposed on
+		// the service port and never competes with the admission
+		// semaphore. See EXPERIMENTS.md "Profiling tvgserve".
+		go func() {
+			log.Printf("tvgserve: pprof listening on %s", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, pprofMux()))
+		}()
+	}
 	log.Printf("tvgserve: listening on %s (timeout=%s, inflight=%d)", *addr, *timeout, *inflight)
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -80,6 +95,18 @@ func newServer(eng *engine.Engine, timeout time.Duration, inflight int) *server 
 		inflight = 1
 	}
 	return &server{eng: eng, timeout: timeout, sem: make(chan struct{}, inflight)}
+}
+
+// pprofMux builds the profiling handler tree served on the -pprof
+// listener: the standard net/http/pprof pages under /debug/pprof/.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func (s *server) routes() *http.ServeMux {

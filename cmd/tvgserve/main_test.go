@@ -219,3 +219,33 @@ func TestRequestTimeout(t *testing.T) {
 		t.Errorf("timeout status = %d, want 504", resp.StatusCode)
 	}
 }
+
+// TestPprofMux smoke-tests the -pprof listener's handler tree: the
+// index and the symbol endpoint must answer 200 on a separate mux that
+// shares nothing with the service routes.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/symbol", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// The service mux must NOT expose the profiler.
+	srv := newServer(engine.New(engine.Options{}), time.Second, 1)
+	app := httptest.NewServer(srv.routes())
+	defer app.Close()
+	resp, err := http.Get(app.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("service routes must not serve /debug/pprof/")
+	}
+}

@@ -27,7 +27,7 @@ func run() error {
 		horizon = 120
 		seed    = 7
 	)
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	g, err := gen.EdgeMarkovianGraph(gen.EdgeMarkovianParams{
 		Nodes: nodes, PBirth: 0.02, PDeath: 0.6, Horizon: horizon, Seed: seed,
 	})
 	if err != nil {

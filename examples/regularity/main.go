@@ -48,7 +48,7 @@ func run() error {
 	}
 
 	// 2. Wait language of a periodic TVG, extracted as a DFA.
-	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+	g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 		Nodes: 3, Edges: 5, MaxPeriod: 3, AlphabetSize: 2, MaxLatency: 1, Seed: 4,
 	})
 	if err != nil {

@@ -326,3 +326,34 @@ func TestFacadeAllPairs(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeBuilder drives the streaming construction path through the
+// facade: a Builder-made ContactSet must answer the same queries as the
+// Graph→Compile path, sequentially and with parallel block fan-out.
+func TestFacadeBuilder(t *testing.T) {
+	b := tvgwait.NewBuilder()
+	b.Reset(3, 10)
+	b.StartEdge(0, 1, 'a')
+	b.Append(2, 3)
+	b.Append(5, 6)
+	b.StartEdge(1, 2, 'b')
+	b.Append(4, 5)
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumContacts() != 3 {
+		t.Fatalf("NumContacts = %d, want 3", c.NumContacts())
+	}
+	if _, arrival, ok := tvgwait.Foremost(c, tvgwait.Wait(), 0, 2, 0); !ok || arrival != 5 {
+		t.Fatalf("Foremost over builder set = (%d, %v), want (5, true)", arrival, ok)
+	}
+	m := tvgwait.AllForemostParallel(c, tvgwait.Wait(), 0, 4)
+	if a, ok := m.At(0, 2); !ok || a != 5 {
+		t.Fatalf("AllForemostParallel At(0,2) = (%d, %v), want (5, true)", a, ok)
+	}
+	r := tvgwait.ReachabilityMatrixParallel(c, tvgwait.BoundedWait(2), 0, 4)
+	if !r.Reachable(0, 2) || r.Reachable(2, 0) {
+		t.Fatal("ReachabilityMatrixParallel disagrees with the schedule")
+	}
+}

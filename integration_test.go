@@ -108,13 +108,9 @@ func TestPaperNarrative(t *testing.T) {
 	}
 
 	// --- E5: the same budgets control delivery in a sparse network. ---
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 12, PBirth: 0.02, PDeath: 0.6, Horizon: 80, Seed: 5,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 80)
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +137,7 @@ func TestFacadeRoundTripViaInternals(t *testing.T) {
 		t.Error("Figure 1 reads from t=1")
 	}
 	// Facade journey metrics run on internal generators' graphs.
-	g, err := gen.GridMobility(gen.MobilityParams{Width: 3, Height: 3, Nodes: 4, Horizon: 40, Seed: 3})
+	g, err := gen.GridMobilityGraph(gen.MobilityParams{Width: 3, Height: 3, Nodes: 4, Horizon: 40, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 // Ablation: ConfigNFA extraction cost and size as the horizon grows — the
 // price of the effective Theorem 2.2 witness.
 func BenchmarkConfigNFAHorizonSweep(b *testing.B) {
-	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+	g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 		Nodes: 4, Edges: 7, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 13,
 	})
 	if err != nil {
@@ -73,7 +73,7 @@ func BenchmarkWordCode(b *testing.B) {
 }
 
 func BenchmarkDilateCompile(b *testing.B) {
-	g, err := gen.RandomPeriodic(gen.PeriodicParams{
+	g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 		Nodes: 4, Edges: 8, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: 21,
 	})
 	if err != nil {

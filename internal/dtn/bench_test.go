@@ -11,13 +11,9 @@ import (
 
 func benchNetwork(b *testing.B, nodes int) *tvg.Compiled {
 	b.Helper()
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: nodes, PBirth: 0.03, PDeath: 0.5, Horizon: 80, Seed: 11,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 80)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -11,34 +11,30 @@ import (
 	"tvgwait/internal/tvg"
 )
 
-// diffNetworks compiles one schedule per generator model for a seed.
+// diffNetworks generates one schedule per generator model for a seed.
 func diffNetworks(tb testing.TB, seed int64, horizon tvg.Time) map[string]*tvg.ContactSet {
 	tb.Helper()
 	out := map[string]*tvg.ContactSet{}
-	add := func(name string, g *tvg.Graph, err error) {
-		if err != nil {
-			tb.Fatalf("%s: %v", name, err)
-		}
-		c, err := tvg.Compile(g, horizon)
+	add := func(name string, c *tvg.ContactSet, err error) {
 		if err != nil {
 			tb.Fatalf("%s: %v", name, err)
 		}
 		out[name] = c
 	}
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 10, PBirth: 0.04, PDeath: 0.5, Horizon: horizon, Seed: seed,
-	})
-	add("markov", g, err)
-	g, err = gen.Bernoulli(10, 0.05, horizon, seed)
-	add("bernoulli", g, err)
-	g, err = gen.GridMobility(gen.MobilityParams{
+	}, nil)
+	add("markov", c, err)
+	c, err = gen.Bernoulli(10, 0.05, horizon, seed, nil)
+	add("bernoulli", c, err)
+	c, err = gen.GridMobility(gen.MobilityParams{
 		Width: 4, Height: 4, Nodes: 7, Horizon: horizon, Seed: seed,
-	})
-	add("mobility", g, err)
-	g, err = gen.RandomPeriodic(gen.PeriodicParams{
+	}, nil)
+	add("mobility", c, err)
+	c, err = gen.RandomPeriodic(gen.PeriodicParams{
 		Nodes: 6, Edges: 15, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 3, Seed: seed,
-	})
-	add("periodic", g, err)
+	}, horizon, nil)
+	add("periodic", c, err)
 	return out
 }
 

@@ -98,13 +98,9 @@ func TestSimulateTrivialAndErrors(t *testing.T) {
 func TestSimulateMatchesJourneySearch(t *testing.T) {
 	modes := []journey.Mode{journey.NoWait(), journey.BoundedWait(1), journey.BoundedWait(3), journey.Wait()}
 	for seed := int64(0); seed < 12; seed++ {
-		g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 			Nodes: 5, PBirth: 0.08, PDeath: 0.5, Horizon: 25, Seed: seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		c, err := tvg.Compile(g, 25)
+		}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,13 +247,9 @@ func TestSweepMonotoneInMode(t *testing.T) {
 		journey.BoundedWait(4), journey.Wait(),
 	}
 	for seed := int64(1); seed <= 5; seed++ {
-		g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+		c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 			Nodes: 8, PBirth: 0.03, PDeath: 0.4, Horizon: 40, Seed: seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		c, err := tvg.Compile(g, 40)
+		}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,13 +272,9 @@ func TestSweepMonotoneInMode(t *testing.T) {
 // TestSweepWaitBeatsNoWait checks the headline quantitative gap on a
 // sparse dynamic network: store-carry-forward delivers strictly more.
 func TestSweepWaitBeatsNoWait(t *testing.T) {
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 10, PBirth: 0.02, PDeath: 0.6, Horizon: 60, Seed: 7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 60)
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

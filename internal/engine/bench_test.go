@@ -69,3 +69,39 @@ func BenchmarkEngineColdCache(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineThroughput is the end-to-end replicate ledger
+// benchmark (BENCH_genstream.json): replicates/sec for a cold-cache
+// batch run — scenario generation (streamed into pooled builders),
+// simulation fan-out and aggregation all included. Every iteration
+// shifts the seed so each replicate regenerates; the pertick and
+// skipsampling variants differ only in the generator's sampling
+// strategy (see GraphSpec.SkipSampling).
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		skip bool
+	}{{"pertick", false}, {"skipsampling", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			e := New(Options{CacheSize: 1})
+			spec := ScenarioSpec{
+				Graph: GraphSpec{
+					Model: "markov", Nodes: 64, Birth: 0.01, Death: 0.5,
+					Horizon: 150, SkipSampling: variant.skip,
+				},
+				Modes:      []string{"nowait", "wait:4", "wait"},
+				Messages:   16,
+				Replicates: 4,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i + 1) // every replicate regenerates
+				if _, err := e.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*spec.Replicates)/b.Elapsed().Seconds(), "replicates/sec")
+		})
+	}
+}

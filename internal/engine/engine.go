@@ -35,6 +35,11 @@ type Engine struct {
 	// one Scratch per task, so a run with W workers keeps at most W live
 	// scratches regardless of how many floods it performs.
 	scratch sync.Pool
+	// builders pools tvg.Builder arenas across cache misses: a replicate
+	// generation rents one, streams contacts straight into CSR and
+	// returns it, so steady-state generation allocates only the
+	// finalised ContactSet (see DESIGN.md §6).
+	builders sync.Pool
 }
 
 // New returns an engine with the given options.
@@ -55,6 +60,7 @@ func New(opts Options) *Engine {
 		metrics: newOnceCache[*ModeMetrics](8 * cacheSize),
 	}
 	e.scratch.New = func() any { return dtn.NewScratch() }
+	e.builders.New = func() any { return tvg.NewBuilder() }
 	return e
 }
 
@@ -65,13 +71,15 @@ func (e *Engine) ContactSet(g GraphSpec, seed int64) (*tvg.ContactSet, error) {
 		return nil, err
 	}
 	return e.cache.get(g.key(seed), func() (*tvg.ContactSet, error) {
-		graph, err := g.Build(seed)
+		b := e.builders.Get().(*tvg.Builder)
+		defer e.builders.Put(b)
+		c, err := g.BuildContacts(seed, b)
 		if err != nil {
 			// A validated spec should never fail generation; if a
 			// generator still rejects it, the spec is to blame.
 			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 		}
-		return tvg.Compile(graph, g.Horizon)
+		return c, nil
 	})
 }
 

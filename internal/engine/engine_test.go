@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"tvgwait/internal/dtn"
@@ -312,5 +313,51 @@ func TestStreamSeparation(t *testing.T) {
 			}
 			seen[s] = true
 		}
+	}
+}
+
+// TestSkipSamplingSpec covers the SkipSampling plumbing: the flag is
+// part of the schedule-cache key (the two settings draw different RNG
+// streams), runs are deterministic under it, and Build/BuildContacts
+// stay consistent with each other for both settings.
+func TestSkipSamplingSpec(t *testing.T) {
+	g := GraphSpec{Model: "markov", Nodes: 16, Birth: 0.02, Death: 0.5, Horizon: 80}
+	skip := g
+	skip.SkipSampling = true
+	if g.key(1) == skip.key(1) {
+		t.Fatal("SkipSampling must be part of the schedule-cache key")
+	}
+
+	for _, spec := range []GraphSpec{g, skip} {
+		graph, err := spec.Build(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := tvg.Compile(graph, spec.Horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := spec.BuildContacts(3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.NumContacts() != compiled.NumContacts() ||
+			!reflect.DeepEqual(direct.Contacts(), compiled.Contacts()) {
+			t.Fatalf("skip=%v: BuildContacts disagrees with Build+Compile", spec.SkipSampling)
+		}
+	}
+
+	// Same spec, same seed → byte-identical reports, as for every spec.
+	run := func() *Report {
+		rep, err := New(Options{}).Run(context.Background(), ScenarioSpec{
+			Graph: skip, Messages: 20, Replicates: 3, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("SkipSampling runs must stay deterministic in the spec seed")
 	}
 }

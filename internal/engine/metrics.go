@@ -74,9 +74,11 @@ const maxEccHistogram = 4096
 // Metrics resolves a metrics request against the (cached) compiled
 // schedule of the request's graph. Each mode row is computed by one
 // bit-parallel all-pairs sweep (O(⌈N/64⌉ · contacts) contact visits
-// rather than N² Foremost searches) and cached per (spec, seed, t0,
-// mode), so a hot spec costs one LRU hit per mode. Cancellation is
-// honoured between modes.
+// rather than N² Foremost searches) whose 64-source blocks fan out
+// across the engine's worker width — blocks are independent and write
+// disjoint matrix rows, so the row is bit-identical at any width — and
+// cached per (spec, seed, t0, mode), so a hot spec costs one LRU hit
+// per mode. Cancellation is honoured between modes.
 func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsReport, error) {
 	if len(req.Modes) == 0 {
 		req.Modes = []string{"nowait", "wait"}
@@ -105,7 +107,7 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		}
 		key := fmt.Sprintf("%s|t0%d|%s", req.Graph.key(req.Seed), req.T0, mode)
 		mm, err := e.metrics.get(key, func() (*ModeMetrics, error) {
-			return computeModeMetrics(c, mode, req.T0), nil
+			return computeModeMetrics(c, mode, req.T0, e.workers), nil
 		})
 		if err != nil {
 			return nil, err
@@ -116,9 +118,9 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 }
 
 // computeModeMetrics derives one mode's row from the all-pairs foremost
-// matrix.
-func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time) *ModeMetrics {
-	m := journey.AllForemost(c, mode, t0)
+// matrix, sweeping its source blocks across up to `workers` goroutines.
+func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers int) *ModeMetrics {
+	m := journey.AllForemostParallel(c, mode, t0, workers)
 	n := m.NumNodes()
 	mm := &ModeMetrics{
 		Mode:           mode.String(),

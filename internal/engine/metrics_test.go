@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"tvgwait/internal/journey"
@@ -159,5 +160,30 @@ func TestMetricsHonoursCancellation(t *testing.T) {
 	cancel()
 	if _, err := e.Metrics(ctx, MetricsRequest{Graph: metricsGraph()}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMetricsWorkerIndependence pins the parallel-sweep contract at the
+// engine level: the metrics report of a multi-block (>64 node) network
+// must be identical whatever the engine's worker width, since the
+// 64-source blocks write disjoint matrix rows.
+func TestMetricsWorkerIndependence(t *testing.T) {
+	req := MetricsRequest{
+		Graph: GraphSpec{Model: "bernoulli", Nodes: 96, P: 0.02, Horizon: 60},
+		Seed:  11,
+		Modes: []string{"nowait", "wait:2", "wait"},
+	}
+	want, err := New(Options{Workers: 1}).Metrics(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		got, err := New(Options{Workers: workers}).Metrics(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d metrics differ from workers=1:\n got %+v\nwant %+v", workers, got, want)
+		}
 	}
 }

@@ -65,6 +65,14 @@ type GraphSpec struct {
 	MaxLatency   tvg.Time `json:"maxLatency,omitempty"`
 	// Horizon is the last simulated tick.
 	Horizon tvg.Time `json:"horizon"`
+	// SkipSampling opts the markov and bernoulli models into geometric
+	// run-length sampling: O(contacts) RNG draws per replicate instead
+	// of O(nodes²·horizon). The generated distribution is identical but
+	// the RNG stream is not — a given seed draws a different (equally
+	// valid) realisation — so results are only comparable to other runs
+	// with the same setting (it is part of the schedule-cache key).
+	// Ignored by the other models. See gen.EdgeMarkovianParams.
+	SkipSampling bool `json:"skipSampling,omitempty"`
 }
 
 func (g GraphSpec) validate() error {
@@ -96,57 +104,96 @@ func (g GraphSpec) validate() error {
 	return nil
 }
 
-// Build generates the graph of this spec for the given seed.
+// markovParams assembles the edge-Markovian parameters of a markov or
+// bernoulli spec.
+func (g GraphSpec) markovParams(seed int64) gen.EdgeMarkovianParams {
+	p := gen.EdgeMarkovianParams{
+		Nodes: g.Nodes, PBirth: g.Birth, PDeath: g.Death,
+		Horizon: g.Horizon, Seed: seed, SkipSampling: g.SkipSampling,
+	}
+	if g.Model == "bernoulli" {
+		p.PBirth, p.PDeath = g.P, 1-g.P
+	}
+	return p
+}
+
+// mobilityParams applies the mobility defaults.
+func (g GraphSpec) mobilityParams(seed int64) gen.MobilityParams {
+	width, height := g.Width, g.Height
+	if width == 0 {
+		width = 6
+	}
+	if height == 0 {
+		height = 6
+	}
+	return gen.MobilityParams{
+		Width: width, Height: height, Nodes: g.Nodes,
+		Horizon: g.Horizon, Seed: seed,
+	}
+}
+
+// periodicParams applies the random-periodic defaults.
+func (g GraphSpec) periodicParams(seed int64) gen.PeriodicParams {
+	edges, period, alpha, lat := g.Edges, g.MaxPeriod, g.AlphabetSize, g.MaxLatency
+	if edges == 0 {
+		edges = 2 * g.Nodes
+	}
+	if period == 0 {
+		period = 4
+	}
+	if alpha == 0 {
+		alpha = 2
+	}
+	if lat == 0 {
+		lat = 1
+	}
+	return gen.PeriodicParams{
+		Nodes: g.Nodes, Edges: edges, MaxPeriod: period,
+		AlphabetSize: alpha, MaxLatency: lat, Seed: seed,
+	}
+}
+
+// Build generates the graph of this spec for the given seed, via the
+// graph-building generator paths. The engine's own replicate loop uses
+// BuildContacts instead; Build is kept for callers that need the
+// *tvg.Graph (rendering, re-compiling at other horizons).
 func (g GraphSpec) Build(seed int64) (*tvg.Graph, error) {
 	switch g.Model {
-	case "markov":
-		return gen.EdgeMarkovian(gen.EdgeMarkovianParams{
-			Nodes: g.Nodes, PBirth: g.Birth, PDeath: g.Death,
-			Horizon: g.Horizon, Seed: seed,
-		})
-	case "bernoulli":
-		return gen.Bernoulli(g.Nodes, g.P, g.Horizon, seed)
+	case "markov", "bernoulli":
+		return gen.EdgeMarkovianGraph(g.markovParams(seed))
 	case "mobility":
-		width, height := g.Width, g.Height
-		if width == 0 {
-			width = 6
-		}
-		if height == 0 {
-			height = 6
-		}
-		return gen.GridMobility(gen.MobilityParams{
-			Width: width, Height: height, Nodes: g.Nodes,
-			Horizon: g.Horizon, Seed: seed,
-		})
+		return gen.GridMobilityGraph(g.mobilityParams(seed))
 	case "periodic":
-		edges, period, alpha, lat := g.Edges, g.MaxPeriod, g.AlphabetSize, g.MaxLatency
-		if edges == 0 {
-			edges = 2 * g.Nodes
-		}
-		if period == 0 {
-			period = 4
-		}
-		if alpha == 0 {
-			alpha = 2
-		}
-		if lat == 0 {
-			lat = 1
-		}
-		return gen.RandomPeriodic(gen.PeriodicParams{
-			Nodes: g.Nodes, Edges: edges, MaxPeriod: period,
-			AlphabetSize: alpha, MaxLatency: lat, Seed: seed,
-		})
+		return gen.RandomPeriodicGraph(g.periodicParams(seed))
+	default:
+		return nil, specErr("unknown model %q", g.Model)
+	}
+}
+
+// BuildContacts generates the contact schedule of this spec for the
+// given seed, streaming straight into b (nil for a one-shot builder) —
+// the same ContactSet Build+Compile yields, without the intermediate
+// graph schedules or the compile rescan.
+func (g GraphSpec) BuildContacts(seed int64, b *tvg.Builder) (*tvg.ContactSet, error) {
+	switch g.Model {
+	case "markov", "bernoulli":
+		return gen.EdgeMarkovian(g.markovParams(seed), b)
+	case "mobility":
+		return gen.GridMobility(g.mobilityParams(seed), b)
+	case "periodic":
+		return gen.RandomPeriodic(g.periodicParams(seed), g.Horizon, b)
 	default:
 		return nil, specErr("unknown model %q", g.Model)
 	}
 }
 
 // key is the schedule-cache key of (spec, seed). It covers every field
-// that influences the compiled schedule.
+// that influences the compiled schedule — SkipSampling included, since
+// it selects a different RNG stream.
 func (g GraphSpec) key(seed int64) string {
-	return fmt.Sprintf("%s|n%d|b%g|d%g|p%g|w%d|h%d|e%d|mp%d|a%d|ml%d|hz%d|s%d",
+	return fmt.Sprintf("%s|n%d|b%g|d%g|p%g|w%d|h%d|e%d|mp%d|a%d|ml%d|hz%d|ss%t|s%d",
 		g.Model, g.Nodes, g.Birth, g.Death, g.P, g.Width, g.Height,
-		g.Edges, g.MaxPeriod, g.AlphabetSize, g.MaxLatency, g.Horizon, seed)
+		g.Edges, g.MaxPeriod, g.AlphabetSize, g.MaxLatency, g.Horizon, g.SkipSampling, seed)
 }
 
 // ScenarioSpec declares one batch-simulation scenario: a generated

@@ -215,7 +215,7 @@ func E3(w io.Writer, opts Options) error {
 		"seed", "nodes", "edges", "cfg-states", "min-DFA", "foot-agrees", "lang-agrees")
 	for i := 0; i < trials; i++ {
 		seed := opts.Seed + int64(i)
-		g, err := gen.RandomPeriodic(gen.PeriodicParams{
+		g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 			Nodes: 3, Edges: 5, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2, Seed: seed,
 		})
 		if err != nil {
@@ -303,7 +303,7 @@ func E4(w io.Writer, opts Options) error {
 	}
 	okAll := true
 	for i := 0; i < trials; i++ {
-		g, err := gen.RandomPeriodic(gen.PeriodicParams{
+		g, err := gen.RandomPeriodicGraph(gen.PeriodicParams{
 			Nodes: 3, Edges: 5, MaxPeriod: 4, AlphabetSize: 2, MaxLatency: 2,
 			Seed: opts.Seed + int64(100+i),
 		})

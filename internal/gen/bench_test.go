@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// markov256Params is the ledger workload: the N=256 edge-Markovian
+// regime of the multi-source benchmarks (sparse: PBirth ≪ 1).
+func markov256Params() EdgeMarkovianParams {
+	return EdgeMarkovianParams{
+		Nodes: 256, PBirth: 0.004, PDeath: 0.6, Horizon: 100, Seed: 1,
+	}
+}
+
+// BenchmarkGenerateMarkov256 compares one replicate generation at
+// N=256 across the three paths tracked in BENCH_genstream.json:
+//
+//   - graphcompile: the historical Graph→Compile pipeline (per-pair
+//     TimeSets, then a full presence rescan);
+//   - stream: the same RNG stream emitted straight into CSR through a
+//     reused Builder — the engine's replicate path;
+//   - streamskip: the geometric run-length sampler on top — O(contacts)
+//     RNG draws instead of O(N²·horizon).
+func BenchmarkGenerateMarkov256(b *testing.B) {
+	p := markov256Params()
+	b.Run("graphcompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := EdgeMarkovianGraph(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tvg.Compile(g, p.Horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		builder := tvg.NewBuilder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := EdgeMarkovian(p, builder); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streamskip", func(b *testing.B) {
+		p := p
+		p.SkipSampling = true
+		builder := tvg.NewBuilder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := EdgeMarkovian(p, builder); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateMobility compares the two mobility paths (the walk
+// itself dominates; the streaming path removes the TimeSet/Compile
+// overhead).
+func BenchmarkGenerateMobility(b *testing.B) {
+	p := MobilityParams{Width: 6, Height: 6, Nodes: 32, Horizon: 200, Seed: 4}
+	b.Run("graphcompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := GridMobilityGraph(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tvg.Compile(g, p.Horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		builder := tvg.NewBuilder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := GridMobility(p, builder); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGeneratePeriodic compares the two random-periodic paths over
+// a long horizon, where Compile's per-tick pattern probing is the cost.
+func BenchmarkGeneratePeriodic(b *testing.B) {
+	p := PeriodicParams{Nodes: 32, Edges: 128, MaxPeriod: 6, AlphabetSize: 3, MaxLatency: 3, Seed: 13}
+	const horizon = 2000
+	b.Run("graphcompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := RandomPeriodicGraph(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tvg.Compile(g, horizon); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		builder := tvg.NewBuilder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RandomPeriodic(p, horizon, builder); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package gen
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// assertSameContactSet asserts two contact sets are identical through
+// the public API: horizon, the full contact array, every CSR bracket,
+// and the graph shape (node names, edge endpoints/labels/names). Since
+// the offset indexes are derived deterministically from the contact
+// array, this is equality of everything the decision procedures see.
+func assertSameContactSet(t *testing.T, got, want *tvg.ContactSet) {
+	t.Helper()
+	if got.Horizon() != want.Horizon() {
+		t.Fatalf("horizon %d, want %d", got.Horizon(), want.Horizon())
+	}
+	if !slices.Equal(got.Contacts(), want.Contacts()) {
+		t.Fatalf("contact arrays differ: %d vs %d contacts", got.NumContacts(), want.NumContacts())
+	}
+	gg, wg := got.Graph(), want.Graph()
+	if gg.NumNodes() != wg.NumNodes() || gg.NumEdges() != wg.NumEdges() {
+		t.Fatalf("graph shape %d/%d nodes/edges, want %d/%d",
+			gg.NumNodes(), gg.NumEdges(), wg.NumNodes(), wg.NumEdges())
+	}
+	for n := tvg.Node(0); int(n) < wg.NumNodes(); n++ {
+		if gg.NodeName(n) != wg.NodeName(n) {
+			t.Fatalf("node %d named %q, want %q", n, gg.NodeName(n), wg.NodeName(n))
+		}
+		if !slices.Equal(got.OutEdges(n), want.OutEdges(n)) {
+			t.Fatalf("OutEdges(%d) = %v, want %v", n, got.OutEdges(n), want.OutEdges(n))
+		}
+	}
+	for id := tvg.EdgeID(0); int(id) < wg.NumEdges(); id++ {
+		ge, _ := gg.Edge(id)
+		we, _ := wg.Edge(id)
+		if ge.From != we.From || ge.To != we.To || ge.Label != we.Label || ge.Name != we.Name {
+			t.Fatalf("edge %d = (%d→%d %q %q), want (%d→%d %q %q)",
+				id, ge.From, ge.To, ge.Label, ge.Name, we.From, we.To, we.Label, we.Name)
+		}
+		glo, ghi := got.EdgeRange(id)
+		wlo, whi := want.EdgeRange(id)
+		if glo != wlo || ghi != whi {
+			t.Fatalf("EdgeRange(%d) = [%d,%d), want [%d,%d)", id, glo, ghi, wlo, whi)
+		}
+	}
+	for tick := tvg.Time(0); tick <= want.Horizon(); tick++ {
+		if !slices.Equal(got.AtTick(tick), want.AtTick(tick)) {
+			t.Fatalf("AtTick(%d) differs", tick)
+		}
+	}
+}
+
+// compile is the Graph→Compile reference path.
+func compile(t *testing.T, g *tvg.Graph, err error, horizon tvg.Time) *tvg.ContactSet {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tvg.Compile(g, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStreamingMatchesGraphCompile is the generator differential test:
+// for every model and a spread of parameters (extremes included), the
+// streaming builder path must produce a ContactSet byte-identical to
+// compiling the graph path's output — the two consume the same RNG draw
+// sequence by construction, and this pins it.
+func TestStreamingMatchesGraphCompile(t *testing.T) {
+	seeds := []int64{0, 1, 42, -7, 2012}
+
+	t.Run("markov", func(t *testing.T) {
+		cases := []EdgeMarkovianParams{
+			{Nodes: 9, PBirth: 0.05, PDeath: 0.4, Horizon: 50},
+			{Nodes: 2, PBirth: 0.5, PDeath: 0.5, Horizon: 0},
+			{Nodes: 5, PBirth: 1, PDeath: 0, Horizon: 12},
+			{Nodes: 5, PBirth: 0, PDeath: 1, Horizon: 12},
+			{Nodes: 4, PBirth: 0, PDeath: 0, Horizon: 8},
+			{Nodes: 6, PBirth: 0.9, PDeath: 0.1, Horizon: 30, Latency: 3, Label: 'x'},
+		}
+		for _, p := range cases {
+			for _, seed := range seeds {
+				p.Seed = seed
+				t.Run(fmt.Sprintf("b%g_d%g_s%d", p.PBirth, p.PDeath, seed), func(t *testing.T) {
+					got, err := EdgeMarkovian(p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					g, gerr := EdgeMarkovianGraph(p)
+					assertSameContactSet(t, got, compile(t, g, gerr, p.Horizon))
+				})
+			}
+		}
+	})
+
+	t.Run("markov-skip", func(t *testing.T) {
+		// The run-length sampler is a different stream from the per-tick
+		// sampler, but the graph and streaming paths still share it draw
+		// for draw.
+		p := EdgeMarkovianParams{Nodes: 8, PBirth: 0.03, PDeath: 0.4, Horizon: 60, SkipSampling: true}
+		for _, seed := range seeds {
+			p.Seed = seed
+			got, err := EdgeMarkovian(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, gerr := EdgeMarkovianGraph(p)
+			assertSameContactSet(t, got, compile(t, g, gerr, p.Horizon))
+		}
+	})
+
+	t.Run("bernoulli", func(t *testing.T) {
+		for _, prob := range []float64{0, 0.07, 0.5, 1} {
+			for _, seed := range seeds {
+				got, err := Bernoulli(7, prob, 40, seed, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, gerr := BernoulliGraph(7, prob, 40, seed)
+				assertSameContactSet(t, got, compile(t, g, gerr, 40))
+			}
+		}
+	})
+
+	t.Run("periodic", func(t *testing.T) {
+		p := PeriodicParams{Nodes: 6, Edges: 14, MaxPeriod: 5, AlphabetSize: 3, MaxLatency: 3}
+		// horizon 2 < MaxPeriod exercises edges with empty contact
+		// ranges, which the builder must keep to preserve edge ids.
+		for _, horizon := range []tvg.Time{0, 2, 37} {
+			for _, seed := range seeds {
+				p.Seed = seed
+				got, err := RandomPeriodic(p, horizon, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, gerr := RandomPeriodicGraph(p)
+				assertSameContactSet(t, got, compile(t, g, gerr, horizon))
+			}
+		}
+	})
+
+	t.Run("mobility", func(t *testing.T) {
+		p := MobilityParams{Width: 3, Height: 3, Nodes: 6, Horizon: 40}
+		for _, seed := range seeds {
+			p.Seed = seed
+			got, err := GridMobility(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, gerr := GridMobilityGraph(p)
+			assertSameContactSet(t, got, compile(t, g, gerr, p.Horizon))
+		}
+	})
+}
+
+// TestStreamingBuilderReuse pins the pooled-builder contract at the
+// generator level: one builder shared across replicates of different
+// models and sizes must produce the same sets as fresh builders, and
+// earlier results must stay intact.
+func TestStreamingBuilderReuse(t *testing.T) {
+	b := tvg.NewBuilder()
+	markov := EdgeMarkovianParams{Nodes: 7, PBirth: 0.06, PDeath: 0.5, Horizon: 33, Seed: 5}
+	first, err := EdgeMarkovian(markov, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := slices.Clone(first.Contacts())
+
+	for seed := int64(0); seed < 4; seed++ {
+		markov.Seed = seed
+		got, err := EdgeMarkovian(markov, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EdgeMarkovian(markov, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameContactSet(t, got, want)
+
+		mob, err := GridMobility(MobilityParams{Width: 4, Height: 2, Nodes: 9, Horizon: 50, Seed: seed}, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mobWant, err := GridMobility(MobilityParams{Width: 4, Height: 2, Nodes: 9, Horizon: 50, Seed: seed}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameContactSet(t, mob, mobWant)
+	}
+	if !slices.Equal(snapshot, first.Contacts()) {
+		t.Fatal("builder reuse mutated an earlier ContactSet")
+	}
+}
+
+// TestSkipSamplingDistribution validates the geometric run-length
+// sampler at the distribution level against both theory and the
+// per-tick sampler: stationary presence frequency and mean present-run
+// length must agree within a few percent on a workload large enough to
+// concentrate (≈3M chain steps).
+func TestSkipSamplingDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution-level test needs the full workload")
+	}
+	p := EdgeMarkovianParams{Nodes: 40, PBirth: 0.02, PDeath: 0.3, Horizon: 2000, Seed: 99}
+
+	stats := func(skip bool) (presence, meanRun float64) {
+		p := p
+		p.SkipSampling = skip
+		c, err := EdgeMarkovian(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contacts := c.Contacts()
+		runs := 0
+		for i, ct := range contacts {
+			if i == 0 || contacts[i-1].Edge != ct.Edge || contacts[i-1].Dep+1 != ct.Dep {
+				runs++
+			}
+		}
+		cells := float64(p.Nodes) * float64(p.Nodes-1) * float64(p.Horizon+1)
+		return float64(len(contacts)) / cells, float64(len(contacts)) / float64(runs)
+	}
+
+	wantPresence := p.PBirth / (p.PBirth + p.PDeath) // stationary: 0.0625
+	wantRun := 1 / p.PDeath                          // mean geometric run: 3.33
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if got < want*(1-tol) || got > want*(1+tol) {
+			t.Errorf("%s = %.4f, want %.4f ± %.0f%%", name, got, want, tol*100)
+		}
+	}
+	skipPresence, skipRun := stats(true)
+	tickPresence, tickRun := stats(false)
+	within("skip-sampled presence frequency", skipPresence, wantPresence, 0.05)
+	within("skip-sampled mean run length", skipRun, wantRun, 0.05)
+	within("presence frequency vs per-tick sampler", skipPresence, tickPresence, 0.05)
+	within("mean run length vs per-tick sampler", skipRun, tickRun, 0.05)
+
+	// Truncated-run edge cases: runs are clipped at the horizon, never
+	// extended, and a pure-birth chain fills every tick.
+	full, err := EdgeMarkovian(EdgeMarkovianParams{
+		Nodes: 3, PBirth: 1, PDeath: 0, Horizon: 9, Seed: 1, SkipSampling: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := full.NumContacts(), 3*2*10; got != want {
+		t.Errorf("pb=1, pd=0 skip-sampled: %d contacts, want %d", got, want)
+	}
+	empty, err := EdgeMarkovian(EdgeMarkovianParams{
+		Nodes: 3, PBirth: 0, PDeath: 1, Horizon: 9, Seed: 1, SkipSampling: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumContacts() != 0 {
+		t.Errorf("pb=0 skip-sampled: %d contacts, want 0", empty.NumContacts())
+	}
+}
+
+// TestMobilityDeterministicEdgeOrder pins the sorted-pair edge order:
+// the same seed must now produce the identical edge list on every run
+// (the historical map-iteration order varied), in (u, v)-sorted pair
+// order with u→v immediately before v→u.
+func TestMobilityDeterministicEdgeOrder(t *testing.T) {
+	p := MobilityParams{Width: 3, Height: 3, Nodes: 6, Horizon: 30, Seed: 8}
+	a, err := GridMobility(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		b, err := GridMobility(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameContactSet(t, b, a)
+	}
+	g := a.Graph()
+	for id := 0; id+1 < g.NumEdges(); id += 2 {
+		e1, _ := g.Edge(tvg.EdgeID(id))
+		e2, _ := g.Edge(tvg.EdgeID(id + 1))
+		if e1.From != e2.To || e1.To != e2.From || e1.From >= e1.To {
+			t.Fatalf("edges %d,%d = (%d→%d),(%d→%d): want sorted pair u→v,v→u",
+				id, id+1, e1.From, e1.To, e2.From, e2.To)
+		}
+		if id >= 2 {
+			prev, _ := g.Edge(tvg.EdgeID(id - 2))
+			if prev.From > e1.From || (prev.From == e1.From && prev.To >= e1.To) {
+				t.Fatalf("pair (%d,%d) after (%d,%d): not in sorted order",
+					e1.From, e1.To, prev.From, prev.To)
+			}
+		}
+	}
+}

@@ -3,10 +3,27 @@
 // model for highly dynamic networks), i.i.d. Bernoulli presence, random
 // periodic schedules, and a grid mobility model. All generators take an
 // explicit seed and are reproducible across runs.
+//
+// Each model has two construction paths that consume the identical RNG
+// draw sequence and therefore describe the identical schedule (asserted
+// by the differential tests):
+//
+//   - the streaming path (EdgeMarkovian, Bernoulli, RandomPeriodic,
+//     GridMobility) emits contacts directly into a tvg.Builder and
+//     returns the finalised tvg.ContactSet — the form every decision
+//     procedure runs on — without materialising per-edge schedules or
+//     rescanning them in tvg.Compile. Passing a pooled Builder makes
+//     repeated generation allocate only the result.
+//   - the graph path (EdgeMarkovianGraph, BernoulliGraph,
+//     RandomPeriodicGraph, GridMobilityGraph) builds a *tvg.Graph with
+//     real Presence/Latency schedules, for callers that need the graph
+//     itself (automata constructions, rendering, re-compiling at several
+//     horizons).
 package gen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"tvgwait/internal/tvg"
@@ -29,6 +46,18 @@ type EdgeMarkovianParams struct {
 	Label tvg.Symbol
 	// Seed drives the deterministic RNG.
 	Seed int64
+	// SkipSampling replaces the per-tick Bernoulli draws with geometric
+	// run-length sampling: instead of one uniform draw per (pair, tick)
+	// — O(N²·Horizon) RNG calls — each chain draws the length of every
+	// present run and absent gap directly, O(contacts + pairs) calls.
+	// The chain it samples is distributionally identical (same
+	// stationary start, same geometric run and gap laws), but it is a
+	// DIFFERENT RNG stream: a given seed produces a different (equally
+	// valid) realisation than the per-tick path, so pinned outputs and
+	// seed-reproducibility contracts must not mix the two settings. Use
+	// it for sparse regimes (PBirth ≪ 1) at large N, where per-tick
+	// sampling is pure overhead; see DESIGN.md §6.
+	SkipSampling bool
 }
 
 func (p EdgeMarkovianParams) validate() error {
@@ -44,27 +73,111 @@ func (p EdgeMarkovianParams) validate() error {
 	return nil
 }
 
-// EdgeMarkovian generates an edge-Markovian TVG. The initial state of each
-// chain is drawn from the stationary distribution
-// PBirth/(PBirth+PDeath) (all-absent when both probabilities are 0).
-func EdgeMarkovian(p EdgeMarkovianParams) (*tvg.Graph, error) {
+// normalized validates and applies the Latency/Label defaults.
+func (p EdgeMarkovianParams) normalized() (EdgeMarkovianParams, error) {
 	if err := p.validate(); err != nil {
-		return nil, err
+		return p, err
 	}
-	latency := p.Latency
-	if latency == 0 {
-		latency = 1
+	if p.Latency == 0 {
+		p.Latency = 1
 	}
-	if latency < 1 {
-		return nil, fmt.Errorf("gen: latency must be >= 1, got %d", latency)
+	if p.Latency < 1 {
+		return p, fmt.Errorf("gen: latency must be >= 1, got %d", p.Latency)
 	}
-	label := p.Label
-	if label == 0 {
-		label = 'c'
+	if p.Label == 0 {
+		p.Label = 'c'
 	}
+	return p, nil
+}
+
+// markovSink receives the generated chain: pair opens the ordered pair
+// (u, v), tick reports one present tick of the current pair (strictly
+// increasing), done closes the last pair. Both construction paths
+// implement it, so one sink allocation serves all N² chains.
+type markovSink interface {
+	pair(u, v tvg.Node)
+	tick(t tvg.Time)
+	done()
+}
+
+// markovChainPerTick drives one pair's two-state chain, calling
+// sink.tick for every present tick in increasing order. It reproduces
+// the historical draw sequence exactly: one stationary draw, then one
+// uniform per tick (present ticks draw death, absent ticks draw birth).
+func markovChainPerTick(rng *rand.Rand, p EdgeMarkovianParams, stationary float64, sink markovSink) {
+	present := rng.Float64() < stationary
+	for t := tvg.Time(0); t <= p.Horizon; t++ {
+		if present {
+			sink.tick(t)
+			if rng.Float64() < p.PDeath {
+				present = false
+			}
+		} else if rng.Float64() < p.PBirth {
+			present = true
+		}
+	}
+}
+
+// geometric0 draws the number of consecutive failures before the first
+// success of a Bernoulli(p) sequence — P(k) = (1-p)^k·p — by inversion,
+// clamped to limit (callers only care whether the run crosses the
+// horizon, and the clamp keeps the float→int conversion in range).
+func geometric0(rng *rand.Rand, p float64, limit tvg.Time) tvg.Time {
+	if p >= 1 {
+		return 0
+	}
+	k := math.Log1p(-rng.Float64()) / math.Log1p(-p)
+	if !(k < float64(limit)) { // also catches NaN/+Inf
+		return limit
+	}
+	return tvg.Time(k)
+}
+
+// markovChainRunLength samples the same chain as markovChainPerTick by
+// run lengths: present runs are Geometric(PDeath), absent gaps are
+// Geometric(PBirth), the start state is stationary. O(contacts) RNG
+// draws instead of O(horizon) — but a different stream: the two
+// variants agree in distribution, not draw for draw.
+func markovChainRunLength(rng *rand.Rand, p EdgeMarkovianParams, stationary float64, sink markovSink) {
+	limit := p.Horizon + 2 // any clamp ≥ horizon+1 means "past the end"
+	pos := tvg.Time(0)
+	if !(rng.Float64() < stationary) {
+		if p.PBirth == 0 {
+			return // never born
+		}
+		// Absent at tick s, the chain turns present at s+1 with
+		// probability PBirth: the first present tick is 1 + Geom₀.
+		pos = 1 + geometric0(rng, p.PBirth, limit)
+	}
+	for pos <= p.Horizon {
+		if p.PDeath == 0 {
+			for t := pos; t <= p.Horizon; t++ {
+				sink.tick(t)
+			}
+			return
+		}
+		// Present at pos, die after each tick with probability PDeath:
+		// the run carries 1 + Geom₀ contacts.
+		end := pos + geometric0(rng, p.PDeath, limit)
+		if end > p.Horizon {
+			end = p.Horizon
+		}
+		for t := pos; t <= end; t++ {
+			sink.tick(t)
+		}
+		if end == p.Horizon || p.PBirth == 0 {
+			return
+		}
+		pos = end + 2 + geometric0(rng, p.PBirth, limit)
+	}
+}
+
+// eachMarkovPair runs the chain of every ordered pair (u, v), u ≠ v, in
+// (u, v) order — the edge-id order both construction paths share — and
+// closes the sink. The sink is the only per-generation allocation the
+// sweep makes: the hot loop is free of closures.
+func eachMarkovPair(p EdgeMarkovianParams, sink markovSink) {
 	rng := rand.New(rand.NewSource(p.Seed))
-	g := tvg.New()
-	g.AddNodes(p.Nodes)
 	stationary := 0.0
 	if p.PBirth+p.PDeath > 0 {
 		stationary = p.PBirth / (p.PBirth + p.PDeath)
@@ -74,43 +187,134 @@ func EdgeMarkovian(p EdgeMarkovianParams) (*tvg.Graph, error) {
 			if u == v {
 				continue
 			}
-			var times []tvg.Time
-			present := rng.Float64() < stationary
-			for t := tvg.Time(0); t <= p.Horizon; t++ {
-				if present {
-					times = append(times, t)
-					if rng.Float64() < p.PDeath {
-						present = false
-					}
-				} else if rng.Float64() < p.PBirth {
-					present = true
-				}
+			sink.pair(tvg.Node(u), tvg.Node(v))
+			if p.SkipSampling {
+				markovChainRunLength(rng, p, stationary, sink)
+			} else {
+				markovChainPerTick(rng, p, stationary, sink)
 			}
-			if len(times) == 0 {
-				continue
-			}
-			g.MustAddEdge(tvg.Edge{
-				From:     tvg.Node(u),
-				To:       tvg.Node(v),
-				Label:    label,
-				Presence: tvg.NewTimeSet(times...),
-				Latency:  tvg.ConstLatency(latency),
-			})
 		}
 	}
+	sink.done()
+}
+
+// builderMarkovSink streams chain ticks straight into a tvg.Builder,
+// starting each pair's edge lazily at its first contact so never-present
+// pairs contribute no edge.
+type builderMarkovSink struct {
+	b       *tvg.Builder
+	label   tvg.Symbol
+	latency tvg.Time
+	u, v    tvg.Node
+	started bool
+}
+
+func (s *builderMarkovSink) pair(u, v tvg.Node) { s.u, s.v, s.started = u, v, false }
+
+func (s *builderMarkovSink) tick(t tvg.Time) {
+	if !s.started {
+		s.b.StartEdge(s.u, s.v, s.label)
+		s.started = true
+	}
+	s.b.Append(t, t+s.latency)
+}
+
+func (s *builderMarkovSink) done() {}
+
+// graphMarkovSink collects chain ticks into per-pair TimeSet edges — the
+// historical materialisation.
+type graphMarkovSink struct {
+	g       *tvg.Graph
+	label   tvg.Symbol
+	latency tvg.Time
+	u, v    tvg.Node
+	times   []tvg.Time
+	primed  bool
+}
+
+func (s *graphMarkovSink) pair(u, v tvg.Node) {
+	s.flush()
+	s.u, s.v, s.primed = u, v, true
+}
+
+func (s *graphMarkovSink) tick(t tvg.Time) { s.times = append(s.times, t) }
+
+func (s *graphMarkovSink) done() { s.flush() }
+
+func (s *graphMarkovSink) flush() {
+	if !s.primed || len(s.times) == 0 {
+		s.times = s.times[:0]
+		return
+	}
+	s.g.MustAddEdge(tvg.Edge{
+		From:     s.u,
+		To:       s.v,
+		Label:    s.label,
+		Presence: tvg.NewTimeSet(s.times...),
+		Latency:  tvg.ConstLatency(s.latency),
+	})
+	s.times = s.times[:0]
+}
+
+// EdgeMarkovian generates an edge-Markovian contact schedule directly
+// into a ContactSet over [0, Horizon]. The initial state of each chain
+// is drawn from the stationary distribution PBirth/(PBirth+PDeath)
+// (all-absent when both probabilities are 0). Pairs that are never
+// present contribute no edge, so edge ids enumerate the non-empty pairs
+// in (u, v) order — exactly the graph EdgeMarkovianGraph builds.
+//
+// b may be nil (a fresh builder is used); passing a pooled Builder
+// reuses its arenas, so repeated generation allocates only the result.
+func EdgeMarkovian(p EdgeMarkovianParams, b *tvg.Builder) (*tvg.ContactSet, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = tvg.NewBuilder()
+	}
+	b.Reset(p.Nodes, p.Horizon)
+	eachMarkovPair(p, &builderMarkovSink{b: b, label: p.Label, latency: p.Latency})
+	return b.Finalize()
+}
+
+// EdgeMarkovianGraph generates an edge-Markovian TVG as a *tvg.Graph
+// with TimeSet presence schedules — the historical construction path,
+// kept for callers that need the graph itself. For a given parameter
+// set it consumes the same RNG draw sequence as EdgeMarkovian, so
+// compiling the result over [0, Horizon] yields a byte-identical
+// ContactSet (the differential tests assert it).
+func EdgeMarkovianGraph(p EdgeMarkovianParams) (*tvg.Graph, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	g := tvg.New()
+	g.AddNodes(p.Nodes)
+	eachMarkovPair(p, &graphMarkovSink{g: g, label: p.Label, latency: p.Latency})
 	return g, nil
 }
 
-// Bernoulli generates a TVG in which every ordered node pair is present at
-// each tick independently with probability p.
-func Bernoulli(nodes int, p float64, horizon tvg.Time, seed int64) (*tvg.Graph, error) {
-	return EdgeMarkovian(EdgeMarkovianParams{
+// Bernoulli generates a contact schedule in which every ordered node
+// pair is present at each tick independently with probability p. b may
+// be nil; see EdgeMarkovian.
+func Bernoulli(nodes int, p float64, horizon tvg.Time, seed int64, b *tvg.Builder) (*tvg.ContactSet, error) {
+	return EdgeMarkovian(bernoulliParams(nodes, p, horizon, seed), b)
+}
+
+// BernoulliGraph is the graph-building path of Bernoulli.
+func BernoulliGraph(nodes int, p float64, horizon tvg.Time, seed int64) (*tvg.Graph, error) {
+	return EdgeMarkovianGraph(bernoulliParams(nodes, p, horizon, seed))
+}
+
+func bernoulliParams(nodes int, p float64, horizon tvg.Time, seed int64) EdgeMarkovianParams {
+	return EdgeMarkovianParams{
 		Nodes:   nodes,
 		PBirth:  p,
 		PDeath:  1 - p,
 		Horizon: horizon,
 		Seed:    seed,
-	})
+	}
 }
 
 // PeriodicParams configures RandomPeriodic.
@@ -127,37 +331,100 @@ type PeriodicParams struct {
 	Seed int64
 }
 
-// RandomPeriodic generates a TVG whose edges carry random periodic
-// presence patterns (each with at least one presence per period) and
-// random constant latencies. Such graphs are recurrent, so the footprint
-// automaton recognizes their exact wait language (see construct).
-func RandomPeriodic(p PeriodicParams) (*tvg.Graph, error) {
+func (p PeriodicParams) validate() error {
 	if p.Nodes < 1 || p.Edges < 0 {
-		return nil, fmt.Errorf("gen: invalid sizes nodes=%d edges=%d", p.Nodes, p.Edges)
+		return fmt.Errorf("gen: invalid sizes nodes=%d edges=%d", p.Nodes, p.Edges)
 	}
 	if p.MaxPeriod < 1 || p.AlphabetSize < 1 || p.MaxLatency < 1 {
-		return nil, fmt.Errorf("gen: invalid parameters period=%d alphabet=%d latency=%d",
+		return fmt.Errorf("gen: invalid parameters period=%d alphabet=%d latency=%d",
 			p.MaxPeriod, p.AlphabetSize, p.MaxLatency)
+	}
+	return nil
+}
+
+// periodicEdge is one drawn edge of the random periodic model. The
+// field draws happen in the historical order (pattern, anchor, from,
+// to, label, latency), so both construction paths see the same stream.
+type periodicEdge struct {
+	pattern  []bool
+	from, to tvg.Node
+	label    tvg.Symbol
+	latency  tvg.Time
+}
+
+func drawPeriodicEdge(rng *rand.Rand, p PeriodicParams, pattern []bool) periodicEdge {
+	pattern = pattern[:0]
+	for n := 1 + rng.Intn(p.MaxPeriod); len(pattern) < n; {
+		pattern = append(pattern, rng.Intn(2) == 0)
+	}
+	pattern[rng.Intn(len(pattern))] = true
+	return periodicEdge{
+		pattern: pattern,
+		from:    tvg.Node(rng.Intn(p.Nodes)),
+		to:      tvg.Node(rng.Intn(p.Nodes)),
+		label:   tvg.Symbol('a' + rune(rng.Intn(p.AlphabetSize))),
+		latency: 1 + tvg.Time(rng.Int63n(int64(p.MaxLatency))),
+	}
+}
+
+// RandomPeriodic generates the contact schedule of a random periodic
+// TVG over [0, horizon]: each edge carries a random periodic presence
+// pattern (at least one presence per period) and a random constant
+// latency. Edges whose pattern never fires within the horizon are kept
+// with an empty contact range, matching the compile of the full graph.
+// b may be nil; see EdgeMarkovian.
+func RandomPeriodic(p PeriodicParams, horizon tvg.Time, b *tvg.Builder) (*tvg.ContactSet, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("gen: negative horizon %d", horizon)
+	}
+	if b == nil {
+		b = tvg.NewBuilder()
+	}
+	b.Reset(p.Nodes, horizon)
+	rng := rand.New(rand.NewSource(p.Seed))
+	var pattern []bool
+	for i := 0; i < p.Edges; i++ {
+		e := drawPeriodicEdge(rng, p, pattern)
+		pattern = e.pattern // reuse the scratch across edges
+		b.StartEdge(e.from, e.to, e.label)
+		period := tvg.Time(len(e.pattern))
+		for t := tvg.Time(0); t <= horizon; t++ {
+			if e.pattern[t%period] {
+				b.Append(t, t+e.latency)
+			}
+		}
+	}
+	return b.Finalize()
+}
+
+// RandomPeriodicGraph generates a TVG whose edges carry random periodic
+// presence patterns (each with at least one presence per period) and
+// random constant latencies. Such graphs are recurrent, so the footprint
+// automaton recognizes their exact wait language (see construct). It is
+// the graph-building path of RandomPeriodic: compiling the result over
+// any horizon yields the ContactSet the streaming path emits directly.
+func RandomPeriodicGraph(p PeriodicParams) (*tvg.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	g := tvg.New()
 	g.AddNodes(p.Nodes)
 	for i := 0; i < p.Edges; i++ {
-		pattern := make([]bool, 1+rng.Intn(p.MaxPeriod))
-		for j := range pattern {
-			pattern[j] = rng.Intn(2) == 0
-		}
-		pattern[rng.Intn(len(pattern))] = true
-		pres, err := tvg.NewPeriodicPresence(pattern)
+		e := drawPeriodicEdge(rng, p, nil)
+		pres, err := tvg.NewPeriodicPresence(e.pattern)
 		if err != nil {
 			return nil, err
 		}
 		g.MustAddEdge(tvg.Edge{
-			From:     tvg.Node(rng.Intn(p.Nodes)),
-			To:       tvg.Node(rng.Intn(p.Nodes)),
-			Label:    tvg.Symbol('a' + rune(rng.Intn(p.AlphabetSize))),
+			From:     e.from,
+			To:       e.to,
+			Label:    e.label,
 			Presence: pres,
-			Latency:  tvg.ConstLatency(1 + tvg.Time(rng.Int63n(int64(p.MaxLatency)))),
+			Latency:  tvg.ConstLatency(e.latency),
 		})
 	}
 	return g, nil
@@ -177,25 +444,24 @@ type MobilityParams struct {
 	Seed int64
 }
 
-// GridMobility simulates independent random walkers on a torus grid and
-// produces the contact TVG: a bidirectional pair of edges (u, v) and
-// (v, u) is present at tick t whenever walkers u and v share a cell. This
-// is the synthetic stand-in for the wireless ad hoc mobility traces the
-// paper's introduction motivates.
-func GridMobility(p MobilityParams) (*tvg.Graph, error) {
+func (p MobilityParams) validate() error {
 	if p.Width < 1 || p.Height < 1 {
-		return nil, fmt.Errorf("gen: invalid grid %dx%d", p.Width, p.Height)
+		return fmt.Errorf("gen: invalid grid %dx%d", p.Width, p.Height)
 	}
 	if p.Nodes < 2 {
-		return nil, fmt.Errorf("gen: need at least 2 walkers, got %d", p.Nodes)
+		return fmt.Errorf("gen: need at least 2 walkers, got %d", p.Nodes)
 	}
 	if p.Horizon < 0 {
-		return nil, fmt.Errorf("gen: negative horizon %d", p.Horizon)
+		return fmt.Errorf("gen: negative horizon %d", p.Horizon)
 	}
-	latency := p.Latency
-	if latency == 0 {
-		latency = 1
-	}
+	return nil
+}
+
+// mobilityWalk simulates the torus random walk and returns the contact
+// times per unordered pair {u < v}. All RNG draws happen here, before
+// any edge is materialised, so both construction paths share the
+// stream trivially.
+func mobilityWalk(p MobilityParams) map[[2]int][]tvg.Time {
 	rng := rand.New(rand.NewSource(p.Seed))
 	type pos struct{ x, y int }
 	cur := make([]pos, p.Nodes)
@@ -226,18 +492,76 @@ func GridMobility(p MobilityParams) (*tvg.Graph, error) {
 			}
 		}
 	}
-	g := tvg.New()
-	g.AddNodes(p.Nodes)
-	for pair, times := range contacts {
-		for _, dir := range [][2]int{{pair[0], pair[1]}, {pair[1], pair[0]}} {
-			g.MustAddEdge(tvg.Edge{
-				From:     tvg.Node(dir[0]),
-				To:       tvg.Node(dir[1]),
-				Label:    'c',
-				Presence: tvg.NewTimeSet(times...),
-				Latency:  tvg.ConstLatency(latency),
-			})
+	return contacts
+}
+
+// eachMobilityEdge walks the recorded pairs in sorted (u, v) order,
+// yielding the directed edge pair u→v then v→u for each — the
+// deterministic edge-id order shared by both construction paths. (The
+// historical implementation materialised edges in map-iteration order,
+// which varies between runs; every derived quantity was insensitive to
+// it, and a fixed order is what lets the two paths be compared
+// byte-for-byte.)
+func eachMobilityEdge(p MobilityParams, contacts map[[2]int][]tvg.Time, edge func(from, to tvg.Node, times []tvg.Time)) {
+	for u := 0; u < p.Nodes; u++ {
+		for v := u + 1; v < p.Nodes; v++ {
+			times := contacts[[2]int{u, v}]
+			if len(times) == 0 {
+				continue
+			}
+			edge(tvg.Node(u), tvg.Node(v), times)
+			edge(tvg.Node(v), tvg.Node(u), times)
 		}
 	}
+}
+
+// GridMobility simulates independent random walkers on a torus grid and
+// produces the contact schedule over [0, Horizon]: a bidirectional pair
+// of edges (u, v) and (v, u) is present at tick t whenever walkers u
+// and v share a cell. This is the synthetic stand-in for the wireless
+// ad hoc mobility traces the paper's introduction motivates. b may be
+// nil; see EdgeMarkovian.
+func GridMobility(p MobilityParams, b *tvg.Builder) (*tvg.ContactSet, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	latency := p.Latency
+	if latency == 0 {
+		latency = 1
+	}
+	if b == nil {
+		b = tvg.NewBuilder()
+	}
+	b.Reset(p.Nodes, p.Horizon)
+	eachMobilityEdge(p, mobilityWalk(p), func(from, to tvg.Node, times []tvg.Time) {
+		b.StartEdge(from, to, 'c')
+		for _, t := range times {
+			b.Append(t, t+latency)
+		}
+	})
+	return b.Finalize()
+}
+
+// GridMobilityGraph is the graph-building path of GridMobility, for
+// callers that need the contact TVG as a *tvg.Graph.
+func GridMobilityGraph(p MobilityParams) (*tvg.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	latency := p.Latency
+	if latency == 0 {
+		latency = 1
+	}
+	g := tvg.New()
+	g.AddNodes(p.Nodes)
+	eachMobilityEdge(p, mobilityWalk(p), func(from, to tvg.Node, times []tvg.Time) {
+		g.MustAddEdge(tvg.Edge{
+			From:     from,
+			To:       to,
+			Label:    'c',
+			Presence: tvg.NewTimeSet(times...),
+			Latency:  tvg.ConstLatency(latency),
+		})
+	})
 	return g, nil
 }

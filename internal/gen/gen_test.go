@@ -15,7 +15,7 @@ func TestEdgeMarkovianValidation(t *testing.T) {
 		{Nodes: 3, PBirth: 0.5, PDeath: 0.5, Horizon: 5, Latency: -2},
 	}
 	for i, p := range bad {
-		if _, err := EdgeMarkovian(p); err == nil {
+		if _, err := EdgeMarkovianGraph(p); err == nil {
 			t.Errorf("case %d should fail: %+v", i, p)
 		}
 	}
@@ -23,11 +23,11 @@ func TestEdgeMarkovianValidation(t *testing.T) {
 
 func TestEdgeMarkovianDeterminism(t *testing.T) {
 	p := EdgeMarkovianParams{Nodes: 5, PBirth: 0.3, PDeath: 0.4, Horizon: 20, Seed: 42}
-	g1, err := EdgeMarkovian(p)
+	g1, err := EdgeMarkovianGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g2, err := EdgeMarkovian(p)
+	g2, err := EdgeMarkovianGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestEdgeMarkovianDeterminism(t *testing.T) {
 	}
 	// Different seed should (very likely) differ somewhere.
 	p.Seed = 43
-	g3, err := EdgeMarkovian(p)
+	g3, err := EdgeMarkovianGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestEdgeMarkovianDeterminism(t *testing.T) {
 
 func TestEdgeMarkovianExtremes(t *testing.T) {
 	// birth=1, death=0: every pair present at every tick from t=0.
-	g, err := EdgeMarkovian(EdgeMarkovianParams{Nodes: 3, PBirth: 1, PDeath: 0, Horizon: 5, Seed: 1})
+	g, err := EdgeMarkovianGraph(EdgeMarkovianParams{Nodes: 3, PBirth: 1, PDeath: 0, Horizon: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestEdgeMarkovianExtremes(t *testing.T) {
 		}
 	}
 	// birth=0, death=1: nothing ever appears.
-	g0, err := EdgeMarkovian(EdgeMarkovianParams{Nodes: 3, PBirth: 0, PDeath: 1, Horizon: 5, Seed: 1})
+	g0, err := EdgeMarkovianGraph(EdgeMarkovianParams{Nodes: 3, PBirth: 0, PDeath: 1, Horizon: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestEdgeMarkovianExtremes(t *testing.T) {
 }
 
 func TestEdgeMarkovianDefaults(t *testing.T) {
-	g, err := EdgeMarkovian(EdgeMarkovianParams{Nodes: 2, PBirth: 1, PDeath: 0, Horizon: 3, Seed: 7})
+	g, err := EdgeMarkovianGraph(EdgeMarkovianParams{Nodes: 2, PBirth: 1, PDeath: 0, Horizon: 3, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestEdgeMarkovianDefaults(t *testing.T) {
 		t.Errorf("default latency = %d", e.Latency.Crossing(0))
 	}
 	// Custom label and latency.
-	g2, err := EdgeMarkovian(EdgeMarkovianParams{Nodes: 2, PBirth: 1, PDeath: 0, Horizon: 3, Seed: 7, Label: 'x', Latency: 3})
+	g2, err := EdgeMarkovianGraph(EdgeMarkovianParams{Nodes: 2, PBirth: 1, PDeath: 0, Horizon: 3, Seed: 7, Label: 'x', Latency: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +106,8 @@ func TestEdgeMarkovianDefaults(t *testing.T) {
 	}
 }
 
-func TestBernoulli(t *testing.T) {
-	g, err := Bernoulli(4, 1.0, 6, 9)
+func TestBernoulliGraph(t *testing.T) {
+	g, err := BernoulliGraph(4, 1.0, 6, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,14 +116,14 @@ func TestBernoulli(t *testing.T) {
 			t.Errorf("p=1 Bernoulli: %d edges at t=%d, want 12", got, tt)
 		}
 	}
-	if _, err := Bernoulli(1, 0.5, 6, 9); err == nil {
+	if _, err := BernoulliGraph(1, 0.5, 6, 9); err == nil {
 		t.Error("single node should fail")
 	}
 }
 
-func TestRandomPeriodic(t *testing.T) {
+func TestRandomPeriodicGraph(t *testing.T) {
 	p := PeriodicParams{Nodes: 4, Edges: 6, MaxPeriod: 5, AlphabetSize: 2, MaxLatency: 2, Seed: 11}
-	g, err := RandomPeriodic(p)
+	g, err := RandomPeriodicGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestRandomPeriodic(t *testing.T) {
 		}
 	}
 	// Determinism.
-	g2, err := RandomPeriodic(p)
+	g2, err := RandomPeriodicGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,15 +165,15 @@ func TestRandomPeriodic(t *testing.T) {
 		{Nodes: 2, Edges: 1, MaxPeriod: 2, AlphabetSize: 0, MaxLatency: 1},
 		{Nodes: 2, Edges: 1, MaxPeriod: 2, AlphabetSize: 1, MaxLatency: 0},
 	} {
-		if _, err := RandomPeriodic(bad); err == nil {
+		if _, err := RandomPeriodicGraph(bad); err == nil {
 			t.Errorf("params %+v should fail", bad)
 		}
 	}
 }
 
-func TestGridMobility(t *testing.T) {
+func TestGridMobilityGraph(t *testing.T) {
 	p := MobilityParams{Width: 3, Height: 3, Nodes: 5, Horizon: 30, Seed: 21}
-	g, err := GridMobility(p)
+	g, err := GridMobilityGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestGridMobility(t *testing.T) {
 		}
 	}
 	// Determinism.
-	g2, err := GridMobility(p)
+	g2, err := GridMobilityGraph(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestGridMobility(t *testing.T) {
 		t.Error("same seed should reproduce the same contact trace")
 	}
 	// On a 1x1 grid everyone is always in contact.
-	tiny, err := GridMobility(MobilityParams{Width: 1, Height: 1, Nodes: 3, Horizon: 4, Seed: 2})
+	tiny, err := GridMobilityGraph(MobilityParams{Width: 1, Height: 1, Nodes: 3, Horizon: 4, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestGridMobility(t *testing.T) {
 		{Width: 2, Height: 2, Nodes: 1, Horizon: 5},
 		{Width: 2, Height: 2, Nodes: 3, Horizon: -1},
 	} {
-		if _, err := GridMobility(bad); err == nil {
+		if _, err := GridMobilityGraph(bad); err == nil {
 			t.Errorf("params %+v should fail", bad)
 		}
 	}

@@ -32,6 +32,7 @@ package journey
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"tvgwait/internal/tvg"
 )
@@ -448,12 +449,63 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	}
 }
 
+// forEachBlock runs fn(block) for every 64-source block of an n-node
+// sweep, fanning the blocks out across up to `workers` goroutines
+// (each renting its own pooled msScratch via fn's caller). Blocks are
+// independent by construction — each sweeps its own scratch and writes
+// a disjoint region of the result — so the output is bit-identical at
+// any worker count. workers ≤ 1, or a single block, stays on the
+// calling goroutine with zero synchronisation.
+func forEachBlock(n, workers int, fn func(s *msScratch, base, cnt int)) {
+	nBlocks := (n + blockBits - 1) / blockBits
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		s := msPool.Get().(*msScratch)
+		defer msPool.Put(s)
+		for base := 0; base < n; base += blockBits {
+			fn(s, base, min(blockBits, n-base))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := msPool.Get().(*msScratch)
+			defer msPool.Put(s)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				base := b * blockBits
+				fn(s, base, min(blockBits, n-base))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // AllForemost computes the foremost arrival time of every ordered
 // (src, dst) pair in one bit-parallel contact sweep per 64-source block
 // — the batch equivalent of n² Foremost calls, bit-identical to them
 // (asserted by the randomized differential tests). An invalid mode
 // yields an all-unreachable matrix, matching Foremost's ok=false.
 func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
+	return AllForemostParallel(c, mode, t0, 1)
+}
+
+// AllForemostParallel is AllForemost with the 64-source blocks fanned
+// out across up to `workers` goroutines. Blocks write disjoint row
+// ranges of the matrix, so the result is bit-identical to the
+// sequential sweep at any worker count; above one block (N > 64) the
+// wall-clock scales with cores. The engine's Metrics path uses it with
+// the engine worker width.
+func AllForemostParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ArrivalMatrix {
 	n := c.Graph().NumNodes()
 	m := &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
 	for i := range m.arr {
@@ -462,10 +514,7 @@ func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
 	if !mode.IsValid() {
 		return m
 	}
-	s := msPool.Get().(*msScratch)
-	defer msPool.Put(s)
-	for base := 0; base < n; base += blockBits {
-		cnt := min(blockBits, n-base)
+	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
 		s.sweep(c, mode, base, cnt, t0, true)
 		for v := 0; v < n; v++ {
 			w := s.reached[v]
@@ -478,7 +527,7 @@ func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
 				m.arr[(base+j)*n+v] = s.first[fb+j]
 			}
 		}
-	}
+	})
 	return m
 }
 
@@ -487,21 +536,27 @@ func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
 // one reachability-only sweep per 64-source block, with early exit as
 // soon as a block's masks are all ones.
 func ReachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ReachMatrix {
+	return ReachabilityMatrixParallel(c, mode, t0, 1)
+}
+
+// ReachabilityMatrixParallel is ReachabilityMatrix with the 64-source
+// blocks fanned out across up to `workers` goroutines; each block
+// writes its own word column, so the result is bit-identical at any
+// worker count.
+func ReachabilityMatrixParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ReachMatrix {
 	n := c.Graph().NumNodes()
 	words := (n + blockBits - 1) / blockBits
 	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
 	if n == 0 || !mode.IsValid() {
 		return m
 	}
-	s := msPool.Get().(*msScratch)
-	defer msPool.Put(s)
-	for base, b := 0, 0; base < n; base, b = base+blockBits, b+1 {
-		cnt := min(blockBits, n-base)
+	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
+		b := base / blockBits
 		s.sweep(c, mode, base, cnt, t0, false)
 		for v := 0; v < n; v++ {
 			m.bits[v*words+b] = s.reached[v]
 		}
-	}
+	})
 	return m
 }
 

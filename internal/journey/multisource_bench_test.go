@@ -2,6 +2,7 @@ package journey
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"tvgwait/internal/gen"
@@ -24,13 +25,9 @@ func requireSlowBench(b *testing.B) {
 // gap at benchmark scale (~43k contacts).
 func markov256(b *testing.B) *tvg.ContactSet {
 	b.Helper()
-	g, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
+	c, err := gen.EdgeMarkovian(gen.EdgeMarkovianParams{
 		Nodes: 256, PBirth: 0.004, PDeath: 0.6, Horizon: 100, Seed: 1,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	c, err := tvg.Compile(g, 100)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -115,6 +112,22 @@ func BenchmarkAllForemost256(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := AllForemost(c, Wait(), 0)
+		if !m.Connected() {
+			b.Fatal("benchmark network must be connected under wait")
+		}
+	}
+}
+
+// BenchmarkAllForemost256Parallel measures the same matrix with the
+// four 64-source blocks fanned out across goroutines. On a single-core
+// host it matches the sequential sweep (the fan-out is pure overhead
+// recovery); with ≥4 cores it approaches a 4× speedup.
+func BenchmarkAllForemost256Parallel(b *testing.B) {
+	c := markov256(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := AllForemostParallel(c, Wait(), 0, workers)
 		if !m.Connected() {
 			b.Fatal("benchmark network must be connected under wait")
 		}

@@ -3,6 +3,7 @@ package journey
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"tvgwait/internal/gen"
@@ -96,11 +97,7 @@ func TestMultiSourceBlockBoundaries(t *testing.T) {
 		{130, 0.0015, 30}, // 3 blocks, 2-bit tail
 	}
 	for _, tc := range cases {
-		g, err := gen.Bernoulli(tc.nodes, tc.p, tc.horizon, 42)
-		if err != nil {
-			t.Fatal(err)
-		}
-		c, err := tvg.Compile(g, tc.horizon)
+		c, err := gen.Bernoulli(tc.nodes, tc.p, tc.horizon, 42, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,11 +205,7 @@ func TestMultiSourceEarlyExitReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sparseG, err := gen.Bernoulli(70, 0.003, 40, 11)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cSparse, err := tvg.Compile(sparseG, 40)
+	cSparse, err := gen.Bernoulli(70, 0.003, 40, 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,5 +337,51 @@ func TestMultiSourceEdgeCases(t *testing.T) {
 	r := ReachabilityMatrix(c2, Wait(), 0)
 	if r.Reachable(0, 7) || r.Reachable(-1, 0) {
 		t.Error("Reachable out of range should be false")
+	}
+}
+
+// TestParallelSweepsMatchSequential pins the block fan-out contract:
+// AllForemostParallel and ReachabilityMatrixParallel must be
+// bit-identical to the sequential sweeps at every worker count — blocks
+// are independent and write disjoint result regions, so parallelism
+// must never be observable in the output.
+func TestParallelSweepsMatchSequential(t *testing.T) {
+	nets := []struct {
+		name string
+		c    *tvg.ContactSet
+	}{}
+	// Multi-block (>64 nodes) networks, including one with an uneven
+	// tail block and one where some blocks early-exit and others don't.
+	for _, tc := range []struct {
+		nodes   int
+		p       float64
+		horizon tvg.Time
+	}{{70, 0.02, 24}, {130, 0.0015, 30}, {192, 0.008, 40}} {
+		c, err := gen.Bernoulli(tc.nodes, tc.p, tc.horizon, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets = append(nets, struct {
+			name string
+			c    *tvg.ContactSet
+		}{fmt.Sprintf("bernoulli-n%d", tc.nodes), c})
+	}
+	for _, net := range nets {
+		for _, mode := range []Mode{NoWait(), BoundedWait(2), Wait()} {
+			want := AllForemost(net.c, mode, 0)
+			wantR := ReachabilityMatrix(net.c, mode, 0)
+			for _, workers := range []int{0, 1, 2, 3, 16} {
+				got := AllForemostParallel(net.c, mode, 0, workers)
+				if !slices.Equal(got.arr, want.arr) {
+					t.Fatalf("%s/%s: AllForemostParallel(workers=%d) differs from sequential",
+						net.name, mode, workers)
+				}
+				gotR := ReachabilityMatrixParallel(net.c, mode, 0, workers)
+				if !slices.Equal(gotR.bits, wantR.bits) {
+					t.Fatalf("%s/%s: ReachabilityMatrixParallel(workers=%d) differs from sequential",
+						net.name, mode, workers)
+				}
+			}
+		}
 	}
 }

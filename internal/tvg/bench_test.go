@@ -69,6 +69,63 @@ func BenchmarkCompileHorizonSweep(b *testing.B) {
 	}
 }
 
+// TestAccessorAllocs pins the allocation behaviour of the ContactSet
+// accessors: everything a hot loop touches must be an index walk into
+// the shared backing arrays (or an append into a caller's buffer), not
+// a fresh slice per call. ContactsAt and Departures are the documented
+// allocating conveniences; their Append* forms must be free.
+func TestAccessorAllocs(t *testing.T) {
+	g := New()
+	g.AddNodes(4)
+	for i := 0; i < 6; i++ {
+		p, err := NewPeriodicPresence([]bool{true, i%2 == 0, false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MustAddEdge(Edge{
+			From: Node(i % 4), To: Node((i + 1) % 4), Label: 'a',
+			Presence: p, Latency: ConstLatency(1 + Time(i%2)),
+		})
+	}
+	c, err := Compile(g, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeBuf := make([]EdgeID, 0, g.NumEdges())
+	timeBuf := make([]Time, 0, c.NumContacts())
+	var sink int
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Contacts", func() { sink += len(c.Contacts()) }},
+		{"EdgeRange", func() { lo, hi := c.EdgeRange(2); sink += hi - lo }},
+		{"EdgeContacts", func() { sink += len(c.EdgeContacts(1)) }},
+		{"OutEdges", func() { sink += len(c.OutEdges(0)) }},
+		{"AtTick", func() { sink += len(c.AtTick(5)) }},
+		{"SearchFrom", func() { sink += c.SearchFrom(0, c.NumContacts(), 100) }},
+		{"NumDepartures", func() { sink += c.NumDepartures(0) }},
+		{"PresentAt", func() {
+			if c.PresentAt(0, 3) {
+				sink++
+			}
+		}},
+		{"ArrivalAt", func() { a, _ := c.ArrivalAt(0, 0); sink += int(a) }},
+		{"NextDeparture", func() { d, _ := c.NextDeparture(0, 7); sink += int(d) }},
+		{"EachDeparture", func() {
+			c.EachDeparture(0, 0, 200, func(dep, arr Time) bool { sink += int(arr - dep); return true })
+		}},
+		{"AppendContactsAt", func() { sink += len(c.AppendContactsAt(edgeBuf[:0], 5)) }},
+		{"AppendDepartures", func() { sink += len(c.AppendDepartures(timeBuf[:0], 0)) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per call, want 0", tc.name, allocs)
+		}
+	}
+	_ = sink
+}
+
 func BenchmarkNextDeparture(b *testing.B) {
 	g := New()
 	u := g.AddNode("u")

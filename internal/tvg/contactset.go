@@ -66,7 +66,7 @@ func NewContactSet(g *Graph, horizon Time) (*ContactSet, error) {
 			}
 			l := e.Latency.Crossing(t)
 			if l < 1 {
-				return nil, fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, e.Name, l, t)
+				return nil, fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, g.edgeName(i), l, t)
 			}
 			cs.contacts = append(cs.contacts, Contact{
 				Edge: EdgeID(i), From: e.From, To: e.To, Dep: t, Arr: t + l,
@@ -77,38 +77,46 @@ func NewContactSet(g *Graph, horizon Time) (*ContactSet, error) {
 		}
 		cs.edgeOff[i+1] = int32(len(cs.contacts))
 	}
+	cs.buildIndexes()
+	return cs, nil
+}
 
+// buildIndexes derives the per-node and per-tick offset indexes from the
+// populated contact array and edge index. It is shared by NewContactSet
+// and Builder.Finalize, so the two construction paths produce
+// byte-identical sets by construction.
+func (c *ContactSet) buildIndexes() {
+	g := c.g
 	// Node → outgoing edges, CSR over ascending edge ids.
-	cs.outOff = make([]int32, g.NumNodes()+1)
+	c.outOff = make([]int32, g.NumNodes()+1)
 	for _, e := range g.edges {
-		cs.outOff[e.From+1]++
+		c.outOff[e.From+1]++
 	}
-	for n := 1; n < len(cs.outOff); n++ {
-		cs.outOff[n] += cs.outOff[n-1]
+	for n := 1; n < len(c.outOff); n++ {
+		c.outOff[n] += c.outOff[n-1]
 	}
-	cs.outEdges = make([]EdgeID, g.NumEdges())
-	fill := append([]int32(nil), cs.outOff...)
+	c.outEdges = make([]EdgeID, g.NumEdges())
+	fill := append([]int32(nil), c.outOff...)
 	for i, e := range g.edges {
-		cs.outEdges[fill[e.From]] = EdgeID(i)
+		c.outEdges[fill[e.From]] = EdgeID(i)
 		fill[e.From]++
 	}
 
 	// Departure tick → contacts, by counting sort. Filling in contact
 	// order keeps each tick's bucket in ascending edge order.
-	cs.timeOff = make([]int32, horizon+2)
-	for _, c := range cs.contacts {
-		cs.timeOff[c.Dep+1]++
+	c.timeOff = make([]int32, c.horizon+2)
+	for _, ct := range c.contacts {
+		c.timeOff[ct.Dep+1]++
 	}
-	for t := 1; t < len(cs.timeOff); t++ {
-		cs.timeOff[t] += cs.timeOff[t-1]
+	for t := 1; t < len(c.timeOff); t++ {
+		c.timeOff[t] += c.timeOff[t-1]
 	}
-	cs.byTime = make([]int32, len(cs.contacts))
-	fillT := append([]int32(nil), cs.timeOff...)
-	for i, c := range cs.contacts {
-		cs.byTime[fillT[c.Dep]] = int32(i)
-		fillT[c.Dep]++
+	c.byTime = make([]int32, len(c.contacts))
+	fillT := append([]int32(nil), c.timeOff...)
+	for i, ct := range c.contacts {
+		c.byTime[fillT[ct.Dep]] = int32(i)
+		fillT[ct.Dep]++
 	}
-	return cs, nil
 }
 
 // Graph returns the underlying graph.
@@ -169,17 +177,25 @@ func (c *ContactSet) SearchFrom(lo, hi int, t Time) int {
 }
 
 // Departures returns a copy of the departure times of edge id within the
-// horizon.
+// horizon. It allocates; hot loops should use AppendDepartures with a
+// reused buffer, or walk EdgeContacts directly.
 func (c *ContactSet) Departures(id EdgeID) []Time {
 	lo, hi := c.EdgeRange(id)
 	if lo == hi {
 		return nil
 	}
-	out := make([]Time, hi-lo)
-	for i := range out {
-		out[i] = c.contacts[lo+i].Dep
+	return c.AppendDepartures(make([]Time, 0, hi-lo), id)
+}
+
+// AppendDepartures appends the departure times of edge id (within the
+// horizon, in increasing order) to dst and returns the extended slice.
+// With a dst of sufficient capacity it does not allocate.
+func (c *ContactSet) AppendDepartures(dst []Time, id EdgeID) []Time {
+	lo, hi := c.EdgeRange(id)
+	for i := lo; i < hi; i++ {
+		dst = append(dst, c.contacts[i].Dep)
 	}
-	return out
+	return dst
 }
 
 // NumDepartures returns how many departures edge id has within the horizon.
@@ -229,16 +245,25 @@ func (c *ContactSet) EachDeparture(id EdgeID, from, to Time, fn func(dep, arr Ti
 }
 
 // ContactsAt returns the ids of all edges present at time t, ascending.
+// It allocates a fresh slice per call; hot loops should use
+// AppendContactsAt with a reused buffer, or walk AtTick directly (an
+// index-backed view that never allocates).
 func (c *ContactSet) ContactsAt(t Time) []EdgeID {
 	ks := c.AtTick(t)
 	if len(ks) == 0 {
 		return nil
 	}
-	out := make([]EdgeID, len(ks))
-	for i, k := range ks {
-		out[i] = c.contacts[k].Edge
+	return c.AppendContactsAt(make([]EdgeID, 0, len(ks)), t)
+}
+
+// AppendContactsAt appends the ids of all edges present at time t
+// (ascending) to dst and returns the extended slice. With a dst of
+// sufficient capacity it does not allocate.
+func (c *ContactSet) AppendContactsAt(dst []EdgeID, t Time) []EdgeID {
+	for _, k := range c.AtTick(t) {
+		dst = append(dst, c.contacts[k].Edge)
 	}
-	return out
+	return dst
 }
 
 // TotalContacts returns the total number of (edge, departure) pairs within

@@ -39,7 +39,7 @@ func (g *Graph) WriteDOT(w io.Writer, opts DOTOptions) error {
 		}
 	}
 	for i, e := range g.edges {
-		label := fmt.Sprintf("%s: %c", e.Name, e.Label)
+		label := fmt.Sprintf("%s: %c", g.edgeName(i), e.Label)
 		if opts.ShowSchedules {
 			label += "\\n" + scheduleString(e.Presence) + " " + scheduleString(e.Latency)
 		}

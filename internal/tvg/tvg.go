@@ -137,9 +137,9 @@ func (g *Graph) AddEdge(e Edge) (EdgeID, error) {
 	if e.Latency == nil {
 		return 0, fmt.Errorf("tvg: edge %q has nil latency", e.Name)
 	}
-	if e.Name == "" {
-		e.Name = fmt.Sprintf("e%d", len(g.edges))
-	}
+	// The default name "e<id>" is materialised lazily by Edge/Edges and
+	// the error paths (edgeName): eagerly formatting one string per edge
+	// dominated the allocation profile of generated graphs.
 	g.edges = append(g.edges, e)
 	id := EdgeID(len(g.edges) - 1)
 	g.out[e.From] = append(g.out[e.From], id)
@@ -179,18 +179,33 @@ func (g *Graph) NodeByName(name string) (Node, bool) {
 	return n, ok
 }
 
-// Edge returns a copy of the edge with the given id.
+// edgeName returns edge i's display name, materialising the "e<id>"
+// default for edges added without one.
+func (g *Graph) edgeName(i int) string {
+	if n := g.edges[i].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("e%d", i)
+}
+
+// Edge returns a copy of the edge with the given id. An edge added
+// without a name carries its default name "e<id>" in the copy.
 func (g *Graph) Edge(id EdgeID) (Edge, bool) {
 	if id < 0 || int(id) >= len(g.edges) {
 		return Edge{}, false
 	}
-	return g.edges[id], true
+	e := g.edges[id]
+	e.Name = g.edgeName(int(id))
+	return e, true
 }
 
-// Edges returns a copy of the edge list.
+// Edges returns a copy of the edge list, default names materialised.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))
 	copy(out, g.edges)
+	for i := range out {
+		out[i].Name = g.edgeName(i)
+	}
 	return out
 }
 
@@ -298,15 +313,15 @@ func lcm(a, b Time) (Time, error) {
 func (g *Graph) Validate(sampleHorizon Time) error {
 	for i, e := range g.edges {
 		if !g.ValidNode(e.From) || !g.ValidNode(e.To) {
-			return fmt.Errorf("tvg: edge %d (%q) references unknown node", i, e.Name)
+			return fmt.Errorf("tvg: edge %d (%q) references unknown node", i, g.edgeName(i))
 		}
 		if e.Presence == nil || e.Latency == nil {
-			return fmt.Errorf("tvg: edge %d (%q) has nil schedule", i, e.Name)
+			return fmt.Errorf("tvg: edge %d (%q) has nil schedule", i, g.edgeName(i))
 		}
 		for t := Time(0); t <= sampleHorizon; t++ {
 			if e.Presence.Present(t) {
 				if l := e.Latency.Crossing(t); l < 1 {
-					return fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, e.Name, l, t)
+					return fmt.Errorf("tvg: edge %d (%q) has latency %d < 1 at time %d", i, g.edgeName(i), l, t)
 				}
 			}
 		}

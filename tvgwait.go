@@ -33,6 +33,10 @@ type (
 	Contact = tvg.Contact
 	// Compiled is the pre-CSR name of ContactSet, kept as an alias.
 	Compiled = tvg.Compiled
+	// Builder streams contacts in (edge, departure) order and finalises
+	// them into a ContactSet in one pass — the allocation-free
+	// construction path for generated schedules (see DESIGN.md §6).
+	Builder = tvg.Builder
 	// Presence is an edge availability schedule (ρ restricted to an edge).
 	Presence = tvg.Presence
 	// Latency is an edge crossing-time schedule (ζ restricted to an edge).
@@ -106,6 +110,12 @@ func NewGraph() *Graph { return tvg.New() }
 // Compile scans a graph's schedules over [0, horizon]; all decision
 // procedures operate on the compiled form.
 func Compile(g *Graph, horizon Time) (*Compiled, error) { return tvg.Compile(g, horizon) }
+
+// NewBuilder returns an empty contact-set builder. Reset it, stream
+// edges and contacts in (edge, departure) order, and Finalize into a
+// ContactSet without building a Graph first; a pooled Builder reused
+// across replicates reaches zero steady-state arena allocation.
+func NewBuilder() *Builder { return tvg.NewBuilder() }
 
 // Schedule helpers.
 
@@ -195,6 +205,20 @@ func AllForemost(c *Compiled, mode Mode, t0 Time) *ArrivalMatrix {
 // reachability relation (per source, exactly ReachableSet).
 func ReachabilityMatrix(c *Compiled, mode Mode, t0 Time) *ReachMatrix {
 	return journey.ReachabilityMatrix(c, mode, t0)
+}
+
+// AllForemostParallel is AllForemost with the 64-source blocks fanned
+// out across up to `workers` goroutines. The result is bit-identical
+// to the sequential sweep at any worker count.
+func AllForemostParallel(c *Compiled, mode Mode, t0 Time, workers int) *ArrivalMatrix {
+	return journey.AllForemostParallel(c, mode, t0, workers)
+}
+
+// ReachabilityMatrixParallel is ReachabilityMatrix with the 64-source
+// blocks fanned out across up to `workers` goroutines; bit-identical
+// at any worker count.
+func ReachabilityMatrixParallel(c *Compiled, mode Mode, t0 Time, workers int) *ReachMatrix {
+	return journey.ReachabilityMatrixParallel(c, mode, t0, workers)
 }
 
 // EnumerateJourneys lists every feasible journey from src (departing no
