@@ -1,11 +1,12 @@
 // Command tvgbench regenerates every paper artifact: Table 1 and the
 // Figure 1 language check (E1), the Theorem 2.1/2.2/2.3 validation suites
-// (E2–E4), the quantitative power-of-waiting sweep (E5) and the WQO
-// machinery report (E6). EXPERIMENTS.md records its output.
+// (E2–E4), the quantitative power-of-waiting sweep (E5), the WQO
+// machinery report (E6) and the waiting-spectrum critical-budget sweep
+// (E7). EXPERIMENTS.md records its output.
 //
 // Usage:
 //
-//	tvgbench [-quick] [-seed N] [-maxlen N] [e1|e2|e3|e4|e5|e6|all]
+//	tvgbench [-quick] [-seed N] [-maxlen N] [e1|e2|e3|e4|e5|e6|e7|all]
 package main
 
 import (

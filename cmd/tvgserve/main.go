@@ -7,7 +7,13 @@
 //	POST /simulate  — engine.ScenarioSpec  → engine.Report
 //	POST /journey   — engine.JourneyRequest → engine.JourneyReport
 //	POST /metrics   — engine.MetricsRequest → engine.MetricsReport
+//	POST /spectrum  — engine.SpectrumRequest → engine.SpectrumReport
 //	GET  /healthz   — liveness probe ("ok")
+//
+// /spectrum answers the paper's d-sweep — per-rung connectivity,
+// diameter and eccentricity for a whole ladder of waiting budgets — in
+// ONE wait-spectrum sweep and one engine cache entry, where K /metrics
+// modes used to cost K sweeps and K entries.
 //
 // Every request runs under a server-side timeout, and the number of
 // simulations in flight is bounded; excess requests are rejected with
@@ -28,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +45,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
 	"tvgwait/internal/engine"
@@ -115,6 +124,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /simulate", s.handleSimulate)
 	mux.HandleFunc("POST /journey", s.handleJourney)
 	mux.HandleFunc("POST /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /spectrum", s.handleSpectrum)
 	return mux
 }
 
@@ -200,6 +210,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, report)
 }
 
+func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
+	var req engine.SpectrumRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	report, err := s.eng.Spectrum(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, report)
+}
+
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -212,7 +242,12 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // writeError maps engine failures onto HTTP statuses: spec mistakes are
 // the client's (400), exceeded deadlines are reported as such (504), and
-// anything else is a server fault (500).
+// anything else is a server fault (500). Handlers only reach it before
+// any body byte is written: writeJSON buffers the whole encoding before
+// touching the ResponseWriter, so an encode failure can no longer leave
+// a half-written body behind a 200 header, and a failed *network* write
+// is logged rather than answered (the headers are gone; a second
+// WriteHeader would only log a spurious superfluous-call warning).
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -226,11 +261,38 @@ func writeError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), status)
 }
 
+// respBufPool recycles response encode buffers across requests; buffers
+// that ballooned past respBufMax (a huge histogram, a journey dump) are
+// dropped instead of pinned in the pool.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const respBufMax = 1 << 20
+
+// writeJSON encodes v into a pooled buffer and ships it in one write
+// with an exact Content-Length — no chunked framing, no per-request
+// buffer allocation, and no partially-written body on encode failure.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= respBufMax {
+			buf.Reset()
+			respBufPool.Put(buf)
+		}
+	}()
+	// Compact encoding: indentation cost ~25% of the handler's hot-path
+	// allocations (json.appendIndent re-buffers the whole document) and
+	// inflates every payload; pipe through `jq` for a pretty view.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Nothing has reached the client yet; answer with a clean 500.
 		log.Printf("tvgserve: encode response: %v", err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Headers are out; the client hung up or the connection broke.
+		// Log it — writing an error response now would double-write.
+		log.Printf("tvgserve: write response: %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -247,5 +248,102 @@ func TestPprofMux(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Error("service routes must not serve /debug/pprof/")
+	}
+}
+
+// discardResponseWriter is a zero-cost http.ResponseWriter for handler
+// benchmarks: one reused header map, counted writes, no buffering.
+type discardResponseWriter struct {
+	h http.Header
+	n int64
+}
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponseWriter) Write(p []byte) (int, error) {
+	d.n += int64(len(p))
+	return len(p), nil
+}
+func (d *discardResponseWriter) WriteHeader(int) {}
+
+// BenchmarkHandleMetrics measures the full /metrics handler hot path on
+// a warm engine cache: decode → admission → cached rows → writeJSON.
+// What remains after the first request is almost pure serialization, so
+// this is the ledger benchmark for the pooled response buffers.
+func BenchmarkHandleMetrics(b *testing.B) {
+	srv := newServer(engine.New(engine.Options{}), time.Minute, 4)
+	body := `{
+		"graph": {"model": "markov", "nodes": 32, "birth": 0.05, "death": 0.5, "horizon": 60},
+		"modes": ["nowait", "wait:2", "wait:8", "wait"], "seed": 7
+	}`
+	srv.handleMetrics(&discardResponseWriter{}, httptest.NewRequest("POST", "/metrics", strings.NewReader(body))) // warm the engine caches
+	req := httptest.NewRequest("POST", "/metrics", strings.NewReader(body))
+	rd := strings.NewReader(body)
+	req.Body = io.NopCloser(rd)
+	w := &discardResponseWriter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		srv.handleMetrics(w, req)
+	}
+}
+
+// TestSpectrumEndpoint drives the wait-spectrum route end to end and
+// checks the ladder shape: normalized rungs, monotone reachable pairs,
+// a critical budget consistent with the rows.
+func TestSpectrumEndpoint(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	body := `{
+		"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.5, "horizon": 50},
+		"modes": ["wait", "nowait", "wait:2", "wait:0"], "seed": 7
+	}`
+	resp, err := http.Post(ts.URL+"/spectrum", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spectrum status = %d, want 200", resp.StatusCode)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl == "" {
+		t.Error("spectrum response missing Content-Length (pooled writeJSON sets it)")
+	}
+	var got engine.SpectrumReport
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes != 12 || len(got.Rungs) != 3 {
+		t.Fatalf("spectrum report shape wrong: %+v", got)
+	}
+	want := []string{"nowait", "wait[2]", "wait"}
+	for i, rung := range got.Rungs {
+		if rung.Mode != want[i] {
+			t.Fatalf("rung %d = %q, want %q (normalized ladder)", i, rung.Mode, want[i])
+		}
+		if i > 0 && rung.ReachablePairs < got.Rungs[i-1].ReachablePairs {
+			t.Errorf("rung %s reaches fewer pairs than %s", rung.Mode, got.Rungs[i-1].Mode)
+		}
+	}
+	for _, rung := range got.Rungs {
+		if rung.Connected {
+			if got.FirstConnected != rung.Mode {
+				t.Errorf("firstConnected = %q, want %q", got.FirstConnected, rung.Mode)
+			}
+			break
+		}
+	}
+	// The spectrum endpoint rejects bad ladders like the others.
+	resp2, err := http.Post(ts.URL+"/spectrum", "application/json",
+		strings.NewReader(`{"graph": {"model": "markov", "nodes": 8, "horizon": 10}, "modes": ["bogus"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad ladder status = %d, want 400", resp2.StatusCode)
 	}
 }

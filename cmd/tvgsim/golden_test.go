@@ -29,6 +29,12 @@ func TestGoldenOutputs(t *testing.T) {
 			"-model", "mobility", "-width", "5", "-height", "5", "-nodes", "10",
 			"-horizon", "60", "-messages", "20", "-seed", "3", "-diameter",
 		}},
+		// Captured from this implementation when -spectrum landed; pins
+		// the wait-spectrum table (one ladder sweep) from then on.
+		{"markov_spectrum.golden", []string{
+			"-model", "markov", "-nodes", "16", "-birth", "0.03", "-death", "0.5",
+			"-horizon", "100", "-messages", "50", "-seed", "1", "-spectrum",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.golden, func(t *testing.T) {

@@ -11,6 +11,7 @@
 //	tvgsim -model mobility -width 6 -height 6 -nodes 12 -horizon 120
 //	tvgsim -model markov -nodes 16 -broadcast 0
 //	tvgsim -model markov -nodes 32 -replicates 16 -quantiles
+//	tvgsim -model markov -nodes 32 -spectrum
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator and workload seed")
 	broadcast := fs.Int64("broadcast", -1, "if >= 0: broadcast from this node instead of the unicast sweep")
 	diameter := fs.Bool("diameter", false, "also report the temporal diameter per mode")
+	spectrum := fs.Bool("spectrum", false, "also print the wait spectrum: per-rung connectivity, reachable pairs, diameter and eccentricity quantiles from one ladder sweep")
 	replicates := fs.Int("replicates", 1, "independent replicates pooled into the report")
 	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
 	quantiles := fs.Bool("quantiles", false, "also print latency quantiles per mode")
@@ -113,6 +115,35 @@ func run(args []string, w io.Writer) error {
 			} else {
 				fmt.Fprintf(w, "  %-10s not temporally connected\n", mm.Mode)
 			}
+		}
+	}
+
+	if *spectrum {
+		// The whole ladder in one wait-spectrum sweep: the -modes flag
+		// is normalized into the rung order (least permissive first).
+		rep, err := eng.Spectrum(context.Background(), engine.SpectrumRequest{
+			Graph: spec.Graph, Seed: *seed, Modes: engine.ModeStrings(modes),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nwait spectrum (per waiting budget, one ladder sweep):")
+		fmt.Fprintf(w, "  %-10s %-10s %12s %9s %7s %7s\n",
+			"mode", "connected", "reach-pairs", "diameter", "eccP50", "eccP90")
+		for _, rung := range rep.Rungs {
+			if rung.Connected {
+				fmt.Fprintf(w, "  %-10s %-10s %6d/%-5d %9d %7d %7d\n",
+					rung.Mode, "yes", rung.ReachablePairs, rung.TotalPairs,
+					rung.Diameter, rung.EccP50, rung.EccP90)
+			} else {
+				fmt.Fprintf(w, "  %-10s %-10s %6d/%-5d %9s %7s %7s\n",
+					rung.Mode, "no", rung.ReachablePairs, rung.TotalPairs, "-", "-", "-")
+			}
+		}
+		if rep.FirstConnected != "" {
+			fmt.Fprintf(w, "  first temporally connected at: %s\n", rep.FirstConnected)
+		} else {
+			fmt.Fprintln(w, "  not temporally connected at any rung")
 		}
 	}
 	return nil

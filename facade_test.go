@@ -357,3 +357,66 @@ func TestFacadeBuilder(t *testing.T) {
 		t.Fatal("ReachabilityMatrixParallel disagrees with the schedule")
 	}
 }
+
+// TestFacadeSpectrum drives the wait-spectrum sweep through the facade:
+// ladder normalization, per-rung agreement with AllForemost, and the
+// engine Spectrum request.
+func TestFacadeSpectrum(t *testing.T) {
+	g := tvgwait.NewGraph()
+	first := g.AddNodes(3)
+	a, b, c := first, first+1, first+2
+	pres, err := tvgwait.Periodic([]bool{true, false, false, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]tvgwait.Node{{a, b}, {b, c}, {c, a}} {
+		if _, err := g.AddEdge(tvgwait.Edge{
+			From: e[0], To: e[1], Label: 'x', Presence: pres, Latency: tvgwait.ConstLatency(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, err := tvgwait.Compile(g, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := tvgwait.NewLadder(tvgwait.Wait(), tvgwait.NoWait(), tvgwait.BoundedWait(3), tvgwait.BoundedWait(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.Len() != 3 {
+		t.Fatalf("normalized ladder has %d rungs, want 3", ladder.Len())
+	}
+	res := tvgwait.WaitSpectrum(cs, ladder, 0)
+	resPar := tvgwait.WaitSpectrumParallel(cs, ladder, 0, 4)
+	for i := 0; i < res.NumRungs(); i++ {
+		mode := res.Mode(i)
+		want := tvgwait.AllForemost(cs, mode, 0)
+		for src := a; src <= c; src++ {
+			for dst := a; dst <= c; dst++ {
+				arr, ok := res.Arrivals(i).At(src, dst)
+				warr, wok := want.At(src, dst)
+				if ok != wok || (ok && arr != warr) {
+					t.Errorf("%s: spectrum At(%d,%d) = (%d, %v), AllForemost (%d, %v)",
+						mode, src, dst, arr, ok, warr, wok)
+				}
+				parr, pok := resPar.Arrivals(i).At(src, dst)
+				if ok != pok || (ok && arr != parr) {
+					t.Errorf("%s: parallel spectrum diverges at (%d,%d)", mode, src, dst)
+				}
+			}
+		}
+	}
+
+	eng := tvgwait.NewEngine(tvgwait.EngineOptions{})
+	rep, err := eng.Spectrum(context.Background(), tvgwait.SpectrumRequest{
+		Graph: tvgwait.GraphSpec{Model: "markov", Nodes: 10, Birth: 0.05, Death: 0.5, Horizon: 40},
+		Seed:  3, Modes: []string{"nowait", "wait:2", "wait"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rungs) != 3 || rep.Rungs[0].Mode != "nowait" || rep.Rungs[2].Mode != "wait" {
+		t.Fatalf("engine spectrum shape wrong: %+v", rep.Rungs)
+	}
+}

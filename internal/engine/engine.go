@@ -28,9 +28,14 @@ type Engine struct {
 	workers int
 	cache   *scheduleCache
 	// metrics caches the all-pairs metric rows per (spec, seed, t0,
-	// mode): a hot /metrics spec costs one map hit after the first
-	// computation.
+	// mode): a hot single-mode /metrics spec costs one map hit after
+	// the first computation.
 	metrics *onceCache[*ModeMetrics]
+	// spectra caches the per-rung metric rows of a whole waiting-budget
+	// ladder per (spec, seed, t0, ladder) — one entry for K rungs,
+	// computed by one wait-spectrum sweep. Multi-mode Metrics requests
+	// and the Spectrum API both land here.
+	spectra *onceCache[[]*ModeMetrics]
 	// scratch pools dtn flood state across worker tasks: a worker rents
 	// one Scratch per task, so a run with W workers keeps at most W live
 	// scratches regardless of how many floods it performs.
@@ -56,8 +61,10 @@ func New(opts Options) *Engine {
 		workers: workers,
 		cache:   newScheduleCache(cacheSize),
 		// Metric rows are tiny next to compiled schedules; keep several
-		// modes' worth per cached schedule.
+		// modes' worth per cached schedule, and a couple of whole
+		// ladders (a spectrum entry holds all its rungs).
 		metrics: newOnceCache[*ModeMetrics](8 * cacheSize),
+		spectra: newOnceCache[[]*ModeMetrics](2 * cacheSize),
 	}
 	e.scratch.New = func() any { return dtn.NewScratch() }
 	e.builders.New = func() any { return tvg.NewBuilder() }

@@ -101,6 +101,31 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		Model: req.Graph.Model, Nodes: c.Graph().NumNodes(), Horizon: c.Horizon(),
 		Seed: req.Seed, T0: req.T0, Contacts: c.NumContacts(),
 	}
+	if len(modes) > 1 {
+		// Multi-mode requests ride the wait-spectrum sweep: one contact
+		// pass computes every rung, and one spectra LRU entry replaces
+		// the len(modes) per-mode entries. Rows are byte-identical to
+		// the per-mode path (same metricsFromMatrix over bit-identical
+		// matrices); only the Mode label follows the request's form.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ladder, err := journey.NewLadder(modes...)
+		if err != nil {
+			return nil, specErr("%v", err)
+		}
+		rows, err := e.spectrumRows(c, req.Graph, req.Seed, req.T0, ladder)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			i, _ := ladder.RungOf(mode)
+			row := *rows[i]
+			row.Mode = mode.String()
+			report.Modes = append(report.Modes, row)
+		}
+		return report, nil
+	}
 	for _, mode := range modes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -120,7 +145,13 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 // computeModeMetrics derives one mode's row from the all-pairs foremost
 // matrix, sweeping its source blocks across up to `workers` goroutines.
 func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers int) *ModeMetrics {
-	m := journey.AllForemostParallel(c, mode, t0, workers)
+	return metricsFromMatrix(mode, journey.AllForemostParallel(c, mode, t0, workers))
+}
+
+// metricsFromMatrix summarizes one foremost-arrival matrix into a mode
+// row — shared by the per-mode path (AllForemost) and the spectrum path
+// (WaitSpectrum rungs), so both produce byte-identical rows.
+func metricsFromMatrix(mode journey.Mode, m *journey.ArrivalMatrix) *ModeMetrics {
 	n := m.NumNodes()
 	mm := &ModeMetrics{
 		Mode:           mode.String(),

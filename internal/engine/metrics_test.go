@@ -102,8 +102,10 @@ func TestMetricsWaitDominatesNoWait(t *testing.T) {
 	}
 }
 
-// TestMetricsCaching: a repeated request must hit the metrics LRU, and
-// the cache key must separate seeds, t0 and modes.
+// TestMetricsCaching: a repeated single-mode request must hit the
+// per-mode metrics LRU (keyed by seed, t0 and mode), while a multi-mode
+// request rides the spectrum path and pins ONE spectra entry for the
+// whole ladder instead of one metrics entry per mode.
 func TestMetricsCaching(t *testing.T) {
 	e := New(Options{})
 	req := MetricsRequest{Graph: metricsGraph(), Seed: 1, Modes: []string{"wait"}}
@@ -127,12 +129,28 @@ func TestMetricsCaching(t *testing.T) {
 	if _, err := e.Metrics(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
+	if got := e.metrics.len(); got != 3 {
+		t.Fatalf("cache holds %d rows, want 3 (wait@t0=0, wait@t0=3, seed2)", got)
+	}
+	// Multi-mode: one spectra entry for the ladder, no new per-mode rows.
 	req.Modes = []string{"wait", "nowait"}
 	if _, err := e.Metrics(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.metrics.len(); got != 4 {
-		t.Fatalf("cache holds %d rows, want 4 (wait@t0=0, wait@t0=3, seed2, nowait)", got)
+	if got := e.metrics.len(); got != 3 {
+		t.Fatalf("multi-mode request grew the per-mode cache to %d rows", got)
+	}
+	if got := e.spectra.len(); got != 1 {
+		t.Fatalf("multi-mode request left %d spectra entries, want 1", got)
+	}
+	// A repeat — and a reordered duplicate-bearing ladder normalizing to
+	// the same rungs — hits the same entry.
+	req.Modes = []string{"nowait", "wait", "wait:0"}
+	if _, err := e.Metrics(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.spectra.len(); got != 1 {
+		t.Fatalf("normalized-equal ladder added a spectra entry (%d total)", got)
 	}
 }
 

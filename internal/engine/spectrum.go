@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// SpectrumRequest asks for the waiting spectrum of a generated network:
+// the all-pairs journey metrics of an entire ladder of waiting budgets
+// {nowait, d1 < … < dK, wait}, computed by ONE bit-parallel contact
+// sweep instead of one per budget. This is the paper's inclusion chain
+// L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait measured at the network
+// level — what changes as you allow more waiting.
+type SpectrumRequest struct {
+	// Graph declares the network generator.
+	Graph GraphSpec `json:"graph"`
+	// Seed is the generator seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Modes lists the ladder's waiting budgets in ParseMode syntax. The
+	// ladder is normalized — sorted from least to most permissive,
+	// duplicates (including wait:0 ≡ nowait) collapsed — and the
+	// response carries one rung per normalized budget. Empty defaults
+	// to ["nowait","wait:1","wait:2","wait:4","wait:8","wait"].
+	Modes []string `json:"modes,omitempty"`
+	// T0 is the earliest departure time (default 0).
+	T0 tvg.Time `json:"t0,omitempty"`
+}
+
+// defaultLadder is the spectrum ladder used when a request names no
+// modes: the two ends of the expressivity gap plus a geometric sweep of
+// bounded budgets between them.
+var defaultLadder = []string{"nowait", "wait:1", "wait:2", "wait:4", "wait:8", "wait"}
+
+// SpectrumReport is the per-rung metric table of one compiled network,
+// least permissive rung first.
+type SpectrumReport struct {
+	Model    string   `json:"model"`
+	Nodes    int      `json:"nodes"`
+	Horizon  tvg.Time `json:"horizon"`
+	Seed     int64    `json:"seed"`
+	T0       tvg.Time `json:"t0"`
+	Contacts int      `json:"contacts"`
+	// Rungs holds one metrics row per normalized ladder rung.
+	Rungs []ModeMetrics `json:"rungs"`
+	// FirstConnected names the least permissive rung at which the
+	// network is temporally connected — the critical waiting budget.
+	// Empty if no rung connects it.
+	FirstConnected string `json:"firstConnected,omitempty"`
+}
+
+// Spectrum resolves a spectrum request against the (cached) compiled
+// schedule of the request's graph. The whole ladder costs one
+// wait-spectrum sweep (its 64-source blocks fanned across the engine's
+// worker width) and one LRU entry per (spec, seed, t0, ladder) — where
+// the per-mode Metrics path would pay one sweep and one cache entry per
+// budget.
+func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumReport, error) {
+	if len(req.Modes) == 0 {
+		req.Modes = defaultLadder
+	}
+	modes, err := ParseModes(req.Modes)
+	if err != nil {
+		return nil, err
+	}
+	if len(modes) > maxModes {
+		return nil, specErr("at most %d modes, got %d", maxModes, len(modes))
+	}
+	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
+		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
+	}
+	ladder, err := journey.NewLadder(modes...)
+	if err != nil {
+		return nil, specErr("%v", err)
+	}
+	c, err := e.ContactSet(req.Graph, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, err := e.spectrumRows(c, req.Graph, req.Seed, req.T0, ladder)
+	if err != nil {
+		return nil, err
+	}
+	report := &SpectrumReport{
+		Model: req.Graph.Model, Nodes: c.Graph().NumNodes(), Horizon: c.Horizon(),
+		Seed: req.Seed, T0: req.T0, Contacts: c.NumContacts(),
+		Rungs: make([]ModeMetrics, len(rows)),
+	}
+	for i, row := range rows {
+		report.Rungs[i] = *row
+		if report.FirstConnected == "" && row.Connected {
+			report.FirstConnected = row.Mode
+		}
+	}
+	return report, nil
+}
+
+// spectrumRows returns the per-rung metric rows of (spec, seed, t0,
+// ladder): one WaitSpectrum sweep, cached as a single spectra LRU entry
+// keyed by the normalized ladder. Rows are shared with the cache; treat
+// them as read-only (Metrics copies before relabeling).
+func (e *Engine) spectrumRows(c *tvg.ContactSet, g GraphSpec, seed int64, t0 tvg.Time, ladder journey.Ladder) ([]*ModeMetrics, error) {
+	key := fmt.Sprintf("%s|t0%d|ladder:%s", g.key(seed), t0, ladder)
+	return e.spectra.get(key, func() ([]*ModeMetrics, error) {
+		res := journey.WaitSpectrumParallel(c, ladder, t0, e.workers)
+		rows := make([]*ModeMetrics, res.NumRungs())
+		for i := range rows {
+			rows[i] = metricsFromMatrix(res.Mode(i), res.Arrivals(i))
+		}
+		return rows, nil
+	})
+}

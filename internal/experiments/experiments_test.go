@@ -101,6 +101,22 @@ func TestE6Report(t *testing.T) {
 	}
 }
 
+func TestE7Report(t *testing.T) {
+	var b strings.Builder
+	if err := E7(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E7", "critical", "markov sparse", "grid mobility", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("E7 reported an inclusion failure:\n%s", out)
+	}
+}
+
 func TestAblationsReport(t *testing.T) {
 	var b strings.Builder
 	if err := Ablations(&b, quickOpts()); err != nil {
@@ -136,7 +152,7 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"} {
 		if !strings.Contains(out, "== "+want) {
 			t.Errorf("RunAll missing section %s", want)
 		}

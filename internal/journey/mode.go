@@ -83,8 +83,11 @@ func (m Mode) WindowEnd(arr, horizon tvg.Time) tvg.Time {
 	if !finite {
 		return horizon
 	}
+	// arr + d wraps for huge bounds (e.g. BoundedWait(math.MaxInt64)),
+	// which would place the window end *before* arr; a wrapped sum is
+	// past any horizon, so clamp it there too.
 	end := arr + d
-	if end > horizon {
+	if end > horizon || end < arr {
 		return horizon
 	}
 	return end

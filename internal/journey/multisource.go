@@ -457,13 +457,21 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 // any worker count. workers ≤ 1, or a single block, stays on the
 // calling goroutine with zero synchronisation.
 func forEachBlock(n, workers int, fn func(s *msScratch, base, cnt int)) {
+	blockFanOut(&msPool, n, workers, fn)
+}
+
+// blockFanOut is the scratch-agnostic body of forEachBlock, shared with
+// the wait-spectrum sweep (which rents spScratch instead): one atomic
+// block counter, one pooled scratch per goroutine, no other
+// synchronisation.
+func blockFanOut[S any](pool *sync.Pool, n, workers int, fn func(s S, base, cnt int)) {
 	nBlocks := (n + blockBits - 1) / blockBits
 	if workers > nBlocks {
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		s := msPool.Get().(*msScratch)
-		defer msPool.Put(s)
+		s := pool.Get().(S)
+		defer pool.Put(s)
 		for base := 0; base < n; base += blockBits {
 			fn(s, base, min(blockBits, n-base))
 		}
@@ -475,8 +483,8 @@ func forEachBlock(n, workers int, fn func(s *msScratch, base, cnt int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := msPool.Get().(*msScratch)
-			defer msPool.Put(s)
+			s := pool.Get().(S)
+			defer pool.Put(s)
 			for {
 				b := int(next.Add(1)) - 1
 				if b >= nBlocks {

@@ -1,0 +1,783 @@
+package journey
+
+// Wait-spectrum sweep: the all-pairs foremost-arrival matrix for an
+// entire ladder of waiting budgets {nowait, d1 < … < dK, wait} in ONE
+// departure-ordered pass over the contact stream per 64-source block,
+// instead of one AllForemost pass per budget.
+//
+// The ladder is the paper's central object — the inclusion chain
+// L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait (d ≤ d') — and the sweep
+// exploits exactly that monotonicity. Rungs are ordered by
+// Mode.AtLeastAsPermissive, so every per-node quantity is *nested
+// across rungs*:
+//
+//	win_r   ⊆ win_{r+1}    (a copy usable under budget d is usable under d' ≥ d)
+//	pend_r  ⊆ pend_{r+1}   (arrival masks are forwarded from nested live masks)
+//	lastArr_r ≤ lastArr_{r+1}
+//
+// The per-rung planes are laid out rung-contiguous ([node*K + rung],
+// [(node*64+bit)*K + rung], [cell*K + rung]), so the K words a contact
+// or a due-drain touches for one node share a cache line (K ≤ 8 is one
+// line exactly) — the rung loop costs far less than K separate sweeps,
+// whose tick loops, contact iteration, grid scheduling and scratch
+// clears are all paid once here. Nesting is also what makes the shared
+// due buckets sound: a pending cell's top-rung word is non-zero
+// whenever any rung's word is, so one due entry per (node, tick) drains
+// all K rungs.
+//
+// Per rung the update rules are verbatim msScratch.sweep — same word
+// dedup against the pending cell, same lastArr-refreshed expiry at
+// a+d_r+1, same terminal handling past the horizon — so each rung's
+// state evolves exactly as its independent single-mode sweep would, and
+// every rung's matrix is bit-identical to AllForemost under that rung's
+// mode (pinned by the randomized differential tests in
+// spectrum_test.go). A per-(node, bit) "minimal live rung" small-int
+// plane alone cannot replace the per-rung lastArr planes: two copies
+// (arrival 5, rung 2) and (arrival 9, rung 4) form a Pareto staircase —
+// which rung is live depends on *which* arrival refreshed it — so
+// rung-aware expiry needs the latest arrival per rung prefix. See
+// DESIGN.md §7.
+
+import (
+	"errors"
+	"math/bits"
+	"slices"
+	"strings"
+	"sync"
+
+	"tvgwait/internal/tvg"
+)
+
+// Ladder is a normalized ladder of waiting budgets: modes sorted from
+// least to most permissive (nowait, then bounded waits by increasing d,
+// then wait), with duplicates — including BoundedWait(0), which is
+// nowait — collapsed. The zero value is an empty ladder; build one with
+// NewLadder. Normalization is horizon-independent: wait[d] with
+// d ≥ horizon stays a distinct rung from wait (their sweep results
+// coincide, their labels do not).
+type Ladder struct {
+	modes []Mode
+}
+
+// NewLadder normalizes modes into a ladder. It rejects an empty list
+// and invalid (zero-value) modes; order and duplicates in the input are
+// irrelevant.
+func NewLadder(modes ...Mode) (Ladder, error) {
+	if len(modes) == 0 {
+		return Ladder{}, errors.New("journey: ladder needs at least one mode")
+	}
+	var ds []tvg.Time
+	hasWait := false
+	for _, m := range modes {
+		if !m.IsValid() {
+			return Ladder{}, errors.New("journey: invalid mode in ladder")
+		}
+		if d, finite := m.Bound(); finite {
+			ds = append(ds, d)
+		} else {
+			hasWait = true
+		}
+	}
+	slices.Sort(ds)
+	ds = slices.Compact(ds)
+	out := make([]Mode, 0, len(ds)+1)
+	for _, d := range ds {
+		if d == 0 {
+			out = append(out, NoWait())
+		} else {
+			out = append(out, BoundedWait(d))
+		}
+	}
+	if hasWait {
+		out = append(out, Wait())
+	}
+	if len(out) > blockBits {
+		return Ladder{}, errors.New("journey: ladder has more than 64 distinct rungs")
+	}
+	return Ladder{modes: out}, nil
+}
+
+// Len returns the number of rungs.
+func (l Ladder) Len() int { return len(l.modes) }
+
+// Mode returns rung i's waiting semantics (canonical form: NoWait for
+// d = 0, BoundedWait(d) otherwise, Wait last).
+func (l Ladder) Mode(i int) Mode { return l.modes[i] }
+
+// Modes returns a copy of the normalized rungs, least permissive first.
+func (l Ladder) Modes() []Mode { return slices.Clone(l.modes) }
+
+// RungOf returns the rung index a mode maps to after normalization:
+// modes with the same Bound land on the same rung (nowait ≡ wait[0]).
+// ok is false for invalid modes and budgets not in the ladder.
+func (l Ladder) RungOf(m Mode) (int, bool) {
+	if !m.IsValid() {
+		return 0, false
+	}
+	d, finite := m.Bound()
+	if !finite {
+		if n := len(l.modes); n > 0 {
+			if _, f := l.modes[n-1].Bound(); !f {
+				return n - 1, true
+			}
+		}
+		return 0, false
+	}
+	for i, rm := range l.modes {
+		if rd, rf := rm.Bound(); rf && rd == d {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the ladder as its comma-separated canonical mode
+// names, e.g. "nowait,wait[2],wait" — stable under re-normalization,
+// usable as a cache key.
+func (l Ladder) String() string {
+	names := make([]string, len(l.modes))
+	for i, m := range l.modes {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ",")
+}
+
+// SpectrumResult holds one foremost-arrival matrix per ladder rung, all
+// computed by a single contact sweep per 64-source block. Rung i's
+// matrix is bit-identical to AllForemost(c, ladder.Mode(i), t0).
+type SpectrumResult struct {
+	ladder Ladder
+	t0     tvg.Time
+	mats   []*ArrivalMatrix
+}
+
+// Ladder returns the normalized ladder the spectrum was computed for.
+func (r *SpectrumResult) Ladder() Ladder { return r.ladder }
+
+// T0 returns the earliest-departure time of the sweep.
+func (r *SpectrumResult) T0() tvg.Time { return r.t0 }
+
+// NumRungs returns the number of rungs (== Ladder().Len()).
+func (r *SpectrumResult) NumRungs() int { return len(r.mats) }
+
+// Mode returns rung i's waiting semantics.
+func (r *SpectrumResult) Mode(i int) Mode { return r.ladder.Mode(i) }
+
+// Arrivals returns rung i's all-pairs foremost-arrival matrix.
+func (r *SpectrumResult) Arrivals(i int) *ArrivalMatrix { return r.mats[i] }
+
+// ArrivalsFor returns the matrix of the rung a mode normalizes to; ok
+// is false if the budget is not in the ladder.
+func (r *SpectrumResult) ArrivalsFor(m Mode) (*ArrivalMatrix, bool) {
+	i, ok := r.ladder.RungOf(m)
+	if !ok {
+		return nil, false
+	}
+	return r.mats[i], true
+}
+
+// Reach packs rung i's reachability relation into a bitset, exactly
+// ReachabilityMatrix(c, ladder.Mode(i), t0).
+func (r *SpectrumResult) Reach(i int) *ReachMatrix {
+	m := r.mats[i]
+	words := (m.n + blockBits - 1) / blockBits
+	rm := &ReachMatrix{n: m.n, words: words, bits: make([]uint64, m.n*words)}
+	for src := 0; src < m.n; src++ {
+		row := m.arr[src*m.n : (src+1)*m.n]
+		for dst, a := range row {
+			if a >= 0 {
+				rm.bits[dst*words+src/blockBits] |= 1 << (uint(src) % blockBits)
+			}
+		}
+	}
+	return rm
+}
+
+// FirstConnected returns the least permissive rung at which the network
+// is temporally connected — the critical waiting budget of the
+// spectrum. ok is false if no rung connects it.
+func (r *SpectrumResult) FirstConnected() (int, bool) {
+	for i, m := range r.mats {
+		if m.Connected() {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// spExpire is one scheduled frontier-expiry check of the spectrum
+// sweep: bits `word` from the arrival batch that came due at window
+// index `batch` may stop being rung-`rung`-live when this bucket's tick
+// is reached (the bucket sits at batch + d_rung + 1). Bits found stale
+// cascade into a rung+1 check at that rung's later deadline, so one
+// arrival schedules one check at its arrival rung rather than one per
+// rung — refreshed bits leave the cascade at the first check.
+type spExpire struct {
+	node  int32
+	rung  int32
+	batch int64
+	word  uint64
+}
+
+// spScratch is the reusable state of one spectrum-sweep block: the
+// msScratch layout with a rung dimension appended to every plane (see
+// the file comment for the layout and the nesting invariant). Like
+// msScratch it is self-cleaning: every pending cell written is zeroed
+// when its tick drains (or by the post-loop cleanup on early exit).
+//
+// The per-bit tables are *slotted by arrival rung* rather than
+// replicated per rung: an arrival event whose minimal feasible rung is
+// q writes exactly one slot (q), and readers take the prefix over
+// slots ≤ r — min for foremost arrivals, max for latest due arrivals.
+// This is what makes a K-rung sweep cost far less than K passes: the
+// per-bit work of one arrival is O(1) instead of O(K − q), and in the
+// common case (a fresh copy, live at every rung) q = 0 saves the whole
+// fan. The lastArr slots carry monotonically growing epoch stamps
+// (stamp0 + window index) instead of raw ticks so reuse across sweeps
+// needs no O(n·64·k) clear: a stale slot from an earlier sweep always
+// compares below the current sweep's refresh threshold.
+type spScratch struct {
+	k       int      // rung count of the current sweep
+	win     []uint64 // [v*k+r]: sources usable at v this tick, rung r
+	reached []uint64 // [v*k+r]: sources that have ever reached v at rung r
+	// first[(v*k+q)*64+j]: earliest arrival among events whose arrival
+	// rung is exactly q. Only *staged* slots are meaningful — stage bit
+	// q of stageMask[v*64+j] marks them — and rung r's foremost arrival
+	// is the prefix-min over staged slots ≤ r at extraction. An event
+	// therefore writes one slot, not one per rung it newly reaches.
+	// Rung-major, so recording a word of bits writes contiguously.
+	first []tvg.Time
+	// stageMask[v*64+j]: bit q set iff slot q of `first` holds a value
+	// from this sweep. Assigned (not OR-ed) on the bit's first stage,
+	// so it needs no clearing between sweeps.
+	stageMask []uint64
+	// lastArr[(v*k+q)*64+j]: epoch stamp of the latest due arrival with
+	// arrival rung exactly q; rung r's refresh test is a prefix-max.
+	lastArr []tvg.Time
+	// lastAny[v*64+j]: epoch stamp of the latest due arrival at any
+	// rung — a one-probe filter in front of the prefix-max walk: a bit
+	// with no fresh arrival anywhere (the common case for a true
+	// expiry) is proven stale without touching the per-rung slots.
+	lastAny   []tvg.Time
+	stamp0    tvg.Time // epoch base of the current sweep's lastArr stamps
+	nextStamp tvg.Time // first stamp value available to the next sweep
+	grid      []uint64 // dense (node, tick, rung) pending-arrival words
+	sparse    map[int64]uint64
+	due       [][]int32    // per tick: nodes with a pending cell (any rung)
+	expire    [][]spExpire // per tick: words whose window may have ended
+	d         []tvg.Time   // per rung: pause bound (finite rungs)
+	finite    []bool       // per rung: bounded budget?
+	anyFinite bool
+
+	remaining []int      // per rung: (node, source) pairs not yet reached
+	maxFirst  []tvg.Time // per rung: upper bound on recorded first arrivals
+	// topActive gates the per-rung work: rungs ≥ topActive are done —
+	// they reached every pair and no future arrival can undercut a
+	// recorded first — so their state is frozen exactly where their
+	// independent single-mode sweeps would have early-exited. Done
+	// rungs form a suffix in the common case (a more permissive rung
+	// reaches everything no later and with no-worse arrivals); when
+	// out-of-order arrivals break that, lower done rungs simply keep
+	// running, which is wasted work but never wrong (post-done updates
+	// are no-ops on the recorded results).
+	topActive int
+}
+
+var spPool = sync.Pool{New: func() any { return new(spScratch) }}
+
+// prepare sizes the buffers for n nodes, k rungs and a span-tick window
+// and clears the per-(node, rung) masks. first needs no clearing (it is
+// only read for slots whose reached bit is set this sweep), and lastArr
+// is made stale-proof by the epoch stamps: the sweep claims a fresh
+// stamp range [stamp0, stamp0+span], so any value a previous sweep left
+// behind is below every refresh threshold this sweep can compute.
+func (s *spScratch) prepare(ladder Ladder, n int, span int64, dense bool) {
+	s.stamp0 = s.nextStamp
+	s.nextStamp += span + 1
+	k := ladder.Len()
+	s.k = k
+	if len(s.win) < n*k {
+		s.win = make([]uint64, n*k)
+		s.reached = make([]uint64, n*k)
+	} else {
+		clear(s.win[:n*k])
+		clear(s.reached[:n*k])
+	}
+	if len(s.first) < n*blockBits*k {
+		s.first = make([]tvg.Time, n*blockBits*k)
+		s.lastArr = make([]tvg.Time, n*blockBits*k)
+	}
+	if len(s.lastAny) < n*blockBits {
+		s.lastAny = make([]tvg.Time, n*blockBits)
+		s.stageMask = make([]uint64, n*blockBits)
+	}
+	if cap(s.d) < k {
+		s.d = make([]tvg.Time, k)
+		s.finite = make([]bool, k)
+		s.remaining = make([]int, k)
+		s.maxFirst = make([]tvg.Time, k)
+	}
+	s.d, s.finite = s.d[:k], s.finite[:k]
+	s.remaining, s.maxFirst = s.remaining[:k], s.maxFirst[:k]
+	s.anyFinite = false
+	for r := 0; r < k; r++ {
+		s.d[r], s.finite[r] = ladder.Mode(r).Bound()
+		s.anyFinite = s.anyFinite || s.finite[r]
+	}
+	if span > 0 {
+		if int64(len(s.due)) < span {
+			s.due = make([][]int32, span)
+			s.expire = make([][]spExpire, span)
+		}
+		if dense {
+			if int64(len(s.grid)) < int64(n)*span*int64(k) {
+				s.grid = make([]uint64, int64(n)*span*int64(k))
+			}
+		} else if s.sparse == nil {
+			s.sparse = make(map[int64]uint64)
+		}
+	}
+}
+
+// cell reads pending word (cellBase + r); cellBase is (v*span+idx)*k.
+func (s *spScratch) cell(cellBase int64, r int, dense bool) uint64 {
+	if dense {
+		return s.grid[cellBase+int64(r)]
+	}
+	return s.sparse[cellBase+int64(r)]
+}
+
+// setCell writes pending word (cellBase + r).
+func (s *spScratch) setCell(cellBase int64, r int, w uint64, dense bool) {
+	if dense {
+		s.grid[cellBase+int64(r)] = w
+		return
+	}
+	if w == 0 {
+		delete(s.sparse, cellBase+int64(r))
+		return
+	}
+	s.sparse[cellBase+int64(r)] = w
+}
+
+// record folds one rung's arrival mark into the foremost bookkeeping:
+// w are the bits of an arrival event visible at rung r, lowest the
+// subset for which r is the event's minimal feasible rung. Bits newly
+// reached at r initialize their slot; bits already reached only
+// min-update at the event's arrival rung (lowest) — higher slots are
+// covered by the prefix-min at extraction, so the per-rung fan of the
+// replicated scheme is skipped.
+func (s *spScratch) record(v, r int, w, lowest, seenNew uint64, arr tvg.Time) uint64 {
+	k := s.k
+	rb := v*k + r
+	oldReached := s.reached[rb]
+	newBits := w &^ oldReached
+	fb := rb * blockBits
+	ab := v * blockBits
+	rbit := uint64(1) << uint(r)
+	if newBits != 0 {
+		s.reached[rb] = oldReached | newBits
+		s.remaining[r] -= bits.OnesCount64(newBits)
+		if arr > s.maxFirst[r] {
+			s.maxFirst[r] = arr
+		}
+		// Stage the event once, at its arrival rung: bits already staged
+		// at a lower rung this event (seenNew) skip the slot write — the
+		// prefix-min covers them.
+		topPre := s.reached[v*k+k-1]
+		if r == k-1 {
+			topPre = oldReached
+		}
+		for mw := newBits &^ seenNew; mw != 0; mw &= mw - 1 {
+			j := bits.TrailingZeros64(mw)
+			s.first[fb+j] = arr
+			if topPre>>uint(j)&1 == 0 {
+				s.stageMask[ab+j] = rbit // first stage this sweep: reset
+			} else {
+				s.stageMask[ab+j] |= rbit
+			}
+		}
+	}
+	// Min-updates can only fire for out-of-order arrivals (a later
+	// departure arriving earlier than a recorded first); rung r's
+	// foremost arrivals are bounded by maxFirst[r], so arrivals at or
+	// past it skip the probe loop entirely — the common case on
+	// monotone streams.
+	if arr >= s.maxFirst[r] {
+		return newBits
+	}
+	for mw := lowest & oldReached; mw != 0; mw &= mw - 1 {
+		j := bits.TrailingZeros64(mw)
+		if s.stageMask[ab+j]&rbit != 0 {
+			if arr < s.first[fb+j] {
+				s.first[fb+j] = arr
+			}
+		} else {
+			s.first[fb+j] = arr
+			s.stageMask[ab+j] |= rbit
+		}
+	}
+	return newBits
+}
+
+// sweep floods the source block [base, base+cnt) through the contact
+// stream once, maintaining every rung's frontier simultaneously.
+// Results stay in the scratch for the caller to extract before the next
+// sweep.
+//
+// Early exit mirrors the arrival rule of msScratch.sweep, quantified
+// over rungs: stop once every rung has reached every (node, source)
+// pair AND no future arrival (≥ t+1) can undercut a recorded first
+// (t+1 ≥ maxFirst). Rungs that never complete (nowait on a sparse
+// network) keep the sweep running to the horizon — exactly as their
+// independent passes would.
+func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time) {
+	n := c.Graph().NumNodes()
+	k := ladder.Len()
+	horizon := c.Horizon()
+	span := int64(0)
+	if horizon >= t0 {
+		span = int64(horizon-t0) + 1
+	}
+	dense := span > 0 && int64(n)*span*int64(k) <= msDenseCellLimit
+	s.prepare(ladder, n, span, dense)
+
+	for r := 0; r < k; r++ {
+		s.remaining[r] = n * cnt
+		s.maxFirst[r] = t0
+	}
+	s.topActive = k
+
+	// Seed: source j starts at node base+j holding its own bit at every
+	// rung (the empty journey has no pauses), arrival t0 — one stage at
+	// rung 0.
+	for j := 0; j < cnt; j++ {
+		src := base + j
+		bit := uint64(1) << uint(j)
+		sb := src * k
+		for r := 0; r < k; r++ {
+			s.reached[sb+r] |= bit
+			s.remaining[r]--
+		}
+		s.first[sb*blockBits+j] = t0
+		s.stageMask[src*blockBits+j] = 1
+		if span > 0 {
+			cellBase := int64(src) * span * int64(k)
+			if s.cell(cellBase, k-1, dense) == 0 {
+				s.due[0] = append(s.due[0], int32(src))
+			}
+			for r := 0; r < k; r++ {
+				s.setCell(cellBase, r, s.cell(cellBase, r, dense)|bit, dense)
+			}
+		}
+	}
+	if span == 0 {
+		return
+	}
+
+	contacts := c.Contacts()
+	t := t0
+	for ; t <= horizon; t++ {
+		// Retire done rungs from the top: a rung whose pairs are all
+		// reached and whose recorded firsts no future arrival (≥ t+1)
+		// can undercut is exactly where its independent sweep would
+		// early-exit, so its state freezes and its per-rung work stops.
+		ta := s.topActive
+		for ta > 0 && s.remaining[ta-1] == 0 && t+1 >= s.maxFirst[ta-1] {
+			ta--
+		}
+		s.topActive = ta
+		if ta == 0 {
+			break
+		}
+		idx := int64(t - t0)
+
+		// 1. Pending arrivals at t come due at every active rung: fold
+		// into the live masks, stamp the latest-arrival slot of every
+		// bit once at its arrival rung (the lowest rung it is due at),
+		// and (for finite budgets) schedule the word's expiry d_r+1
+		// ticks out. Done rungs only have their cells zeroed, keeping
+		// the grid self-cleaning.
+		for _, v := range s.due[idx] {
+			cellBase := (int64(v)*span + idx) * int64(k)
+			wb := int(v) * k
+			var seen uint64
+			stamp := s.stamp0 + tvg.Time(idx)
+			for r := 0; r < k; r++ {
+				w := s.cell(cellBase, r, dense)
+				if w == 0 {
+					continue
+				}
+				s.setCell(cellBase, r, 0, dense)
+				if r >= ta {
+					continue
+				}
+				s.win[wb+r] |= w
+				delta := w &^ seen // bits whose arrival rung is exactly r
+				if delta == 0 {
+					continue
+				}
+				seen |= w
+				fb := (wb + r) * blockBits
+				ab := int(v) * blockBits
+				for mw := delta; mw != 0; mw &= mw - 1 {
+					j := bits.TrailingZeros64(mw)
+					s.lastArr[fb+j] = stamp
+					s.lastAny[ab+j] = stamp
+				}
+				// One expiry check at the arrival rung's own deadline;
+				// stale bits cascade to later rungs from there. A window
+				// that outlives the sweep needs no check at any rung.
+				if s.finite[r] && horizon-t > s.d[r] {
+					eidx := idx + int64(s.d[r]) + 1
+					s.expire[eidx] = append(s.expire[eidx], spExpire{node: v, rung: int32(r), batch: idx, word: delta})
+				}
+			}
+		}
+		s.due[idx] = s.due[idx][:0]
+
+		// 2. Expire words whose rung-r window [a, a+d_r] ended last tick;
+		// bits refreshed by a newer arrival usable at rung r survive.
+		// The refresh test is a prefix-max over the bit's arrival-rung
+		// slots ≤ r (slots are epoch stamps, so anything a previous
+		// sweep left behind compares below the threshold). Lower rungs
+		// expire no later than higher ones, so the win planes stay
+		// nested.
+		if s.anyFinite {
+			for _, e := range s.expire[idx] {
+				r := int(e.rung)
+				if r >= ta {
+					continue
+				}
+				// Refreshed iff some arrival with rung ≤ r came due
+				// strictly after the batch, i.e. some slot past the
+				// batch's stamp. Slots are epoch stamps, so values from
+				// earlier sweeps always compare stale.
+				threshold := s.stamp0 + tvg.Time(e.batch) + 1
+				nb := int(e.node) * k
+				ab := int(e.node) * blockBits
+				stale := e.word
+				for mw := e.word; mw != 0; mw &= mw - 1 {
+					j := bits.TrailingZeros64(mw)
+					if s.lastAny[ab+j] < threshold {
+						continue // no fresh arrival at any rung: stale
+					}
+					// Walk the slots highest-first: refreshes cluster at
+					// the bit's usual arrival rung, rarely below it.
+					for q := r; q >= 0; q-- {
+						if s.lastArr[(nb+q)*blockBits+j] >= threshold {
+							stale &^= 1 << uint(j)
+							break
+						}
+					}
+				}
+				if stale == 0 {
+					continue
+				}
+				s.win[nb+r] &^= stale
+				// Cascade: the batch also granted these bits liveness at
+				// every higher rung; the next rung's window ends at its
+				// own later deadline (or outlives the sweep). Compare the
+				// bound before forming batch+d+1 — a huge d (e.g.
+				// wait[MaxInt64]) would wrap the sum negative.
+				if rr := r + 1; rr < ta && s.finite[rr] && int64(s.d[rr]) < span-e.batch-1 {
+					eidx := e.batch + int64(s.d[rr]) + 1
+					s.expire[eidx] = append(s.expire[eidx], spExpire{node: e.node, rung: int32(rr), batch: e.batch, word: stale})
+				}
+			}
+			s.expire[idx] = s.expire[idx][:0]
+		}
+
+		// 3. Contacts departing at t forward every active rung's usable
+		// copies. The highest active rung's mask contains every lower
+		// rung's (nesting), so a zero word there skips the contact
+		// entirely — the common case on sparse streams, same cost as
+		// the single-mode sweep.
+		for _, kc := range c.AtTick(t) {
+			ct := &contacts[kc]
+			fromB := int(ct.From) * k
+			if s.win[fromB+ta-1] == 0 {
+				continue
+			}
+			to := int(ct.To)
+			if ct.Arr <= horizon {
+				arrIdx := int64(ct.Arr - t0)
+				cellBase := (int64(to)*span + arrIdx) * int64(k)
+				// A non-empty cell is already scheduled (a cell's word at
+				// the highest active rung is non-zero whenever any active
+				// rung's is); schedule on that word's empty→non-empty
+				// transition. Cells left over from retired rungs can
+				// double-schedule a node, which the zero-word drain skips.
+				oldTop := s.cell(cellBase, ta-1, dense)
+				// Fast path: when the bottom and top active planes agree
+				// (live masks, pending cell, reached) the whole nested
+				// chain between them agrees too, so one rung's marking
+				// decides every rung's — the common case while a flood
+				// carries fresh copies (arrival rung 0). One stage write
+				// per bit replaces the per-rung fan.
+				if mBot := s.win[fromB]; mBot == s.win[fromB+ta-1] &&
+					oldTop == s.cell(cellBase, 0, dense) &&
+					s.reached[to*k] == s.reached[to*k+ta-1] {
+					nw := mBot &^ oldTop
+					if nw == 0 {
+						continue
+					}
+					cellVal := oldTop | nw
+					rb := to * k
+					for r := 0; r < ta; r++ {
+						s.setCell(cellBase, r, cellVal, dense)
+					}
+					// One staged record at rung 0 carries the event; the
+					// other rungs share its newBits (their reached
+					// planes were equal) and only need the counters.
+					if nb := s.record(to, 0, nw, nw, 0, ct.Arr); nb != 0 {
+						pc := bits.OnesCount64(nb)
+						for r := 1; r < ta; r++ {
+							s.reached[rb+r] |= nb
+							s.remaining[r] -= pc
+							if ct.Arr > s.maxFirst[r] {
+								s.maxFirst[r] = ct.Arr
+							}
+						}
+					}
+					if oldTop == 0 {
+						s.due[arrIdx] = append(s.due[arrIdx], int32(to))
+					}
+					continue
+				}
+				wasEmpty := oldTop == 0
+				marked := false
+				var seenNw, seenNew uint64
+				for r := 0; r < ta; r++ {
+					m := s.win[fromB+r]
+					if m == 0 {
+						continue
+					}
+					old := s.cell(cellBase, r, dense)
+					nw := m &^ old
+					if nw == 0 {
+						continue
+					}
+					s.setCell(cellBase, r, old|nw, dense)
+					seenNew |= s.record(to, r, nw, nw&^seenNw, seenNew, ct.Arr)
+					seenNw |= nw
+					marked = true
+				}
+				if wasEmpty && marked {
+					s.due[arrIdx] = append(s.due[arrIdx], int32(to))
+				}
+			} else {
+				// Terminal, past the horizon: recorded (min-updated) but
+				// never buffered. No in-horizon filter is needed: a bit
+				// with an in-horizon arrival has first ≤ horizon < Arr,
+				// so the min-update no-ops on it by itself.
+				var seenCand, seenNew uint64
+				for r := 0; r < ta; r++ {
+					m := s.win[fromB+r]
+					if m == 0 {
+						continue
+					}
+					seenNew |= s.record(to, r, m, m&^seenCand, seenNew, ct.Arr)
+					seenCand |= m
+				}
+			}
+		}
+	}
+
+	// Cleanup after an early exit: zero the never-drained pending cells
+	// so the grid is all-zero for the next sweep.
+	for ; t <= horizon; t++ {
+		idx := int64(t - t0)
+		for _, v := range s.due[idx] {
+			cellBase := (int64(v)*span + idx) * int64(k)
+			for r := 0; r < k; r++ {
+				s.setCell(cellBase, r, 0, dense)
+			}
+		}
+		s.due[idx] = s.due[idx][:0]
+		if s.anyFinite {
+			s.expire[idx] = s.expire[idx][:0]
+		}
+	}
+}
+
+// WaitSpectrum computes the all-pairs foremost-arrival matrix of every
+// ladder rung in one bit-parallel contact sweep per 64-source block —
+// the batch equivalent of Ladder.Len() AllForemost calls, bit-identical
+// to them per rung (asserted by the randomized differential tests). An
+// empty (zero-value) ladder yields a result with no rungs.
+func WaitSpectrum(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time) *SpectrumResult {
+	return WaitSpectrumParallel(c, ladder, t0, 1)
+}
+
+// WaitSpectrumParallel is WaitSpectrum with the 64-source blocks fanned
+// out across up to `workers` goroutines. Blocks write disjoint row
+// ranges of every rung's matrix, so the result is bit-identical at any
+// worker count.
+func WaitSpectrumParallel(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers int) *SpectrumResult {
+	n := c.Graph().NumNodes()
+	k := ladder.Len()
+	res := &SpectrumResult{ladder: ladder, t0: t0, mats: make([]*ArrivalMatrix, k)}
+	for r := range res.mats {
+		// No -1 pre-fill: the extraction pass writes every entry
+		// (unreached pairs included), so the matrices are streamed once.
+		res.mats[r] = &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
+	}
+	if k == 0 || n == 0 {
+		return res
+	}
+	blockFanOut(&spPool, n, workers, func(s *spScratch, base, cnt int) {
+		s.sweep(c, ladder, base, cnt, t0)
+		// Transpose the slotted scratch into the per-rung matrices: rung
+		// r's foremost arrival is the prefix-min over the bit's arrival-
+		// rung slots ≤ r (a slot participates once its reached bit is
+		// set; reached masks are nested, so the prefix only ever grows).
+		// Bit-major order keeps each matrix write stream sequential (a
+		// source's row is contiguous); the reached plane re-read per bit
+		// stays resident in cache.
+		rows := make([][]tvg.Time, k)
+		for j := 0; j < cnt; j++ {
+			bit := uint64(1) << uint(j)
+			rowBase := (base + j) * n
+			for r := 0; r < k; r++ {
+				rows[r] = res.mats[r].arr[rowBase : rowBase+n]
+			}
+			for v := 0; v < n; v++ {
+				if s.reached[v*k+k-1]&bit == 0 {
+					for r := 0; r < k; r++ {
+						rows[r][v] = -1
+					}
+					continue
+				}
+				// Single stage at rung 0 and reached everywhere — the
+				// common case on usable networks — writes one value
+				// straight down the ladder.
+				sm := s.stageMask[v*blockBits+j]
+				if sm == 1 && s.reached[v*k]&bit != 0 {
+					val := s.first[v*k*blockBits+j]
+					for r := 0; r < k; r++ {
+						rows[r][v] = val
+					}
+					continue
+				}
+				// Prefix-min over the bit's staged slots; a bit reached
+				// at rung r always has a stage at some rung ≤ r.
+				var val tvg.Time
+				have := false
+				for r := 0; r < k; r++ {
+					if sm>>uint(r)&1 == 1 {
+						if f := s.first[(v*k+r)*blockBits+j]; !have || f < val {
+							val, have = f, true
+						}
+					}
+					if s.reached[v*k+r]&bit != 0 {
+						rows[r][v] = val
+					} else {
+						rows[r][v] = -1
+					}
+				}
+			}
+		}
+	})
+	return res
+}

@@ -1,0 +1,84 @@
+package journey
+
+import (
+	"slices"
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// FuzzLadderNormalization drives NewLadder with arbitrary mode lists
+// decoded from the fuzz input (each byte selects nowait / wait / a
+// bounded budget, with some budgets stretched to the int64 edge) and
+// checks the normalization contract: canonical rung forms, strictly
+// increasing permissiveness, Bound-level dedup, RungOf closure over the
+// inputs, and idempotence.
+func FuzzLadderNormalization(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{255, 0, 255, 7, 7})
+	f.Add([]byte{2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		modes := make([]Mode, 0, len(data))
+		for _, b := range data {
+			switch {
+			case b == 0:
+				modes = append(modes, NoWait())
+			case b == 1:
+				modes = append(modes, Wait())
+			case b >= 250:
+				// Budgets at the int64 edge: WindowEnd clamping territory.
+				modes = append(modes, BoundedWait(tvg.Time(1)<<62+tvg.Time(b)))
+			default:
+				modes = append(modes, BoundedWait(tvg.Time(b)))
+			}
+		}
+		l, err := NewLadder(modes...)
+		if len(modes) == 0 {
+			if err == nil {
+				t.Fatal("empty input must be rejected")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid modes rejected: %v", err)
+		}
+		if l.Len() == 0 || l.Len() > len(modes) {
+			t.Fatalf("normalized ladder has %d rungs from %d modes", l.Len(), len(modes))
+		}
+		for i := 0; i < l.Len(); i++ {
+			m := l.Mode(i)
+			// Canonical forms only: nowait, wait[d>0], wait.
+			if d, finite := m.Bound(); finite && d == 0 && m != NoWait() {
+				t.Fatalf("rung %d is %s, want canonical nowait", i, m)
+			}
+			if i == 0 {
+				continue
+			}
+			if !m.AtLeastAsPermissive(l.Mode(i-1)) || l.Mode(i-1).AtLeastAsPermissive(m) {
+				t.Fatalf("rungs %d (%s) and %d (%s) not strictly increasing",
+					i-1, l.Mode(i-1), i, m)
+			}
+		}
+		// Every input mode lands on a rung with the same Bound.
+		for _, m := range modes {
+			i, ok := l.RungOf(m)
+			if !ok {
+				t.Fatalf("input mode %s has no rung", m)
+			}
+			md, mf := m.Bound()
+			rd, rf := l.Mode(i).Bound()
+			if md != rd || mf != rf {
+				t.Fatalf("mode %s mapped to rung %s with a different bound", m, l.Mode(i))
+			}
+		}
+		// Idempotence: re-normalizing the rungs is a fixed point.
+		l2, err := NewLadder(l.Modes()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(l2.Modes(), l.Modes()) {
+			t.Fatalf("re-normalization changed the ladder: %v vs %v", l2.Modes(), l.Modes())
+		}
+	})
+}

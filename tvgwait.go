@@ -54,6 +54,13 @@ type (
 	// ReachMatrix is the packed all-pairs temporal reachability
 	// relation computed by ReachabilityMatrix.
 	ReachMatrix = journey.ReachMatrix
+	// Ladder is a normalized ladder of waiting budgets — the paper's
+	// inclusion chain L_nowait ⊆ L_wait[d] ⊆ L_wait — built by
+	// NewLadder and swept in one pass by WaitSpectrum.
+	Ladder = journey.Ladder
+	// SpectrumResult holds one foremost-arrival matrix per ladder rung,
+	// computed by a single wait-spectrum contact sweep.
+	SpectrumResult = journey.SpectrumResult
 
 	// Automaton is a TVG-automaton A(G) = (Σ, S, I, E, F).
 	Automaton = core.Automaton
@@ -100,6 +107,12 @@ type (
 	MetricsReport = engine.MetricsReport
 	// ModeMetrics is one waiting mode's all-pairs metrics row.
 	ModeMetrics = engine.ModeMetrics
+	// SpectrumRequest asks the engine for the waiting spectrum of a
+	// generated network: per-rung metrics for a whole budget ladder in
+	// one sweep and one cache entry.
+	SpectrumRequest = engine.SpectrumRequest
+	// SpectrumReport is the per-rung metric table of one network.
+	SpectrumReport = engine.SpectrumReport
 )
 
 // Graph construction.
@@ -219,6 +232,25 @@ func AllForemostParallel(c *Compiled, mode Mode, t0 Time, workers int) *ArrivalM
 // at any worker count.
 func ReachabilityMatrixParallel(c *Compiled, mode Mode, t0 Time, workers int) *ReachMatrix {
 	return journey.ReachabilityMatrixParallel(c, mode, t0, workers)
+}
+
+// NewLadder normalizes waiting modes into a Ladder: sorted from least
+// to most permissive, duplicates (wait[0] ≡ nowait included) collapsed.
+func NewLadder(modes ...Mode) (Ladder, error) { return journey.NewLadder(modes...) }
+
+// WaitSpectrum computes the all-pairs foremost-arrival matrix of every
+// ladder rung in ONE bit-parallel contact sweep per 64-source block —
+// the batch equivalent of Ladder.Len() AllForemost calls, bit-identical
+// to them per rung.
+func WaitSpectrum(c *Compiled, ladder Ladder, t0 Time) *SpectrumResult {
+	return journey.WaitSpectrum(c, ladder, t0)
+}
+
+// WaitSpectrumParallel is WaitSpectrum with the 64-source blocks fanned
+// out across up to `workers` goroutines; bit-identical at any worker
+// count.
+func WaitSpectrumParallel(c *Compiled, ladder Ladder, t0 Time, workers int) *SpectrumResult {
+	return journey.WaitSpectrumParallel(c, ladder, t0, workers)
 }
 
 // EnumerateJourneys lists every feasible journey from src (departing no
