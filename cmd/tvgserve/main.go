@@ -41,15 +41,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tvgwait/internal/engine"
+	"tvgwait/internal/obs"
 )
 
 func main() {
@@ -59,20 +64,43 @@ func main() {
 	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max simulations in flight (excess gets 429)")
 	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 256, "compiled-schedule cache entries")
-	pprofAddr := fs.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060; empty = disabled)")
+	pprofAddr := fs.String("pprof", "", "listen address for net/http/pprof and /debug/{vars,metrics} (e.g. localhost:6060; empty = disabled)")
+	accessLog := fs.Bool("access-log", false, "log one structured line per request (request id, endpoint, status, duration, bytes, cache flag)")
+	statusz := fs.Bool("statusz", false, "serve the telemetry snapshot as GET /statusz on the service port")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline after SIGINT/SIGTERM")
 	fs.Parse(os.Args[1:])
 
-	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize}),
+	// One registry carries every layer: engine caches/pool/sweeps wire in
+	// via Options.Obs, the HTTP layer via registerObs, and the Go runtime
+	// block is sampled at render time.
+	reg := obs.NewRegistry()
+	reg.EnableRuntime()
+	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize, Obs: reg}),
 		*timeout, *inflight)
-	if *pprofAddr != "" {
-		// Profiling lives on its own listener so it is never exposed on
-		// the service port and never competes with the admission
-		// semaphore. See EXPERIMENTS.md "Profiling tvgserve".
-		go func() {
-			log.Printf("tvgserve: pprof listening on %s", *pprofAddr)
-			log.Fatal(http.ListenAndServe(*pprofAddr, pprofMux()))
-		}()
+	srv.registerObs(reg)
+	srv.statusz = *statusz
+	if *accessLog {
+		srv.accessLog = log.New(os.Stderr, "tvgserve: ", log.LstdFlags)
 	}
+
+	if *pprofAddr != "" {
+		// Profiling and telemetry exports live on their own listener so
+		// they are never exposed on the service port and never compete
+		// with the admission semaphore. A busy debug port must not take
+		// the service down: log and continue without the profiler.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Printf("tvgserve: pprof listener unavailable: %v (continuing without profiler)", err)
+		} else {
+			log.Printf("tvgserve: pprof listening on %s", ln.Addr())
+			go func() {
+				if err := http.Serve(ln, pprofMux(reg)); err != nil {
+					log.Printf("tvgserve: pprof server stopped: %v", err)
+				}
+			}()
+		}
+	}
+
 	log.Printf("tvgserve: listening on %s (timeout=%s, inflight=%d)", *addr, *timeout, *inflight)
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -86,45 +114,84 @@ func main() {
 		WriteTimeout: *timeout + 30*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	// Serve until the listener fails or a shutdown signal lands; on
+	// SIGINT/SIGTERM drain in-flight requests under the -drain deadline
+	// and leave one final telemetry snapshot in the log.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default handling so a second signal kills immediately
+		log.Printf("tvgserve: shutdown signal received, draining (deadline %s)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpServer.Shutdown(sctx); err != nil {
+			log.Printf("tvgserve: shutdown: %v", err)
+		}
+		logFinalSnapshot(reg)
+	}
 }
 
 // maxBodyBytes bounds request bodies; specs are small.
 const maxBodyBytes = 1 << 20
 
-// server wires the engine to HTTP with admission control.
+// server wires the engine to HTTP with admission control and a
+// telemetry envelope around every route (see obs.go).
 type server struct {
 	eng     *engine.Engine
 	timeout time.Duration
 	sem     chan struct{} // counting semaphore: one slot per in-flight run
+	metrics *httpMetrics
+
+	// reg is set by registerObs; statusz additionally exposes its varz
+	// document on the service mux. accessLog, when non-nil, receives one
+	// structured line per request. reqSeq numbers those lines.
+	reg       *obs.Registry
+	statusz   bool
+	accessLog *log.Logger
+	reqSeq    atomic.Int64
 }
 
 func newServer(eng *engine.Engine, timeout time.Duration, inflight int) *server {
 	if inflight < 1 {
 		inflight = 1
 	}
-	return &server{eng: eng, timeout: timeout, sem: make(chan struct{}, inflight)}
+	return &server{eng: eng, timeout: timeout, sem: make(chan struct{}, inflight), metrics: newHTTPMetrics()}
 }
 
-// pprofMux builds the profiling handler tree served on the -pprof
-// listener: the standard net/http/pprof pages under /debug/pprof/.
-func pprofMux() *http.ServeMux {
+// pprofMux builds the handler tree served on the -pprof listener: the
+// standard net/http/pprof pages under /debug/pprof/, plus (when a
+// registry is given) the JSON varz snapshot on /debug/vars and the
+// Prometheus text exposition on /debug/metrics.
+func pprofMux(reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("GET /debug/vars", reg.VarzHandler())
+		mux.Handle("GET /debug/metrics", reg.PromHandler())
+	}
 	return mux
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /simulate", s.handleSimulate)
-	mux.HandleFunc("POST /journey", s.handleJourney)
-	mux.HandleFunc("POST /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /spectrum", s.handleSpectrum)
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("POST /simulate", s.instrument("/simulate", s.handleSimulate))
+	mux.HandleFunc("POST /journey", s.instrument("/journey", s.handleJourney))
+	mux.HandleFunc("POST /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("POST /spectrum", s.instrument("/spectrum", s.handleSpectrum))
+	if s.statusz && s.reg != nil {
+		mux.Handle("GET /statusz", s.reg.VarzHandler())
+	}
 	return mux
 }
 

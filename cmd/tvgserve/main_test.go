@@ -225,7 +225,7 @@ func TestRequestTimeout(t *testing.T) {
 // index and the symbol endpoint must answer 200 on a separate mux that
 // shares nothing with the service routes.
 func TestPprofMux(t *testing.T) {
-	ts := httptest.NewServer(pprofMux())
+	ts := httptest.NewServer(pprofMux(nil))
 	defer ts.Close()
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/symbol", "/debug/pprof/cmdline"} {
 		resp, err := http.Get(ts.URL + path)
@@ -271,16 +271,18 @@ func (d *discardResponseWriter) Write(p []byte) (int, error) {
 func (d *discardResponseWriter) WriteHeader(int) {}
 
 // BenchmarkHandleMetrics measures the full /metrics handler hot path on
-// a warm engine cache: decode → admission → cached rows → writeJSON.
-// What remains after the first request is almost pure serialization, so
-// this is the ledger benchmark for the pooled response buffers.
+// a warm engine cache — decode → admission → cached rows → writeJSON —
+// through the telemetry envelope (instrument), so the ledger prices the
+// per-request observability overhead alongside the pooled response
+// buffers.
 func BenchmarkHandleMetrics(b *testing.B) {
 	srv := newServer(engine.New(engine.Options{}), time.Minute, 4)
+	h := srv.instrument("/metrics", srv.handleMetrics)
 	body := `{
 		"graph": {"model": "markov", "nodes": 32, "birth": 0.05, "death": 0.5, "horizon": 60},
 		"modes": ["nowait", "wait:2", "wait:8", "wait"], "seed": 7
 	}`
-	srv.handleMetrics(&discardResponseWriter{}, httptest.NewRequest("POST", "/metrics", strings.NewReader(body))) // warm the engine caches
+	h(&discardResponseWriter{}, httptest.NewRequest("POST", "/metrics", strings.NewReader(body))) // warm the engine caches
 	req := httptest.NewRequest("POST", "/metrics", strings.NewReader(body))
 	rd := strings.NewReader(body)
 	req.Body = io.NopCloser(rd)
@@ -288,7 +290,7 @@ func BenchmarkHandleMetrics(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rd.Reset(body)
-		srv.handleMetrics(w, req)
+		h(w, req)
 	}
 }
 

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tvgwait/internal/engine"
+	"tvgwait/internal/obs"
+)
+
+// endpoints lists every instrumented route, in registration order. The
+// per-endpoint instrument sets are created at construction, so the
+// request path only ever does atomic ops on pre-built instruments.
+var endpoints = []string{"/healthz", "/simulate", "/journey", "/metrics", "/spectrum"}
+
+// endpointMetrics is one route's instrument set.
+type endpointMetrics struct {
+	requests  obs.Counter    // all answered requests
+	errors    obs.Counter    // responses with status >= 400
+	throttled obs.Counter    // 429s (admission-semaphore rejections)
+	latency   *obs.Histogram // wall time per request, ns
+	respBytes *obs.Histogram // response body bytes
+}
+
+// httpMetrics aggregates the server's HTTP telemetry. Always
+// maintained; registering on an obs.Registry only exposes it.
+type httpMetrics struct {
+	inflight obs.Gauge // requests currently inside a handler
+	byPath   map[string]*endpointMetrics
+}
+
+func newHTTPMetrics() *httpMetrics {
+	m := &httpMetrics{byPath: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		m.byPath[ep] = &endpointMetrics{
+			latency:   obs.NewHistogram(obs.LatencyBuckets()...),
+			respBytes: obs.NewHistogram(obs.SizeBuckets()...),
+		}
+	}
+	return m
+}
+
+// registerObs exposes the server's instruments on r and remembers the
+// registry so routes() can serve GET /statusz from it. Part of the
+// telemetry contract in DESIGN.md §8.
+func (s *server) registerObs(r *obs.Registry) {
+	s.reg = r
+	for _, ep := range endpoints {
+		em := s.metrics.byPath[ep]
+		lbl := `endpoint="` + ep + `"`
+		r.RegisterCounter("tvg_http_requests_total", lbl, "answered HTTP requests", &em.requests)
+		r.RegisterCounter("tvg_http_errors_total", lbl, "responses with status >= 400", &em.errors)
+		r.RegisterCounter("tvg_http_throttled_total", lbl, "admission rejections (429)", &em.throttled)
+		r.RegisterHistogram("tvg_http_latency_ns", lbl, "request wall time in nanoseconds", em.latency)
+		r.RegisterHistogram("tvg_http_response_bytes", lbl, "response body bytes", em.respBytes)
+	}
+	r.RegisterGauge("tvg_http_inflight", "", "requests currently inside a handler", &s.metrics.inflight)
+}
+
+// statusRecorder observes the status and body size a handler produced
+// without buffering anything. Recorders are pooled: instrument rents
+// one per request and returns it after the access-log line is emitted.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
+func (r *statusRecorder) reset(w http.ResponseWriter) {
+	r.ResponseWriter = w
+	r.status = 0
+	r.bytes = 0
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK // implicit 200 on first write
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps one route's handler with the telemetry envelope:
+// in-flight gauge, per-endpoint counters, latency and response-size
+// histograms, a per-request engine cache trace, and (when enabled) one
+// structured access-log line per request. All metric updates are atomic
+// ops on pre-registered instruments — the only per-request allocations
+// are the context pair carrying the cache trace.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.byPath[endpoint]
+	if em == nil {
+		panic("tvgserve: instrument: unknown endpoint " + endpoint)
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.reset(w)
+		ctx, trace := engine.WithCacheTrace(r.Context())
+		s.metrics.inflight.Add(1)
+		start := time.Now()
+		h(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+		s.metrics.inflight.Add(-1)
+
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		bytes := rec.bytes
+		em.requests.Inc()
+		if status >= 400 {
+			em.errors.Inc()
+		}
+		if status == http.StatusTooManyRequests {
+			em.throttled.Inc()
+		}
+		em.latency.Observe(dur.Nanoseconds())
+		em.respBytes.Observe(bytes)
+
+		if s.accessLog != nil {
+			cache := "none"
+			if trace.Touched() {
+				if trace.Warm() {
+					cache = "hit"
+				} else {
+					cache = "miss"
+				}
+			}
+			s.accessLog.Printf("rid=%d endpoint=%s status=%d dur_us=%d bytes=%d cache=%s",
+				s.reqSeq.Add(1), endpoint, status, dur.Microseconds(), bytes, cache)
+		}
+		rec.reset(nil) // drop the writer so the pool never pins a connection
+		recorderPool.Put(rec)
+	}
+}
+
+// logFinalSnapshot writes the registry's varz document through the
+// standard logger — the shutdown path's last act, so a scrape-less
+// deployment still gets one complete telemetry record per process.
+func logFinalSnapshot(reg *obs.Registry) {
+	var sb strings.Builder
+	if err := reg.WriteVarz(&sb); err != nil {
+		log.Printf("tvgserve: final telemetry snapshot failed: %v", err)
+		return
+	}
+	log.Printf("tvgserve: final telemetry snapshot:\n%s", sb.String())
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tvgwait/internal/engine"
+	"tvgwait/internal/obs"
+)
+
+// obsServer builds a fully wired test stack: registry-backed engine,
+// instrumented server (statusz enabled) and an httptest listener.
+func obsServer(t *testing.T, inflight int) (*server, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	srv := newServer(engine.New(engine.Options{Obs: reg}), time.Minute, inflight)
+	srv.registerObs(reg)
+	srv.statusz = true
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, reg, ts
+}
+
+// TestRequestTelemetry drives good, bad and throttled requests through
+// the instrumented routes and checks every per-endpoint series.
+func TestRequestTelemetry(t *testing.T) {
+	srv, _, ts := obsServer(t, 1)
+
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := post("/metrics", `{"graph": {"model": "markov", "nodes": 10, "birth": 0.05, "death": 0.5, "horizon": 40}, "seed": 1}`); got != 200 {
+		t.Fatalf("metrics status = %d", got)
+	}
+	if got := post("/metrics", `not json`); got != 400 {
+		t.Fatalf("bad body status = %d", got)
+	}
+	srv.sem <- struct{}{} // saturate admission
+	if got := post("/metrics", `{"graph": {"model": "markov", "nodes": 10, "birth": 0.05, "death": 0.5, "horizon": 40}, "seed": 2}`); got != 429 {
+		t.Fatalf("saturated status = %d", got)
+	}
+	<-srv.sem
+
+	em := srv.metrics.byPath["/metrics"]
+	if em.requests.Value() != 3 {
+		t.Errorf("requests_total = %d, want 3", em.requests.Value())
+	}
+	if em.errors.Value() != 2 {
+		t.Errorf("errors_total = %d, want 2 (400 + 429)", em.errors.Value())
+	}
+	if em.throttled.Value() != 1 {
+		t.Errorf("throttled_total = %d, want 1", em.throttled.Value())
+	}
+	if em.latency.Count() != 3 {
+		t.Errorf("latency observations = %d, want 3", em.latency.Count())
+	}
+	if em.respBytes.Count() != 3 || em.respBytes.Sum() <= 0 {
+		t.Errorf("response-size histogram off: count=%d sum=%d", em.respBytes.Count(), em.respBytes.Sum())
+	}
+	if srv.metrics.inflight.Value() != 0 {
+		t.Errorf("inflight = %d at rest, want 0", srv.metrics.inflight.Value())
+	}
+	// Untouched endpoints stay at zero.
+	if n := srv.metrics.byPath["/simulate"].requests.Value(); n != 0 {
+		t.Errorf("/simulate requests_total = %d, want 0", n)
+	}
+}
+
+// TestDebugExports pins the two export surfaces end to end after warm
+// requests: /debug/metrics (Prometheus text) and /debug/vars + /statusz
+// (JSON varz), all carrying engine, sweep, HTTP and runtime series.
+func TestDebugExports(t *testing.T) {
+	_, reg, ts := obsServer(t, 2)
+	reg.EnableRuntime()
+
+	body := `{"graph": {"model": "markov", "nodes": 10, "birth": 0.05, "death": 0.5, "horizon": 40}, "seed": 1}`
+	for i := 0; i < 2; i++ { // second request hits warm caches
+		resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	debug := httptest.NewServer(pprofMux(reg))
+	defer debug.Close()
+
+	// Prometheus exposition.
+	resp, err := http.Get(debug.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/debug/metrics Content-Type = %q", ct)
+	}
+	prom := string(promBytes)
+	for _, want := range []string{
+		"# TYPE tvg_http_requests_total counter",
+		`tvg_http_requests_total{endpoint="/metrics"} 2`,
+		`tvg_http_latency_ns_count{endpoint="/metrics"} 2`,
+		`tvg_http_latency_ns_bucket{endpoint="/metrics",le="+Inf"} 2`,
+		`tvg_engine_cache_hits_total{cache="schedule"} 1`,
+		`tvg_engine_cache_misses_total{cache="schedule"} 1`,
+		"# TYPE tvg_engine_cache_bytes gauge",
+		"tvg_sweep_blocks_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/debug/metrics missing %q", want)
+		}
+	}
+
+	// JSON varz, on the debug port and as /statusz on the service port.
+	for _, url := range []string{debug.URL + "/debug/vars", ts.URL + "/statusz"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q", url, ct)
+		}
+		var varz map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&varz); err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		resp.Body.Close()
+		if got := varz[`tvg_http_requests_total{endpoint="/metrics"}`]; got != float64(2) {
+			t.Errorf("%s requests_total = %v, want 2", url, got)
+		}
+		hist, ok := varz[`tvg_http_latency_ns{endpoint="/metrics"}`].(map[string]any)
+		if !ok || hist["count"] != float64(2) {
+			t.Errorf("%s latency histogram snapshot wrong: %v", url, varz[`tvg_http_latency_ns{endpoint="/metrics"}`])
+		}
+		if _, ok := varz["go_goroutines"]; !ok {
+			t.Errorf("%s missing runtime block", url)
+		}
+	}
+}
+
+// TestStatuszOptIn pins that /statusz stays off the service mux unless
+// enabled.
+func TestStatuszOptIn(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newServer(engine.New(engine.Options{Obs: reg}), time.Minute, 1)
+	srv.registerObs(reg)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/statusz without opt-in = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAccessLog checks the structured line: request id, endpoint,
+// status, duration, bytes and the cache flag flipping miss → hit
+// between a cold and a warm request.
+func TestAccessLog(t *testing.T) {
+	srv, _, ts := obsServer(t, 2)
+	var buf bytes.Buffer
+	srv.accessLog = log.New(&buf, "", 0)
+
+	body := `{"graph": {"model": "markov", "nodes": 10, "birth": 0.05, "death": 0.5, "horizon": 40}, "seed": 5}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, want := range []string{"rid=1 ", "endpoint=/metrics", "status=200", "cache=miss"} {
+		if !strings.Contains(lines[0]+" ", want) {
+			t.Errorf("cold line missing %q: %s", want, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "rid=2") || !strings.Contains(lines[1], "cache=hit") {
+		t.Errorf("warm line wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "endpoint=/healthz") || !strings.Contains(lines[2], "cache=none") {
+		t.Errorf("healthz line wrong: %s", lines[2])
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "dur_us=") || !strings.Contains(line, "bytes=") {
+			t.Errorf("line missing duration/bytes fields: %s", line)
+		}
+	}
+}
+
+// TestGracefulSnapshot exercises logFinalSnapshot (the shutdown path's
+// last act): the logged document must be the varz JSON.
+func TestGracefulSnapshot(t *testing.T) {
+	_, reg, ts := obsServer(t, 1)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+	logFinalSnapshot(reg)
+	out := buf.String()
+	if !strings.Contains(out, "final telemetry snapshot") ||
+		!strings.Contains(out, `tvg_http_requests_total{endpoint=\"/healthz\"}`) &&
+			!strings.Contains(out, `tvg_http_requests_total{endpoint="/healthz"}`) {
+		t.Errorf("snapshot log missing healthz counter:\n%s", out)
+	}
+}

@@ -3,23 +3,38 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
 // onceCache is a bounded LRU of immutable values keyed by string. The
-// engine uses two instances: the compiled-schedule cache (contact sets
+// engine uses three instances: the compiled-schedule cache (contact sets
 // are read-only after construction, so a cached pointer can be shared
-// by any number of concurrent workers) and the per-mode metrics cache.
+// by any number of concurrent workers), the per-mode metrics cache and
+// the per-ladder spectra cache.
 //
 // Each entry owns a sync.Once: concurrent requests for the same key
 // build the value exactly once and everyone blocks on that build rather
 // than duplicating it (the map lock is never held while building).
+//
+// The cache always tallies its own hits, misses and capacity evictions
+// (an uncontended atomic add each — see internal/obs); a registry
+// merely exposes them. Byte accounting is render-time only: sizeOf
+// prices a value once after its build, and bytes() walks the list under
+// the lock when a gauge is sampled, so the get hot path never does size
+// arithmetic.
 type onceCache[V any] struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used; values are *cacheEntry[V]
 	m   map[string]*list.Element
+	// sizeOf, when non-nil, estimates a built value's heap footprint for
+	// the bytes gauge. Called once per successful build.
+	sizeOf func(V) int64
+
+	hits, misses, evictions obs.Counter
 }
 
 type cacheEntry[V any] struct {
@@ -27,6 +42,7 @@ type cacheEntry[V any] struct {
 	once sync.Once
 	v    V
 	err  error
+	size atomic.Int64 // set once, after a successful build
 }
 
 func newOnceCache[V any](capacity int) *onceCache[V] {
@@ -36,20 +52,26 @@ func newOnceCache[V any](capacity int) *onceCache[V] {
 	return &onceCache[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// get returns the value for key, building it with build on a miss. A
-// failed build is evicted so it does not pin a capacity slot.
-func (sc *onceCache[V]) get(key string, build func() (V, error)) (V, error) {
+// get returns the value for key, building it with build on a miss. The
+// hit flag reports whether an entry already existed — a request that
+// coalesces onto another request's in-flight build counts as a hit (it
+// paid no build). A failed build is evicted so it does not pin a
+// capacity slot (and is not counted as a capacity eviction).
+func (sc *onceCache[V]) get(key string, build func() (V, error)) (V, bool, error) {
 	sc.mu.Lock()
-	el, ok := sc.m[key]
-	if ok {
+	el, hit := sc.m[key]
+	if hit {
 		sc.ll.MoveToFront(el)
+		sc.hits.Inc()
 	} else {
+		sc.misses.Inc()
 		el = sc.ll.PushFront(&cacheEntry[V]{key: key})
 		sc.m[key] = el
 		for sc.ll.Len() > sc.cap {
 			oldest := sc.ll.Back()
 			sc.ll.Remove(oldest)
 			delete(sc.m, oldest.Value.(*cacheEntry[V]).key)
+			sc.evictions.Inc()
 		}
 	}
 	entry := el.Value.(*cacheEntry[V])
@@ -57,6 +79,9 @@ func (sc *onceCache[V]) get(key string, build func() (V, error)) (V, error) {
 
 	entry.once.Do(func() {
 		entry.v, entry.err = build()
+		if entry.err == nil && sc.sizeOf != nil {
+			entry.size.Store(sc.sizeOf(entry.v))
+		}
 	})
 	if entry.err != nil {
 		sc.mu.Lock()
@@ -66,14 +91,32 @@ func (sc *onceCache[V]) get(key string, build func() (V, error)) (V, error) {
 		}
 		sc.mu.Unlock()
 	}
-	return entry.v, entry.err
+	return entry.v, hit, entry.err
 }
 
-// len reports the number of cached entries (for tests).
+// len reports the number of cached entries (for tests and the entry
+// gauges).
 func (sc *onceCache[V]) len() int {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	return sc.ll.Len()
+}
+
+// bytes sums the sized entries' footprints. Entries still building (or
+// caches without a sizeOf) price as zero.
+func (sc *onceCache[V]) bytes() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var total int64
+	for el := sc.ll.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*cacheEntry[V]).size.Load()
+	}
+	return total
+}
+
+// counters exposes the tally triple for registration (see Engine.wireObs).
+func (sc *onceCache[V]) counters() (hits, misses, evictions *obs.Counter) {
+	return &sc.hits, &sc.misses, &sc.evictions
 }
 
 // scheduleCache is the compiled-schedule instance, keyed by
@@ -81,5 +124,16 @@ func (sc *onceCache[V]) len() int {
 type scheduleCache = onceCache[*tvg.ContactSet]
 
 func newScheduleCache(capacity int) *scheduleCache {
-	return newOnceCache[*tvg.ContactSet](capacity)
+	sc := newOnceCache[*tvg.ContactSet](capacity)
+	sc.sizeOf = func(c *tvg.ContactSet) int64 { return c.SizeBytes() }
+	return sc
+}
+
+// modeMetricsBytes prices one metrics row: the struct, its mode string
+// and the optional eccentricity histogram.
+func modeMetricsBytes(mm *ModeMetrics) int64 {
+	if mm == nil {
+		return 0
+	}
+	return 160 + int64(len(mm.Mode)) + 8*int64(len(mm.EccHistogram))
 }

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tvgwait/internal/dtn"
 	"tvgwait/internal/journey"
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
@@ -19,6 +21,12 @@ type Options struct {
 	Workers int
 	// CacheSize bounds the compiled-schedule LRU (0 = 64 entries).
 	CacheSize int
+	// Obs, when non-nil, registers the engine's telemetry on the given
+	// registry (cache hit/miss/eviction/byte series, worker-pool
+	// occupancy and task durations, cold-build durations, sweep stats —
+	// see DESIGN.md §8). The counters are maintained either way;
+	// registration only exposes them.
+	Obs *obs.Registry
 }
 
 // Engine runs batch simulations. It is safe for concurrent use: runs
@@ -45,6 +53,16 @@ type Engine struct {
 	// returns it, so steady-state generation allocates only the
 	// finalised ContactSet (see DESIGN.md §6).
 	builders sync.Pool
+
+	// busy counts worker-pool tasks currently executing (occupancy);
+	// taskDur prices each task's wall time and buildDur each cold
+	// contact-set build. sweeps aggregates the bit-parallel sweep
+	// telemetry of the metrics/spectrum paths. All four are maintained
+	// unconditionally — an Options.Obs registry only exposes them.
+	busy     obs.Gauge
+	taskDur  *obs.Histogram
+	buildDur *obs.Histogram
+	sweeps   obs.SweepStats
 }
 
 // New returns an engine with the given options.
@@ -63,21 +81,41 @@ func New(opts Options) *Engine {
 		// Metric rows are tiny next to compiled schedules; keep several
 		// modes' worth per cached schedule, and a couple of whole
 		// ladders (a spectrum entry holds all its rungs).
-		metrics: newOnceCache[*ModeMetrics](8 * cacheSize),
-		spectra: newOnceCache[[]*ModeMetrics](2 * cacheSize),
+		metrics:  newOnceCache[*ModeMetrics](8 * cacheSize),
+		spectra:  newOnceCache[[]*ModeMetrics](2 * cacheSize),
+		taskDur:  obs.NewHistogram(obs.LatencyBuckets()...),
+		buildDur: obs.NewHistogram(obs.LatencyBuckets()...),
+	}
+	e.metrics.sizeOf = modeMetricsBytes
+	e.spectra.sizeOf = func(rows []*ModeMetrics) int64 {
+		var total int64
+		for _, mm := range rows {
+			total += modeMetricsBytes(mm)
+		}
+		return total
 	}
 	e.scratch.New = func() any { return dtn.NewScratch() }
 	e.builders.New = func() any { return tvg.NewBuilder() }
+	if opts.Obs != nil {
+		e.wireObs(opts.Obs)
+	}
 	return e
 }
 
 // ContactSet returns the cached compiled contact set of (spec, seed),
 // generating and compiling it on a miss.
 func (e *Engine) ContactSet(g GraphSpec, seed int64) (*tvg.ContactSet, error) {
+	return e.contactSet(context.Background(), g, seed)
+}
+
+// contactSet is ContactSet with the request's cache trace (if the
+// context carries one — see WithCacheTrace) fed by the lookup outcome.
+func (e *Engine) contactSet(ctx context.Context, g GraphSpec, seed int64) (*tvg.ContactSet, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
-	return e.cache.get(g.key(seed), func() (*tvg.ContactSet, error) {
+	c, hit, err := e.cache.get(g.key(seed), func() (*tvg.ContactSet, error) {
+		start := time.Now()
 		b := e.builders.Get().(*tvg.Builder)
 		defer e.builders.Put(b)
 		c, err := g.BuildContacts(seed, b)
@@ -86,8 +124,13 @@ func (e *Engine) ContactSet(g GraphSpec, seed int64) (*tvg.ContactSet, error) {
 			// generator still rejects it, the spec is to blame.
 			return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 		}
+		e.buildDur.Observe(time.Since(start).Nanoseconds())
 		return c, nil
 	})
+	if err == nil {
+		traceFrom(ctx).record(hit)
+	}
+	return c, err
 }
 
 // Compiled is the pre-CSR name of ContactSet, kept for callers of the
@@ -117,8 +160,8 @@ func (e *Engine) Run(ctx context.Context, spec ScenarioSpec) (*Report, error) {
 	// Stage 1: materialize every replicate's contact set, in parallel
 	// across replicates (cache hits are free).
 	compiled := make([]*tvg.ContactSet, spec.Replicates)
-	err = forEach(ctx, workers, spec.Replicates, func(r int) error {
-		c, err := e.ContactSet(spec.Graph, graphSeed(spec.Seed, r))
+	err = e.forEach(ctx, workers, spec.Replicates, func(r int) error {
+		c, err := e.contactSet(ctx, spec.Graph, graphSeed(spec.Seed, r))
 		if err != nil {
 			return fmt.Errorf("replicate %d: %w", r, err)
 		}
@@ -146,7 +189,7 @@ func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []jour
 	}
 	nModes, nMsgs := len(modes), spec.Messages
 	results := make([]dtn.Result, spec.Replicates*nModes*nMsgs)
-	err := forEach(ctx, workers, len(results), func(i int) error {
+	err := e.forEach(ctx, workers, len(results), func(i int) error {
 		r := i / (nModes * nMsgs)
 		mi := i / nMsgs % nModes
 		k := i % nMsgs
@@ -206,7 +249,7 @@ func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []jo
 	src := *spec.Broadcast
 	nModes := len(modes)
 	results := make([]dtn.BroadcastResult, spec.Replicates*nModes)
-	err := forEach(ctx, workers, len(results), func(i int) error {
+	err := e.forEach(ctx, workers, len(results), func(i int) error {
 		r, mi := i/nModes, i%nModes
 		scratch := e.scratch.Get().(*dtn.Scratch)
 		res, err := scratch.Broadcast(compiled[r], modes[mi], src, 0)
@@ -241,6 +284,21 @@ func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []jo
 		report.Broadcast = append(report.Broadcast, br)
 	}
 	return report, nil
+}
+
+// forEach is the engine's instrumented pool entry point: each task is
+// bracketed by the occupancy gauge and priced into the task-duration
+// histogram (two atomic adds and two clock reads per task — noise next
+// to a flood or a generation).
+func (e *Engine) forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return forEach(ctx, workers, n, func(i int) error {
+		e.busy.Add(1)
+		start := time.Now()
+		err := fn(i)
+		e.taskDur.Observe(time.Since(start).Nanoseconds())
+		e.busy.Add(-1)
+		return err
+	})
 }
 
 // forEach runs fn(0..n-1) across a pool of at most `workers` goroutines.

@@ -64,7 +64,7 @@ func (e *Engine) Journey(ctx context.Context, req JourneyRequest) (*JourneyRepor
 	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
 		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
 	}
-	c, err := e.Compiled(req.Graph, req.Seed)
+	c, err := e.contactSet(ctx, req.Graph, req.Seed)
 	if err != nil {
 		return nil, err
 	}

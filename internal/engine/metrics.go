@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"tvgwait/internal/journey"
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
@@ -93,7 +94,7 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
 		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
 	}
-	c, err := e.ContactSet(req.Graph, req.Seed)
+	c, err := e.contactSet(ctx, req.Graph, req.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +115,7 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		if err != nil {
 			return nil, specErr("%v", err)
 		}
-		rows, err := e.spectrumRows(c, req.Graph, req.Seed, req.T0, ladder)
+		rows, err := e.spectrumRows(ctx, c, req.Graph, req.Seed, req.T0, ladder)
 		if err != nil {
 			return nil, err
 		}
@@ -131,21 +132,23 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 			return nil, err
 		}
 		key := fmt.Sprintf("%s|t0%d|%s", req.Graph.key(req.Seed), req.T0, mode)
-		mm, err := e.metrics.get(key, func() (*ModeMetrics, error) {
-			return computeModeMetrics(c, mode, req.T0, e.workers), nil
+		mm, hit, err := e.metrics.get(key, func() (*ModeMetrics, error) {
+			return computeModeMetrics(c, mode, req.T0, e.workers, &e.sweeps), nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		traceFrom(ctx).record(hit)
 		report.Modes = append(report.Modes, *mm)
 	}
 	return report, nil
 }
 
 // computeModeMetrics derives one mode's row from the all-pairs foremost
-// matrix, sweeping its source blocks across up to `workers` goroutines.
-func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers int) *ModeMetrics {
-	return metricsFromMatrix(mode, journey.AllForemostParallel(c, mode, t0, workers))
+// matrix, sweeping its source blocks across up to `workers` goroutines
+// and folding the sweep's telemetry into st (nil is free).
+func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ModeMetrics {
+	return metricsFromMatrix(mode, journey.AllForemostStats(c, mode, t0, workers, st))
 }
 
 // metricsFromMatrix summarizes one foremost-arrival matrix into a mode

@@ -75,14 +75,14 @@ func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumRe
 	if err != nil {
 		return nil, specErr("%v", err)
 	}
-	c, err := e.ContactSet(req.Graph, req.Seed)
+	c, err := e.contactSet(ctx, req.Graph, req.Seed)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rows, err := e.spectrumRows(c, req.Graph, req.Seed, req.T0, ladder)
+	rows, err := e.spectrumRows(ctx, c, req.Graph, req.Seed, req.T0, ladder)
 	if err != nil {
 		return nil, err
 	}
@@ -104,14 +104,18 @@ func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumRe
 // ladder): one WaitSpectrum sweep, cached as a single spectra LRU entry
 // keyed by the normalized ladder. Rows are shared with the cache; treat
 // them as read-only (Metrics copies before relabeling).
-func (e *Engine) spectrumRows(c *tvg.ContactSet, g GraphSpec, seed int64, t0 tvg.Time, ladder journey.Ladder) ([]*ModeMetrics, error) {
+func (e *Engine) spectrumRows(ctx context.Context, c *tvg.ContactSet, g GraphSpec, seed int64, t0 tvg.Time, ladder journey.Ladder) ([]*ModeMetrics, error) {
 	key := fmt.Sprintf("%s|t0%d|ladder:%s", g.key(seed), t0, ladder)
-	return e.spectra.get(key, func() ([]*ModeMetrics, error) {
-		res := journey.WaitSpectrumParallel(c, ladder, t0, e.workers)
+	rows, hit, err := e.spectra.get(key, func() ([]*ModeMetrics, error) {
+		res := journey.WaitSpectrumStats(c, ladder, t0, e.workers, &e.sweeps)
 		rows := make([]*ModeMetrics, res.NumRungs())
 		for i := range rows {
 			rows[i] = metricsFromMatrix(res.Mode(i), res.Arrivals(i))
 		}
 		return rows, nil
 	})
+	if err == nil {
+		traceFrom(ctx).record(hit)
+	}
+	return rows, err
 }

@@ -14,7 +14,7 @@ func TemporalEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Tim
 	}
 	s := msPool.Get().(*msScratch)
 	defer msPool.Put(s)
-	s.sweep(c, mode, int(src), 1, t0, true)
+	s.sweep(c, mode, int(src), 1, t0, true, nil)
 	if s.remaining > 0 {
 		return 0, false
 	}
@@ -53,7 +53,7 @@ func TemporalDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool
 	var worst tvg.Time
 	for base := 0; base < n; base += blockBits {
 		cnt := min(blockBits, n-base)
-		s.sweep(c, mode, base, cnt, t0, true)
+		s.sweep(c, mode, base, cnt, t0, true, nil)
 		if s.remaining > 0 {
 			return 0, false
 		}

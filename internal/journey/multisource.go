@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
@@ -320,7 +321,13 @@ func (s *msScratch) recordReached(v int, w uint64) {
 // Early exit: once every (node, source) pair is reached the sweep stops
 // — immediately for reachability, and as soon as no future arrival
 // (≥ t+1) can undercut a recorded first (t+1 ≥ maxFirst) for arrivals.
-func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool) {
+//
+// A non-nil st receives the block's telemetry — contacts examined, due
+// expiries processed, early exit, sparse fallback — in one atomic merge
+// after the pass (per-tick bookkeeping stays in locals), so the
+// instrumented sweep costs the uninstrumented one plus a few adds per
+// block. See DESIGN.md §8.
+func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, st *obs.SweepStats) {
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
 	span := int64(0)
@@ -353,10 +360,14 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		}
 	}
 	if span == 0 {
+		if st != nil {
+			st.Blocks.Inc()
+		}
 		return
 	}
 
 	contacts := c.Contacts()
+	var swept, expired int64 // block-local telemetry, merged into st once
 	t := t0
 	for ; t <= horizon; t++ {
 		if s.remaining == 0 && (!arrivals || t+1 >= s.maxFirst) {
@@ -387,6 +398,7 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		// refreshed by a newer arrival (lastArr ≥ t−d) survive. Runs
 		// after the due drain so same-tick refreshes are visible.
 		if finite {
+			expired += int64(len(s.expire[idx]))
 			for _, e := range s.expire[idx] {
 				fb := int(e.node) * blockBits
 				stale := e.word
@@ -405,7 +417,9 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		// tail in one word OR. Arrivals within the horizon are buffered
 		// (and may relay further); later arrivals are terminal and only
 		// recorded.
-		for _, k := range c.AtTick(t) {
+		tick := c.AtTick(t)
+		swept += int64(len(tick))
+		for _, k := range tick {
 			ct := &contacts[k]
 			mfrom := s.win[ct.From]
 			if mfrom == 0 {
@@ -435,6 +449,8 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		}
 	}
 
+	earlyExit := t <= horizon
+
 	// Cleanup after an early exit: zero the never-drained pending cells
 	// so the grid is all-zero for the next sweep.
 	for ; t <= horizon; t++ {
@@ -445,6 +461,18 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		s.due[idx] = s.due[idx][:0]
 		if finite {
 			s.expire[idx] = s.expire[idx][:0]
+		}
+	}
+
+	if st != nil {
+		st.Blocks.Inc()
+		st.Contacts.Add(swept)
+		st.DueExpiries.Add(expired)
+		if earlyExit {
+			st.EarlyExits.Inc()
+		}
+		if !dense {
+			st.SparseFallbacks.Inc()
 		}
 	}
 }
@@ -514,6 +542,14 @@ func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
 // wall-clock scales with cores. The engine's Metrics path uses it with
 // the engine worker width.
 func AllForemostParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ArrivalMatrix {
+	return AllForemostStats(c, mode, t0, workers, nil)
+}
+
+// AllForemostStats is AllForemostParallel with optional sweep telemetry:
+// a non-nil st accumulates what the sweep did (blocks, contacts swept,
+// early exits, expiries, sparse fallbacks) — the result is identical
+// with or without it.
+func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ArrivalMatrix {
 	n := c.Graph().NumNodes()
 	m := &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
 	for i := range m.arr {
@@ -523,7 +559,7 @@ func AllForemostParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int)
 		return m
 	}
 	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
-		s.sweep(c, mode, base, cnt, t0, true)
+		s.sweep(c, mode, base, cnt, t0, true, st)
 		for v := 0; v < n; v++ {
 			w := s.reached[v]
 			if w == 0 {
@@ -552,6 +588,12 @@ func ReachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ReachMatrix 
 // writes its own word column, so the result is bit-identical at any
 // worker count.
 func ReachabilityMatrixParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ReachMatrix {
+	return ReachabilityMatrixStats(c, mode, t0, workers, nil)
+}
+
+// ReachabilityMatrixStats is ReachabilityMatrixParallel with optional
+// sweep telemetry (see AllForemostStats).
+func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ReachMatrix {
 	n := c.Graph().NumNodes()
 	words := (n + blockBits - 1) / blockBits
 	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
@@ -560,7 +602,7 @@ func ReachabilityMatrixParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, worke
 	}
 	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
 		b := base / blockBits
-		s.sweep(c, mode, base, cnt, t0, false)
+		s.sweep(c, mode, base, cnt, t0, false, st)
 		for v := 0; v < n; v++ {
 			m.bits[v*words+b] = s.reached[v]
 		}
@@ -587,7 +629,7 @@ func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
 	defer msPool.Put(s)
 	for base := 0; base < n; base += blockBits {
 		cnt := min(blockBits, n-base)
-		s.sweep(c, mode, base, cnt, t0, false)
+		s.sweep(c, mode, base, cnt, t0, false, nil)
 		if s.remaining > 0 {
 			return false
 		}

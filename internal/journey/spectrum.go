@@ -45,6 +45,7 @@ import (
 	"strings"
 	"sync"
 
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
@@ -431,7 +432,11 @@ func (s *spScratch) record(v, r int, w, lowest, seenNew uint64, arr tvg.Time) ui
 // (t+1 ≥ maxFirst). Rungs that never complete (nowait on a sparse
 // network) keep the sweep running to the horizon — exactly as their
 // independent passes would.
-func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time) {
+//
+// A non-nil st receives the block's telemetry — contacts examined,
+// cascade expiry checks, mid-sweep rung retirements, early exit, sparse
+// fallback — in one atomic merge after the pass (see DESIGN.md §8).
+func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, st *obs.SweepStats) {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	horizon := c.Horizon()
@@ -472,10 +477,14 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		}
 	}
 	if span == 0 {
+		if st != nil {
+			st.Blocks.Inc()
+		}
 		return
 	}
 
 	contacts := c.Contacts()
+	var swept, expired, retired int64 // block-local telemetry, merged into st once
 	t := t0
 	for ; t <= horizon; t++ {
 		// Retire done rungs from the top: a rung whose pairs are all
@@ -485,6 +494,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		ta := s.topActive
 		for ta > 0 && s.remaining[ta-1] == 0 && t+1 >= s.maxFirst[ta-1] {
 			ta--
+			retired++
 		}
 		s.topActive = ta
 		if ta == 0 {
@@ -544,6 +554,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// expire no later than higher ones, so the win planes stay
 		// nested.
 		if s.anyFinite {
+			expired += int64(len(s.expire[idx]))
 			for _, e := range s.expire[idx] {
 				r := int(e.rung)
 				if r >= ta {
@@ -593,7 +604,9 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// rung's (nesting), so a zero word there skips the contact
 		// entirely — the common case on sparse streams, same cost as
 		// the single-mode sweep.
-		for _, kc := range c.AtTick(t) {
+		tick := c.AtTick(t)
+		swept += int64(len(tick))
+		for _, kc := range tick {
 			ct := &contacts[kc]
 			fromB := int(ct.From) * k
 			if s.win[fromB+ta-1] == 0 {
@@ -684,6 +697,8 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		}
 	}
 
+	earlyExit := t <= horizon
+
 	// Cleanup after an early exit: zero the never-drained pending cells
 	// so the grid is all-zero for the next sweep.
 	for ; t <= horizon; t++ {
@@ -697,6 +712,19 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		s.due[idx] = s.due[idx][:0]
 		if s.anyFinite {
 			s.expire[idx] = s.expire[idx][:0]
+		}
+	}
+
+	if st != nil {
+		st.Blocks.Inc()
+		st.Contacts.Add(swept)
+		st.DueExpiries.Add(expired)
+		st.RungRetirements.Add(retired)
+		if earlyExit {
+			st.EarlyExits.Inc()
+		}
+		if !dense {
+			st.SparseFallbacks.Inc()
 		}
 	}
 }
@@ -715,6 +743,14 @@ func WaitSpectrum(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time) *SpectrumResult
 // ranges of every rung's matrix, so the result is bit-identical at any
 // worker count.
 func WaitSpectrumParallel(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers int) *SpectrumResult {
+	return WaitSpectrumStats(c, ladder, t0, workers, nil)
+}
+
+// WaitSpectrumStats is WaitSpectrumParallel with optional sweep
+// telemetry: when st is non-nil each 64-source block folds its local
+// tallies into st once at block end (see obs.SweepStats). A nil st is
+// free; the result is identical either way.
+func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers int, st *obs.SweepStats) *SpectrumResult {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	res := &SpectrumResult{ladder: ladder, t0: t0, mats: make([]*ArrivalMatrix, k)}
@@ -727,7 +763,7 @@ func WaitSpectrumParallel(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers
 		return res
 	}
 	blockFanOut(&spPool, n, workers, func(s *spScratch, base, cnt int) {
-		s.sweep(c, ladder, base, cnt, t0)
+		s.sweep(c, ladder, base, cnt, t0, st)
 		// Transpose the slotted scratch into the per-rung matrices: rung
 		// r's foremost arrival is the prefix-min over the bit's arrival-
 		// rung slots ≤ r (a slot participates once its reached bit is

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+)
+
+// The obs microbenches are the BENCH_obs.json ledger's floor: what one
+// telemetry operation costs on the hot path. The counters must price in
+// single-digit nanoseconds (an uncontended atomic add) for the sweep
+// and handler instrumentation to be measurably free.
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets()...)
+	b.ReportAllocs()
+	// Rotate through magnitudes so the scan depth varies like real
+	// latencies rather than always hitting the first bucket.
+	vals := [4]int64{900, 45_000, 2_300_000, 800_000_000}
+	for i := 0; i < b.N; i++ {
+		h.Observe(vals[i&3])
+	}
+}
+
+func BenchmarkSweepStatsBlockMerge(b *testing.B) {
+	// One per-block merge: the granularity at which the sweeps update a
+	// SweepStats (local int64s folded in at block end).
+	var st SweepStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Blocks.Inc()
+		st.Contacts.Add(100_000)
+		st.DueExpiries.Add(512)
+		st.EarlyExits.Inc()
+	}
+}
+
+// BenchmarkWriteProm prices a full scrape of a realistic registry
+// (render side; allocations here are fine and expected).
+func BenchmarkWriteProm(b *testing.B) {
+	r := NewRegistry()
+	for _, cache := range []string{"schedule", "metrics", "spectra"} {
+		c := r.Counter("tvg_engine_cache_hits_total", `cache="`+cache+`"`, "h")
+		c.Add(12345)
+		r.Counter("tvg_engine_cache_misses_total", `cache="`+cache+`"`, "m")
+	}
+	for _, ep := range []string{"/simulate", "/journey", "/metrics", "/spectrum"} {
+		h := r.Histogram("tvg_http_latency_ns", `endpoint="`+ep+`"`, "l", LatencyBuckets())
+		for i := int64(1); i < 1000; i++ {
+			h.Observe(i * 10_000)
+		}
+	}
+	var st SweepStats
+	st.Register(r, "tvg_sweep")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WriteProm(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineAtomicAdd anchors the counter numbers against a raw
+// atomic — the overhead of the Counter wrapper must be zero.
+func BenchmarkBaselineAtomicAdd(b *testing.B) {
+	var v atomic.Int64
+	for i := 0; i < b.N; i++ {
+		v.Add(1)
+	}
+}

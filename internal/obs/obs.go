@@ -1,0 +1,242 @@
+// Package obs is the repository's dependency-free telemetry substrate:
+// lock-free counters, gauges and fixed-bucket histograms whose hot-path
+// operations (Inc, Add, Set, Observe) are guaranteed zero-allocation
+// (asserted by testing.AllocsPerRun in obs_test.go), plus a Registry
+// that renders every registered instrument as a Prometheus text-format
+// exposition and as a JSON "varz" snapshot.
+//
+// The package exists so the sweep engines and tvgserve can be measured
+// without perturbing what they measure: every instrument is a plain
+// struct of atomics — usable at zero value, shareable across
+// goroutines, and cheap enough to update inside a contact sweep. The
+// Registry is strictly a read-side concern: instruments work unregistered,
+// and registration only makes them visible to the exporters. See
+// DESIGN.md §8 for the telemetry contract.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe for concurrent use and
+// allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (callers must keep counters monotone: n ≥ 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (an occupancy, a byte size).
+// The zero value is ready to use; all methods are safe for concurrent
+// use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// maxBuckets bounds a histogram's bucket count so Observe's linear scan
+// stays a handful of cache lines.
+const maxBuckets = 64
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (typically nanoseconds or bytes). Bucket i counts observations
+// ≤ bounds[i]; one implicit overflow bucket counts the rest. Observe is
+// lock-free, allocation-free and safe for concurrent use; the read side
+// (Count, Sum, Quantile, Snapshot) is monotone-consistent — concurrent
+// observations may or may not be included, but totals never go
+// backwards between calls.
+type Histogram struct {
+	bounds []int64        // sorted upper bounds, len ≤ maxBuckets
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds. It panics on an empty, unsorted or oversized bound list
+// — bucket layouts are static configuration, not runtime input.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 || len(bounds) > maxBuckets {
+		panic("obs: histogram needs 1..64 bucket bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	// Linear scan: bounds fit in one or two cache lines and latency
+	// observations cluster in the low buckets, so this beats a branchy
+	// binary search and is trivially allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly inside the winning bucket. Observations in the
+// overflow bucket are attributed to the top bound. Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := float64(rank-seen) / float64(n)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, as
+// rendered into the varz JSON document.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Mean    float64 `json:"mean"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P99     int64   `json:"p99"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"` // cumulative, Prometheus-style; last = count
+}
+
+// Snapshot copies the histogram state (allocates; read side only).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  append([]int64(nil), h.bounds...),
+		Buckets: make([]int64, len(h.counts)),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = cum
+	}
+	s.Count = cum
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// LatencyBuckets is the default duration bucket layout, in nanoseconds:
+// a 1–2.5–5 decade ladder from 1µs to 10s. Suits both handler latencies
+// (µs–s) and sweep replicate durations.
+func LatencyBuckets() []int64 {
+	out := make([]int64, 0, 22)
+	for decade := int64(1_000); decade <= 1_000_000_000; decade *= 10 {
+		out = append(out, decade, decade*5/2, decade*5)
+	}
+	return append(out, 10_000_000_000)
+}
+
+// SizeBuckets is the default byte-size bucket layout: powers of four
+// from 256 B to 16 MiB (the server's response-buffer pool cap).
+func SizeBuckets() []int64 {
+	out := make([]int64, 0, 9)
+	for b := int64(256); b <= 16<<20; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// SweepStats aggregates what the bit-parallel contact sweeps did — the
+// explanatory counters behind the BENCH ledgers' timings. A nil
+// *SweepStats disables collection; a non-nil one is updated atomically
+// once per 64-source block (the per-contact bookkeeping stays in block-
+// local variables), so threading it through a sweep costs a handful of
+// atomic adds per block. The zero value is ready to use.
+//
+// Fields (all monotone):
+//
+//   - Blocks: 64-source sweep blocks run (multisource and spectrum).
+//   - Contacts: contacts examined across all blocks — the true unit of
+//     sweep work (each block re-scans the departure-ordered stream).
+//   - EarlyExits: blocks that stopped before the horizon because every
+//     (node, source) pair was reached and no recorded arrival could be
+//     undercut.
+//   - SparseFallbacks: blocks whose pending-arrival grid exceeded the
+//     dense cell limit and fell back to the hash map.
+//   - DueExpiries: due-bucket expiry words processed (bounded-wait
+//     window ends, spectrum cascade checks included).
+//   - RungRetirements: spectrum rungs retired mid-sweep — frozen where
+//     their independent single-mode pass would have early-exited.
+type SweepStats struct {
+	Blocks          Counter
+	Contacts        Counter
+	EarlyExits      Counter
+	SparseFallbacks Counter
+	DueExpiries     Counter
+	RungRetirements Counter
+}
+
+// Register exposes the stats on r under prefix (e.g. "tvg_sweep"):
+// <prefix>_blocks_total, <prefix>_contacts_total, ….
+func (s *SweepStats) Register(r *Registry, prefix string) {
+	r.RegisterCounter(prefix+"_blocks_total", "", "64-source sweep blocks run", &s.Blocks)
+	r.RegisterCounter(prefix+"_contacts_total", "", "contacts examined by sweeps", &s.Contacts)
+	r.RegisterCounter(prefix+"_early_exits_total", "", "sweep blocks that stopped before the horizon", &s.EarlyExits)
+	r.RegisterCounter(prefix+"_sparse_fallbacks_total", "", "sweep blocks that fell back to the sparse pending grid", &s.SparseFallbacks)
+	r.RegisterCounter(prefix+"_due_expiries_total", "", "due-bucket expiry words processed", &s.DueExpiries)
+	r.RegisterCounter(prefix+"_rung_retirements_total", "", "spectrum rungs retired before the sweep's end", &s.RungRetirements)
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestZeroAllocHotPath pins the package's core guarantee: every hot-path
+// instrument operation allocates nothing. A regression here silently
+// turns telemetry into the dominant cost of the sweeps it measures.
+func TestZeroAllocHotPath(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(LatencyBuckets()...)
+	var st SweepStats
+	cases := []struct {
+		name string
+		op   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Value", func() { _ = c.Value() }},
+		{"Gauge.Set", func() { g.Set(42) }},
+		{"Gauge.Add", func() { g.Add(-1) }},
+		{"Gauge.Value", func() { _ = g.Value() }},
+		{"Histogram.Observe", func() { h.Observe(123_456) }},
+		{"Histogram.Observe/overflow", func() { h.Observe(math.MaxInt64) }},
+		{"SweepStats", func() {
+			st.Blocks.Inc()
+			st.Contacts.Add(1024)
+			st.DueExpiries.Add(7)
+		}},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.op); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestConcurrentHammer drives every instrument from many goroutines so
+// -race can catch unsynchronized access, then checks the totals add up.
+func TestConcurrentHammer(t *testing.T) {
+	const workers, perWorker = 8, 10_000
+	var c Counter
+	var g Gauge
+	h := NewHistogram(10, 100, 1000)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 2000))
+			}
+		}(w)
+	}
+	// Concurrent readers exercise the render-side loads under -race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = c.Value()
+			_ = h.Count()
+			_ = h.Quantile(0.5)
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := int64(workers * perWorker)
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %d, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+}
+
+// TestHistogramBuckets checks the bucket assignment rule (≤ bound) and
+// the cumulative snapshot.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, v := range []int64{0, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// counts per bucket: ≤10 → {0,10}; ≤100 → {11,100}; overflow → {101,5000}
+	want := []int64{2, 4, 6} // cumulative
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, s.Buckets[i], w)
+		}
+	}
+	if s.Count != 6 || s.Sum != 0+10+11+100+101+5000 {
+		t.Errorf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+// TestHistogramQuantile sanity-checks interpolation: a uniform fill of
+// one bucket puts the median near the bucket's middle.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100, 200, 400)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", h.Quantile(0.5))
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(150) // all in (100, 200]
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 100 || p50 > 200 {
+		t.Errorf("p50 = %d, want within (100, 200]", p50)
+	}
+	// Overflow-only observations are attributed to the top bound.
+	h2 := NewHistogram(10)
+	h2.Observe(99)
+	if q := h2.Quantile(0.99); q != 10 {
+		t.Errorf("overflow quantile = %d, want 10 (top bound)", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewHistogram() },
+		"unsorted": func() { NewHistogram(10, 5) },
+		"dup":      func() { NewHistogram(10, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram %s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// buildTestRegistry assembles a small fixed registry whose rendered
+// forms the format tests pin.
+func buildTestRegistry() (*Registry, *Histogram) {
+	r := NewRegistry()
+	hits := r.Counter("tvg_cache_hits_total", `cache="schedule"`, "schedule cache hits")
+	misses := r.Counter("tvg_cache_hits_total", `cache="spectra"`, "")
+	g := r.Gauge("tvg_inflight", "", "requests in flight")
+	r.GaugeFunc("tvg_cache_bytes", `cache="schedule"`, "resident bytes", func() int64 { return 4096 })
+	h := r.Histogram("tvg_latency_ns", `endpoint="/metrics"`, "request latency", []int64{1000, 1000000})
+	hits.Add(7)
+	misses.Add(2)
+	g.Set(3)
+	h.Observe(500)
+	h.Observe(2500)
+	h.Observe(2_000_000)
+	return r, h
+}
+
+// TestPromFormat pins the Prometheus text exposition byte-for-byte for
+// the fixed registry: HELP/TYPE once per name, label merging on
+// histogram buckets, no empty brace sets.
+func TestPromFormat(t *testing.T) {
+	r, _ := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP tvg_cache_hits_total schedule cache hits
+# TYPE tvg_cache_hits_total counter
+tvg_cache_hits_total{cache="schedule"} 7
+tvg_cache_hits_total{cache="spectra"} 2
+# HELP tvg_inflight requests in flight
+# TYPE tvg_inflight gauge
+tvg_inflight 3
+# HELP tvg_cache_bytes resident bytes
+# TYPE tvg_cache_bytes gauge
+tvg_cache_bytes{cache="schedule"} 4096
+# HELP tvg_latency_ns request latency
+# TYPE tvg_latency_ns histogram
+tvg_latency_ns_bucket{endpoint="/metrics",le="1000"} 1
+tvg_latency_ns_bucket{endpoint="/metrics",le="1000000"} 2
+tvg_latency_ns_bucket{endpoint="/metrics",le="+Inf"} 3
+tvg_latency_ns_sum{endpoint="/metrics"} 2003000
+tvg_latency_ns_count{endpoint="/metrics"} 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("prometheus exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestVarzShape pins the JSON document shape: flat name{labels} keys,
+// sorted, histograms as nested snapshot objects.
+func TestVarzShape(t *testing.T) {
+	r, _ := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteVarz(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("varz is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{
+		`tvg_cache_hits_total{cache="schedule"}`,
+		`tvg_cache_hits_total{cache="spectra"}`,
+		"tvg_inflight",
+		`tvg_cache_bytes{cache="schedule"}`,
+		`tvg_latency_ns{endpoint="/metrics"}`,
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("varz missing key %s; have %v", key, r.SortedNames())
+		}
+	}
+	var hist HistogramSnapshot
+	if err := json.Unmarshal(doc[`tvg_latency_ns{endpoint="/metrics"}`], &hist); err != nil {
+		t.Fatalf("histogram snapshot: %v", err)
+	}
+	if hist.Count != 3 || hist.Sum != 2003000 || len(hist.Bounds) != 2 || len(hist.Buckets) != 3 {
+		t.Errorf("histogram snapshot wrong: %+v", hist)
+	}
+	// Keys must be sorted (deterministic document).
+	keys := make([]string, 0, len(doc))
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.Token() // {
+	for dec.More() {
+		tok, _ := dec.Token()
+		if k, ok := tok.(string); ok {
+			keys = append(keys, k)
+		}
+		var skip json.RawMessage
+		dec.Decode(&skip)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Errorf("varz keys unsorted: %q before %q", keys[i-1], keys[i])
+		}
+	}
+}
+
+// TestRuntimeBlock checks the Go runtime metrics appear in both exports
+// once enabled.
+func TestRuntimeBlock(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "")
+	r.EnableRuntime()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_cycles_total", "go_gc_pause_total_ns"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("prometheus export missing %s", name)
+		}
+		if _, ok := r.Varz()[name]; !ok {
+			t.Errorf("varz missing %s", name)
+		}
+	}
+	if v, ok := r.Varz()["go_goroutines"].(int64); !ok || v < 1 {
+		t.Errorf("go_goroutines = %v, want ≥ 1", r.Varz()["go_goroutines"])
+	}
+}
+
+// TestRegistryPanics pins the configuration-error contract.
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", "")
+	for name, fn := range map[string]func(){
+		"duplicate": func() { r.Counter("dup_total", "", "") },
+		"empty":     func() { r.Counter("", "", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Same name with different labels is fine.
+	r.Counter("dup_total", `k="v"`, "")
+}
+
+// TestHandlers smoke-tests the HTTP wrappers.
+func TestHandlers(t *testing.T) {
+	r, _ := buildTestRegistry()
+	for _, tc := range []struct {
+		h        string
+		wantType string
+		wantBody string
+	}{
+		{"prom", "text/plain; version=0.0.4; charset=utf-8", "tvg_cache_hits_total{cache=\"schedule\"} 7"},
+		{"varz", "application/json", `"tvg_inflight": 3`},
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/", nil)
+		if tc.h == "prom" {
+			r.PromHandler().ServeHTTP(rec, req)
+		} else {
+			r.VarzHandler().ServeHTTP(rec, req)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != tc.wantType {
+			t.Errorf("%s Content-Type = %q, want %q", tc.h, ct, tc.wantType)
+		}
+		if !strings.Contains(rec.Body.String(), tc.wantBody) {
+			t.Errorf("%s body missing %q:\n%s", tc.h, tc.wantBody, rec.Body.String())
+		}
+	}
+}
+
+// TestSweepStatsRegister checks the prefix naming scheme.
+func TestSweepStatsRegister(t *testing.T) {
+	r := NewRegistry()
+	var st SweepStats
+	st.Register(r, "tvg_sweep")
+	st.Blocks.Add(4)
+	st.Contacts.Add(1000)
+	v := r.Varz()
+	if v["tvg_sweep_blocks_total"] != int64(4) || v["tvg_sweep_contacts_total"] != int64(1000) {
+		t.Errorf("sweep stats not exported: %v", v)
+	}
+	for _, name := range []string{
+		"tvg_sweep_blocks_total", "tvg_sweep_contacts_total", "tvg_sweep_early_exits_total",
+		"tvg_sweep_sparse_fallbacks_total", "tvg_sweep_due_expiries_total", "tvg_sweep_rung_retirements_total",
+	} {
+		if _, ok := v[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+// TestBucketHelpers sanity-checks the default layouts.
+func TestBucketHelpers(t *testing.T) {
+	for name, bounds := range map[string][]int64{"latency": LatencyBuckets(), "size": SizeBuckets()} {
+		if len(bounds) == 0 || len(bounds) > maxBuckets {
+			t.Fatalf("%s buckets: bad length %d", name, len(bounds))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Errorf("%s buckets unsorted at %d", name, i)
+			}
+		}
+		NewHistogram(bounds...) // must not panic
+	}
+}

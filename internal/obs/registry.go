@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// instrumentKind discriminates the export rendering of an instrument.
+type instrumentKind int
+
+const (
+	kindCounter instrumentKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// instrument is one registered metric: a name, an optional constant
+// label set (raw `k="v",k2="v2"` content), help text and the backing
+// value.
+type instrument struct {
+	name   string
+	labels string
+	help   string
+	kind   instrumentKind
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() int64
+	hist   *Histogram
+}
+
+// fullName renders name{labels} (or just name).
+func (in *instrument) fullName() string {
+	if in.labels == "" {
+		return in.name
+	}
+	return in.name + "{" + in.labels + "}"
+}
+
+// Registry is an ordered collection of instruments with two render
+// targets: Prometheus text exposition (WriteProm) and a JSON varz
+// snapshot (WriteVarz). Registration is startup-time configuration —
+// it locks, may allocate, and panics on a duplicate (name, labels) pair
+// or a reserved name; the instruments themselves never touch the
+// registry on their hot paths. The zero value is unusable; call
+// NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	instrs  []*instrument
+	seen    map[string]bool
+	runtime bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+// register appends in, enforcing uniqueness of (name, labels).
+func (r *Registry) register(in *instrument) {
+	if in.name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := in.fullName()
+	if r.seen[key] {
+		panic(fmt.Sprintf("obs: duplicate metric %s", key))
+	}
+	r.seen[key] = true
+	r.instrs = append(r.instrs, in)
+}
+
+// Counter creates, registers and returns a counter. labels is a raw
+// Prometheus label-pair list (e.g. `cache="schedule"`) or "".
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := new(Counter)
+	r.RegisterCounter(name, labels, help, c)
+	return c
+}
+
+// RegisterCounter registers an externally owned counter (e.g. a
+// SweepStats field).
+func (r *Registry) RegisterCounter(name, labels, help string, c *Counter) {
+	r.register(&instrument{name: name, labels: labels, help: help, kind: kindCounter, ctr: c})
+}
+
+// Gauge creates, registers and returns a gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := new(Gauge)
+	r.RegisterGauge(name, labels, help, g)
+	return g
+}
+
+// RegisterGauge registers an externally owned gauge.
+func (r *Registry) RegisterGauge(name, labels, help string, g *Gauge) {
+	r.register(&instrument{name: name, labels: labels, help: help, kind: kindGauge, gauge: g})
+}
+
+// GaugeFunc registers a gauge sampled by fn at render time — for values
+// that are cheaper to compute on demand than to maintain (cache byte
+// sizes, pool depths). fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
+	r.register(&instrument{name: name, labels: labels, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram creates, registers and returns a histogram over bounds
+// (see NewHistogram).
+func (r *Registry) Histogram(name, labels, help string, bounds []int64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.RegisterHistogram(name, labels, help, h)
+	return h
+}
+
+// RegisterHistogram registers an externally owned histogram.
+func (r *Registry) RegisterHistogram(name, labels, help string, h *Histogram) {
+	r.register(&instrument{name: name, labels: labels, help: help, kind: kindHistogram, hist: h})
+}
+
+// EnableRuntime adds the Go runtime block to both exports: goroutine
+// count, heap alloc/sys bytes, GC cycle count and total GC pause time.
+// runtime.ReadMemStats is read once per render, never on a hot path.
+func (r *Registry) EnableRuntime() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runtime = true
+}
+
+// snapshotLocked copies the instrument list so rendering can proceed
+// without holding the lock across writes.
+func (r *Registry) snapshot() ([]*instrument, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*instrument(nil), r.instrs...), r.runtime
+}
+
+// runtimeValue is one sampled Go runtime metric.
+type runtimeValue struct {
+	name    string
+	help    string
+	counter bool
+	value   int64
+}
+
+// sampleRuntime reads the runtime block (one ReadMemStats call).
+func sampleRuntime() []runtimeValue {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []runtimeValue{
+		{"go_goroutines", "current goroutine count", false, int64(runtime.NumGoroutine())},
+		{"go_heap_alloc_bytes", "bytes of allocated heap objects", false, int64(ms.HeapAlloc)},
+		{"go_heap_sys_bytes", "bytes of heap obtained from the OS", false, int64(ms.HeapSys)},
+		{"go_gc_cycles_total", "completed GC cycles", true, int64(ms.NumGC)},
+		{"go_gc_pause_total_ns", "cumulative stop-the-world GC pause", true, int64(ms.PauseTotalNs)},
+	}
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4): one HELP/TYPE header per metric
+// name in first-registration order, histograms as cumulative _bucket /
+// _sum / _count series.
+func (r *Registry) WriteProm(w io.Writer) error {
+	instrs, withRuntime := r.snapshot()
+	// Group by name, preserving first-seen order, so HELP/TYPE headers
+	// appear exactly once even when one name carries several label sets.
+	order := make([]string, 0, len(instrs))
+	groups := make(map[string][]*instrument, len(instrs))
+	for _, in := range instrs {
+		if _, ok := groups[in.name]; !ok {
+			order = append(order, in.name)
+		}
+		groups[in.name] = append(groups[in.name], in)
+	}
+	for _, name := range order {
+		ins := groups[name]
+		typ := "gauge"
+		switch ins[0].kind {
+		case kindCounter:
+			typ = "counter"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if ins[0].help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, ins[0].help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, in := range ins {
+			if err := writePromInstrument(w, in); err != nil {
+				return err
+			}
+		}
+	}
+	if withRuntime {
+		for _, rv := range sampleRuntime() {
+			typ := "gauge"
+			if rv.counter {
+				typ = "counter"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+				rv.name, rv.help, rv.name, typ, rv.name, rv.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromInstrument renders one instrument's sample lines.
+func writePromInstrument(w io.Writer, in *instrument) error {
+	switch in.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", in.fullName(), in.ctr.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %d\n", in.fullName(), in.gauge.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s %d\n", in.fullName(), in.fn())
+		return err
+	case kindHistogram:
+		s := in.hist.Snapshot()
+		lblPrefix := "" // label content preceding the le pair
+		if in.labels != "" {
+			lblPrefix = in.labels + ","
+		}
+		scalarLabels := "" // suffix for _sum/_count: {labels} or nothing
+		if in.labels != "" {
+			scalarLabels = "{" + in.labels + "}"
+		}
+		for i, b := range s.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n",
+				in.name, lblPrefix, b, s.Buckets[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n",
+			in.name, lblPrefix, s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+			in.name, scalarLabels, s.Sum, in.name, scalarLabels, s.Count); err != nil {
+			return err
+		}
+		return nil
+	}
+	return nil
+}
+
+// Varz builds the JSON-ready snapshot map: scalar instruments map
+// name{labels} → value, histograms → HistogramSnapshot. Keys sort
+// lexically when marshalled, so the document is deterministic for a
+// fixed registry state.
+func (r *Registry) Varz() map[string]any {
+	instrs, withRuntime := r.snapshot()
+	out := make(map[string]any, len(instrs)+5)
+	for _, in := range instrs {
+		switch in.kind {
+		case kindCounter:
+			out[in.fullName()] = in.ctr.Value()
+		case kindGauge:
+			out[in.fullName()] = in.gauge.Value()
+		case kindGaugeFunc:
+			out[in.fullName()] = in.fn()
+		case kindHistogram:
+			out[in.fullName()] = in.hist.Snapshot()
+		}
+	}
+	if withRuntime {
+		for _, rv := range sampleRuntime() {
+			out[rv.name] = rv.value
+		}
+	}
+	return out
+}
+
+// WriteVarz renders the varz snapshot as indented JSON with sorted keys.
+func (r *Registry) WriteVarz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Varz())
+}
+
+// PromHandler serves WriteProm over HTTP (GET /debug/metrics).
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+// VarzHandler serves WriteVarz over HTTP (GET /debug/vars, /statusz).
+func (r *Registry) VarzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteVarz(w)
+	})
+}
+
+// Names returns the registered full names in registration order (for
+// tests and diagnostics).
+func (r *Registry) Names() []string {
+	instrs, _ := r.snapshot()
+	out := make([]string, len(instrs))
+	for i, in := range instrs {
+		out[i] = in.fullName()
+	}
+	return out
+}
+
+// SortedNames returns Names() sorted, matching the varz key order.
+func (r *Registry) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}

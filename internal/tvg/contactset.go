@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"unsafe"
 )
 
 // Contact is one usable (edge, departure) pair of a schedule: edge Edge is
@@ -117,6 +118,18 @@ func (c *ContactSet) buildIndexes() {
 		c.byTime[fillT[ct.Dep]] = int32(i)
 		fillT[ct.Dep]++
 	}
+}
+
+// SizeBytes reports the approximate heap footprint of the compiled
+// schedule: the contact array plus the three offset indexes. The Graph
+// the set was compiled from is not included (it may be shared). Used by
+// the engine's cache byte gauges; exactness to the allocator's rounding
+// is not a goal.
+func (c *ContactSet) SizeBytes() int64 {
+	return int64(unsafe.Sizeof(*c)) +
+		int64(len(c.contacts))*int64(unsafe.Sizeof(Contact{})) +
+		int64(len(c.edgeOff)+len(c.outOff)+len(c.byTime)+len(c.timeOff))*4 +
+		int64(len(c.outEdges))*int64(unsafe.Sizeof(EdgeID(0)))
 }
 
 // Graph returns the underlying graph.

@@ -1,6 +1,8 @@
 package tvgwait
 
 import (
+	"context"
+
 	"tvgwait/internal/anbn"
 	"tvgwait/internal/automata"
 	"tvgwait/internal/construct"
@@ -9,6 +11,7 @@ import (
 	"tvgwait/internal/engine"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/lang"
+	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
 
@@ -113,6 +116,19 @@ type (
 	SpectrumRequest = engine.SpectrumRequest
 	// SpectrumReport is the per-rung metric table of one network.
 	SpectrumReport = engine.SpectrumReport
+
+	// Registry is the telemetry registry: zero-allocation counters,
+	// gauges and histograms with Prometheus text and JSON varz renderers
+	// (see DESIGN.md §8). Pass one as EngineOptions.Obs to expose the
+	// engine's cache, pool and sweep series.
+	Registry = obs.Registry
+	// SweepStats aggregates the bit-parallel sweeps' telemetry: blocks,
+	// contacts swept, early exits, sparse-grid fallbacks, due-bucket
+	// expiries and spectrum rung retirements.
+	SweepStats = obs.SweepStats
+	// CacheTrace accumulates one request's engine-cache outcomes
+	// (attach with WithCacheTrace).
+	CacheTrace = engine.CacheTrace
 )
 
 // Graph construction.
@@ -319,3 +335,28 @@ func ParseMode(s string) (Mode, error) { return engine.ParseMode(s) }
 
 // ParseModeList parses a comma-separated mode list, e.g. "nowait,wait:2,wait".
 func ParseModeList(s string) ([]Mode, error) { return engine.ParseModeList(s) }
+
+// Telemetry (see DESIGN.md §8).
+
+// NewRegistry returns an empty telemetry registry. Registration is
+// startup-time configuration; the instruments' hot-path operations are
+// lock-free and allocation-free.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// WithCacheTrace derives a context whose engine cache lookups record
+// into the returned trace — per-request warm/cold attribution.
+func WithCacheTrace(ctx context.Context) (context.Context, *CacheTrace) {
+	return engine.WithCacheTrace(ctx)
+}
+
+// AllForemostStats is AllForemostParallel with optional sweep telemetry
+// folded into st once per 64-source block (nil st is free).
+func AllForemostStats(c *Compiled, mode Mode, t0 Time, workers int, st *SweepStats) *ArrivalMatrix {
+	return journey.AllForemostStats(c, mode, t0, workers, st)
+}
+
+// WaitSpectrumStats is WaitSpectrumParallel with optional sweep
+// telemetry folded into st once per 64-source block (nil st is free).
+func WaitSpectrumStats(c *Compiled, ladder Ladder, t0 Time, workers int, st *SweepStats) *SpectrumResult {
+	return journey.WaitSpectrumStats(c, ladder, t0, workers, st)
+}
