@@ -2,11 +2,13 @@
 // Figure 1 language check (E1), the Theorem 2.1/2.2/2.3 validation suites
 // (E2–E4), the quantitative power-of-waiting sweep (E5), the WQO
 // machinery report (E6) and the waiting-spectrum critical-budget sweep
-// (E7). EXPERIMENTS.md records its output.
+// (E7). EXPERIMENTS.md records its output. The extra "width" id times
+// the multi-word sweep engines across block widths (machine-dependent,
+// so excluded from "all" and the golden transcripts).
 //
 // Usage:
 //
-//	tvgbench [-quick] [-seed N] [-maxlen N] [e1|e2|e3|e4|e5|e6|e7|all]
+//	tvgbench [-quick] [-seed N] [-maxlen N] [-width W] [e1|e2|e3|e4|e5|e6|e7|width|all]
 package main
 
 import (
@@ -30,6 +32,7 @@ func run(args []string, w io.Writer) error {
 	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := fs.Int64("seed", 2012, "seed for randomized workloads")
 	maxLen := fs.Int("maxlen", 10, "word-length bound for exhaustive language checks")
+	width := fs.Int("width", 0, "forced sweep block width for the width experiment (0 = sweep all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,6 +40,6 @@ func run(args []string, w io.Writer) error {
 	if fs.NArg() > 0 {
 		id = fs.Arg(0)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, MaxLen: *maxLen}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, MaxLen: *maxLen, Width: *width}
 	return experiments.Run(id, w, opts)
 }

@@ -21,6 +21,12 @@ type Options struct {
 	Workers int
 	// CacheSize bounds the compiled-schedule LRU (0 = 64 entries).
 	CacheSize int
+	// SweepWidth forces the bit-parallel sweeps' block width, in
+	// 64-source lane words (1, 2, 4 or 8; 512 sources per contact pass
+	// at 8). 0 — the default — selects the width automatically per sweep
+	// from the node count, the worker fan-out and the dense-grid budget.
+	// Results are bit-identical at every width; only speed changes.
+	SweepWidth int
 	// Obs, when non-nil, registers the engine's telemetry on the given
 	// registry (cache hit/miss/eviction/byte series, worker-pool
 	// occupancy and task durations, cold-build durations, sweep stats —
@@ -33,8 +39,9 @@ type Options struct {
 // share the contact-set cache and the flood-scratch pool and nothing
 // else.
 type Engine struct {
-	workers int
-	cache   *scheduleCache
+	workers    int
+	sweepWidth int
+	cache      *scheduleCache
 	// metrics caches the all-pairs metric rows per (spec, seed, t0,
 	// mode): a hot single-mode /metrics spec costs one map hit after
 	// the first computation.
@@ -76,8 +83,9 @@ func New(opts Options) *Engine {
 		cacheSize = 64
 	}
 	e := &Engine{
-		workers: workers,
-		cache:   newScheduleCache(cacheSize),
+		workers:    workers,
+		sweepWidth: opts.SweepWidth,
+		cache:      newScheduleCache(cacheSize),
 		// Metric rows are tiny next to compiled schedules; keep several
 		// modes' worth per cached schedule, and a couple of whole
 		// ladders (a spectrum entry holds all its rungs).

@@ -133,7 +133,7 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		}
 		key := fmt.Sprintf("%s|t0%d|%s", req.Graph.key(req.Seed), req.T0, mode)
 		mm, hit, err := e.metrics.get(key, func() (*ModeMetrics, error) {
-			return computeModeMetrics(c, mode, req.T0, e.workers, &e.sweeps), nil
+			return computeModeMetrics(c, mode, req.T0, e.workers, e.sweepWidth, &e.sweeps), nil
 		})
 		if err != nil {
 			return nil, err
@@ -145,10 +145,11 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 }
 
 // computeModeMetrics derives one mode's row from the all-pairs foremost
-// matrix, sweeping its source blocks across up to `workers` goroutines
-// and folding the sweep's telemetry into st (nil is free).
-func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ModeMetrics {
-	return metricsFromMatrix(mode, journey.AllForemostStats(c, mode, t0, workers, st))
+// matrix, sweeping its source blocks (64·width sources each; width 0 =
+// auto) across up to `workers` goroutines and folding the sweep's
+// telemetry into st (nil is free).
+func computeModeMetrics(c *tvg.ContactSet, mode journey.Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) *ModeMetrics {
+	return metricsFromMatrix(mode, journey.AllForemostStats(c, mode, t0, workers, width, st))
 }
 
 // metricsFromMatrix summarizes one foremost-arrival matrix into a mode

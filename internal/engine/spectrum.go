@@ -107,7 +107,7 @@ func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumRe
 func (e *Engine) spectrumRows(ctx context.Context, c *tvg.ContactSet, g GraphSpec, seed int64, t0 tvg.Time, ladder journey.Ladder) ([]*ModeMetrics, error) {
 	key := fmt.Sprintf("%s|t0%d|ladder:%s", g.key(seed), t0, ladder)
 	rows, hit, err := e.spectra.get(key, func() ([]*ModeMetrics, error) {
-		res := journey.WaitSpectrumStats(c, ladder, t0, e.workers, &e.sweeps)
+		res := journey.WaitSpectrumStats(c, ladder, t0, e.workers, e.sweepWidth, &e.sweeps)
 		rows := make([]*ModeMetrics, res.NumRungs())
 		for i := range rows {
 			rows[i] = metricsFromMatrix(res.Mode(i), res.Arrivals(i))

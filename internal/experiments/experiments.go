@@ -40,6 +40,9 @@ type Options struct {
 	Seed int64
 	// Quick shrinks the workloads for smoke tests.
 	Quick bool
+	// Width forces the sweep block width for the "width" timing
+	// experiment (0 sweeps every supported width plus auto).
+	Width int
 }
 
 func (o Options) withDefaults() Options {
@@ -576,10 +579,14 @@ func Run(id string, w io.Writer, opts Options) error {
 		return E7(w, opts)
 	case "ablate":
 		return Ablations(w, opts)
+	case "width":
+		// Timing report; machine-dependent, so never part of RunAll or
+		// the golden transcripts.
+		return WidthSweep(w, opts)
 	case "all", "":
 		return RunAll(w, opts)
 	default:
-		return fmt.Errorf("experiments: unknown experiment %q (want e1..e7, ablate or all)", id)
+		return fmt.Errorf("experiments: unknown experiment %q (want e1..e7, ablate, width or all)", id)
 	}
 }
 

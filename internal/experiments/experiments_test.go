@@ -130,6 +130,36 @@ func TestAblationsReport(t *testing.T) {
 	}
 }
 
+// TestWidthSweepReport smoke-runs the width timing experiment: every
+// width row must verify bit-identical against the W=1 reference. Wall
+// times are machine noise, so only the verdicts are asserted.
+func TestWidthSweepReport(t *testing.T) {
+	var b strings.Builder
+	if err := WidthSweep(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"WIDTH", "w=1", "w=8", "auto(", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("width output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("width sweep reported a bit-identity failure:\n%s", out)
+	}
+
+	// A forced width narrows the table.
+	b.Reset()
+	opts := quickOpts()
+	opts.Width = 4
+	if err := WidthSweep(&b, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\n  w=4 ") || strings.Contains(b.String(), "\n  w=8 ") {
+		t.Errorf("forced width table wrong:\n%s", b.String())
+	}
+}
+
 func TestRunDispatch(t *testing.T) {
 	var b strings.Builder
 	if err := Run("E1", &b, quickOpts()); err != nil {

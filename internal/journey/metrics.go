@@ -7,15 +7,16 @@ import "tvgwait/internal/tvg"
 // departing no earlier than t0. ok is false if some node is unreachable
 // within the horizon (the eccentricity is then undefined). It runs as a
 // single-source bit-parallel sweep — one pass over the contact stream
-// instead of one Foremost search per destination.
+// instead of one Foremost search per destination. One source fills one
+// bit, so the sweep is always single-lane.
 func TemporalEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Time) (tvg.Time, bool) {
 	if !c.Graph().ValidNode(src) || !mode.IsValid() {
 		return 0, false
 	}
-	s := msPool.Get().(*msScratch)
-	defer msPool.Put(s)
-	s.sweep(c, mode, int(src), 1, t0, true, nil)
-	if s.remaining > 0 {
+	s := getMsScratch()
+	defer putMsScratch(s)
+	s.sweep(c, mode, int(src), 1, t0, true, 1, nil)
+	if s.unreached > 0 {
 		return 0, false
 	}
 	n := c.Graph().NumNodes()
@@ -37,9 +38,9 @@ func TemporalEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Tim
 // dynamic network is under each waiting semantics — on sparse TVGs the
 // diameter is typically finite under Wait and undefined under NoWait,
 // which is the journey-level face of the paper's expressivity gap.
-// Implementation: one bit-parallel sweep per 64-source block
-// (O(⌈N/64⌉·contacts) instead of O(N²) Foremost searches), aborting at
-// the first block that leaves a pair unreached.
+// Implementation: one bit-parallel sweep per source block at the
+// automatic width W (O(⌈N/(64·W)⌉·contacts) instead of O(N²) Foremost
+// searches), aborting at the first block that leaves a pair unreached.
 func TemporalDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool) {
 	n := c.Graph().NumNodes()
 	if n == 0 {
@@ -48,17 +49,22 @@ func TemporalDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool
 	if !mode.IsValid() {
 		return 0, false
 	}
-	s := msPool.Get().(*msScratch)
-	defer msPool.Put(s)
+	w := autoWidth(n, spanOf(c, t0), 1, 1)
+	s := getMsScratch()
+	defer putMsScratch(s)
 	var worst tvg.Time
-	for base := 0; base < n; base += blockBits {
-		cnt := min(blockBits, n-base)
-		s.sweep(c, mode, base, cnt, t0, true, nil)
-		if s.remaining > 0 {
+	step := w * blockBits
+	for base := 0; base < n; base += step {
+		cnt := min(step, n-base)
+		s.sweep(c, mode, base, cnt, t0, true, w, nil)
+		if s.unreached > 0 {
 			return 0, false
 		}
+		// Lanes are node-contiguous in first, so (node, source j) of this
+		// block sits at [v*s.w*64 + j]: one flat scan per node covers
+		// every lane.
 		for v := 0; v < n; v++ {
-			fb := v * blockBits
+			fb := v * s.w * blockBits
 			for j := 0; j < cnt; j++ {
 				if d := s.first[fb+j] - t0; d > worst {
 					worst = d

@@ -5,29 +5,38 @@ package journey
 // under this waiting semantics?", "what is its temporal diameter?" —
 // used to be N single-source searches (N² Foremost calls for the
 // diameter). This file replaces those re-traversals with one pass over
-// the contact stream per 64-source block: every node carries a uint64
-// presence mask whose bit j means "a copy originating at source j is
+// the contact stream per source block: every node carries W uint64
+// presence words (W ∈ {1, 2, 4, 8} "lanes", 64–512 sources per block)
+// whose bit j of lane l means "a copy originating at source l·64+j is
 // usable here now", and contacts are processed in departure-time order,
-// OR-ing whole frontiers at once. The semantics mirror dtn's epidemic
-// flood (whose earliest arrival provably equals the foremost-journey
-// arrival; the engine cross-check asserts it):
+// OR-ing whole frontiers at once. Widening the block amortizes the
+// dominant cost — the departure-ordered scan of the contact stream —
+// across up to 8× more sources per pass; the per-contact work that is
+// proportional to live bits is unchanged, so results are bit-identical
+// at every width. The semantics mirror dtn's epidemic flood (whose
+// earliest arrival provably equals the foremost-journey arrival; the
+// engine cross-check asserts it):
 //
 //   - Wait: masks are persistent — once a bit turns on at a node it
 //     stays usable forever.
 //   - NoWait / BoundedWait(d): a bit arriving at time a is usable for
 //     departures in [a, a+d] only. Arrivals are buffered per (node,
-//     arrival-tick) in a pending grid; when tick a is processed the
-//     word comes due (ORed into the live mask) and its expiry is
+//     arrival-tick, lane) in a pending grid; when tick a is processed
+//     the word comes due (ORed into the live mask) and its expiry is
 //     scheduled d+1 ticks later, where bits refreshed by a newer
-//     arrival — detected via a per-(node, bit) latest-arrival table —
-//     survive the clear. This is the due-bucket idea of dtn.Scratch,
-//     word-packed.
+//     arrival — detected via a per-(node, lane, bit) latest-arrival
+//     table — survive the clear. This is the due-bucket idea of
+//     dtn.Scratch, word-packed.
 //
 // Foremost arrivals are recorded per (src, dst) the first time a bit is
 // newly buffered for a node, with a min-update for the rare
 // out-of-order case where a later departure arrives earlier (variable
-// latencies). See DESIGN.md §5 for the layout, the expiry rule and the
-// early-exit contract.
+// latencies). Each lane keeps its own remaining counter and arrival
+// bound, and retires — its live words zeroed, its folds skipped —
+// exactly where its independent 64-source sweep would have early-
+// exited, so a wide block never does more per-lane work than W narrow
+// blocks would. See DESIGN.md §5 and §9 for the layout, the expiry
+// rule, the early-exit contract and the auto-width rule.
 
 import (
 	"math/bits"
@@ -38,14 +47,46 @@ import (
 	"tvgwait/internal/tvg"
 )
 
-// blockBits is the source-block width: one machine word.
+// blockBits is the bit width of one lane word: 64 sources.
 const blockBits = 64
 
-// msDenseCellLimit bounds the nodes × span pending-arrival grid (in
-// uint64 words) a sweep will allocate. Above it (huge horizons on many
-// nodes) the sweep falls back to a hash map, trading speed for bounded
-// memory — the same escape hatch as dtn's denseCellLimit.
+// maxSweepWidth is the widest supported sweep block: 8 lane words, 512
+// sources per contact pass.
+const maxSweepWidth = 8
+
+// autoMaxWidth is the widest block the automatic rule will pick. Four
+// lanes (256 sources) already cut the contact-stream passes to the
+// point where the per-live-lane payload — grid probes, arrival
+// recording, gate loads — dominates the sweep, so an eighth lane word
+// doubles the grid working set for no stream savings; on the ledger
+// networks (BENCH_sweepwidth.json) 512-lane blocks measure slower than
+// 256 at every size. W=8 stays available to explicit callers.
+const autoMaxWidth = 4
+
+// laneShift/laneMask pack a (node, lane) pair into one int32 for the
+// due/expire buckets: nl = node<<laneShift | lane. Three bits cover
+// maxSweepWidth lanes and keep node ids below 1<<28 — far beyond any
+// graph the per-tick int32 contact encoding can hold.
+const (
+	laneShift = 3
+	laneMask  = 1<<laneShift - 1
+)
+
+// msDenseCellLimit bounds the nodes × span × width pending-arrival
+// grid (in uint64 words) a sweep will allocate. Above it (huge horizons
+// on many nodes) the sweep falls back to a hash map, trading speed for
+// bounded memory — the same escape hatch as dtn's denseCellLimit. The
+// budget is charged for the full ×W lane growth, and the auto-width
+// rule narrows a block before it would push an affordable dense grid
+// into the sparse path.
 const msDenseCellLimit = 1 << 23
+
+// msMaxRetainedBytes caps the arena footprint a sweep scratch may carry
+// back into its pool. One wide, large-horizon sweep can grow a scratch
+// to hundreds of MB; retaining that for the process lifetime is worse
+// than re-allocating on the next oversized sweep, so Put drops such
+// scratches on the floor instead.
+const msMaxRetainedBytes = 128 << 20
 
 // ArrivalMatrix is the all-pairs foremost-arrival table of a contact
 // set under one waiting semantics: entry (src, dst) is the earliest
@@ -180,48 +221,98 @@ func (m *ReachMatrix) ReachablePairs() int {
 func (m *ReachMatrix) AllOnes() bool { return m.ReachablePairs() == m.n*m.n }
 
 // msExpire is one scheduled frontier expiry: the word that came due for
-// node at the tick d+1 before the bucket it sits in.
+// lane row nl (node<<laneShift | lane) at the tick d+1 before the
+// bucket it sits in.
 type msExpire struct {
-	node int32
+	nl   int32
 	word uint64
 }
 
-// msScratch is the reusable state of one multi-source sweep block. The
-// pending grid and the due/expire buckets are self-cleaning: every cell
-// written is zeroed when its tick is drained (or by the post-loop
-// cleanup on early exit), so reuse needs no O(nodes × span) clear.
+// msScratch is the reusable state of one multi-source sweep block of
+// width w lanes. Per-node state is laid out lane-contiguous — the w
+// words a contact touches for one node are adjacent, so an 8-lane block
+// reads one cache line where 8 narrow blocks would read 8 — and the
+// per-bit tables keep the [node*64*w + j] slot indexing of the narrow
+// sweep with j = lane*64 + bit. The pending grid and the due/expire
+// buckets are self-cleaning: every cell written is zeroed when its tick
+// is drained (or by the post-loop cleanup on early exit), so reuse
+// needs no O(nodes × span × w) clear — and an all-zero grid is layout-
+// independent, so a pooled scratch can change width between sweeps.
 type msScratch struct {
-	win     []uint64         // per node: sources whose copy is usable this tick
-	reached []uint64         // per node: sources that have ever reached it
-	inHoriz []uint64         // per node: sources whose recorded arrival is ≤ horizon
-	first   []tvg.Time       // [node*64+j]: earliest arrival (valid iff reached bit j)
-	lastArr []tvg.Time       // [node*64+j]: latest due arrival (bounded modes only)
-	grid    []uint64         // dense (node, tick) pending-arrival words
+	w       int              // lane words per node of the current sweep
+	win     []uint64         // [v*w+l]: sources whose copy is usable this tick
+	reached []uint64         // [v*w+l]: sources that have ever reached v
+	inHoriz []uint64         // [v*w+l]: sources whose recorded arrival is ≤ horizon
+	anyWin  []uint64         // [v]: OR of v's live lane words (contact-gate filter)
+	first   []tvg.Time       // [(v*w+l)*64+bit]: earliest arrival (valid iff reached)
+	lastArr []tvg.Time       // [(v*w+l)*64+bit]: latest due arrival (bounded modes)
+	grid    []uint64         // dense [(v*span+idx)*w+l] pending-arrival words
 	sparse  map[int64]uint64 // fallback for oversized grids
-	due     [][]int32        // per tick: nodes with a pending word
+	due     [][]int32        // per tick: lane rows (nl) with a pending word
 	expire  [][]msExpire     // per tick: words whose window may have ended
 
-	remaining int      // (node, source) pairs not yet reached
-	maxFirst  tvg.Time // upper bound on every recorded first arrival
+	sparsePeak int // high-water len(sparse): map buckets never shrink
+
+	unreached int                     // (node, source) pairs not yet reached, all lanes
+	active    int                     // lanes not yet retired
+	remaining [maxSweepWidth]int      // per lane: (node, source) pairs not yet reached
+	maxFirst  [maxSweepWidth]tvg.Time // per lane: upper bound on recorded first arrivals
+	laneDone  [maxSweepWidth]bool     // per lane: retired (live words zeroed, folds skipped)
 }
 
 var msPool = sync.Pool{New: func() any { return new(msScratch) }}
 
-// prepare sizes the buffers for n nodes and a span-tick window and
-// clears the per-node masks. first and lastArr need no clearing: first
-// is only read for bits marked reached this sweep, lastArr only for
-// bits that came due this sweep.
-func (s *msScratch) prepare(n int, span int64, dense bool) {
-	if len(s.win) < n {
-		s.win = make([]uint64, n)
-		s.reached = make([]uint64, n)
-		s.inHoriz = make([]uint64, n)
-		s.first = make([]tvg.Time, n*blockBits)
-		s.lastArr = make([]tvg.Time, n*blockBits)
+func getMsScratch() *msScratch { return msPool.Get().(*msScratch) }
+
+// putMsScratch returns s to its pool unless the arenas it would retain
+// exceed msMaxRetainedBytes, in which case s is dropped for the GC.
+// Reports whether the scratch was retained (the retention-cap tests
+// assert the drop).
+func putMsScratch(s *msScratch) bool {
+	if s.retainedBytes() > msMaxRetainedBytes {
+		return false
+	}
+	msPool.Put(s)
+	return true
+}
+
+// retainedBytes estimates the scratch's pinned footprint. The flat
+// arenas (masks, per-bit tables, dense grid) dominate and are exact;
+// the per-tick bucket backbones are charged by header, and the sparse
+// map — whose buckets never shrink — by its high-water entry count.
+func (s *msScratch) retainedBytes() int64 {
+	words := int64(cap(s.win)) + int64(cap(s.reached)) + int64(cap(s.inHoriz)) +
+		int64(cap(s.anyWin)) + int64(cap(s.grid))
+	times := int64(cap(s.first)) + int64(cap(s.lastArr))
+	b := (words + times) * 8
+	b += int64(cap(s.due))*24 + int64(cap(s.expire))*24
+	b += int64(s.sparsePeak) * 48 // ≈ bucket bytes per (int64, uint64) entry
+	return b
+}
+
+// prepare sizes the buffers for n nodes × w lanes and a span-tick
+// window and clears the per-node masks. first and lastArr need no
+// clearing: first is only read for bits marked reached this sweep,
+// lastArr only for bits that came due this sweep — both invariants are
+// layout-local, so they survive width changes between sweeps.
+func (s *msScratch) prepare(n, w int, span int64, dense bool) {
+	s.w = w
+	rows := n * w
+	if len(s.win) < rows {
+		s.win = make([]uint64, rows)
+		s.reached = make([]uint64, rows)
+		s.inHoriz = make([]uint64, rows)
+		s.first = make([]tvg.Time, rows*blockBits)
+		s.lastArr = make([]tvg.Time, rows*blockBits)
 	} else {
-		clear(s.win[:n])
-		clear(s.reached[:n])
-		clear(s.inHoriz[:n])
+		clear(s.win[:rows])
+		clear(s.reached[:rows])
+		clear(s.inHoriz[:rows])
+	}
+	if len(s.anyWin) < n {
+		s.anyWin = make([]uint64, n)
+	} else {
+		clear(s.anyWin[:n])
 	}
 	if span > 0 {
 		if int64(len(s.due)) < span {
@@ -229,8 +320,8 @@ func (s *msScratch) prepare(n int, span int64, dense bool) {
 			s.expire = make([][]msExpire, span)
 		}
 		if dense {
-			if int64(len(s.grid)) < int64(n)*span {
-				s.grid = make([]uint64, int64(n)*span)
+			if int64(len(s.grid)) < int64(n)*span*int64(w) {
+				s.grid = make([]uint64, int64(n)*span*int64(w))
 			}
 		} else if s.sparse == nil {
 			s.sparse = make(map[int64]uint64)
@@ -238,11 +329,11 @@ func (s *msScratch) prepare(n int, span int64, dense bool) {
 	}
 }
 
-// markPending records "bits w arrive at node v at window tick idx" and
+// markPending records "bits w arrive in lane row nl at window tick idx"
+// (key is the row's grid cell, (node*span+idx)*width + lane) and
 // returns the bits not already pending there. The first mark of a cell
-// schedules the node in that tick's due bucket.
-func (s *msScratch) markPending(v int32, idx int64, w uint64, span int64, dense bool) uint64 {
-	key := int64(v)*span + idx
+// schedules the row in that tick's due bucket.
+func (s *msScratch) markPending(nl int32, key, idx int64, w uint64, dense bool) uint64 {
 	if dense {
 		old := s.grid[key]
 		nw := w &^ old
@@ -250,7 +341,7 @@ func (s *msScratch) markPending(v int32, idx int64, w uint64, span int64, dense 
 			return 0
 		}
 		if old == 0 {
-			s.due[idx] = append(s.due[idx], v)
+			s.due[idx] = append(s.due[idx], nl)
 		}
 		s.grid[key] = old | nw
 		return nw
@@ -261,15 +352,19 @@ func (s *msScratch) markPending(v int32, idx int64, w uint64, span int64, dense 
 		return 0
 	}
 	if old == 0 {
-		s.due[idx] = append(s.due[idx], v)
+		s.due[idx] = append(s.due[idx], nl)
 	}
 	s.sparse[key] = old | nw
+	if len(s.sparse) > s.sparsePeak {
+		s.sparsePeak = len(s.sparse)
+	}
 	return nw
 }
 
-// takePending reads and clears node v's pending word at window tick idx.
-func (s *msScratch) takePending(v int32, idx int64, span int64, dense bool) uint64 {
-	key := int64(v)*span + idx
+// takePending reads and clears lane row nl's pending word at window
+// tick idx.
+func (s *msScratch) takePending(nl int32, idx, span int64, dense bool) uint64 {
+	key := (int64(nl>>laneShift)*span+idx)*int64(s.w) + int64(nl&laneMask)
 	if dense {
 		w := s.grid[key]
 		s.grid[key] = 0
@@ -280,83 +375,117 @@ func (s *msScratch) takePending(v int32, idx int64, span int64, dense bool) uint
 	return w
 }
 
-// recordArrivals folds one pending mark (bits w arriving at node v at
-// arr) into the foremost bookkeeping: first-ever bits set their arrival
-// and shrink the remaining count; already-reached bits min-update (a
-// later departure can arrive earlier under variable latencies).
-func (s *msScratch) recordArrivals(v int, w uint64, arr tvg.Time) {
-	fb := v * blockBits
-	newBits := w &^ s.reached[v]
-	s.reached[v] |= w
-	for mw := w; mw != 0; mw &= mw - 1 {
+// recordArrivals folds one pending mark (bits w of lane l arriving at
+// lane row `row` = node*width+l at arr) into the foremost bookkeeping:
+// first-ever bits set their arrival and shrink the lane's remaining
+// count; already-reached bits min-update (a later departure can arrive
+// earlier under variable latencies). Min-updates can only fire for
+// out-of-order arrivals — lane l's recorded firsts are bounded by
+// maxFirst[l], so arrivals at or past it skip the already-reached scan
+// entirely, which is the common case on monotone streams and the bulk
+// of this function's calls once a flood saturates.
+func (s *msScratch) recordArrivals(row, l int, w uint64, arr tvg.Time) {
+	fb := row * blockBits
+	newBits := w &^ s.reached[row]
+	if newBits != 0 {
+		s.reached[row] |= newBits
+		pc := bits.OnesCount64(newBits)
+		s.remaining[l] -= pc
+		s.unreached -= pc
+		if arr > s.maxFirst[l] {
+			s.maxFirst[l] = arr
+		}
+		for mw := newBits; mw != 0; mw &= mw - 1 {
+			s.first[fb+bits.TrailingZeros64(mw)] = arr
+		}
+	}
+	if arr >= s.maxFirst[l] {
+		return
+	}
+	for mw := w &^ newBits; mw != 0; mw &= mw - 1 {
 		j := bits.TrailingZeros64(mw)
-		if newBits>>uint(j)&1 == 1 {
-			s.first[fb+j] = arr
-			s.remaining--
-			if arr > s.maxFirst {
-				s.maxFirst = arr
-			}
-		} else if arr < s.first[fb+j] {
+		if arr < s.first[fb+j] {
 			s.first[fb+j] = arr
 		}
 	}
 }
 
-// recordReached folds bits w into the reachability-only bookkeeping.
-func (s *msScratch) recordReached(v int, w uint64) {
-	nw := w &^ s.reached[v]
+// recordReached folds bits w of lane l into the reachability-only
+// bookkeeping.
+func (s *msScratch) recordReached(row, l int, w uint64) {
+	nw := w &^ s.reached[row]
 	if nw != 0 {
-		s.reached[v] |= nw
-		s.remaining -= bits.OnesCount64(nw)
+		s.reached[row] |= nw
+		pc := bits.OnesCount64(nw)
+		s.remaining[l] -= pc
+		s.unreached -= pc
 	}
 }
 
 // sweep floods the source block [base, base+cnt) through the contact
-// stream in one departure-ordered pass. With arrivals set it maintains
-// the per-(node, bit) foremost arrivals in s.first; without it only the
-// reached masks and the remaining count (cheaper, used by the boolean
+// stream in one departure-ordered pass, carrying up to width lane words
+// (width·64 sources) at once. With arrivals set it maintains the
+// per-(node, bit) foremost arrivals in s.first; without it only the
+// reached masks and the remaining counts (cheaper, used by the boolean
 // connectivity queries). Results stay in the scratch for the caller to
-// extract before the next sweep.
+// extract before the next sweep; the effective lane count is s.w
+// (width, clamped to the lanes cnt actually fills).
 //
-// Early exit: once every (node, source) pair is reached the sweep stops
-// — immediately for reachability, and as soon as no future arrival
-// (≥ t+1) can undercut a recorded first (t+1 ≥ maxFirst) for arrivals.
+// Early exit is per lane: once every (node, source) pair of lane l is
+// reached — and, for arrivals, no future arrival (≥ t+1) can undercut a
+// recorded first (t+1 ≥ maxFirst[l]) — the lane retires: its live
+// words are zeroed (so the contact loop's lane iteration is branch-
+// free) and its due folds are skipped, freezing its state exactly where
+// its independent 64-source sweep would have stopped. The block exits
+// when every lane has retired.
 //
 // A non-nil st receives the block's telemetry — contacts examined, due
-// expiries processed, early exit, sparse fallback — in one atomic merge
-// after the pass (per-tick bookkeeping stays in locals), so the
-// instrumented sweep costs the uninstrumented one plus a few adds per
-// block. See DESIGN.md §8.
-func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, st *obs.SweepStats) {
+// expiries processed, lanes retired mid-sweep, early exit, sparse
+// fallback — in one atomic merge after the pass (per-tick bookkeeping
+// stays in locals), so the instrumented sweep costs the uninstrumented
+// one plus a few adds per block. See DESIGN.md §8.
+func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, width int, st *obs.SweepStats) {
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
-	span := int64(0)
-	if horizon >= t0 {
-		span = int64(horizon-t0) + 1
+	span := spanOf(c, t0)
+	w := width
+	if w < 1 {
+		w = 1
 	}
-	dense := span > 0 && int64(n)*span <= msDenseCellLimit
-	s.prepare(n, span, dense)
+	if maxW := (cnt + blockBits - 1) / blockBits; w > maxW {
+		w = maxW
+	}
+	dense := span > 0 && int64(n)*span*int64(w) <= msDenseCellLimit
+	s.prepare(n, w, span, dense)
 	d, finite := mode.Bound()
 
-	s.remaining = n * cnt
-	s.maxFirst = t0
+	s.unreached = n * cnt
+	s.active = w
+	for l := 0; l < w; l++ {
+		s.remaining[l] = n * min(blockBits, cnt-l*blockBits)
+		s.maxFirst[l] = t0
+		s.laneDone[l] = false
+	}
 
-	// Seed: source j starts at node base+j holding its own bit, arrival
-	// t0 — the pause before the first hop draws on the same waiting
-	// budget as every later pause.
+	// Seed: source l·64+j starts at node base+l·64+j holding its own
+	// bit, arrival t0 — the pause before the first hop draws on the same
+	// waiting budget as every later pause.
 	for j := 0; j < cnt; j++ {
 		src := base + j
-		bit := uint64(1) << uint(j)
-		s.reached[src] |= bit
-		s.remaining--
+		l := j >> 6
+		bit := uint64(1) << uint(j&(blockBits-1))
+		row := src*w + l
+		s.reached[row] |= bit
+		s.remaining[l]--
+		s.unreached--
 		if arrivals {
-			s.first[src*blockBits+j] = t0
+			s.first[row*blockBits+(j&(blockBits-1))] = t0
 			if t0 <= horizon {
-				s.inHoriz[src] |= bit
+				s.inHoriz[row] |= bit
 			}
 		}
 		if span > 0 {
-			s.markPending(int32(src), 0, bit, span, dense)
+			s.markPending(int32(src)<<laneShift|int32(l), int64(src)*span*int64(w)+int64(l), 0, bit, dense)
 		}
 	}
 	if span == 0 {
@@ -367,28 +496,70 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	}
 
 	contacts := c.Contacts()
-	var swept, expired int64 // block-local telemetry, merged into st once
+	// gate[v] must be zero only if no lane has a usable copy at v; for
+	// single-lane sweeps the live mask itself is the gate, saving the
+	// anyWin maintenance and its extra load per live contact.
+	gate := s.anyWin
+	if w == 1 {
+		gate = s.win
+	}
+	var swept, expired, lanesRetired int64 // block-local telemetry, merged once
 	t := t0
 	for ; t <= horizon; t++ {
-		if s.remaining == 0 && (!arrivals || t+1 >= s.maxFirst) {
+		// Retire lanes whose independent sweeps would have early-exited:
+		// all pairs reached, and (for arrivals) no future arrival (≥ t+1)
+		// can undercut a recorded first. Zeroing the retired lane's live
+		// words keeps the contact loop branch-free; gate words are
+		// rebuilt so fully-idle nodes skip the lane scan again.
+		if s.active > 0 {
+			for l := 0; l < w; l++ {
+				if s.laneDone[l] || s.remaining[l] != 0 || (arrivals && t+1 < s.maxFirst[l]) {
+					continue
+				}
+				s.laneDone[l] = true
+				s.active--
+				if s.active > 0 {
+					lanesRetired++
+				}
+				if w > 1 {
+					for v := 0; v < n; v++ {
+						s.win[v*w+l] = 0
+						var any uint64
+						for q := 0; q < w; q++ {
+							any |= s.win[v*w+q]
+						}
+						s.anyWin[v] = any
+					}
+				}
+			}
+		}
+		if s.active == 0 {
 			break
 		}
 		idx := int64(t - t0)
 
 		// 1. Pending arrivals at t come due: fold into the live masks,
 		// stamp the latest-arrival table, and (for finite budgets)
-		// schedule the expiry of this word d+1 ticks out.
-		for _, v := range s.due[idx] {
-			w := s.takePending(v, idx, span, dense)
-			s.win[v] |= w
+		// schedule the expiry of this word d+1 ticks out. Retired lanes
+		// only have their cells zeroed, keeping the grid self-cleaning.
+		for _, nl := range s.due[idx] {
+			wd := s.takePending(nl, idx, span, dense)
+			l := int(nl & laneMask)
+			if s.laneDone[l] {
+				continue
+			}
+			v := int(nl >> laneShift)
+			row := v*w + l
+			s.win[row] |= wd
+			s.anyWin[v] |= wd
 			if finite {
-				fb := int(v) * blockBits
-				for mw := w; mw != 0; mw &= mw - 1 {
+				fb := row * blockBits
+				for mw := wd; mw != 0; mw &= mw - 1 {
 					s.lastArr[fb+bits.TrailingZeros64(mw)] = t
 				}
 				if horizon-t > d { // else the window outlives the sweep
 					eidx := idx + int64(d) + 1
-					s.expire[eidx] = append(s.expire[eidx], msExpire{node: v, word: w})
+					s.expire[eidx] = append(s.expire[eidx], msExpire{nl: nl, word: wd})
 				}
 			}
 		}
@@ -396,11 +567,19 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 
 		// 2. Expire words whose window [a, a+d] ended last tick. Bits
 		// refreshed by a newer arrival (lastArr ≥ t−d) survive. Runs
-		// after the due drain so same-tick refreshes are visible.
+		// after the due drain so same-tick refreshes are visible. A
+		// shrunk live word invalidates the node's gate word, which is
+		// rebuilt from the surviving lanes.
 		if finite {
 			expired += int64(len(s.expire[idx]))
 			for _, e := range s.expire[idx] {
-				fb := int(e.node) * blockBits
+				l := int(e.nl & laneMask)
+				if s.laneDone[l] {
+					continue
+				}
+				v := int(e.nl >> laneShift)
+				row := v*w + l
+				fb := row * blockBits
 				stale := e.word
 				for mw := e.word; mw != 0; mw &= mw - 1 {
 					j := bits.TrailingZeros64(mw)
@@ -408,43 +587,105 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 						stale &^= 1 << uint(j)
 					}
 				}
-				s.win[e.node] &^= stale
+				if stale == 0 {
+					continue
+				}
+				s.win[row] &^= stale
+				if w > 1 {
+					var any uint64
+					for q := 0; q < w; q++ {
+						any |= s.win[v*w+q]
+					}
+					s.anyWin[v] = any
+				}
 			}
 			s.expire[idx] = s.expire[idx][:0]
 		}
 
 		// 3. Contacts departing at t forward every usable copy of their
-		// tail in one word OR. Arrivals within the horizon are buffered
-		// (and may relay further); later arrivals are terminal and only
-		// recorded.
+		// tail, one word OR per live lane. The gate word (the OR of the
+		// tail's lanes) skips dead tails in one load — the common case on
+		// sparse streams — so a wide block pays the lane scan only where
+		// a narrow block would have forwarded too. Arrivals within the
+		// horizon are buffered (and may relay further); later arrivals
+		// are terminal and only recorded.
 		tick := c.AtTick(t)
 		swept += int64(len(tick))
 		for _, k := range tick {
 			ct := &contacts[k]
-			mfrom := s.win[ct.From]
-			if mfrom == 0 {
+			if gate[ct.From] == 0 {
 				continue
 			}
-			to := int32(ct.To)
+			fb := int(ct.From) * w
+			to := int(ct.To)
 			if ct.Arr <= horizon {
-				nw := s.markPending(to, int64(ct.Arr-t0), mfrom, span, dense)
-				if nw == 0 {
-					continue
-				}
-				if arrivals {
-					s.recordArrivals(int(to), nw, ct.Arr)
-					s.inHoriz[to] |= nw
+				arrIdx := int64(ct.Arr - t0)
+				cellBase := (int64(to)*span + arrIdx) * int64(w)
+				if dense {
+					// Inlined dense markPending: the grid probe, the due
+					// scheduling and the dedup are three array ops per live
+					// lane — a call (and its per-lane dense/sparse branch)
+					// here costs as much as the work it wraps.
+					for l := 0; l < w; l++ {
+						mfrom := s.win[fb+l]
+						if mfrom == 0 {
+							continue
+						}
+						old := s.grid[cellBase+int64(l)]
+						nw := mfrom &^ old
+						if nw == 0 {
+							continue
+						}
+						if old == 0 {
+							s.due[arrIdx] = append(s.due[arrIdx], int32(to)<<laneShift|int32(l))
+						}
+						s.grid[cellBase+int64(l)] = old | nw
+						row := to*w + l
+						if arrivals {
+							s.recordArrivals(row, l, nw, ct.Arr)
+							s.inHoriz[row] |= nw
+						} else {
+							s.recordReached(row, l, nw)
+						}
+					}
 				} else {
-					s.recordReached(int(to), nw)
+					for l := 0; l < w; l++ {
+						mfrom := s.win[fb+l]
+						if mfrom == 0 {
+							continue
+						}
+						nw := s.markPending(int32(to)<<laneShift|int32(l), cellBase+int64(l), arrIdx, mfrom, false)
+						if nw == 0 {
+							continue
+						}
+						row := to*w + l
+						if arrivals {
+							s.recordArrivals(row, l, nw, ct.Arr)
+							s.inHoriz[row] |= nw
+						} else {
+							s.recordReached(row, l, nw)
+						}
+					}
 				}
 			} else if arrivals {
 				// Terminal, past the horizon: only bits without an
 				// in-horizon arrival can still be improved.
-				if cand := mfrom &^ s.inHoriz[to]; cand != 0 {
-					s.recordArrivals(int(to), cand, ct.Arr)
+				for l := 0; l < w; l++ {
+					mfrom := s.win[fb+l]
+					if mfrom == 0 {
+						continue
+					}
+					row := to*w + l
+					if cand := mfrom &^ s.inHoriz[row]; cand != 0 {
+						s.recordArrivals(row, l, cand, ct.Arr)
+					}
 				}
 			} else {
-				s.recordReached(int(to), mfrom)
+				for l := 0; l < w; l++ {
+					if mfrom := s.win[fb+l]; mfrom != 0 {
+						s.recordReached(to*w+l, l, mfrom)
+					}
+				}
 			}
 		}
 	}
@@ -455,8 +696,8 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	// so the grid is all-zero for the next sweep.
 	for ; t <= horizon; t++ {
 		idx := int64(t - t0)
-		for _, v := range s.due[idx] {
-			s.takePending(v, idx, span, dense)
+		for _, nl := range s.due[idx] {
+			s.takePending(nl, idx, span, dense)
 		}
 		s.due[idx] = s.due[idx][:0]
 		if finite {
@@ -468,6 +709,7 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		st.Blocks.Inc()
 		st.Contacts.Add(swept)
 		st.DueExpiries.Add(expired)
+		st.LaneRetirements.Add(lanesRetired)
 		if earlyExit {
 			st.EarlyExits.Inc()
 		}
@@ -477,31 +719,91 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	}
 }
 
-// forEachBlock runs fn(block) for every 64-source block of an n-node
-// sweep, fanning the blocks out across up to `workers` goroutines
-// (each renting its own pooled msScratch via fn's caller). Blocks are
+// spanOf returns the length of the sweep window [t0, horizon] in
+// ticks, or 0 when the window is empty.
+func spanOf(c *tvg.ContactSet, t0 tvg.Time) int64 {
+	if h := c.Horizon(); h >= t0 {
+		return int64(h-t0) + 1
+	}
+	return 0
+}
+
+// autoWidth picks the lane-word count W ∈ {1, 2, 4} of a sweep (W=8 is
+// explicit-only; see autoMaxWidth). Three pressures, applied in order:
+//
+//   - Node count: widen while extra lanes absorb whole 64-source passes
+//     (n > w·64) — a wider block than the source count is pure waste.
+//   - Worker fan-out: blocks shrink in count as they widen; narrow until
+//     every worker keeps at least one block, so widening never idles
+//     cores (single-threaded sweeps skip this and take the full width).
+//   - Dense-grid budget: the pending grid grows ×W. A grid the dense
+//     path can afford at W=1 must not be pushed into the sparse
+//     fallback by widening — narrow until it fits again. Grids sparse
+//     even at W=1 keep the full width (the map is keyed per cell either
+//     way, and the wider block still amortizes the stream scan).
+//
+// rungs is 1 for the single-mode sweeps and the ladder length for the
+// spectrum, whose grid carries one word per rung.
+func autoWidth(n int, span int64, rungs, workers int) int {
+	w := 1
+	for w < autoMaxWidth && n > w*blockBits {
+		w *= 2
+	}
+	if workers > 1 {
+		for w > 1 && (n+w*blockBits-1)/(w*blockBits) < workers {
+			w /= 2
+		}
+	}
+	if span > 0 && rungs > 0 {
+		if cells := int64(n) * span * int64(rungs); cells <= msDenseCellLimit {
+			for w > 1 && cells*int64(w) > msDenseCellLimit {
+				w /= 2
+			}
+		}
+	}
+	return w
+}
+
+// normWidth resolves a caller-supplied sweep width: 0 (or negative)
+// selects automatically via autoWidth, anything else is clamped to the
+// supported powers of two {1, 2, 4, 8}, rounding down.
+func normWidth(width, n int, span int64, rungs, workers int) int {
+	if width <= 0 {
+		return autoWidth(n, span, rungs, workers)
+	}
+	w := 1
+	for w < maxSweepWidth && w*2 <= width {
+		w *= 2
+	}
+	return w
+}
+
+// forEachBlock runs fn(block) for every width·64-source block of an
+// n-node sweep, fanning the blocks out across up to `workers`
+// goroutines (each renting its own pooled msScratch). Blocks are
 // independent by construction — each sweeps its own scratch and writes
 // a disjoint region of the result — so the output is bit-identical at
 // any worker count. workers ≤ 1, or a single block, stays on the
 // calling goroutine with zero synchronisation.
-func forEachBlock(n, workers int, fn func(s *msScratch, base, cnt int)) {
-	blockFanOut(&msPool, n, workers, fn)
+func forEachBlock(n, workers, width int, fn func(s *msScratch, base, cnt int)) {
+	blockFanOut(getMsScratch, func(s *msScratch) { putMsScratch(s) }, n, workers, width, fn)
 }
 
 // blockFanOut is the scratch-agnostic body of forEachBlock, shared with
 // the wait-spectrum sweep (which rents spScratch instead): one atomic
 // block counter, one pooled scratch per goroutine, no other
-// synchronisation.
-func blockFanOut[S any](pool *sync.Pool, n, workers int, fn func(s S, base, cnt int)) {
-	nBlocks := (n + blockBits - 1) / blockBits
+// synchronisation. put enforces the pools' retention cap.
+func blockFanOut[S any](get func() S, put func(S), n, workers, width int, fn func(s S, base, cnt int)) {
+	step := width * blockBits
+	nBlocks := (n + step - 1) / step
 	if workers > nBlocks {
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		s := pool.Get().(S)
-		defer pool.Put(s)
-		for base := 0; base < n; base += blockBits {
-			fn(s, base, min(blockBits, n-base))
+		s := get()
+		defer put(s)
+		for base := 0; base < n; base += step {
+			fn(s, base, min(step, n-base))
 		}
 		return
 	}
@@ -511,15 +813,15 @@ func blockFanOut[S any](pool *sync.Pool, n, workers int, fn func(s S, base, cnt 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := pool.Get().(S)
-			defer pool.Put(s)
+			s := get()
+			defer put(s)
 			for {
 				b := int(next.Add(1)) - 1
 				if b >= nBlocks {
 					return
 				}
-				base := b * blockBits
-				fn(s, base, min(blockBits, n-base))
+				base := b * step
+				fn(s, base, min(step, n-base))
 			}
 		}()
 	}
@@ -527,29 +829,34 @@ func blockFanOut[S any](pool *sync.Pool, n, workers int, fn func(s S, base, cnt 
 }
 
 // AllForemost computes the foremost arrival time of every ordered
-// (src, dst) pair in one bit-parallel contact sweep per 64-source block
-// — the batch equivalent of n² Foremost calls, bit-identical to them
-// (asserted by the randomized differential tests). An invalid mode
-// yields an all-unreachable matrix, matching Foremost's ok=false.
+// (src, dst) pair in one bit-parallel contact sweep per source block
+// (64·W sources at the automatic width) — the batch equivalent of n²
+// Foremost calls, bit-identical to them (asserted by the randomized
+// differential tests). An invalid mode yields an all-unreachable
+// matrix, matching Foremost's ok=false.
 func AllForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ArrivalMatrix {
 	return AllForemostParallel(c, mode, t0, 1)
 }
 
-// AllForemostParallel is AllForemost with the 64-source blocks fanned
-// out across up to `workers` goroutines. Blocks write disjoint row
-// ranges of the matrix, so the result is bit-identical to the
-// sequential sweep at any worker count; above one block (N > 64) the
-// wall-clock scales with cores. The engine's Metrics path uses it with
-// the engine worker width.
+// AllForemostParallel is AllForemost with the source blocks fanned out
+// across up to `workers` goroutines. Blocks write disjoint row ranges
+// of the matrix, so the result is bit-identical to the sequential sweep
+// at any worker count; above one block the wall-clock scales with
+// cores. The engine's Metrics path uses it with the engine worker
+// width.
 func AllForemostParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ArrivalMatrix {
-	return AllForemostStats(c, mode, t0, workers, nil)
+	return AllForemostStats(c, mode, t0, workers, 0, nil)
 }
 
-// AllForemostStats is AllForemostParallel with optional sweep telemetry:
-// a non-nil st accumulates what the sweep did (blocks, contacts swept,
-// early exits, expiries, sparse fallbacks) — the result is identical
-// with or without it.
-func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ArrivalMatrix {
+// AllForemostStats is AllForemostParallel with an explicit sweep width
+// and optional telemetry. width is the block's lane-word count — 64·W
+// sources per contact pass — clamped to {1, 2, 4, 8}; 0 picks the
+// automatic width from the node count, the worker fan-out and the
+// dense-grid budget. Results are bit-identical at every width. A
+// non-nil st accumulates what the sweep did (blocks, contacts swept,
+// early exits, expiries, lane retirements, sparse fallbacks) — the
+// result is identical with or without it.
+func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) *ArrivalMatrix {
 	n := c.Graph().NumNodes()
 	m := &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
 	for i := range m.arr {
@@ -558,17 +865,30 @@ func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st
 	if !mode.IsValid() {
 		return m
 	}
-	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
-		s.sweep(c, mode, base, cnt, t0, true, st)
-		for v := 0; v < n; v++ {
-			w := s.reached[v]
-			if w == 0 {
-				continue
-			}
-			fb := v * blockBits
-			for mw := w; mw != 0; mw &= mw - 1 {
-				j := bits.TrailingZeros64(mw)
-				m.arr[(base+j)*n+v] = s.first[fb+j]
+	w := normWidth(width, n, spanOf(c, t0), 1, workers)
+	if st != nil {
+		st.Width.Set(int64(w))
+	}
+	forEachBlock(n, workers, w, func(s *msScratch, base, cnt int) {
+		s.sweep(c, mode, base, cnt, t0, true, w, st)
+		sw := s.w
+		// Lane-major extraction: each lane scatters into only its own 64
+		// source rows of the matrix (the working set of a narrow sweep),
+		// where a node-major walk over a wide block would cycle through
+		// 64·W rows per node and thrash the write lines.
+		for l := 0; l < sw; l++ {
+			srcBase := base + l*blockBits
+			for v := 0; v < n; v++ {
+				row := v*sw + l
+				wd := s.reached[row]
+				if wd == 0 {
+					continue
+				}
+				fb := row * blockBits
+				for mw := wd; mw != 0; mw &= mw - 1 {
+					j := bits.TrailingZeros64(mw)
+					m.arr[(srcBase+j)*n+v] = s.first[fb+j]
+				}
 			}
 		}
 	})
@@ -577,34 +897,41 @@ func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st
 
 // ReachabilityMatrix computes the packed all-pairs reachability
 // relation — per source, exactly ReachableSet(c, mode, src, t0) — in
-// one reachability-only sweep per 64-source block, with early exit as
+// one reachability-only sweep per source block, with early exit as
 // soon as a block's masks are all ones.
 func ReachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time) *ReachMatrix {
 	return ReachabilityMatrixParallel(c, mode, t0, 1)
 }
 
-// ReachabilityMatrixParallel is ReachabilityMatrix with the 64-source
+// ReachabilityMatrixParallel is ReachabilityMatrix with the source
 // blocks fanned out across up to `workers` goroutines; each block
-// writes its own word column, so the result is bit-identical at any
+// writes its own word columns, so the result is bit-identical at any
 // worker count.
 func ReachabilityMatrixParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int) *ReachMatrix {
-	return ReachabilityMatrixStats(c, mode, t0, workers, nil)
+	return ReachabilityMatrixStats(c, mode, t0, workers, 0, nil)
 }
 
-// ReachabilityMatrixStats is ReachabilityMatrixParallel with optional
-// sweep telemetry (see AllForemostStats).
-func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int, st *obs.SweepStats) *ReachMatrix {
+// ReachabilityMatrixStats is ReachabilityMatrixParallel with an
+// explicit sweep width and optional telemetry (see AllForemostStats).
+func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) *ReachMatrix {
 	n := c.Graph().NumNodes()
 	words := (n + blockBits - 1) / blockBits
 	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
 	if n == 0 || !mode.IsValid() {
 		return m
 	}
-	forEachBlock(n, workers, func(s *msScratch, base, cnt int) {
+	w := normWidth(width, n, spanOf(c, t0), 1, workers)
+	if st != nil {
+		st.Width.Set(int64(w))
+	}
+	forEachBlock(n, workers, w, func(s *msScratch, base, cnt int) {
 		b := base / blockBits
-		s.sweep(c, mode, base, cnt, t0, false, st)
+		s.sweep(c, mode, base, cnt, t0, false, w, st)
+		sw := s.w
 		for v := 0; v < n; v++ {
-			m.bits[v*words+b] = s.reached[v]
+			for l := 0; l < sw; l++ {
+				m.bits[v*words+b+l] = s.reached[v*sw+l]
+			}
 		}
 	})
 	return m
@@ -614,7 +941,7 @@ func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers 
 // connected by a feasible journey departing no earlier than t0 — the
 // temporal connectivity property that underpins broadcast and routing
 // in the paper's motivating setting. It short-circuits inside the
-// bit-parallel sweep: each 64-source block stops at the first tick its
+// bit-parallel sweep: each source block stops at the first tick its
 // masks are all ones, and the first block that ends with an unreached
 // pair answers false without sweeping the rest.
 func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
@@ -625,12 +952,13 @@ func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
 	if !mode.IsValid() {
 		return false
 	}
-	s := msPool.Get().(*msScratch)
-	defer msPool.Put(s)
-	for base := 0; base < n; base += blockBits {
-		cnt := min(blockBits, n-base)
-		s.sweep(c, mode, base, cnt, t0, false, nil)
-		if s.remaining > 0 {
+	w := autoWidth(n, spanOf(c, t0), 1, 1)
+	s := getMsScratch()
+	defer putMsScratch(s)
+	step := w * blockBits
+	for base := 0; base < n; base += step {
+		s.sweep(c, mode, base, min(step, n-base), t0, false, w, nil)
+		if s.unreached > 0 {
 			return false
 		}
 	}

@@ -2,8 +2,9 @@ package journey
 
 // Wait-spectrum sweep: the all-pairs foremost-arrival matrix for an
 // entire ladder of waiting budgets {nowait, d1 < … < dK, wait} in ONE
-// departure-ordered pass over the contact stream per 64-source block,
-// instead of one AllForemost pass per budget.
+// departure-ordered pass over the contact stream per source block
+// (64·W sources at width W), instead of one AllForemost pass per
+// budget.
 //
 // The ladder is the paper's central object — the inclusion chain
 // L_nowait ⊆ L_wait[d] ⊆ L_wait[d'] ⊆ L_wait (d ≤ d') — and the sweep
@@ -15,28 +16,32 @@ package journey
 //	pend_r  ⊆ pend_{r+1}   (arrival masks are forwarded from nested live masks)
 //	lastArr_r ≤ lastArr_{r+1}
 //
-// The per-rung planes are laid out rung-contiguous ([node*K + rung],
-// [(node*64+bit)*K + rung], [cell*K + rung]), so the K words a contact
-// or a due-drain touches for one node share a cache line (K ≤ 8 is one
-// line exactly) — the rung loop costs far less than K separate sweeps,
-// whose tick loops, contact iteration, grid scheduling and scratch
-// clears are all paid once here. Nesting is also what makes the shared
-// due buckets sound: a pending cell's top-rung word is non-zero
-// whenever any rung's word is, so one due entry per (node, tick) drains
-// all K rungs.
+// The per-rung planes are laid out rung-contiguous per lane row
+// ([row*K + rung], [(row*64+bit)*K + rung], [cell*K + rung], where a
+// row is node*W + lane), so the K words a contact or a due-drain
+// touches for one lane share a cache line (K ≤ 8 is one line exactly)
+// — the rung loop costs far less than K separate sweeps, whose tick
+// loops, contact iteration, grid scheduling and scratch clears are all
+// paid once here. The lane dimension multiplies that amortization: a
+// W-lane block re-scans the contact stream once where W narrow blocks
+// would scan it W times, and a per-node gate word (the OR of every
+// lane's top-active-rung mask) skips dead tails in one load. Nesting
+// is also what makes the shared due buckets sound: a pending cell's
+// top-rung word is non-zero whenever any rung's word is, so one due
+// entry per (node, tick, lane) drains all K rungs.
 //
 // Per rung the update rules are verbatim msScratch.sweep — same word
 // dedup against the pending cell, same lastArr-refreshed expiry at
 // a+d_r+1, same terminal handling past the horizon — so each rung's
 // state evolves exactly as its independent single-mode sweep would, and
 // every rung's matrix is bit-identical to AllForemost under that rung's
-// mode (pinned by the randomized differential tests in
+// mode at every width (pinned by the randomized differential tests in
 // spectrum_test.go). A per-(node, bit) "minimal live rung" small-int
 // plane alone cannot replace the per-rung lastArr planes: two copies
 // (arrival 5, rung 2) and (arrival 9, rung 4) form a Pareto staircase —
 // which rung is live depends on *which* arrival refreshed it — so
 // rung-aware expiry needs the latest arrival per rung prefix. See
-// DESIGN.md §7.
+// DESIGN.md §7 and §9.
 
 import (
 	"errors"
@@ -144,8 +149,8 @@ func (l Ladder) String() string {
 }
 
 // SpectrumResult holds one foremost-arrival matrix per ladder rung, all
-// computed by a single contact sweep per 64-source block. Rung i's
-// matrix is bit-identical to AllForemost(c, ladder.Mode(i), t0).
+// computed by a single contact sweep per source block. Rung i's matrix
+// is bit-identical to AllForemost(c, ladder.Mode(i), t0).
 type SpectrumResult struct {
 	ladder Ladder
 	t0     tvg.Time
@@ -208,23 +213,26 @@ func (r *SpectrumResult) FirstConnected() (int, bool) {
 
 // spExpire is one scheduled frontier-expiry check of the spectrum
 // sweep: bits `word` from the arrival batch that came due at window
-// index `batch` may stop being rung-`rung`-live when this bucket's tick
-// is reached (the bucket sits at batch + d_rung + 1). Bits found stale
-// cascade into a rung+1 check at that rung's later deadline, so one
-// arrival schedules one check at its arrival rung rather than one per
-// rung — refreshed bits leave the cascade at the first check.
+// index `batch` for lane row nl (node<<laneShift | lane) may stop being
+// rung-`rung`-live when this bucket's tick is reached (the bucket sits
+// at batch + d_rung + 1). Bits found stale cascade into a rung+1 check
+// at that rung's later deadline, so one arrival schedules one check at
+// its arrival rung rather than one per rung — refreshed bits leave the
+// cascade at the first check.
 type spExpire struct {
-	node  int32
+	nl    int32
 	rung  int32
 	batch int64
 	word  uint64
 }
 
-// spScratch is the reusable state of one spectrum-sweep block: the
-// msScratch layout with a rung dimension appended to every plane (see
-// the file comment for the layout and the nesting invariant). Like
-// msScratch it is self-cleaning: every pending cell written is zeroed
-// when its tick drains (or by the post-loop cleanup on early exit).
+// spScratch is the reusable state of one spectrum-sweep block of width
+// w lanes: the msScratch layout with a rung dimension appended to every
+// plane (see the file comment for the layout and the nesting
+// invariant). Like msScratch it is self-cleaning: every pending cell
+// written is zeroed when its tick drains (or by the post-loop cleanup
+// on early exit) — an all-zero grid is layout-independent, so a pooled
+// scratch can change width or rung count between sweeps.
 //
 // The per-bit tables are *slotted by arrival rung* rather than
 // replicated per rung: an arrival event whose minimal feasible rung is
@@ -235,40 +243,50 @@ type spExpire struct {
 // common case (a fresh copy, live at every rung) q = 0 saves the whole
 // fan. The lastArr slots carry monotonically growing epoch stamps
 // (stamp0 + window index) instead of raw ticks so reuse across sweeps
-// needs no O(n·64·k) clear: a stale slot from an earlier sweep always
+// needs no O(n·w·64·k) clear: a stale slot from an earlier sweep always
 // compares below the current sweep's refresh threshold.
 type spScratch struct {
 	k       int      // rung count of the current sweep
-	win     []uint64 // [v*k+r]: sources usable at v this tick, rung r
-	reached []uint64 // [v*k+r]: sources that have ever reached v at rung r
-	// first[(v*k+q)*64+j]: earliest arrival among events whose arrival
+	w       int      // lane words per node of the current sweep
+	win     []uint64 // [row*k+r]: sources usable this tick, rung r (row = v*w+lane)
+	reached []uint64 // [row*k+r]: sources that have ever reached v at rung r
+	// anyWin[v]: OR of every lane's top-active-rung live word — the
+	// contact-gate filter. The top active plane contains every lower
+	// rung's bits (nesting), so a zero gate word proves the node has no
+	// usable copy at any rung in any lane.
+	anyWin []uint64
+	// first[(row*k+q)*64+j]: earliest arrival among events whose arrival
 	// rung is exactly q. Only *staged* slots are meaningful — stage bit
-	// q of stageMask[v*64+j] marks them — and rung r's foremost arrival
-	// is the prefix-min over staged slots ≤ r at extraction. An event
-	// therefore writes one slot, not one per rung it newly reaches.
-	// Rung-major, so recording a word of bits writes contiguously.
+	// q of stageMask[row*64+j] marks them — and rung r's foremost
+	// arrival is the prefix-min over staged slots ≤ r at extraction. An
+	// event therefore writes one slot, not one per rung it newly
+	// reaches. Rung-major, so recording a word of bits writes
+	// contiguously.
 	first []tvg.Time
-	// stageMask[v*64+j]: bit q set iff slot q of `first` holds a value
+	// stageMask[row*64+j]: bit q set iff slot q of `first` holds a value
 	// from this sweep. Assigned (not OR-ed) on the bit's first stage,
 	// so it needs no clearing between sweeps.
 	stageMask []uint64
-	// lastArr[(v*k+q)*64+j]: epoch stamp of the latest due arrival with
-	// arrival rung exactly q; rung r's refresh test is a prefix-max.
+	// lastArr[(row*k+q)*64+j]: epoch stamp of the latest due arrival
+	// with arrival rung exactly q; rung r's refresh test is a
+	// prefix-max.
 	lastArr []tvg.Time
-	// lastAny[v*64+j]: epoch stamp of the latest due arrival at any
+	// lastAny[row*64+j]: epoch stamp of the latest due arrival at any
 	// rung — a one-probe filter in front of the prefix-max walk: a bit
 	// with no fresh arrival anywhere (the common case for a true
 	// expiry) is proven stale without touching the per-rung slots.
 	lastAny   []tvg.Time
 	stamp0    tvg.Time // epoch base of the current sweep's lastArr stamps
 	nextStamp tvg.Time // first stamp value available to the next sweep
-	grid      []uint64 // dense (node, tick, rung) pending-arrival words
+	grid      []uint64 // dense [((v*span+idx)*w+lane)*k+r] pending-arrival words
 	sparse    map[int64]uint64
-	due       [][]int32    // per tick: nodes with a pending cell (any rung)
+	due       [][]int32    // per tick: lane rows (nl) with a pending cell (any rung)
 	expire    [][]spExpire // per tick: words whose window may have ended
 	d         []tvg.Time   // per rung: pause bound (finite rungs)
 	finite    []bool       // per rung: bounded budget?
 	anyFinite bool
+
+	sparsePeak int // high-water len(sparse): map buckets never shrink
 
 	remaining []int      // per rung: (node, source) pairs not yet reached
 	maxFirst  []tvg.Time // per rung: upper bound on recorded first arrivals
@@ -286,31 +304,64 @@ type spScratch struct {
 
 var spPool = sync.Pool{New: func() any { return new(spScratch) }}
 
-// prepare sizes the buffers for n nodes, k rungs and a span-tick window
-// and clears the per-(node, rung) masks. first needs no clearing (it is
-// only read for slots whose reached bit is set this sweep), and lastArr
-// is made stale-proof by the epoch stamps: the sweep claims a fresh
-// stamp range [stamp0, stamp0+span], so any value a previous sweep left
-// behind is below every refresh threshold this sweep can compute.
-func (s *spScratch) prepare(ladder Ladder, n int, span int64, dense bool) {
+func getSpScratch() *spScratch { return spPool.Get().(*spScratch) }
+
+// putSpScratch returns s to its pool unless the arenas it would retain
+// exceed msMaxRetainedBytes (see putMsScratch). Reports whether the
+// scratch was retained.
+func putSpScratch(s *spScratch) bool {
+	if s.retainedBytes() > msMaxRetainedBytes {
+		return false
+	}
+	spPool.Put(s)
+	return true
+}
+
+// retainedBytes estimates the scratch's pinned footprint (see
+// msScratch.retainedBytes).
+func (s *spScratch) retainedBytes() int64 {
+	words := int64(cap(s.win)) + int64(cap(s.reached)) + int64(cap(s.stageMask)) +
+		int64(cap(s.anyWin)) + int64(cap(s.grid))
+	times := int64(cap(s.first)) + int64(cap(s.lastArr)) + int64(cap(s.lastAny))
+	b := (words + times) * 8
+	b += int64(cap(s.due))*24 + int64(cap(s.expire))*24
+	b += int64(s.sparsePeak) * 48 // ≈ bucket bytes per (int64, uint64) entry
+	return b
+}
+
+// prepare sizes the buffers for n nodes × w lanes, k rungs and a
+// span-tick window and clears the per-(row, rung) masks. first needs no
+// clearing (it is only read for slots whose reached bit is set this
+// sweep), and lastArr is made stale-proof by the epoch stamps: the
+// sweep claims a fresh stamp range [stamp0, stamp0+span], so any value
+// a previous sweep left behind — in any layout — is below every refresh
+// threshold this sweep can compute.
+func (s *spScratch) prepare(ladder Ladder, n, w int, span int64, dense bool) {
 	s.stamp0 = s.nextStamp
 	s.nextStamp += span + 1
 	k := ladder.Len()
 	s.k = k
-	if len(s.win) < n*k {
-		s.win = make([]uint64, n*k)
-		s.reached = make([]uint64, n*k)
+	s.w = w
+	rows := n * w
+	if len(s.win) < rows*k {
+		s.win = make([]uint64, rows*k)
+		s.reached = make([]uint64, rows*k)
 	} else {
-		clear(s.win[:n*k])
-		clear(s.reached[:n*k])
+		clear(s.win[:rows*k])
+		clear(s.reached[:rows*k])
 	}
-	if len(s.first) < n*blockBits*k {
-		s.first = make([]tvg.Time, n*blockBits*k)
-		s.lastArr = make([]tvg.Time, n*blockBits*k)
+	if len(s.first) < rows*blockBits*k {
+		s.first = make([]tvg.Time, rows*blockBits*k)
+		s.lastArr = make([]tvg.Time, rows*blockBits*k)
 	}
-	if len(s.lastAny) < n*blockBits {
-		s.lastAny = make([]tvg.Time, n*blockBits)
-		s.stageMask = make([]uint64, n*blockBits)
+	if len(s.lastAny) < rows*blockBits {
+		s.lastAny = make([]tvg.Time, rows*blockBits)
+		s.stageMask = make([]uint64, rows*blockBits)
+	}
+	if len(s.anyWin) < n {
+		s.anyWin = make([]uint64, n)
+	} else {
+		clear(s.anyWin[:n])
 	}
 	if cap(s.d) < k {
 		s.d = make([]tvg.Time, k)
@@ -331,8 +382,8 @@ func (s *spScratch) prepare(ladder Ladder, n int, span int64, dense bool) {
 			s.expire = make([][]spExpire, span)
 		}
 		if dense {
-			if int64(len(s.grid)) < int64(n)*span*int64(k) {
-				s.grid = make([]uint64, int64(n)*span*int64(k))
+			if int64(len(s.grid)) < int64(n)*span*int64(k)*int64(w) {
+				s.grid = make([]uint64, int64(n)*span*int64(k)*int64(w))
 			}
 		} else if s.sparse == nil {
 			s.sparse = make(map[int64]uint64)
@@ -340,7 +391,8 @@ func (s *spScratch) prepare(ladder Ladder, n int, span int64, dense bool) {
 	}
 }
 
-// cell reads pending word (cellBase + r); cellBase is (v*span+idx)*k.
+// cell reads pending word (cellBase + r); cellBase is
+// ((v*span+idx)*w + lane)*k.
 func (s *spScratch) cell(cellBase int64, r int, dense bool) uint64 {
 	if dense {
 		return s.grid[cellBase+int64(r)]
@@ -359,22 +411,25 @@ func (s *spScratch) setCell(cellBase int64, r int, w uint64, dense bool) {
 		return
 	}
 	s.sparse[cellBase+int64(r)] = w
+	if len(s.sparse) > s.sparsePeak {
+		s.sparsePeak = len(s.sparse)
+	}
 }
 
 // record folds one rung's arrival mark into the foremost bookkeeping:
-// w are the bits of an arrival event visible at rung r, lowest the
-// subset for which r is the event's minimal feasible rung. Bits newly
-// reached at r initialize their slot; bits already reached only
-// min-update at the event's arrival rung (lowest) — higher slots are
-// covered by the prefix-min at extraction, so the per-rung fan of the
-// replicated scheme is skipped.
-func (s *spScratch) record(v, r int, w, lowest, seenNew uint64, arr tvg.Time) uint64 {
+// w are the bits of an arrival event visible at rung r of lane row
+// `row`, lowest the subset for which r is the event's minimal feasible
+// rung. Bits newly reached at r initialize their slot; bits already
+// reached only min-update at the event's arrival rung (lowest) — higher
+// slots are covered by the prefix-min at extraction, so the per-rung
+// fan of the replicated scheme is skipped.
+func (s *spScratch) record(row, r int, w, lowest, seenNew uint64, arr tvg.Time) uint64 {
 	k := s.k
-	rb := v*k + r
+	rb := row*k + r
 	oldReached := s.reached[rb]
 	newBits := w &^ oldReached
 	fb := rb * blockBits
-	ab := v * blockBits
+	ab := row * blockBits
 	rbit := uint64(1) << uint(r)
 	if newBits != 0 {
 		s.reached[rb] = oldReached | newBits
@@ -385,7 +440,7 @@ func (s *spScratch) record(v, r int, w, lowest, seenNew uint64, arr tvg.Time) ui
 		// Stage the event once, at its arrival rung: bits already staged
 		// at a lower rung this event (seenNew) skip the slot write — the
 		// prefix-min covers them.
-		topPre := s.reached[v*k+k-1]
+		topPre := s.reached[row*k+k-1]
 		if r == k-1 {
 			topPre = oldReached
 		}
@@ -422,30 +477,37 @@ func (s *spScratch) record(v, r int, w, lowest, seenNew uint64, arr tvg.Time) ui
 }
 
 // sweep floods the source block [base, base+cnt) through the contact
-// stream once, maintaining every rung's frontier simultaneously.
-// Results stay in the scratch for the caller to extract before the next
-// sweep.
+// stream once, maintaining every rung's frontier simultaneously across
+// up to width lane words. Results stay in the scratch for the caller to
+// extract before the next sweep; the effective lane count is s.w
+// (width, clamped to the lanes cnt actually fills).
 //
 // Early exit mirrors the arrival rule of msScratch.sweep, quantified
 // over rungs: stop once every rung has reached every (node, source)
 // pair AND no future arrival (≥ t+1) can undercut a recorded first
 // (t+1 ≥ maxFirst). Rungs that never complete (nowait on a sparse
 // network) keep the sweep running to the horizon — exactly as their
-// independent passes would.
+// independent passes would. Rung retirement is a property of the whole
+// block (remaining counters sum over lanes), so the spectrum retires
+// rungs, not lanes.
 //
 // A non-nil st receives the block's telemetry — contacts examined,
 // cascade expiry checks, mid-sweep rung retirements, early exit, sparse
 // fallback — in one atomic merge after the pass (see DESIGN.md §8).
-func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, st *obs.SweepStats) {
+func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, width int, st *obs.SweepStats) {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	horizon := c.Horizon()
-	span := int64(0)
-	if horizon >= t0 {
-		span = int64(horizon-t0) + 1
+	span := spanOf(c, t0)
+	w := width
+	if w < 1 {
+		w = 1
 	}
-	dense := span > 0 && int64(n)*span*int64(k) <= msDenseCellLimit
-	s.prepare(ladder, n, span, dense)
+	if maxW := (cnt + blockBits - 1) / blockBits; w > maxW {
+		w = maxW
+	}
+	dense := span > 0 && int64(n)*span*int64(k)*int64(w) <= msDenseCellLimit
+	s.prepare(ladder, n, w, span, dense)
 
 	for r := 0; r < k; r++ {
 		s.remaining[r] = n * cnt
@@ -453,23 +515,25 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 	}
 	s.topActive = k
 
-	// Seed: source j starts at node base+j holding its own bit at every
-	// rung (the empty journey has no pauses), arrival t0 — one stage at
-	// rung 0.
+	// Seed: source l·64+j starts at node base+l·64+j holding its own bit
+	// at every rung (the empty journey has no pauses), arrival t0 — one
+	// stage at rung 0.
 	for j := 0; j < cnt; j++ {
 		src := base + j
-		bit := uint64(1) << uint(j)
-		sb := src * k
+		l := j >> 6
+		bit := uint64(1) << uint(j&(blockBits-1))
+		row := src*w + l
+		sb := row * k
 		for r := 0; r < k; r++ {
 			s.reached[sb+r] |= bit
 			s.remaining[r]--
 		}
-		s.first[sb*blockBits+j] = t0
-		s.stageMask[src*blockBits+j] = 1
+		s.first[sb*blockBits+(j&(blockBits-1))] = t0
+		s.stageMask[row*blockBits+(j&(blockBits-1))] = 1
 		if span > 0 {
-			cellBase := int64(src) * span * int64(k)
+			cellBase := (int64(src)*span*int64(w) + int64(l)) * int64(k)
 			if s.cell(cellBase, k-1, dense) == 0 {
-				s.due[0] = append(s.due[0], int32(src))
+				s.due[0] = append(s.due[0], int32(src)<<laneShift|int32(l))
 			}
 			for r := 0; r < k; r++ {
 				s.setCell(cellBase, r, s.cell(cellBase, r, dense)|bit, dense)
@@ -491,12 +555,25 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// reached and whose recorded firsts no future arrival (≥ t+1)
 		// can undercut is exactly where its independent sweep would
 		// early-exit, so its state freezes and its per-rung work stops.
+		// The gate words track the top active plane, so they are rebuilt
+		// from the new top when it drops.
 		ta := s.topActive
 		for ta > 0 && s.remaining[ta-1] == 0 && t+1 >= s.maxFirst[ta-1] {
 			ta--
 			retired++
 		}
-		s.topActive = ta
+		if ta != s.topActive {
+			s.topActive = ta
+			if ta > 0 {
+				for v := 0; v < n; v++ {
+					var any uint64
+					for l := 0; l < w; l++ {
+						any |= s.win[(v*w+l)*k+ta-1]
+					}
+					s.anyWin[v] = any
+				}
+			}
+		}
 		if ta == 0 {
 			break
 		}
@@ -507,29 +584,37 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// bit once at its arrival rung (the lowest rung it is due at),
 		// and (for finite budgets) schedule the word's expiry d_r+1
 		// ticks out. Done rungs only have their cells zeroed, keeping
-		// the grid self-cleaning.
-		for _, v := range s.due[idx] {
-			cellBase := (int64(v)*span + idx) * int64(k)
-			wb := int(v) * k
+		// the grid self-cleaning. The top active rung's fold covers
+		// every lower rung's bits (nesting), so it alone feeds the gate
+		// word.
+		for _, nl := range s.due[idx] {
+			v := int(nl >> laneShift)
+			l := int(nl & laneMask)
+			cellBase := ((int64(v)*span+idx)*int64(w) + int64(l)) * int64(k)
+			row := v*w + l
+			wb := row * k
+			ab := row * blockBits
 			var seen uint64
 			stamp := s.stamp0 + tvg.Time(idx)
 			for r := 0; r < k; r++ {
-				w := s.cell(cellBase, r, dense)
-				if w == 0 {
+				wd := s.cell(cellBase, r, dense)
+				if wd == 0 {
 					continue
 				}
 				s.setCell(cellBase, r, 0, dense)
 				if r >= ta {
 					continue
 				}
-				s.win[wb+r] |= w
-				delta := w &^ seen // bits whose arrival rung is exactly r
+				s.win[wb+r] |= wd
+				if r == ta-1 {
+					s.anyWin[v] |= wd
+				}
+				delta := wd &^ seen // bits whose arrival rung is exactly r
 				if delta == 0 {
 					continue
 				}
-				seen |= w
+				seen |= wd
 				fb := (wb + r) * blockBits
-				ab := int(v) * blockBits
 				for mw := delta; mw != 0; mw &= mw - 1 {
 					j := bits.TrailingZeros64(mw)
 					s.lastArr[fb+j] = stamp
@@ -540,7 +625,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 				// that outlives the sweep needs no check at any rung.
 				if s.finite[r] && horizon-t > s.d[r] {
 					eidx := idx + int64(s.d[r]) + 1
-					s.expire[eidx] = append(s.expire[eidx], spExpire{node: v, rung: int32(r), batch: idx, word: delta})
+					s.expire[eidx] = append(s.expire[eidx], spExpire{nl: nl, rung: int32(r), batch: idx, word: delta})
 				}
 			}
 		}
@@ -552,7 +637,8 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// slots ≤ r (slots are epoch stamps, so anything a previous
 		// sweep left behind compares below the threshold). Lower rungs
 		// expire no later than higher ones, so the win planes stay
-		// nested.
+		// nested. A shrunk top-active plane invalidates the node's gate
+		// word, which is rebuilt from the surviving lanes.
 		if s.anyFinite {
 			expired += int64(len(s.expire[idx]))
 			for _, e := range s.expire[idx] {
@@ -565,8 +651,11 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 				// batch's stamp. Slots are epoch stamps, so values from
 				// earlier sweeps always compare stale.
 				threshold := s.stamp0 + tvg.Time(e.batch) + 1
-				nb := int(e.node) * k
-				ab := int(e.node) * blockBits
+				v := int(e.nl >> laneShift)
+				l := int(e.nl & laneMask)
+				row := v*w + l
+				nb := row * k
+				ab := row * blockBits
 				stale := e.word
 				for mw := e.word; mw != 0; mw &= mw - 1 {
 					j := bits.TrailingZeros64(mw)
@@ -586,6 +675,13 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 					continue
 				}
 				s.win[nb+r] &^= stale
+				if r == ta-1 {
+					var any uint64
+					for q := 0; q < w; q++ {
+						any |= s.win[(v*w+q)*k+r]
+					}
+					s.anyWin[v] = any
+				}
 				// Cascade: the batch also granted these bits liveness at
 				// every higher rung; the next rung's window ends at its
 				// own later deadline (or outlives the sweep). Compare the
@@ -593,105 +689,121 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 				// wait[MaxInt64]) would wrap the sum negative.
 				if rr := r + 1; rr < ta && s.finite[rr] && int64(s.d[rr]) < span-e.batch-1 {
 					eidx := e.batch + int64(s.d[rr]) + 1
-					s.expire[eidx] = append(s.expire[eidx], spExpire{node: e.node, rung: int32(rr), batch: e.batch, word: stale})
+					s.expire[eidx] = append(s.expire[eidx], spExpire{nl: e.nl, rung: int32(rr), batch: e.batch, word: stale})
 				}
 			}
 			s.expire[idx] = s.expire[idx][:0]
 		}
 
 		// 3. Contacts departing at t forward every active rung's usable
-		// copies. The highest active rung's mask contains every lower
-		// rung's (nesting), so a zero word there skips the contact
-		// entirely — the common case on sparse streams, same cost as
-		// the single-mode sweep.
+		// copies, lane by lane. The gate word ORs every lane's
+		// top-active-rung mask — itself containing every lower rung's
+		// bits — so a zero gate skips the contact in one load, the
+		// common case on sparse streams, at any width.
 		tick := c.AtTick(t)
 		swept += int64(len(tick))
 		for _, kc := range tick {
 			ct := &contacts[kc]
-			fromB := int(ct.From) * k
-			if s.win[fromB+ta-1] == 0 {
+			if s.anyWin[ct.From] == 0 {
 				continue
 			}
+			from := int(ct.From)
 			to := int(ct.To)
 			if ct.Arr <= horizon {
 				arrIdx := int64(ct.Arr - t0)
-				cellBase := (int64(to)*span + arrIdx) * int64(k)
-				// A non-empty cell is already scheduled (a cell's word at
-				// the highest active rung is non-zero whenever any active
-				// rung's is); schedule on that word's empty→non-empty
-				// transition. Cells left over from retired rungs can
-				// double-schedule a node, which the zero-word drain skips.
-				oldTop := s.cell(cellBase, ta-1, dense)
-				// Fast path: when the bottom and top active planes agree
-				// (live masks, pending cell, reached) the whole nested
-				// chain between them agrees too, so one rung's marking
-				// decides every rung's — the common case while a flood
-				// carries fresh copies (arrival rung 0). One stage write
-				// per bit replaces the per-rung fan.
-				if mBot := s.win[fromB]; mBot == s.win[fromB+ta-1] &&
-					oldTop == s.cell(cellBase, 0, dense) &&
-					s.reached[to*k] == s.reached[to*k+ta-1] {
-					nw := mBot &^ oldTop
-					if nw == 0 {
+				gBase := (int64(to)*span + arrIdx) * int64(w) * int64(k)
+				for l := 0; l < w; l++ {
+					fromB := (from*w + l) * k
+					if s.win[fromB+ta-1] == 0 {
 						continue
 					}
-					cellVal := oldTop | nw
-					rb := to * k
-					for r := 0; r < ta; r++ {
-						s.setCell(cellBase, r, cellVal, dense)
-					}
-					// One staged record at rung 0 carries the event; the
-					// other rungs share its newBits (their reached
-					// planes were equal) and only need the counters.
-					if nb := s.record(to, 0, nw, nw, 0, ct.Arr); nb != 0 {
-						pc := bits.OnesCount64(nb)
-						for r := 1; r < ta; r++ {
-							s.reached[rb+r] |= nb
-							s.remaining[r] -= pc
-							if ct.Arr > s.maxFirst[r] {
-								s.maxFirst[r] = ct.Arr
+					cellBase := gBase + int64(l)*int64(k)
+					toRow := to*w + l
+					// A non-empty cell is already scheduled (a cell's word
+					// at the highest active rung is non-zero whenever any
+					// active rung's is); schedule on that word's
+					// empty→non-empty transition. Cells left over from
+					// retired rungs can double-schedule a row, which the
+					// zero-word drain skips.
+					oldTop := s.cell(cellBase, ta-1, dense)
+					// Fast path: when the bottom and top active planes
+					// agree (live masks, pending cell, reached) the whole
+					// nested chain between them agrees too, so one rung's
+					// marking decides every rung's — the common case while
+					// a flood carries fresh copies (arrival rung 0). One
+					// stage write per bit replaces the per-rung fan.
+					if mBot := s.win[fromB]; mBot == s.win[fromB+ta-1] &&
+						oldTop == s.cell(cellBase, 0, dense) &&
+						s.reached[toRow*k] == s.reached[toRow*k+ta-1] {
+						nw := mBot &^ oldTop
+						if nw == 0 {
+							continue
+						}
+						cellVal := oldTop | nw
+						rb := toRow * k
+						for r := 0; r < ta; r++ {
+							s.setCell(cellBase, r, cellVal, dense)
+						}
+						// One staged record at rung 0 carries the event;
+						// the other rungs share its newBits (their reached
+						// planes were equal) and only need the counters.
+						if nb := s.record(toRow, 0, nw, nw, 0, ct.Arr); nb != 0 {
+							pc := bits.OnesCount64(nb)
+							for r := 1; r < ta; r++ {
+								s.reached[rb+r] |= nb
+								s.remaining[r] -= pc
+								if ct.Arr > s.maxFirst[r] {
+									s.maxFirst[r] = ct.Arr
+								}
 							}
 						}
-					}
-					if oldTop == 0 {
-						s.due[arrIdx] = append(s.due[arrIdx], int32(to))
-					}
-					continue
-				}
-				wasEmpty := oldTop == 0
-				marked := false
-				var seenNw, seenNew uint64
-				for r := 0; r < ta; r++ {
-					m := s.win[fromB+r]
-					if m == 0 {
+						if oldTop == 0 {
+							s.due[arrIdx] = append(s.due[arrIdx], int32(to)<<laneShift|int32(l))
+						}
 						continue
 					}
-					old := s.cell(cellBase, r, dense)
-					nw := m &^ old
-					if nw == 0 {
-						continue
+					wasEmpty := oldTop == 0
+					marked := false
+					var seenNw, seenNew uint64
+					for r := 0; r < ta; r++ {
+						m := s.win[fromB+r]
+						if m == 0 {
+							continue
+						}
+						old := s.cell(cellBase, r, dense)
+						nw := m &^ old
+						if nw == 0 {
+							continue
+						}
+						s.setCell(cellBase, r, old|nw, dense)
+						seenNew |= s.record(toRow, r, nw, nw&^seenNw, seenNew, ct.Arr)
+						seenNw |= nw
+						marked = true
 					}
-					s.setCell(cellBase, r, old|nw, dense)
-					seenNew |= s.record(to, r, nw, nw&^seenNw, seenNew, ct.Arr)
-					seenNw |= nw
-					marked = true
-				}
-				if wasEmpty && marked {
-					s.due[arrIdx] = append(s.due[arrIdx], int32(to))
+					if wasEmpty && marked {
+						s.due[arrIdx] = append(s.due[arrIdx], int32(to)<<laneShift|int32(l))
+					}
 				}
 			} else {
 				// Terminal, past the horizon: recorded (min-updated) but
 				// never buffered. No in-horizon filter is needed: a bit
 				// with an in-horizon arrival has first ≤ horizon < Arr,
 				// so the min-update no-ops on it by itself.
-				var seenCand, seenNew uint64
-				for r := 0; r < ta; r++ {
-					m := s.win[fromB+r]
-					if m == 0 {
+				for l := 0; l < w; l++ {
+					fromB := (from*w + l) * k
+					if s.win[fromB+ta-1] == 0 {
 						continue
 					}
-					seenNew |= s.record(to, r, m, m&^seenCand, seenNew, ct.Arr)
-					seenCand |= m
+					toRow := to*w + l
+					var seenCand, seenNew uint64
+					for r := 0; r < ta; r++ {
+						m := s.win[fromB+r]
+						if m == 0 {
+							continue
+						}
+						seenNew |= s.record(toRow, r, m, m&^seenCand, seenNew, ct.Arr)
+						seenCand |= m
+					}
 				}
 			}
 		}
@@ -703,8 +815,10 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 	// so the grid is all-zero for the next sweep.
 	for ; t <= horizon; t++ {
 		idx := int64(t - t0)
-		for _, v := range s.due[idx] {
-			cellBase := (int64(v)*span + idx) * int64(k)
+		for _, nl := range s.due[idx] {
+			v := int(nl >> laneShift)
+			l := int(nl & laneMask)
+			cellBase := ((int64(v)*span+idx)*int64(w) + int64(l)) * int64(k)
 			for r := 0; r < k; r++ {
 				s.setCell(cellBase, r, 0, dense)
 			}
@@ -730,7 +844,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 }
 
 // WaitSpectrum computes the all-pairs foremost-arrival matrix of every
-// ladder rung in one bit-parallel contact sweep per 64-source block —
+// ladder rung in one bit-parallel contact sweep per source block —
 // the batch equivalent of Ladder.Len() AllForemost calls, bit-identical
 // to them per rung (asserted by the randomized differential tests). An
 // empty (zero-value) ladder yields a result with no rungs.
@@ -738,19 +852,23 @@ func WaitSpectrum(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time) *SpectrumResult
 	return WaitSpectrumParallel(c, ladder, t0, 1)
 }
 
-// WaitSpectrumParallel is WaitSpectrum with the 64-source blocks fanned
+// WaitSpectrumParallel is WaitSpectrum with the source blocks fanned
 // out across up to `workers` goroutines. Blocks write disjoint row
 // ranges of every rung's matrix, so the result is bit-identical at any
 // worker count.
 func WaitSpectrumParallel(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers int) *SpectrumResult {
-	return WaitSpectrumStats(c, ladder, t0, workers, nil)
+	return WaitSpectrumStats(c, ladder, t0, workers, 0, nil)
 }
 
-// WaitSpectrumStats is WaitSpectrumParallel with optional sweep
-// telemetry: when st is non-nil each 64-source block folds its local
-// tallies into st once at block end (see obs.SweepStats). A nil st is
-// free; the result is identical either way.
-func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers int, st *obs.SweepStats) *SpectrumResult {
+// WaitSpectrumStats is WaitSpectrumParallel with an explicit sweep
+// width and optional telemetry. width is the block's lane-word count —
+// 64·W sources per contact pass — clamped to {1, 2, 4, 8}; 0 picks the
+// automatic width from the node count, the worker fan-out and the
+// dense-grid budget (which the spectrum charges ×rungs ×width). Results
+// are bit-identical at every width. When st is non-nil each block folds
+// its local tallies into st once at block end (see obs.SweepStats); a
+// nil st is free.
+func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, width int, st *obs.SweepStats) *SpectrumResult {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	res := &SpectrumResult{ladder: ladder, t0: t0, mats: make([]*ArrivalMatrix, k)}
@@ -762,8 +880,13 @@ func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers in
 	if k == 0 || n == 0 {
 		return res
 	}
-	blockFanOut(&spPool, n, workers, func(s *spScratch, base, cnt int) {
-		s.sweep(c, ladder, base, cnt, t0, st)
+	w := normWidth(width, n, spanOf(c, t0), k, workers)
+	if st != nil {
+		st.Width.Set(int64(w))
+	}
+	blockFanOut(getSpScratch, func(s *spScratch) { putSpScratch(s) }, n, workers, w, func(s *spScratch, base, cnt int) {
+		s.sweep(c, ladder, base, cnt, t0, w, st)
+		sw := s.w
 		// Transpose the slotted scratch into the per-rung matrices: rung
 		// r's foremost arrival is the prefix-min over the bit's arrival-
 		// rung slots ≤ r (a slot participates once its reached bit is
@@ -773,13 +896,16 @@ func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers in
 		// stays resident in cache.
 		rows := make([][]tvg.Time, k)
 		for j := 0; j < cnt; j++ {
-			bit := uint64(1) << uint(j)
+			l := j >> 6
+			jb := j & (blockBits - 1)
+			bit := uint64(1) << uint(jb)
 			rowBase := (base + j) * n
 			for r := 0; r < k; r++ {
 				rows[r] = res.mats[r].arr[rowBase : rowBase+n]
 			}
 			for v := 0; v < n; v++ {
-				if s.reached[v*k+k-1]&bit == 0 {
+				row := v*sw + l
+				if s.reached[row*k+k-1]&bit == 0 {
 					for r := 0; r < k; r++ {
 						rows[r][v] = -1
 					}
@@ -788,9 +914,9 @@ func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers in
 				// Single stage at rung 0 and reached everywhere — the
 				// common case on usable networks — writes one value
 				// straight down the ladder.
-				sm := s.stageMask[v*blockBits+j]
-				if sm == 1 && s.reached[v*k]&bit != 0 {
-					val := s.first[v*k*blockBits+j]
+				sm := s.stageMask[row*blockBits+jb]
+				if sm == 1 && s.reached[row*k]&bit != 0 {
+					val := s.first[row*k*blockBits+jb]
 					for r := 0; r < k; r++ {
 						rows[r][v] = val
 					}
@@ -802,11 +928,11 @@ func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers in
 				have := false
 				for r := 0; r < k; r++ {
 					if sm>>uint(r)&1 == 1 {
-						if f := s.first[(v*k+r)*blockBits+j]; !have || f < val {
+						if f := s.first[(row*k+r)*blockBits+jb]; !have || f < val {
 							val, have = f, true
 						}
 					}
-					if s.reached[v*k+r]&bit != 0 {
+					if s.reached[row*k+r]&bit != 0 {
 						rows[r][v] = val
 					} else {
 						rows[r][v] = -1

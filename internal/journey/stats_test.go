@@ -23,7 +23,7 @@ func TestSweepStatsMultiSource(t *testing.T) {
 		wantBlocks := int64((n + blockBits - 1) / blockBits)
 		for _, mode := range []Mode{NoWait(), BoundedWait(3), Wait()} {
 			var st obs.SweepStats
-			got := AllForemostStats(c, mode, 0, 4, &st)
+			got := AllForemostStats(c, mode, 0, 4, 0, &st)
 			want := AllForemostParallel(c, mode, 0, 4)
 			if !slices.Equal(got.arr, want.arr) {
 				t.Fatalf("n=%d %s: AllForemostStats result differs from AllForemostParallel", n, mode)
@@ -39,7 +39,7 @@ func TestSweepStatsMultiSource(t *testing.T) {
 			}
 
 			var rst obs.SweepStats
-			gotR := ReachabilityMatrixStats(c, mode, 0, 4, &rst)
+			gotR := ReachabilityMatrixStats(c, mode, 0, 4, 0, &rst)
 			wantR := ReachabilityMatrixParallel(c, mode, 0, 4)
 			if !slices.Equal(gotR.bits, wantR.bits) {
 				t.Fatalf("n=%d %s: ReachabilityMatrixStats result differs", n, mode)
@@ -63,7 +63,7 @@ func TestSweepStatsEarlyExit(t *testing.T) {
 		t.Skip("generator no longer yields a connected burst; early-exit setup invalid")
 	}
 	var st obs.SweepStats
-	AllForemostStats(c, Wait(), 0, 1, &st)
+	AllForemostStats(c, Wait(), 0, 1, 0, &st)
 	if st.EarlyExits.Value() != st.Blocks.Value() {
 		t.Fatalf("EarlyExits = %d, want every block (%d) to retire early", st.EarlyExits.Value(), st.Blocks.Value())
 	}
@@ -81,7 +81,7 @@ func TestSweepStatsDueExpiries(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st obs.SweepStats
-	AllForemostStats(c, BoundedWait(2), 0, 1, &st)
+	AllForemostStats(c, BoundedWait(2), 0, 1, 0, &st)
 	if st.DueExpiries.Value() <= 0 {
 		t.Fatalf("DueExpiries = %d under BoundedWait(2), want > 0", st.DueExpiries.Value())
 	}
@@ -101,7 +101,7 @@ func TestSweepStatsSpectrum(t *testing.T) {
 			t.Fatal(err)
 		}
 		var st obs.SweepStats
-		got := WaitSpectrumStats(c, ladder, 0, 4, &st)
+		got := WaitSpectrumStats(c, ladder, 0, 4, 0, &st)
 		want := WaitSpectrumParallel(c, ladder, 0, 4)
 		for r := 0; r < ladder.Len(); r++ {
 			if !slices.Equal(got.Arrivals(r).arr, want.Arrivals(r).arr) {
@@ -149,7 +149,7 @@ func TestSweepStatsSparseFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st obs.SweepStats
-	AllForemostStats(c, BoundedWait(100), 0, 2, &st)
+	AllForemostStats(c, BoundedWait(100), 0, 2, 0, &st)
 	if st.SparseFallbacks.Value() != st.Blocks.Value() {
 		t.Fatalf("SparseFallbacks = %d, want one per block (%d)", st.SparseFallbacks.Value(), st.Blocks.Value())
 	}

@@ -203,24 +203,33 @@ func SizeBuckets() []int64 {
 // SweepStats aggregates what the bit-parallel contact sweeps did — the
 // explanatory counters behind the BENCH ledgers' timings. A nil
 // *SweepStats disables collection; a non-nil one is updated atomically
-// once per 64-source block (the per-contact bookkeeping stays in block-
+// once per sweep block (the per-contact bookkeeping stays in block-
 // local variables), so threading it through a sweep costs a handful of
 // atomic adds per block. The zero value is ready to use.
 //
-// Fields (all monotone):
+// Fields (all monotone except Width):
 //
-//   - Blocks: 64-source sweep blocks run (multisource and spectrum).
+//   - Blocks: sweep blocks run (multisource and spectrum; a block
+//     carries 64·Width sources).
 //   - Contacts: contacts examined across all blocks — the true unit of
 //     sweep work (each block re-scans the departure-ordered stream).
+//     Wider blocks shrink this for the same question: that drop is the
+//     multi-word amortization, made visible.
 //   - EarlyExits: blocks that stopped before the horizon because every
 //     (node, source) pair was reached and no recorded arrival could be
 //     undercut.
 //   - SparseFallbacks: blocks whose pending-arrival grid exceeded the
-//     dense cell limit and fell back to the hash map.
+//     dense cell limit (charged ×Width, ×rungs for the spectrum) and
+//     fell back to the hash map.
 //   - DueExpiries: due-bucket expiry words processed (bounded-wait
 //     window ends, spectrum cascade checks included).
 //   - RungRetirements: spectrum rungs retired mid-sweep — frozen where
 //     their independent single-mode pass would have early-exited.
+//   - LaneRetirements: multisource lanes (64-source sub-blocks of a
+//     wide sweep) retired mid-sweep while other lanes stayed active —
+//     the staggered-completion effect specific to wide blocks.
+//   - Width: lane-word count of the most recent sweep call (a gauge:
+//     64·Width sources per block; 1 when every block is narrow).
 type SweepStats struct {
 	Blocks          Counter
 	Contacts        Counter
@@ -228,15 +237,19 @@ type SweepStats struct {
 	SparseFallbacks Counter
 	DueExpiries     Counter
 	RungRetirements Counter
+	LaneRetirements Counter
+	Width           Gauge
 }
 
 // Register exposes the stats on r under prefix (e.g. "tvg_sweep"):
 // <prefix>_blocks_total, <prefix>_contacts_total, ….
 func (s *SweepStats) Register(r *Registry, prefix string) {
-	r.RegisterCounter(prefix+"_blocks_total", "", "64-source sweep blocks run", &s.Blocks)
+	r.RegisterCounter(prefix+"_blocks_total", "", "sweep blocks run (64*width sources each)", &s.Blocks)
 	r.RegisterCounter(prefix+"_contacts_total", "", "contacts examined by sweeps", &s.Contacts)
 	r.RegisterCounter(prefix+"_early_exits_total", "", "sweep blocks that stopped before the horizon", &s.EarlyExits)
 	r.RegisterCounter(prefix+"_sparse_fallbacks_total", "", "sweep blocks that fell back to the sparse pending grid", &s.SparseFallbacks)
 	r.RegisterCounter(prefix+"_due_expiries_total", "", "due-bucket expiry words processed", &s.DueExpiries)
 	r.RegisterCounter(prefix+"_rung_retirements_total", "", "spectrum rungs retired before the sweep's end", &s.RungRetirements)
+	r.RegisterCounter(prefix+"_lane_retirements_total", "", "sweep lanes retired before their block's end", &s.LaneRetirements)
+	r.RegisterGauge(prefix+"_width", "", "lane words per block of the most recent sweep", &s.Width)
 }

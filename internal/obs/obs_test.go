@@ -332,6 +332,7 @@ func TestSweepStatsRegister(t *testing.T) {
 	for _, name := range []string{
 		"tvg_sweep_blocks_total", "tvg_sweep_contacts_total", "tvg_sweep_early_exits_total",
 		"tvg_sweep_sparse_fallbacks_total", "tvg_sweep_due_expiries_total", "tvg_sweep_rung_retirements_total",
+		"tvg_sweep_lane_retirements_total", "tvg_sweep_width",
 	} {
 		if _, ok := v[name]; !ok {
 			t.Errorf("missing %s", name)

@@ -124,7 +124,8 @@ type (
 	Registry = obs.Registry
 	// SweepStats aggregates the bit-parallel sweeps' telemetry: blocks,
 	// contacts swept, early exits, sparse-grid fallbacks, due-bucket
-	// expiries and spectrum rung retirements.
+	// expiries, spectrum rung retirements, lane retirements and the
+	// most recent sweep width.
 	SweepStats = obs.SweepStats
 	// CacheTrace accumulates one request's engine-cache outcomes
 	// (attach with WithCacheTrace).
@@ -349,14 +350,18 @@ func WithCacheTrace(ctx context.Context) (context.Context, *CacheTrace) {
 	return engine.WithCacheTrace(ctx)
 }
 
-// AllForemostStats is AllForemostParallel with optional sweep telemetry
-// folded into st once per 64-source block (nil st is free).
-func AllForemostStats(c *Compiled, mode Mode, t0 Time, workers int, st *SweepStats) *ArrivalMatrix {
-	return journey.AllForemostStats(c, mode, t0, workers, st)
+// AllForemostStats is AllForemostParallel with an explicit sweep width
+// — the block's 64-source lane-word count, one of {1, 2, 4, 8}, 0 for
+// automatic — and optional sweep telemetry folded into st once per
+// block (nil st is free). Results are bit-identical at every width.
+func AllForemostStats(c *Compiled, mode Mode, t0 Time, workers, width int, st *SweepStats) *ArrivalMatrix {
+	return journey.AllForemostStats(c, mode, t0, workers, width, st)
 }
 
-// WaitSpectrumStats is WaitSpectrumParallel with optional sweep
-// telemetry folded into st once per 64-source block (nil st is free).
-func WaitSpectrumStats(c *Compiled, ladder Ladder, t0 Time, workers int, st *SweepStats) *SpectrumResult {
-	return journey.WaitSpectrumStats(c, ladder, t0, workers, st)
+// WaitSpectrumStats is WaitSpectrumParallel with an explicit sweep
+// width (see AllForemostStats; 0 = automatic) and optional sweep
+// telemetry folded into st once per block (nil st is free). Results
+// are bit-identical at every width.
+func WaitSpectrumStats(c *Compiled, ladder Ladder, t0 Time, workers, width int, st *SweepStats) *SpectrumResult {
+	return journey.WaitSpectrumStats(c, ladder, t0, workers, width, st)
 }
