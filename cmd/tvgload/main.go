@@ -1,0 +1,242 @@
+// Command tvgload drives a running tvgserve with a closed-loop mixed
+// workload and reports the latency/throughput/shedding profile in
+// `go test -bench` format, so scripts/benchjson can turn an overload
+// run into the committed BENCH_serve.json ledger and gate regressions
+// in CI like every other bench surface.
+//
+// Closed loop means each client issues its next request only after the
+// previous one is answered: offered load adapts to what the server
+// admits, which is how real callers behave behind a 429. The workload
+// mixes /simulate, /metrics and /spectrum over a small deterministic
+// pool of specs (seeded per client), so both cache hits and misses
+// occur and reruns are comparable.
+//
+// Every 429 and 503 MUST carry Retry-After — tvgload fails the run
+// otherwise (that header is the degradation contract; see DESIGN.md
+// §10). Clients back off by min(Retry-After, -backoff) so a long
+// advisory delay cannot idle the overload experiment away.
+//
+// Output: benchmark lines on stdout (pipe into scripts/benchjson), a
+// human summary on stderr. Exit status is non-zero on any panic-class
+// 5xx (500/502/503-not-draining), a missing Retry-After, or a run with
+// zero successful requests.
+//
+// Example overload run (8× the in-flight cap for 30s):
+//
+//	tvgserve -addr :18080 -inflight 4 &
+//	tvgload -addr http://127.0.0.1:18080 -clients 32 -duration 30s \
+//	  | go run ./scripts/benchjson -label local > BENCH_serve.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tvgload", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the tvgserve under test")
+	clients := fs.Int("clients", 32, "concurrent closed-loop clients")
+	duration := fs.Duration("duration", 30*time.Second, "measurement window")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request client timeout")
+	backoff := fs.Duration("backoff", 25*time.Millisecond, "cap on honoring Retry-After (keeps the overload sustained)")
+	seed := fs.Int64("seed", 1, "root seed for the deterministic workload")
+	fs.Parse(os.Args[1:])
+
+	if err := waitReady(*addr, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "tvgload:", err)
+		os.Exit(1)
+	}
+
+	results := make([]clientStats, *clients)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(*duration)
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(&results[id], *addr, *timeout, *backoff, deadline, rand.New(rand.NewSource(*seed+int64(id))))
+		}(i)
+	}
+	wg.Wait()
+
+	var total clientStats
+	for i := range results {
+		total.merge(&results[i])
+	}
+	report(&total, *duration)
+	switch {
+	case total.badGateway > 0:
+		fmt.Fprintf(os.Stderr, "tvgload: FAIL: %d panic-class 5xx responses\n", total.badGateway)
+		os.Exit(1)
+	case total.noRetryAfter > 0:
+		fmt.Fprintf(os.Stderr, "tvgload: FAIL: %d 429/503 responses without Retry-After\n", total.noRetryAfter)
+		os.Exit(1)
+	case len(total.okLat) == 0:
+		fmt.Fprintln(os.Stderr, "tvgload: FAIL: no request succeeded")
+		os.Exit(1)
+	}
+}
+
+// clientStats accumulates one client's (and, merged, the whole run's)
+// outcome counts and latency samples.
+type clientStats struct {
+	okLat        []time.Duration // latency of every 2xx
+	shedLat      []time.Duration // latency of every 429 round trip
+	shed         int             // 429
+	unavailable  int             // 503
+	clientErr    int             // 4xx other than 429 (workload bug)
+	timeouts     int             // 504 + client-side deadline
+	badGateway   int             // 500/502 — panic-class, fails the run
+	noRetryAfter int             // 429/503 missing the Retry-After header
+}
+
+func (s *clientStats) merge(o *clientStats) {
+	s.okLat = append(s.okLat, o.okLat...)
+	s.shedLat = append(s.shedLat, o.shedLat...)
+	s.shed += o.shed
+	s.unavailable += o.unavailable
+	s.clientErr += o.clientErr
+	s.timeouts += o.timeouts
+	s.badGateway += o.badGateway
+	s.noRetryAfter += o.noRetryAfter
+}
+
+// waitReady polls /healthz until the server answers.
+func waitReady(addr string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready within %s: %v", addr, within, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// nextRequest draws one request from the deterministic mix: mostly
+// /metrics (the cheap cacheable read), some /spectrum (the d-sweep),
+// some /simulate (the flood workload). Specs rotate over a small seed
+// pool so the engine sees hits, coalesced waits and misses.
+func nextRequest(rng *rand.Rand) (path, body string) {
+	// Specs are sized so an admitted request does real work (generation
+	// alone is a few million RNG draws): slots are held long enough for
+	// concurrent arrivals to find the semaphore full, which is the
+	// overload behaviour this tool exists to measure. Tiny specs would
+	// finish inside one scheduler quantum and never saturate anything.
+	nodes := 64 + rng.Intn(65)     // [64, 128]
+	horizon := 200 + rng.Intn(201) // [200, 400]
+	gseed := rng.Intn(8)
+	graph := fmt.Sprintf(`{"model": "markov", "nodes": %d, "birth": 0.05, "death": 0.5, "horizon": %d}`, nodes, horizon)
+	switch r := rng.Intn(100); {
+	case r < 45:
+		return "/metrics", fmt.Sprintf(`{"graph": %s, "modes": ["nowait", "wait"], "seed": %d}`, graph, gseed)
+	case r < 70:
+		return "/spectrum", fmt.Sprintf(`{"graph": %s, "seed": %d}`, graph, gseed)
+	default:
+		return "/simulate", fmt.Sprintf(`{"graph": %s, "modes": ["nowait", "wait"], "messages": 20, "seed": %d}`, graph, gseed)
+	}
+}
+
+func runClient(st *clientStats, addr string, timeout, backoff time.Duration, deadline time.Time, rng *rand.Rand) {
+	client := &http.Client{Timeout: timeout}
+	for time.Now().Before(deadline) {
+		path, body := nextRequest(rng)
+		start := time.Now()
+		resp, err := client.Post(addr+path, "application/json", strings.NewReader(body))
+		lat := time.Since(start)
+		if err != nil {
+			st.timeouts++ // client-side deadline or torn connection
+			continue
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 300:
+			st.okLat = append(st.okLat, lat)
+		case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode == http.StatusServiceUnavailable:
+			if resp.StatusCode == http.StatusTooManyRequests {
+				st.shed++
+				st.shedLat = append(st.shedLat, lat)
+			} else {
+				st.unavailable++
+			}
+			if retryAfter == "" {
+				st.noRetryAfter++
+				continue
+			}
+			wait := backoff
+			if secs, err := strconv.Atoi(retryAfter); err == nil {
+				if ra := time.Duration(secs) * time.Second; ra < wait {
+					wait = ra
+				}
+			}
+			time.Sleep(wait)
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			st.timeouts++
+		case resp.StatusCode >= 500:
+			st.badGateway++
+		default:
+			st.clientErr++
+		}
+	}
+}
+
+// report writes the bench lines (stdout) and the human summary
+// (stderr). Bench semantics: iterations = sample count, ns/op = the
+// measured value — lower is better for every line, which is what the
+// benchjson -compare gate assumes.
+func report(t *clientStats, wall time.Duration) {
+	sort.Slice(t.okLat, func(i, j int) bool { return t.okLat[i] < t.okLat[j] })
+	n := len(t.okLat)
+	quantile := func(q float64) time.Duration {
+		if n == 0 {
+			return 0
+		}
+		i := int(q * float64(n-1))
+		return t.okLat[i]
+	}
+	p50, p99 := quantile(0.50), quantile(0.99)
+	totalReq := n + t.shed + t.unavailable + t.clientErr + t.timeouts + t.badGateway
+	shedPermille := 0
+	if totalReq > 0 {
+		shedPermille = 1000 * t.shed / totalReq
+	}
+
+	// The pkg header scopes the entries, like `go test` output does.
+	fmt.Println("pkg: tvgwait/cmd/tvgload")
+	if n > 0 {
+		fmt.Printf("BenchmarkServeP50 \t%d\t%d ns/op\n", n, p50.Nanoseconds())
+		fmt.Printf("BenchmarkServeP99 \t%d\t%d ns/op\n", n, p99.Nanoseconds())
+		fmt.Printf("BenchmarkServeThroughput \t%d\t%d ns/op\n", n, wall.Nanoseconds()/int64(n))
+	}
+	if len(t.shedLat) > 0 {
+		var sum time.Duration
+		for _, l := range t.shedLat {
+			sum += l
+		}
+		fmt.Printf("BenchmarkServeShedRoundTrip \t%d\t%d ns/op\n", len(t.shedLat), sum.Nanoseconds()/int64(len(t.shedLat)))
+	}
+	// Shed rate rides the same ledger format; the "ns/op" value is
+	// permille of all requests, not a duration (see BENCH_serve.json).
+	fmt.Printf("BenchmarkServeShedRatePermille \t%d\t%d ns/op\n", totalReq, shedPermille)
+
+	fmt.Fprintf(os.Stderr,
+		"tvgload: %d requests over %s: %d ok (p50 %s, p99 %s, %.1f req/s), %d shed (429), %d draining (503), %d timeouts, %d client errors, %d panic-class 5xx\n",
+		totalReq, wall, n, p50, p99, float64(n)/wall.Seconds(),
+		t.shed, t.unavailable, t.timeouts, t.clientErr, t.badGateway)
+}

@@ -64,6 +64,7 @@ func main() {
 	inflight := fs.Int("inflight", 2*runtime.GOMAXPROCS(0), "max simulations in flight (excess gets 429)")
 	workers := fs.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 256, "compiled-schedule cache entries")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "byte budget shared by the engine caches; over-budget requests get 413 (0 = unbounded)")
 	pprofAddr := fs.String("pprof", "", "listen address for net/http/pprof and /debug/{vars,metrics} (e.g. localhost:6060; empty = disabled)")
 	accessLog := fs.Bool("access-log", false, "log one structured line per request (request id, endpoint, status, duration, bytes, cache flag)")
 	statusz := fs.Bool("statusz", false, "serve the telemetry snapshot as GET /statusz on the service port")
@@ -75,7 +76,7 @@ func main() {
 	// block is sampled at render time.
 	reg := obs.NewRegistry()
 	reg.EnableRuntime()
-	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize, Obs: reg}),
+	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize, MaxCacheBytes: *cacheBytes, Obs: reg}),
 		*timeout, *inflight)
 	srv.registerObs(reg)
 	srv.statusz = *statusz
@@ -109,7 +110,11 @@ func main() {
 		// Bound slow-body reads and slow-reader writes too: request
 		// bodies are small specs, so anything that takes longer than
 		// the simulation budget is a stalled client holding a
-		// connection, not a legitimate request.
+		// connection, not a legitimate request. The 30s slack over the
+		// handler deadline keeps the ordering handler-timeout (504) <
+		// connection-timeout: a slow SIMULATION is answered with a clean
+		// 504 by the handler, and only a stalled CLIENT ever hits the
+		// connection teardown.
 		ReadTimeout:  *timeout + 30*time.Second,
 		WriteTimeout: *timeout + 30*time.Second,
 		IdleTimeout:  2 * time.Minute,
@@ -128,11 +133,17 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default handling so a second signal kills immediately
 		log.Printf("tvgserve: shutdown signal received, draining (deadline %s)", *drain)
+		// Flip to draining first: requests that race the Shutdown call
+		// get a clean 503 + Retry-After instead of a torn connection.
+		srv.draining.Store(true)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpServer.Shutdown(sctx); err != nil {
 			log.Printf("tvgserve: shutdown: %v", err)
 		}
+		// Cancel detached cache builds only after the drain: in-flight
+		// requests may still be waiting on them.
+		srv.eng.Close()
 		logFinalSnapshot(reg)
 	}
 }
@@ -155,6 +166,11 @@ type server struct {
 	statusz   bool
 	accessLog *log.Logger
 	reqSeq    atomic.Int64
+
+	// draining flips once at shutdown: every subsequent request is
+	// answered 503 + Retry-After so load balancers redirect while
+	// in-flight work finishes under the -drain deadline.
+	draining atomic.Bool
 }
 
 func newServer(eng *engine.Engine, timeout time.Duration, inflight int) *server {
@@ -201,13 +217,21 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit claims an in-flight slot without blocking. The returned release
-// is nil when the server is saturated (the caller has already been sent
-// a 429).
+// is nil when the request was already answered: 503 + Retry-After while
+// draining, 429 + Retry-After when saturated. Excess load is shed, never
+// queued — a burst costs each rejected client one cheap round trip, not
+// a connection parked behind the semaphore.
 func (s *server) admit(w http.ResponseWriter) (release func()) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is draining for shutdown", http.StatusServiceUnavailable)
+		return nil
+	}
 	select {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }
 	default:
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "too many simulations in flight, retry later", http.StatusTooManyRequests)
 		return nil
 	}
@@ -216,6 +240,12 @@ func (s *server) admit(w http.ResponseWriter) (release func()) {
 func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var spec engine.ScenarioSpec
 	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	// Validate BEFORE admission: a malformed spec is a client mistake
+	// and must not consume an in-flight slot (the engine re-checks).
+	if err := spec.Validate(); err != nil {
+		writeError(w, err)
 		return
 	}
 	release := s.admit(w)
@@ -242,6 +272,10 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -262,6 +296,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
 	release := s.admit(w)
 	if release == nil {
 		return
@@ -280,6 +318,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 	var req engine.SpectrumRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
 		return
 	}
 	release := s.admit(w)
@@ -320,6 +362,10 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrInvalidSpec):
 		status = http.StatusBadRequest
+	case errors.Is(err, engine.ErrTooLarge):
+		// The predicted result footprint exceeds the cache byte budget;
+		// rejected at admission, before any matrix was allocated.
+		status = http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

@@ -3,6 +3,7 @@ package main
 import (
 	"log"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -28,7 +29,8 @@ type endpointMetrics struct {
 // httpMetrics aggregates the server's HTTP telemetry. Always
 // maintained; registering on an obs.Registry only exposes it.
 type httpMetrics struct {
-	inflight obs.Gauge // requests currently inside a handler
+	inflight obs.Gauge   // requests currently inside a handler
+	panics   obs.Counter // handler panics contained by instrument()
 	byPath   map[string]*endpointMetrics
 }
 
@@ -58,6 +60,7 @@ func (s *server) registerObs(r *obs.Registry) {
 		r.RegisterHistogram("tvg_http_response_bytes", lbl, "response body bytes", em.respBytes)
 	}
 	r.RegisterGauge("tvg_http_inflight", "", "requests currently inside a handler", &s.metrics.inflight)
+	r.RegisterCounter("tvg_http_panics_total", "", "handler panics contained by the instrument envelope", &s.metrics.panics)
 }
 
 // statusRecorder observes the status and body size a handler produced
@@ -95,10 +98,16 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 
 // instrument wraps one route's handler with the telemetry envelope:
 // in-flight gauge, per-endpoint counters, latency and response-size
-// histograms, a per-request engine cache trace, and (when enabled) one
-// structured access-log line per request. All metric updates are atomic
-// ops on pre-registered instruments — the only per-request allocations
-// are the context pair carrying the cache trace.
+// histograms, a per-request engine cache trace, panic containment, and
+// (when enabled) one structured access-log line per request. All metric
+// updates are atomic ops on pre-registered instruments — the only
+// per-request allocations are the context pair carrying the cache trace.
+//
+// The finalization runs in a defer so it holds on every exit path: a
+// panicking handler is contained (one 500, tvg_http_panics_total, a
+// logged stack), its metrics are still recorded, and the pooled
+// recorder is still returned — a panic storm must not leak the
+// in-flight gauge or drain the recorder pool.
 func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.metrics.byPath[endpoint]
 	if em == nil {
@@ -110,39 +119,51 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		ctx, trace := engine.WithCacheTrace(r.Context())
 		s.metrics.inflight.Add(1)
 		start := time.Now()
-		h(rec, r.WithContext(ctx))
-		dur := time.Since(start)
-		s.metrics.inflight.Add(-1)
-
-		status := rec.status
-		if status == 0 {
-			status = http.StatusOK // handler wrote nothing: net/http sends 200
-		}
-		bytes := rec.bytes
-		em.requests.Inc()
-		if status >= 400 {
-			em.errors.Inc()
-		}
-		if status == http.StatusTooManyRequests {
-			em.throttled.Inc()
-		}
-		em.latency.Observe(dur.Nanoseconds())
-		em.respBytes.Observe(bytes)
-
-		if s.accessLog != nil {
-			cache := "none"
-			if trace.Touched() {
-				if trace.Warm() {
-					cache = "hit"
-				} else {
-					cache = "miss"
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Inc()
+				log.Printf("tvgserve: panic in %s handler: %v\n%s", endpoint, p, debug.Stack())
+				if rec.status == 0 {
+					// Nothing written yet: the client gets a clean 500.
+					// After first write the connection is torn down by
+					// net/http instead — never a half body behind a 200.
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
 				}
 			}
-			s.accessLog.Printf("rid=%d endpoint=%s status=%d dur_us=%d bytes=%d cache=%s",
-				s.reqSeq.Add(1), endpoint, status, dur.Microseconds(), bytes, cache)
-		}
-		rec.reset(nil) // drop the writer so the pool never pins a connection
-		recorderPool.Put(rec)
+			dur := time.Since(start)
+			s.metrics.inflight.Add(-1)
+
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK // handler wrote nothing: net/http sends 200
+			}
+			bytes := rec.bytes
+			em.requests.Inc()
+			if status >= 400 {
+				em.errors.Inc()
+			}
+			if status == http.StatusTooManyRequests {
+				em.throttled.Inc()
+			}
+			em.latency.Observe(dur.Nanoseconds())
+			em.respBytes.Observe(bytes)
+
+			if s.accessLog != nil {
+				cache := "none"
+				if trace.Touched() {
+					if trace.Warm() {
+						cache = "hit"
+					} else {
+						cache = "miss"
+					}
+				}
+				s.accessLog.Printf("rid=%d endpoint=%s status=%d dur_us=%d bytes=%d cache=%s",
+					s.reqSeq.Add(1), endpoint, status, dur.Microseconds(), bytes, cache)
+			}
+			rec.reset(nil) // drop the writer so the pool never pins a connection
+			recorderPool.Put(rec)
+		}()
+		h(rec, r.WithContext(ctx))
 	}
 }
 

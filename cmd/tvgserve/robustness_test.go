@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tvgwait/internal/engine"
+	"tvgwait/internal/faultinject"
+)
+
+// testServerOpts is testServer with full control over the engine's
+// options — budget, fault hook — for the degradation tests.
+func testServerOpts(t *testing.T, opts engine.Options, timeout time.Duration, inflight int) (*server, *httptest.Server) {
+	t.Helper()
+	eng := engine.New(opts)
+	t.Cleanup(eng.Close)
+	srv := newServer(eng, timeout, inflight)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestThrottleCarriesRetryAfter pins the degradation ladder's 429 rung:
+// a saturated server tells the client when to come back.
+func TestThrottleCarriesRetryAfter(t *testing.T) {
+	srv, ts := testServer(t, time.Minute, 1)
+	srv.sem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sem }()
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+// TestDrainingReturns503 pins the shutdown rung: once draining, every
+// simulation request gets 503 + Retry-After, and the flag flips exactly
+// the behaviour — nothing is torn down by the flag itself.
+func TestDrainingReturns503(t *testing.T) {
+	srv, ts := testServer(t, time.Minute, 2)
+	srv.draining.Store(true)
+	resp, err := http.Post(ts.URL+"/metrics", "application/json",
+		strings.NewReader(`{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 20}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	srv.draining.Store(false)
+	resp2, err := http.Post(ts.URL+"/metrics", "application/json",
+		strings.NewReader(`{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 20}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestTooLargeReturns413 pins the budget rung: a spec whose predicted
+// matrix footprint exceeds the engine byte budget is answered 413, with
+// the error naming the numbers, before any matrix memory is allocated.
+func TestTooLargeReturns413(t *testing.T) {
+	_, ts := testServerOpts(t, engine.Options{MaxCacheBytes: 1 << 20}, time.Minute, 2)
+	body := `{"graph": {"model": "bernoulli", "nodes": 1024, "p": 0.001, "horizon": 100}, "modes": ["wait"]}`
+	resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget status = %d (%s), want 413", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "budget") {
+		t.Errorf("413 body %q does not name the budget", msg)
+	}
+}
+
+// TestValidationBeforeAdmission pins the satellite: a malformed spec is
+// rejected 400 — with the offending field named — even when the server
+// is fully saturated, because validation runs before the admission
+// semaphore is consulted.
+func TestValidationBeforeAdmission(t *testing.T) {
+	srv, ts := testServer(t, time.Minute, 1)
+	srv.sem <- struct{}{} // saturate: any admitted request would 429
+	defer func() { <-srv.sem }()
+	cases := []struct {
+		path, body, field string
+	}{
+		{"/simulate", `{"graph": {"model": "markov", "nodes": 99999, "horizon": 10}}`, "nodes"},
+		{"/metrics", `{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 10}, "t0": -4}`, "t0"},
+		{"/spectrum", `{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 10}, "modes": ["bogus"]}`, "mode"},
+		{"/journey", `{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 10}, "mode": "wait", "src": 0, "dst": 99}`, "endpoints"},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s on saturated server: status = %d (%s), want 400 before admission", c.path, resp.StatusCode, msg)
+		}
+		if !strings.Contains(string(msg), c.field) {
+			t.Errorf("POST %s error %q does not name field %q", c.path, msg, c.field)
+		}
+	}
+}
+
+// TestPanicContainment pins the 500 rung: a panicking handler is
+// contained by the instrument envelope — the client gets one clean 500,
+// the panic counter ticks, the in-flight gauge returns to zero and the
+// server keeps answering.
+func TestPanicContainment(t *testing.T) {
+	srv, _ := testServer(t, time.Minute, 2)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /metrics", srv.instrument("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		panic("injected handler panic")
+	}))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+		}
+	}
+	if got := srv.metrics.panics.Value(); got != 3 {
+		t.Errorf("tvg_http_panics_total = %d, want 3", got)
+	}
+	if got := srv.metrics.inflight.Value(); got != 0 {
+		t.Errorf("inflight gauge leaked to %d after panics", got)
+	}
+}
+
+// TestNoGoroutineLeaks exercises the leak-prone paths — server
+// shutdown, client-cancelled in-flight requests, slow detached builds —
+// and asserts the goroutine count returns to baseline (retry window:
+// detached builds are ALLOWED to finish, just not to linger).
+func TestNoGoroutineLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	eng := engine.New(engine.Options{
+		Workers:   2,
+		FaultHook: faultinject.OnSite(faultinject.SiteBuild, faultinject.Sleep(50*time.Millisecond)),
+	})
+	srv := newServer(eng, time.Minute, 4)
+	ts := httptest.NewServer(srv.routes())
+
+	body := `{"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.5, "horizon": 40}, "modes": ["wait"], "seed": 9}`
+	// Cancelled in-flight requests: clients hang up while the build is
+	// still sleeping in the fault hook.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/metrics", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	// One completed request so the server saw a full round trip too.
+	resp, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ts.Close()
+	eng.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// FuzzHandlerInputs drives the JSON endpoints with hostile bodies —
+// malformed JSON, wrong shapes, oversized payloads, binary garbage —
+// and asserts every answer is a clean 4xx (never a 5xx, never a hang)
+// and that the server still serves a well-formed request afterwards.
+func FuzzHandlerInputs(f *testing.F) {
+	f.Add("/metrics", `{"graph"`)
+	f.Add("/simulate", `not json at all`)
+	f.Add("/journey", `{"graph": {"model": "markov", "nodes": -3, "horizon": 10}}`)
+	f.Add("/spectrum", `{"graph": {"model": "markov", "nodes": 8, "horizon": 1e99}}`)
+	f.Add("/metrics", `{"graph": null}`)
+	f.Add("/simulate", `{"graph": {"model": "markov", "nodes": 8, "horizon": 10}, "unknown": 1}`)
+	f.Add("/metrics", strings.Repeat("[", 10000))
+	f.Add("/simulate", "\x00\x01\x02\xff")
+	f.Add("/spectrum", `{"graph": {"model": "bernoulli", "nodes": 4096, "p": 2.0, "horizon": 1000000}}`)
+
+	eng := engine.New(engine.Options{Workers: 2, MaxCacheBytes: 1 << 20})
+	defer eng.Close()
+	srv := newServer(eng, time.Second, 2)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	good := `{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 20}, "modes": ["wait"]}`
+
+	f.Fuzz(func(t *testing.T, path, body string) {
+		switch path {
+		case "/simulate", "/journey", "/metrics", "/spectrum":
+		default:
+			path = "/metrics" // keep the fuzzer on the JSON endpoints
+		}
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: transport error %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		// Hostile input is the client's fault or over budget — never a
+		// server fault. 2xx is fine when the garbage happens to parse, and
+		// 504 is the deadline rung doing its job on a valid-but-expensive
+		// mutation; 500/502/503 would mean the garbage broke the server.
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("POST %s %q answered %d", path, body, resp.StatusCode)
+		}
+		// The server must remain healthy for the next well-formed request.
+		ok, err := http.Post(ts.URL+"/metrics", "application/json", strings.NewReader(good))
+		if err != nil {
+			t.Fatalf("follow-up request failed: %v", err)
+		}
+		io.Copy(io.Discard, ok.Body) //nolint:errcheck
+		ok.Body.Close()
+		if ok.StatusCode != http.StatusOK {
+			t.Fatalf("follow-up well-formed request answered %d", ok.StatusCode)
+		}
+	})
+}
+
+// TestOversizedBody pins the request-size guard: a body above
+// maxBodyBytes is rejected 400 without buffering the whole payload.
+func TestOversizedBody(t *testing.T) {
+	_, ts := testServer(t, time.Minute, 2)
+	big := `{"graph": {"model": "markov", "nodes": 8, "horizon": 10}, "modes": ["` +
+		strings.Repeat("x", maxBodyBytes) + `"]}`
+	resp, err := http.Post(ts.URL+"/simulate", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package tvgwait_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"tvgwait"
@@ -418,5 +419,51 @@ func TestFacadeSpectrum(t *testing.T) {
 	}
 	if len(rep.Rungs) != 3 || rep.Rungs[0].Mode != "nowait" || rep.Rungs[2].Mode != "wait" {
 		t.Fatalf("engine spectrum shape wrong: %+v", rep.Rungs)
+	}
+}
+
+// TestFacadeCancellation exercises the PR 8 cancellation surface
+// through the public facade: the Ctx entry points, the typed
+// ErrCanceled, and bit-identity with the uncancelled path.
+func TestFacadeCancellation(t *testing.T) {
+	g := tvgwait.NewGraph()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	if _, err := g.AddEdge(tvgwait.Edge{
+		From: u, To: v, Label: 'c', Presence: tvgwait.At(4), Latency: tvgwait.ConstLatency(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tvgwait.Compile(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tvgwait.AllForemostCtx(cancelled, c, tvgwait.Wait(), 0, 1, 0, nil); !errors.Is(err, tvgwait.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("AllForemostCtx on cancelled ctx: %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if _, err := tvgwait.DeliverCtx(cancelled, c, tvgwait.Wait(), tvgwait.Message{Src: u, Dst: v}); !errors.Is(err, tvgwait.ErrCanceled) {
+		t.Fatalf("DeliverCtx on cancelled ctx: %v, want ErrCanceled", err)
+	}
+
+	want := tvgwait.AllForemost(c, tvgwait.Wait(), 0)
+	got, err := tvgwait.AllForemostCtx(context.Background(), c, tvgwait.Wait(), 0, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArr, wantOK := want.At(u, v)
+	gotArr, gotOK := got.At(u, v)
+	if wantArr != gotArr || wantOK != gotOK {
+		t.Errorf("ctx sweep arrival (%v, %v) differs from legacy (%v, %v)", gotArr, gotOK, wantArr, wantOK)
+	}
+
+	ladder, err := tvgwait.NewLadder(tvgwait.NoWait(), tvgwait.Wait())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tvgwait.WaitSpectrumCtx(cancelled, c, ladder, 0, 1, 0, nil); !errors.Is(err, tvgwait.ErrCanceled) {
+		t.Fatalf("WaitSpectrumCtx on cancelled ctx: %v, want ErrCanceled", err)
 	}
 }

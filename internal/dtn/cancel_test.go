@@ -1,0 +1,55 @@
+package dtn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tvgwait/internal/gen"
+	"tvgwait/internal/journey"
+)
+
+// TestFloodCancellation pins the flood's checkpoint contract: a done
+// context aborts SimulateCtx/BroadcastCtx with an error wrapping both
+// journey.ErrCanceled and the context's cause, a live context changes
+// nothing, and an aborted scratch is immediately reusable (every buffer
+// is epoch-validated or re-truncated by the next prepare).
+func TestFloodCancellation(t *testing.T) {
+	c, err := gen.Bernoulli(30, 0.08, 60, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch()
+	msg := Message{ID: 1, Src: 0, Dst: 17}
+	want, err := s.Simulate(c, journey.Wait(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SimulateCtx(cancelled, c, journey.Wait(), msg); !errors.Is(err, journey.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SimulateCtx on cancelled ctx: %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if _, err := s.BroadcastCtx(cancelled, c, journey.Wait(), 0, 0); !errors.Is(err, journey.ErrCanceled) {
+		t.Fatalf("BroadcastCtx on cancelled ctx: %v, want ErrCanceled", err)
+	}
+
+	// Reuse after abort: same scratch, live ctx, identical result.
+	live, stop := context.WithCancel(context.Background())
+	defer stop()
+	got, err := s.SimulateCtx(live, c, journey.Wait(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-abort SimulateCtx = %+v, want %+v", got, want)
+	}
+
+	// Self-delivery short-circuits before the flood: even a cancelled
+	// ctx answers (the message never entered a sweep).
+	self := Message{ID: 2, Src: 3, Dst: 3}
+	if res, err := s.SimulateCtx(cancelled, c, journey.Wait(), self); err != nil || !res.Delivered {
+		t.Fatalf("self-delivery under cancelled ctx: res=%+v err=%v", res, err)
+	}
+}

@@ -17,6 +17,7 @@
 package dtn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -67,6 +68,15 @@ func Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error)
 	return s.Simulate(c, mode, msg)
 }
 
+// SimulateCtx is Simulate with a cancellation checkpoint threaded into
+// the flood (see Scratch.SimulateCtx): a cancelled ctx aborts within
+// one checkpoint interval with an error wrapping journey.ErrCanceled.
+func SimulateCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error) {
+	s := floodPool.Get().(*Scratch)
+	defer floodPool.Put(s)
+	return s.SimulateCtx(ctx, c, mode, msg)
+}
+
 // BroadcastResult describes one source flooding to all nodes.
 type BroadcastResult struct {
 	// Reached[n] reports whether node n ever held a copy.
@@ -86,6 +96,14 @@ func Broadcast(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) 
 	s := floodPool.Get().(*Scratch)
 	defer floodPool.Put(s)
 	return s.Broadcast(c, mode, src, t0)
+}
+
+// BroadcastCtx is Broadcast with a cancellation checkpoint (see
+// SimulateCtx).
+func BroadcastCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
+	s := floodPool.Get().(*Scratch)
+	defer floodPool.Put(s)
+	return s.BroadcastCtx(ctx, c, mode, src, t0)
 }
 
 // CoverageCurve floods from src at t0 and returns, for every tick in

@@ -1,6 +1,7 @@
 package dtn
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -137,6 +138,26 @@ func (s *Scratch) mark(v tvg.Node, arr, startT, horizon tvg.Time, dense bool) bo
 // come due in tick order, lastArr[u] — the latest arrival ≤ t — is in
 // that window iff some arrival is.
 func (s *Scratch) flood(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, startT tvg.Time) {
+	s.floodCtx(context.Background(), c, mode, src, startT) //nolint:errcheck // Background never cancels
+}
+
+// floodCtx is flood with a cancellation checkpoint: the tick loop polls
+// ctx every ~journey.CancelCheckInterval work units (one per contact
+// plus one per tick — the same contract as the bit-parallel sweeps) and
+// aborts with an error wrapping journey.ErrCanceled. The scratch needs
+// no cleanup on abort: every buffer is epoch-validated or re-truncated
+// by the next prepare. A ctx that can never cancel (Background) adds no
+// per-contact work.
+func (s *Scratch) floodCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, src tvg.Node, startT tvg.Time) error {
+	poll := ctx.Done() != nil
+	// Pre-poll: a context that is already done must not pay even one
+	// prepare on a large scratch (floods smaller than one checkpoint
+	// interval would otherwise never observe the cancellation at all).
+	if poll {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", journey.ErrCanceled, err)
+		}
+	}
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
 	span := int64(horizon - startT + 1)
@@ -150,12 +171,24 @@ func (s *Scratch) flood(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, star
 
 	d, finite := mode.Bound()
 	contacts := c.Contacts()
+	credit := int64(journey.CancelCheckInterval)
 	for t := startT; t <= horizon; t++ {
+		if poll {
+			if credit <= 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("%w: %w", journey.ErrCanceled, err)
+				}
+				credit = journey.CancelCheckInterval
+			}
+			credit--
+		}
 		for _, v := range s.due[t-startT] {
 			s.lastArr[v] = t
 			s.hasLast[v] = s.epoch
 		}
-		for _, k := range c.AtTick(t) {
+		tick := c.AtTick(t)
+		credit -= int64(len(tick))
+		for _, k := range tick {
 			ct := &contacts[k]
 			if s.hasLast[ct.From] != s.epoch {
 				continue // tail holds no copy yet
@@ -168,12 +201,22 @@ func (s *Scratch) flood(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, star
 			}
 		}
 	}
+	return nil
 }
 
 // Simulate floods msg over the schedule using this scratch's buffers. It
 // is equivalent to the package-level Simulate; use it to amortize one
 // scratch across many sequential floods.
 func (s *Scratch) Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error) {
+	return s.SimulateCtx(context.Background(), c, mode, msg)
+}
+
+// SimulateCtx is Simulate with a cancellation checkpoint threaded into
+// the flood: a cancelled ctx aborts the tick loop within one checkpoint
+// interval and returns an error wrapping journey.ErrCanceled (and the
+// ctx's own error). Results are bit-identical to Simulate when ctx
+// never cancels.
+func (s *Scratch) SimulateCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, msg Message) (Result, error) {
 	g := c.Graph()
 	if !g.ValidNode(msg.Src) || !g.ValidNode(msg.Dst) {
 		return Result{}, fmt.Errorf("dtn: message %d references unknown node", msg.ID)
@@ -191,7 +234,9 @@ func (s *Scratch) Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (R
 		res.NodesReached = 1
 		return res, nil
 	}
-	s.flood(c, mode, msg.Src, msg.Created)
+	if err := s.floodCtx(ctx, c, mode, msg.Src, msg.Created); err != nil {
+		return Result{}, fmt.Errorf("dtn: message %d: %w", msg.ID, err)
+	}
 	res.Transmissions = s.transmissions
 	res.NodesReached = s.reached
 	if s.hasCopy[msg.Dst] == s.epoch {
@@ -205,6 +250,12 @@ func (s *Scratch) Simulate(c *tvg.ContactSet, mode journey.Mode, msg Message) (R
 // Broadcast floods from src at t0 using this scratch's buffers. It is
 // equivalent to the package-level Broadcast.
 func (s *Scratch) Broadcast(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
+	return s.BroadcastCtx(context.Background(), c, mode, src, t0)
+}
+
+// BroadcastCtx is Broadcast with a cancellation checkpoint (see
+// SimulateCtx).
+func (s *Scratch) BroadcastCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, error) {
 	g := c.Graph()
 	if !g.ValidNode(src) {
 		return BroadcastResult{}, fmt.Errorf("dtn: unknown source %d", src)
@@ -212,7 +263,9 @@ func (s *Scratch) Broadcast(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, 
 	if !mode.IsValid() {
 		return BroadcastResult{}, fmt.Errorf("dtn: invalid mode")
 	}
-	s.flood(c, mode, src, t0)
+	if err := s.floodCtx(ctx, c, mode, src, t0); err != nil {
+		return BroadcastResult{}, fmt.Errorf("dtn: broadcast from %d: %w", src, err)
+	}
 	res := BroadcastResult{
 		Reached:       make([]bool, g.NumNodes()),
 		Arrival:       make([]tvg.Time, g.NumNodes()),

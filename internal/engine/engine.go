@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,10 +10,18 @@ import (
 	"time"
 
 	"tvgwait/internal/dtn"
+	"tvgwait/internal/faultinject"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
 )
+
+// ErrTooLarge reports a request whose predicted result footprint exceeds
+// the engine's byte budget (Options.MaxCacheBytes). The check runs at
+// admission — before any contact set or matrix is allocated — so an
+// over-budget spec is rejected in microseconds, not after an allocation
+// storm. Match with errors.Is; tvgserve maps it to HTTP 413.
+var ErrTooLarge = errors.New("engine: predicted result exceeds cache byte budget")
 
 // Options configures an Engine. The zero value selects sensible defaults.
 type Options struct {
@@ -33,6 +42,18 @@ type Options struct {
 	// see DESIGN.md §8). The counters are maintained either way;
 	// registration only exposes them.
 	Obs *obs.Registry
+	// MaxCacheBytes, when positive, bounds the TOTAL priced bytes held
+	// across the engine's three caches (schedules, metric rows, spectrum
+	// ladders) with globally-LRU eviction, and enables the admission
+	// check: Metrics/Spectrum requests whose predicted O(N²·K) arrival-
+	// matrix footprint alone exceeds the budget fail fast with
+	// ErrTooLarge. 0 disables both (entry-count capacity still applies).
+	MaxCacheBytes int64
+	// FaultHook, when non-nil, is fired at the engine's failure-prone
+	// sites (cold builds, sweep kernels, flood tasks) so chaos tests can
+	// inject latency and errors. nil — the production configuration —
+	// costs one nil check per site. See internal/faultinject.
+	FaultHook faultinject.Hook
 }
 
 // Engine runs batch simulations. It is safe for concurrent use: runs
@@ -70,6 +91,18 @@ type Engine struct {
 	taskDur  *obs.Histogram
 	buildDur *obs.Histogram
 	sweeps   obs.SweepStats
+
+	// baseCtx is the context detached cache builds run under; Close
+	// cancels it, aborting in-flight builds at their next checkpoint.
+	// Request contexts deliberately do NOT reach cached builds — a
+	// caller's deadline must not poison the build for coalesced waiters.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// budget is the shared byte budget (nil when MaxCacheBytes == 0);
+	// maxBytes mirrors Options.MaxCacheBytes for the admission check.
+	budget   *byteBudget
+	maxBytes int64
+	fault    faultinject.Hook
 }
 
 // New returns an engine with the given options.
@@ -102,12 +135,62 @@ func New(opts Options) *Engine {
 		}
 		return total
 	}
+	e.baseCtx, e.cancel = context.WithCancel(context.Background())
+	e.cache.buildCtx = func() context.Context { return e.baseCtx }
+	e.metrics.buildCtx = e.cache.buildCtx
+	e.spectra.buildCtx = e.cache.buildCtx
+	if opts.MaxCacheBytes > 0 {
+		e.maxBytes = opts.MaxCacheBytes
+		e.budget = newByteBudget(opts.MaxCacheBytes, e.cache, e.metrics, e.spectra)
+		e.cache.budget = e.budget
+		e.metrics.budget = e.budget
+		e.spectra.budget = e.budget
+	}
+	e.fault = opts.FaultHook
 	e.scratch.New = func() any { return dtn.NewScratch() }
 	e.builders.New = func() any { return tvg.NewBuilder() }
 	if opts.Obs != nil {
 		e.wireObs(opts.Obs)
 	}
 	return e
+}
+
+// Close cancels the engine's base context: detached cache builds still
+// in flight abort at their next cancellation checkpoint and their
+// failed entries are dropped from the caches. Close is idempotent and
+// does not wait for those builds to unwind; cached values stay
+// readable. Call it at server shutdown so no build goroutine outlives
+// the process's accept loop.
+func (e *Engine) Close() {
+	e.cancel()
+}
+
+// CacheBytes reports the engine's current charged cache footprint: the
+// budget's total when MaxCacheBytes is set, the sum of the three
+// caches' priced bytes otherwise.
+func (e *Engine) CacheBytes() int64 {
+	if e.budget != nil {
+		return e.budget.used()
+	}
+	return e.cache.bytes() + e.metrics.bytes() + e.spectra.bytes()
+}
+
+// admitFootprint is the byte-budget admission check: it rejects a
+// request whose transient arrival matrix alone — 8·nodes²·rungs bytes
+// of tvg.Time cells, the dominant allocation of a metrics or spectrum
+// computation — exceeds MaxCacheBytes. Charged before the contact set
+// is built, so an over-budget spec allocates nothing. No-op when the
+// budget is off.
+func (e *Engine) admitFootprint(nodes, rungs int) error {
+	if e.maxBytes <= 0 {
+		return nil
+	}
+	need := 8 * int64(nodes) * int64(nodes) * int64(rungs)
+	if need > e.maxBytes {
+		return fmt.Errorf("%w: %d nodes x %d rungs needs %d bytes (budget %d)",
+			ErrTooLarge, nodes, rungs, need, e.maxBytes)
+	}
+	return nil
 }
 
 // ContactSet returns the cached compiled contact set of (spec, seed),
@@ -122,7 +205,10 @@ func (e *Engine) contactSet(ctx context.Context, g GraphSpec, seed int64) (*tvg.
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
-	c, hit, err := e.cache.get(g.key(seed), func() (*tvg.ContactSet, error) {
+	c, hit, err := e.cache.get(ctx, g.key(seed), func() (*tvg.ContactSet, error) {
+		if err := e.fault.Fire(faultinject.SiteBuild); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		b := e.builders.Get().(*tvg.Builder)
 		defer e.builders.Put(b)
@@ -202,8 +288,11 @@ func (e *Engine) runUnicast(ctx context.Context, spec ScenarioSpec, modes []jour
 		mi := i / nMsgs % nModes
 		k := i % nMsgs
 		msg := workloads[r][k]
+		if err := e.fault.Fire(faultinject.SiteFlood); err != nil {
+			return fmt.Errorf("replicate %d mode %s message %d: %w", r, modes[mi], msg.ID, err)
+		}
 		scratch := e.scratch.Get().(*dtn.Scratch)
-		res, err := scratch.Simulate(compiled[r], modes[mi], msg)
+		res, err := scratch.SimulateCtx(ctx, compiled[r], modes[mi], msg)
 		e.scratch.Put(scratch)
 		if err != nil {
 			return fmt.Errorf("replicate %d mode %s message %d: %w", r, modes[mi], msg.ID, err)
@@ -259,8 +348,11 @@ func (e *Engine) runBroadcast(ctx context.Context, spec ScenarioSpec, modes []jo
 	results := make([]dtn.BroadcastResult, spec.Replicates*nModes)
 	err := e.forEach(ctx, workers, len(results), func(i int) error {
 		r, mi := i/nModes, i%nModes
+		if err := e.fault.Fire(faultinject.SiteFlood); err != nil {
+			return fmt.Errorf("replicate %d mode %s: %w", r, modes[mi], err)
+		}
 		scratch := e.scratch.Get().(*dtn.Scratch)
-		res, err := scratch.Broadcast(compiled[r], modes[mi], src, 0)
+		res, err := scratch.BroadcastCtx(ctx, compiled[r], modes[mi], src, 0)
 		e.scratch.Put(scratch)
 		if err != nil {
 			return fmt.Errorf("replicate %d mode %s: %w", r, modes[mi], err)

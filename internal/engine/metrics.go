@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 
+	"tvgwait/internal/faultinject"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/obs"
 	"tvgwait/internal/tvg"
@@ -94,31 +95,33 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
 		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
 	}
-	c, err := e.contactSet(ctx, req.Graph, req.Seed)
-	if err != nil {
-		return nil, err
-	}
-	report := &MetricsReport{
-		Model: req.Graph.Model, Nodes: c.Graph().NumNodes(), Horizon: c.Horizon(),
-		Seed: req.Seed, T0: req.T0, Contacts: c.NumContacts(),
-	}
 	if len(modes) > 1 {
 		// Multi-mode requests ride the wait-spectrum sweep: one contact
 		// pass computes every rung, and one spectra LRU entry replaces
 		// the len(modes) per-mode entries. Rows are byte-identical to
 		// the per-mode path (same metricsFromMatrix over bit-identical
 		// matrices); only the Mode label follows the request's form.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+		// The ladder is normalized BEFORE the contact set is built so
+		// the admission check prices the exact rung count.
 		ladder, err := journey.NewLadder(modes...)
 		if err != nil {
 			return nil, specErr("%v", err)
+		}
+		if err := e.admitFootprint(req.Graph.Nodes, ladder.Len()); err != nil {
+			return nil, err
+		}
+		c, err := e.contactSet(ctx, req.Graph, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		rows, err := e.spectrumRows(ctx, c, req.Graph, req.Seed, req.T0, ladder)
 		if err != nil {
 			return nil, err
 		}
+		report := newMetricsReport(req, c)
 		for _, mode := range modes {
 			i, _ := ladder.RungOf(mode)
 			row := *rows[i]
@@ -127,13 +130,29 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		}
 		return report, nil
 	}
+	if err := e.admitFootprint(req.Graph.Nodes, 1); err != nil {
+		return nil, err
+	}
+	c, err := e.contactSet(ctx, req.Graph, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	report := newMetricsReport(req, c)
 	for _, mode := range modes {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		mode := mode
 		key := fmt.Sprintf("%s|t0%d|%s", req.Graph.key(req.Seed), req.T0, mode)
-		mm, hit, err := e.metrics.get(key, func() (*ModeMetrics, error) {
-			return computeModeMetrics(c, mode, req.T0, e.workers, e.sweepWidth, &e.sweeps), nil
+		mm, hit, err := e.metrics.get(ctx, key, func() (*ModeMetrics, error) {
+			if err := e.fault.Fire(faultinject.SiteSweep); err != nil {
+				return nil, err
+			}
+			m, err := journey.AllForemostCtx(e.baseCtx, c, mode, req.T0, e.workers, e.sweepWidth, &e.sweeps)
+			if err != nil {
+				return nil, err
+			}
+			return metricsFromMatrix(mode, m), nil
 		})
 		if err != nil {
 			return nil, err
@@ -142,6 +161,14 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 		report.Modes = append(report.Modes, *mm)
 	}
 	return report, nil
+}
+
+// newMetricsReport fills the header fields shared by both Metrics paths.
+func newMetricsReport(req MetricsRequest, c *tvg.ContactSet) *MetricsReport {
+	return &MetricsReport{
+		Model: req.Graph.Model, Nodes: c.Graph().NumNodes(), Horizon: c.Horizon(),
+		Seed: req.Seed, T0: req.T0, Contacts: c.NumContacts(),
+	}
 }
 
 // computeModeMetrics derives one mode's row from the all-pairs foremost

@@ -65,31 +65,39 @@ func traceFrom(ctx context.Context) *CacheTrace {
 // contract pinned in DESIGN.md §8.
 func (e *Engine) wireObs(r *obs.Registry) {
 	caches := []struct {
-		name                    string
-		hits, misses, evictions *obs.Counter
-		entries                 func() int
-		bytes                   func() int64
+		name                               string
+		hits, misses, coalesced, evictions *obs.Counter
+		entries                            func() int
+		bytes                              func() int64
 	}{
-		{"schedule", nil, nil, nil, e.cache.len, e.cache.bytes},
-		{"metrics", nil, nil, nil, e.metrics.len, e.metrics.bytes},
-		{"spectra", nil, nil, nil, e.spectra.len, e.spectra.bytes},
+		{"schedule", nil, nil, nil, nil, e.cache.len, e.cache.bytes},
+		{"metrics", nil, nil, nil, nil, e.metrics.len, e.metrics.bytes},
+		{"spectra", nil, nil, nil, nil, e.spectra.len, e.spectra.bytes},
 	}
-	caches[0].hits, caches[0].misses, caches[0].evictions = e.cache.counters()
-	caches[1].hits, caches[1].misses, caches[1].evictions = e.metrics.counters()
-	caches[2].hits, caches[2].misses, caches[2].evictions = e.spectra.counters()
+	caches[0].hits, caches[0].misses, caches[0].coalesced, caches[0].evictions = e.cache.counters()
+	caches[1].hits, caches[1].misses, caches[1].coalesced, caches[1].evictions = e.metrics.counters()
+	caches[2].hits, caches[2].misses, caches[2].coalesced, caches[2].evictions = e.spectra.counters()
 	for _, cv := range caches {
 		lbl := `cache="` + cv.name + `"`
 		r.RegisterCounter("tvg_engine_cache_hits_total", lbl,
-			"lookups served from an existing entry (in-flight builds included)", cv.hits)
+			"lookups served from an existing completed entry", cv.hits)
 		r.RegisterCounter("tvg_engine_cache_misses_total", lbl,
 			"lookups that created the entry (cold builds)", cv.misses)
+		r.RegisterCounter("tvg_engine_cache_coalesced_total", lbl,
+			"lookups that joined an in-flight build instead of starting one", cv.coalesced)
 		r.RegisterCounter("tvg_engine_cache_evictions_total", lbl,
-			"entries dropped at capacity (LRU tail)", cv.evictions)
+			"entries dropped at capacity or by the byte budget (LRU tail)", cv.evictions)
 		entries := cv.entries
 		r.GaugeFunc("tvg_engine_cache_entries", lbl,
 			"live cache entries", func() int64 { return int64(entries()) })
 		r.GaugeFunc("tvg_engine_cache_bytes", lbl,
 			"estimated bytes held by cache entries", cv.bytes)
+	}
+	if e.budget != nil {
+		r.GaugeFunc("tvg_engine_cache_budget_bytes", "",
+			"configured cache byte budget (Options.MaxCacheBytes)", func() int64 { return e.maxBytes })
+		r.GaugeFunc("tvg_engine_cache_budget_used_bytes", "",
+			"bytes charged against the shared cache byte budget", e.budget.used)
 	}
 	r.RegisterGauge("tvg_engine_tasks_inflight", "",
 		"worker-pool tasks currently executing", &e.busy)

@@ -19,7 +19,7 @@ func TestEngineObsWiring(t *testing.T) {
 
 	// Cold run: every replicate's schedule is a miss.
 	mustRun(t, e, spec)
-	hits, misses, _ := e.cache.counters()
+	hits, misses, _, _ := e.cache.counters()
 	if misses.Value() != int64(spec.Replicates) {
 		t.Fatalf("cold run: schedule misses = %d, want %d", misses.Value(), spec.Replicates)
 	}
@@ -28,7 +28,7 @@ func TestEngineObsWiring(t *testing.T) {
 	}
 
 	// CacheSize 2 with 3 replicates: the cold run must have evicted.
-	_, _, evictions := e.cache.counters()
+	_, _, _, evictions := e.cache.counters()
 	if evictions.Value() != int64(spec.Replicates-2) {
 		t.Fatalf("evictions = %d, want %d", evictions.Value(), spec.Replicates-2)
 	}
@@ -110,7 +110,7 @@ func TestEngineObsWiring(t *testing.T) {
 func TestEngineObsOptional(t *testing.T) {
 	e := New(Options{Workers: 2})
 	mustRun(t, e, markovSpec())
-	_, misses, _ := e.cache.counters()
+	_, misses, _, _ := e.cache.counters()
 	if misses.Value() <= 0 {
 		t.Fatal("un-wired engine did not tally cache misses")
 	}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tvgwait/internal/faultinject"
+	"tvgwait/internal/journey"
+)
+
+// TestDetachedBuildSurvivesWaiterTimeout is the coalescing contract's
+// acceptance pin: a waiter whose deadline passes returns immediately
+// with its own ctx error, while the detached build runs to completion
+// and is cached — the next request is a pure hit.
+func TestDetachedBuildSurvivesWaiterTimeout(t *testing.T) {
+	buildDur := 300 * time.Millisecond
+	e := New(Options{
+		Workers:   2,
+		FaultHook: faultinject.OnSite(faultinject.SiteBuild, faultinject.Sleep(buildDur)),
+	})
+	req := MetricsRequest{Graph: markovSpec().Graph, Seed: 42, Modes: []string{"wait"}}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Metrics(ctx, req)
+	waited := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out waiter got %v, want DeadlineExceeded", err)
+	}
+	if waited >= buildDur {
+		t.Fatalf("waiter blocked %v — rode out the whole %v build instead of its own deadline", waited, buildDur)
+	}
+
+	// The detached build must finish and cache: poll until the retry is
+	// served warm (hit on the schedule cache, no new build).
+	deadline := time.Now().Add(5 * buildDur)
+	for {
+		tctx, tr := WithCacheTrace(context.Background())
+		if _, err := e.Metrics(tctx, req); err == nil && tr.Warm() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached build never completed into the cache")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCoalescedCounting pins the lookup-outcome ledger: concurrent
+// requests for one in-flight build count one miss plus coalesced waits
+// — never hits — and a FAILED build's waiters are not misreported as
+// cache hits (the historical bug), with the failed entry dropped so the
+// next request rebuilds.
+func TestCoalescedCounting(t *testing.T) {
+	sc := newOnceCache[int](4)
+	ctx := context.Background()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := sc.get(ctx, "k", func() (int, error) { close(entered); <-gate; return 7, nil })
+		if v != 7 || hit || err != nil {
+			t.Errorf("originator got (%d, %v, %v), want (7, false, nil)", v, hit, err)
+		}
+	}()
+	<-entered
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := sc.get(ctx, "k", func() (int, error) { t.Error("coalesced waiter ran the build"); return 0, nil })
+		if v != 7 || !hit || err != nil {
+			t.Errorf("coalesced waiter got (%d, %v, %v), want (7, true, nil)", v, hit, err)
+		}
+	}()
+	// Wait until the second get has registered as coalesced, then open
+	// the gate.
+	for sc.coalesced.Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if h, m, co := sc.hits.Value(), sc.misses.Value(), sc.coalesced.Value(); h != 0 || m != 1 || co != 1 {
+		t.Fatalf("after in-flight coalesce: hits=%d misses=%d coalesced=%d, want 0/1/1", h, m, co)
+	}
+	if _, hit, _ := sc.get(ctx, "k", nil); !hit || sc.hits.Value() != 1 {
+		t.Fatalf("completed entry not served as a hit (hits=%d)", sc.hits.Value())
+	}
+
+	// Failing build: originator and waiter both see the error, neither
+	// counts a hit, and the entry is dropped for a clean rebuild.
+	boom := errors.New("boom")
+	gate2 := make(chan struct{})
+	entered2 := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, hit, err := sc.get(ctx, "bad", func() (int, error) { close(entered2); <-gate2; return 0, boom })
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("failing originator got (hit=%v, err=%v)", hit, err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-entered2
+		_, hit, err := sc.get(ctx, "bad", func() (int, error) { return 0, nil })
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("waiter on failing build got (hit=%v, err=%v) — the pre-rework code counted this a hit", hit, err)
+		}
+	}()
+	for sc.coalesced.Value() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate2)
+	wg.Wait()
+	if sc.hits.Value() != 1 {
+		t.Fatalf("failed-build waiters inflated hits to %d", sc.hits.Value())
+	}
+	// The failed entry must not pin the key: a rebuild succeeds.
+	deadline := time.Now().Add(time.Second)
+	for {
+		v, _, err := sc.get(ctx, "bad", func() (int, error) { return 9, nil })
+		if err == nil && v == 9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("failed entry still pinned: v=%d err=%v", v, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaiterCtxCancelReturnsImmediately pins the select: a waiter whose
+// ctx cancels mid-build unblocks at once with the ctx error.
+func TestWaiterCtxCancelReturnsImmediately(t *testing.T) {
+	sc := newOnceCache[int](4)
+	gate := make(chan struct{})
+	defer close(gate)
+	entered := make(chan struct{})
+	go sc.get(context.Background(), "k", func() (int, error) { close(entered); <-gate; return 1, nil }) //nolint:errcheck
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, _, err := sc.get(ctx, "k", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("cancelled waiter blocked %v", waited)
+	}
+}
+
+// TestErrTooLargeAdmission pins the admission check: a spec whose
+// predicted matrix footprint exceeds MaxCacheBytes is rejected with
+// ErrTooLarge before any contact set is generated.
+func TestErrTooLargeAdmission(t *testing.T) {
+	e := New(Options{MaxCacheBytes: 1 << 20}) // 1 MiB budget
+	big := GraphSpec{Model: "bernoulli", Nodes: 1024, P: 0.001, Horizon: 100}
+	if err := big.validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := e.Metrics(context.Background(), MetricsRequest{Graph: big, Modes: []string{"wait"}})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Metrics on 8 MiB footprint under 1 MiB budget: %v, want ErrTooLarge", err)
+	}
+	_, err = e.Spectrum(context.Background(), SpectrumRequest{Graph: big})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Spectrum: %v, want ErrTooLarge", err)
+	}
+	// Rejected at admission: nothing was generated or cached.
+	if n := e.cache.len(); n != 0 {
+		t.Fatalf("rejected request still built %d contact sets", n)
+	}
+	if b := e.CacheBytes(); b != 0 {
+		t.Fatalf("rejected request charged %d bytes", b)
+	}
+
+	// A small spec on the same engine passes and is cached under budget.
+	small := markovSpec().Graph
+	if _, err := e.Metrics(context.Background(), MetricsRequest{Graph: small, Modes: []string{"wait"}}); err != nil {
+		t.Fatal(err)
+	}
+	if b := e.CacheBytes(); b <= 0 || b > 1<<20 {
+		t.Fatalf("cache bytes after small request = %d, want (0, budget]", b)
+	}
+}
+
+// TestByteBudgetNeverExceeded is the storm pin: under randomized
+// concurrent load with a tight budget, the charged total sampled at any
+// instant never exceeds MaxCacheBytes.
+func TestByteBudgetNeverExceeded(t *testing.T) {
+	const budget = 96 << 10 // deliberately tight: forces continual budget eviction
+	e := New(Options{Workers: 2, MaxCacheBytes: budget})
+	g := markovSpec().Graph
+
+	var over atomic.Int64
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if b := e.CacheBytes(); b > budget {
+				over.Store(b)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				seed := int64(rng.Intn(25))
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := e.ContactSet(g, seed); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := e.Metrics(context.Background(), MetricsRequest{Graph: g, Seed: seed, Modes: []string{"wait"}}); err != nil {
+						t.Error(err)
+					}
+				default:
+					if _, err := e.Spectrum(context.Background(), SpectrumRequest{Graph: g, Seed: seed, Modes: []string{"nowait", "wait:2", "wait"}}); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if b := over.Load(); b != 0 {
+		t.Fatalf("cache bytes observed at %d, above the %d budget", b, int64(budget))
+	}
+	if b := e.CacheBytes(); b > budget || b < 0 {
+		t.Fatalf("final cache bytes %d outside [0, %d]", b, int64(budget))
+	}
+}
+
+// TestEngineClose pins shutdown: Close cancels the base context, so
+// subsequent sweep builds abort with the typed cancellation error
+// instead of running detached forever.
+func TestEngineClose(t *testing.T) {
+	e := New(Options{Workers: 2})
+	e.Close()
+	// Generation is not ctx-aware, so the schedule still builds; the
+	// sweep kernel runs under the closed base context and must abort.
+	_, err := e.Metrics(context.Background(), MetricsRequest{Graph: markovSpec().Graph, Modes: []string{"wait"}})
+	if !errors.Is(err, journey.ErrCanceled) {
+		t.Fatalf("Metrics after Close: %v, want journey.ErrCanceled", err)
+	}
+}
+
+// TestChaosFaultInjection drives the engine through a storm of injected
+// faults and cancellations — slow builds, a failing generator every few
+// builds, request deadlines scattered from instant to generous — and
+// asserts the only outcomes are the expected error classes, the engine
+// stays consistent (a clean request afterwards returns the exact
+// uncorrupted result), and no goroutines are stranded. Run under -race
+// in CI (see .github/workflows).
+func TestChaosFaultInjection(t *testing.T) {
+	boom := errors.New("injected generator failure")
+	baseline := runtime.NumGoroutine()
+	e := New(Options{
+		Workers: 2,
+		FaultHook: faultinject.Chain(
+			faultinject.Sleep(100*time.Microsecond),
+			faultinject.FailEvery(5, boom),
+		),
+	})
+	spec := markovSpec()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 30; i++ {
+				timeout := time.Duration(rng.Intn(2000)) * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				seed := int64(rng.Intn(10))
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					s := spec
+					s.Seed = seed
+					_, err = e.Run(ctx, s)
+				case 1:
+					_, err = e.Metrics(ctx, MetricsRequest{Graph: spec.Graph, Seed: seed, Modes: []string{"nowait", "wait"}})
+				default:
+					_, err = e.Spectrum(ctx, SpectrumRequest{Graph: spec.Graph, Seed: seed})
+				}
+				cancel()
+				if err != nil &&
+					!errors.Is(err, boom) &&
+					!errors.Is(err, context.DeadlineExceeded) &&
+					!errors.Is(err, context.Canceled) &&
+					!errors.Is(err, journey.ErrCanceled) {
+					t.Errorf("chaos request returned unexpected error class: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The engine must still answer correctly after the storm: unhook the
+	// faults (a run fires far more than 5 sites, so FailEvery(5) would
+	// fail every attempt) and compare a clean run against a fresh
+	// engine's.
+	e.fault = nil
+	clean := New(Options{Workers: 2})
+	want, err := clean.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("post-storm run failed with %v", err)
+	}
+	if fmt.Sprintf("%+v", got.Unicast) != fmt.Sprintf("%+v", want.Unicast) {
+		t.Fatal("post-storm report differs from a fresh engine's")
+	}
+
+	// Goroutine accounting: detached builds and pool workers must wind
+	// down (retry window: builds may still be finishing).
+	e.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

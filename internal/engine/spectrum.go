@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tvgwait/internal/faultinject"
 	"tvgwait/internal/journey"
 	"tvgwait/internal/tvg"
 )
@@ -75,6 +76,9 @@ func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumRe
 	if err != nil {
 		return nil, specErr("%v", err)
 	}
+	if err := e.admitFootprint(req.Graph.Nodes, ladder.Len()); err != nil {
+		return nil, err
+	}
 	c, err := e.contactSet(ctx, req.Graph, req.Seed)
 	if err != nil {
 		return nil, err
@@ -106,8 +110,14 @@ func (e *Engine) Spectrum(ctx context.Context, req SpectrumRequest) (*SpectrumRe
 // them as read-only (Metrics copies before relabeling).
 func (e *Engine) spectrumRows(ctx context.Context, c *tvg.ContactSet, g GraphSpec, seed int64, t0 tvg.Time, ladder journey.Ladder) ([]*ModeMetrics, error) {
 	key := fmt.Sprintf("%s|t0%d|ladder:%s", g.key(seed), t0, ladder)
-	rows, hit, err := e.spectra.get(key, func() ([]*ModeMetrics, error) {
-		res := journey.WaitSpectrumStats(c, ladder, t0, e.workers, e.sweepWidth, &e.sweeps)
+	rows, hit, err := e.spectra.get(ctx, key, func() ([]*ModeMetrics, error) {
+		if err := e.fault.Fire(faultinject.SiteSweep); err != nil {
+			return nil, err
+		}
+		res, err := journey.WaitSpectrumCtx(e.baseCtx, c, ladder, t0, e.workers, e.sweepWidth, &e.sweeps)
+		if err != nil {
+			return nil, err
+		}
 		rows := make([]*ModeMetrics, res.NumRungs())
 		for i := range rows {
 			rows[i] = metricsFromMatrix(res.Mode(i), res.Arrivals(i))

@@ -1,0 +1,91 @@
+// Package faultinject is the engine's chaos-testing seam: a nil-safe
+// hook the engine fires at its failure-prone sites (cold cache builds,
+// sweep kernels, flood tasks) so tests can inject latency, errors and
+// cancellation storms without touching production code paths. A nil
+// Hook — the production configuration — costs one nil check per site.
+//
+// The package deliberately has no knobs of its own: a Hook is just a
+// function, and the combinators below (Sleep, FailEvery, OnSite, Chain)
+// compose the common chaos shapes. Everything is safe for concurrent
+// use; FailEvery's counter is atomic.
+package faultinject
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Site names one fault-injection point.
+type Site string
+
+const (
+	// SiteBuild fires at the start of every cold contact-set build
+	// (generation + compile) inside the engine's schedule cache.
+	SiteBuild Site = "build"
+	// SiteSweep fires at the start of every bit-parallel metrics or
+	// spectrum kernel build.
+	SiteSweep Site = "sweep"
+	// SiteFlood fires at the start of every DTN flood task of a run.
+	SiteFlood Site = "flood"
+)
+
+// Hook is a fault-injection callback. Returning a non-nil error makes
+// the instrumented operation fail with that error; returning nil lets
+// it proceed (possibly after the hook slept). Hooks run on the
+// operation's goroutine and must be safe for concurrent use.
+type Hook func(Site) error
+
+// Fire invokes the hook at site. A nil hook is a no-op returning nil —
+// call sites never branch.
+func (h Hook) Fire(site Site) error {
+	if h == nil {
+		return nil
+	}
+	return h(site)
+}
+
+// Sleep returns a hook that delays every firing by d — the "slow
+// build" / "slow backend" chaos shape.
+func Sleep(d time.Duration) Hook {
+	return func(Site) error {
+		time.Sleep(d)
+		return nil
+	}
+}
+
+// FailEvery returns a hook that fails every n-th firing (1 = always)
+// with err — the "flaky generator" chaos shape.
+func FailEvery(n int64, err error) Hook {
+	if n < 1 {
+		n = 1
+	}
+	var count atomic.Int64
+	return func(Site) error {
+		if count.Add(1)%n == 0 {
+			return err
+		}
+		return nil
+	}
+}
+
+// OnSite restricts h to one site; other sites pass through untouched.
+func OnSite(site Site, h Hook) Hook {
+	return func(s Site) error {
+		if s != site {
+			return nil
+		}
+		return h.Fire(s)
+	}
+}
+
+// Chain runs hooks in order, stopping at the first error.
+func Chain(hooks ...Hook) Hook {
+	return func(s Site) error {
+		for _, h := range hooks {
+			if err := h.Fire(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

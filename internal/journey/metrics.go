@@ -15,7 +15,7 @@ func TemporalEccentricity(c *tvg.ContactSet, mode Mode, src tvg.Node, t0 tvg.Tim
 	}
 	s := getMsScratch()
 	defer putMsScratch(s)
-	s.sweep(c, mode, int(src), 1, t0, true, 1, nil)
+	s.sweep(c, mode, int(src), 1, t0, true, 1, nil, nil)
 	if s.unreached > 0 {
 		return 0, false
 	}
@@ -56,7 +56,7 @@ func TemporalDiameter(c *tvg.ContactSet, mode Mode, t0 tvg.Time) (tvg.Time, bool
 	step := w * blockBits
 	for base := 0; base < n; base += step {
 		cnt := min(step, n-base)
-		s.sweep(c, mode, base, cnt, t0, true, w, nil)
+		s.sweep(c, mode, base, cnt, t0, true, w, nil, nil)
 		if s.unreached > 0 {
 			return 0, false
 		}

@@ -444,7 +444,16 @@ func (s *msScratch) recordReached(row, l int, w uint64) {
 // fallback — in one atomic merge after the pass (per-tick bookkeeping
 // stays in locals), so the instrumented sweep costs the uninstrumented
 // one plus a few adds per block. See DESIGN.md §8.
-func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, width int, st *obs.SweepStats) {
+//
+// A non-nil cc is the block's cancellation checkpoint: the sweep polls
+// it every ~CancelCheckInterval work units (one per contact, one per
+// tick) and aborts the tick loop when it trips. The abort path still
+// runs the pending-grid cleanup — the pooled scratch contract requires
+// an all-zero grid — and still merges the partial telemetry (plus one
+// Cancellations tick, and no EarlyExits credit). A nil cc costs one
+// nil-check per tick and leaves results bit-identical to the
+// pre-cancellation sweep.
+func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, width int, st *obs.SweepStats, cc *canceler) {
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
 	span := spanOf(c, t0)
@@ -504,8 +513,20 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		gate = s.win
 	}
 	var swept, expired, lanesRetired int64 // block-local telemetry, merged once
+	credit := int64(CancelCheckInterval)   // work units until the next ctx poll
+	aborted := false
 	t := t0
 	for ; t <= horizon; t++ {
+		if cc != nil {
+			if credit <= 0 {
+				if cc.poll() {
+					aborted = true
+					break
+				}
+				credit = CancelCheckInterval
+			}
+			credit--
+		}
 		// Retire lanes whose independent sweeps would have early-exited:
 		// all pairs reached, and (for arrivals) no future arrival (≥ t+1)
 		// can undercut a recorded first. Zeroing the retired lane's live
@@ -611,6 +632,7 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		// are terminal and only recorded.
 		tick := c.AtTick(t)
 		swept += int64(len(tick))
+		credit -= int64(len(tick))
 		for _, k := range tick {
 			ct := &contacts[k]
 			if gate[ct.From] == 0 {
@@ -690,10 +712,11 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		}
 	}
 
-	earlyExit := t <= horizon
+	earlyExit := !aborted && t <= horizon
 
-	// Cleanup after an early exit: zero the never-drained pending cells
-	// so the grid is all-zero for the next sweep.
+	// Cleanup after an early exit or a cancellation abort: zero the
+	// never-drained pending cells so the grid is all-zero for the next
+	// sweep.
 	for ; t <= horizon; t++ {
 		idx := int64(t - t0)
 		for _, nl := range s.due[idx] {
@@ -712,6 +735,9 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		st.LaneRetirements.Add(lanesRetired)
 		if earlyExit {
 			st.EarlyExits.Inc()
+		}
+		if aborted {
+			st.Cancellations.Inc()
 		}
 		if !dense {
 			st.SparseFallbacks.Inc()
@@ -857,6 +883,14 @@ func AllForemostParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers int)
 // early exits, expiries, lane retirements, sparse fallbacks) — the
 // result is identical with or without it.
 func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) *ArrivalMatrix {
+	return allForemost(c, mode, t0, workers, width, st, nil)
+}
+
+// allForemost is the shared body of AllForemostStats (nil cc) and
+// AllForemostCtx (ctx-backed cc). A tripped canceler skips the
+// remaining blocks and their extraction; the caller discards the
+// partial matrix.
+func allForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats, cc *canceler) *ArrivalMatrix {
 	n := c.Graph().NumNodes()
 	m := &ArrivalMatrix{n: n, t0: t0, arr: make([]tvg.Time, n*n)}
 	for i := range m.arr {
@@ -870,7 +904,13 @@ func AllForemostStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width 
 		st.Width.Set(int64(w))
 	}
 	forEachBlock(n, workers, w, func(s *msScratch, base, cnt int) {
-		s.sweep(c, mode, base, cnt, t0, true, w, st)
+		if cc.stopped() {
+			return
+		}
+		s.sweep(c, mode, base, cnt, t0, true, w, st, cc)
+		if cc.stopped() {
+			return
+		}
 		sw := s.w
 		// Lane-major extraction: each lane scatters into only its own 64
 		// source rows of the matrix (the working set of a narrow sweep),
@@ -914,6 +954,12 @@ func ReachabilityMatrixParallel(c *tvg.ContactSet, mode Mode, t0 tvg.Time, worke
 // ReachabilityMatrixStats is ReachabilityMatrixParallel with an
 // explicit sweep width and optional telemetry (see AllForemostStats).
 func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) *ReachMatrix {
+	return reachabilityMatrix(c, mode, t0, workers, width, st, nil)
+}
+
+// reachabilityMatrix is the shared body of ReachabilityMatrixStats (nil
+// cc) and ReachabilityMatrixCtx (ctx-backed cc).
+func reachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats, cc *canceler) *ReachMatrix {
 	n := c.Graph().NumNodes()
 	words := (n + blockBits - 1) / blockBits
 	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
@@ -925,8 +971,14 @@ func ReachabilityMatrixStats(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers,
 		st.Width.Set(int64(w))
 	}
 	forEachBlock(n, workers, w, func(s *msScratch, base, cnt int) {
+		if cc.stopped() {
+			return
+		}
 		b := base / blockBits
-		s.sweep(c, mode, base, cnt, t0, false, w, st)
+		s.sweep(c, mode, base, cnt, t0, false, w, st, cc)
+		if cc.stopped() {
+			return
+		}
 		sw := s.w
 		for v := 0; v < n; v++ {
 			for l := 0; l < sw; l++ {
@@ -957,7 +1009,7 @@ func TemporallyConnected(c *tvg.ContactSet, mode Mode, t0 tvg.Time) bool {
 	defer putMsScratch(s)
 	step := w * blockBits
 	for base := 0; base < n; base += step {
-		s.sweep(c, mode, base, min(step, n-base), t0, false, w, nil)
+		s.sweep(c, mode, base, min(step, n-base), t0, false, w, nil, nil)
 		if s.unreached > 0 {
 			return false
 		}

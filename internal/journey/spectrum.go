@@ -494,7 +494,12 @@ func (s *spScratch) record(row, r int, w, lowest, seenNew uint64, arr tvg.Time) 
 // A non-nil st receives the block's telemetry — contacts examined,
 // cascade expiry checks, mid-sweep rung retirements, early exit, sparse
 // fallback — in one atomic merge after the pass (see DESIGN.md §8).
-func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, width int, st *obs.SweepStats) {
+//
+// A non-nil cc is the block's cancellation checkpoint, polled every
+// ~CancelCheckInterval work units exactly as in msScratch.sweep; the
+// abort path keeps the grid self-cleaning and merges partial telemetry
+// plus one Cancellations tick.
+func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, width int, st *obs.SweepStats, cc *canceler) {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	horizon := c.Horizon()
@@ -549,8 +554,20 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 
 	contacts := c.Contacts()
 	var swept, expired, retired int64 // block-local telemetry, merged into st once
+	credit := int64(CancelCheckInterval)
+	aborted := false
 	t := t0
 	for ; t <= horizon; t++ {
+		if cc != nil {
+			if credit <= 0 {
+				if cc.poll() {
+					aborted = true
+					break
+				}
+				credit = CancelCheckInterval
+			}
+			credit--
+		}
 		// Retire done rungs from the top: a rung whose pairs are all
 		// reached and whose recorded firsts no future arrival (≥ t+1)
 		// can undercut is exactly where its independent sweep would
@@ -702,6 +719,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		// common case on sparse streams, at any width.
 		tick := c.AtTick(t)
 		swept += int64(len(tick))
+		credit -= int64(len(tick))
 		for _, kc := range tick {
 			ct := &contacts[kc]
 			if s.anyWin[ct.From] == 0 {
@@ -809,10 +827,11 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		}
 	}
 
-	earlyExit := t <= horizon
+	earlyExit := !aborted && t <= horizon
 
-	// Cleanup after an early exit: zero the never-drained pending cells
-	// so the grid is all-zero for the next sweep.
+	// Cleanup after an early exit or a cancellation abort: zero the
+	// never-drained pending cells so the grid is all-zero for the next
+	// sweep.
 	for ; t <= horizon; t++ {
 		idx := int64(t - t0)
 		for _, nl := range s.due[idx] {
@@ -836,6 +855,9 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		st.RungRetirements.Add(retired)
 		if earlyExit {
 			st.EarlyExits.Inc()
+		}
+		if aborted {
+			st.Cancellations.Inc()
 		}
 		if !dense {
 			st.SparseFallbacks.Inc()
@@ -869,6 +891,12 @@ func WaitSpectrumParallel(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers
 // its local tallies into st once at block end (see obs.SweepStats); a
 // nil st is free.
 func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, width int, st *obs.SweepStats) *SpectrumResult {
+	return waitSpectrum(c, ladder, t0, workers, width, st, nil)
+}
+
+// waitSpectrum is the shared body of WaitSpectrumStats (nil cc) and
+// WaitSpectrumCtx (ctx-backed cc).
+func waitSpectrum(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, width int, st *obs.SweepStats, cc *canceler) *SpectrumResult {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
 	res := &SpectrumResult{ladder: ladder, t0: t0, mats: make([]*ArrivalMatrix, k)}
@@ -885,7 +913,13 @@ func WaitSpectrumStats(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, w
 		st.Width.Set(int64(w))
 	}
 	blockFanOut(getSpScratch, func(s *spScratch) { putSpScratch(s) }, n, workers, w, func(s *spScratch, base, cnt int) {
-		s.sweep(c, ladder, base, cnt, t0, w, st)
+		if cc.stopped() {
+			return
+		}
+		s.sweep(c, ladder, base, cnt, t0, w, st, cc)
+		if cc.stopped() {
+			return
+		}
 		sw := s.w
 		// Transpose the slotted scratch into the per-rung matrices: rung
 		// r's foremost arrival is the prefix-min over the bit's arrival-

@@ -228,6 +228,9 @@ func SizeBuckets() []int64 {
 //   - LaneRetirements: multisource lanes (64-source sub-blocks of a
 //     wide sweep) retired mid-sweep while other lanes stayed active —
 //     the staggered-completion effect specific to wide blocks.
+//   - Cancellations: sweep blocks aborted mid-pass by a cancellation
+//     checkpoint (their partial Contacts/DueExpiries are still merged —
+//     the partial-work ledger of a cancelled request).
 //   - Width: lane-word count of the most recent sweep call (a gauge:
 //     64·Width sources per block; 1 when every block is narrow).
 type SweepStats struct {
@@ -238,6 +241,7 @@ type SweepStats struct {
 	DueExpiries     Counter
 	RungRetirements Counter
 	LaneRetirements Counter
+	Cancellations   Counter
 	Width           Gauge
 }
 
@@ -251,5 +255,6 @@ func (s *SweepStats) Register(r *Registry, prefix string) {
 	r.RegisterCounter(prefix+"_due_expiries_total", "", "due-bucket expiry words processed", &s.DueExpiries)
 	r.RegisterCounter(prefix+"_rung_retirements_total", "", "spectrum rungs retired before the sweep's end", &s.RungRetirements)
 	r.RegisterCounter(prefix+"_lane_retirements_total", "", "sweep lanes retired before their block's end", &s.LaneRetirements)
+	r.RegisterCounter(prefix+"_cancellations_total", "", "sweep blocks aborted by a cancellation checkpoint", &s.Cancellations)
 	r.RegisterGauge(prefix+"_width", "", "lane words per block of the most recent sweep", &s.Width)
 }

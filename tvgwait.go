@@ -365,3 +365,35 @@ func AllForemostStats(c *Compiled, mode Mode, t0 Time, workers, width int, st *S
 func WaitSpectrumStats(c *Compiled, ladder Ladder, t0 Time, workers, width int, st *SweepStats) *SpectrumResult {
 	return journey.WaitSpectrumStats(c, ladder, t0, workers, width, st)
 }
+
+// Cancellation and overload control (see DESIGN.md §10).
+
+// ErrCanceled tags every sweep or flood aborted by its context; errors
+// also wrap the context's own error, so both errors.Is(err, ErrCanceled)
+// and errors.Is(err, context.Canceled / DeadlineExceeded) match.
+var ErrCanceled = journey.ErrCanceled
+
+// ErrTooLarge tags engine requests whose predicted result footprint
+// exceeds EngineOptions.MaxCacheBytes; rejected at admission, before
+// any matrix memory is allocated.
+var ErrTooLarge = engine.ErrTooLarge
+
+// AllForemostCtx is AllForemostStats with a cancellation checkpoint:
+// a cancelled ctx aborts the sweep within ~one checkpoint interval
+// (~64K contacts) and returns an error wrapping ErrCanceled. With a
+// ctx that never cancels, results are bit-identical to AllForemost.
+func AllForemostCtx(ctx context.Context, c *Compiled, mode Mode, t0 Time, workers, width int, st *SweepStats) (*ArrivalMatrix, error) {
+	return journey.AllForemostCtx(ctx, c, mode, t0, workers, width, st)
+}
+
+// WaitSpectrumCtx is WaitSpectrumStats with a cancellation checkpoint
+// (see AllForemostCtx).
+func WaitSpectrumCtx(ctx context.Context, c *Compiled, ladder Ladder, t0 Time, workers, width int, st *SweepStats) (*SpectrumResult, error) {
+	return journey.WaitSpectrumCtx(ctx, c, ladder, t0, workers, width, st)
+}
+
+// DeliverCtx is Deliver with a cancellation checkpoint threaded into
+// the epidemic flood (see AllForemostCtx).
+func DeliverCtx(ctx context.Context, c *Compiled, mode Mode, msg Message) (DeliveryResult, error) {
+	return dtn.SimulateCtx(ctx, c, mode, msg)
+}
