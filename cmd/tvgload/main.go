@@ -16,6 +16,16 @@
 // §10). Clients back off by min(Retry-After, -backoff) so a long
 // advisory delay cannot idle the overload experiment away.
 //
+// -mix ingest switches to the live-pipeline workload: every client
+// owns one stream (watermark appends admit a single writer) and
+// interleaves POST /contacts batches with /metrics and /spectrum
+// reads on that stream, so the incremental checkpoint path is
+// exercised under the same admission control as batch simulation.
+// Ingest round trips additionally report as BenchmarkServeIngest*
+// lines. Departure ticks are burned whether or not a batch is
+// acknowledged — dep gaps are legal, so a committed-but-unacked
+// batch can never collide with its retry's watermark.
+//
 // Output: benchmark lines on stdout (pipe into scripts/benchjson), a
 // human summary on stderr. Exit status is non-zero on any panic-class
 // 5xx (500/502/503-not-draining), a missing Retry-After, or a run with
@@ -49,7 +59,20 @@ func main() {
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request client timeout")
 	backoff := fs.Duration("backoff", 25*time.Millisecond, "cap on honoring Retry-After (keeps the overload sustained)")
 	seed := fs.Int64("seed", 1, "root seed for the deterministic workload")
+	mix := fs.String("mix", "batch", `workload mix: "batch" (simulate/metrics/spectrum) or "ingest" (per-client stream, POST /contacts interleaved with stream reads)`)
 	fs.Parse(os.Args[1:])
+
+	switch *mix {
+	case "batch", "ingest":
+	default:
+		fmt.Fprintf(os.Stderr, "tvgload: unknown -mix %q (want batch or ingest)\n", *mix)
+		os.Exit(1)
+	}
+	// One stream per client, and the engine admits at most 64 streams.
+	if *mix == "ingest" && *clients > 64 {
+		fmt.Fprintln(os.Stderr, "tvgload: -mix ingest supports at most 64 clients (one stream each)")
+		os.Exit(1)
+	}
 
 	if err := waitReady(*addr, 10*time.Second); err != nil {
 		fmt.Fprintln(os.Stderr, "tvgload:", err)
@@ -63,7 +86,12 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			runClient(&results[id], *addr, *timeout, *backoff, deadline, rand.New(rand.NewSource(*seed+int64(id))))
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			var wl workload = batchWorkload{}
+			if *mix == "ingest" {
+				wl = newIngestWorkload(id, rng)
+			}
+			runClient(&results[id], wl, *addr, *timeout, *backoff, deadline, rng)
 		}(i)
 	}
 	wg.Wait()
@@ -90,6 +118,7 @@ func main() {
 // outcome counts and latency samples.
 type clientStats struct {
 	okLat        []time.Duration // latency of every 2xx
+	ingestLat    []time.Duration // latency of every 2xx POST /contacts (-mix ingest)
 	shedLat      []time.Duration // latency of every 429 round trip
 	shed         int             // 429
 	unavailable  int             // 503
@@ -101,6 +130,7 @@ type clientStats struct {
 
 func (s *clientStats) merge(o *clientStats) {
 	s.okLat = append(s.okLat, o.okLat...)
+	s.ingestLat = append(s.ingestLat, o.ingestLat...)
 	s.shedLat = append(s.shedLat, o.shedLat...)
 	s.shed += o.shed
 	s.unavailable += o.unavailable
@@ -128,6 +158,88 @@ func waitReady(addr string, within time.Duration) error {
 	}
 }
 
+// A workload turns the rng stream into requests. next draws the next
+// request; observe feeds the status back so stateful workloads (the
+// ingest mix) know whether their last write landed. Closed-loop
+// clients call the pair strictly alternately, so workloads need no
+// internal locking.
+type workload interface {
+	next(rng *rand.Rand) (path, body string)
+	observe(status int)
+}
+
+// batchWorkload is the original stateless simulate/metrics/spectrum mix.
+type batchWorkload struct{}
+
+func (batchWorkload) next(rng *rand.Rand) (string, string) { return nextRequest(rng) }
+func (batchWorkload) observe(int)                          {}
+
+// ingestWorkload drives one live stream per client: create it, then
+// interleave /contacts batches with /metrics and /spectrum reads at
+// whatever revision the stream has reached. Departure ticks advance
+// whether or not a batch is acknowledged: dep gaps are legal, and
+// burning them makes a committed-but-unacked batch (timeout, shed)
+// collision-free on retry — the client never has to learn which.
+type ingestWorkload struct {
+	stream   string
+	nodes    int
+	horizon  int64
+	nextDep  int64 // first unused departure tick
+	creating bool  // last request was the create post
+	created  bool
+}
+
+func newIngestWorkload(id int, rng *rand.Rand) *ingestWorkload {
+	return &ingestWorkload{
+		stream: fmt.Sprintf("load-%d", id),
+		nodes:  64 + rng.Intn(65), // [64, 128], matching the batch mix
+		// The engine's horizon ceiling: ~500k one-tick contacts of dep
+		// headroom, far beyond what one closed-loop client posts in a run.
+		horizon: 1_000_000,
+	}
+}
+
+func (w *ingestWorkload) next(rng *rand.Rand) (string, string) {
+	if !w.created {
+		w.creating = true
+		return "/contacts", fmt.Sprintf(`{"stream": %q, "nodes": %d, "horizon": %d}`, w.stream, w.nodes, w.horizon)
+	}
+	w.creating = false
+	graph := fmt.Sprintf(`{"graph": {"model": "stream", "stream": %q}`, w.stream)
+	r := rng.Intn(100)
+	switch {
+	case r < 50 && w.nextDep+80 < w.horizon: // append, unless dep space is spent
+		n := 8 + rng.Intn(25) // [8, 32] contacts per batch
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `{"stream": %q, "contacts": [`, w.stream)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			from := rng.Intn(w.nodes)
+			to := rng.Intn(w.nodes - 1)
+			if to >= from {
+				to++
+			}
+			dep := w.nextDep
+			w.nextDep += 2
+			fmt.Fprintf(&sb, `{"from": %d, "to": %d, "dep": %d, "arr": %d}`, from, to, dep, dep+1)
+		}
+		sb.WriteString("]}")
+		return "/contacts", sb.String()
+	case r < 85:
+		return "/metrics", graph + `, "modes": ["nowait", "wait"]}`
+	default:
+		return "/spectrum", graph + `, "modes": ["nowait", "wait:2", "wait:8", "wait"]}`
+	}
+}
+
+func (w *ingestWorkload) observe(status int) {
+	if w.creating && status == http.StatusOK {
+		w.created = true // creates are idempotent, so retry-until-200 is safe
+	}
+}
+
 // nextRequest draws one request from the deterministic mix: mostly
 // /metrics (the cheap cacheable read), some /spectrum (the d-sweep),
 // some /simulate (the flood workload). Specs rotate over a small seed
@@ -152,22 +264,27 @@ func nextRequest(rng *rand.Rand) (path, body string) {
 	}
 }
 
-func runClient(st *clientStats, addr string, timeout, backoff time.Duration, deadline time.Time, rng *rand.Rand) {
+func runClient(st *clientStats, wl workload, addr string, timeout, backoff time.Duration, deadline time.Time, rng *rand.Rand) {
 	client := &http.Client{Timeout: timeout}
 	for time.Now().Before(deadline) {
-		path, body := nextRequest(rng)
+		path, body := wl.next(rng)
 		start := time.Now()
 		resp, err := client.Post(addr+path, "application/json", strings.NewReader(body))
 		lat := time.Since(start)
 		if err != nil {
 			st.timeouts++ // client-side deadline or torn connection
+			wl.observe(0)
 			continue
 		}
 		retryAfter := resp.Header.Get("Retry-After")
 		resp.Body.Close()
+		wl.observe(resp.StatusCode)
 		switch {
 		case resp.StatusCode < 300:
 			st.okLat = append(st.okLat, lat)
+			if path == "/contacts" {
+				st.ingestLat = append(st.ingestLat, lat)
+			}
 		case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode == http.StatusServiceUnavailable:
 			if resp.StatusCode == http.StatusTooManyRequests {
 				st.shed++
@@ -224,6 +341,13 @@ func report(t *clientStats, wall time.Duration) {
 		fmt.Printf("BenchmarkServeP99 \t%d\t%d ns/op\n", n, p99.Nanoseconds())
 		fmt.Printf("BenchmarkServeThroughput \t%d\t%d ns/op\n", n, wall.Nanoseconds()/int64(n))
 	}
+	if len(t.ingestLat) > 0 {
+		sort.Slice(t.ingestLat, func(i, j int) bool { return t.ingestLat[i] < t.ingestLat[j] })
+		m := len(t.ingestLat)
+		iq := func(q float64) time.Duration { return t.ingestLat[int(q*float64(m-1))] }
+		fmt.Printf("BenchmarkServeIngestP50 \t%d\t%d ns/op\n", m, iq(0.50).Nanoseconds())
+		fmt.Printf("BenchmarkServeIngestP99 \t%d\t%d ns/op\n", m, iq(0.99).Nanoseconds())
+	}
 	if len(t.shedLat) > 0 {
 		var sum time.Duration
 		for _, l := range t.shedLat {
@@ -236,7 +360,7 @@ func report(t *clientStats, wall time.Duration) {
 	fmt.Printf("BenchmarkServeShedRatePermille \t%d\t%d ns/op\n", totalReq, shedPermille)
 
 	fmt.Fprintf(os.Stderr,
-		"tvgload: %d requests over %s: %d ok (p50 %s, p99 %s, %.1f req/s), %d shed (429), %d draining (503), %d timeouts, %d client errors, %d panic-class 5xx\n",
-		totalReq, wall, n, p50, p99, float64(n)/wall.Seconds(),
+		"tvgload: %d requests over %s: %d ok (p50 %s, p99 %s, %.1f req/s, %d ingest), %d shed (429), %d draining (503), %d timeouts, %d client errors, %d panic-class 5xx\n",
+		totalReq, wall, n, p50, p99, float64(n)/wall.Seconds(), len(t.ingestLat),
 		t.shed, t.unavailable, t.timeouts, t.clientErr, t.badGateway)
 }

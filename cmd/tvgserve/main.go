@@ -8,12 +8,22 @@
 //	POST /journey   — engine.JourneyRequest → engine.JourneyReport
 //	POST /metrics   — engine.MetricsRequest → engine.MetricsReport
 //	POST /spectrum  — engine.SpectrumRequest → engine.SpectrumReport
+//	POST /contacts  — engine.IngestRequest  → engine.IngestReport
 //	GET  /healthz   — liveness probe ("ok")
 //
 // /spectrum answers the paper's d-sweep — per-rung connectivity,
 // diameter and eccentricity for a whole ladder of waiting budgets — in
 // ONE wait-spectrum sweep and one engine cache entry, where K /metrics
 // modes used to cost K sweeps and K entries.
+//
+// /contacts is the live-ingest pipeline: the first post for a stream
+// name creates it (nodes + horizon), later posts append batches of
+// contacts departing strictly after the stream's watermark. /metrics
+// and /spectrum requests with {"graph": {"model": "stream", "stream":
+// NAME}} answer against the latest revision through the engine's
+// incremental checkpoint cache — appends replay only the new suffix of
+// the contact stream instead of re-sweeping from scratch (DESIGN.md
+// §11, EXPERIMENTS.md "Live ingest").
 //
 // Every request runs under a server-side timeout, and the number of
 // simulations in flight is bounded; excess requests are rejected with
@@ -205,6 +215,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /journey", s.instrument("/journey", s.handleJourney))
 	mux.HandleFunc("POST /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("POST /spectrum", s.instrument("/spectrum", s.handleSpectrum))
+	mux.HandleFunc("POST /contacts", s.instrument("/contacts", s.handleContacts))
 	if s.statusz && s.reg != nil {
 		mux.Handle("GET /statusz", s.reg.VarzHandler())
 	}
@@ -332,6 +343,32 @@ func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	report, err := s.eng.Spectrum(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, report)
+}
+
+// handleContacts ingests one contact batch. Ingest is registry work —
+// validation plus an O(batch) CSR extension, no sweeps — but it still
+// claims an in-flight slot: a misbehaving ingest storm competes with
+// simulations for the same semaphore instead of starving them unseen.
+func (s *server) handleContacts(w http.ResponseWriter, r *http.Request) {
+	var req engine.IngestRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	report, err := s.eng.Ingest(req)
 	if err != nil {
 		writeError(w, err)
 		return

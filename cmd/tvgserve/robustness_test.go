@@ -231,6 +231,10 @@ func FuzzHandlerInputs(f *testing.F) {
 	f.Add("/metrics", strings.Repeat("[", 10000))
 	f.Add("/simulate", "\x00\x01\x02\xff")
 	f.Add("/spectrum", `{"graph": {"model": "bernoulli", "nodes": 4096, "p": 2.0, "horizon": 1000000}}`)
+	f.Add("/contacts", `{"stream": "s", "nodes": 4, "horizon": 10, "contacts": [{"from": 0, "to": 1, "dep": 2, "arr": 3}]}`)
+	f.Add("/contacts", `{"stream": "s", "contacts": [{"from": 0, "to": 99, "dep": -5, "arr": -7}]}`)
+	f.Add("/contacts", `{"stream": ""}`)
+	f.Add("/contacts", `{"stream": "`+strings.Repeat("n", 400)+`"}`)
 
 	eng := engine.New(engine.Options{Workers: 2, MaxCacheBytes: 1 << 20})
 	defer eng.Close()
@@ -241,7 +245,7 @@ func FuzzHandlerInputs(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, path, body string) {
 		switch path {
-		case "/simulate", "/journey", "/metrics", "/spectrum":
+		case "/simulate", "/journey", "/metrics", "/spectrum", "/contacts":
 		default:
 			path = "/metrics" // keep the fuzzer on the JSON endpoints
 		}

@@ -467,3 +467,83 @@ func TestFacadeCancellation(t *testing.T) {
 		t.Fatalf("WaitSpectrumCtx on cancelled ctx: %v, want ErrCanceled", err)
 	}
 }
+
+// TestFacadeIncremental drives the live-fill pipeline through the
+// facade: append a suffix batch with AppendContacts and resume a
+// checkpointed sweep and flood, pinning bit-identity with cold runs on
+// the extended revision.
+func TestFacadeIncremental(t *testing.T) {
+	b := tvgwait.NewBuilder()
+	b.Reset(4, 20)
+	b.StartEdge(0, 1, 'a')
+	b.Append(1, 2)
+	b.StartEdge(1, 2, 'b')
+	b.Append(3, 4)
+	base, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, ck, err := tvgwait.AllForemostCheckpointed(base, tvgwait.Wait(), 0, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m1.At(0, 3); ok {
+		t.Fatal("node 3 reachable before the suffix arrives")
+	}
+	_, fck, err := tvgwait.BroadcastCheckpointed(base, tvgwait.Wait(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ext, err := base.AppendContacts([]tvgwait.ContactRecord{
+		{From: 2, To: 3, Dep: 7, Arr: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Extends(base) {
+		t.Fatal("appended revision does not extend its base")
+	}
+
+	m2, err := ck.AllForemost(ext, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := tvgwait.AllForemostCheckpointed(ext, tvgwait.Wait(), 0, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := tvgwait.Node(0); src < 4; src++ {
+		for dst := tvgwait.Node(0); dst < 4; dst++ {
+			ra, rok := m2.At(src, dst)
+			ca, cok := cold.At(src, dst)
+			if ra != ca || rok != cok {
+				t.Fatalf("resumed At(%d,%d) = (%d, %v), cold = (%d, %v)", src, dst, ra, rok, ca, cok)
+			}
+		}
+	}
+	if a, ok := m2.At(0, 3); !ok || a != 8 {
+		t.Fatalf("resumed At(0,3) = (%d, %v), want (8, true)", a, ok)
+	}
+
+	br, err := fck.Broadcast(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBr, _, err := tvgwait.BroadcastCheckpointed(ext, tvgwait.Wait(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Ratio != coldBr.Ratio {
+		t.Fatalf("resumed flood ratio %v, cold %v", br.Ratio, coldBr.Ratio)
+	}
+	for n := range br.Arrival {
+		if br.Arrival[n] != coldBr.Arrival[n] {
+			t.Fatalf("resumed arrival at %d = %d, cold %d", n, br.Arrival[n], coldBr.Arrival[n])
+		}
+	}
+	if !br.Reached[3] || br.Arrival[3] != 8 {
+		t.Fatalf("flood missed the suffix contact: reached=%v arr=%d", br.Reached[3], br.Arrival[3])
+	}
+}

@@ -1,0 +1,110 @@
+package dtn
+
+import (
+	"context"
+	"fmt"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// FloodCheckpoint is a resumable epidemic flood over a live-filled
+// contact stream: BroadcastCheckpointed floods up to the stream's last
+// departure tick and freezes the scratch there; after the stream is
+// extended with later departures (tvg.ContactSet.AppendContacts),
+// Broadcast replays only the appended suffix window. Results are
+// bit-identical to a cold Broadcast of every revision — the per-node
+// copy tables are written only when a contact is marked, so the state
+// at the watermark already determines the full result, and the pending
+// due entries past it are exactly the in-flight copies a waiting budget
+// carries across the split. The checkpoint owns a dedicated Scratch
+// (its epoch marks must outlive the call), is NOT safe for concurrent
+// use, and poisons itself if a cancelled resume tears the tick loop.
+type FloodCheckpoint struct {
+	s        *Scratch
+	set      *tvg.ContactSet
+	mode     journey.Mode
+	src      tvg.Node
+	t0       tvg.Time
+	doneTick tvg.Time
+	poisoned bool
+}
+
+// DoneTick returns the last tick the checkpoint has processed.
+func (f *FloodCheckpoint) DoneTick() tvg.Time { return f.doneTick }
+
+// Revision returns the revision stamp of the contact set last flooded.
+func (f *FloodCheckpoint) Revision() uint64 { return f.set.Revision() }
+
+// Poisoned reports whether an aborted resume tore the state.
+func (f *FloodCheckpoint) Poisoned() bool { return f.poisoned }
+
+// floodUpTo clamps the stream's watermark into [t0-1, horizon].
+func floodUpTo(c *tvg.ContactSet, t0 tvg.Time) tvg.Time {
+	up := c.LastDep()
+	if h := c.Horizon(); up > h {
+		up = h // defensive: departures never exceed the horizon
+	}
+	if up < t0 {
+		up = t0 - 1
+	}
+	return up
+}
+
+// BroadcastCheckpointed is Broadcast(c, mode, src, t0) — the same
+// result bit for bit — plus a checkpoint that resumes after the stream
+// is extended.
+func BroadcastCheckpointed(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, t0 tvg.Time) (BroadcastResult, *FloodCheckpoint, error) {
+	g := c.Graph()
+	if !g.ValidNode(src) {
+		return BroadcastResult{}, nil, fmt.Errorf("dtn: unknown source %d", src)
+	}
+	if !mode.IsValid() {
+		return BroadcastResult{}, nil, fmt.Errorf("dtn: invalid mode")
+	}
+	f := &FloodCheckpoint{
+		s: NewScratch(), set: c, mode: mode, src: src, t0: t0,
+		doneTick: floodUpTo(c, t0),
+	}
+	f.s.floodBegin(c, mode, src, t0)
+	if f.doneTick >= t0 {
+		f.s.floodRun(context.Background(), c, t0, f.doneTick) //nolint:errcheck // Background never cancels
+	}
+	return f.s.extractBroadcast(g.NumNodes()), f, nil
+}
+
+// Broadcast re-extracts the flood result for c2, replaying the
+// appended suffix first. c2 must extend the revision the checkpoint
+// last flooded (journey.ErrNotExtension otherwise; the checkpoint stays
+// valid for its own lineage). Bit-identical to Broadcast(c2, mode, src,
+// t0).
+func (f *FloodCheckpoint) Broadcast(c2 *tvg.ContactSet) (BroadcastResult, error) {
+	return f.BroadcastCtx(context.Background(), c2)
+}
+
+// BroadcastCtx is Broadcast with cooperative cancellation: a cancelled
+// replay leaves the scratch torn mid-window, so the checkpoint poisons
+// itself and later resumes fail with journey.ErrCheckpointPoisoned.
+func (f *FloodCheckpoint) BroadcastCtx(ctx context.Context, c2 *tvg.ContactSet) (BroadcastResult, error) {
+	if f.poisoned {
+		return BroadcastResult{}, journey.ErrCheckpointPoisoned
+	}
+	if !c2.Extends(f.set) {
+		return BroadcastResult{}, journey.ErrNotExtension
+	}
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil { // nothing started: stays resumable
+			return BroadcastResult{}, fmt.Errorf("%w: %w", journey.ErrCanceled, err)
+		}
+	}
+	newUp := floodUpTo(c2, f.t0)
+	if newUp > f.doneTick {
+		if err := f.s.floodRun(ctx, c2, f.doneTick+1, newUp); err != nil {
+			f.poisoned = true
+			return BroadcastResult{}, err
+		}
+	}
+	f.set = c2
+	f.doneTick = newUp
+	return f.s.extractBroadcast(c2.Graph().NumNodes()), nil
+}

@@ -1,0 +1,133 @@
+package dtn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tvgwait/internal/journey"
+	"tvgwait/internal/tvg"
+)
+
+// rebuildChain splits c's contacts into contiguous departure batches at
+// cuts and returns the live-fill revision chain starting from an empty
+// set of the same shape.
+func rebuildChain(tb testing.TB, c *tvg.ContactSet, cuts []tvg.Time) []*tvg.ContactSet {
+	tb.Helper()
+	b := tvg.NewBuilder()
+	b.Reset(c.Graph().NumNodes(), c.Horizon())
+	rev, err := b.Finalize()
+	if err != nil {
+		tb.Fatalf("empty set: %v", err)
+	}
+	batches := make([][]tvg.ContactRecord, len(cuts)+1)
+	for _, ct := range c.Contacts() {
+		bi := len(cuts)
+		for i, cut := range cuts {
+			if ct.Dep <= cut {
+				bi = i
+				break
+			}
+		}
+		batches[bi] = append(batches[bi], tvg.ContactRecord{From: ct.From, To: ct.To, Dep: ct.Dep, Arr: ct.Arr})
+	}
+	chain := []*tvg.ContactSet{rev}
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		rev, err = rev.AppendContacts(batch)
+		if err != nil {
+			tb.Fatalf("append: %v", err)
+		}
+		chain = append(chain, rev)
+	}
+	return chain
+}
+
+// TestFloodCheckpointMatchesCold pins the flood's suffix-replay
+// invariant: across generator models, modes, sources and random append
+// partitions, a chain of checkpointed Broadcast resumes must reproduce
+// the cold Broadcast of every revision exactly — arrivals, reach,
+// ratio and transmission counts.
+func TestFloodCheckpointMatchesCold(t *testing.T) {
+	horizon := tvg.Time(28)
+	for seed := int64(1); seed <= 2; seed++ {
+		for name, full := range diffNetworks(t, seed, horizon) {
+			rng := rand.New(rand.NewSource(seed * 4231))
+			var cuts []tvg.Time
+			for tk := tvg.Time(rng.Intn(5)); tk < horizon; tk += tvg.Time(1 + rng.Intn(7)) {
+				cuts = append(cuts, tk)
+			}
+			chain := rebuildChain(t, full, cuts)
+			n := full.Graph().NumNodes()
+			for _, mode := range []journey.Mode{journey.NoWait(), journey.BoundedWait(2), journey.Wait()} {
+				src := tvg.Node(rng.Intn(n))
+				label := fmt.Sprintf("%s/seed=%d/%s/src=%d", name, seed, mode, src)
+				cold, err := Broadcast(chain[0], mode, src, 0)
+				if err != nil {
+					t.Fatalf("%s: cold: %v", label, err)
+				}
+				got, ck, err := BroadcastCheckpointed(chain[0], mode, src, 0)
+				if err != nil {
+					t.Fatalf("%s: checkpointed: %v", label, err)
+				}
+				if !reflect.DeepEqual(cold, got) {
+					t.Fatalf("%s: rev0 mismatch:\ncold %+v\ngot  %+v", label, cold, got)
+				}
+				for i, rev := range chain[1:] {
+					cold, err = Broadcast(rev, mode, src, 0)
+					if err != nil {
+						t.Fatalf("%s: cold rev%d: %v", label, i+1, err)
+					}
+					got, err = ck.Broadcast(rev)
+					if err != nil {
+						t.Fatalf("%s: resume rev%d: %v", label, i+1, err)
+					}
+					if !reflect.DeepEqual(cold, got) {
+						t.Fatalf("%s: rev%d mismatch:\ncold %+v\ngot  %+v", label, i+1, cold, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFloodCheckpointValidation: sibling branches are refused without
+// poisoning, and a poisoned checkpoint refuses everything.
+func TestFloodCheckpointValidation(t *testing.T) {
+	b := tvg.NewBuilder()
+	b.Reset(4, 20)
+	base, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	revA, err := base.AppendContacts([]tvg.ContactRecord{{From: 0, To: 1, Dep: 2, Arr: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ck, err := BroadcastCheckpointed(revA, journey.Wait(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revB, err := base.AppendContacts([]tvg.ContactRecord{{From: 1, To: 2, Dep: 5, Arr: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Broadcast(revB); !errors.Is(err, journey.ErrNotExtension) {
+		t.Fatalf("sibling resume: err = %v, want ErrNotExtension", err)
+	}
+	revA2, err := revA.AppendContacts([]tvg.ContactRecord{{From: 1, To: 3, Dep: 8, Arr: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Broadcast(revA2); err != nil {
+		t.Fatalf("own-lineage resume after rejection: %v", err)
+	}
+	ck.poisoned = true
+	if _, err := ck.Broadcast(revA2); !errors.Is(err, journey.ErrCheckpointPoisoned) {
+		t.Fatalf("poisoned resume: err = %v, want ErrCheckpointPoisoned", err)
+	}
+}

@@ -50,6 +50,13 @@ type Scratch struct {
 	epoch         uint32
 	reached       int
 	transmissions int
+
+	// Flood parameters, fixed by floodBegin and read by floodRun — a
+	// resumable flood (FloodCheckpoint) spans several floodRun calls.
+	fpStart  tvg.Time
+	fpDense  bool
+	fpD      tvg.Time
+	fpFinite bool
 }
 
 // NewScratch returns an empty flood scratch.
@@ -149,30 +156,50 @@ func (s *Scratch) flood(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, star
 // by the next prepare. A ctx that can never cancel (Background) adds no
 // per-contact work.
 func (s *Scratch) floodCtx(ctx context.Context, c *tvg.ContactSet, mode journey.Mode, src tvg.Node, startT tvg.Time) error {
-	poll := ctx.Done() != nil
 	// Pre-poll: a context that is already done must not pay even one
 	// prepare on a large scratch (floods smaller than one checkpoint
 	// interval would otherwise never observe the cancellation at all).
-	if poll {
+	if ctx.Done() != nil {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("%w: %w", journey.ErrCanceled, err)
 		}
 	}
+	s.floodBegin(c, mode, src, startT)
+	return s.floodRun(ctx, c, startT, c.Horizon())
+}
+
+// floodBegin prepares the scratch and seeds the root copy: a flood is
+// floodBegin + one or more floodRun calls over adjacent tick windows
+// (the legacy floodCtx runs the whole window at once; FloodCheckpoint
+// keeps the scratch between calls and replays only appended suffixes).
+func (s *Scratch) floodBegin(c *tvg.ContactSet, mode journey.Mode, src tvg.Node, startT tvg.Time) {
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
 	span := int64(horizon - startT + 1)
 	if span < 0 {
 		span = 0
 	}
-	dense := s.prepare(n, span)
+	s.fpDense = s.prepare(n, span)
+	s.fpStart = startT
+	s.fpD, s.fpFinite = mode.Bound()
 	// Seed the root copy. mark only records and schedules it; only the
-	// contact loop below counts transmissions, so the root is free.
-	s.mark(src, startT, startT, horizon, dense)
+	// contact loop counts transmissions, so the root is free.
+	s.mark(src, startT, startT, horizon, s.fpDense)
+}
 
-	d, finite := mode.Bound()
+// floodRun processes the tick window [from, upTo] of a begun flood.
+// The same window-splitting contract as the journey sweeps: state at a
+// window boundary equals a single run over the union window, because
+// the per-node copy tables are only written when a contact (or the
+// seed) is marked and the due drain only advances lastArr.
+func (s *Scratch) floodRun(ctx context.Context, c *tvg.ContactSet, from, upTo tvg.Time) error {
+	poll := ctx.Done() != nil
+	startT, dense := s.fpStart, s.fpDense
+	d, finite := s.fpD, s.fpFinite
+	horizon := c.Horizon()
 	contacts := c.Contacts()
 	credit := int64(journey.CancelCheckInterval)
-	for t := startT; t <= horizon; t++ {
+	for t := from; t <= upTo; t++ {
 		if poll {
 			if credit <= 0 {
 				if err := ctx.Err(); err != nil {
@@ -266,19 +293,28 @@ func (s *Scratch) BroadcastCtx(ctx context.Context, c *tvg.ContactSet, mode jour
 	if err := s.floodCtx(ctx, c, mode, src, t0); err != nil {
 		return BroadcastResult{}, fmt.Errorf("dtn: broadcast from %d: %w", src, err)
 	}
+	return s.extractBroadcast(g.NumNodes()), nil
+}
+
+// extractBroadcast snapshots the scratch's per-node copy tables into a
+// fresh BroadcastResult. Valid at any tick boundary at or past the
+// stream's last departure — the copy tables are final there (see
+// floodRun), which is what lets FloodCheckpoint re-extract after each
+// suffix replay.
+func (s *Scratch) extractBroadcast(n int) BroadcastResult {
 	res := BroadcastResult{
-		Reached:       make([]bool, g.NumNodes()),
-		Arrival:       make([]tvg.Time, g.NumNodes()),
+		Reached:       make([]bool, n),
+		Arrival:       make([]tvg.Time, n),
 		Transmissions: s.transmissions,
 	}
-	for n := range res.Arrival {
-		if s.hasCopy[n] == s.epoch {
-			res.Reached[n] = true
-			res.Arrival[n] = s.firstArr[n]
+	for v := range res.Arrival {
+		if s.hasCopy[v] == s.epoch {
+			res.Reached[v] = true
+			res.Arrival[v] = s.firstArr[v]
 		} else {
-			res.Arrival[n] = -1
+			res.Arrival[v] = -1
 		}
 	}
-	res.Ratio = float64(s.reached) / float64(g.NumNodes())
-	return res, nil
+	res.Ratio = float64(s.reached) / float64(n)
+	return res
 }

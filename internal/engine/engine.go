@@ -82,15 +82,27 @@ type Engine struct {
 	// finalised ContactSet (see DESIGN.md §6).
 	builders sync.Pool
 
+	// streams is the live contact-stream registry (CreateStream /
+	// AppendStream); checkpoints caches one resumable sweep per
+	// (stream, t0, mode-or-ladder) and advances it in place as the
+	// stream grows, instead of re-sweeping cold per revision. See
+	// stream.go and DESIGN.md §11.
+	streamsMu   sync.Mutex
+	streams     map[string]*liveStream
+	checkpoints *ckCache
+
 	// busy counts worker-pool tasks currently executing (occupancy);
 	// taskDur prices each task's wall time and buildDur each cold
 	// contact-set build. sweeps aggregates the bit-parallel sweep
-	// telemetry of the metrics/spectrum paths. All four are maintained
-	// unconditionally — an Options.Obs registry only exposes them.
-	busy     obs.Gauge
-	taskDur  *obs.Histogram
-	buildDur *obs.Histogram
-	sweeps   obs.SweepStats
+	// telemetry of the metrics/spectrum paths. builderDrops counts pooled
+	// builders dropped at the arena retention cap (see putBuilder). All
+	// are maintained unconditionally — an Options.Obs registry only
+	// exposes them.
+	busy         obs.Gauge
+	taskDur      *obs.Histogram
+	buildDur     *obs.Histogram
+	sweeps       obs.SweepStats
+	builderDrops obs.Counter
 
 	// baseCtx is the context detached cache builds run under; Close
 	// cancels it, aborting in-flight builds at their next checkpoint.
@@ -122,10 +134,14 @@ func New(opts Options) *Engine {
 		// Metric rows are tiny next to compiled schedules; keep several
 		// modes' worth per cached schedule, and a couple of whole
 		// ladders (a spectrum entry holds all its rungs).
-		metrics:  newOnceCache[*ModeMetrics](8 * cacheSize),
-		spectra:  newOnceCache[[]*ModeMetrics](2 * cacheSize),
-		taskDur:  obs.NewHistogram(obs.LatencyBuckets()...),
-		buildDur: obs.NewHistogram(obs.LatencyBuckets()...),
+		metrics: newOnceCache[*ModeMetrics](8 * cacheSize),
+		spectra: newOnceCache[[]*ModeMetrics](2 * cacheSize),
+		// Checkpoint entries pin whole sweep scratches; cap them like the
+		// schedule cache rather than the cheap row caches.
+		checkpoints: newCkCache(cacheSize),
+		streams:     make(map[string]*liveStream),
+		taskDur:     obs.NewHistogram(obs.LatencyBuckets()...),
+		buildDur:    obs.NewHistogram(obs.LatencyBuckets()...),
 	}
 	e.metrics.sizeOf = modeMetricsBytes
 	e.spectra.sizeOf = func(rows []*ModeMetrics) int64 {
@@ -141,10 +157,11 @@ func New(opts Options) *Engine {
 	e.spectra.buildCtx = e.cache.buildCtx
 	if opts.MaxCacheBytes > 0 {
 		e.maxBytes = opts.MaxCacheBytes
-		e.budget = newByteBudget(opts.MaxCacheBytes, e.cache, e.metrics, e.spectra)
+		e.budget = newByteBudget(opts.MaxCacheBytes, e.cache, e.metrics, e.spectra, e.checkpoints)
 		e.cache.budget = e.budget
 		e.metrics.budget = e.budget
 		e.spectra.budget = e.budget
+		e.checkpoints.budget = e.budget
 	}
 	e.fault = opts.FaultHook
 	e.scratch.New = func() any { return dtn.NewScratch() }
@@ -172,7 +189,7 @@ func (e *Engine) CacheBytes() int64 {
 	if e.budget != nil {
 		return e.budget.used()
 	}
-	return e.cache.bytes() + e.metrics.bytes() + e.spectra.bytes()
+	return e.cache.bytes() + e.metrics.bytes() + e.spectra.bytes() + e.checkpoints.bytes()
 }
 
 // admitFootprint is the byte-budget admission check: it rejects a
@@ -193,6 +210,25 @@ func (e *Engine) admitFootprint(nodes, rungs int) error {
 	return nil
 }
 
+// builderMaxRetainedBytes caps the arena capacity a builder may carry
+// back into the pool, mirroring the sweep scratches' msMaxRetainedBytes:
+// one degenerate giant generation would otherwise pin its high-water
+// arena for the process lifetime (sync.Pool sheds only under GC
+// pressure, and a hot pool is never idle long enough). A var, not a
+// const, so TestBuilderRetentionCap can lower it.
+var builderMaxRetainedBytes = int64(128 << 20)
+
+// putBuilder returns b to the pool unless its retained arenas exceed
+// the cap, in which case it is dropped (and counted) so the next miss
+// starts from an empty arena.
+func (e *Engine) putBuilder(b *tvg.Builder) {
+	if b.RetainedBytes() > builderMaxRetainedBytes {
+		e.builderDrops.Inc()
+		return
+	}
+	e.builders.Put(b)
+}
+
 // ContactSet returns the cached compiled contact set of (spec, seed),
 // generating and compiling it on a miss.
 func (e *Engine) ContactSet(g GraphSpec, seed int64) (*tvg.ContactSet, error) {
@@ -211,7 +247,7 @@ func (e *Engine) contactSet(ctx context.Context, g GraphSpec, seed int64) (*tvg.
 		}
 		start := time.Now()
 		b := e.builders.Get().(*tvg.Builder)
-		defer e.builders.Put(b)
+		defer e.putBuilder(b)
 		c, err := g.BuildContacts(seed, b)
 		if err != nil {
 			// A validated spec should never fail generation; if a

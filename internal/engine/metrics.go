@@ -92,6 +92,14 @@ func (e *Engine) Metrics(ctx context.Context, req MetricsRequest) (*MetricsRepor
 	if len(modes) > maxModes {
 		return nil, specErr("at most %d modes, got %d", maxModes, len(modes))
 	}
+	if err := req.Graph.validate(); err != nil {
+		return nil, err
+	}
+	if req.Graph.Model == "stream" {
+		// Live streams answer through the incremental checkpoint cache
+		// (suffix replay per revision) instead of the per-spec row caches.
+		return e.streamMetrics(ctx, req, modes)
+	}
 	if req.T0 < 0 || req.T0 > req.Graph.Horizon {
 		return nil, specErr("t0 %d outside [0, %d]", req.T0, req.Graph.Horizon)
 	}

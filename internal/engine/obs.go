@@ -93,6 +93,22 @@ func (e *Engine) wireObs(r *obs.Registry) {
 		r.GaugeFunc("tvg_engine_cache_bytes", lbl,
 			"estimated bytes held by cache entries", cv.bytes)
 	}
+	r.RegisterCounter("tvg_engine_checkpoint_hits_total", "",
+		"stream sweep requests served at the already-checkpointed revision", &e.checkpoints.hits)
+	r.RegisterCounter("tvg_engine_checkpoint_advances_total", "",
+		"checkpointed sweeps advanced incrementally by suffix replay", &e.checkpoints.advances)
+	r.RegisterCounter("tvg_engine_checkpoint_cold_builds_total", "",
+		"checkpointed sweeps built cold (first request, dead lineage or poisoned)", &e.checkpoints.cold)
+	r.RegisterCounter("tvg_engine_checkpoint_evictions_total", "",
+		"checkpoint entries dropped at capacity or by the byte budget", &e.checkpoints.evictions)
+	r.GaugeFunc("tvg_engine_checkpoint_entries", "",
+		"live checkpoint-cache entries", func() int64 { return int64(e.checkpoints.len()) })
+	r.GaugeFunc("tvg_engine_checkpoint_bytes", "",
+		"estimated bytes pinned by checkpoint entries (scratch arenas + rows)", e.checkpoints.bytes)
+	r.GaugeFunc("tvg_engine_streams", "",
+		"registered live contact streams", e.numStreams)
+	r.RegisterCounter("tvg_engine_builder_drops_total", "",
+		"pooled builders dropped at the arena retention cap", &e.builderDrops)
 	if e.budget != nil {
 		r.GaugeFunc("tvg_engine_cache_budget_bytes", "",
 			"configured cache byte budget (Options.MaxCacheBytes)", func() int64 { return e.maxBytes })

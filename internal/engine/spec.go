@@ -44,8 +44,16 @@ const (
 // generator; the remaining fields parameterize it (unused fields are
 // ignored by the other models).
 type GraphSpec struct {
-	// Model is one of "markov", "bernoulli", "mobility", "periodic".
+	// Model is one of "markov", "bernoulli", "mobility", "periodic", or
+	// "stream" — the last selects no generator at all: the spec names a
+	// live-filled contact stream (Stream) registered on the engine via
+	// CreateStream/AppendStream, and Metrics/Spectrum answer against its
+	// current revision through the incremental checkpoint cache. The
+	// generator fields (Nodes, Horizon, probabilities …) are ignored for
+	// streams; the stream carries its own shape.
 	Model string `json:"model"`
+	// Stream names the live contact stream a "stream" spec reads.
+	Stream string `json:"stream,omitempty"`
 	// Nodes is the number of nodes (walkers for mobility).
 	Nodes int `json:"nodes"`
 	// Birth and Death are the per-tick edge transition probabilities
@@ -78,8 +86,13 @@ type GraphSpec struct {
 func (g GraphSpec) validate() error {
 	switch g.Model {
 	case "markov", "bernoulli", "mobility", "periodic":
+	case "stream":
+		if g.Stream == "" {
+			return specErr("stream model needs a stream name")
+		}
+		return nil // shape caps were enforced when the stream was created
 	default:
-		return specErr("unknown model %q (want markov | bernoulli | mobility | periodic)", g.Model)
+		return specErr("unknown model %q (want markov | bernoulli | mobility | periodic | stream)", g.Model)
 	}
 	if g.Nodes < 2 || g.Nodes > maxNodes {
 		return specErr("nodes must be in [2, %d], got %d", maxNodes, g.Nodes)
@@ -241,6 +254,12 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 func (s ScenarioSpec) validate() error {
 	if err := s.Graph.validate(); err != nil {
 		return err
+	}
+	if s.Graph.Model == "stream" {
+		// Batch scenarios derive workloads and broadcast sources from the
+		// spec's declared node count, which a stream spec does not carry;
+		// live streams serve the Metrics and Spectrum paths instead.
+		return specErr("stream networks serve /metrics and /spectrum, not batch simulation")
 	}
 	if len(s.Modes) > maxModes {
 		return specErr("at most %d modes, got %d", maxModes, len(s.Modes))

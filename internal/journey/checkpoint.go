@@ -1,0 +1,411 @@
+package journey
+
+// Resumable sweeps. A SweepCheckpoint freezes a bit-parallel sweep at
+// the contact stream's watermark (the last departure tick) instead of
+// draining it to the horizon: because the extracted quantities — first
+// arrivals, reached masks, stage masks, rung counters — are updated
+// only when a contact is processed, the state at the end of tick
+// LastDep() already determines the full result, and the ticks past the
+// watermark would only drain pending arrivals into live windows nobody
+// departs from. The checkpoint keeps each block's scratch (pending
+// grid, due/expire buckets, live masks, per-bit tables) exactly as the
+// tick loop left it; when the stream is extended with later departures
+// (tvg.ContactSet.AppendContacts / Builder.Extend), the resume replays
+// ONLY the suffix window (doneTick, newWatermark] — the pending cells
+// past the old watermark are precisely the in-flight arrivals a
+// bounded-wait budget carries across the split, so expiry, refresh and
+// retirement behave as if the whole stream had been swept cold. Results
+// are bit-identical to a cold sweep of the extended stream at every
+// width and worker count (pinned by the randomized differential and
+// fuzz suites in checkpoint_test.go).
+//
+// A checkpoint pins its lane width at creation and owns dedicated
+// (never pooled) scratches, so its memory is stable and reportable
+// (SizeBytes) and a resume cannot observe another sweep's leftovers. It
+// is NOT safe for concurrent use — callers serialize resumes per
+// checkpoint (internal/engine holds one mutex per cached entry). A
+// cancelled resume aborts mid-tick and leaves torn scratch state; the
+// checkpoint poisons itself and every later resume fails with
+// ErrCheckpointPoisoned, telling the caller to rebuild cold.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"tvgwait/internal/obs"
+	"tvgwait/internal/tvg"
+)
+
+// ErrCheckpointPoisoned is returned by resumes of a checkpoint whose
+// state was torn by a cancelled (or otherwise aborted) earlier resume.
+var ErrCheckpointPoisoned = errors.New("journey: checkpoint poisoned by an aborted sweep")
+
+// ErrNotExtension is returned when the contact set passed to a resume
+// does not extend the checkpointed revision (different lineage, earlier
+// revision, or different shape). The checkpoint itself stays valid for
+// its own lineage.
+var ErrNotExtension = errors.New("journey: contact set does not extend the checkpointed revision")
+
+// ckKind discriminates what a SweepCheckpoint holds.
+type ckKind uint8
+
+const (
+	ckForemost ckKind = iota + 1
+	ckReach
+	ckSpectrum
+)
+
+// SweepCheckpoint is the resumable state of one all-pairs sweep —
+// AllForemostCheckpointed, ReachabilityMatrixCheckpointed or
+// WaitSpectrumCheckpointed — over a live-filled contact stream. See the
+// file comment for the contract.
+type SweepCheckpoint struct {
+	kind     ckKind
+	mode     Mode   // foremost / reach
+	ladder   Ladder // spectrum
+	t0       tvg.Time
+	width    int // resolved lane width, pinned across resumes
+	n        int
+	set      *tvg.ContactSet // revision last swept
+	doneTick tvg.Time        // last processed tick (t0-1 before any contact)
+	poisoned bool
+
+	ms []*msScratch // per source block (foremost / reach)
+	sp []*spScratch // per source block (spectrum)
+}
+
+// DoneTick returns the last tick the checkpoint has processed (t0-1
+// when the stream had no contacts in the window yet).
+func (ck *SweepCheckpoint) DoneTick() tvg.Time { return ck.doneTick }
+
+// Revision returns the revision stamp of the contact set last swept.
+func (ck *SweepCheckpoint) Revision() uint64 { return ck.set.Revision() }
+
+// T0 returns the earliest-departure time the sweep was started for.
+func (ck *SweepCheckpoint) T0() tvg.Time { return ck.t0 }
+
+// Width returns the pinned lane-word width of the checkpointed sweep.
+func (ck *SweepCheckpoint) Width() int { return ck.width }
+
+// Poisoned reports whether an aborted resume tore the state; a
+// poisoned checkpoint only returns ErrCheckpointPoisoned.
+func (ck *SweepCheckpoint) Poisoned() bool { return ck.poisoned }
+
+// Complete reports whether every block has retired (all lanes / rungs
+// done): further appends cannot change the result and a resume reduces
+// to re-extraction.
+func (ck *SweepCheckpoint) Complete() bool {
+	for _, s := range ck.ms {
+		if s.span > 0 && s.active > 0 {
+			return false
+		}
+	}
+	for _, s := range ck.sp {
+		if s.span > 0 && s.topActive > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes estimates the heap the checkpoint pins — the per-block
+// scratch arenas dominate. Used by the engine's cache byte budget.
+func (ck *SweepCheckpoint) SizeBytes() int64 {
+	b := int64(256)
+	for _, s := range ck.ms {
+		b += s.retainedBytes()
+	}
+	for _, s := range ck.sp {
+		b += s.retainedBytes()
+	}
+	return b
+}
+
+// ckUpTo returns the last tick a checkpointed sweep of c must process:
+// the stream's watermark, clamped into the window [t0-1, horizon].
+func ckUpTo(c *tvg.ContactSet, t0 tvg.Time) tvg.Time {
+	up := c.LastDep()
+	if h := c.Horizon(); up > h {
+		up = h // defensive: departures never exceed the horizon
+	}
+	if up < t0 {
+		up = t0 - 1
+	}
+	return up
+}
+
+// ckFanOut runs fn(i) for the nBlocks sweep blocks across up to
+// `workers` goroutines. Blocks are independent (each owns its scratch
+// and writes a disjoint result region), so results are bit-identical at
+// any worker count.
+func ckFanOut(nBlocks, workers int, fn func(i int)) {
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		for i := 0; i < nBlocks; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nBlocks {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// newCheckpoint allocates the shell and runs the cold pass up to the
+// stream's watermark: begin + run(t0, watermark) per block, each block
+// on its own dedicated scratch. spectrum selects the spScratch engine,
+// everything else msScratch (arrivals for foremost, reached-only for
+// reach).
+func newCheckpoint(kind ckKind, c *tvg.ContactSet, mode Mode, ladder Ladder, t0 tvg.Time, workers, width int, st *obs.SweepStats, cc *canceler) (*SweepCheckpoint, error) {
+	n := c.Graph().NumNodes()
+	rungs := 1
+	if kind == ckSpectrum {
+		rungs = ladder.Len()
+	}
+	w := normWidth(width, n, spanOf(c, t0), rungs, workers)
+	if st != nil {
+		st.Width.Set(int64(w))
+	}
+	ck := &SweepCheckpoint{
+		kind: kind, mode: mode, ladder: ladder,
+		t0: t0, width: w, n: n, set: c, doneTick: ckUpTo(c, t0),
+	}
+	step := w * blockBits
+	nBlocks := 0
+	if n > 0 {
+		nBlocks = (n + step - 1) / step
+	}
+	if kind == ckSpectrum {
+		ck.sp = make([]*spScratch, nBlocks)
+	} else {
+		ck.ms = make([]*msScratch, nBlocks)
+	}
+	ckFanOut(nBlocks, workers, func(i int) {
+		base := i * step
+		cnt := min(step, n-base)
+		if cc.stopped() {
+			return
+		}
+		if kind == ckSpectrum {
+			s := new(spScratch)
+			ck.sp[i] = s
+			s.begin(c, ladder, base, cnt, t0, w)
+			if s.span > 0 {
+				s.run(c, t0, ck.doneTick, st, cc)
+			}
+		} else {
+			s := new(msScratch)
+			ck.ms[i] = s
+			s.begin(c, mode, base, cnt, t0, kind == ckForemost, w)
+			if s.span > 0 {
+				s.run(c, t0, ck.doneTick, st, cc)
+			}
+		}
+	})
+	if cc.stopped() {
+		return nil, cc.err() // discarded whole: nothing to poison
+	}
+	return ck, nil
+}
+
+// advance validates that c2 extends the checkpointed revision and
+// replays the suffix window (doneTick, watermark(c2)] through every
+// block. On success the checkpoint tracks c2; a cancellation mid-replay
+// poisons it (the scratches are torn between blocks or mid-tick).
+func (ck *SweepCheckpoint) advance(c2 *tvg.ContactSet, workers int, st *obs.SweepStats, cc *canceler) error {
+	if ck.poisoned {
+		return ErrCheckpointPoisoned
+	}
+	if !c2.Extends(ck.set) {
+		return ErrNotExtension
+	}
+	if cc != nil && cc.poll() {
+		return cc.err() // nothing started: stays resumable
+	}
+	newUp := ckUpTo(c2, ck.t0)
+	if newUp > ck.doneTick {
+		from := ck.doneTick + 1
+		nBlocks := len(ck.ms) + len(ck.sp)
+		ckFanOut(nBlocks, workers, func(i int) {
+			if cc.stopped() {
+				return
+			}
+			if ck.kind == ckSpectrum {
+				if s := ck.sp[i]; s.span > 0 {
+					s.run(c2, from, newUp, st, cc)
+				}
+			} else if s := ck.ms[i]; s.span > 0 {
+				s.run(c2, from, newUp, st, cc)
+			}
+		})
+		if cc.stopped() {
+			ck.poisoned = true
+			return cc.err()
+		}
+	}
+	ck.set = c2
+	ck.doneTick = newUp
+	return nil
+}
+
+// AllForemostCheckpointed computes AllForemost(c, mode, t0) — the same
+// matrix bit for bit — and additionally returns a checkpoint that
+// (*SweepCheckpoint).AllForemost can resume after the stream is
+// extended. width/workers as in AllForemostStats (the width resolved
+// here is pinned for every resume); an invalid mode is rejected rather
+// than mapped to an all-unreachable matrix, since a dead checkpoint
+// would only mislead. ctx cancellation discards the whole pass.
+func AllForemostCheckpointed(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) (*ArrivalMatrix, *SweepCheckpoint, error) {
+	if !mode.IsValid() {
+		return nil, nil, errors.New("journey: invalid mode")
+	}
+	ck, err := newCheckpoint(ckForemost, c, mode, Ladder{}, t0, workers, width, st, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck.extractForemost(), ck, nil
+}
+
+// AllForemost re-extracts the matrix for c2, replaying the appended
+// suffix first. c2 must extend the revision the checkpoint last swept
+// (passing that same revision is legal and re-extracts without
+// sweeping). The matrix is bit-identical to AllForemost(c2, mode, t0).
+func (ck *SweepCheckpoint) AllForemost(c2 *tvg.ContactSet, workers int, st *obs.SweepStats) (*ArrivalMatrix, error) {
+	if ck.kind != ckForemost {
+		return nil, errors.New("journey: checkpoint does not hold a foremost sweep")
+	}
+	if err := ck.advance(c2, workers, st, nil); err != nil {
+		return nil, err
+	}
+	return ck.extractForemost(), nil
+}
+
+// AllForemostCtx is AllForemost with cooperative cancellation: a
+// cancelled resume poisons the checkpoint (see Poisoned).
+func (ck *SweepCheckpoint) AllForemostCtx(ctx context.Context, c2 *tvg.ContactSet, workers int, st *obs.SweepStats) (*ArrivalMatrix, error) {
+	if ck.kind != ckForemost {
+		return nil, errors.New("journey: checkpoint does not hold a foremost sweep")
+	}
+	if err := ck.advance(c2, workers, st, newCanceler(ctx)); err != nil {
+		return nil, err
+	}
+	return ck.extractForemost(), nil
+}
+
+func (ck *SweepCheckpoint) extractForemost() *ArrivalMatrix {
+	n := ck.n
+	m := &ArrivalMatrix{n: n, t0: ck.t0, arr: make([]tvg.Time, n*n)}
+	for i := range m.arr {
+		m.arr[i] = -1
+	}
+	step := ck.width * blockBits
+	for i, s := range ck.ms {
+		s.extractForemost(m, i*step)
+	}
+	return m
+}
+
+// ReachabilityMatrixCheckpointed computes ReachabilityMatrix(c, mode,
+// t0) with a resumable checkpoint (see AllForemostCheckpointed).
+func ReachabilityMatrixCheckpointed(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, st *obs.SweepStats) (*ReachMatrix, *SweepCheckpoint, error) {
+	if !mode.IsValid() {
+		return nil, nil, errors.New("journey: invalid mode")
+	}
+	ck, err := newCheckpoint(ckReach, c, mode, Ladder{}, t0, workers, width, st, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck.extractReach(), ck, nil
+}
+
+// ReachabilityMatrix re-extracts the packed relation for c2, replaying
+// the appended suffix first (see (*SweepCheckpoint).AllForemost).
+func (ck *SweepCheckpoint) ReachabilityMatrix(c2 *tvg.ContactSet, workers int, st *obs.SweepStats) (*ReachMatrix, error) {
+	if ck.kind != ckReach {
+		return nil, errors.New("journey: checkpoint does not hold a reachability sweep")
+	}
+	if err := ck.advance(c2, workers, st, nil); err != nil {
+		return nil, err
+	}
+	return ck.extractReach(), nil
+}
+
+func (ck *SweepCheckpoint) extractReach() *ReachMatrix {
+	n := ck.n
+	words := (n + blockBits - 1) / blockBits
+	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
+	step := ck.width * blockBits
+	for i, s := range ck.ms {
+		s.extractReach(m, i*step)
+	}
+	return m
+}
+
+// WaitSpectrumCheckpointed computes WaitSpectrum(c, ladder, t0) with a
+// resumable checkpoint (see AllForemostCheckpointed). An empty ladder
+// is rejected.
+func WaitSpectrumCheckpointed(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, width int, st *obs.SweepStats) (*SpectrumResult, *SweepCheckpoint, error) {
+	if ladder.Len() == 0 {
+		return nil, nil, errors.New("journey: empty ladder")
+	}
+	ck, err := newCheckpoint(ckSpectrum, c, Mode{}, ladder, t0, workers, width, st, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ck.extractSpectrum(), ck, nil
+}
+
+// WaitSpectrum re-extracts every rung's matrix for c2, replaying the
+// appended suffix first (see (*SweepCheckpoint).AllForemost).
+func (ck *SweepCheckpoint) WaitSpectrum(c2 *tvg.ContactSet, workers int, st *obs.SweepStats) (*SpectrumResult, error) {
+	if ck.kind != ckSpectrum {
+		return nil, errors.New("journey: checkpoint does not hold a spectrum sweep")
+	}
+	if err := ck.advance(c2, workers, st, nil); err != nil {
+		return nil, err
+	}
+	return ck.extractSpectrum(), nil
+}
+
+// WaitSpectrumCtx is WaitSpectrum with cooperative cancellation: a
+// cancelled resume poisons the checkpoint (see Poisoned).
+func (ck *SweepCheckpoint) WaitSpectrumCtx(ctx context.Context, c2 *tvg.ContactSet, workers int, st *obs.SweepStats) (*SpectrumResult, error) {
+	if ck.kind != ckSpectrum {
+		return nil, errors.New("journey: checkpoint does not hold a spectrum sweep")
+	}
+	if err := ck.advance(c2, workers, st, newCanceler(ctx)); err != nil {
+		return nil, err
+	}
+	return ck.extractSpectrum(), nil
+}
+
+func (ck *SweepCheckpoint) extractSpectrum() *SpectrumResult {
+	n, k := ck.n, ck.ladder.Len()
+	res := &SpectrumResult{ladder: ck.ladder, t0: ck.t0, mats: make([]*ArrivalMatrix, k)}
+	for r := range res.mats {
+		res.mats[r] = &ArrivalMatrix{n: n, t0: ck.t0, arr: make([]tvg.Time, n*n)}
+	}
+	step := ck.width * blockBits
+	for i, s := range ck.sp {
+		base := i * step
+		s.extractSpectrum(res, base, min(step, n-base))
+	}
+	return res
+}

@@ -258,6 +258,17 @@ type msScratch struct {
 	remaining [maxSweepWidth]int      // per lane: (node, source) pairs not yet reached
 	maxFirst  [maxSweepWidth]tvg.Time // per lane: upper bound on recorded first arrivals
 	laneDone  [maxSweepWidth]bool     // per lane: retired (live words zeroed, folds skipped)
+
+	// Sweep parameters, fixed by begin and read by run/cleanupFrom — a
+	// resumable sweep (SweepCheckpoint) spans several run calls and must
+	// see the same window geometry in each.
+	n        int
+	t0       tvg.Time
+	span     int64
+	dense    bool
+	arrivals bool
+	d        tvg.Time
+	finite   bool
 }
 
 var msPool = sync.Pool{New: func() any { return new(msScratch) }}
@@ -454,6 +465,27 @@ func (s *msScratch) recordReached(row, l int, w uint64) {
 // nil-check per tick and leaves results bit-identical to the
 // pre-cancellation sweep.
 func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, width int, st *obs.SweepStats, cc *canceler) {
+	s.begin(c, mode, base, cnt, t0, arrivals, width)
+	if s.span == 0 {
+		if st != nil {
+			st.Blocks.Inc()
+		}
+		return
+	}
+	t, _ := s.run(c, t0, c.Horizon(), st, cc)
+	// Cleanup after an early exit or a cancellation abort: zero the
+	// never-drained pending cells so the grid is all-zero for the next
+	// sweep.
+	s.cleanupFrom(c, t)
+}
+
+// begin prepares the scratch for the block [base, base+cnt) and seeds
+// the sources; the tick loop itself is run. A sweep is begin + one or
+// more run calls over adjacent tick windows + cleanupFrom where the
+// last run stopped — the legacy sweep does all three at once, a
+// SweepCheckpoint keeps the scratch between run calls and replays only
+// the suffix of an extended contact stream.
+func (s *msScratch) begin(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Time, arrivals bool, width int) {
 	n := c.Graph().NumNodes()
 	horizon := c.Horizon()
 	span := spanOf(c, t0)
@@ -467,6 +499,8 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	dense := span > 0 && int64(n)*span*int64(w) <= msDenseCellLimit
 	s.prepare(n, w, span, dense)
 	d, finite := mode.Bound()
+	s.n, s.t0, s.span, s.dense = n, t0, span, dense
+	s.arrivals, s.d, s.finite = arrivals, d, finite
 
 	s.unreached = n * cnt
 	s.active = w
@@ -497,13 +531,24 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 			s.markPending(int32(src)<<laneShift|int32(l), int64(src)*span*int64(w)+int64(l), 0, bit, dense)
 		}
 	}
-	if span == 0 {
-		if st != nil {
-			st.Blocks.Inc()
-		}
-		return
-	}
+}
 
+// run processes the tick window [from, upTo] of a begun sweep: lane
+// retirement, due drains, expiries and the contacts departing in the
+// window. It does NOT clean the pending grid past its stopping point —
+// the caller either resumes with a later run (whose window must start
+// exactly where this one stopped) or calls cleanupFrom. Returns the
+// first unprocessed tick (upTo+1, or earlier on retirement/abort) and
+// whether cc aborted the loop mid-tick (after which the scratch state
+// is torn and must not be resumed). State at any window boundary is
+// identical to a single run over the union window — the checkpoint
+// suffix-replay invariant — because every tick's processing reads only
+// the scratch and the contacts departing at that tick.
+func (s *msScratch) run(c *tvg.ContactSet, from, upTo tvg.Time, st *obs.SweepStats, cc *canceler) (tvg.Time, bool) {
+	n, w := s.n, s.w
+	t0, span, dense := s.t0, s.span, s.dense
+	arrivals, d, finite := s.arrivals, s.d, s.finite
+	horizon := c.Horizon()
 	contacts := c.Contacts()
 	// gate[v] must be zero only if no lane has a usable copy at v; for
 	// single-lane sweeps the live mask itself is the gate, saving the
@@ -515,8 +560,8 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 	var swept, expired, lanesRetired int64 // block-local telemetry, merged once
 	credit := int64(CancelCheckInterval)   // work units until the next ctx poll
 	aborted := false
-	t := t0
-	for ; t <= horizon; t++ {
+	t := from
+	for ; t <= upTo; t++ {
 		if cc != nil {
 			if credit <= 0 {
 				if cc.poll() {
@@ -712,21 +757,7 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		}
 	}
 
-	earlyExit := !aborted && t <= horizon
-
-	// Cleanup after an early exit or a cancellation abort: zero the
-	// never-drained pending cells so the grid is all-zero for the next
-	// sweep.
-	for ; t <= horizon; t++ {
-		idx := int64(t - t0)
-		for _, nl := range s.due[idx] {
-			s.takePending(nl, idx, span, dense)
-		}
-		s.due[idx] = s.due[idx][:0]
-		if finite {
-			s.expire[idx] = s.expire[idx][:0]
-		}
-	}
+	earlyExit := !aborted && t <= upTo
 
 	if st != nil {
 		st.Blocks.Inc()
@@ -741,6 +772,27 @@ func (s *msScratch) sweep(c *tvg.ContactSet, mode Mode, base, cnt int, t0 tvg.Ti
 		}
 		if !dense {
 			st.SparseFallbacks.Inc()
+		}
+	}
+	return t, aborted
+}
+
+// cleanupFrom zeroes the pending cells and due/expire buckets of every
+// tick in [t, horizon], restoring the all-zero-grid invariant a pooled
+// scratch must uphold after an early exit or an abort. A checkpointed
+// sweep skips it while live — the undrained cells past the watermark
+// ARE the state the resume drains.
+func (s *msScratch) cleanupFrom(c *tvg.ContactSet, t tvg.Time) {
+	horizon := c.Horizon()
+	span, dense := s.span, s.dense
+	for ; t <= horizon; t++ {
+		idx := int64(t - s.t0)
+		for _, nl := range s.due[idx] {
+			s.takePending(nl, idx, span, dense)
+		}
+		s.due[idx] = s.due[idx][:0]
+		if s.finite {
+			s.expire[idx] = s.expire[idx][:0]
 		}
 	}
 }
@@ -911,28 +963,34 @@ func allForemost(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, width int, 
 		if cc.stopped() {
 			return
 		}
-		sw := s.w
-		// Lane-major extraction: each lane scatters into only its own 64
-		// source rows of the matrix (the working set of a narrow sweep),
-		// where a node-major walk over a wide block would cycle through
-		// 64·W rows per node and thrash the write lines.
-		for l := 0; l < sw; l++ {
-			srcBase := base + l*blockBits
-			for v := 0; v < n; v++ {
-				row := v*sw + l
-				wd := s.reached[row]
-				if wd == 0 {
-					continue
-				}
-				fb := row * blockBits
-				for mw := wd; mw != 0; mw &= mw - 1 {
-					j := bits.TrailingZeros64(mw)
-					m.arr[(srcBase+j)*n+v] = s.first[fb+j]
-				}
-			}
-		}
+		s.extractForemost(m, base)
 	})
 	return m
+}
+
+// extractForemost scatters the block's recorded firsts into the rows
+// [base, base+s.w·64) of m. Lane-major: each lane scatters into only
+// its own 64 source rows of the matrix (the working set of a narrow
+// sweep), where a node-major walk over a wide block would cycle through
+// 64·W rows per node and thrash the write lines. Rows of sources the
+// block never reached are left as the caller prefilled them (-1).
+func (s *msScratch) extractForemost(m *ArrivalMatrix, base int) {
+	n, sw := s.n, s.w
+	for l := 0; l < sw; l++ {
+		srcBase := base + l*blockBits
+		for v := 0; v < n; v++ {
+			row := v*sw + l
+			wd := s.reached[row]
+			if wd == 0 {
+				continue
+			}
+			fb := row * blockBits
+			for mw := wd; mw != 0; mw &= mw - 1 {
+				j := bits.TrailingZeros64(mw)
+				m.arr[(srcBase+j)*n+v] = s.first[fb+j]
+			}
+		}
+	}
 }
 
 // ReachabilityMatrix computes the packed all-pairs reachability
@@ -974,19 +1032,25 @@ func reachabilityMatrix(c *tvg.ContactSet, mode Mode, t0 tvg.Time, workers, widt
 		if cc.stopped() {
 			return
 		}
-		b := base / blockBits
 		s.sweep(c, mode, base, cnt, t0, false, w, st, cc)
 		if cc.stopped() {
 			return
 		}
-		sw := s.w
-		for v := 0; v < n; v++ {
-			for l := 0; l < sw; l++ {
-				m.bits[v*words+b+l] = s.reached[v*sw+l]
-			}
-		}
+		s.extractReach(m, base)
 	})
 	return m
+}
+
+// extractReach copies the block's reached words into m's source-word
+// columns [base/64, base/64+s.w).
+func (s *msScratch) extractReach(m *ReachMatrix, base int) {
+	n, sw, words := s.n, s.w, m.words
+	b := base / blockBits
+	for v := 0; v < n; v++ {
+		for l := 0; l < sw; l++ {
+			m.bits[v*words+b+l] = s.reached[v*sw+l]
+		}
+	}
 }
 
 // TemporallyConnected reports whether every ordered pair of nodes is

@@ -300,6 +300,13 @@ type spScratch struct {
 	// running, which is wasted work but never wrong (post-done updates
 	// are no-ops on the recorded results).
 	topActive int
+
+	// Sweep parameters, fixed by begin and read by run/cleanupFrom (see
+	// msScratch: a resumable sweep spans several run calls).
+	n     int
+	t0    tvg.Time
+	span  int64
+	dense bool
 }
 
 var spPool = sync.Pool{New: func() any { return new(spScratch) }}
@@ -500,9 +507,29 @@ func (s *spScratch) record(row, r int, w, lowest, seenNew uint64, arr tvg.Time) 
 // abort path keeps the grid self-cleaning and merges partial telemetry
 // plus one Cancellations tick.
 func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, width int, st *obs.SweepStats, cc *canceler) {
+	s.begin(c, ladder, base, cnt, t0, width)
+	if s.span == 0 {
+		if st != nil {
+			st.Blocks.Inc()
+		}
+		return
+	}
+	t, _ := s.run(c, t0, c.Horizon(), st, cc)
+	// Cleanup after an early exit or a cancellation abort: zero the
+	// never-drained pending cells so the grid is all-zero for the next
+	// sweep.
+	s.cleanupFrom(c, t)
+}
+
+// begin prepares the scratch for the block [base, base+cnt) and seeds
+// the sources at every rung; the tick loop itself is run. Same
+// begin/run/cleanupFrom contract as msScratch — a SweepCheckpoint keeps
+// the scratch between run calls, and the epoch-stamp base claimed here
+// (prepare) serves every later run because stamps are stamp0 + window
+// index regardless of which run processes the tick.
+func (s *spScratch) begin(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tvg.Time, width int) {
 	n := c.Graph().NumNodes()
 	k := ladder.Len()
-	horizon := c.Horizon()
 	span := spanOf(c, t0)
 	w := width
 	if w < 1 {
@@ -513,6 +540,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 	}
 	dense := span > 0 && int64(n)*span*int64(k)*int64(w) <= msDenseCellLimit
 	s.prepare(ladder, n, w, span, dense)
+	s.n, s.t0, s.span, s.dense = n, t0, span, dense
 
 	for r := 0; r < k; r++ {
 		s.remaining[r] = n * cnt
@@ -545,19 +573,24 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 			}
 		}
 	}
-	if span == 0 {
-		if st != nil {
-			st.Blocks.Inc()
-		}
-		return
-	}
+}
 
+// run processes the tick window [from, upTo] of a begun spectrum sweep
+// (rung retirement, due drains, cascading expiries, contacts). The same
+// window-splitting contract as msScratch.run: no grid cleanup past the
+// stopping point, state at a window boundary identical to one run over
+// the union window. Returns the first unprocessed tick and whether cc
+// aborted mid-tick (torn state, not resumable).
+func (s *spScratch) run(c *tvg.ContactSet, from, upTo tvg.Time, st *obs.SweepStats, cc *canceler) (tvg.Time, bool) {
+	n, w, k := s.n, s.w, s.k
+	t0, span, dense := s.t0, s.span, s.dense
+	horizon := c.Horizon()
 	contacts := c.Contacts()
 	var swept, expired, retired int64 // block-local telemetry, merged into st once
 	credit := int64(CancelCheckInterval)
 	aborted := false
-	t := t0
-	for ; t <= horizon; t++ {
+	t := from
+	for ; t <= upTo; t++ {
 		if cc != nil {
 			if credit <= 0 {
 				if cc.poll() {
@@ -827,26 +860,7 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		}
 	}
 
-	earlyExit := !aborted && t <= horizon
-
-	// Cleanup after an early exit or a cancellation abort: zero the
-	// never-drained pending cells so the grid is all-zero for the next
-	// sweep.
-	for ; t <= horizon; t++ {
-		idx := int64(t - t0)
-		for _, nl := range s.due[idx] {
-			v := int(nl >> laneShift)
-			l := int(nl & laneMask)
-			cellBase := ((int64(v)*span+idx)*int64(w) + int64(l)) * int64(k)
-			for r := 0; r < k; r++ {
-				s.setCell(cellBase, r, 0, dense)
-			}
-		}
-		s.due[idx] = s.due[idx][:0]
-		if s.anyFinite {
-			s.expire[idx] = s.expire[idx][:0]
-		}
-	}
+	earlyExit := !aborted && t <= upTo
 
 	if st != nil {
 		st.Blocks.Inc()
@@ -861,6 +875,30 @@ func (s *spScratch) sweep(c *tvg.ContactSet, ladder Ladder, base, cnt int, t0 tv
 		}
 		if !dense {
 			st.SparseFallbacks.Inc()
+		}
+	}
+	return t, aborted
+}
+
+// cleanupFrom zeroes the pending cells and due/expire buckets of every
+// tick in [t, horizon] (see msScratch.cleanupFrom).
+func (s *spScratch) cleanupFrom(c *tvg.ContactSet, t tvg.Time) {
+	horizon := c.Horizon()
+	w, k := s.w, s.k
+	span, dense := s.span, s.dense
+	for ; t <= horizon; t++ {
+		idx := int64(t - s.t0)
+		for _, nl := range s.due[idx] {
+			v := int(nl >> laneShift)
+			l := int(nl & laneMask)
+			cellBase := ((int64(v)*span+idx)*int64(w) + int64(l)) * int64(k)
+			for r := 0; r < k; r++ {
+				s.setCell(cellBase, r, 0, dense)
+			}
+		}
+		s.due[idx] = s.due[idx][:0]
+		if s.anyFinite {
+			s.expire[idx] = s.expire[idx][:0]
 		}
 	}
 }
@@ -920,60 +958,65 @@ func waitSpectrum(c *tvg.ContactSet, ladder Ladder, t0 tvg.Time, workers, width 
 		if cc.stopped() {
 			return
 		}
-		sw := s.w
-		// Transpose the slotted scratch into the per-rung matrices: rung
-		// r's foremost arrival is the prefix-min over the bit's arrival-
-		// rung slots ≤ r (a slot participates once its reached bit is
-		// set; reached masks are nested, so the prefix only ever grows).
-		// Bit-major order keeps each matrix write stream sequential (a
-		// source's row is contiguous); the reached plane re-read per bit
-		// stays resident in cache.
-		rows := make([][]tvg.Time, k)
-		for j := 0; j < cnt; j++ {
-			l := j >> 6
-			jb := j & (blockBits - 1)
-			bit := uint64(1) << uint(jb)
-			rowBase := (base + j) * n
-			for r := 0; r < k; r++ {
-				rows[r] = res.mats[r].arr[rowBase : rowBase+n]
-			}
-			for v := 0; v < n; v++ {
-				row := v*sw + l
-				if s.reached[row*k+k-1]&bit == 0 {
-					for r := 0; r < k; r++ {
-						rows[r][v] = -1
-					}
-					continue
-				}
-				// Single stage at rung 0 and reached everywhere — the
-				// common case on usable networks — writes one value
-				// straight down the ladder.
-				sm := s.stageMask[row*blockBits+jb]
-				if sm == 1 && s.reached[row*k]&bit != 0 {
-					val := s.first[row*k*blockBits+jb]
-					for r := 0; r < k; r++ {
-						rows[r][v] = val
-					}
-					continue
-				}
-				// Prefix-min over the bit's staged slots; a bit reached
-				// at rung r always has a stage at some rung ≤ r.
-				var val tvg.Time
-				have := false
+		s.extractSpectrum(res, base, cnt)
+	})
+	return res
+}
+
+// extractSpectrum transposes the slotted scratch into the per-rung
+// matrices for the source rows [base, base+cnt): rung r's foremost
+// arrival is the prefix-min over the bit's arrival-rung slots ≤ r (a
+// slot participates once its reached bit is set; reached masks are
+// nested, so the prefix only ever grows). Bit-major order keeps each
+// matrix write stream sequential (a source's row is contiguous); the
+// reached plane re-read per bit stays resident in cache. Every entry is
+// written (unreached pairs get -1), so the matrices need no pre-fill.
+func (s *spScratch) extractSpectrum(res *SpectrumResult, base, cnt int) {
+	n, sw, k := s.n, s.w, s.k
+	rows := make([][]tvg.Time, k)
+	for j := 0; j < cnt; j++ {
+		l := j >> 6
+		jb := j & (blockBits - 1)
+		bit := uint64(1) << uint(jb)
+		rowBase := (base + j) * n
+		for r := 0; r < k; r++ {
+			rows[r] = res.mats[r].arr[rowBase : rowBase+n]
+		}
+		for v := 0; v < n; v++ {
+			row := v*sw + l
+			if s.reached[row*k+k-1]&bit == 0 {
 				for r := 0; r < k; r++ {
-					if sm>>uint(r)&1 == 1 {
-						if f := s.first[(row*k+r)*blockBits+jb]; !have || f < val {
-							val, have = f, true
-						}
+					rows[r][v] = -1
+				}
+				continue
+			}
+			// Single stage at rung 0 and reached everywhere — the
+			// common case on usable networks — writes one value
+			// straight down the ladder.
+			sm := s.stageMask[row*blockBits+jb]
+			if sm == 1 && s.reached[row*k]&bit != 0 {
+				val := s.first[row*k*blockBits+jb]
+				for r := 0; r < k; r++ {
+					rows[r][v] = val
+				}
+				continue
+			}
+			// Prefix-min over the bit's staged slots; a bit reached
+			// at rung r always has a stage at some rung ≤ r.
+			var val tvg.Time
+			have := false
+			for r := 0; r < k; r++ {
+				if sm>>uint(r)&1 == 1 {
+					if f := s.first[(row*k+r)*blockBits+jb]; !have || f < val {
+						val, have = f, true
 					}
-					if s.reached[row*k+r]&bit != 0 {
-						rows[r][v] = val
-					} else {
-						rows[r][v] = -1
-					}
+				}
+				if s.reached[row*k+r]&bit != 0 {
+					rows[r][v] = val
+				} else {
+					rows[r][v] = -1
 				}
 			}
 		}
-	})
-	return res
+	}
 }

@@ -3,6 +3,7 @@ package tvg
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // Builder accumulates contacts in (edge, departure) order and finalises
@@ -49,6 +50,12 @@ type Builder struct {
 	contacts []Contact     // arena, reused across Reset
 	edges    []builderEdge // arena, reused across Reset
 	err      error
+
+	// base, when non-nil, marks an Extend build: the streamed contacts
+	// are an append batch onto base (departures strictly after baseDep)
+	// and Finalize assembles a new revision instead of a cold set.
+	base    *ContactSet
+	baseDep Time
 }
 
 // builderEdge is the pending metadata of one started edge.
@@ -72,6 +79,7 @@ func (b *Builder) Reset(nodes int, horizon Time) {
 	b.contacts = b.contacts[:0]
 	b.edges = b.edges[:0]
 	b.err = nil
+	b.base = nil
 	if nodes < 0 {
 		b.fail(fmt.Errorf("tvg: builder reset with negative node count %d", nodes))
 	}
@@ -86,6 +94,30 @@ func (b *Builder) fail(err error) {
 	if b.err == nil {
 		b.err = err
 	}
+}
+
+// Extend prepares the builder to stream an append batch onto base: the
+// same StartEdge/Append protocol as a cold build (fresh edges, strictly
+// increasing departures per edge), with the extra constraint that every
+// departure lies strictly after base.LastDep(). Finalize then assembles
+// a new revision of base sharing its frozen contact prefix (see
+// append.go) instead of a cold ContactSet; base itself is unchanged and
+// remains valid. AppendContacts is the convenience wrapper for callers
+// holding an unordered record batch.
+func (b *Builder) Extend(base *ContactSet) {
+	b.Reset(base.Graph().NumNodes(), base.Horizon())
+	b.base = base
+	b.baseDep = base.LastDep()
+}
+
+// RetainedBytes reports the capacity of the builder's internal arenas —
+// the memory a pooled builder pins between builds. The arenas grow to
+// the high-water mark of the schedules built (see the arena contract
+// above), so a pool owner can drop builders above a retention cap
+// instead of re-pooling them (internal/engine does).
+func (b *Builder) RetainedBytes() int64 {
+	return int64(cap(b.contacts))*int64(unsafe.Sizeof(Contact{})) +
+		int64(cap(b.edges))*int64(unsafe.Sizeof(builderEdge{}))
 }
 
 // NumEdges returns the number of edges started so far. The next
@@ -123,6 +155,9 @@ func (b *Builder) Append(dep, arr Time) {
 	switch {
 	case dep < 0 || dep > b.horizon:
 		b.fail(fmt.Errorf("tvg: builder edge %d departure %d outside [0, %d]", len(b.edges)-1, dep, b.horizon))
+	case b.base != nil && dep <= b.baseDep:
+		b.fail(fmt.Errorf("tvg: builder edge %d departure %d not after the extended set's last departure %d",
+			len(b.edges)-1, dep, b.baseDep))
 	case arr <= dep:
 		b.fail(fmt.Errorf("tvg: builder edge %d has latency %d < 1 at time %d", len(b.edges)-1, arr-dep, dep))
 	case int32(len(b.contacts)) > e.off && b.contacts[len(b.contacts)-1].Dep >= dep:
@@ -151,6 +186,15 @@ func (b *Builder) Finalize() (*ContactSet, error) {
 	}
 	if b.err != nil {
 		return nil, b.err
+	}
+	if b.base != nil {
+		base := b.base
+		b.base = nil
+		b.started = false
+		if len(b.contacts) == 0 {
+			return base, nil // empty batch: no new revision
+		}
+		return extendSet(base, b.edges, b.contacts)
 	}
 	g := New()
 	g.AddNodes(b.nodes)

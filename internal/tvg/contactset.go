@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -34,7 +35,9 @@ type Contact struct {
 //
 // A ContactSet is immutable after construction and safe for unbounded
 // concurrent use; accessors returning slices share the backing arrays and
-// callers must not modify them.
+// callers must not modify them. AppendContacts and Builder.Extend do not
+// mutate a set: they produce a NEW revision sharing the frozen prefix of
+// the contact arrays (see append.go).
 type ContactSet struct {
 	g        *Graph
 	horizon  Time
@@ -44,7 +47,24 @@ type ContactSet struct {
 	outOff   []int32 // len NumNodes+1
 	byTime   []int32 // contact indexes ordered by (Dep, Edge)
 	timeOff  []int32 // len horizon+2
+
+	// Revision metadata for the append path (append.go). rev counts the
+	// append batches behind this set (0 for a cold build); lastDep is the
+	// latest departure, -1 when the set is empty. extClaim is consumed by
+	// the FIRST revision extending this set: the winner inherits lin (the
+	// lineage token shared by one linear chain of revisions — the basis of
+	// Extends) and may append into the backing arrays' spare capacity
+	// (beyond this set's lengths, which no reader of this revision ever
+	// indexes); a later sibling branch copies and starts a fresh lineage.
+	rev      uint64
+	lastDep  Time
+	lin      *lineage
+	extClaim atomic.Bool
 }
+
+// lineage is the identity token of one linear chain of revisions. It
+// must not be zero-sized: Extends compares token addresses.
+type lineage struct{ _ byte }
 
 // NewContactSet scans every edge over t in [0, horizon] and builds the
 // flat contact representation. It returns an error if the horizon is
@@ -87,8 +107,16 @@ func NewContactSet(g *Graph, horizon Time) (*ContactSet, error) {
 // and Builder.Finalize, so the two construction paths produce
 // byte-identical sets by construction.
 func (c *ContactSet) buildIndexes() {
+	c.buildNodeIndexes()
+	c.buildTimeIndexes()
+	c.lin = &lineage{}
+}
+
+// buildNodeIndexes derives the node → outgoing-edges CSR (ascending edge
+// ids). Also used alone by the append path, which rebuilds the (small)
+// node index per revision but extends the time index incrementally.
+func (c *ContactSet) buildNodeIndexes() {
 	g := c.g
-	// Node → outgoing edges, CSR over ascending edge ids.
 	c.outOff = make([]int32, g.NumNodes()+1)
 	for _, e := range g.edges {
 		c.outOff[e.From+1]++
@@ -102,9 +130,12 @@ func (c *ContactSet) buildIndexes() {
 		c.outEdges[fill[e.From]] = EdgeID(i)
 		fill[e.From]++
 	}
+}
 
-	// Departure tick → contacts, by counting sort. Filling in contact
-	// order keeps each tick's bucket in ascending edge order.
+// buildTimeIndexes derives the departure tick → contacts index by
+// counting sort, and the lastDep watermark. Filling in contact order
+// keeps each tick's bucket in ascending edge order.
+func (c *ContactSet) buildTimeIndexes() {
 	c.timeOff = make([]int32, c.horizon+2)
 	for _, ct := range c.contacts {
 		c.timeOff[ct.Dep+1]++
@@ -117,6 +148,10 @@ func (c *ContactSet) buildIndexes() {
 	for i, ct := range c.contacts {
 		c.byTime[fillT[ct.Dep]] = int32(i)
 		fillT[ct.Dep]++
+	}
+	c.lastDep = -1
+	if len(c.byTime) > 0 {
+		c.lastDep = c.contacts[c.byTime[len(c.byTime)-1]].Dep
 	}
 }
 
@@ -282,3 +317,44 @@ func (c *ContactSet) AppendContactsAt(dst []EdgeID, t Time) []EdgeID {
 // TotalContacts returns the total number of (edge, departure) pairs within
 // the horizon. It is a synonym of NumContacts kept for the pre-CSR API.
 func (c *ContactSet) TotalContacts() int { return len(c.contacts) }
+
+// Revision reports how many append batches lie behind this set: 0 for a
+// cold build (NewContactSet, Builder.Finalize), parent revision + 1 for a
+// set produced by AppendContacts or Builder.Extend.
+func (c *ContactSet) Revision() uint64 { return c.rev }
+
+// LastDep returns the latest departure time of any contact, or -1 when
+// the set has no contacts. Appended batches must depart strictly later —
+// this watermark is the suffix-replay cut the incremental sweeps resume
+// from (see internal/journey SweepCheckpoint).
+func (c *ContactSet) LastDep() Time { return c.lastDep }
+
+// Extends reports whether c's contact stream is base plus zero or more
+// appended batches over the same node count and horizon — the validity
+// check a sweep checkpoint taken on base performs before replaying only
+// c's suffix. The check is by lineage token: revisions extending the
+// SAME parent race for its extension claim, the winner inherits the
+// parent's lineage and later siblings start a fresh one, so each lineage
+// is a linear chain and the revision counter totally orders it. A
+// sibling branch therefore reports false even though its stream does
+// extend base; callers fall back to a cold sweep — never an incorrect
+// resume.
+func (c *ContactSet) Extends(base *ContactSet) bool {
+	if c == base {
+		return c != nil
+	}
+	if c == nil || base == nil {
+		return false
+	}
+	if c.horizon != base.horizon || c.g.NumNodes() != base.g.NumNodes() ||
+		len(c.contacts) < len(base.contacts) {
+		return false
+	}
+	// An empty base constrains nothing beyond shape: a checkpoint taken on
+	// it holds only seeded state, so replaying all of c from it IS the
+	// cold sweep.
+	if len(base.contacts) == 0 {
+		return true
+	}
+	return c.lin != nil && c.lin == base.lin && c.rev > base.rev
+}

@@ -397,3 +397,50 @@ func WaitSpectrumCtx(ctx context.Context, c *Compiled, ladder Ladder, t0 Time, w
 func DeliverCtx(ctx context.Context, c *Compiled, mode Mode, msg Message) (DeliveryResult, error) {
 	return dtn.SimulateCtx(ctx, c, mode, msg)
 }
+
+// Incremental suffix-replay: live-filled contact sets and resumable
+// sweeps (see DESIGN.md §11).
+
+type (
+	// ContactRecord is one contact of an append batch: endpoints and
+	// times, no edge id — AppendContacts assigns fresh ids per batch.
+	ContactRecord = tvg.ContactRecord
+	// SweepCheckpoint is a resumable bit-parallel sweep frozen at a
+	// revision's watermark: resuming on a later revision of the same
+	// lineage replays only the appended suffix, bit-identical to a cold
+	// sweep of the full set.
+	SweepCheckpoint = journey.SweepCheckpoint
+	// FloodCheckpoint is the epidemic-flood analogue of SweepCheckpoint.
+	FloodCheckpoint = dtn.FloodCheckpoint
+	// BroadcastResult summarises one epidemic broadcast flood.
+	BroadcastResult = dtn.BroadcastResult
+)
+
+// AllForemostCheckpointed is AllForemostStats plus a SweepCheckpoint
+// frozen at c's watermark: after extending c with AppendContacts (or
+// Builder.Extend), ck.AllForemost(c2, ...) replays only the appended
+// suffix and returns the matrix a cold sweep of c2 would — bit-identical
+// at every width.
+func AllForemostCheckpointed(c *Compiled, mode Mode, t0 Time, workers, width int, st *SweepStats) (*ArrivalMatrix, *SweepCheckpoint, error) {
+	return journey.AllForemostCheckpointed(c, mode, t0, workers, width, st)
+}
+
+// ReachabilityMatrixCheckpointed is ReachabilityMatrix plus a resumable
+// checkpoint (see AllForemostCheckpointed).
+func ReachabilityMatrixCheckpointed(c *Compiled, mode Mode, t0 Time, workers, width int, st *SweepStats) (*ReachMatrix, *SweepCheckpoint, error) {
+	return journey.ReachabilityMatrixCheckpointed(c, mode, t0, workers, width, st)
+}
+
+// WaitSpectrumCheckpointed is WaitSpectrumStats plus a resumable
+// checkpoint covering every rung of the ladder: one suffix replay
+// refreshes all rung matrices (see AllForemostCheckpointed).
+func WaitSpectrumCheckpointed(c *Compiled, ladder Ladder, t0 Time, workers, width int, st *SweepStats) (*SpectrumResult, *SweepCheckpoint, error) {
+	return journey.WaitSpectrumCheckpointed(c, ladder, t0, workers, width, st)
+}
+
+// BroadcastCheckpointed floods from src and returns a FloodCheckpoint
+// that resumes the flood over appended suffixes, bit-identical to a
+// cold flood of the extended set.
+func BroadcastCheckpointed(c *Compiled, mode Mode, src Node, t0 Time) (BroadcastResult, *FloodCheckpoint, error) {
+	return dtn.BroadcastCheckpointed(c, mode, src, t0)
+}
