@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tvgwait/internal/engine"
+	"tvgwait/internal/tvg"
+)
+
+// buildServeBinary compiles tvgserve once per test run.
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tvgserve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build tvgserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serveProc is one tvgserve subprocess bound to an ephemeral port.
+type serveProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startServe launches tvgserve -data-dir dir on :0 and waits until
+// /healthz answers 200 — i.e. until recovery completed.
+func startServe(t *testing.T, bin, dir string, extra ...string) *serveProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-wal-segment-bytes", "1024",
+		"-compact-bytes", "2048",
+		"-compact-interval", "20ms",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				fields := strings.Fields(line[i+len("listening on "):])
+				if len(fields) > 0 {
+					select {
+					case addrCh <- fields[0]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("tvgserve never announced its address")
+	}
+	p := &serveProc{cmd: cmd, url: "http://" + addr}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("tvgserve never became ready")
+	return nil
+}
+
+// kill SIGKILLs the subprocess — no drain, no flush, the crash the WAL
+// exists for.
+func (p *serveProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait() //nolint:errcheck
+}
+
+// crashBatch is the deterministic i-th append batch of the storm: four
+// contacts departing in (4i, 4i+4], so any prefix is a valid stream.
+func crashBatch(i int) []tvg.ContactRecord {
+	rng := rand.New(rand.NewSource(int64(i) + 1000))
+	base := tvg.Time(4 * i)
+	recs := make([]tvg.ContactRecord, 4)
+	for k := range recs {
+		dep := base + tvg.Time(k) + 1
+		from := tvg.Node(rng.Intn(6))
+		to := tvg.Node(rng.Intn(5))
+		if to >= from {
+			to++
+		}
+		recs[k] = tvg.ContactRecord{From: from, To: to, Dep: dep, Arr: dep + 1 + tvg.Time(rng.Intn(3))}
+	}
+	return recs
+}
+
+func batchJSON(stream string, recs []tvg.ContactRecord) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf(`{"stream": %q, "contacts": [`, stream))
+	for i, r := range recs {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(fmt.Sprintf(`{"from": %d, "to": %d, "dep": %d, "arr": %d}`, r.From, r.To, r.Dep, r.Arr))
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// TestCrashRecoveryOracle is the kill-and-restart chaos test: a real
+// tvgserve subprocess takes an ingest storm and is SIGKILLed mid-flight
+// at randomized points, several times over the same data directory.
+// After every crash the restarted server must (a) still hold every
+// batch it ACKED — the ack-after-durable contract — and (b) hold a
+// clean PREFIX of the storm, never a gap. When the storm completes, the
+// served metrics must equal an uncrashed in-process oracle's.
+func TestCrashRecoveryOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	bin := buildServeBinary(t)
+	dir := t.TempDir()
+	const totalBatches, nodes = 50, 6
+	const horizon = 4*totalBatches + 10
+	rng := rand.New(rand.NewSource(20260808))
+
+	p := startServe(t, bin, dir)
+	if code := postJSON(t, p.url+"/contacts",
+		fmt.Sprintf(`{"stream": "storm", "nodes": %d, "horizon": %d}`, nodes, horizon), nil); code != http.StatusOK {
+		t.Fatalf("create status %d", code)
+	}
+
+	acked := 0 // batches 0..acked-1 are acked
+	for round := 0; acked < totalBatches; round++ {
+		// Ingest until a randomized kill point (or the end of the storm).
+		killAt := acked + 1 + rng.Intn(12)
+		for acked < totalBatches && acked < killAt {
+			code := postJSON(t, p.url+"/contacts", batchJSON("storm", crashBatch(acked)), nil)
+			if code != http.StatusOK {
+				t.Fatalf("round %d: batch %d status %d", round, acked, code)
+			}
+			acked++
+		}
+		if acked >= totalBatches {
+			break
+		}
+		p.kill()
+
+		p = startServe(t, bin, dir)
+		var rep engine.IngestReport
+		if code := postJSON(t, p.url+"/contacts", `{"stream": "storm"}`, &rep); code != http.StatusOK {
+			t.Fatalf("round %d: probe status %d", round, code)
+		}
+		// rep.Revision counts applied appends: every acked batch must have
+		// survived, and anything beyond the acked prefix can only be the
+		// single batch that was in flight when the process died.
+		if got := int(rep.Revision); got < acked || got > acked+1 {
+			t.Fatalf("round %d: recovered %d batches, acked %d", round, got, acked)
+		}
+		acked = int(rep.Revision) // continue after the recovered prefix
+	}
+	// Drain the final server cleanly and restart once more, so the last
+	// acked tail also crosses a recovery before the oracle comparison.
+	p.kill()
+	p = startServe(t, bin, dir)
+	defer p.kill()
+
+	// The uncrashed oracle: same create, same batches, no durability.
+	oracle := engine.New(engine.Options{})
+	defer oracle.Close()
+	if _, err := oracle.CreateStream("storm", nodes, horizon); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < totalBatches; i++ {
+		if _, err := oracle.AppendStream("storm", crashBatch(i)); err != nil {
+			t.Fatalf("oracle batch %d: %v", i, err)
+		}
+	}
+	for _, modes := range [][]string{{"nowait"}, {"nowait", "wait:8", "wait"}} {
+		req := engine.MetricsRequest{
+			Graph: engine.GraphSpec{Model: "stream", Stream: "storm"},
+			Modes: modes,
+		}
+		want, err := oracle.Metrics(t.Context(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got engine.MetricsReport
+		quoted := make([]string, len(modes))
+		for i, m := range modes {
+			quoted[i] = fmt.Sprintf("%q", m)
+		}
+		body := fmt.Sprintf(`{"graph": {"model": "stream", "stream": "storm"}, "modes": [%s]}`,
+			strings.Join(quoted, ", "))
+		if code := postJSON(t, p.url+"/metrics", body, &got); code != http.StatusOK {
+			t.Fatalf("final metrics status %d", code)
+		}
+		if !reflect.DeepEqual(want.Modes, got.Modes) {
+			t.Fatalf("recovered server diverges from uncrashed oracle for %v:\nwant %+v\ngot  %+v",
+				modes, want.Modes, got.Modes)
+		}
+	}
+	// The WAL exceeds the tiny -compact-bytes threshold, so the final
+	// server's compactor must roll it into a snapshot shortly — which is
+	// what makes the NEXT recovery snapshot+suffix instead of a full
+	// replay. Poll: the compactor ticks on its own clock.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snaps, _ := filepath.Glob(filepath.Join(dir, "*.tvgs"))
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("storm never produced a snapshot: compaction thresholds too high for the test to mean anything")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,9 @@
 //	POST /metrics   — engine.MetricsRequest → engine.MetricsReport
 //	POST /spectrum  — engine.SpectrumRequest → engine.SpectrumReport
 //	POST /contacts  — engine.IngestRequest  → engine.IngestReport
-//	GET  /healthz   — liveness probe ("ok")
+//	GET  /healthz   — readiness probe ("ok"; 503 "recovering" during
+//	                  WAL replay, 503 "draining" during shutdown)
+//	GET  /livez     — liveness probe ("ok" as long as the process serves)
 //
 // /spectrum answers the paper's d-sweep — per-rung connectivity,
 // diameter and eccentricity for a whole ladder of waiting budgets — in
@@ -28,6 +30,14 @@
 // Every request runs under a server-side timeout, and the number of
 // simulations in flight is bounded; excess requests are rejected with
 // 429 rather than queued, so a burst cannot exhaust the host.
+//
+// With -data-dir DIR every stream create and contact batch is written
+// to a write-ahead log before the HTTP ack (fsync policy per -fsync),
+// and a background compactor rolls the log into versioned ContactSet
+// snapshots. On restart the directory is recovered — newest valid
+// snapshot per stream plus the WAL suffix — before /healthz turns
+// ready, so an acked batch survives any crash (DESIGN.md §12). Without
+// the flag streams are memory-only, exactly as before.
 //
 // With -pprof ADDR the standard net/http/pprof profiler is served on a
 // separate listener (never on the service port); see EXPERIMENTS.md
@@ -65,6 +75,7 @@ import (
 
 	"tvgwait/internal/engine"
 	"tvgwait/internal/obs"
+	"tvgwait/internal/store"
 )
 
 func main() {
@@ -79,6 +90,11 @@ func main() {
 	accessLog := fs.Bool("access-log", false, "log one structured line per request (request id, endpoint, status, duration, bytes, cache flag)")
 	statusz := fs.Bool("statusz", false, "serve the telemetry snapshot as GET /statusz on the service port")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline after SIGINT/SIGTERM")
+	dataDir := fs.String("data-dir", "", "durable ingest directory (WAL + snapshots; empty = memory-only streams)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy gating the ingest ack: always, batch or none")
+	walSegBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment roll threshold in bytes (0 = 8 MiB default)")
+	compactBytes := fs.Int64("compact-bytes", 0, "WAL footprint that triggers compaction (0 = 4x segment size, negative = never)")
+	compactEvery := fs.Duration("compact-interval", time.Second, "how often the compactor checks the WAL footprint")
 	fs.Parse(os.Args[1:])
 
 	// One registry carries every layer: engine caches/pool/sweeps wire in
@@ -86,12 +102,60 @@ func main() {
 	// block is sampled at render time.
 	reg := obs.NewRegistry()
 	reg.EnableRuntime()
-	srv := newServer(engine.New(engine.Options{Workers: *workers, CacheSize: *cacheSize, MaxCacheBytes: *cacheBytes, Obs: reg}),
-		*timeout, *inflight)
+	engOpts := engine.Options{Workers: *workers, CacheSize: *cacheSize, MaxCacheBytes: *cacheBytes, Obs: reg}
+	srv := newServer(*timeout, *inflight)
 	srv.registerObs(reg)
 	srv.statusz = *statusz
 	if *accessLog {
 		srv.accessLog = log.New(os.Stderr, "tvgserve: ", log.LstdFlags)
+	}
+
+	// With -data-dir the engine attaches only after the directory is
+	// recovered: the listener comes up immediately (so orchestrators see
+	// liveness on /livez) but /healthz answers 503 "recovering" and every
+	// API request is refused until the newest valid snapshots are loaded
+	// and the WAL suffix is replayed — a half-recovered registry must
+	// never take an append. The recovered store becomes the engine's
+	// ingest sink: every create/append is logged (and fsynced, per
+	// -fsync) before its HTTP ack.
+	recoveryDone := make(chan struct{})
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("tvgserve: %v", err)
+		}
+		srv.recovering.Store(true)
+		go func() {
+			defer close(recoveryDone)
+			started := time.Now()
+			s, recovered, err := store.Open(*dataDir, store.Options{
+				Policy:       policy,
+				SegmentBytes: *walSegBytes,
+				CompactBytes: *compactBytes,
+				Logf:         log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("tvgserve: recover %s: %v", *dataDir, err)
+			}
+			st = s
+			engOpts.Ingest = s
+			s.Register(reg)
+			eng := engine.New(engOpts)
+			for name, set := range recovered {
+				if err := eng.InstallStream(name, set); err != nil {
+					log.Fatalf("tvgserve: install recovered stream %q: %v", name, err)
+				}
+			}
+			s.StartCompactor(*compactEvery)
+			srv.attachEngine(eng)
+			srv.recovering.Store(false)
+			log.Printf("tvgserve: recovered %d stream(s) from %s in %s (fsync=%s)",
+				len(recovered), *dataDir, time.Since(started).Round(time.Millisecond), policy)
+		}()
+	} else {
+		srv.attachEngine(engine.New(engOpts))
+		close(recoveryDone)
 	}
 
 	if *pprofAddr != "" {
@@ -112,7 +176,14 @@ func main() {
 		}
 	}
 
-	log.Printf("tvgserve: listening on %s (timeout=%s, inflight=%d)", *addr, *timeout, *inflight)
+	// Bind explicitly so the ACTUAL address is logged — with -addr :0
+	// (tests, ephemeral deployments) the chosen port is unknowable
+	// otherwise.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tvgserve: listen %s: %v", *addr, err)
+	}
+	log.Printf("tvgserve: listening on %s (timeout=%s, inflight=%d)", ln.Addr(), *timeout, *inflight)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.routes(),
@@ -136,7 +207,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpServer.ListenAndServe() }()
+	go func() { errCh <- httpServer.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		log.Fatal(err)
@@ -151,9 +222,23 @@ func main() {
 		if err := httpServer.Shutdown(sctx); err != nil {
 			log.Printf("tvgserve: shutdown: %v", err)
 		}
-		// Cancel detached cache builds only after the drain: in-flight
+		// Flush the durable layer before touching the engine: every batch
+		// acked during the drain is fsynced (Sync covers the batch/none
+		// policies' unflushed tail), the compactor is joined, and only
+		// then do detached cache builds get cancelled — in-flight
 		// requests may still be waiting on them.
-		srv.eng.Close()
+		<-recoveryDone
+		if st != nil {
+			if err := st.Sync(); err != nil {
+				log.Printf("tvgserve: final WAL sync: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				log.Printf("tvgserve: store close: %v", err)
+			}
+		}
+		if eng := srv.engine(); eng != nil {
+			eng.Close()
+		}
 		logFinalSnapshot(reg)
 	}
 }
@@ -164,10 +249,15 @@ const maxBodyBytes = 1 << 20
 // server wires the engine to HTTP with admission control and a
 // telemetry envelope around every route (see obs.go).
 type server struct {
-	eng     *engine.Engine
-	timeout time.Duration
-	sem     chan struct{} // counting semaphore: one slot per in-flight run
-	metrics *httpMetrics
+	// eng is attached once boot (or recovery) finishes; until then
+	// recovering gates every API route with 503. Handlers load it only
+	// after passing admit, which refuses requests while recovering —
+	// so a loaded engine is never nil past admission.
+	eng        atomic.Pointer[engine.Engine]
+	recovering atomic.Bool
+	timeout    time.Duration
+	sem        chan struct{} // counting semaphore: one slot per in-flight run
+	metrics    *httpMetrics
 
 	// reg is set by registerObs; statusz additionally exposes its varz
 	// document on the service mux. accessLog, when non-nil, receives one
@@ -183,12 +273,20 @@ type server struct {
 	draining atomic.Bool
 }
 
-func newServer(eng *engine.Engine, timeout time.Duration, inflight int) *server {
+func newServer(timeout time.Duration, inflight int) *server {
 	if inflight < 1 {
 		inflight = 1
 	}
-	return &server{eng: eng, timeout: timeout, sem: make(chan struct{}, inflight), metrics: newHTTPMetrics()}
+	return &server{timeout: timeout, sem: make(chan struct{}, inflight), metrics: newHTTPMetrics()}
 }
+
+// attachEngine publishes the engine; the readiness flip (recovering →
+// false) is the caller's, AFTER attaching, so admitted requests always
+// find an engine.
+func (s *server) attachEngine(eng *engine.Engine) { s.eng.Store(eng) }
+
+// engine returns the attached engine, nil before attachment.
+func (s *server) engine() *engine.Engine { return s.eng.Load() }
 
 // pprofMux builds the handler tree served on the -pprof listener: the
 // standard net/http/pprof pages under /debug/pprof/, plus (when a
@@ -211,6 +309,7 @@ func pprofMux(reg *obs.Registry) *http.ServeMux {
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /livez", s.instrument("/livez", s.handleLivez))
 	mux.HandleFunc("POST /simulate", s.instrument("/simulate", s.handleSimulate))
 	mux.HandleFunc("POST /journey", s.instrument("/journey", s.handleJourney))
 	mux.HandleFunc("POST /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -222,7 +321,25 @@ func (s *server) routes() *http.ServeMux {
 	return mux
 }
 
+// handleHealthz is READINESS: a 503 while recovering or draining tells
+// the balancer to route elsewhere without implying the process is dead.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.recovering.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// handleLivez is LIVENESS: it answers ok whenever the process can serve
+// at all — an orchestrator must not kill a replica for being mid-replay.
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -233,6 +350,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // queued — a burst costs each rejected client one cheap round trip, not
 // a connection parked behind the semaphore.
 func (s *server) admit(w http.ResponseWriter) (release func()) {
+	if s.recovering.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is recovering its data directory", http.StatusServiceUnavailable)
+		return nil
+	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server is draining for shutdown", http.StatusServiceUnavailable)
@@ -267,7 +389,7 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
 	started := time.Now()
-	report, err := s.eng.Run(ctx, spec)
+	report, err := s.engine().Run(ctx, spec)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -294,7 +416,7 @@ func (s *server) handleJourney(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	report, err := s.eng.Journey(ctx, req)
+	report, err := s.engine().Journey(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -318,7 +440,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	report, err := s.eng.Metrics(ctx, req)
+	report, err := s.engine().Metrics(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -342,7 +464,7 @@ func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	report, err := s.eng.Spectrum(ctx, req)
+	report, err := s.engine().Spectrum(ctx, req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -368,7 +490,7 @@ func (s *server) handleContacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	report, err := s.eng.Ingest(req)
+	report, err := s.engine().Ingest(req)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -14,7 +14,8 @@ import (
 
 func testServer(t *testing.T, timeout time.Duration, inflight int) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(engine.New(engine.Options{}), timeout, inflight)
+	srv := newServer(timeout, inflight)
+	srv.attachEngine(engine.New(engine.Options{}))
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -238,7 +239,8 @@ func TestPprofMux(t *testing.T) {
 		}
 	}
 	// The service mux must NOT expose the profiler.
-	srv := newServer(engine.New(engine.Options{}), time.Second, 1)
+	srv := newServer(time.Second, 1)
+	srv.attachEngine(engine.New(engine.Options{}))
 	app := httptest.NewServer(srv.routes())
 	defer app.Close()
 	resp, err := http.Get(app.URL + "/debug/pprof/")
@@ -276,7 +278,8 @@ func (d *discardResponseWriter) WriteHeader(int) {}
 // per-request observability overhead alongside the pooled response
 // buffers.
 func BenchmarkHandleMetrics(b *testing.B) {
-	srv := newServer(engine.New(engine.Options{}), time.Minute, 4)
+	srv := newServer(time.Minute, 4)
+	srv.attachEngine(engine.New(engine.Options{}))
 	h := srv.instrument("/metrics", srv.handleMetrics)
 	body := `{
 		"graph": {"model": "markov", "nodes": 32, "birth": 0.05, "death": 0.5, "horizon": 60},

@@ -15,7 +15,7 @@ import (
 // endpoints lists every instrumented route, in registration order. The
 // per-endpoint instrument sets are created at construction, so the
 // request path only ever does atomic ops on pre-built instruments.
-var endpoints = []string{"/healthz", "/simulate", "/journey", "/metrics", "/spectrum", "/contacts"}
+var endpoints = []string{"/healthz", "/livez", "/simulate", "/journey", "/metrics", "/spectrum", "/contacts"}
 
 // endpointMetrics is one route's instrument set.
 type endpointMetrics struct {

@@ -20,7 +20,8 @@ import (
 func obsServer(t *testing.T, inflight int) (*server, *obs.Registry, *httptest.Server) {
 	t.Helper()
 	reg := obs.NewRegistry()
-	srv := newServer(engine.New(engine.Options{Obs: reg}), time.Minute, inflight)
+	srv := newServer(time.Minute, inflight)
+	srv.attachEngine(engine.New(engine.Options{Obs: reg}))
 	srv.registerObs(reg)
 	srv.statusz = true
 	ts := httptest.NewServer(srv.routes())
@@ -159,7 +160,8 @@ func TestDebugExports(t *testing.T) {
 // enabled.
 func TestStatuszOptIn(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := newServer(engine.New(engine.Options{Obs: reg}), time.Minute, 1)
+	srv := newServer(time.Minute, 1)
+	srv.attachEngine(engine.New(engine.Options{Obs: reg}))
 	srv.registerObs(reg)
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()

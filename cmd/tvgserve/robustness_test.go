@@ -22,7 +22,8 @@ func testServerOpts(t *testing.T, opts engine.Options, timeout time.Duration, in
 	t.Helper()
 	eng := engine.New(opts)
 	t.Cleanup(eng.Close)
-	srv := newServer(eng, timeout, inflight)
+	srv := newServer(timeout, inflight)
+	srv.attachEngine(eng)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -171,7 +172,8 @@ func TestNoGoroutineLeaks(t *testing.T) {
 		Workers:   2,
 		FaultHook: faultinject.OnSite(faultinject.SiteBuild, faultinject.Sleep(50*time.Millisecond)),
 	})
-	srv := newServer(eng, time.Minute, 4)
+	srv := newServer(time.Minute, 4)
+	srv.attachEngine(eng)
 	ts := httptest.NewServer(srv.routes())
 
 	body := `{"graph": {"model": "markov", "nodes": 12, "birth": 0.05, "death": 0.5, "horizon": 40}, "modes": ["wait"], "seed": 9}`
@@ -238,7 +240,8 @@ func FuzzHandlerInputs(f *testing.F) {
 
 	eng := engine.New(engine.Options{Workers: 2, MaxCacheBytes: 1 << 20})
 	defer eng.Close()
-	srv := newServer(eng, time.Second, 2)
+	srv := newServer(time.Second, 2)
+	srv.attachEngine(eng)
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 	good := `{"graph": {"model": "markov", "nodes": 8, "birth": 0.1, "death": 0.5, "horizon": 20}, "modes": ["wait"]}`

@@ -1,0 +1,229 @@
+// Command tvgtrace imports real contact traces into the tvgwait world:
+// it reads `edge,from,to,dep,arr` rows (CSV or TSV, optional header)
+// into a compiled ContactSet through the streaming Builder path and
+// reports the resulting shape, or emits a versioned snapshot file that
+// tvgserve -data-dir recovers like one of its own (internal/store,
+// DESIGN.md §12).
+//
+// Rows sharing an edge label become one edge's schedule (sorted by
+// departure); labels appear in first-occurrence order. Node ids are
+// dense non-negative integers. Malformed input fails with the 1-based
+// line number, so a bad million-row trace points at its own defect.
+//
+// Examples:
+//
+//	tvgtrace -in trace.csv
+//	tvgtrace -in trace.tsv -stream rollernet -data-dir /var/lib/tvgserve
+//	zcat trace.csv.gz | tvgtrace -stream rollernet -o rollernet.tvgs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tvgwait/internal/store"
+	"tvgwait/internal/tvg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tvgtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tvgtrace", flag.ContinueOnError)
+	in := fs.String("in", "-", "input trace file (CSV or TSV; - = stdin)")
+	stream := fs.String("stream", "trace", "stream name stamped into the emitted snapshot")
+	out := fs.String("o", "", "write the snapshot image to this exact path (empty = don't)")
+	dataDir := fs.String("data-dir", "", "write the snapshot into a tvgserve data directory under its canonical name")
+	nodesFlag := fs.Int("nodes", 0, "node count (0 = 1 + highest node id in the trace)")
+	horizonFlag := fs.Int64("horizon", 0, "horizon (0 = latest arrival in the trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	cs, edges, err := importTrace(r, *nodesFlag, tvg.Time(*horizonFlag))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "imported %d contacts on %d edges: %d nodes, horizon %d\n",
+		cs.NumContacts(), edges, cs.Graph().NumNodes(), cs.Horizon())
+
+	snap := &store.Snapshot{Stream: *stream, Seq: 1, Raw: cs.Raw()}
+	if *out != "" {
+		img := store.EncodeSnapshot(snap)
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "snapshot: %s (%d bytes)\n", *out, len(img))
+	}
+	if *dataDir != "" {
+		path, err := store.WriteSnapshotFile(*dataDir, snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "snapshot: %s\n", path)
+	}
+	return nil
+}
+
+// traceEdge accumulates one edge label's rows before the Builder pass.
+type traceEdge struct {
+	from, to tvg.Node
+	contacts []tvg.Contact // Dep/Arr used; sorted before streaming
+}
+
+// importTrace parses `edge,from,to,dep,arr` rows and compiles them.
+// Every parse or consistency failure carries the 1-based line number.
+func importTrace(r io.Reader, nodes int, horizon tvg.Time) (*tvg.ContactSet, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	byLabel := make(map[string]*traceEdge)
+	var order []string // first-occurrence order of edge labels
+	maxNode, maxArr := -1, tvg.Time(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitRow(line)
+		if lineNo == 1 && isHeader(fields) {
+			continue
+		}
+		if len(fields) != 5 {
+			return nil, 0, fmt.Errorf("line %d: want 5 fields (edge,from,to,dep,arr), got %d", lineNo, len(fields))
+		}
+		label := fields[0]
+		from, err := parseNode(fields[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: from: %v", lineNo, err)
+		}
+		to, err := parseNode(fields[2])
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: to: %v", lineNo, err)
+		}
+		dep, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: dep: %v", lineNo, err)
+		}
+		arr, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: arr: %v", lineNo, err)
+		}
+		if dep < 0 {
+			return nil, 0, fmt.Errorf("line %d: departure %d is negative", lineNo, dep)
+		}
+		if arr <= dep {
+			return nil, 0, fmt.Errorf("line %d: arrival %d not after departure %d (latency >= 1)", lineNo, arr, dep)
+		}
+		e := byLabel[label]
+		if e == nil {
+			e = &traceEdge{from: from, to: to}
+			byLabel[label] = e
+			order = append(order, label)
+		} else if e.from != from || e.to != to {
+			return nil, 0, fmt.Errorf("line %d: edge %q changes endpoints (%d->%d, was %d->%d)",
+				lineNo, label, from, to, e.from, e.to)
+		}
+		e.contacts = append(e.contacts, tvg.Contact{Dep: tvg.Time(dep), Arr: tvg.Time(arr)})
+		if int(from) > maxNode {
+			maxNode = int(from)
+		}
+		if int(to) > maxNode {
+			maxNode = int(to)
+		}
+		if tvg.Time(arr) > maxArr {
+			maxArr = tvg.Time(arr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("line %d: %v", lineNo+1, err)
+	}
+	if len(order) == 0 {
+		return nil, 0, fmt.Errorf("trace holds no contacts")
+	}
+	if nodes == 0 {
+		nodes = maxNode + 1
+		if nodes < 2 {
+			nodes = 2
+		}
+	}
+	if horizon == 0 {
+		horizon = maxArr
+	}
+
+	b := tvg.NewBuilder()
+	b.Reset(nodes, horizon)
+	for _, label := range order {
+		e := byLabel[label]
+		sort.Slice(e.contacts, func(i, j int) bool { return e.contacts[i].Dep < e.contacts[j].Dep })
+		sym := tvg.Symbol('e')
+		for _, r := range label {
+			sym = r
+			break
+		}
+		b.StartEdge(e.from, e.to, sym)
+		for i, c := range e.contacts {
+			if i > 0 && c.Dep == e.contacts[i-1].Dep {
+				return nil, 0, fmt.Errorf("edge %q: duplicate departure %d", label, c.Dep)
+			}
+			b.Append(c.Dep, c.Arr)
+		}
+	}
+	cs, err := b.Finalize()
+	if err != nil {
+		return nil, 0, err
+	}
+	return cs, len(order), nil
+}
+
+// splitRow splits on tabs when the line has any, commas otherwise, and
+// trims each field.
+func splitRow(line string) []string {
+	sep := ","
+	if strings.ContainsRune(line, '\t') {
+		sep = "\t"
+	}
+	fields := strings.Split(line, sep)
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	return fields
+}
+
+// isHeader recognises the canonical column header, so exported
+// spreadsheets import without preprocessing.
+func isHeader(fields []string) bool {
+	return len(fields) > 0 && strings.EqualFold(fields[0], "edge")
+}
+
+func parseNode(s string) (tvg.Node, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("node id %d is negative", n)
+	}
+	return tvg.Node(n), nil
+}

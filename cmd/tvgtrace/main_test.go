@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tvgwait/internal/store"
+)
+
+const sampleCSV = `edge,from,to,dep,arr
+a,0,1,1,2
+a,0,1,4,6
+b,1,2,3,4
+c,2,0,5,7
+`
+
+// TestImportCSV pins the happy path: grouped edges, inferred shape,
+// contacts queryable through the compiled set.
+func TestImportCSV(t *testing.T) {
+	cs, edges, err := importTrace(strings.NewReader(sampleCSV), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 3 || cs.NumContacts() != 4 {
+		t.Fatalf("imported %d edges, %d contacts", edges, cs.NumContacts())
+	}
+	if cs.Graph().NumNodes() != 3 || cs.Horizon() != 7 {
+		t.Fatalf("shape %d nodes, horizon %d", cs.Graph().NumNodes(), cs.Horizon())
+	}
+}
+
+// TestImportTSVAndComments pins the alternative framings: tab
+// separators, comment lines, blank lines, no header.
+func TestImportTSVAndComments(t *testing.T) {
+	tsv := "# a comment\n\na\t0\t1\t1\t2\n\nb\t1\t0\t2\t4\n"
+	cs, edges, err := importTrace(strings.NewReader(tsv), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != 2 || cs.NumContacts() != 2 {
+		t.Fatalf("imported %d edges, %d contacts", edges, cs.NumContacts())
+	}
+}
+
+// TestImportErrorsCarryLineNumbers pins the failure contract: every
+// malformed row is reported with its 1-based line number.
+func TestImportErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"short row", "edge,from,to,dep,arr\na,0,1,1\n", "line 2"},
+		{"bad node", "a,zero,1,1,2\n", "line 1"},
+		{"negative node", "a,-1,1,1,2\n", "line 1"},
+		{"bad dep", "a,0,1,x,2\n", "line 1"},
+		{"zero latency", "a,0,1,3,3\n", "line 1"},
+		{"negative dep", "a,0,1,-4,2\n", "line 1"},
+		{"endpoint flip", "a,0,1,1,2\na,1,0,3,4\n", "line 2"},
+		{"empty", "", "no contacts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := importTrace(strings.NewReader(tc.input), 0, 0)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("want error containing %q, got %v", tc.wantSub, err)
+			}
+		})
+	}
+}
+
+// TestEmitSnapshotRoundTrip pins the interchange promise: the emitted
+// snapshot restores to the same CSR the importer compiled, through
+// both -o and -data-dir paths.
+func TestEmitSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(csv, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	exact := filepath.Join(dir, "out.tvgs")
+	if err := run([]string{"-in", csv, "-stream", "imported", "-o", exact, "-data-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := importTrace(strings.NewReader(sampleCSV), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{exact, store.SnapshotPath(dir, "imported", 1)} {
+		snap, got, err := store.ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if snap.Stream != "imported" || snap.Seq != 1 {
+			t.Fatalf("%s: metadata %+v", path, snap)
+		}
+		if got.NumContacts() != want.NumContacts() || got.Revision() != want.Revision() {
+			t.Fatalf("%s: restored %d contacts rev %d", path, got.NumContacts(), got.Revision())
+		}
+	}
+	// And tvgserve-style recovery sees it as a live stream.
+	st, recovered, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	set := recovered["imported"]
+	if set == nil || set.NumContacts() != want.NumContacts() {
+		t.Fatalf("recovery missed the imported stream: %v", recovered)
+	}
+	if set.LastDep() != want.LastDep() {
+		t.Fatalf("watermark %d, want %d", set.LastDep(), want.LastDep())
+	}
+}

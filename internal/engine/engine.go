@@ -54,6 +54,10 @@ type Options struct {
 	// inject latency and errors. nil — the production configuration —
 	// costs one nil check per site. See internal/faultinject.
 	FaultHook faultinject.Hook
+	// Ingest, when non-nil, is the durability sink every stream create
+	// and append flows through before it is published (see IngestSink).
+	// nil — the default — keeps the registry memory-only.
+	Ingest IngestSink
 }
 
 // Engine runs batch simulations. It is safe for concurrent use: runs
@@ -115,6 +119,8 @@ type Engine struct {
 	budget   *byteBudget
 	maxBytes int64
 	fault    faultinject.Hook
+	// ingest is the durability sink (Options.Ingest); see IngestSink.
+	ingest IngestSink
 }
 
 // New returns an engine with the given options.
@@ -164,6 +170,7 @@ func New(opts Options) *Engine {
 		e.checkpoints.budget = e.budget
 	}
 	e.fault = opts.FaultHook
+	e.ingest = opts.Ingest
 	e.scratch.New = func() any { return dtn.NewScratch() }
 	e.builders.New = func() any { return tvg.NewBuilder() }
 	if opts.Obs != nil {

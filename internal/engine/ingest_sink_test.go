@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// recordingSink is a scripted IngestSink: it logs every call in order,
+// counts wait invocations, and can veto or fail waits on demand.
+type recordingSink struct {
+	mu      sync.Mutex
+	calls   []string
+	waits   int
+	vetoErr error // returned from the next sink call, then cleared
+	waitErr error // returned by every wait
+}
+
+func (rs *recordingSink) note(call string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.vetoErr; err != nil {
+		rs.vetoErr = nil
+		return err
+	}
+	rs.calls = append(rs.calls, call)
+	return nil
+}
+
+func (rs *recordingSink) wait() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.waits++
+	return rs.waitErr
+}
+
+func (rs *recordingSink) StreamCreated(name string, set *tvg.ContactSet) (func() error, error) {
+	if err := rs.note(fmt.Sprintf("create %s n%d h%d", name, set.Graph().NumNodes(), set.Horizon())); err != nil {
+		return nil, err
+	}
+	return rs.wait, nil
+}
+
+func (rs *recordingSink) BatchAppended(name string, recs []tvg.ContactRecord, set *tvg.ContactSet) (func() error, error) {
+	if err := rs.note(fmt.Sprintf("append %s +%d rev%d", name, len(recs), set.Revision())); err != nil {
+		return nil, err
+	}
+	return rs.wait, nil
+}
+
+func (rs *recordingSink) snapshot() ([]string, int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]string(nil), rs.calls...), rs.waits
+}
+
+// TestIngestSinkOrdering pins the sink contract's happy path: every
+// create and append reaches the sink exactly once, in apply order, with
+// the revision it produced, and every returned wait is invoked before
+// the call returns (ack-after-durable).
+func TestIngestSinkOrdering(t *testing.T) {
+	sink := &recordingSink{}
+	e := New(Options{Workers: 2, Ingest: sink})
+	defer e.Close()
+	if _, err := e.CreateStream("live", 6, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-create must NOT reach the sink: nothing changed.
+	if _, err := e.CreateStream("live", 6, 50); err != nil {
+		t.Fatal(err)
+	}
+	for i, batch := range streamBatches(11, 6, 50, 3) {
+		if _, err := e.AppendStream("live", batch); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	calls, waits := sink.snapshot()
+	if len(calls) == 0 || calls[0] != "create live n6 h50" {
+		t.Fatalf("sink saw %v", calls)
+	}
+	for i, call := range calls[1:] {
+		if !strings.HasPrefix(call, "append live ") || !strings.HasSuffix(call, fmt.Sprintf("rev%d", i+1)) {
+			t.Fatalf("call %d out of order: %v", i+1, calls)
+		}
+	}
+	if waits != len(calls) {
+		t.Fatalf("%d sink calls but %d durability waits", len(calls), waits)
+	}
+	// Empty batches change nothing and must not reach the sink.
+	before := len(calls)
+	if _, err := e.Ingest(IngestRequest{Stream: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls, _ := sink.snapshot(); len(calls) != before {
+		t.Fatalf("empty ingest reached the sink: %v", calls[before:])
+	}
+}
+
+// TestIngestSinkVeto pins the rollback half of the contract: a sink
+// error suppresses the change entirely — a vetoed create leaves no
+// stream, a vetoed append leaves the prior revision — and the veto
+// surfaces as an internal error, not a spec error.
+func TestIngestSinkVeto(t *testing.T) {
+	boom := errors.New("disk on fire")
+	sink := &recordingSink{vetoErr: boom}
+	e := New(Options{Workers: 2, Ingest: sink})
+	defer e.Close()
+	_, err := e.CreateStream("live", 6, 50)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want veto, got %v", err)
+	}
+	if errors.Is(err, ErrInvalidSpec) {
+		t.Fatal("veto surfaced as a spec error")
+	}
+	if _, ok := e.StreamSet("live"); ok {
+		t.Fatal("vetoed create left the stream registered")
+	}
+	// The veto cleared; the retry succeeds and the stream works.
+	if _, err := e.CreateStream("live", 6, 50); err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(12, 6, 50, 2)
+	cur, err := e.AppendStream("live", batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	sink.vetoErr = boom
+	sink.mu.Unlock()
+	if _, err := e.AppendStream("live", batches[1]); !errors.Is(err, boom) {
+		t.Fatalf("want veto, got %v", err)
+	}
+	got, _ := e.StreamSet("live")
+	if got != cur {
+		t.Fatalf("vetoed append published revision %d", got.Revision())
+	}
+	// And again: the stream is intact, the retry lands on the same watermark.
+	if _, err := e.AppendStream("live", batches[1]); err != nil {
+		t.Fatalf("retry after veto: %v", err)
+	}
+}
+
+// TestIngestSinkWaitError pins the fsync-failure semantics: the change
+// IS published (the log accepted it; only durability is in doubt) but
+// the caller gets an error, so the client is never acked for a batch
+// that might not survive a crash.
+func TestIngestSinkWaitError(t *testing.T) {
+	lost := errors.New("fsync: I/O error")
+	sink := &recordingSink{waitErr: lost}
+	e := New(Options{Workers: 2, Ingest: sink})
+	defer e.Close()
+	if _, err := e.CreateStream("live", 6, 50); !errors.Is(err, lost) {
+		t.Fatalf("want wait failure, got %v", err)
+	}
+	cur, ok := e.StreamSet("live")
+	if !ok {
+		t.Fatal("logged create was not published")
+	}
+	batch := streamBatches(13, 6, 50, 1)[0]
+	if _, err := e.AppendStream("live", batch); !errors.Is(err, lost) {
+		t.Fatalf("want wait failure, got %v", err)
+	}
+	if got, _ := e.StreamSet("live"); got == cur {
+		t.Fatal("logged append was not published")
+	}
+}
+
+// TestInstallStream pins the recovery entry point: installed sets are
+// served as-is, bypass the sink, and later appends flow through it
+// against the installed watermark.
+func TestInstallStream(t *testing.T) {
+	// Build a recovered set out-of-band.
+	donor := New(Options{Workers: 1})
+	set, err := donor.CreateStream("x", 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := streamBatches(14, 6, 50, 3)
+	for _, b := range batches[:2] {
+		if set, err = donor.AppendStream("x", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	donor.Close()
+
+	sink := &recordingSink{}
+	e := New(Options{Workers: 2, Ingest: sink})
+	defer e.Close()
+	if err := e.InstallStream("live", set); err != nil {
+		t.Fatal(err)
+	}
+	if calls, _ := sink.snapshot(); len(calls) != 0 {
+		t.Fatalf("install reached the sink: %v", calls)
+	}
+	got, ok := e.StreamSet("live")
+	if !ok || got != set {
+		t.Fatal("installed set not served verbatim")
+	}
+	// Install over a live stream is refused.
+	if err := e.InstallStream("live", set); err == nil {
+		t.Fatal("double install accepted")
+	}
+	// A post-install append continues the stream through the sink.
+	if _, err := e.AppendStream("live", batches[2]); err != nil {
+		t.Fatal(err)
+	}
+	calls, _ := sink.snapshot()
+	if len(calls) != 1 || !strings.HasPrefix(calls[0], "append live ") {
+		t.Fatalf("post-install append saw %v", calls)
+	}
+	if names := e.StreamNames(); len(names) != 1 || names[0] != "live" {
+		t.Fatalf("StreamNames = %v", names)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"tvgwait/internal/faultinject"
@@ -45,6 +46,33 @@ const (
 type liveStream struct {
 	mu  sync.Mutex
 	cur *tvg.ContactSet
+}
+
+// IngestSink observes every state change of the stream registry before
+// it is published, so a durability layer (internal/store) can write a
+// WAL record for each one and gate the client ack on its fsync. The
+// contract:
+//
+//   - Both methods are called under the registry's ordering locks, so
+//     calls for one stream arrive in apply order and carry the revision
+//     they produced. They must be fast (log append, no fsync).
+//   - A non-nil error vetoes the change: the engine does NOT publish
+//     the new revision, and the client sees the failure. This is what
+//     makes "acked implies durable" an invariant rather than a race —
+//     nothing becomes visible that the log did not accept.
+//   - The returned wait (may be nil) blocks until the record is
+//     durable per the sink's fsync policy; the engine calls it after
+//     releasing its locks and before acking, so slow fsyncs serialize
+//     neither other streams nor readers of this one.
+type IngestSink interface {
+	StreamCreated(name string, set *tvg.ContactSet) (wait func() error, err error)
+	BatchAppended(name string, recs []tvg.ContactRecord, set *tvg.ContactSet) (wait func() error, err error)
+}
+
+// sinkErr wraps a sink veto: a server-side durability failure, not a
+// client mistake — tvgserve maps it to 500, not 400.
+func sinkErr(err error) error {
+	return fmt.Errorf("engine: durable log rejected the change: %w", err)
 }
 
 // IngestRequest is the body of cmd/tvgserve's POST /contacts: a batch
@@ -133,11 +161,11 @@ func (e *Engine) CreateStream(name string, nodes int, horizon tvg.Time) (*tvg.Co
 		return nil, specErr("horizon must be in [0, %d], got %d", maxHorizon, horizon)
 	}
 	e.streamsMu.Lock()
-	defer e.streamsMu.Unlock()
 	if s := e.streams[name]; s != nil {
 		s.mu.Lock()
 		cur := s.cur
 		s.mu.Unlock()
+		e.streamsMu.Unlock()
 		if cur.Graph().NumNodes() != nodes || cur.Horizon() != horizon {
 			return nil, specErr("stream %q exists with %d nodes and horizon %d",
 				name, cur.Graph().NumNodes(), cur.Horizon())
@@ -145,20 +173,81 @@ func (e *Engine) CreateStream(name string, nodes int, horizon tvg.Time) (*tvg.Co
 		return cur, nil
 	}
 	if len(e.streams) >= maxStreams {
+		e.streamsMu.Unlock()
 		return nil, specErr("at most %d streams", maxStreams)
 	}
 	b := e.builders.Get().(*tvg.Builder)
-	defer e.putBuilder(b)
 	b.Reset(nodes, horizon)
 	cur, err := b.Finalize()
+	e.putBuilder(b)
 	if err != nil {
+		e.streamsMu.Unlock()
 		return nil, specErr("%v", err)
+	}
+	// The sink sees the creation BEFORE it is published: a veto leaves
+	// the registry without the stream, so nothing un-logged is visible.
+	var wait func() error
+	if e.ingest != nil {
+		if wait, err = e.ingest.StreamCreated(name, cur); err != nil {
+			e.streamsMu.Unlock()
+			return nil, sinkErr(err)
+		}
 	}
 	if e.streams == nil {
 		e.streams = make(map[string]*liveStream)
 	}
 	e.streams[name] = &liveStream{cur: cur}
+	e.streamsMu.Unlock()
+	// Durability wait runs with no locks held: a slow fsync stalls only
+	// this caller's ack, never other streams or readers.
+	if wait != nil {
+		if err := wait(); err != nil {
+			return nil, sinkErr(err)
+		}
+	}
 	return cur, nil
+}
+
+// InstallStream registers a recovered stream at its restored revision,
+// bypassing the ingest sink — the store already holds everything the
+// set contains, so re-logging it would double the WAL on every boot.
+// Installing over an existing stream is an error; recovery runs before
+// the server accepts traffic, so there is nothing to race.
+func (e *Engine) InstallStream(name string, set *tvg.ContactSet) error {
+	if name == "" || len(name) > maxStreamName {
+		return specErr("stream name must be 1..%d bytes", maxStreamName)
+	}
+	if set == nil {
+		return specErr("nil contact set for stream %q", name)
+	}
+	if set.NumContacts() > maxStreamContacts {
+		return specErr("stream %q holds %d contacts, cap is %d", name, set.NumContacts(), maxStreamContacts)
+	}
+	e.streamsMu.Lock()
+	defer e.streamsMu.Unlock()
+	if e.streams[name] != nil {
+		return specErr("stream %q already exists", name)
+	}
+	if len(e.streams) >= maxStreams {
+		return specErr("at most %d streams", maxStreams)
+	}
+	if e.streams == nil {
+		e.streams = make(map[string]*liveStream)
+	}
+	e.streams[name] = &liveStream{cur: set}
+	return nil
+}
+
+// StreamNames returns the registered stream names, sorted.
+func (e *Engine) StreamNames() []string {
+	e.streamsMu.Lock()
+	names := make([]string, 0, len(e.streams))
+	for name := range e.streams {
+		names = append(names, name)
+	}
+	e.streamsMu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // AppendStream appends a batch of contact records to the named stream
@@ -175,15 +264,34 @@ func (e *Engine) AppendStream(name string, recs []tvg.ContactRecord) (*tvg.Conta
 		return nil, specErr("unknown stream %q", name)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.cur.NumContacts()+len(recs) > maxStreamContacts {
+		s.mu.Unlock()
 		return nil, specErr("stream %q would exceed %d contacts", name, maxStreamContacts)
 	}
 	next, err := s.cur.AppendContacts(recs)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, specErr("%v", err)
 	}
+	// Publish only after the sink logged the batch: a vetoed batch
+	// leaves s.cur at the prior revision, exactly like a validation
+	// failure, so "visible" always implies "in the log".
+	var wait func() error
+	if e.ingest != nil {
+		if wait, err = e.ingest.BatchAppended(name, recs, next); err != nil {
+			s.mu.Unlock()
+			return nil, sinkErr(err)
+		}
+	}
 	s.cur = next
+	s.mu.Unlock()
+	// Ack-after-durable: the fsync wait happens outside the stream
+	// lock, so readers and concurrent appends to other streams proceed.
+	if wait != nil {
+		if err := wait(); err != nil {
+			return nil, sinkErr(err)
+		}
+	}
 	return next, nil
 }
 

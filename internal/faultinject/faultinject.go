@@ -27,6 +27,15 @@ const (
 	SiteSweep Site = "sweep"
 	// SiteFlood fires at the start of every DTN flood task of a run.
 	SiteFlood Site = "flood"
+	// SiteWALAppend fires before every write-ahead-log append in the
+	// durability layer (internal/store), ahead of the disk write.
+	SiteWALAppend Site = "wal-append"
+	// SiteSnapshot fires before every snapshot file write (compaction
+	// and explicit snapshot calls).
+	SiteSnapshot Site = "snapshot"
+	// SiteRecover fires at the start of store recovery (snapshot scan +
+	// WAL replay), before any file is read.
+	SiteRecover Site = "recover"
 )
 
 // Hook is a fault-injection callback. Returning a non-nil error makes

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvgwait/internal/tvg"
+)
+
+// benchSet builds a contact set of roughly n contacts for snapshot
+// throughput benchmarks.
+func benchSet(b *testing.B, n int) *tvg.ContactSet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	nodes := 64
+	horizon := tvg.Time(n + 10)
+	bu := tvg.NewBuilder()
+	bu.Reset(nodes, horizon)
+	per := 8
+	for e := 0; e < n/per; e++ {
+		bu.StartEdge(tvg.Node(rng.Intn(nodes)), tvg.Node(rng.Intn(nodes)), 'x')
+		dep := tvg.Time(rng.Intn(10))
+		for k := 0; k < per; k++ {
+			bu.Append(dep, dep+1+tvg.Time(rng.Intn(4)))
+			dep += 1 + tvg.Time(rng.Intn(8))
+		}
+	}
+	cs, err := bu.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+// BenchmarkWALAppend prices one acked batch per fsync policy — the
+// latency a /contacts client pays for durability. Policies are the
+// ledger's headline numbers (BENCH_durability.json).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncBatch, SyncNone} {
+		b.Run(policy.String(), func(b *testing.B) {
+			w, err := OpenWAL(b.TempDir(), WALOptions{Policy: policy}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			recs := make([]tvg.ContactRecord, 32)
+			for i := range recs {
+				recs[i] = tvg.ContactRecord{From: 0, To: 1, Dep: tvg.Time(i + 1), Arr: tvg.Time(i + 2)}
+			}
+			rec := &Record{Type: RecAppend, Stream: "bench", Recs: recs}
+			b.SetBytes(int64(len(encodeRecord(nil, rec))))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, wait, err := w.Append(rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotWrite prices the atomic snapshot write (encode +
+// fsync + rename), in MB/s via SetBytes.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	cs := benchSet(b, 100_000)
+	snap := &Snapshot{Stream: "bench", Raw: cs.Raw()}
+	b.SetBytes(int64(len(EncodeSnapshot(snap))))
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Seq = uint64(i + 1)
+		if _, err := WriteSnapshotFile(dir, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad prices decode + full CSR validation + set
+// assembly, in MB/s via SetBytes.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	cs := benchSet(b, 100_000)
+	img := EncodeSnapshot(&Snapshot{Stream: "bench", Seq: 1, Raw: cs.Raw()})
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Restore(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALReplay prices recovery replay throughput: records
+// decoded and applied through AppendContacts, in contacts/s (reported
+// as a custom metric alongside ns/op).
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Policy: SyncNone}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batches, per = 200, 32
+	if _, wait, err := w.Append(&Record{Type: RecCreate, Stream: "bench", Nodes: 64, Horizon: batches*per + 10}); err != nil {
+		b.Fatal(err)
+	} else if err := wait(); err != nil {
+		b.Fatal(err)
+	}
+	dep := tvg.Time(0)
+	for i := 0; i < batches; i++ {
+		recs := make([]tvg.ContactRecord, per)
+		for k := range recs {
+			dep++
+			recs[k] = tvg.ContactRecord{From: tvg.Node(k % 64), To: tvg.Node((k + 1) % 64), Dep: dep, Arr: dep + 2}
+		}
+		if _, wait, err := w.Append(&Record{Type: RecAppend, Stream: "bench", Recs: recs}); err != nil {
+			b.Fatal(err)
+		} else if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var contacts int
+		s, _, err := Open(dir, Options{Policy: SyncNone})
+		if err != nil {
+			b.Fatal(err)
+		}
+		contacts = int(s.stats.RecoveredRecords.Value())
+		s.Close()
+		if contacts == 0 {
+			b.Fatal("nothing replayed")
+		}
+	}
+	b.ReportMetric(float64(batches*per), "contacts/op")
+}

@@ -1,0 +1,227 @@
+// Package store is the durability layer under the live ingest
+// pipeline: a write-ahead log for /contacts batches plus versioned,
+// checksummed binary ContactSet snapshots, so a tvgserve restart — or a
+// SIGKILL mid-ingest — recovers every acknowledged batch and resumes
+// each stream at its exact watermark. See DESIGN.md §12 for the on-disk
+// layout, the fsync/ack ordering contract, the torn-tail rule and the
+// compaction invariant.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+
+	"tvgwait/internal/tvg"
+)
+
+// Typed decode errors. Everything the snapshot and WAL readers reject
+// is classified as one of these (possibly wrapped with positional
+// detail); corrupt input never panics and never allocates more than the
+// input's own size.
+var (
+	// ErrBadMagic reports a file that is not in this format at all.
+	ErrBadMagic = errors.New("store: bad magic")
+	// ErrBadVersion reports a format version this build cannot read.
+	ErrBadVersion = errors.New("store: unsupported format version")
+	// ErrChecksum reports a section or record whose CRC32C does not
+	// match its payload — bit rot, a torn write, or tampering.
+	ErrChecksum = errors.New("store: checksum mismatch")
+	// ErrTruncated reports a file shorter than its own declared layout.
+	ErrTruncated = errors.New("store: truncated file")
+	// ErrCorrupt reports structurally invalid content behind valid
+	// checksums (impossible offsets, invariant-violating CSR arrays).
+	ErrCorrupt = errors.New("store: corrupt content")
+)
+
+// crcTable is the Castagnoli polynomial table; CRC32C has hardware
+// support on every deployment target.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(p []byte) uint32 { return crc32.Checksum(p, crcTable) }
+
+// hostLittleEndian gates the bulk-copy fast paths: on little-endian
+// hosts (every supported target today) a []int32 or []Contact section
+// is one memmove; elsewhere the portable per-field codec runs.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// contactWire is the on-disk size of one contact: five little-endian
+// 64-bit fields (edge, from, to, dep, arr).
+const contactWire = 40
+
+// contactsCastable reports whether the in-memory tvg.Contact layout
+// matches the wire layout exactly, enabling the memmove fast path.
+var contactsCastable = hostLittleEndian && unsafe.Sizeof(tvg.Contact{}) == contactWire &&
+	unsafe.Sizeof(tvg.EdgeID(0)) == 8 && unsafe.Sizeof(tvg.Node(0)) == 8
+
+// appendContacts encodes contacts little-endian onto dst.
+func appendContacts(dst []byte, cts []tvg.Contact) []byte {
+	if len(cts) == 0 {
+		return dst
+	}
+	if contactsCastable {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(&cts[0])), len(cts)*contactWire)
+		return append(dst, raw...)
+	}
+	var buf [contactWire]byte
+	for i := range cts {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(cts[i].Edge))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(cts[i].From))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(cts[i].To))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(cts[i].Dep))
+		binary.LittleEndian.PutUint64(buf[32:], uint64(cts[i].Arr))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// decodeContacts decodes a contacts section into a fresh slice. The
+// caller has already validated len(p) against the file size, so the
+// allocation is bounded by the input.
+func decodeContacts(p []byte) ([]tvg.Contact, error) {
+	if len(p)%contactWire != 0 {
+		return nil, fmt.Errorf("%w: contacts section length %d not a record multiple", ErrCorrupt, len(p))
+	}
+	n := len(p) / contactWire
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]tvg.Contact, n)
+	if contactsCastable {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), len(p)), p)
+		return out, nil
+	}
+	for i := range out {
+		rec := p[i*contactWire:]
+		out[i] = tvg.Contact{
+			Edge: tvg.EdgeID(binary.LittleEndian.Uint64(rec[0:])),
+			From: tvg.Node(binary.LittleEndian.Uint64(rec[8:])),
+			To:   tvg.Node(binary.LittleEndian.Uint64(rec[16:])),
+			Dep:  tvg.Time(binary.LittleEndian.Uint64(rec[24:])),
+			Arr:  tvg.Time(binary.LittleEndian.Uint64(rec[32:])),
+		}
+	}
+	return out, nil
+}
+
+// appendInt32s encodes an int32 section little-endian onto dst.
+func appendInt32s(dst []byte, vs []int32) []byte {
+	if len(vs) == 0 {
+		return dst
+	}
+	if hostLittleEndian {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4)
+		return append(dst, raw...)
+	}
+	var buf [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// decodeInt32s decodes an int32 section into a fresh slice.
+func decodeInt32s(p []byte) ([]int32, error) {
+	if len(p)%4 != 0 {
+		return nil, fmt.Errorf("%w: int32 section length %d not a multiple of 4", ErrCorrupt, len(p))
+	}
+	n := len(p) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), len(p)), p)
+		return out, nil
+	}
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	return out, nil
+}
+
+// edgeWire is the on-disk size of one edge-table entry: from, to
+// (int64) and label (int32, padded to int64 for alignment).
+const edgeWire = 24
+
+// appendEdges encodes the edge table little-endian onto dst.
+func appendEdges(dst []byte, es []tvg.RawEdge) []byte {
+	var buf [edgeWire]byte
+	for i := range es {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(es[i].From))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(es[i].To))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(uint32(es[i].Label)))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// decodeEdges decodes an edge table into a fresh slice.
+func decodeEdges(p []byte) ([]tvg.RawEdge, error) {
+	if len(p)%edgeWire != 0 {
+		return nil, fmt.Errorf("%w: edge section length %d not a record multiple", ErrCorrupt, len(p))
+	}
+	out := make([]tvg.RawEdge, len(p)/edgeWire)
+	for i := range out {
+		rec := p[i*edgeWire:]
+		out[i] = tvg.RawEdge{
+			From:  tvg.Node(binary.LittleEndian.Uint64(rec[0:])),
+			To:    tvg.Node(binary.LittleEndian.Uint64(rec[8:])),
+			Label: tvg.Symbol(int32(uint32(binary.LittleEndian.Uint64(rec[16:])))),
+		}
+	}
+	return out, nil
+}
+
+// appendStrings encodes a string table: count, then len-prefixed bytes.
+func appendStrings(dst []byte, ss []string) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(ss)))
+	dst = append(dst, buf[:]...)
+	for _, s := range ss {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(s)))
+		dst = append(dst, buf[:]...)
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// decodeStrings decodes a string table. Declared lengths are validated
+// against the section size before any allocation.
+func decodeStrings(p []byte) ([]string, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: string table shorter than its count", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	if uint64(n) > uint64(len(p)) { // each entry costs >= 4 bytes of prefix alone
+		return nil, fmt.Errorf("%w: string table declares %d entries in %d bytes", ErrCorrupt, n, len(p))
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("%w: string table entry %d has no length prefix", ErrCorrupt, i)
+		}
+		l := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		if uint64(l) > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: string table entry %d declares %d bytes, %d remain", ErrCorrupt, i, l, len(p))
+		}
+		out = append(out, string(p[:l]))
+		p = p[l:]
+	}
+	return out, nil
+}
+
+// mulFits reports whether a*b fits an int without overflow — the guard
+// in front of every size computation derived from untrusted headers.
+func mulFits(a, b int) bool {
+	return a >= 0 && b >= 0 && (a == 0 || b <= math.MaxInt/a)
+}

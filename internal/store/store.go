@@ -1,0 +1,467 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"tvgwait/internal/faultinject"
+	"tvgwait/internal/obs"
+	"tvgwait/internal/tvg"
+)
+
+// Store ties the snapshot format and the WAL into the durability layer
+// tvgserve mounts under its engine:
+//
+//   - Open recovers: newest valid snapshot per stream (falling back
+//     past corrupt ones, which are quarantined as *.corrupt), then the
+//     WAL suffix replayed through tvg.AppendContacts — so a restarted
+//     process resumes every stream at its recovered watermark,
+//     bit-identical to one that never crashed.
+//   - StreamCreated / BatchAppended implement the engine's IngestSink:
+//     each acked ingest batch becomes one CRC-framed WAL record whose
+//     durability wait gates the HTTP ack.
+//   - The compactor rolls the WAL into fresh snapshots past a size
+//     threshold and prunes only segments fully covered by durable
+//     snapshots.
+type Store struct {
+	dir   string
+	opts  Options
+	wal   *WAL
+	fault faultinject.Hook
+	logf  func(string, ...any)
+
+	mu      sync.Mutex
+	streams map[string]*streamState
+	// snapSeq is the next snapshot sequence number per stream; snapshot
+	// files sort by it, so recovery's "newest" is well defined even
+	// across compactions.
+	snapSeq map[string]uint64
+	// snapFiles tracks each stream's valid on-disk snapshots (ascending
+	// seq). WAL pruning keys off the OLDEST RETAINED generation, so a
+	// corrupt newest snapshot can always fall back to the previous one
+	// plus the still-retained WAL suffix without losing acked records.
+	snapFiles map[string][]snapMeta
+
+	compactStop chan struct{}
+	compactDone chan struct{}
+	compacting  sync.Mutex // serializes Compact against itself
+	closed      bool
+
+	stats Stats
+}
+
+// streamState is the store's view of one live stream: the latest
+// revision and the LSN of the last WAL record applied to it. Both are
+// updated together under Store.mu, so the compactor always snapshots a
+// consistent (set, coveredLSN) pair.
+type streamState struct {
+	cur     *tvg.ContactSet
+	lastLSN uint64
+}
+
+// snapMeta is the pruning-relevant header of one on-disk snapshot.
+type snapMeta struct {
+	seq     uint64
+	covered uint64
+}
+
+// Stats counts the store's work; tvgserve registers them on its obs
+// registry.
+type Stats struct {
+	WALRecords       obs.Counter // records appended this process
+	WALBytes         obs.Gauge   // current on-disk WAL footprint
+	Compactions      obs.Counter // successful compaction rounds
+	SnapshotsWritten obs.Counter // snapshot files written
+	SegmentsPruned   obs.Counter // WAL segments deleted by compaction
+	RecoveredStreams obs.Counter // streams restored at Open
+	RecoveredRecords obs.Counter // WAL records replayed at Open
+	CorruptFiles     obs.Counter // snapshot files quarantined at Open
+}
+
+// Options configures Open.
+type Options struct {
+	// Policy selects the WAL fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// SegmentBytes is the WAL roll threshold (default 8 MiB).
+	SegmentBytes int64
+	// CompactBytes triggers compaction once the WAL's total footprint
+	// exceeds it (default 4× SegmentBytes; negative disables the
+	// background compactor's trigger, Compact still works).
+	CompactBytes int64
+	// KeepSnapshots is how many snapshot files compaction retains per
+	// stream (default 2: the newest plus one fallback).
+	KeepSnapshots int
+	// Fault is fired at SiteWALAppend, SiteSnapshot and SiteRecover.
+	Fault faultinject.Hook
+	// Logf, when non-nil, receives recovery and compaction notices
+	// (quarantined files, truncated tails, compaction rounds).
+	Logf func(string, ...any)
+}
+
+// Open recovers the data directory and returns the store positioned to
+// log new ingest. The returned map holds every recovered stream's
+// latest revision; the caller installs them into its engine before
+// serving.
+func Open(dir string, opts Options) (*Store, map[string]*tvg.ContactSet, error) {
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	if opts.CompactBytes == 0 {
+		segBytes := opts.SegmentBytes
+		if segBytes <= 0 {
+			segBytes = DefaultSegmentBytes
+		}
+		opts.CompactBytes = 4 * segBytes
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		fault:     opts.Fault,
+		logf:      opts.Logf,
+		streams:   make(map[string]*streamState),
+		snapSeq:   make(map[string]uint64),
+		snapFiles: make(map[string][]snapMeta),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if err := s.fault.Fire(faultinject.SiteRecover); err != nil {
+		return nil, nil, fmt.Errorf("store: recover fault: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if err := s.recoverSnapshots(); err != nil {
+		return nil, nil, err
+	}
+	wal, err := OpenWAL(dir, WALOptions{
+		Policy:       opts.Policy,
+		SegmentBytes: opts.SegmentBytes,
+		Fault:        opts.Fault,
+	}, s.replayRecord)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.wal = wal
+	s.stats.WALBytes.Set(wal.Size())
+
+	out := make(map[string]*tvg.ContactSet, len(s.streams))
+	for name, st := range s.streams {
+		out[name] = st.cur
+		s.stats.RecoveredStreams.Inc()
+	}
+	return s, out, nil
+}
+
+// recoverSnapshots scans *.tvgs, loads the newest valid snapshot per
+// stream, and quarantines files that fail decode or validation by
+// renaming them *.corrupt — recovery falls back to the next-newest.
+func (s *Store) recoverSnapshots() error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*"+SnapshotExt))
+	if err != nil {
+		return err
+	}
+	type cand struct {
+		path string
+		snap *Snapshot
+		set  *tvg.ContactSet
+	}
+	byStream := make(map[string][]cand)
+	for _, path := range paths {
+		snap, set, err := ReadSnapshotFile(path)
+		if err != nil {
+			s.logf("store: quarantining corrupt snapshot %s: %v", filepath.Base(path), err)
+			s.stats.CorruptFiles.Inc()
+			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+				return fmt.Errorf("store: quarantine %s: %w", filepath.Base(path), rerr)
+			}
+			continue
+		}
+		byStream[snap.Stream] = append(byStream[snap.Stream], cand{path, snap, set})
+		if snap.Seq >= s.snapSeq[snap.Stream] {
+			s.snapSeq[snap.Stream] = snap.Seq + 1
+		}
+	}
+	for name, cands := range byStream {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].snap.Seq > cands[j].snap.Seq })
+		best := cands[0]
+		s.streams[name] = &streamState{cur: best.set, lastLSN: best.snap.CoveredLSN}
+		for i := len(cands) - 1; i >= 0; i-- { // ascending seq
+			s.snapFiles[name] = append(s.snapFiles[name], snapMeta{seq: cands[i].snap.Seq, covered: cands[i].snap.CoveredLSN})
+		}
+	}
+	return nil
+}
+
+// replayRecord applies one WAL record during recovery. Records already
+// folded into the stream's snapshot (LSN at or below its CoveredLSN)
+// are skipped — replay is a pure suffix per stream.
+func (s *Store) replayRecord(rec *Record) error {
+	st := s.streams[rec.Stream]
+	if st != nil && rec.LSN <= st.lastLSN {
+		return nil
+	}
+	switch rec.Type {
+	case RecCreate:
+		if st != nil {
+			// A create behind an uncovered LSN for a live stream means the
+			// snapshot and log disagree about the stream's identity.
+			return fmt.Errorf("%w: create record for existing stream %q at LSN %d", ErrCorrupt, rec.Stream, rec.LSN)
+		}
+		b := tvg.NewBuilder()
+		b.Reset(rec.Nodes, rec.Horizon)
+		cur, err := b.Finalize()
+		if err != nil {
+			return fmt.Errorf("%w: replay create %q: %v", ErrCorrupt, rec.Stream, err)
+		}
+		s.streams[rec.Stream] = &streamState{cur: cur, lastLSN: rec.LSN}
+	case RecAppend:
+		if st == nil {
+			return fmt.Errorf("%w: append record for unknown stream %q at LSN %d", ErrCorrupt, rec.Stream, rec.LSN)
+		}
+		next, err := st.cur.AppendContacts(rec.Recs)
+		if err != nil {
+			return fmt.Errorf("%w: replay append %q at LSN %d: %v", ErrCorrupt, rec.Stream, rec.LSN, err)
+		}
+		st.cur, st.lastLSN = next, rec.LSN
+	default:
+		return fmt.Errorf("%w: record type %d", ErrCorrupt, rec.Type)
+	}
+	s.stats.RecoveredRecords.Inc()
+	return nil
+}
+
+// StreamCreated implements engine.IngestSink: logs the creation and
+// returns the durability wait. Called under the engine's per-stream
+// ordering, before the creation is acked upstream.
+func (s *Store) StreamCreated(name string, set *tvg.ContactSet) (func() error, error) {
+	rec := &Record{
+		Type: RecCreate, Stream: name,
+		Nodes: set.Graph().NumNodes(), Horizon: set.Horizon(),
+	}
+	lsn, wait, err := s.wal.Append(rec)
+	if err != nil {
+		return nil, err
+	}
+	s.noteApplied(name, set, lsn)
+	return wait, nil
+}
+
+// BatchAppended implements engine.IngestSink: logs one applied batch
+// and returns the durability wait that gates the HTTP ack.
+func (s *Store) BatchAppended(name string, recs []tvg.ContactRecord, set *tvg.ContactSet) (func() error, error) {
+	rec := &Record{Type: RecAppend, Stream: name, Recs: recs}
+	lsn, wait, err := s.wal.Append(rec)
+	if err != nil {
+		return nil, err
+	}
+	s.noteApplied(name, set, lsn)
+	return wait, nil
+}
+
+func (s *Store) noteApplied(name string, set *tvg.ContactSet, lsn uint64) {
+	s.stats.WALRecords.Inc()
+	s.mu.Lock()
+	st := s.streams[name]
+	if st == nil {
+		st = &streamState{}
+		s.streams[name] = st
+	}
+	st.cur, st.lastLSN = set, lsn
+	s.mu.Unlock()
+}
+
+// Compact rolls the WAL, snapshots every live stream at its current
+// revision, prunes sealed segments fully covered by those snapshots,
+// and trims each stream's snapshot files to the retention count. It is
+// safe to call concurrently with ingest; rounds are serialized.
+func (s *Store) Compact() error {
+	s.compacting.Lock()
+	defer s.compacting.Unlock()
+
+	sealedLSN, err := s.wal.Roll()
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	type snapJob struct {
+		name string
+		st   streamState
+	}
+	jobs := make([]snapJob, 0, len(s.streams))
+	for name, st := range s.streams {
+		jobs = append(jobs, snapJob{name, *st})
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].name < jobs[j].name })
+
+	for _, job := range jobs {
+		if err := s.fault.Fire(faultinject.SiteSnapshot); err != nil {
+			return fmt.Errorf("store: snapshot fault: %w", err)
+		}
+		s.mu.Lock()
+		seq := s.snapSeq[job.name]
+		if seq == 0 {
+			seq = 1
+		}
+		s.snapSeq[job.name] = seq + 1
+		s.mu.Unlock()
+		snap := &Snapshot{
+			Stream: job.name, Seq: seq,
+			CoveredLSN: job.st.lastLSN,
+			Raw:        job.st.cur.Raw(),
+		}
+		if _, err := WriteSnapshotFile(s.dir, snap); err != nil {
+			return fmt.Errorf("store: snapshot %q: %w", job.name, err)
+		}
+		s.stats.SnapshotsWritten.Inc()
+		s.mu.Lock()
+		s.snapFiles[job.name] = append(s.snapFiles[job.name], snapMeta{seq: seq, covered: job.st.lastLSN})
+		s.mu.Unlock()
+		s.trimSnapshots(job.name)
+	}
+
+	// The compaction invariant: a segment dies only when every record in
+	// it is held by a RETAINED durable snapshot — not merely the newest
+	// one, which corruption tolerance may have to fall back past. Each
+	// stream's prune horizon is therefore the covered LSN of its oldest
+	// retained snapshot, and only once its retention window is full; the
+	// global horizon is the minimum across streams. Segments sealed
+	// after the roll (by concurrent ingest) carry higher LSNs and
+	// survive regardless.
+	prune := sealedLSN
+	s.mu.Lock()
+	for _, metas := range s.snapFiles {
+		var h uint64 // 0 until the retention window fills: prune nothing
+		if len(metas) >= s.opts.KeepSnapshots {
+			h = metas[len(metas)-s.opts.KeepSnapshots].covered
+		}
+		if h < prune {
+			prune = h
+		}
+	}
+	s.mu.Unlock()
+	pruned, err := s.wal.PruneSealed(prune)
+	if err != nil {
+		return fmt.Errorf("store: prune: %w", err)
+	}
+	s.stats.SegmentsPruned.Add(int64(pruned))
+	s.stats.Compactions.Inc()
+	s.stats.WALBytes.Set(s.wal.Size())
+	s.logf("store: compacted: %d streams snapshotted, %d segments pruned", len(jobs), pruned)
+	return nil
+}
+
+// trimSnapshots deletes the named stream's oldest snapshot files past
+// the retention count. Best-effort: an undeletable file only logs (and
+// its meta is kept, so pruning stays conservative).
+func (s *Store) trimSnapshots(name string) {
+	s.mu.Lock()
+	metas := s.snapFiles[name]
+	drop := len(metas) - s.opts.KeepSnapshots
+	if drop <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	victims := append([]snapMeta(nil), metas[:drop]...)
+	s.snapFiles[name] = append(metas[:0:0], metas[drop:]...)
+	s.mu.Unlock()
+	for _, m := range victims {
+		path := SnapshotPath(s.dir, name, m.seq)
+		if rerr := os.Remove(path); rerr != nil {
+			s.logf("store: trim snapshot %s: %v", filepath.Base(path), rerr)
+		}
+	}
+}
+
+// StartCompactor launches the background compaction goroutine: every
+// interval (default 1s) it checks the WAL footprint against
+// CompactBytes and compacts past it. Stop with Close.
+func (s *Store) StartCompactor(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.compactStop != nil || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.compactStop = make(chan struct{})
+	s.compactDone = make(chan struct{})
+	stop, done := s.compactStop, s.compactDone
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if s.opts.CompactBytes < 0 {
+					continue
+				}
+				size := s.wal.Size()
+				s.stats.WALBytes.Set(size)
+				if size < s.opts.CompactBytes {
+					continue
+				}
+				if err := s.Compact(); err != nil {
+					s.mu.Lock()
+					closed := s.closed
+					s.mu.Unlock()
+					if !closed {
+						s.logf("store: compaction failed: %v", err)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// WAL exposes the log for tests and the drain path.
+func (s *Store) WAL() *WAL { return s.wal }
+
+// StatsRef returns the store's counters for registry wiring.
+func (s *Store) StatsRef() *Stats { return &s.stats }
+
+// Register wires the store's instruments onto reg under the
+// tvg_store_* namespace.
+func (s *Store) Register(reg *obs.Registry) {
+	reg.RegisterCounter("tvg_store_wal_records_total", "", "WAL records appended", &s.stats.WALRecords)
+	reg.RegisterGauge("tvg_store_wal_bytes", "", "on-disk WAL footprint in bytes", &s.stats.WALBytes)
+	reg.RegisterCounter("tvg_store_compactions_total", "", "compaction rounds completed", &s.stats.Compactions)
+	reg.RegisterCounter("tvg_store_snapshots_written_total", "", "snapshot files written", &s.stats.SnapshotsWritten)
+	reg.RegisterCounter("tvg_store_segments_pruned_total", "", "WAL segments deleted by compaction", &s.stats.SegmentsPruned)
+	reg.RegisterCounter("tvg_store_recovered_streams_total", "", "streams restored at startup", &s.stats.RecoveredStreams)
+	reg.RegisterCounter("tvg_store_recovered_records_total", "", "WAL records replayed at startup", &s.stats.RecoveredRecords)
+	reg.RegisterCounter("tvg_store_corrupt_files_total", "", "snapshot files quarantined at startup", &s.stats.CorruptFiles)
+}
+
+// Sync forces everything logged so far onto disk regardless of policy
+// — the -drain path calls it before the engine closes.
+func (s *Store) Sync() error { return s.wal.Sync() }
+
+// Close stops the compactor, flushes and fsyncs the WAL, and closes
+// it. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop, done := s.compactStop, s.compactDone
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return s.wal.Close()
+}

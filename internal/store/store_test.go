@@ -1,0 +1,396 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tvgwait/internal/faultinject"
+	"tvgwait/internal/tvg"
+)
+
+// sim drives a Store exactly like the engine's ingest path does:
+// create streams, append watermark-ordered batches, keep the latest
+// revision per stream, and wait for durability after every record.
+type sim struct {
+	t    *testing.T
+	s    *Store
+	sets map[string]*tvg.ContactSet
+}
+
+func newSim(t *testing.T, s *Store) *sim {
+	return &sim{t: t, s: s, sets: make(map[string]*tvg.ContactSet)}
+}
+
+func (m *sim) adopt(recovered map[string]*tvg.ContactSet) {
+	for name, set := range recovered {
+		m.sets[name] = set
+	}
+}
+
+func (m *sim) create(name string, nodes int, horizon tvg.Time) {
+	m.t.Helper()
+	b := tvg.NewBuilder()
+	b.Reset(nodes, horizon)
+	cs, err := b.Finalize()
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	wait, err := m.s.StreamCreated(name, cs)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		m.t.Fatal(err)
+	}
+	m.sets[name] = cs
+}
+
+func (m *sim) append(name string, recs []tvg.ContactRecord) {
+	m.t.Helper()
+	next, err := m.sets[name].AppendContacts(recs)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	wait, err := m.s.BatchAppended(name, recs, next)
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		m.t.Fatal(err)
+	}
+	m.sets[name] = next
+}
+
+// randBatches returns watermark-ordered random batches for one stream.
+func randBatches(rng *rand.Rand, nodes int, horizon tvg.Time, n int) [][]tvg.ContactRecord {
+	var out [][]tvg.ContactRecord
+	dep := tvg.Time(0)
+	for b := 0; b < n && dep < horizon-1; b++ {
+		batch := make([]tvg.ContactRecord, 0, 4)
+		for i := 0; i < 1+rng.Intn(4) && dep < horizon-1; i++ {
+			dep++
+			batch = append(batch, tvg.ContactRecord{
+				From: tvg.Node(rng.Intn(nodes)), To: tvg.Node(rng.Intn(nodes)),
+				Dep: dep, Arr: dep + 1 + tvg.Time(rng.Intn(5)),
+			})
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// TestStoreRecoverFromWALOnly pins pure WAL recovery: no snapshot ever
+// written, reopen must rebuild every stream bit-identically from the
+// log alone.
+func TestStoreRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh dir recovered %d streams", len(recovered))
+	}
+	m := newSim(t, s)
+	rng := rand.New(rand.NewSource(1))
+	m.create("alpha", 8, 500)
+	m.create("beta", 5, 200)
+	for _, b := range randBatches(rng, 8, 500, 10) {
+		m.append("alpha", b)
+	}
+	for _, b := range randBatches(rng, 5, 200, 6) {
+		m.append("beta", b)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(recovered2) != 2 {
+		t.Fatalf("recovered %d streams, want 2", len(recovered2))
+	}
+	for name, want := range m.sets {
+		assertSameSet(t, want, recovered2[name])
+	}
+	// The recovered store keeps ingesting from the recovered watermark.
+	m2 := newSim(t, s2)
+	m2.adopt(recovered2)
+	last := m2.sets["alpha"].LastDep()
+	m2.append("alpha", []tvg.ContactRecord{{From: 0, To: 1, Dep: last + 1, Arr: last + 2}})
+}
+
+// TestStoreCompactionRoundTrip pins the tentpole loop: ingest, compact
+// (snapshot + prune), more ingest, crash-less reopen — the recovered
+// state equals the live state, and compaction actually shed WAL
+// segments while keeping only the retention count of snapshots.
+func TestStoreCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{SegmentBytes: 512, KeepSnapshots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newSim(t, s)
+	rng := rand.New(rand.NewSource(2))
+	m.create("live", 10, 2000)
+	batches := randBatches(rng, 10, 2000, 40)
+	for i, b := range batches {
+		m.append("live", b)
+		if i%10 == 9 {
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := s.stats.SegmentsPruned.Value(); got == 0 {
+		t.Fatal("compaction pruned no segments at a 512-byte roll threshold")
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
+	if len(snaps) > 2 {
+		t.Fatalf("%d snapshot files kept, retention is 2", len(snaps))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertSameSet(t, m.sets["live"], recovered["live"])
+}
+
+// TestStoreSnapshotFallback pins corruption tolerance: when the newest
+// snapshot is damaged, recovery quarantines it, falls back to the
+// previous one, and replays the WAL suffix — ending at the same state.
+func TestStoreSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newSim(t, s)
+	rng := rand.New(rand.NewSource(3))
+	m.create("live", 6, 1000)
+	batches := randBatches(rng, 6, 1000, 20)
+	for i, b := range batches {
+		m.append("live", b)
+		if i == 5 || i == 12 {
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage the newest snapshot (the highest seq for the stream).
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
+	if len(snaps) < 2 {
+		t.Fatalf("need >= 2 snapshots, have %d", len(snaps))
+	}
+	newest := snaps[len(snaps)-1]
+	img, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0xff
+	if err := os.WriteFile(newest, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertSameSet(t, m.sets["live"], recovered["live"])
+	if s2.stats.CorruptFiles.Value() != 1 {
+		t.Fatalf("quarantined %d files, want 1", s2.stats.CorruptFiles.Value())
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	// The quarantined file is ignored on the next open too.
+	s2.Close()
+	s3, recovered3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	assertSameSet(t, m.sets["live"], recovered3["live"])
+}
+
+// TestStoreAllSnapshotsCorrupt pins the deepest fallback: every
+// snapshot damaged, recovery rebuilds purely from the WAL (which
+// compaction never pruned past a durable snapshot — but quarantining
+// the snapshots must not lose the segments still on disk).
+func TestStoreAllSnapshotsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newSim(t, s)
+	m.create("live", 4, 100)
+	m.append("live", []tvg.ContactRecord{{From: 0, To: 1, Dep: 1, Arr: 2}})
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	m.append("live", []tvg.ContactRecord{{From: 1, To: 2, Dep: 2, Arr: 4}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "*"+SnapshotExt))
+	for _, p := range snaps {
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshots are gone; recovery must fail loudly IF the WAL alone
+	// cannot reproduce the state (pruned segments), or succeed exactly
+	// when it can. Here Compact ran once but the create+append records
+	// lived in the still-active segment, so nothing was pruned.
+	s2, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertSameSet(t, m.sets["live"], recovered["live"])
+}
+
+// TestStoreBackgroundCompactor pins the goroutine lifecycle: the
+// compactor fires past the threshold and Close joins it (the leak
+// check lives in cmd/tvgserve's TestMain goroutine accounting; here we
+// assert observable compaction work and a clean double Close).
+func TestStoreBackgroundCompactor(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{SegmentBytes: 512, CompactBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartCompactor(time.Millisecond)
+	m := newSim(t, s)
+	rng := rand.New(rand.NewSource(4))
+	m.create("live", 8, 5000)
+	for _, b := range randBatches(rng, 8, 5000, 60) {
+		m.append("live", b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.stats.Compactions.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.stats.Compactions.Value() == 0 {
+		t.Fatal("background compactor never fired")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// State intact after background compaction.
+	s2, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertSameSet(t, m.sets["live"], recovered["live"])
+}
+
+// TestStoreFaultSites pins the three injection seams end to end.
+func TestStoreFaultSites(t *testing.T) {
+	boom := errors.New("boom")
+	t.Run("recover", func(t *testing.T) {
+		_, _, err := Open(t.TempDir(), Options{
+			Fault: faultinject.OnSite(faultinject.SiteRecover, faultinject.FailEvery(1, boom)),
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("want injected recover failure, got %v", err)
+		}
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		s, _, err := Open(t.TempDir(), Options{
+			Fault: faultinject.OnSite(faultinject.SiteSnapshot, faultinject.FailEvery(1, boom)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		m := newSim(t, s)
+		m.create("live", 4, 10)
+		if err := s.Compact(); !errors.Is(err, boom) {
+			t.Fatalf("want injected snapshot failure, got %v", err)
+		}
+	})
+	t.Run("wal-append", func(t *testing.T) {
+		s, _, err := Open(t.TempDir(), Options{
+			Fault: faultinject.OnSite(faultinject.SiteWALAppend, faultinject.FailEvery(1, boom)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		b := tvg.NewBuilder()
+		b.Reset(4, 10)
+		cs, _ := b.Finalize()
+		if _, err := s.StreamCreated("live", cs); !errors.Is(err, boom) {
+			t.Fatalf("want injected append failure, got %v", err)
+		}
+	})
+}
+
+// TestStoreManyStreams pins multi-stream recovery ordering: records of
+// interleaved streams replay to per-stream-identical states.
+func TestStoreManyStreams(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newSim(t, s)
+	rng := rand.New(rand.NewSource(5))
+	const streams = 6
+	batches := make([][][]tvg.ContactRecord, streams)
+	for i := 0; i < streams; i++ {
+		m.create(fmt.Sprintf("s%d", i), 6, 800)
+		batches[i] = randBatches(rng, 6, 800, 12)
+	}
+	// Interleave appends round-robin, with a mid-flight compaction.
+	for round := 0; round < 12; round++ {
+		for i := 0; i < streams; i++ {
+			if round < len(batches[i]) {
+				m.append(fmt.Sprintf("s%d", i), batches[i][round])
+			}
+		}
+		if round == 6 {
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, recovered, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(recovered) != streams {
+		t.Fatalf("recovered %d streams, want %d", len(recovered), streams)
+	}
+	for name, want := range m.sets {
+		assertSameSet(t, want, recovered[name])
+	}
+}

@@ -1,0 +1,688 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"tvgwait/internal/faultinject"
+	"tvgwait/internal/tvg"
+)
+
+// WAL segment layout ("TVGWAL01", little-endian):
+//
+//	header   magic[8] version u32 segSeq u64 hcrc u32
+//	records  × { size u32 crc u32 payload }
+//
+// payload: type u8, lsn u64, nameLen u32, name, then per type —
+// create: nodes i64 horizon i64; append: count u32, count × (from, to,
+// dep, arr as i64). LSNs are assigned once, strictly increasing across
+// segment rolls, and never reused, so replay after any snapshot is a
+// pure suffix filter on lsn > coveredLSN.
+//
+// Durability contract (the fsync/ack ordering of DESIGN.md §12): a
+// record is DURABLE once its bytes and frame are fsynced. Append
+// returns a wait func that blocks until the record's LSN is durable
+// under the configured policy; the ingest path acks HTTP requests only
+// after that wait returns. A segment is SEALED by fsync+close on roll,
+// so only the newest segment can ever hold a torn tail — and a torn
+// tail is exactly what a crash between write and fsync produces, which
+// is why OpenWAL truncates it silently instead of erroring: those
+// records were never acked.
+
+const (
+	walMagic      = "TVGWAL01"
+	walVersion    = 1
+	walHeaderWire = 8 + 4 + 8 + 4
+	walFrameWire  = 4 + 4
+
+	// RecCreate logs a stream creation (name, nodes, horizon).
+	RecCreate byte = 1
+	// RecAppend logs one acked /contacts batch.
+	RecAppend byte = 2
+
+	// maxWALRecordBytes caps a single record's declared payload — far
+	// above the engine's batch cap, low enough that a corrupt length
+	// prefix cannot force a huge allocation even in a sparse file.
+	maxWALRecordBytes = 1 << 25
+
+	// DefaultSegmentBytes is the roll threshold when the caller passes 0.
+	DefaultSegmentBytes = 8 << 20
+
+	contactRecWire = 32
+)
+
+// SyncPolicy selects when appended WAL records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append's wait returns (group
+	// commit: concurrent appenders share one fsync).
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs on a short timer (~2ms); waits block until the
+	// covering batch fsync lands.
+	SyncBatch
+	// SyncNone never fsyncs on append (only on seal and close). Waits
+	// return immediately; a crash may lose recently acked batches.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, batch or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	default:
+		return "none"
+	}
+}
+
+// Record is one WAL entry. Create records carry Nodes/Horizon; append
+// records carry Recs.
+type Record struct {
+	Type    byte
+	LSN     uint64
+	Stream  string
+	Nodes   int
+	Horizon tvg.Time
+	Recs    []tvg.ContactRecord
+}
+
+func encodeRecord(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame, patched below
+	body := len(dst)
+	dst = append(dst, r.Type)
+	dst = binary.LittleEndian.AppendUint64(dst, r.LSN)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Stream)))
+	dst = append(dst, r.Stream...)
+	switch r.Type {
+	case RecCreate:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Nodes))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Horizon))
+	case RecAppend:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Recs)))
+		for i := range r.Recs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Recs[i].From))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Recs[i].To))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Recs[i].Dep))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Recs[i].Arr))
+		}
+	}
+	payload := dst[body:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], checksum(payload))
+	return dst
+}
+
+// decodeRecord parses one record payload (already CRC-verified).
+// Declared counts are validated against the payload length before any
+// allocation.
+func decodeRecord(p []byte) (*Record, error) {
+	if len(p) < 1+8+4 {
+		return nil, fmt.Errorf("%w: record payload of %d bytes", ErrCorrupt, len(p))
+	}
+	r := &Record{Type: p[0], LSN: binary.LittleEndian.Uint64(p[1:])}
+	nameLen := binary.LittleEndian.Uint32(p[9:])
+	p = p[13:]
+	if uint64(nameLen) > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: record declares a %d-byte stream name in %d bytes", ErrCorrupt, nameLen, len(p))
+	}
+	r.Stream = string(p[:nameLen])
+	p = p[nameLen:]
+	switch r.Type {
+	case RecCreate:
+		if len(p) != 16 {
+			return nil, fmt.Errorf("%w: create record with %d trailing bytes", ErrCorrupt, len(p))
+		}
+		r.Nodes = int(int64(binary.LittleEndian.Uint64(p)))
+		r.Horizon = tvg.Time(binary.LittleEndian.Uint64(p[8:]))
+	case RecAppend:
+		if len(p) < 4 {
+			return nil, fmt.Errorf("%w: append record missing its count", ErrCorrupt)
+		}
+		n := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if !mulFits(n, contactRecWire) || n*contactRecWire != len(p) {
+			return nil, fmt.Errorf("%w: append record declares %d contacts in %d bytes", ErrCorrupt, n, len(p))
+		}
+		r.Recs = make([]tvg.ContactRecord, n)
+		for i := range r.Recs {
+			rec := p[i*contactRecWire:]
+			r.Recs[i] = tvg.ContactRecord{
+				From: tvg.Node(binary.LittleEndian.Uint64(rec[0:])),
+				To:   tvg.Node(binary.LittleEndian.Uint64(rec[8:])),
+				Dep:  tvg.Time(binary.LittleEndian.Uint64(rec[16:])),
+				Arr:  tvg.Time(binary.LittleEndian.Uint64(rec[24:])),
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, r.Type)
+	}
+	return r, nil
+}
+
+// sealedSeg is a closed, fsynced segment: immutable, torn-free, and a
+// candidate for deletion once a durable snapshot covers its last LSN.
+type sealedSeg struct {
+	seq     uint64
+	lastLSN uint64
+	path    string
+}
+
+// WAL is the append end of the log. All methods are safe for
+// concurrent use.
+type WAL struct {
+	dir      string
+	policy   SyncPolicy
+	segBytes int64
+	fault    faultinject.Hook
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	seq     uint64 // active segment sequence number
+	size    int64  // bytes written to the active segment
+	nextLSN uint64
+	written uint64 // highest LSN written to the active segment
+	durable uint64 // highest LSN known fsynced
+	syncing bool   // a group-commit fsync is in flight
+	err     error  // sticky failure; the WAL refuses writes after it
+	sealed  []sealedSeg
+	closed  bool
+
+	batchStop chan struct{}
+	batchDone chan struct{}
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+func segHeader(seq uint64) []byte {
+	h := make([]byte, 0, walHeaderWire)
+	h = append(h, walMagic...)
+	h = binary.LittleEndian.AppendUint32(h, walVersion)
+	h = binary.LittleEndian.AppendUint64(h, seq)
+	return binary.LittleEndian.AppendUint32(h, checksum(h))
+}
+
+// parseSegment walks one segment image and returns the decoded records
+// plus the byte offset just past the last intact record. A clean parse
+// consumes the whole image (good == len(p)); anything after good is a
+// torn tail (or worse). Arbitrary input never panics: every declared
+// length is checked against the remaining image before use.
+func parseSegment(p []byte) (recs []*Record, good int, err error) {
+	if len(p) < walHeaderWire {
+		return nil, 0, fmt.Errorf("%w: %d bytes of WAL header", ErrTruncated, len(p))
+	}
+	if string(p[:8]) != walMagic {
+		return nil, 0, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(p[8:]); v != walVersion {
+		return nil, 0, fmt.Errorf("%w: WAL version %d", ErrBadVersion, v)
+	}
+	if checksum(p[:walHeaderWire-4]) != binary.LittleEndian.Uint32(p[walHeaderWire-4:]) {
+		return nil, 0, fmt.Errorf("%w: WAL segment header", ErrChecksum)
+	}
+	off := walHeaderWire
+	for {
+		if len(p)-off < walFrameWire {
+			return recs, off, nil // zero or a few trailing bytes: torn frame
+		}
+		size := int(binary.LittleEndian.Uint32(p[off:]))
+		crc := binary.LittleEndian.Uint32(p[off+4:])
+		if size > maxWALRecordBytes || size > len(p)-off-walFrameWire {
+			return recs, off, nil // torn payload
+		}
+		payload := p[off+walFrameWire : off+walFrameWire+size]
+		if checksum(payload) != crc {
+			return recs, off, nil // torn or corrupt record: stop here
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// A record with a valid CRC but invalid structure is real
+			// corruption, not a torn write — surface it.
+			return recs, off, derr
+		}
+		recs = append(recs, rec)
+		off += walFrameWire + size
+	}
+}
+
+// WALOptions configures OpenWAL. The zero value selects SyncAlways,
+// the default roll threshold and no fault hook.
+type WALOptions struct {
+	Policy       SyncPolicy
+	SegmentBytes int64
+	Fault        faultinject.Hook
+}
+
+// OpenWAL opens (or creates) the log under dir, replays every intact
+// record in LSN order through fn, truncates a torn tail on the newest
+// segment, and returns the WAL positioned to append. Sealed segments
+// with corrupt interiors stop the replay with a typed error — that is
+// lost acked data, and silently skipping it would break the recovery
+// guarantee.
+func OpenWAL(dir string, opts WALOptions, fn func(*Record) error) (*WAL, error) {
+	segBytes := opts.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names) // fixed-width hex: lexical order == numeric order
+
+	w := &WAL{dir: dir, policy: opts.Policy, segBytes: segBytes, fault: opts.Fault}
+	w.cond = sync.NewCond(&w.mu)
+
+	var lastPath string
+	var lastGood int
+	for i, path := range names {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, good, perr := parseSegment(img)
+		final := i == len(names)-1
+		if perr != nil {
+			return nil, fmt.Errorf("%s: %w", filepath.Base(path), perr)
+		}
+		if good < len(img) && !final {
+			// A sealed segment may never be torn; a short read here means
+			// the file was damaged after sealing.
+			return nil, fmt.Errorf("%s: %w: %d bytes beyond the last intact record in a sealed segment",
+				filepath.Base(path), ErrChecksum, len(img)-good)
+		}
+		var segLast uint64
+		for _, rec := range recs {
+			if rec.LSN < w.nextLSN {
+				return nil, fmt.Errorf("%s: %w: LSN %d out of order", filepath.Base(path), ErrCorrupt, rec.LSN)
+			}
+			if fn != nil {
+				if err := fn(rec); err != nil {
+					return nil, err
+				}
+			}
+			segLast = rec.LSN
+			w.nextLSN = rec.LSN + 1
+		}
+		seq := binary.LittleEndian.Uint64(img[12:])
+		if final {
+			lastPath, lastGood = path, good
+			w.seq, w.size = seq, int64(good)
+			w.written = segLast
+		} else {
+			w.sealed = append(w.sealed, sealedSeg{seq: seq, lastLSN: segLast, path: path})
+		}
+	}
+	if w.nextLSN == 0 {
+		w.nextLSN = 1
+	}
+	w.durable = w.nextLSN - 1 // everything replayed is on disk by definition
+
+	if lastPath == "" {
+		if err := w.newSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(lastPath, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if fi, err := f.Stat(); err == nil && fi.Size() > int64(lastGood) {
+			// The torn-tail rule: drop the partial record a crash left
+			// behind. It was never fsynced, so it was never acked.
+			if err := f.Truncate(int64(lastGood)); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if _, err := f.Seek(int64(lastGood), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.f = f
+	}
+
+	if w.policy == SyncBatch {
+		w.batchStop = make(chan struct{})
+		w.batchDone = make(chan struct{})
+		go w.batchLoop()
+	}
+	return w, nil
+}
+
+// newSegmentLocked creates and fsyncs segment seq and makes it active.
+// Callers hold w.mu (or are inside OpenWAL before the WAL is shared).
+func (w *WAL) newSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(segPath(w.dir, seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	h := segHeader(seq)
+	if _, err := f.Write(h); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seq, w.size = f, seq, int64(len(h))
+	return nil
+}
+
+// Append writes rec to the log, assigns its LSN, and returns a wait
+// func that blocks until the record is durable under the sync policy.
+// The caller must not ack the batch upstream before wait returns nil.
+func (w *WAL) Append(rec *Record) (lsn uint64, wait func() error, err error) {
+	if err := w.fault.Fire(faultinject.SiteWALAppend); err != nil {
+		return 0, nil, fmt.Errorf("store: wal fault: %w", err)
+	}
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, nil, err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return 0, nil, fmt.Errorf("store: wal is closed")
+	}
+	rec.LSN = w.nextLSN
+	frame := encodeRecord(nil, rec)
+	if _, werr := w.f.Write(frame); werr != nil {
+		w.err = fmt.Errorf("store: wal append: %w", werr)
+		err := w.err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return 0, nil, err
+	}
+	w.nextLSN++
+	w.written = rec.LSN
+	w.size += int64(len(frame))
+	lsn = rec.LSN
+	if w.size >= w.segBytes {
+		if rerr := w.rollLocked(); rerr != nil {
+			w.err = rerr
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return 0, nil, rerr
+		}
+	}
+	switch w.policy {
+	case SyncNone:
+		if w.durable < lsn {
+			w.durable = lsn // declared durable without fsync: the policy's contract
+		}
+		w.mu.Unlock()
+		return lsn, func() error { return nil }, nil
+	case SyncAlways:
+		w.mu.Unlock()
+		return lsn, func() error { return w.syncTo(lsn) }, nil
+	default: // SyncBatch
+		w.mu.Unlock()
+		return lsn, func() error { return w.waitDurable(lsn) }, nil
+	}
+}
+
+// syncTo drives group commit: the first waiter past the durable
+// watermark performs one fsync covering every record written so far;
+// racers blocked behind it observe the advanced watermark and return
+// without their own fsync.
+func (w *WAL) syncTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.durable >= lsn {
+			return nil
+		}
+		if w.err != nil {
+			return w.err
+		}
+		if !w.syncing {
+			w.syncing = true
+			f := w.f
+			target := w.written
+			w.mu.Unlock()
+			err := f.Sync()
+			w.mu.Lock()
+			w.syncing = false
+			if err != nil {
+				w.err = fmt.Errorf("store: wal fsync: %w", err)
+			} else if w.durable < target {
+				w.durable = target
+			}
+			w.cond.Broadcast()
+			continue
+		}
+		w.cond.Wait()
+	}
+}
+
+// waitDurable blocks until lsn is fsynced (by the batch loop or a
+// roll) or the WAL fails.
+func (w *WAL) waitDurable(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durable < lsn && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.durable >= lsn {
+		return nil
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return fmt.Errorf("store: wal closed before LSN %d became durable", lsn)
+}
+
+// batchLoop is the SyncBatch flusher: a short-period ticker that
+// fsyncs whenever records are pending.
+func (w *WAL) batchLoop() {
+	defer close(w.batchDone)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.batchStop:
+			return
+		case <-tick.C:
+			w.mu.Lock()
+			pending := w.err == nil && !w.closed && w.written > w.durable
+			var f *os.File
+			var target uint64
+			if pending && !w.syncing {
+				w.syncing = true
+				f, target = w.f, w.written
+			}
+			w.mu.Unlock()
+			if f == nil {
+				continue
+			}
+			err := f.Sync()
+			w.mu.Lock()
+			w.syncing = false
+			if err != nil {
+				w.err = fmt.Errorf("store: wal fsync: %w", err)
+			} else if w.durable < target {
+				w.durable = target
+			}
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// rollLocked seals the active segment (fsync + close) and starts the
+// next one. Callers hold w.mu.
+func (w *WAL) rollLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal seal: %w", err)
+	}
+	if w.durable < w.written {
+		w.durable = w.written
+		w.cond.Broadcast()
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: wal seal: %w", err)
+	}
+	w.sealed = append(w.sealed, sealedSeg{seq: w.seq, lastLSN: w.written, path: segPath(w.dir, w.seq)})
+	return w.newSegmentLocked(w.seq + 1)
+}
+
+// Roll seals the active segment and starts a fresh one, returning the
+// last LSN now guaranteed inside sealed segments. The compactor calls
+// it so that a subsequent snapshot covers whole segments only.
+func (w *WAL) Roll() (lastSealedLSN uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, fmt.Errorf("store: wal is closed")
+	}
+	if err := w.rollLocked(); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		return 0, err
+	}
+	return w.written, nil
+}
+
+// PruneSealed deletes sealed segments whose every record is at or
+// below coveredLSN — the compaction invariant: a segment dies only
+// when a durable snapshot already holds everything it says.
+func (w *WAL) PruneSealed(coveredLSN uint64) (removed int, err error) {
+	w.mu.Lock()
+	keep := w.sealed[:0]
+	var victims []string
+	for _, s := range w.sealed {
+		if s.lastLSN <= coveredLSN {
+			victims = append(victims, s.path)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	w.sealed = keep
+	w.mu.Unlock()
+	for _, path := range victims {
+		if rerr := os.Remove(path); rerr != nil && err == nil {
+			err = rerr
+			continue
+		}
+		removed++
+	}
+	if removed > 0 {
+		if serr := syncDir(w.dir); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return removed, err
+}
+
+// Size returns the total bytes across the active and sealed segments —
+// the number the compaction threshold watches.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.size
+	for _, s := range w.sealed {
+		if fi, err := os.Stat(s.path); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// DurableLSN returns the highest LSN known to be on disk.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durable
+}
+
+// NextLSN returns the LSN the next append will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Sync forces everything written so far onto disk regardless of
+// policy — the -drain path calls it before the engine shuts down.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	lsn := w.written
+	w.mu.Unlock()
+	if lsn == 0 {
+		return nil
+	}
+	return w.syncTo(lsn)
+}
+
+// Close flushes, fsyncs and closes the log. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	if w.batchStop != nil {
+		close(w.batchStop)
+		<-w.batchDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.f != nil {
+		if w.err == nil {
+			if serr := w.f.Sync(); serr != nil {
+				err = serr
+			} else if w.durable < w.written {
+				w.durable = w.written
+			}
+		}
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	w.cond.Broadcast()
+	return err
+}
