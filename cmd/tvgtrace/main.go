@@ -10,6 +10,12 @@
 // dense non-negative integers. Malformed input fails with the 1-based
 // line number, so a bad million-row trace points at its own defect.
 //
+// Importing into a -data-dir that already holds snapshot or WAL state
+// for the stream is refused — a fresh seq-1 snapshot would silently
+// overwrite the existing generation and fight the WAL at recovery.
+// -force supersedes instead: the import takes the next snapshot
+// sequence and covers the stream's existing WAL records.
+//
 // Examples:
 //
 //	tvgtrace -in trace.csv
@@ -44,6 +50,7 @@ func run(args []string, w io.Writer) error {
 	stream := fs.String("stream", "trace", "stream name stamped into the emitted snapshot")
 	out := fs.String("o", "", "write the snapshot image to this exact path (empty = don't)")
 	dataDir := fs.String("data-dir", "", "write the snapshot into a tvgserve data directory under its canonical name")
+	force := fs.Bool("force", false, "supersede snapshot/WAL state the data dir already holds for this stream")
 	nodesFlag := fs.Int("nodes", 0, "node count (0 = 1 + highest node id in the trace)")
 	horizonFlag := fs.Int64("horizon", 0, "horizon (0 = latest arrival in the trace)")
 	if err := fs.Parse(args); err != nil {
@@ -75,11 +82,29 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "snapshot: %s (%d bytes)\n", *out, len(img))
 	}
 	if *dataDir != "" {
+		// A data dir that already knows this stream must not be silently
+		// clobbered: a seq-1/covered-0 snapshot would rename-overwrite the
+		// existing generation and make recovery replay the live WAL suffix
+		// onto the imported set. Refuse by default; under -force, sequence
+		// past every existing snapshot and mark the stream's current WAL
+		// records as covered so replay skips them.
+		snapSeq, walLSN, err := store.StreamDiskState(*dataDir, *stream)
+		if err != nil {
+			return err
+		}
+		if snapSeq > 0 || walLSN > 0 {
+			if !*force {
+				return fmt.Errorf("data dir %s already holds stream %q (snapshot seq %d, wal lsn %d); use -force to supersede it",
+					*dataDir, *stream, snapSeq, walLSN)
+			}
+			snap.Seq = snapSeq + 1
+			snap.CoveredLSN = walLSN
+		}
 		path, err := store.WriteSnapshotFile(*dataDir, snap)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "snapshot: %s\n", path)
+		fmt.Fprintf(w, "snapshot: %s (seq %d)\n", path, snap.Seq)
 	}
 	return nil
 }

@@ -114,3 +114,62 @@ func TestEmitSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("watermark %d, want %d", set.LastDep(), want.LastDep())
 	}
 }
+
+// TestImportRefusesLiveDataDir pins the clobber guard: importing into a
+// data dir that already holds the stream fails without -force, and with
+// it supersedes — next snapshot sequence, existing WAL records covered,
+// recovery serving the import rather than replaying stale state onto it.
+func TestImportRefusesLiveDataDir(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "in.csv")
+	if err := os.WriteFile(csv, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the data dir with live stream state the tvgserve way: a
+	// create plus one acked batch, both in the WAL.
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, _, err := importTrace(strings.NewReader("x,0,1,1,2\n"), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.StreamCreated("imported", seeded); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = run([]string{"-in", csv, "-stream", "imported", "-data-dir", dir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("import into a live data dir: want refusal suggesting -force, got %v", err)
+	}
+	if err := run([]string{"-in", csv, "-stream", "imported", "-data-dir", dir, "-force"}, &out); err != nil {
+		t.Fatalf("forced import: %v", err)
+	}
+
+	want, _, err := importTrace(strings.NewReader(sampleCSV), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := store.ReadSnapshotFile(store.SnapshotPath(dir, "imported", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CoveredLSN == 0 {
+		t.Fatal("forced import left the stream's WAL records uncovered")
+	}
+	st2, recovered, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	set := recovered["imported"]
+	if set == nil || set.NumContacts() != want.NumContacts() {
+		t.Fatalf("recovery did not serve the forced import: %v", recovered)
+	}
+}

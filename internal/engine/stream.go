@@ -160,52 +160,72 @@ func (e *Engine) CreateStream(name string, nodes int, horizon tvg.Time) (*tvg.Co
 	if horizon < 0 || horizon > maxHorizon {
 		return nil, specErr("horizon must be in [0, %d], got %d", maxHorizon, horizon)
 	}
-	e.streamsMu.Lock()
-	if s := e.streams[name]; s != nil {
-		s.mu.Lock()
-		cur := s.cur
-		s.mu.Unlock()
-		e.streamsMu.Unlock()
-		if cur.Graph().NumNodes() != nodes || cur.Horizon() != horizon {
-			return nil, specErr("stream %q exists with %d nodes and horizon %d",
-				name, cur.Graph().NumNodes(), cur.Horizon())
-		}
-		return cur, nil
-	}
-	if len(e.streams) >= maxStreams {
-		e.streamsMu.Unlock()
-		return nil, specErr("at most %d streams", maxStreams)
-	}
 	b := e.builders.Get().(*tvg.Builder)
 	b.Reset(nodes, horizon)
 	cur, err := b.Finalize()
 	e.putBuilder(b)
 	if err != nil {
-		e.streamsMu.Unlock()
 		return nil, specErr("%v", err)
 	}
-	// The sink sees the creation BEFORE it is published: a veto leaves
-	// the registry without the stream, so nothing un-logged is visible.
-	var wait func() error
-	if e.ingest != nil {
-		if wait, err = e.ingest.StreamCreated(name, cur); err != nil {
+	for {
+		e.streamsMu.Lock()
+		if s := e.streams[name]; s != nil {
 			e.streamsMu.Unlock()
-			return nil, sinkErr(err)
+			s.mu.Lock()
+			live := s.cur
+			s.mu.Unlock()
+			if live == nil {
+				// A concurrent creator's sink vetoed this placeholder; it
+				// was unregistered before s.mu was released, so the next
+				// pass sees a clean registry and creates afresh.
+				continue
+			}
+			if live.Graph().NumNodes() != nodes || live.Horizon() != horizon {
+				return nil, specErr("stream %q exists with %d nodes and horizon %d",
+					name, live.Graph().NumNodes(), live.Horizon())
+			}
+			return live, nil
 		}
-	}
-	if e.streams == nil {
-		e.streams = make(map[string]*liveStream)
-	}
-	e.streams[name] = &liveStream{cur: cur}
-	e.streamsMu.Unlock()
-	// Durability wait runs with no locks held: a slow fsync stalls only
-	// this caller's ack, never other streams or readers.
-	if wait != nil {
-		if err := wait(); err != nil {
-			return nil, sinkErr(err)
+		if len(e.streams) >= maxStreams {
+			e.streamsMu.Unlock()
+			return nil, specErr("at most %d streams", maxStreams)
 		}
+		if e.streams == nil {
+			e.streams = make(map[string]*liveStream)
+		}
+		// Reserve the name with a locked placeholder so the registry lock
+		// stays memory-only (like the append path): the sink's WAL write
+		// happens under s.mu, stalling only same-stream callers — they
+		// block on s.mu until cur is published (or the placeholder is
+		// unregistered on veto), never observing the half-made stream.
+		s := &liveStream{}
+		s.mu.Lock()
+		e.streams[name] = s
+		e.streamsMu.Unlock()
+		// The sink sees the creation BEFORE it is published: a veto
+		// unregisters the placeholder, so nothing un-logged is visible.
+		var wait func() error
+		if e.ingest != nil {
+			var serr error
+			if wait, serr = e.ingest.StreamCreated(name, cur); serr != nil {
+				e.streamsMu.Lock()
+				delete(e.streams, name)
+				e.streamsMu.Unlock()
+				s.mu.Unlock()
+				return nil, sinkErr(serr)
+			}
+		}
+		s.cur = cur
+		s.mu.Unlock()
+		// Durability wait runs with no locks held: a slow fsync stalls only
+		// this caller's ack, never other streams or readers.
+		if wait != nil {
+			if err := wait(); err != nil {
+				return nil, sinkErr(err)
+			}
+		}
+		return cur, nil
 	}
-	return cur, nil
 }
 
 // InstallStream registers a recovered stream at its restored revision,
@@ -264,6 +284,12 @@ func (e *Engine) AppendStream(name string, recs []tvg.ContactRecord) (*tvg.Conta
 		return nil, specErr("unknown stream %q", name)
 	}
 	s.mu.Lock()
+	if s.cur == nil {
+		// Grabbed a creation placeholder whose sink veto unregistered it
+		// before publishing: the stream never came to exist.
+		s.mu.Unlock()
+		return nil, specErr("unknown stream %q", name)
+	}
 	if s.cur.NumContacts()+len(recs) > maxStreamContacts {
 		s.mu.Unlock()
 		return nil, specErr("stream %q would exceed %d contacts", name, maxStreamContacts)
@@ -306,6 +332,9 @@ func (e *Engine) StreamSet(name string) (*tvg.ContactSet, bool) {
 	s.mu.Lock()
 	cur := s.cur
 	s.mu.Unlock()
+	if cur == nil {
+		return nil, false // vetoed creation placeholder: never existed
+	}
 	return cur, true
 }
 

@@ -30,6 +30,10 @@ const (
 	// SiteWALAppend fires before every write-ahead-log append in the
 	// durability layer (internal/store), ahead of the disk write.
 	SiteWALAppend Site = "wal-append"
+	// SiteWALSync fires on the group-commit path between capturing the
+	// active WAL segment and fsyncing it — outside the WAL lock, so a
+	// blocking hook holds the fsync in flight while rolls proceed.
+	SiteWALSync Site = "wal-sync"
 	// SiteSnapshot fires before every snapshot file write (compaction
 	// and explicit snapshot calls).
 	SiteSnapshot Site = "snapshot"

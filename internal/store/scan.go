@@ -1,0 +1,82 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScanWAL walks the WAL segments under dir in LSN order WITHOUT opening
+// the log for append: every intact record is passed to fn, the newest
+// segment's torn tail is tolerated (skipped, not truncated), and
+// corruption inside a sealed segment fails with a typed error, exactly
+// as in OpenWAL. A missing or empty directory scans zero records.
+func ScanWAL(dir string, fn func(*Record) error) error {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names) // fixed-width hex: lexical order == numeric order
+	for i, path := range names {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		recs, good, perr := parseSegment(img)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", filepath.Base(path), perr)
+		}
+		if good < len(img) && i != len(names)-1 {
+			return fmt.Errorf("%s: %w: %d bytes beyond the last intact record in a sealed segment",
+				filepath.Base(path), ErrChecksum, len(img)-good)
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamDiskState reports what dir already holds for one stream: the
+// highest snapshot Seq among its *.tvgs files and the highest WAL LSN
+// of a record touching it (both 0 when absent). tvgtrace uses it to
+// refuse — or, under -force, correctly sequence past — an import into a
+// data directory that already knows the stream.
+func StreamDiskState(dir, stream string) (snapSeq, walLSN uint64, err error) {
+	enc := encodeStreamName(stream)
+	paths, err := filepath.Glob(filepath.Join(dir, enc+"-*"+SnapshotExt))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, path := range paths {
+		// Only exact matches count: an encoded name is glob-safe but may
+		// be a prefix of another stream's, so the remainder must be the
+		// 16-hex-digit sequence and nothing else.
+		rest := strings.TrimPrefix(strings.TrimSuffix(filepath.Base(path), SnapshotExt), enc+"-")
+		if len(rest) != 16 {
+			continue
+		}
+		seq, perr := strconv.ParseUint(rest, 16, 64)
+		if perr != nil {
+			continue
+		}
+		if seq > snapSeq {
+			snapSeq = seq
+		}
+	}
+	err = ScanWAL(dir, func(rec *Record) error {
+		if rec.Stream == stream && rec.LSN > walLSN {
+			walLSN = rec.LSN
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return snapSeq, walLSN, nil
+}

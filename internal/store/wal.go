@@ -248,11 +248,15 @@ func parseSegment(p []byte) (recs []*Record, good int, err error) {
 		if len(p)-off < walFrameWire {
 			return recs, off, nil // zero or a few trailing bytes: torn frame
 		}
-		size := int(binary.LittleEndian.Uint32(p[off:]))
+		// Compare the declared length unsigned BEFORE converting: on a
+		// 32-bit platform int(Uint32(...)) wraps a >=2^31 value negative,
+		// which would slip past both guards and panic the slice below.
+		size32 := binary.LittleEndian.Uint32(p[off:])
 		crc := binary.LittleEndian.Uint32(p[off+4:])
-		if size > maxWALRecordBytes || size > len(p)-off-walFrameWire {
+		if uint64(size32) > maxWALRecordBytes || uint64(size32) > uint64(len(p)-off-walFrameWire) {
 			return recs, off, nil // torn payload
 		}
+		size := int(size32)
 		payload := p[off+walFrameWire : off+walFrameWire+size]
 		if checksum(payload) != crc {
 			return recs, off, nil // torn or corrupt record: stop here
@@ -462,6 +466,16 @@ func (w *WAL) Append(rec *Record) (lsn uint64, wait func() error, err error) {
 // watermark performs one fsync covering every record written so far;
 // racers blocked behind it observe the advanced watermark and return
 // without their own fsync.
+//
+// The fsync runs outside w.mu, so a concurrent append crossing the
+// roll threshold can seal (fsync + close) the very file the group
+// commit holds. Segment sequence numbers are never reused, so w.seq
+// changing while the Sync was in flight proves a roll superseded it —
+// and rollLocked only advances w.seq after its own fsync succeeded, so
+// everything the group commit meant to cover is already durable and
+// any error from the stale handle (typically os.ErrClosed) is moot.
+// Treating it as a failure would poison the sticky w.err over records
+// that are safely on disk.
 func (w *WAL) syncTo(lsn uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -472,17 +486,26 @@ func (w *WAL) syncTo(lsn uint64) error {
 		if w.err != nil {
 			return w.err
 		}
+		if w.closed {
+			return fmt.Errorf("store: wal closed before LSN %d became durable", lsn)
+		}
 		if !w.syncing {
 			w.syncing = true
-			f := w.f
-			target := w.written
+			f, seq, target := w.f, w.seq, w.written
 			w.mu.Unlock()
-			err := f.Sync()
+			err := w.fault.Fire(faultinject.SiteWALSync)
+			if err == nil {
+				err = f.Sync()
+			}
 			w.mu.Lock()
 			w.syncing = false
-			if err != nil {
+			switch {
+			case w.seq != seq:
+				// Rolled while syncing: the seal fsync already made target
+				// durable (rollLocked advanced w.durable); err is moot.
+			case err != nil:
 				w.err = fmt.Errorf("store: wal fsync: %w", err)
-			} else if w.durable < target {
+			case w.durable < target:
 				w.durable = target
 			}
 			w.cond.Broadcast()
@@ -523,21 +546,28 @@ func (w *WAL) batchLoop() {
 			w.mu.Lock()
 			pending := w.err == nil && !w.closed && w.written > w.durable
 			var f *os.File
-			var target uint64
+			var seq, target uint64
 			if pending && !w.syncing {
 				w.syncing = true
-				f, target = w.f, w.written
+				f, seq, target = w.f, w.seq, w.written
 			}
 			w.mu.Unlock()
 			if f == nil {
 				continue
 			}
-			err := f.Sync()
+			err := w.fault.Fire(faultinject.SiteWALSync)
+			if err == nil {
+				err = f.Sync()
+			}
 			w.mu.Lock()
 			w.syncing = false
-			if err != nil {
+			switch {
+			case w.seq != seq:
+				// Rolled while syncing: the seal fsync covered target, so
+				// an error from the superseded handle is moot (see syncTo).
+			case err != nil:
 				w.err = fmt.Errorf("store: wal fsync: %w", err)
-			} else if w.durable < target {
+			case w.durable < target:
 				w.durable = target
 			}
 			w.cond.Broadcast()
@@ -589,22 +619,34 @@ func (w *WAL) Roll() (lastSealedLSN uint64, err error) {
 func (w *WAL) PruneSealed(coveredLSN uint64) (removed int, err error) {
 	w.mu.Lock()
 	keep := w.sealed[:0]
-	var victims []string
+	var victims []sealedSeg
 	for _, s := range w.sealed {
 		if s.lastLSN <= coveredLSN {
-			victims = append(victims, s.path)
+			victims = append(victims, s)
 		} else {
 			keep = append(keep, s)
 		}
 	}
 	w.sealed = keep
 	w.mu.Unlock()
-	for _, path := range victims {
-		if rerr := os.Remove(path); rerr != nil && err == nil {
-			err = rerr
+	var failed []sealedSeg
+	for _, s := range victims {
+		if rerr := os.Remove(s.path); rerr != nil {
+			failed = append(failed, s)
+			if err == nil {
+				err = rerr
+			}
 			continue
 		}
 		removed++
+	}
+	if len(failed) > 0 {
+		// Put unremovable segments back so the next compaction retries
+		// them instead of leaking the files on disk forever.
+		w.mu.Lock()
+		w.sealed = append(w.sealed, failed...)
+		sort.Slice(w.sealed, func(i, j int) bool { return w.sealed[i].seq < w.sealed[j].seq })
+		w.mu.Unlock()
 	}
 	if removed > 0 {
 		if serr := syncDir(w.dir); serr != nil && err == nil {
@@ -669,6 +711,13 @@ func (w *WAL) Close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Drain any in-flight group-commit fsync before closing its file:
+	// closing underneath it would fail that sync with os.ErrClosed and
+	// hand its waiters an error over records this Close is about to make
+	// durable anyway.
+	for w.syncing {
+		w.cond.Wait()
+	}
 	var err error
 	if w.f != nil {
 		if w.err == nil {

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -286,6 +287,166 @@ func TestWALGroupCommit(t *testing.T) {
 	}
 	if d := w.DurableLSN(); d != G*per {
 		t.Fatalf("durable LSN %d, want %d", d, G*per)
+	}
+}
+
+// TestWALGroupCommitAcrossRolls is the regression for the fsync/roll
+// race: a group-commit fsync runs outside the lock, so a concurrent
+// append crossing the roll threshold seals and CLOSES the very file it
+// holds. The superseded sync must treat that as success (the seal fsync
+// already covered its target), never poison the sticky error. A tiny
+// segment threshold makes rolls land mid-commit constantly.
+func TestWALGroupCommitAcrossRolls(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncBatch} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, err := OpenWAL(dir, WALOptions{Policy: policy, SegmentBytes: 128}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const G, per = 8, 40
+			var wg sync.WaitGroup
+			errs := make([]error, G)
+			for g := 0; g < G; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						_, wait, err := w.Append(&Record{Type: RecCreate, Stream: "s", Nodes: 2, Horizon: 1})
+						if err == nil {
+							err = wait()
+						}
+						if err != nil {
+							errs[g] = err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := w.DurableLSN(); d != G*per {
+				t.Fatalf("durable LSN %d, want %d", d, G*per)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, w2 := replayAll(t, dir)
+			w2.Close()
+			if len(got) != G*per {
+				t.Fatalf("replayed %d records, wrote %d", len(got), G*per)
+			}
+		})
+	}
+}
+
+// TestWALSyncSupersededByRoll pins the race deterministically via the
+// SiteWALSync seam: a group-commit fsync is held in flight while a roll
+// seals and closes its file, then released against the closed handle.
+// The superseded sync must report success — the seal fsync already made
+// its target durable — and must NOT poison the WAL's sticky error.
+func TestWALSyncSupersededByRoll(t *testing.T) {
+	syncGate := make(chan struct{})
+	rollDone := make(chan struct{})
+	var once sync.Once
+	hook := faultinject.OnSite(faultinject.SiteWALSync, func(faultinject.Site) error {
+		once.Do(func() {
+			close(syncGate)
+			<-rollDone
+		})
+		return nil
+	})
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Policy: SyncAlways, Fault: hook}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, wait, err := w.Append(&Record{Type: RecCreate, Stream: "s", Nodes: 2, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- wait() }()
+	<-syncGate // the group commit holds the active segment's handle
+	if _, err := w.Roll(); err != nil {
+		t.Fatalf("roll under an in-flight sync: %v", err)
+	}
+	close(rollDone) // release the sync against the now-closed handle
+	if err := <-done; err != nil {
+		t.Fatalf("superseded group commit failed: %v", err)
+	}
+	// The WAL must still accept and sync appends — no sticky poison.
+	_, wait2, err := w.Append(&Record{Type: RecCreate, Stream: "s", Nodes: 2, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALPruneRetriesFailedRemovals pins the prune failure contract: a
+// segment whose removal fails stays tracked (and is NOT counted as
+// removed), so the next compaction retries it instead of leaking the
+// file on disk forever.
+func TestWALPruneRetriesFailedRemovals(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{SegmentBytes: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendAll(t, w, mkRecords(20))
+	lastSealed, err := w.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	total := len(w.sealed)
+	victim := w.sealed[0].path
+	w.mu.Unlock()
+	if total < 2 {
+		t.Fatalf("need >= 2 sealed segments, have %d", total)
+	}
+	// Make one victim unremovable: swap the file for a non-empty
+	// directory of the same name (os.Remove fails on those).
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(victim, "pin"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w.PruneSealed(lastSealed)
+	if err == nil {
+		t.Fatal("prune with an unremovable segment reported success")
+	}
+	if removed != total-1 {
+		t.Fatalf("removed %d of %d, want all but the pinned one", removed, total)
+	}
+	w.mu.Lock()
+	left := len(w.sealed)
+	w.mu.Unlock()
+	if left != 1 {
+		t.Fatalf("%d sealed segments tracked after failed prune, want the victim kept", left)
+	}
+	// Unpin and retry: the kept segment is removed this time.
+	if err := os.Remove(filepath.Join(victim, "pin")); err != nil {
+		t.Fatal(err)
+	}
+	removed, err = w.PruneSealed(lastSealed)
+	if err != nil || removed != 1 {
+		t.Fatalf("retry removed %d, err %v", removed, err)
+	}
+	w.mu.Lock()
+	left = len(w.sealed)
+	w.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d sealed segments survive the retry", left)
 	}
 }
 
